@@ -1,0 +1,51 @@
+//! Criterion benchmarks of full-tree likelihood evaluation on every
+//! backend — the host-measured analogue of the paper's per-architecture
+//! PLF comparison (simulated backends additionally maintain their
+//! modeled timings; here we measure their host overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use plf_cellbe::CellBackend;
+use plf_gpu::GpuBackend;
+use plf_multicore::{PersistentPoolBackend, RayonBackend};
+use plf_phylo::kernels::{PlfBackend, ScalarBackend, Simd4Backend};
+use plf_phylo::likelihood::TreeLikelihood;
+use plf_seqgen::{default_model, generate, DatasetSpec};
+use std::hint::black_box;
+
+fn bench_tree_eval(c: &mut Criterion) {
+    let ds = generate(DatasetSpec::new(10, 2_000), 2009);
+    let model = default_model();
+
+    let mut group = c.benchmark_group("tree_log_likelihood_10x2K");
+    group.throughput(Throughput::Elements(ds.data.n_patterns() as u64));
+    group.sample_size(15);
+
+    let mut cases: Vec<(&str, Box<dyn PlfBackend>)> = vec![
+        ("scalar", Box::new(ScalarBackend)),
+        ("simd-colwise", Box::new(Simd4Backend::col_wise())),
+        ("simd-rowwise", Box::new(Simd4Backend::row_wise())),
+        ("rayon", Box::new(RayonBackend::new(
+            std::thread::available_parallelism().map_or(2, |n| n.get()),
+        ))),
+        ("persistent", Box::new(PersistentPoolBackend::new(
+            std::thread::available_parallelism().map_or(2, |n| n.get()),
+        ))),
+        ("cellbe-ps3", Box::new(CellBackend::ps3())),
+        ("gpu-8800gt", Box::new(GpuBackend::gt8800())),
+    ];
+    for (name, backend) in cases.iter_mut() {
+        let mut eval = TreeLikelihood::new(&ds.tree, &ds.data, model.clone()).unwrap();
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                black_box(
+                    eval.log_likelihood(black_box(&ds.tree), backend.as_mut())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_eval);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the data-generation substrate: sequence
+//! evolution throughput and pattern compression (the pipeline behind
+//! the paper's Seq-Gen inputs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plf_phylo::alignment::Alignment;
+use plf_seqgen::{default_model, evolve_alignment, random_unrooted_tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_evolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evolve_alignment");
+    group.sample_size(10);
+    let model = default_model();
+    for &taxa in &[10usize, 50] {
+        let tree = random_unrooted_tree(taxa, 0.25, &mut StdRng::seed_from_u64(1));
+        group.throughput(Throughput::Elements(2_000));
+        group.bench_with_input(BenchmarkId::from_parameter(taxa), &taxa, |b, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| black_box(evolve_alignment(&tree, &model, 2_000, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let model = default_model();
+    let tree = random_unrooted_tree(20, 0.25, &mut StdRng::seed_from_u64(2));
+    let aln: Alignment = evolve_alignment(&tree, &model, 10_000, &mut StdRng::seed_from_u64(3));
+    let mut group = c.benchmark_group("pattern_compression");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(aln.n_sites() as u64));
+    group.bench_function("compress_20x10K", |b| b.iter(|| black_box(aln.compress())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_evolve, bench_compress);
+criterion_main!(benches);

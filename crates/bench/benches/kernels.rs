@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks of the three PLF kernels across the
+//! scalar reference and both SIMD schedules, swept over the paper's
+//! pattern counts. This is the measured (host) counterpart of the §3.3
+//! row-wise/column-wise comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plf_phylo::clv::TransitionMatrices;
+use plf_phylo::kernels::{scalar, simd4, SimdSchedule};
+use std::hint::black_box;
+
+const N_RATES: usize = 4;
+
+fn mats(seed: u64) -> TransitionMatrices {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32).fract().abs() * 0.9 + 0.05
+    };
+    TransitionMatrices::from_mats(
+        (0..N_RATES)
+            .map(|_| std::array::from_fn(|_| std::array::from_fn(|_| next())))
+            .collect(),
+    )
+}
+
+fn clv(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0xD1342543DE82EF95).wrapping_add(7);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 33) as f32 / (1u64 << 31) as f32).fract().abs()
+        })
+        .collect()
+}
+
+fn bench_down(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cond_like_down");
+    for &m in &[1_000usize, 20_000] {
+        let len = m * N_RATES * 4;
+        let (pl, pr) = (mats(1), mats(2));
+        let (l, r) = (clv(3, len), clv(4, len));
+        let mut out = vec![0.0f32; len];
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", m), &m, |b, _| {
+            b.iter(|| {
+                scalar::cond_like_down_range(
+                    black_box(&l),
+                    &pl,
+                    black_box(&r),
+                    &pr,
+                    &mut out,
+                    N_RATES,
+                )
+            })
+        });
+        for (name, sched) in [
+            ("simd-rowwise", SimdSchedule::RowWise),
+            ("simd-colwise", SimdSchedule::ColWise),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                b.iter(|| {
+                    simd4::cond_like_down_range(
+                        sched,
+                        black_box(&l),
+                        &pl,
+                        black_box(&r),
+                        &pr,
+                        &mut out,
+                        N_RATES,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_root(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cond_like_root");
+    let m = 5_000usize;
+    let len = m * N_RATES * 4;
+    let (pa, pb, pc) = (mats(5), mats(6), mats(7));
+    let (a, bb, cc) = (clv(8, len), clv(9, len), clv(10, len));
+    let mut out = vec![0.0f32; len];
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            scalar::cond_like_root_range(
+                black_box(&a),
+                &pa,
+                &bb,
+                &pb,
+                Some((&cc[..], &pc)),
+                &mut out,
+                N_RATES,
+            )
+        })
+    });
+    group.bench_function("simd-colwise", |b| {
+        b.iter(|| {
+            simd4::cond_like_root_range(
+                SimdSchedule::ColWise,
+                black_box(&a),
+                &pa,
+                &bb,
+                &pb,
+                Some((&cc[..], &pc)),
+                &mut out,
+                N_RATES,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_scaler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cond_like_scaler");
+    let m = 5_000usize;
+    let len = m * N_RATES * 4;
+    let base = clv(11, len);
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("scalar", |b| {
+        b.iter_batched(
+            || (base.clone(), vec![0.0f32; m]),
+            |(mut c, mut s)| scalar::cond_like_scaler_range(&mut c, &mut s, N_RATES),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("simd", |b| {
+        b.iter_batched(
+            || (base.clone(), vec![0.0f32; m]),
+            |(mut c, mut s)| simd4::cond_like_scaler_range(&mut c, &mut s, N_RATES),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_down, bench_root, bench_scaler
+}
+criterion_main!(benches);

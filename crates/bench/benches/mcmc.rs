@@ -1,0 +1,43 @@
+//! Criterion benchmark of MCMC generation throughput: full per-proposal
+//! re-evaluation vs MrBayes-style incremental updates — the host-level
+//! measurement behind the `incremental_updates` example.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plf_mcmc::{Chain, ChainOptions, Priors};
+use plf_phylo::kernels::ScalarBackend;
+use plf_seqgen::{default_model, generate, DatasetSpec};
+use std::hint::black_box;
+
+fn bench_chain(c: &mut Criterion) {
+    let ds = generate(DatasetSpec::new(20, 500), 2009);
+    let mut group = c.benchmark_group("mcmc_generations");
+    group.sample_size(10);
+    const GENS: usize = 200;
+    group.throughput(Throughput::Elements(GENS as u64));
+    for (label, incremental) in [("full", false), ("incremental", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &incremental, |b, &inc| {
+            b.iter(|| {
+                let mut chain = Chain::new(
+                    ds.tree.clone(),
+                    &ds.data,
+                    default_model().params().clone(),
+                    0.5,
+                    Priors::default(),
+                    ChainOptions {
+                        generations: GENS,
+                        seed: 11,
+                        sample_every: 0,
+                        incremental: inc,
+                        ..ChainOptions::default()
+                    },
+                )
+                .unwrap();
+                black_box(chain.run(&mut ScalarBackend).final_ln_likelihood)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

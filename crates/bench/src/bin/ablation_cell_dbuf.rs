@@ -1,0 +1,20 @@
+//! Figure 7 ablation: Cell/BE double buffering on/off.
+use plf_bench::figures::ablation_cell_double_buffering;
+use plf_bench::report::{json_mode, print_json};
+
+fn main() {
+    let rows = ablation_cell_double_buffering();
+    if json_mode() {
+        print_json(&rows);
+        return;
+    }
+    println!("Cell/BE double-buffering ablation (PS3, real data set)");
+    println!("{:<22} {:>12} {:>16}", "variant", "PLF (s)", "overall speedup");
+    for r in &rows {
+        println!("{:<22} {:>12.4} {:>15.2}x", r.variant, r.plf_s, r.overall_speedup);
+    }
+    println!(
+        "\ndouble buffering hides {:.0}% of the PLF time",
+        100.0 * (1.0 - rows[1].plf_s / rows[0].plf_s)
+    );
+}

@@ -1,0 +1,23 @@
+//! §3.3 ablation: Cell/BE SIMD schedules (row-wise vs column-wise).
+//! Paper: column-wise is 2x faster on the PLF and worth +34% total speedup.
+use plf_bench::figures::ablation_cell_simd;
+use plf_bench::report::{json_mode, print_json};
+
+fn main() {
+    let rows = ablation_cell_simd();
+    if json_mode() {
+        print_json(&rows);
+        return;
+    }
+    println!("Cell/BE SIMD schedule ablation (PS3, real data set)");
+    println!("{:<10} {:>12} {:>16}", "variant", "PLF (s)", "overall speedup");
+    for r in &rows {
+        println!("{:<10} {:>12.4} {:>15.2}x", r.variant, r.plf_s, r.overall_speedup);
+    }
+    println!(
+        "\nPLF ratio (RowWise/ColWise): {:.2}x   total-speedup gain: {:.0}%",
+        rows[0].plf_s / rows[1].plf_s,
+        100.0 * (rows[1].overall_speedup / rows[0].overall_speedup - 1.0)
+    );
+    println!("matvec-kernels-only ratio: {:.2}x (paper: 2x PLF, +34% total)", plf_bench::figures::cell_simd_down_only_ratio());
+}

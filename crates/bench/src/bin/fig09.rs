@@ -1,0 +1,72 @@
+//! Regenerate Figure 9: scalability of the general-purpose multi-core
+//! systems (relative speedup, n cores vs 1 core, 16 data sets).
+//!
+//! Default: the calibrated models of the paper's three systems. With
+//! `--measured`, additionally measure *this host's* rayon scaling on a
+//! reduced grid (wall-clock of real parallel PLF kernels) — the
+//! present-day counterpart of the paper's OpenMP measurements.
+use plf_bench::figures::{fig09, workload_for, N_RATES};
+use plf_bench::report::{json_mode, print_json, print_series_table};
+use plf_multicore::RayonBackend;
+use plf_phylo::kernels::PlfBackend;
+use plf_phylo::likelihood::TreeLikelihood;
+use plf_seqgen::{generate, DatasetSpec};
+
+fn measured_host_scaling() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nMeasured on this host ({cores} core(s)) with rayon:");
+    if cores < 2 {
+        println!("  (single-core machine: parallel speedup is not measurable here;");
+        println!("   the modeled figures above carry the reproduction)");
+    }
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= cores)
+        .collect();
+    print!("{:<10}", "dataset");
+    for t in &thread_counts {
+        print!(" {:>10}", format!("{t} thr"));
+    }
+    println!();
+    for spec in [DatasetSpec::new(10, 1_000), DatasetSpec::new(10, 20_000)] {
+        let ds = generate(spec, 2009);
+        let model = plf_seqgen::default_model();
+        let mut times = Vec::new();
+        for &threads in &thread_counts {
+            let mut backend = RayonBackend::new(threads);
+            let mut eval = TreeLikelihood::new(&ds.tree, &ds.data, model.clone()).unwrap();
+            // Warm up once, then time a few evaluations.
+            eval.log_likelihood(&ds.tree, &mut backend).unwrap();
+            let reps = 5;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                eval.log_likelihood(&ds.tree, &mut backend).unwrap();
+            }
+            times.push(t0.elapsed().as_secs_f64() / reps as f64);
+            let _ = backend.name();
+        }
+        print!("{:<10}", spec.label());
+        for t in &times {
+            print!(" {:>10.2}", times[0] / t);
+        }
+        println!("   (speedup vs 1 thread)");
+    }
+    // Keep the model workload helper linked for consistency checks.
+    let _ = workload_for(DatasetSpec::new(10, 1_000));
+    let _ = N_RATES;
+}
+
+fn main() {
+    let series = fig09();
+    if json_mode() {
+        print_json(&series);
+        return;
+    }
+    print_series_table(
+        "Figure 9: Scalability for the multi-core based systems (speedup vs 1 core)",
+        &series,
+    );
+    if std::env::args().any(|a| a == "--measured") {
+        measured_host_scaling();
+    }
+}

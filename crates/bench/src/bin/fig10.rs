@@ -1,0 +1,15 @@
+//! Regenerate Figure 10: Cell/BE scalability (speedup vs 1 SPE).
+use plf_bench::figures::fig10;
+use plf_bench::report::{json_mode, print_json, print_series_table};
+
+fn main() {
+    let series = fig10();
+    if json_mode() {
+        print_json(&series);
+    } else {
+        print_series_table(
+            "Figure 10: Scalability for the Cell/BE based systems (speedup vs 1 SPE)",
+            &series,
+        );
+    }
+}

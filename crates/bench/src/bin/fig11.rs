@@ -1,0 +1,16 @@
+//! Regenerate Figure 11: GPU scalability (performance normalized to the
+//! 8800 GT on the 10_1K data set).
+use plf_bench::figures::fig11;
+use plf_bench::report::{json_mode, print_json, print_series_table};
+
+fn main() {
+    let series = fig11();
+    if json_mode() {
+        print_json(&series);
+    } else {
+        print_series_table(
+            "Figure 11: GPU scalability (speedup normalized to 8800GT @ 10_1K)",
+            &series,
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerate Figure 12: frequency-scaled total execution time, broken
+//! into PLF / Remaining / PCIe, for all eight systems on the real-world
+//! data set (20 organisms, 8,543 distinct patterns).
+//!
+//! By default the baseline's serial share uses the paper's measurement
+//! (62 s total, 57 s PLF → Remaining = 5/57 of PLF), because our Rust
+//! MCMC's serial code is leaner than MrBayes 3.1.2's. Pass `--measured`
+//! to instead measure the ratio by running the MCMC chain on this
+//! machine (slower; generates the full 8,543-pattern data set).
+
+use plf_bench::figures::{fig12, BASELINE_REMAINING_OVER_PLF};
+use plf_bench::report::{json_mode, print_json};
+use plf_mcmc::{Chain, ChainOptions, Priors};
+use plf_phylo::kernels::ScalarBackend;
+use plf_seqgen::{default_model, generate, real_world};
+
+fn measured_ratio() -> f64 {
+    eprintln!("generating the real-world data set (20 taxa, 8,543 patterns)...");
+    let ds = generate(real_world(), 2009);
+    eprintln!("running 100 MCMC generations on the scalar baseline...");
+    let mut chain = Chain::new(
+        ds.tree.clone(),
+        &ds.data,
+        default_model().params().clone(),
+        0.5,
+        Priors::default(),
+        ChainOptions {
+            generations: 100,
+            seed: 1,
+            sample_every: 0,
+            ..ChainOptions::default()
+        },
+    )
+    .expect("chain over generated data");
+    let stats = chain.run(&mut ScalarBackend);
+    let ratio = stats.remaining_time().as_secs_f64() / stats.plf_time.as_secs_f64();
+    eprintln!(
+        "measured: PLF {:.2}s, Remaining {:.2}s (ratio {:.4}; paper's was {:.4})",
+        stats.plf_time.as_secs_f64(),
+        stats.remaining_time().as_secs_f64(),
+        ratio,
+        BASELINE_REMAINING_OVER_PLF
+    );
+    ratio
+}
+
+fn main() {
+    let ratio = if std::env::args().any(|a| a == "--measured") {
+        measured_ratio()
+    } else {
+        BASELINE_REMAINING_OVER_PLF
+    };
+    let rows = fig12(ratio);
+    if json_mode() {
+        print_json(&rows);
+        return;
+    }
+    println!("Figure 12: frequency-scaled total time, real data set (% of baseline)");
+    println!(
+        "{:<14} {:>8} {:>12} {:>8} {:>8} {:>9}",
+        "System", "PLF%", "Remaining%", "PCIe%", "Total%", "Speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>8.1} {:>12.1} {:>8.1} {:>8.1} {:>8.2}x",
+            r.system, r.plf_pct, r.remaining_pct, r.pcie_pct, r.total_pct, r.speedup
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! §4.2/§6 what-ifs: the heterogeneous future systems the paper argues
+//! for — strong serial host for the Cell, transfer/compute overlap for
+//! the GPUs — as extra Figure 12 rows.
+use plf_bench::figures::{fig12, future_hybrids, BASELINE_REMAINING_OVER_PLF};
+use plf_bench::report::{json_mode, print_json};
+
+fn main() {
+    let stock = fig12(BASELINE_REMAINING_OVER_PLF);
+    let hybrids = future_hybrids();
+    if json_mode() {
+        print_json(&hybrids);
+        return;
+    }
+    println!("Future heterogeneous systems (Figure 12 extension; % of baseline)");
+    println!(
+        "{:<32} {:>8} {:>12} {:>8} {:>8} {:>9}",
+        "System", "PLF%", "Remaining%", "PCIe%", "Total%", "Speedup"
+    );
+    for r in stock.iter().chain(hybrids.iter()) {
+        println!(
+            "{:<32} {:>8.1} {:>12.1} {:>8.1} {:>8.1} {:>8.2}x",
+            r.system, r.plf_pct, r.remaining_pct, r.pcie_pct, r.total_pct, r.speedup
+        );
+    }
+    println!("\n(§6 realized: a strong serial host rescues the Cell; overlap helps the");
+    println!(" GPUs but PCIe stays exposed until the bus itself gets faster)");
+}

@@ -1,0 +1,26 @@
+//! §3.4 design-space exploration: find the best threads x blocks launch
+//! configuration per device. Paper: 256x40 (8800GT), 256x85 (GTX285).
+use plf_bench::figures::gpu_design_space;
+use plf_bench::report::{json_mode, print_json};
+
+fn main() {
+    let results = gpu_design_space();
+    if json_mode() {
+        print_json(&results);
+        return;
+    }
+    println!("GPU launch-configuration design space (real data set)");
+    for r in &results {
+        println!(
+            "{:<8} best {}x{} ({:.4} s); paper {}x{} ({:.4} s, {:+.1}% vs best)",
+            r.device,
+            r.best_threads,
+            r.best_blocks,
+            r.best_plf_s,
+            r.paper_config.0,
+            r.paper_config.1,
+            r.paper_plf_s,
+            100.0 * (r.paper_plf_s / r.best_plf_s - 1.0)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! §3.1 sweep: PLF cost as a function of the number of discrete Γ rate
+//! categories r (the paper fixes r = 4, giving the 16-float elements of
+//! Figure 3; here we sweep r to show the linear scaling).
+use plf_bench::figures::rates_sweep;
+use plf_bench::report::{json_mode, print_json};
+
+fn main() {
+    let rows = rates_sweep();
+    if json_mode() {
+        print_json(&rows);
+        return;
+    }
+    println!("PLF cost vs discrete rate categories (real data set, modeled)");
+    println!(
+        "{:>7} {:>13} {:>14} {:>12} {:>12}",
+        "rates", "floats/elem", "baseline (s)", "QS20 (s)", "GTX285 (s)"
+    );
+    for r in &rows {
+        println!(
+            "{:>7} {:>13} {:>14.4} {:>12.4} {:>12.4}",
+            r.n_rates, r.entry_floats, r.baseline_plf_s, r.qs20_plf_s, r.gtx285_plf_s
+        );
+    }
+}

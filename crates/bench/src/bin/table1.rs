@@ -1,0 +1,22 @@
+//! Regenerate Table 1 (systems setup).
+use plf_bench::figures::table1_rows;
+use plf_bench::report::{json_mode, print_json};
+
+fn main() {
+    let rows = table1_rows();
+    if json_mode() {
+        print_json(&rows);
+        return;
+    }
+    println!("Table 1: Systems Setup");
+    println!(
+        "{:<14} {:<20} {:>5} {:<14} {:>8} {:<14} {:>7}",
+        "Name", "System", "Cores", "Model", "GHz", "Cache", "Mem(GB)"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:<20} {:>5} {:<14} {:>8.3} {:<14} {:>7.2}",
+            r.name, r.system, r.cores, r.model, r.freq_ghz, r.cache, r.mem_gb
+        );
+    }
+}

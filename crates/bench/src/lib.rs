@@ -1,0 +1,22 @@
+//! # plf-bench — benchmark and figure-regeneration harness
+//!
+//! One binary per table/figure of the paper's evaluation (§4):
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — systems setup |
+//! | `fig09` | Figure 9 — multi-core scalability |
+//! | `fig10` | Figure 10 — Cell/BE scalability |
+//! | `fig11` | Figure 11 — GPU scalability |
+//! | `fig12` | Figure 12 — frequency-scaled time breakdown |
+//! | `ablation_cell_simd` | §3.3 — row-wise vs column-wise SIMD |
+//! | `ablation_gpu_sched` | §3.4 — reduction- vs entry-parallel |
+//! | `gpu_design_space` | §3.4 — threads×blocks exploration |
+//!
+//! Pass `--json` to any binary for machine-readable output. Criterion
+//! micro-benchmarks of the kernels and backends live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;

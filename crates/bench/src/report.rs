@@ -1,0 +1,52 @@
+//! Text/JSON rendering shared by the figure binaries.
+
+use crate::figures::Series;
+use serde::Serialize;
+
+/// Should the binary emit JSON instead of a text table?
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Print any serializable payload as pretty JSON.
+pub fn print_json<T: Serialize>(value: &T) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(value).expect("figure data serializes")
+    );
+}
+
+/// Render speedup series as the paper's figure layout: data sets down
+/// the rows (x-axis order), one column per system.
+pub fn print_series_table(title: &str, series: &[Series]) {
+    println!("{title}");
+    print!("{:<10}", "dataset");
+    for s in series {
+        print!(" {:>14}", s.system);
+    }
+    println!();
+    let n = series[0].points.len();
+    for i in 0..n {
+        print!("{:<10}", series[0].points[i].0);
+        for s in series {
+            print!(" {:>14.2}", s.points[i].1);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_table_renders() {
+        let series = vec![Series {
+            system: "X".into(),
+            points: vec![("10_1K".into(), 1.5), ("20_1K".into(), 2.0)],
+        }];
+        // Smoke: must not panic.
+        print_series_table("t", &series);
+        print_json(&series);
+    }
+}

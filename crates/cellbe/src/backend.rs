@@ -1,0 +1,420 @@
+//! The functional Cell/BE backend.
+//!
+//! Executes the PLF exactly the way the paper's Cell port does (§3.3):
+//! the PPE (the calling thread) splits the `m` likelihood-vector
+//! elements evenly across SPEs (first-level partitioning), each SPE
+//! walks its block in Local-Store-sized chunks (second-level
+//! partitioning) running the 4-wide SIMD kernels, and control flows
+//! through the per-SPE FSM. SPE execution really happens — on scoped
+//! host threads, one per SPE, producing bitwise-identical results to
+//! the reference kernels — while the calibrated timing model accounts
+//! for DMA, double buffering, messages, and barriers.
+
+use crate::fsm::{PpeMessage, SpeFsm};
+use crate::timing::{CellCalibration, KernelKind};
+use parking_lot::Mutex;
+use plf_phylo::clv::{Clv, TransitionMatrices};
+use plf_phylo::dna::N_STATES;
+use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
+
+/// Per-run statistics of the simulated Cell execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CellRunStats {
+    /// Modeled wall-clock seconds on the Cell system.
+    pub modeled_seconds: f64,
+    /// Kernel calls executed.
+    pub kernel_calls: u64,
+    /// DMA commands issued (each ≤ 16 KB).
+    pub dma_commands: u64,
+    /// Local-Store chunks processed.
+    pub chunks: u64,
+}
+
+/// A simulated Cell/BE system executing the PLF.
+pub struct CellBackend {
+    n_spes: usize,
+    chips: usize,
+    schedule: SimdSchedule,
+    cal: CellCalibration,
+    fsms: Vec<SpeFsm>,
+    configured_patterns: Option<usize>,
+    stats: CellRunStats,
+    /// Shared event counters updated from SPE threads.
+    spe_counters: Mutex<(u64, u64)>, // (dma_commands, chunks)
+}
+
+impl CellBackend {
+    /// Generic constructor.
+    pub fn new(n_spes: usize, chips: usize, schedule: SimdSchedule) -> CellBackend {
+        assert!(n_spes >= 1);
+        CellBackend {
+            n_spes,
+            chips,
+            schedule,
+            cal: CellCalibration::default(),
+            fsms: vec![SpeFsm::new(); n_spes],
+            configured_patterns: None,
+            stats: CellRunStats::default(),
+            spe_counters: Mutex::new((0, 0)),
+        }
+    }
+
+    /// Sony PS3: one Cell, 6 SPEs available, column-wise SIMD.
+    pub fn ps3() -> CellBackend {
+        CellBackend::new(6, 1, SimdSchedule::ColWise)
+    }
+
+    /// IBM QS20 blade: two Cells, 16 SPEs, column-wise SIMD.
+    pub fn qs20() -> CellBackend {
+        CellBackend::new(16, 2, SimdSchedule::ColWise)
+    }
+
+    /// Restrict to `n` SPEs (for scalability sweeps).
+    pub fn with_spes(mut self, n: usize) -> CellBackend {
+        assert!(n >= 1);
+        self.n_spes = n;
+        self.fsms = vec![SpeFsm::new(); n];
+        self.configured_patterns = None;
+        self
+    }
+
+    /// Number of active SPEs.
+    pub fn n_spes(&self) -> usize {
+        self.n_spes
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CellRunStats {
+        let (dma, chunks) = *self.spe_counters.lock();
+        CellRunStats {
+            dma_commands: dma,
+            chunks,
+            ..self.stats
+        }
+    }
+
+    /// Reset statistics (e.g. between measured phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CellRunStats::default();
+        *self.spe_counters.lock() = (0, 0);
+    }
+
+    /// Send Finalize to every SPE (ends the FSM lifecycle).
+    pub fn finalize(&mut self) {
+        for fsm in &mut self.fsms {
+            let _ = fsm.handle(PpeMessage::Finalize);
+        }
+    }
+
+    /// First-level even split of `m` patterns over the SPEs; ranges are
+    /// even-sized (128-byte DMA alignment at 64 B/pattern).
+    fn first_level(&self, m: usize) -> Vec<std::ops::Range<usize>> {
+        let mut per = m.div_ceil(self.n_spes);
+        if per % 2 == 1 {
+            per += 1;
+        }
+        let mut out = Vec::with_capacity(self.n_spes);
+        let mut start = 0;
+        while start < m {
+            let end = (start + per).min(m);
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+
+    fn ensure_configured(&mut self, m: usize, kind: KernelKind, r: usize) {
+        if self.configured_patterns != Some(m) {
+            let chunk = self.cal.chunk_patterns(kind, r);
+            let ranges = self.first_level(m);
+            for (i, fsm) in self.fsms.iter_mut().enumerate() {
+                let patterns = ranges.get(i).map_or(0, |r| r.len());
+                fsm.handle(PpeMessage::Configure {
+                    patterns,
+                    chunk_patterns: chunk,
+                })
+                .expect("configure is always legal before finalize");
+            }
+            self.configured_patterns = Some(m);
+        }
+    }
+
+    fn account_call(&mut self, kind: KernelKind, m: usize, r: usize) {
+        self.stats.kernel_calls += 1;
+        self.stats.modeled_seconds +=
+            self.cal
+                .call_time(kind, self.schedule, m, r, self.n_spes, self.chips);
+    }
+
+    /// Run `work` over each SPE's chunk sub-ranges on scoped threads.
+    ///
+    /// `out` is the output CLV slice for the *whole* call; each SPE gets
+    /// its disjoint sub-slice. `work(spe_range_start, chunk_range, out_chunk)`
+    /// executes one Local-Store chunk.
+    fn run_on_spes<F>(&self, m: usize, stride: usize, kind: KernelKind, r: usize, out: &mut [f32], work: F)
+    where
+        F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+    {
+        let ranges = self.first_level(m);
+        let chunk_patterns = self.cal.chunk_patterns(kind, r);
+        let counters = &self.spe_counters;
+        let work = &work;
+        crossbeam::thread::scope(|scope| {
+            let mut rest = out;
+            for range in &ranges {
+                let len = range.len() * stride;
+                let (head, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let range = range.clone();
+                scope.spawn(move |_| {
+                    let mut local_dma = 0u64;
+                    let mut local_chunks = 0u64;
+                    let mut start = range.start;
+                    while start < range.end {
+                        let end = (start + chunk_patterns).min(range.end);
+                        let off = (start - range.start) * stride;
+                        let out_chunk = &mut head[off..off + (end - start) * stride];
+                        work(start..end, out_chunk);
+                        local_chunks += 1;
+                        // operands in + result out, each ≤16 KB per command
+                        let bytes_in = (end - start) * kind.bytes_in_per_pattern(r);
+                        let bytes_out = (end - start) * kind.bytes_out_per_pattern(r);
+                        local_dma += bytes_in.div_ceil(16 * 1024) as u64
+                            + bytes_out.div_ceil(16 * 1024) as u64;
+                        start = end;
+                    }
+                    let mut c = counters.lock();
+                    c.0 += local_dma;
+                    c.1 += local_chunks;
+                });
+            }
+        })
+        .expect("SPE thread panicked");
+    }
+}
+
+impl PlfBackend for CellBackend {
+    fn name(&self) -> String {
+        let sys = if self.chips == 1 { "ps3" } else { "qs20" };
+        format!("cellbe-{sys}-{}spe", self.n_spes)
+    }
+
+    fn begin_evaluation(&mut self) {
+        // The PPE's chunk-size-calculation message round (§3.3).
+        self.stats.modeled_seconds += self.cal.per_eval_overhead;
+    }
+
+    fn cond_like_down(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    ) {
+        let (m, r) = (out.n_patterns(), out.n_rates());
+        let stride = r * N_STATES;
+        self.ensure_configured(m, KernelKind::Down, r);
+        for fsm in &mut self.fsms {
+            fsm.handle(PpeMessage::RunDown).expect("configured");
+        }
+        let schedule = self.schedule;
+        let (l, rt) = (left.as_slice(), right.as_slice());
+        self.run_on_spes(m, stride, KernelKind::Down, r, out.as_mut_slice(), |pats, o| {
+            let s = pats.start * stride;
+            let e = pats.end * stride;
+            simd4::cond_like_down_range(schedule, &l[s..e], p_left, &rt[s..e], p_right, o, r);
+        });
+        self.account_call(KernelKind::Down, m, r);
+    }
+
+    fn cond_like_root(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    ) {
+        let (m, r) = (out.n_patterns(), out.n_rates());
+        let stride = r * N_STATES;
+        let kind = if c.is_some() { KernelKind::Root3 } else { KernelKind::Root2 };
+        self.ensure_configured(m, kind, r);
+        for fsm in &mut self.fsms {
+            fsm.handle(PpeMessage::RunRoot).expect("configured");
+        }
+        let schedule = self.schedule;
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+        let sc = c.map(|(clv, p)| (clv.as_slice(), p));
+        self.run_on_spes(m, stride, kind, r, out.as_mut_slice(), |pats, o| {
+            let s = pats.start * stride;
+            let e = pats.end * stride;
+            let cc = sc.map(|(slice, p)| (&slice[s..e], p));
+            simd4::cond_like_root_range(schedule, &sa[s..e], p_a, &sb[s..e], p_b, cc, o, r);
+        });
+        self.account_call(kind, m, r);
+    }
+
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+        let (m, r) = (clv.n_patterns(), clv.n_rates());
+        let stride = r * N_STATES;
+        self.ensure_configured(m, KernelKind::Scale, r);
+        for fsm in &mut self.fsms {
+            fsm.handle(PpeMessage::RunScale).expect("configured");
+        }
+        // The scaler mutates the CLV in place and writes the scaler
+        // vector; split both across SPEs.
+        let ranges = self.first_level(m);
+        let chunk_patterns = self.cal.chunk_patterns(KernelKind::Scale, r);
+        let counters = &self.spe_counters;
+        crossbeam::thread::scope(|scope| {
+            let mut clv_rest = clv.as_mut_slice();
+            let mut sc_rest = ln_scalers;
+            for range in &ranges {
+                let len = range.len() * stride;
+                let (clv_head, clv_tail) = clv_rest.split_at_mut(len);
+                clv_rest = clv_tail;
+                let (sc_head, sc_tail) = sc_rest.split_at_mut(range.len());
+                sc_rest = sc_tail;
+                scope.spawn(move |_| {
+                    let mut chunks = 0u64;
+                    let mut dma = 0u64;
+                    let mut start = 0usize;
+                    while start < clv_head.len() / stride {
+                        let end = (start + chunk_patterns).min(clv_head.len() / stride);
+                        simd4::cond_like_scaler_range(
+                            &mut clv_head[start * stride..end * stride],
+                            &mut sc_head[start..end],
+                            r,
+                        );
+                        chunks += 1;
+                        let bytes = (end - start) * stride * 4;
+                        dma += 2 * bytes.div_ceil(16 * 1024) as u64;
+                        start = end;
+                    }
+                    let mut c = counters.lock();
+                    c.0 += dma;
+                    c.1 += chunks;
+                });
+            }
+        })
+        .expect("SPE thread panicked");
+        self.account_call(KernelKind::Scale, m, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::SpeState;
+    use plf_phylo::alignment::Alignment;
+    use plf_phylo::kernels::ScalarBackend;
+    use plf_phylo::likelihood::TreeLikelihood;
+    use plf_phylo::model::{GtrParams, SiteModel};
+    use plf_phylo::tree::Tree;
+
+    fn toy() -> (Tree, plf_phylo::alignment::PatternAlignment, SiteModel) {
+        let tree = Tree::from_newick(
+            "(((a:0.1,b:0.15):0.1,(c:0.2,d:0.1):0.05):0.1,(e:0.1,f:0.3):0.1,g:0.2);",
+        )
+        .unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAAGGCCTTAGCAACGTACGTAAGGCCTTAGCA"),
+            ("b", "ACGTACGTACGGCCTTAGCAACGTACCTAAGGCCATAGCA"),
+            ("c", "ACGAACGTTAGGCCTAAGCAACGTACGTAAGGCCTTAGTA"),
+            ("d", "ACTTACGTAAGGCGTTAGCAACGTACGAAAGGCCTTAGCA"),
+            ("e", "ACGTACGTAAGGCCTTAGCATCGTACGTAAGGCCTTAGCA"),
+            ("f", "ACGTTCGTAAGGCCTTAGCAACGTACGTAAGCCCTTAGCA"),
+            ("g", "AGGTACGTAAGGCCTTAGCAACGTACGTAAGGCCTTAGCG"),
+        ])
+        .unwrap()
+        .compress();
+        let model = SiteModel::gtr_gamma4(GtrParams::hky85(2.0, [0.3, 0.2, 0.2, 0.3]), 0.6).unwrap();
+        (tree, aln, model)
+    }
+
+    #[test]
+    fn matches_scalar_bitwise() {
+        let (tree, aln, model) = toy();
+        let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        for mut backend in [CellBackend::ps3(), CellBackend::qs20(), CellBackend::ps3().with_spes(1)] {
+            let mut eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+            let got = eval.log_likelihood(&tree, &mut backend).unwrap();
+            assert_eq!(got, expect, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn modeled_time_accumulates() {
+        let (tree, aln, model) = toy();
+        let mut backend = CellBackend::ps3();
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        eval.log_likelihood(&tree, &mut backend).unwrap();
+        let s1 = backend.stats();
+        assert!(s1.modeled_seconds > 0.0);
+        assert!(s1.kernel_calls > 0);
+        assert!(s1.dma_commands > 0);
+        assert!(s1.chunks >= s1.kernel_calls);
+        eval.log_likelihood(&tree, &mut backend).unwrap();
+        let s2 = backend.stats();
+        assert!((s2.modeled_seconds - 2.0 * s1.modeled_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fsm_lifecycle_enforced() {
+        let (tree, aln, model) = toy();
+        let mut backend = CellBackend::ps3();
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        eval.log_likelihood(&tree, &mut backend).unwrap();
+        for fsm in &backend.fsms {
+            assert_eq!(fsm.state(), SpeState::Ready);
+            assert!(fsm.kernels_run() > 0);
+        }
+        backend.finalize();
+        for fsm in &backend.fsms {
+            assert_eq!(fsm.state(), SpeState::Done);
+        }
+    }
+
+    #[test]
+    fn rowwise_schedule_is_modeled_slower_but_close_numerically() {
+        let (tree, aln, model) = toy();
+        let mut col = CellBackend::new(6, 1, SimdSchedule::ColWise);
+        let mut row = CellBackend::new(6, 1, SimdSchedule::RowWise);
+        let mut e1 = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let mut e2 = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        let l1 = e1.log_likelihood(&tree, &mut col).unwrap();
+        let l2 = e2.log_likelihood(&tree, &mut row).unwrap();
+        assert!((l1 - l2).abs() < 1e-3);
+        assert!(row.stats().modeled_seconds > col.stats().modeled_seconds);
+    }
+
+    #[test]
+    fn first_level_split_covers_all_patterns_evenly() {
+        let backend = CellBackend::qs20();
+        for m in [7usize, 16, 100, 8543] {
+            let ranges = backend.first_level(m);
+            assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), m);
+            assert!(ranges.len() <= backend.n_spes());
+            for r in &ranges[..ranges.len().saturating_sub(1)] {
+                assert_eq!(r.len() % 2, 0, "m={m} range {r:?} not 128B-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn more_spes_lower_modeled_time() {
+        let (tree, aln, model) = toy();
+        let mut t_prev = f64::INFINITY;
+        for n in [1usize, 2, 6] {
+            let mut backend = CellBackend::ps3().with_spes(n);
+            let mut eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+            eval.log_likelihood(&tree, &mut backend).unwrap();
+            let t = backend.stats().modeled_seconds;
+            assert!(t < t_prev, "{n} SPEs: {t} !< {t_prev}");
+            t_prev = t;
+        }
+    }
+}

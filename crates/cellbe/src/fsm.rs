@@ -1,0 +1,204 @@
+//! The per-SPE finite state machine.
+//!
+//! §3.3: "The PLFs execution on the SPUs is coordinated by a simple
+//! local Finite State Machine (FSM) through messages issued by the PPE,
+//! namely: to trigger the execution of the PLF functions, the
+//! calculation of the chunk sizes, and to finalize the computation."
+//! The simulator drives exactly that protocol and rejects illegal
+//! transitions, so the control flow of the Cell port is testable.
+
+/// Messages the PPE sends an SPE (via direct problem-state access, the
+/// paper's chosen low-latency mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpeMessage {
+    /// Compute chunk sizes for a (possibly new) sequence length.
+    Configure {
+        /// Patterns assigned to this SPE.
+        patterns: usize,
+        /// Second-level chunk size in patterns.
+        chunk_patterns: usize,
+    },
+    /// Run CondLikeDown over the configured range.
+    RunDown,
+    /// Run CondLikeRoot over the configured range.
+    RunRoot,
+    /// Run CondLikeScaler over the configured range.
+    RunScale,
+    /// Shut the SPE thread down.
+    Finalize,
+}
+
+/// SPE lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeState {
+    /// Thread started, no chunk configuration yet.
+    Idle,
+    /// Chunk sizes known; ready to run kernels.
+    Ready,
+    /// Finalized; accepts no further messages.
+    Done,
+}
+
+/// Protocol violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmError {
+    /// The state the SPE was in.
+    pub state: SpeState,
+    /// The offending message.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for FsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "illegal SPE message {} in state {:?}", self.message, self.state)
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+/// One SPE's control-state machine.
+#[derive(Debug, Clone)]
+pub struct SpeFsm {
+    state: SpeState,
+    patterns: usize,
+    chunk_patterns: usize,
+    kernels_run: u64,
+}
+
+impl Default for SpeFsm {
+    fn default() -> Self {
+        SpeFsm::new()
+    }
+}
+
+impl SpeFsm {
+    /// A freshly spawned SPE thread.
+    pub fn new() -> SpeFsm {
+        SpeFsm {
+            state: SpeState::Idle,
+            patterns: 0,
+            chunk_patterns: 0,
+            kernels_run: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SpeState {
+        self.state
+    }
+
+    /// Patterns currently assigned.
+    pub fn patterns(&self) -> usize {
+        self.patterns
+    }
+
+    /// Configured chunk size.
+    pub fn chunk_patterns(&self) -> usize {
+        self.chunk_patterns
+    }
+
+    /// Kernels executed so far (for trace assertions).
+    pub fn kernels_run(&self) -> u64 {
+        self.kernels_run
+    }
+
+    /// Number of second-level chunks the current configuration implies.
+    pub fn n_chunks(&self) -> usize {
+        if self.patterns == 0 {
+            0
+        } else {
+            self.patterns.div_ceil(self.chunk_patterns)
+        }
+    }
+
+    /// Deliver a PPE message.
+    pub fn handle(&mut self, msg: PpeMessage) -> Result<(), FsmError> {
+        match (self.state, msg) {
+            (SpeState::Done, _) => Err(FsmError {
+                state: self.state,
+                message: "any (SPE already finalized)",
+            }),
+            (_, PpeMessage::Configure { patterns, chunk_patterns }) => {
+                if chunk_patterns == 0 {
+                    return Err(FsmError {
+                        state: self.state,
+                        message: "Configure with zero chunk size",
+                    });
+                }
+                self.patterns = patterns;
+                self.chunk_patterns = chunk_patterns;
+                self.state = SpeState::Ready;
+                Ok(())
+            }
+            (SpeState::Idle, PpeMessage::RunDown | PpeMessage::RunRoot | PpeMessage::RunScale) => {
+                Err(FsmError {
+                    state: self.state,
+                    message: "Run before Configure",
+                })
+            }
+            (SpeState::Ready, PpeMessage::RunDown | PpeMessage::RunRoot | PpeMessage::RunScale) => {
+                self.kernels_run += 1;
+                Ok(())
+            }
+            (_, PpeMessage::Finalize) => {
+                self.state = SpeState::Done;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path() {
+        let mut fsm = SpeFsm::new();
+        assert_eq!(fsm.state(), SpeState::Idle);
+        fsm.handle(PpeMessage::Configure { patterns: 100, chunk_patterns: 32 }).unwrap();
+        assert_eq!(fsm.state(), SpeState::Ready);
+        assert_eq!(fsm.n_chunks(), 4);
+        fsm.handle(PpeMessage::RunDown).unwrap();
+        fsm.handle(PpeMessage::RunScale).unwrap();
+        assert_eq!(fsm.kernels_run(), 2);
+        fsm.handle(PpeMessage::Finalize).unwrap();
+        assert_eq!(fsm.state(), SpeState::Done);
+    }
+
+    #[test]
+    fn run_before_configure_rejected() {
+        let mut fsm = SpeFsm::new();
+        assert!(fsm.handle(PpeMessage::RunDown).is_err());
+        assert!(fsm.handle(PpeMessage::RunRoot).is_err());
+    }
+
+    #[test]
+    fn messages_after_finalize_rejected() {
+        let mut fsm = SpeFsm::new();
+        fsm.handle(PpeMessage::Finalize).unwrap();
+        assert!(fsm
+            .handle(PpeMessage::Configure { patterns: 1, chunk_patterns: 1 })
+            .is_err());
+        assert!(fsm.handle(PpeMessage::RunDown).is_err());
+    }
+
+    #[test]
+    fn reconfiguration_for_different_lengths() {
+        // §3.3: "sequences of data with different sizes can be used at
+        // the same time" — the PPE reconfigures chunk sizes on the fly.
+        let mut fsm = SpeFsm::new();
+        fsm.handle(PpeMessage::Configure { patterns: 1000, chunk_patterns: 100 }).unwrap();
+        assert_eq!(fsm.n_chunks(), 10);
+        fsm.handle(PpeMessage::Configure { patterns: 64, chunk_patterns: 100 }).unwrap();
+        assert_eq!(fsm.n_chunks(), 1);
+    }
+
+    #[test]
+    fn zero_chunk_configure_rejected() {
+        let mut fsm = SpeFsm::new();
+        assert!(fsm
+            .handle(PpeMessage::Configure { patterns: 10, chunk_patterns: 0 })
+            .is_err());
+    }
+}

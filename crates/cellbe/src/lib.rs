@@ -1,0 +1,27 @@
+//! # plf-cellbe — execution-driven Cell/BE simulator
+//!
+//! Reproduces §3.3 of the paper: the PLF mapped onto PPE + SPEs with
+//! two-level data partitioning, 256 KB Local Store budgets, ≤16 KB DMA
+//! transfers with double buffering (Figure 7), an FSM-per-SPE control
+//! protocol, and both SIMD schedules (row-wise vs the 2× faster
+//! column-wise). The kernels really execute (bitwise-identical to the
+//! scalar reference); timing comes from the calibrated model in
+//! [`timing`].
+//!
+//! Real Cell/BE hardware is extinct; see DESIGN.md for why this
+//! substitution preserves the paper's measured behaviour.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod dma;
+pub mod fsm;
+pub mod ls;
+pub mod model;
+pub mod schedule;
+pub mod timing;
+
+pub use backend::{CellBackend, CellRunStats};
+pub use model::CellModel;
+pub use schedule::{double_buffered_schedule, render_gantt, EventKind, ScheduleEvent};
+pub use timing::{CellCalibration, KernelKind};

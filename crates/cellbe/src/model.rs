@@ -1,0 +1,167 @@
+//! Analytic Cell/BE machine model (Figure 10 / Figure 12 inputs).
+
+use crate::timing::{CellCalibration, KernelKind};
+use plf_phylo::kernels::SimdSchedule;
+use plf_simcore::machine::{MachineConfig, PS3, QS20};
+use plf_simcore::model::MachineModel;
+use plf_simcore::workload::PlfWorkload;
+
+/// Timing model of a Cell/BE system (PS3 or QS20).
+#[derive(Debug, Clone)]
+pub struct CellModel {
+    cfg: MachineConfig,
+    cal: CellCalibration,
+    schedule: SimdSchedule,
+    chips: usize,
+}
+
+impl CellModel {
+    /// PS3 (6 SPEs, one chip).
+    pub fn ps3() -> CellModel {
+        CellModel {
+            cfg: PS3,
+            cal: CellCalibration::default(),
+            schedule: SimdSchedule::ColWise,
+            chips: 1,
+        }
+    }
+
+    /// QS20 blade (16 SPEs, two chips).
+    pub fn qs20() -> CellModel {
+        CellModel {
+            cfg: QS20,
+            cal: CellCalibration::default(),
+            schedule: SimdSchedule::ColWise,
+            chips: 2,
+        }
+    }
+
+    /// Switch the SIMD schedule (for the §3.3 ablation).
+    pub fn with_schedule(mut self, schedule: SimdSchedule) -> CellModel {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Disable double buffering (for the Figure 7 ablation).
+    pub fn without_double_buffering(mut self) -> CellModel {
+        self.cal.double_buffered = false;
+        self
+    }
+
+    /// Relative speedup of `units` SPEs vs 1 SPE — Figure 10's y-axis
+    /// ("the n-core speedup is the ratio between the execution on 1 SPE
+    /// and the execution on n SPE processors").
+    pub fn speedup(&self, w: &PlfWorkload, units: usize) -> f64 {
+        self.plf_time(w, 1) / self.plf_time(w, units)
+    }
+}
+
+impl MachineModel for CellModel {
+    fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn max_units(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn plf_time(&self, w: &PlfWorkload, units: usize) -> f64 {
+        assert!(units >= 1 && units <= self.cfg.cores);
+        let (m, r) = (w.n_patterns, w.n_rates);
+        let down = self
+            .cal
+            .call_time(KernelKind::Down, self.schedule, m, r, units, self.chips);
+        let root = self
+            .cal
+            .call_time(KernelKind::Root3, self.schedule, m, r, units, self.chips);
+        let scale = self
+            .cal
+            .call_time(KernelKind::Scale, self.schedule, m, r, units, self.chips);
+        w.n_down as f64 * down
+            + w.n_root as f64 * (root + self.cal.per_eval_overhead)
+            + w.n_scale as f64 * scale
+    }
+
+    fn serial_cycle_factor(&self) -> f64 {
+        // §4.2: the in-order PPE with its small 512 KB L2 runs the serial
+        // remainder several times slower than the baseline core even
+        // after frequency scaling.
+        5.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(leaves: usize, patterns: usize) -> PlfWorkload {
+        PlfWorkload::for_run(leaves, patterns, 4, 100, 1)
+    }
+
+    #[test]
+    fn speedup_close_to_ideal_for_large_sets_on_ps3() {
+        let m = CellModel::ps3();
+        for &pats in &[5000usize, 20000, 50000] {
+            let s = m.speedup(&w(20, pats), 6);
+            assert!(s > 5.0 && s < 6.0, "{pats}: {s}");
+        }
+    }
+
+    #[test]
+    fn qs20_caps_near_12() {
+        let m = CellModel::qs20();
+        let s = m.speedup(&w(20, 50000), 16);
+        assert!((10.0..14.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn smallest_set_scales_worst() {
+        // §4.1.2: "other than for the smallest data set (1K columns),
+        // the speedup values are close to the ideal".
+        let m = CellModel::qs20();
+        let s1k = m.speedup(&w(20, 1000), 16);
+        let s20k = m.speedup(&w(20, 20000), 16);
+        assert!(s1k < s20k, "{s1k} !< {s20k}");
+    }
+
+    #[test]
+    fn stable_across_computation_intensity() {
+        // §4.1.2: performance is stable across the different computation
+        // intensities, with a slight *increase* for more computation.
+        let m = CellModel::ps3();
+        let s10 = m.speedup(&w(10, 20000), 6);
+        let s100 = m.speedup(&w(100, 20000), 6);
+        let rel = (s100 - s10) / s10;
+        assert!(rel >= 0.0, "speedup dropped with leaves: {s10} -> {s100}");
+        assert!(rel < 0.10, "increase should be slight: {rel}");
+    }
+
+    #[test]
+    fn efficiency_beats_multicore_average() {
+        // Paper: 92% Cell PLF efficiency vs 71% multi-core average.
+        let m = CellModel::ps3();
+        let s = m.speedup(&w(20, 50000), 6);
+        assert!(s / 6.0 > 0.85, "efficiency {}", s / 6.0);
+    }
+
+    #[test]
+    fn double_buffering_ablation_slows_plf() {
+        let on = CellModel::ps3();
+        let off = CellModel::ps3().without_double_buffering();
+        let wl = w(20, 8543);
+        let t_on = on.plf_time(&wl, 6);
+        let t_off = off.plf_time(&wl, 6);
+        assert!(t_off > t_on, "{t_off} !> {t_on}");
+        // DMA is a minority of chunk time on the PS3, so the penalty is
+        // real but bounded.
+        assert!(t_off / t_on < 2.0, "ratio {}", t_off / t_on);
+    }
+
+    #[test]
+    fn breakdown_has_heavy_serial_component() {
+        let m = CellModel::ps3();
+        let b = m.breakdown(&w(20, 8543), 5.0);
+        assert!(b.remaining_s > 4.0 * 5.0);
+        assert_eq!(b.transfer_s, 0.0);
+    }
+}

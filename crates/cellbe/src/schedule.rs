@@ -1,0 +1,211 @@
+//! Explicit double-buffering schedules — Figure 7 regenerated.
+//!
+//! [`double_buffered_schedule`] lays the per-chunk DMA and compute
+//! phases on a timeline under the same semantics as
+//! [`crate::dma::double_buffered_time`]: chunk *i* computes while the
+//! DMA engine writes back chunk *i−1* and prefetches chunk *i+1*. The
+//! event list drives the `fig07` rendering binary and lets tests verify
+//! the overlap invariants (compute never waits for its own operands;
+//! the DMA engine serves one transfer at a time).
+
+use crate::dma::ChunkCost;
+
+/// What a schedule event does (the paper's T/C/R labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// `T` — operand transfer into the Local Store.
+    TransferIn,
+    /// `C` — SPU computation.
+    Compute,
+    /// `R` — result transfer back to main memory.
+    TransferOut,
+}
+
+/// One scheduled phase of one chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleEvent {
+    /// Phase kind.
+    pub kind: EventKind,
+    /// Chunk index.
+    pub chunk: usize,
+    /// Start time (seconds from the call start).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Build the double-buffered timeline for a chunk pipeline.
+pub fn double_buffered_schedule(chunks: &[ChunkCost]) -> Vec<ScheduleEvent> {
+    let n = chunks.len();
+    let mut events = Vec::with_capacity(3 * n);
+    if n == 0 {
+        return events;
+    }
+    // Fill: first chunk's operands.
+    events.push(ScheduleEvent {
+        kind: EventKind::TransferIn,
+        chunk: 0,
+        start: 0.0,
+        end: chunks[0].dma_in,
+    });
+    let mut t = chunks[0].dma_in;
+    for i in 0..n {
+        let compute_end = t + chunks[i].compute;
+        events.push(ScheduleEvent {
+            kind: EventKind::Compute,
+            chunk: i,
+            start: t,
+            end: compute_end,
+        });
+        // The DMA engine works through the window serially: results of
+        // the previous chunk out, then the next chunk's operands in.
+        let mut dma_t = t;
+        if i > 0 {
+            events.push(ScheduleEvent {
+                kind: EventKind::TransferOut,
+                chunk: i - 1,
+                start: dma_t,
+                end: dma_t + chunks[i - 1].dma_out,
+            });
+            dma_t += chunks[i - 1].dma_out;
+        }
+        if i + 1 < n {
+            events.push(ScheduleEvent {
+                kind: EventKind::TransferIn,
+                chunk: i + 1,
+                start: dma_t,
+                end: dma_t + chunks[i + 1].dma_in,
+            });
+            dma_t += chunks[i + 1].dma_in;
+        }
+        t = compute_end.max(dma_t);
+    }
+    // Drain: last chunk's results.
+    events.push(ScheduleEvent {
+        kind: EventKind::TransferOut,
+        chunk: n - 1,
+        start: t,
+        end: t + chunks[n - 1].dma_out,
+    });
+    events
+}
+
+/// Render a schedule as an ASCII Gantt chart (three lanes: T, C, R),
+/// `width` characters wide.
+pub fn render_gantt(events: &[ScheduleEvent], width: usize) -> String {
+    let total = events.iter().fold(0.0f64, |m, e| m.max(e.end));
+    if total <= 0.0 || events.is_empty() {
+        return String::from("(empty schedule)\n");
+    }
+    let scale = width as f64 / total;
+    let mut lanes = [
+        (EventKind::TransferIn, vec![b' '; width], "T in  "),
+        (EventKind::Compute, vec![b' '; width], "C run "),
+        (EventKind::TransferOut, vec![b' '; width], "R out "),
+    ];
+    for e in events {
+        let lane = lanes
+            .iter_mut()
+            .find(|(k, _, _)| *k == e.kind)
+            .expect("three lanes cover all kinds");
+        let s = (e.start * scale).floor() as usize;
+        let fe = ((e.end * scale).ceil() as usize).clamp(s + 1, width);
+        let digit = b'0' + (e.chunk % 10) as u8;
+        for c in lane.1[s..fe].iter_mut() {
+            *c = digit;
+        }
+    }
+    let mut out = String::new();
+    for (_, lane, label) in &lanes {
+        out.push_str(label);
+        out.push('|');
+        out.push_str(std::str::from_utf8(lane).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("total: {:.1} µs\n", total * 1e6));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dma::double_buffered_time;
+
+    fn chunks() -> Vec<ChunkCost> {
+        vec![
+            ChunkCost { dma_in: 2.0, compute: 5.0, dma_out: 1.0 },
+            ChunkCost { dma_in: 2.0, compute: 5.0, dma_out: 1.0 },
+            ChunkCost { dma_in: 2.0, compute: 5.0, dma_out: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn schedule_end_matches_pipeline_time() {
+        let cs = chunks();
+        let events = double_buffered_schedule(&cs);
+        let end = events.iter().fold(0.0f64, |m, e| m.max(e.end));
+        assert!((end - double_buffered_time(&cs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_never_precedes_its_transfer_in() {
+        let events = double_buffered_schedule(&chunks());
+        for e in &events {
+            if e.kind == EventKind::Compute {
+                let t_in = events
+                    .iter()
+                    .find(|x| x.kind == EventKind::TransferIn && x.chunk == e.chunk)
+                    .expect("every chunk transfers in");
+                assert!(e.start >= t_in.end - 1e-12, "chunk {} computed early", e.chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_out_follows_compute() {
+        let events = double_buffered_schedule(&chunks());
+        for e in &events {
+            if e.kind == EventKind::TransferOut {
+                let c = events
+                    .iter()
+                    .find(|x| x.kind == EventKind::Compute && x.chunk == e.chunk)
+                    .unwrap();
+                assert!(e.start >= c.end - 1e-12, "chunk {} wrote back early", e.chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn dma_engine_serves_serially() {
+        // DMA events (in + out lanes) must not overlap each other.
+        let mut dma: Vec<&ScheduleEvent> = Vec::new();
+        let events = double_buffered_schedule(&chunks());
+        for e in &events {
+            if e.kind != EventKind::Compute {
+                dma.push(e);
+            }
+        }
+        dma.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        for pair in dma.windows(2) {
+            assert!(
+                pair[1].start >= pair[0].end - 1e-12,
+                "DMA overlap: {:?} vs {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let g = render_gantt(&double_buffered_schedule(&chunks()), 60);
+        assert!(g.contains("C run"));
+        assert!(g.lines().count() == 4);
+        assert_eq!(render_gantt(&[], 60), "(empty schedule)\n");
+    }
+
+    #[test]
+    fn empty_pipeline_empty_schedule() {
+        assert!(double_buffered_schedule(&[]).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! The functional GPU backend.
+//!
+//! Executes the PLF through the virtual SPMD grid — every call ships
+//! operands over the modeled PCIe bus, launches the kernel under the
+//! configured work distribution, and ships results back, accumulating
+//! modeled time, exactly the §3.4 execution structure. Results are
+//! bitwise-identical to the scalar reference under the entry-parallel
+//! distribution.
+
+use crate::device::LaunchConfig;
+use crate::kernels::{self, WorkDistribution};
+use crate::model::{GpuKernelKind, GpuModel};
+use plf_phylo::clv::{Clv, TransitionMatrices};
+use plf_phylo::kernels::PlfBackend;
+use plf_simcore::model::MachineModel as _;
+
+/// Accumulated modeled costs of a GPU run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuRunStats {
+    /// Modeled kernel seconds.
+    pub kernel_seconds: f64,
+    /// Modeled PCIe transfer seconds.
+    pub pcie_seconds: f64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Host→device bytes.
+    pub bytes_h2d: u64,
+    /// Device→host bytes.
+    pub bytes_d2h: u64,
+    /// `__syncthreads()` executions (reduction-parallel only).
+    pub syncs: u64,
+}
+
+impl GpuRunStats {
+    /// Total modeled seconds (kernel + transfers).
+    pub fn total_seconds(&self) -> f64 {
+        self.kernel_seconds + self.pcie_seconds
+    }
+}
+
+/// A simulated CUDA device executing the PLF.
+pub struct GpuBackend {
+    model: GpuModel,
+    dist: WorkDistribution,
+    stats: GpuRunStats,
+}
+
+impl GpuBackend {
+    /// 8800 GT, entry-parallel, paper launch config.
+    pub fn gt8800() -> GpuBackend {
+        GpuBackend::new(GpuModel::gt8800(), WorkDistribution::EntryParallel)
+    }
+
+    /// GTX 285, entry-parallel, paper launch config.
+    pub fn gtx285() -> GpuBackend {
+        GpuBackend::new(GpuModel::gtx285(), WorkDistribution::EntryParallel)
+    }
+
+    /// Generic constructor.
+    pub fn new(model: GpuModel, dist: WorkDistribution) -> GpuBackend {
+        let model = model.with_distribution(dist);
+        GpuBackend {
+            model,
+            dist,
+            stats: GpuRunStats::default(),
+        }
+    }
+
+    /// Override the launch configuration.
+    pub fn with_config(mut self, cfg: LaunchConfig) -> GpuBackend {
+        self.model = self.model.with_config(cfg);
+        self
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> GpuRunStats {
+        self.stats
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = GpuRunStats::default();
+    }
+
+    /// The underlying timing model.
+    pub fn model(&self) -> &GpuModel {
+        &self.model
+    }
+
+    fn cfg(&self) -> LaunchConfig {
+        self.model.launch_config()
+    }
+
+    fn account(&mut self, kind: GpuKernelKind, m: usize, r: usize) {
+        self.stats.launches += 1;
+        self.stats.kernel_seconds += self.model.kernel_time(kind, m, r);
+        self.stats.pcie_seconds += self.model.pcie_time(kind, m, r);
+        self.stats.bytes_h2d += (m * kind.h2d_bytes_per_pattern(r)) as u64;
+        self.stats.bytes_d2h += (m * kind.d2h_bytes_per_pattern(r)) as u64;
+    }
+}
+
+impl PlfBackend for GpuBackend {
+    fn name(&self) -> String {
+        let dist = match self.dist {
+            WorkDistribution::EntryParallel => "entry",
+            WorkDistribution::ReductionParallel => "reduction",
+        };
+        format!("gpu-{}-{dist}", self.model.config().name)
+    }
+
+    fn begin_evaluation(&mut self) {
+        self.stats.kernel_seconds += self.model.device().invocation_overhead;
+    }
+
+    fn cond_like_down(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    ) {
+        let (m, r) = (out.n_patterns(), out.n_rates());
+        let stats = kernels::down(
+            self.dist,
+            self.cfg(),
+            left.as_slice(),
+            p_left,
+            right.as_slice(),
+            p_right,
+            out.as_mut_slice(),
+            r,
+        );
+        self.stats.syncs += stats.syncs;
+        self.account(GpuKernelKind::Down, m, r);
+    }
+
+    fn cond_like_root(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    ) {
+        let (m, r) = (out.n_patterns(), out.n_rates());
+        let kind = if c.is_some() { GpuKernelKind::Root3 } else { GpuKernelKind::Root2 };
+        let stats = kernels::root(
+            self.dist,
+            self.cfg(),
+            a.as_slice(),
+            p_a,
+            b.as_slice(),
+            p_b,
+            c.map(|(clv, p)| (clv.as_slice(), p)),
+            out.as_mut_slice(),
+            r,
+        );
+        self.stats.syncs += stats.syncs;
+        self.account(kind, m, r);
+    }
+
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+        let (m, r) = (clv.n_patterns(), clv.n_rates());
+        let stats = kernels::scale(self.dist, self.cfg(), clv.as_mut_slice(), ln_scalers, r);
+        self.stats.syncs += stats.syncs;
+        self.account(GpuKernelKind::Scale, m, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::alignment::Alignment;
+    use plf_phylo::kernels::ScalarBackend;
+    use plf_phylo::likelihood::TreeLikelihood;
+    use plf_phylo::model::{GtrParams, SiteModel};
+    use plf_phylo::tree::Tree;
+
+    fn toy() -> (Tree, plf_phylo::alignment::PatternAlignment, SiteModel) {
+        let tree = Tree::from_newick(
+            "(((a:0.1,b:0.15):0.1,(c:0.2,d:0.1):0.05):0.1,(e:0.1,f:0.3):0.1,g:0.2);",
+        )
+        .unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAAGGCCTTAGCAACGTACGTAAGGCCTTAGCA"),
+            ("b", "ACGTACGTACGGCCTTAGCAACGTACCTAAGGCCATAGCA"),
+            ("c", "ACGAACGTTAGGCCTAAGCAACGTACGTAAGGCCTTAGTA"),
+            ("d", "ACTTACGTAAGGCGTTAGCAACGTACGAAAGGCCTTAGCA"),
+            ("e", "ACGTACGTAAGGCCTTAGCATCGTACGTAAGGCCTTAGCA"),
+            ("f", "ACGTTCGTAAGGCCTTAGCAACGTACGTAAGCCCTTAGCA"),
+            ("g", "AGGTACGTAAGGCCTTAGCAACGTACGTAAGGCCTTAGCG"),
+        ])
+        .unwrap()
+        .compress();
+        let model = SiteModel::gtr_gamma4(GtrParams::hky85(2.0, [0.3, 0.2, 0.2, 0.3]), 0.6).unwrap();
+        (tree, aln, model)
+    }
+
+    #[test]
+    fn entry_parallel_matches_scalar_bitwise() {
+        let (tree, aln, model) = toy();
+        let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        for mut backend in [GpuBackend::gt8800(), GpuBackend::gtx285()] {
+            let mut eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+            let got = eval.log_likelihood(&tree, &mut backend).unwrap();
+            assert_eq!(got, expect, "{}", backend.name());
+            assert_eq!(backend.stats().syncs, 0);
+        }
+    }
+
+    #[test]
+    fn reduction_parallel_close_with_syncs() {
+        let (tree, aln, model) = toy();
+        let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        let mut backend =
+            GpuBackend::new(GpuModel::gt8800(), WorkDistribution::ReductionParallel);
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        let got = eval.log_likelihood(&tree, &mut backend).unwrap();
+        assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+        assert!(backend.stats().syncs > 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_pcie_dominates() {
+        let (tree, aln, model) = toy();
+        let mut backend = GpuBackend::gt8800();
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        eval.log_likelihood(&tree, &mut backend).unwrap();
+        let s = backend.stats();
+        assert!(s.launches > 0);
+        assert!(s.bytes_h2d > s.bytes_d2h);
+        assert!(s.pcie_seconds > s.kernel_seconds);
+    }
+
+    #[test]
+    fn gtx_faster_kernels_than_8800() {
+        let (tree, aln, model) = toy();
+        let mut b8 = GpuBackend::gt8800();
+        let mut b2 = GpuBackend::gtx285();
+        let mut e1 = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let mut e2 = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        e1.log_likelihood(&tree, &mut b8).unwrap();
+        e2.log_likelihood(&tree, &mut b2).unwrap();
+        assert!(b2.stats().kernel_seconds < b8.stats().kernel_seconds);
+    }
+}

@@ -1,0 +1,213 @@
+//! GPU device descriptions and the CUDA launch configuration.
+//!
+//! The two devices are the paper's 8800 GT (G92: 14 SMs × 8 cores) and
+//! GTX 285 (GT200: 30 SMs × 8 cores). Constants follow the era's specs:
+//! 16 KB shared memory per SM, 32-thread warps, register files of 8K
+//! (G92) / 16K (GT200) 32-bit registers per SM — the resources §3.4
+//! lists as limiting the thread count.
+
+use plf_simcore::machine::{ArchClass, MachineConfig, GPU_8800GT, GPU_GTX285};
+use plf_simcore::xfer::TransferModel;
+
+/// Threads per warp on both generations.
+pub const WARP_SIZE: usize = 32;
+
+/// Hardware description + calibrated throughput parameters of a device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Table 1 row.
+    pub machine: MachineConfig,
+    /// Effective (sustained) device-memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Host↔device bus.
+    pub pcie: TransferModel,
+    /// Kernel launch overhead, seconds.
+    pub launch_overhead: f64,
+    /// Per-PLF-invocation host-side coordination (§4.2: "the host needs
+    /// to coordinate with the card and ship the code").
+    pub invocation_overhead: f64,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: usize,
+    /// Registers the PLF kernel needs per thread.
+    pub regs_per_thread: usize,
+    /// Resident threads needed per SM to hide memory latency fully.
+    pub latency_hide_threads: usize,
+    /// Maximum threads per block the hardware accepts.
+    pub max_threads_per_block: usize,
+}
+
+impl DeviceConfig {
+    /// NVIDIA 8800 GT.
+    pub fn gt8800() -> DeviceConfig {
+        DeviceConfig {
+            machine: GPU_8800GT,
+            mem_bw: 52.0e9, // 57.6 GB/s peak, ~90% sustained
+            pcie: TransferModel::pcie_gen1(),
+            launch_overhead: 5.0e-6,
+            invocation_overhead: 80.0e-6,
+            regs_per_sm: 8192,
+            regs_per_thread: 20,
+            latency_hide_threads: 384,
+            max_threads_per_block: 512,
+        }
+    }
+
+    /// NVIDIA GTX 285.
+    pub fn gtx285() -> DeviceConfig {
+        DeviceConfig {
+            machine: GPU_GTX285,
+            mem_bw: 140.0e9, // 159 GB/s peak
+            pcie: TransferModel::pcie_gen2(),
+            launch_overhead: 4.0e-6,
+            invocation_overhead: 60.0e-6,
+            regs_per_sm: 16384,
+            regs_per_thread: 20,
+            latency_hide_threads: 512,
+            max_threads_per_block: 512,
+        }
+    }
+
+    /// SM count.
+    pub fn sms(&self) -> usize {
+        match self.machine.arch {
+            ArchClass::Gpu { sms, .. } => sms,
+            _ => unreachable!("GPU config wraps GPU machines"),
+        }
+    }
+
+    /// Maximum resident threads per SM.
+    pub fn max_threads_per_sm(&self) -> usize {
+        match self.machine.arch {
+            ArchClass::Gpu { max_threads_per_sm, .. } => max_threads_per_sm,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Shared memory per SM in bytes.
+    pub fn shared_mem_per_sm(&self) -> usize {
+        match self.machine.arch {
+            ArchClass::Gpu { shared_mem_per_sm, .. } => shared_mem_per_sm,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Total scalar cores.
+    pub fn cores(&self) -> usize {
+        self.machine.cores
+    }
+
+    /// Core clock in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.machine.freq_ghz * 1e9
+    }
+}
+
+/// A CUDA kernel launch configuration (threads per block × blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaunchConfig {
+    /// Threads per block.
+    pub threads: usize,
+    /// Blocks in the grid.
+    pub blocks: usize,
+}
+
+impl LaunchConfig {
+    /// The paper's best configuration for the 8800 GT: 256 × 40 (§3.4).
+    pub fn paper_8800gt() -> LaunchConfig {
+        LaunchConfig { threads: 256, blocks: 40 }
+    }
+
+    /// The paper's best configuration for the GTX 285: 256 × 85 (§3.4).
+    pub fn paper_gtx285() -> LaunchConfig {
+        LaunchConfig { threads: 256, blocks: 85 }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.threads * self.blocks
+    }
+
+    /// Is the configuration launchable on `dev` (block size, warp
+    /// granularity, register file)?
+    pub fn is_valid(&self, dev: &DeviceConfig) -> bool {
+        self.threads >= WARP_SIZE
+            && self.threads.is_multiple_of(WARP_SIZE)
+            && self.threads <= dev.max_threads_per_block
+            && self.blocks >= 1
+            && self.threads * dev.regs_per_thread <= dev.regs_per_sm
+    }
+
+    /// Resident blocks per SM under register and thread-count limits.
+    pub fn resident_blocks_per_sm(&self, dev: &DeviceConfig) -> usize {
+        if !self.is_valid(dev) {
+            return 0;
+        }
+        let by_threads = dev.max_threads_per_sm() / self.threads;
+        let by_regs = dev.regs_per_sm / (self.threads * dev.regs_per_thread);
+        by_threads.min(by_regs).clamp(1, 8)
+    }
+
+    /// Occupancy: resident threads per SM / hardware maximum.
+    pub fn occupancy(&self, dev: &DeviceConfig) -> f64 {
+        (self.resident_blocks_per_sm(dev) * self.threads) as f64
+            / dev.max_threads_per_sm() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_match_table1() {
+        let d8 = DeviceConfig::gt8800();
+        assert_eq!(d8.cores(), 112);
+        assert_eq!(d8.sms(), 14);
+        let d2 = DeviceConfig::gtx285();
+        assert_eq!(d2.cores(), 240);
+        assert_eq!(d2.sms(), 30);
+        assert!(d2.mem_bw > 2.0 * d8.mem_bw);
+    }
+
+    #[test]
+    fn paper_configs_are_valid() {
+        assert!(LaunchConfig::paper_8800gt().is_valid(&DeviceConfig::gt8800()));
+        assert!(LaunchConfig::paper_gtx285().is_valid(&DeviceConfig::gtx285()));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let dev = DeviceConfig::gt8800();
+        assert!(!LaunchConfig { threads: 100, blocks: 10 }.is_valid(&dev)); // not warp multiple
+        assert!(!LaunchConfig { threads: 1024, blocks: 10 }.is_valid(&dev)); // too big
+        assert!(!LaunchConfig { threads: 512, blocks: 0 }.is_valid(&dev)); // no blocks
+        // 512 threads × 20 regs = 10240 > 8192 regs on G92.
+        assert!(!LaunchConfig { threads: 512, blocks: 10 }.is_valid(&dev));
+        assert!(LaunchConfig { threads: 512, blocks: 10 }.is_valid(&DeviceConfig::gtx285()));
+    }
+
+    #[test]
+    fn occupancy_within_bounds() {
+        let dev = DeviceConfig::gt8800();
+        for threads in [32usize, 64, 128, 256, 384] {
+            let cfg = LaunchConfig { threads, blocks: 40 };
+            let occ = cfg.occupancy(&dev);
+            assert!(occ > 0.0 && occ <= 1.0, "{threads}: {occ}");
+        }
+    }
+
+    #[test]
+    fn register_file_limits_residency_on_g92() {
+        let dev = DeviceConfig::gt8800();
+        // 256 threads × 20 regs = 5120; 8192/5120 = 1 resident block.
+        assert_eq!(
+            LaunchConfig { threads: 256, blocks: 40 }.resident_blocks_per_sm(&dev),
+            1
+        );
+        // GT200's 16K registers fit three (16384 / 5120).
+        assert_eq!(
+            LaunchConfig { threads: 256, blocks: 85 }.resident_blocks_per_sm(&DeviceConfig::gtx285()),
+            3
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal SPMD grid executor.
+//!
+//! Functionally emulates a CUDA launch: a grid of `blocks × threads`
+//! virtual threads runs the same kernel closure, with grid-stride
+//! iteration over work items (the paper's "global partitions" level —
+//! data larger than the grid is swept in passes). Execution is
+//! sequential on the host; the timing model, not the host schedule,
+//! decides the modeled cost.
+
+use crate::device::LaunchConfig;
+
+/// Identity of one virtual CUDA thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Block index within the grid.
+    pub block: usize,
+    /// Thread index within the block.
+    pub thread: usize,
+    /// Flattened global thread id.
+    pub global: usize,
+}
+
+/// Statistics gathered from a single launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Work items processed.
+    pub items: usize,
+    /// Grid-stride passes over the grid (≥1 when items > grid threads).
+    pub passes: usize,
+    /// Virtual threads that had no work in the final pass (divergence /
+    /// idle lanes).
+    pub idle_threads: usize,
+}
+
+/// Launch `kernel` over `n_items` work items with a grid-stride loop:
+/// item `i` is handled by global thread `i % total_threads` in pass
+/// `i / total_threads`.
+pub fn launch<F>(cfg: LaunchConfig, n_items: usize, mut kernel: F) -> LaunchStats
+where
+    F: FnMut(ThreadCtx, usize),
+{
+    let total = cfg.total_threads();
+    assert!(total > 0, "empty grid");
+    let mut item = 0usize;
+    let mut passes = 0usize;
+    while item < n_items {
+        passes += 1;
+        let in_pass = (n_items - item).min(total);
+        for g in 0..in_pass {
+            let ctx = ThreadCtx {
+                block: g / cfg.threads,
+                thread: g % cfg.threads,
+                global: g,
+            };
+            kernel(ctx, item + g);
+        }
+        item += in_pass;
+    }
+    LaunchStats {
+        items: n_items,
+        passes: passes.max(1),
+        idle_threads: if n_items == 0 {
+            total
+        } else {
+            (total - (n_items % total)) % total
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: LaunchConfig = LaunchConfig { threads: 32, blocks: 4 };
+
+    #[test]
+    fn every_item_processed_once() {
+        let mut seen = vec![0u32; 1000];
+        launch(CFG, 1000, |_, item| seen[item] += 1);
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn pass_count() {
+        // 128 threads, 1000 items => 8 passes.
+        let stats = launch(CFG, 1000, |_, _| {});
+        assert_eq!(stats.passes, 8);
+        assert_eq!(stats.idle_threads, 128 - 1000 % 128);
+    }
+
+    #[test]
+    fn exact_fit_no_idle() {
+        let stats = launch(CFG, 256, |_, _| {});
+        assert_eq!(stats.passes, 2);
+        assert_eq!(stats.idle_threads, 0);
+    }
+
+    #[test]
+    fn thread_ctx_consistent() {
+        launch(CFG, 128, |ctx, item| {
+            assert_eq!(ctx.global, item);
+            assert_eq!(ctx.block, item / 32);
+            assert_eq!(ctx.thread, item % 32);
+        });
+    }
+
+    #[test]
+    fn zero_items() {
+        let stats = launch(CFG, 0, |_, _| panic!("no work expected"));
+        assert_eq!(stats.items, 0);
+        assert_eq!(stats.passes, 1);
+    }
+}

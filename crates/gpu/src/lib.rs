@@ -1,0 +1,30 @@
+//! # plf-gpu — execution-driven CUDA-class GPU simulator
+//!
+//! Reproduces §3.4 of the paper: the PLF mapped onto an SPMD grid with
+//! three-level data partitioning (global partitions / blocks / thread
+//! groups), coalesced accesses via 4-thread groups per discrete-rate
+//! array, both work distributions (reduction-parallel vs the 2.5×
+//! faster entry-parallel), per-invocation PCIe transfers, and the
+//! threads×blocks design-space exploration that found 256×40 (8800 GT)
+//! and 256×85 (GTX 285). Kernels really execute on a virtual grid;
+//! timing comes from the calibrated memory-bound device model.
+//!
+//! 2008-era CUDA hardware is unavailable; see DESIGN.md for the
+//! substitution rationale.
+
+#![warn(missing_docs)]
+// Fixed-size 4-state matrix math reads clearest with explicit indices;
+// iterator adaptors would obscure the correspondence with the paper's
+// formulas.
+#![allow(clippy::needless_range_loop)]
+
+pub mod backend;
+pub mod device;
+pub mod grid;
+pub mod kernels;
+pub mod model;
+
+pub use backend::{GpuBackend, GpuRunStats};
+pub use device::{DeviceConfig, LaunchConfig, WARP_SIZE};
+pub use kernels::WorkDistribution;
+pub use model::{GpuKernelKind, GpuModel, SHARED_CONSTANTS, SHARED_PER_THREAD};

@@ -1,0 +1,378 @@
+//! Analytic GPU timing model (Figures 11 & 12, §3.4 design space).
+//!
+//! The PLF is strongly memory-bound on both devices (≈1.25 flops/byte
+//! against >5 flops/byte of machine balance), so kernel time is the
+//! maximum of a compute term and a device-memory term. Effective
+//! bandwidth is degraded by poor coalescing (the reduction-parallel
+//! distribution) and by insufficient latency-hiding occupancy (small
+//! grids / small data sets — the reason Figure 11 grows with data-set
+//! size). PCIe transfers happen around every PLF invocation and are the
+//! dominant cost in Figure 12, exactly as §4.2 reports.
+
+use crate::device::{DeviceConfig, LaunchConfig, WARP_SIZE};
+use crate::kernels::WorkDistribution;
+use plf_simcore::machine::MachineConfig;
+use plf_simcore::model::MachineModel;
+use plf_simcore::workload::{PlfWorkload, ENTRY_BYTES};
+
+/// Kernel kinds (bytes/flops differ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuKernelKind {
+    /// CondLikeDown.
+    Down,
+    /// CondLikeRoot, three children.
+    Root3,
+    /// CondLikeRoot, two children.
+    Root2,
+    /// CondLikeScaler.
+    Scale,
+}
+
+impl GpuKernelKind {
+    /// Device-memory bytes touched per pattern.
+    pub fn bytes_per_pattern(self, r: usize) -> usize {
+        let clv = r * ENTRY_BYTES;
+        match self {
+            GpuKernelKind::Down | GpuKernelKind::Root2 => 3 * clv,
+            GpuKernelKind::Root3 => 4 * clv,
+            GpuKernelKind::Scale => 2 * clv,
+        }
+    }
+
+    /// Host→device bytes per pattern of one invocation (operands).
+    pub fn h2d_bytes_per_pattern(self, r: usize) -> usize {
+        let clv = r * ENTRY_BYTES;
+        match self {
+            GpuKernelKind::Down | GpuKernelKind::Root2 => 2 * clv,
+            GpuKernelKind::Root3 => 3 * clv,
+            GpuKernelKind::Scale => clv,
+        }
+    }
+
+    /// Device→host bytes per pattern (results).
+    pub fn d2h_bytes_per_pattern(self, r: usize) -> usize {
+        let clv = r * ENTRY_BYTES;
+        match self {
+            GpuKernelKind::Scale => clv + 4,
+            _ => clv,
+        }
+    }
+
+    /// Core cycles per (pattern, rate) entry, entry-parallel schedule.
+    pub fn cycles_per_entry(self) -> f64 {
+        match self {
+            GpuKernelKind::Down | GpuKernelKind::Root2 => 40.0,
+            GpuKernelKind::Root3 => 60.0,
+            GpuKernelKind::Scale => 16.0,
+        }
+    }
+}
+
+/// Shared memory the kernel needs per thread (staging one discrete-rate
+/// array plus partials), plus a per-block constant pool for the
+/// transition matrices. These are what cap the block size at 256 threads
+/// in the paper's exploration.
+pub const SHARED_PER_THREAD: usize = 52;
+/// Per-block shared constant pool (transition matrices).
+pub const SHARED_CONSTANTS: usize = 2048;
+
+/// Calibrated timing model of one GPU.
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    dev: DeviceConfig,
+    dist: WorkDistribution,
+    cfg: LaunchConfig,
+    coalesced: bool,
+}
+
+impl GpuModel {
+    /// 8800 GT with the paper's best configuration.
+    pub fn gt8800() -> GpuModel {
+        GpuModel {
+            dev: DeviceConfig::gt8800(),
+            dist: WorkDistribution::EntryParallel,
+            cfg: LaunchConfig::paper_8800gt(),
+            coalesced: true,
+        }
+    }
+
+    /// GTX 285 with the paper's best configuration.
+    pub fn gtx285() -> GpuModel {
+        GpuModel {
+            dev: DeviceConfig::gtx285(),
+            dist: WorkDistribution::EntryParallel,
+            cfg: LaunchConfig::paper_gtx285(),
+            coalesced: true,
+        }
+    }
+
+    /// Override the work distribution (§3.4 ablation).
+    pub fn with_distribution(mut self, dist: WorkDistribution) -> GpuModel {
+        self.dist = dist;
+        self
+    }
+
+    /// Override the launch configuration (design-space exploration).
+    pub fn with_config(mut self, cfg: LaunchConfig) -> GpuModel {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Drop the coalescing trick of §3.4 (groups of 4 threads on
+    /// adjacent discrete-rate arrays): accesses become strided and the
+    /// memory system serves them at a fraction of peak.
+    pub fn without_coalescing(mut self) -> GpuModel {
+        self.coalesced = false;
+        self
+    }
+
+    /// Device description.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.dev
+    }
+
+    /// Current launch configuration.
+    pub fn launch_config(&self) -> LaunchConfig {
+        self.cfg
+    }
+
+    /// Does the configuration satisfy the shared-memory budget on top of
+    /// the generic validity rules?
+    pub fn is_launchable(&self, cfg: LaunchConfig) -> bool {
+        cfg.is_valid(&self.dev)
+            && cfg.threads * SHARED_PER_THREAD + SHARED_CONSTANTS <= self.dev.shared_mem_per_sm()
+    }
+
+    /// Modeled time of one kernel invocation over `m` patterns.
+    pub fn kernel_time(&self, kind: GpuKernelKind, m: usize, r: usize) -> f64 {
+        assert!(self.is_launchable(self.cfg), "invalid launch config {:?}", self.cfg);
+        let entries = m * r;
+        let total_threads = self.cfg.total_threads();
+
+        // Compute term: grid-stride passes round work up to grid size;
+        // partially filled waves leave SMs idle at the tail.
+        let (cycle_factor, mut coalesce): (f64, f64) = match self.dist {
+            WorkDistribution::EntryParallel => (1.0, 1.0),
+            // §3.4: "a large number of synchronization points and
+            // conditional statements" — measured 2.5× slower PLF.
+            WorkDistribution::ReductionParallel => (2.5, 0.45),
+        };
+        if !self.coalesced {
+            coalesce = coalesce.min(0.45);
+        }
+        let effective_entries = entries.div_ceil(total_threads) * total_threads;
+        let resident = self.cfg.resident_blocks_per_sm(&self.dev).max(1);
+        let wave_capacity = self.dev.sms() * resident;
+        let waves = self.cfg.blocks.div_ceil(wave_capacity);
+        let wave_imbalance = (waves * wave_capacity) as f64 / self.cfg.blocks as f64;
+        let compute = effective_entries as f64 * kind.cycles_per_entry() * cycle_factor
+            / (self.dev.cores() as f64 * self.dev.freq_hz())
+            * wave_imbalance;
+        // Per-block scheduling cost (block setup + end-of-block drain),
+        // spread over the SMs and serial with the streaming phase: the
+        // term that makes many tiny blocks lose to the paper's
+        // 256-thread blocks.
+        let block_launches = (self.cfg.blocks * entries.div_ceil(total_threads)) as f64;
+        let block_cost = block_launches * 300.0 / (self.dev.sms() as f64 * self.dev.freq_hz());
+
+        // Memory term: effective bandwidth needs enough resident threads
+        // to hide latency.
+        let active_threads = entries.min(total_threads).min(
+            self.dev.sms() * self.dev.max_threads_per_sm(),
+        );
+        let hide_needed = self.dev.sms() * self.dev.latency_hide_threads;
+        let hiding = (active_threads as f64 / hide_needed as f64).min(1.0);
+        let bw = self.dev.mem_bw * coalesce * hiding;
+        let mem = (m * kind.bytes_per_pattern(r)) as f64 / bw;
+
+        self.dev.launch_overhead + block_cost + compute.max(mem)
+    }
+
+    /// PCIe time around one invocation (operands in, results out; §3.4:
+    /// transfers are not overlapped with computation).
+    pub fn pcie_time(&self, kind: GpuKernelKind, m: usize, r: usize) -> f64 {
+        let h2d = (m * kind.h2d_bytes_per_pattern(r) + SHARED_CONSTANTS) as u64;
+        let d2h = (m * kind.d2h_bytes_per_pattern(r)) as u64;
+        self.dev.pcie.time(h2d) + self.dev.pcie.time(d2h)
+    }
+
+    /// Figure 11's metric: PLF throughput (flops/s of the kernel
+    /// section) — callers normalize to the 8800 GT on the 10_1K set.
+    pub fn relative_performance(&self, w: &PlfWorkload) -> f64 {
+        w.total_flops() / self.plf_time(w, 1)
+    }
+
+    /// Exhaustive design-space exploration (§3.4): try every warp-
+    /// multiple thread count and block count up to 6 waves, return the
+    /// configuration minimizing PLF time on `w`.
+    pub fn sweep(&self, w: &PlfWorkload) -> (LaunchConfig, f64) {
+        let mut best = (self.cfg, f64::INFINITY);
+        let mut threads = WARP_SIZE;
+        while threads <= self.dev.max_threads_per_block {
+            for blocks in (self.dev.sms()..=6 * self.dev.sms()).step_by(1) {
+                let cfg = LaunchConfig { threads, blocks };
+                let candidate = GpuModel {
+                    dev: self.dev.clone(),
+                    dist: self.dist,
+                    cfg,
+                    coalesced: self.coalesced,
+                };
+                if !candidate.is_launchable(cfg) {
+                    continue;
+                }
+                let t = candidate.plf_time(w, 1);
+                if t < best.1 {
+                    best = (cfg, t);
+                }
+            }
+            threads += WARP_SIZE;
+        }
+        best
+    }
+}
+
+impl MachineModel for GpuModel {
+    fn config(&self) -> &MachineConfig {
+        &self.dev.machine
+    }
+
+    fn max_units(&self) -> usize {
+        1 // the device is the unit; per-core scaling is not applicable (§4.1.3)
+    }
+
+    fn plf_time(&self, w: &PlfWorkload, _units: usize) -> f64 {
+        let (m, r) = (w.n_patterns, w.n_rates);
+        w.n_down as f64 * self.kernel_time(GpuKernelKind::Down, m, r)
+            + w.n_root as f64
+                * (self.kernel_time(GpuKernelKind::Root3, m, r) + self.dev.invocation_overhead)
+            + w.n_scale as f64 * self.kernel_time(GpuKernelKind::Scale, m, r)
+    }
+
+    fn transfer_time(&self, w: &PlfWorkload) -> f64 {
+        let (m, r) = (w.n_patterns, w.n_rates);
+        w.n_down as f64 * self.pcie_time(GpuKernelKind::Down, m, r)
+            + w.n_root as f64 * self.pcie_time(GpuKernelKind::Root3, m, r)
+            + w.n_scale as f64 * self.pcie_time(GpuKernelKind::Scale, m, r)
+    }
+
+    fn serial_cycle_factor(&self) -> f64 {
+        // §4.2: "the host system of the graphics card being slightly
+        // slower than the baseline".
+        1.2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(leaves: usize, patterns: usize) -> PlfWorkload {
+        PlfWorkload::for_run(leaves, patterns, 4, 100, 1)
+    }
+
+    #[test]
+    fn gtx285_roughly_2x_faster_kernels_at_scale() {
+        // §4.1.3: 2.2–2.4× at 20K/50K columns.
+        for &m in &[20_000usize, 50_000] {
+            let t8 = GpuModel::gt8800().kernel_time(GpuKernelKind::Down, m, 4);
+            let t2 = GpuModel::gtx285().kernel_time(GpuKernelKind::Down, m, 4);
+            let ratio = t8 / t2;
+            assert!((1.9..=2.9).contains(&ratio), "m={m}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn throughput_grows_with_data_size() {
+        // Figure 11: speedup rises with column count up to 20K–50K.
+        let g = GpuModel::gt8800();
+        let p1 = g.relative_performance(&w(10, 1000));
+        let p5 = g.relative_performance(&w(10, 5000));
+        let p20 = g.relative_performance(&w(10, 20000));
+        let p50 = g.relative_performance(&w(10, 50000));
+        assert!(p1 < p5 && p5 < p20, "{p1} {p5} {p20}");
+        // Plateau: 50K is no longer a big jump.
+        assert!(p50 / p20 < 1.5, "{p50} vs {p20}");
+    }
+
+    #[test]
+    fn throughput_grows_with_computation_intensity() {
+        // Figure 11: unlike the multi-cores, more computation (leaves)
+        // raises GPU relative speedup.
+        let g = GpuModel::gtx285();
+        let p10 = g.relative_performance(&w(10, 20000));
+        let p100 = g.relative_performance(&w(100, 20000));
+        assert!(p100 > p10, "{p100} !> {p10}");
+    }
+
+    #[test]
+    fn pcie_dwarfs_kernel_time() {
+        // §4.2: data transfer is the GPUs' dominant cost.
+        let g = GpuModel::gt8800();
+        let kernel = g.kernel_time(GpuKernelKind::Down, 8543, 4);
+        let pcie = g.pcie_time(GpuKernelKind::Down, 8543, 4);
+        assert!(pcie > 10.0 * kernel, "pcie {pcie} vs kernel {kernel}");
+    }
+
+    #[test]
+    fn reduction_parallel_2_5x_slower() {
+        let entry = GpuModel::gt8800();
+        let red = GpuModel::gt8800().with_distribution(WorkDistribution::ReductionParallel);
+        let wl = w(20, 8543);
+        let ratio = red.plf_time(&wl, 1) / entry.plf_time(&wl, 1);
+        assert!((1.8..=3.2).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn sweep_finds_paper_like_configuration() {
+        let wl = w(20, 8543);
+        let (best8, t8) = GpuModel::gt8800().sweep(&wl);
+        assert!(t8.is_finite());
+        // §3.4 found 256 threads × 40 blocks on the 8800 GT; the model's
+        // optimum lands in the same neighbourhood (full occupancy bands).
+        assert!(
+            (192..=288).contains(&best8.threads),
+            "8800GT best threads {}",
+            best8.threads
+        );
+        assert!((14..=70).contains(&best8.blocks), "8800GT best blocks {}", best8.blocks);
+        let (best2, _) = GpuModel::gtx285().sweep(&wl);
+        assert!((192..=288).contains(&best2.threads), "GTX best threads {}", best2.threads);
+        assert!(
+            best2.blocks >= 30,
+            "GTX285 should want at least one block per SM, got {}",
+            best2.blocks
+        );
+    }
+
+    #[test]
+    fn coalescing_ablation_slows_memory_bound_kernels() {
+        let on = GpuModel::gt8800();
+        let off = GpuModel::gt8800().without_coalescing();
+        let t_on = on.kernel_time(GpuKernelKind::Down, 20_000, 4);
+        let t_off = off.kernel_time(GpuKernelKind::Down, 20_000, 4);
+        let ratio = t_off / t_on;
+        // Memory-bound kernel: the strided penalty shows nearly in full.
+        assert!((1.8..=2.4).contains(&ratio), "ratio {ratio}");
+        // Reduction-parallel is already uncoalesced; no further penalty.
+        let red = GpuModel::gt8800().with_distribution(WorkDistribution::ReductionParallel);
+        let red_off = red.clone().without_coalescing();
+        let wl = w(20, 8543);
+        assert_eq!(red.plf_time(&wl, 1), red_off.plf_time(&wl, 1));
+    }
+
+    #[test]
+    fn shared_memory_caps_block_size() {
+        let g = GpuModel::gt8800();
+        assert!(g.is_launchable(LaunchConfig { threads: 256, blocks: 40 }));
+        assert!(!g.is_launchable(LaunchConfig { threads: 288, blocks: 40 }));
+    }
+
+    #[test]
+    fn breakdown_shape_matches_figure12() {
+        use plf_simcore::model::MachineModel as _;
+        let g = GpuModel::gt8800();
+        let b = g.breakdown(&w(20, 8543), 5.0);
+        assert!(b.transfer_s > b.plf_s, "PCIe must dominate the kernel time");
+        assert!(b.remaining_s > 5.0, "host slightly slower than baseline");
+    }
+}

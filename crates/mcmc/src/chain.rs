@@ -1,0 +1,655 @@
+//! The Metropolis–Hastings chain — the "rest of the application" that
+//! surrounds the PLF.
+//!
+//! The paper's Figure 12 splits MrBayes runtime into the PLF (the
+//! parallel section) and the *Remaining* serial part: proposal
+//! generation, tree bookkeeping, prior evaluation, RNG draws,
+//! accept/reject logic. This chain reproduces that structure and
+//! instruments both phases, so the experiment harness can measure the
+//! serial fraction directly. MrBayes is run "with fixed random number
+//! seeds and a fixed number of generations" (§4) — so are we.
+//!
+//! Two evaluation strategies are available:
+//!
+//! * **full** (default): every proposal re-evaluates the whole tree —
+//!   the configuration whose workload the paper's scalability figures
+//!   sweep;
+//! * **incremental** (`ChainOptions::incremental`): MrBayes's
+//!   production "touched" mechanism — only the CLVs invalidated by the
+//!   move are recomputed, with double-buffered flip/undo (see
+//!   [`plf_phylo::incremental`]).
+
+use crate::priors::Priors;
+use crate::trace::TraceRecord;
+use crate::proposals::{propose, Dirty, ProposalKind, Tuning, ALL_PROPOSALS};
+use crate::state::ChainState;
+use plf_phylo::alignment::PatternAlignment;
+use plf_phylo::incremental::IncrementalLikelihood;
+use plf_phylo::kernels::plan::PlfPlan;
+use plf_phylo::kernels::PlfBackend;
+use plf_phylo::likelihood::{LikelihoodError, TreeLikelihood};
+use plf_phylo::model::{GtrParams, SiteModel};
+use plf_phylo::tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Chain configuration.
+#[derive(Debug, Clone)]
+pub struct ChainOptions {
+    /// Number of MCMC generations (one proposal each).
+    pub generations: usize,
+    /// RNG seed (fixed seeds per the paper's methodology).
+    pub seed: u64,
+    /// Record a sample every this many generations (0 = never).
+    pub sample_every: usize,
+    /// CondLikeScaler period passed to the likelihood workspace.
+    pub scale_every: usize,
+    /// Proposal tuning constants.
+    pub tuning: Tuning,
+    /// Relative weights of the seven proposal kinds, in
+    /// [`ALL_PROPOSALS`] order.
+    pub proposal_weights: [f64; 7],
+    /// Number of discrete Γ categories (the paper uses 4).
+    pub n_rates: usize,
+    /// Use MrBayes-style incremental (partial) PLF updates with flip
+    /// buffers instead of full re-evaluation per proposal.
+    pub incremental: bool,
+    /// Starting proportion of invariable sites (`+I`). The pinvar-slide
+    /// proposal explores it; give it weight 0 to pin it.
+    pub initial_pinvar: f64,
+    /// Record full parameter+tree trace records at each sample point
+    /// (rendered into MrBayes-style `.p`/`.t` files via [`crate::trace`]).
+    pub record_trace: bool,
+}
+
+impl Default for ChainOptions {
+    fn default() -> ChainOptions {
+        ChainOptions {
+            generations: 1_000,
+            seed: 42,
+            sample_every: 100,
+            scale_every: 1,
+            tuning: Tuning::default(),
+            proposal_weights: [0.30, 0.20, 0.13, 0.12, 0.12, 0.08, 0.05],
+            n_rates: 4,
+            incremental: false,
+            initial_pinvar: 0.0,
+            record_trace: false,
+        }
+    }
+}
+
+/// One recorded posterior sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Generation index.
+    pub generation: usize,
+    /// Log-likelihood at that generation.
+    pub ln_likelihood: f64,
+    /// Sum of branch lengths.
+    pub tree_length: f64,
+    /// Γ shape α.
+    pub shape: f64,
+}
+
+/// Per-proposal acceptance bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProposalStats {
+    /// Times this kind was drawn.
+    pub proposed: u64,
+    /// Times the move was accepted.
+    pub accepted: u64,
+}
+
+impl ProposalStats {
+    /// Fraction accepted (0 when never proposed).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+/// Everything measured during a run.
+#[derive(Debug, Clone)]
+pub struct ChainStats {
+    /// Posterior samples (empty if sampling disabled).
+    pub samples: Vec<Sample>,
+    /// Acceptance stats per proposal kind, in [`ALL_PROPOSALS`] order.
+    pub proposals: [(ProposalKind, ProposalStats); 7],
+    /// Number of tree-likelihood evaluations (full or partial).
+    pub n_evaluations: u64,
+    /// Total kernel invocations ("calls to the parallel section").
+    pub plf_calls: u64,
+    /// Wall time inside the PLF (likelihood evaluations).
+    pub plf_time: Duration,
+    /// Wall time of the whole run.
+    pub total_time: Duration,
+    /// Log-likelihood of the final state.
+    pub final_ln_likelihood: f64,
+    /// Full trace records (empty unless `ChainOptions::record_trace`).
+    pub trace: Vec<TraceRecord>,
+}
+
+impl ChainStats {
+    /// Wall time outside the PLF — the paper's "Remaining".
+    pub fn remaining_time(&self) -> Duration {
+        self.total_time.saturating_sub(self.plf_time)
+    }
+
+    /// PLF share of total runtime (the paper reports 85–95% for the
+    /// baseline).
+    pub fn plf_fraction(&self) -> f64 {
+        if self.total_time.is_zero() {
+            0.0
+        } else {
+            self.plf_time.as_secs_f64() / self.total_time.as_secs_f64()
+        }
+    }
+}
+
+enum Evaluator {
+    Simple(TreeLikelihood),
+    Incremental(IncrementalLikelihood),
+}
+
+/// Accumulators of a (possibly stepwise) run.
+#[derive(Debug, Clone)]
+pub struct RunAccum {
+    /// Per-proposal acceptance bookkeeping.
+    pub proposals: [(ProposalKind, ProposalStats); 7],
+    /// Likelihood evaluations performed.
+    pub n_evaluations: u64,
+    /// Kernel invocations.
+    pub plf_calls: u64,
+    /// Wall time inside the PLF.
+    pub plf_time: Duration,
+}
+
+impl Default for RunAccum {
+    fn default() -> RunAccum {
+        RunAccum {
+            proposals: std::array::from_fn(|i| (ALL_PROPOSALS[i], ProposalStats::default())),
+            n_evaluations: 0,
+            plf_calls: 0,
+            plf_time: Duration::ZERO,
+        }
+    }
+}
+
+/// A runnable Metropolis–Hastings chain over one data set.
+///
+/// Chains execute either wholesale ([`Chain::run`]) or stepwise
+/// ([`Chain::initialize`] + [`Chain::step`]) — the latter is what the
+/// MC³ driver uses, interleaving steps with state swaps. A chain may be
+/// *heated* ([`Chain::set_temperature`]): acceptance uses
+/// `(posterior ratio)^β`, flattening the landscape so hot chains cross
+/// valleys the cold chain cannot.
+pub struct Chain {
+    state: ChainState,
+    evaluator: Evaluator,
+    model: SiteModel,
+    priors: Priors,
+    options: ChainOptions,
+    rng: StdRng,
+    cur_prior: f64,
+    beta: f64,
+    initialized: bool,
+    accum: RunAccum,
+}
+
+impl Chain {
+    /// Construct a chain starting from `tree` with the given model
+    /// parameters.
+    pub fn new(
+        tree: Tree,
+        data: &PatternAlignment,
+        params: GtrParams,
+        shape: f64,
+        priors: Priors,
+        options: ChainOptions,
+    ) -> Result<Chain, LikelihoodError> {
+        let model = SiteModel::new(params.clone(), shape, options.n_rates)
+            .and_then(|m| m.with_pinvar(options.initial_pinvar))
+            .map_err(|_| {
+                LikelihoodError::Tree(plf_phylo::tree::TreeError::Invalid(
+                    "invalid initial model parameters".into(),
+                ))
+            })?;
+        let evaluator = if options.incremental {
+            Evaluator::Incremental(IncrementalLikelihood::new(&tree, data, model.clone())?)
+        } else {
+            Evaluator::Simple(TreeLikelihood::with_scaling(
+                &tree,
+                data,
+                model.clone(),
+                options.scale_every,
+            )?)
+        };
+        let mut state = ChainState::new(tree, params, shape);
+        state.pinvar = options.initial_pinvar;
+        Ok(Chain {
+            state,
+            evaluator,
+            model,
+            priors,
+            rng: StdRng::seed_from_u64(options.seed),
+            options,
+            cur_prior: f64::NEG_INFINITY,
+            beta: 1.0,
+            initialized: false,
+            accum: RunAccum::default(),
+        })
+    }
+
+    /// Current state (read-only).
+    pub fn state(&self) -> &ChainState {
+        &self.state
+    }
+
+    /// Current log posterior (`ln L + ln prior`); requires
+    /// initialization.
+    pub fn ln_posterior(&self) -> f64 {
+        self.state.ln_likelihood + self.cur_prior
+    }
+
+    /// Set the MC³ inverse temperature β (1 = the cold chain).
+    pub fn set_temperature(&mut self, beta: f64) {
+        assert!(beta > 0.0 && beta <= 1.0, "beta {beta} outside (0, 1]");
+        self.beta = beta;
+    }
+
+    /// Current inverse temperature.
+    pub fn temperature(&self) -> f64 {
+        self.beta
+    }
+
+    /// Run accumulators (for MC³ aggregation).
+    pub fn accum(&self) -> &RunAccum {
+        &self.accum
+    }
+
+    /// Exchange the *states* of two chains (an accepted MC³ swap): the
+    /// parameter states, models, likelihood workspaces, and priors move;
+    /// temperatures, RNGs, and accumulators stay with their slots.
+    pub fn swap_payload(a: &mut Chain, b: &mut Chain) {
+        std::mem::swap(&mut a.state, &mut b.state);
+        std::mem::swap(&mut a.evaluator, &mut b.evaluator);
+        std::mem::swap(&mut a.model, &mut b.model);
+        std::mem::swap(&mut a.cur_prior, &mut b.cur_prior);
+    }
+
+    fn pick_proposal(&mut self) -> ProposalKind {
+        let total: f64 = self.options.proposal_weights.iter().sum();
+        let mut u = self.rng.gen_range(0.0..total);
+        for (kind, &w) in ALL_PROPOSALS.iter().zip(&self.options.proposal_weights) {
+            if u < w {
+                return *kind;
+            }
+            u -= w;
+        }
+        ALL_PROPOSALS[ALL_PROPOSALS.len() - 1]
+    }
+
+    /// Perform the initial full likelihood evaluation (idempotent).
+    pub fn initialize(&mut self, backend: &mut dyn PlfBackend) {
+        if self.initialized {
+            return;
+        }
+        let t0 = Instant::now();
+        let (lnl, calls) = match &mut self.evaluator {
+            Evaluator::Simple(eval) => {
+                let plan = PlfPlan::for_tree(&self.state.tree, self.options.scale_every)
+                    .expect("constructor validated the tree");
+                let lnl = eval
+                    .log_likelihood_planned(&self.state.tree, &plan, backend)
+                    .expect("workspace matches tree");
+                (lnl, plan.n_calls())
+            }
+            Evaluator::Incremental(inc) => {
+                let lnl = inc
+                    .full_evaluate(&self.state.tree, backend)
+                    .expect("workspace matches tree");
+                (lnl, inc.last_calls())
+            }
+        };
+        self.accum.plf_time += t0.elapsed();
+        self.accum.plf_calls += calls as u64;
+        self.accum.n_evaluations += 1;
+        self.state.ln_likelihood = lnl;
+        self.cur_prior = self.priors.ln_prior(&self.state);
+        self.initialized = true;
+    }
+
+    /// Execute one MCMC generation (one proposal + accept/reject).
+    /// Returns whether the proposal was accepted.
+    pub fn step(&mut self, backend: &mut dyn PlfBackend) -> bool {
+        assert!(self.initialized, "call initialize() before step()");
+        let kind = self.pick_proposal();
+        let slot = ALL_PROPOSALS.iter().position(|&k| k == kind).unwrap();
+        self.accum.proposals[slot].1.proposed += 1;
+
+        let mut candidate = self.state.clone();
+        let Some(outcome) = propose(kind, &mut candidate, &self.options.tuning, &mut self.rng)
+        else {
+            return false; // inapplicable move: auto-reject
+        };
+
+        // Rebuild the site model if the move touched it.
+        let candidate_model = if kind.changes_model() {
+            match SiteModel::new(
+                candidate.params.clone(),
+                candidate.shape,
+                self.options.n_rates,
+            )
+            .and_then(|m| m.with_pinvar(candidate.pinvar))
+            {
+                Ok(m) => Some(m),
+                Err(_) => return false, // invalid parameters: auto-reject
+            }
+        } else {
+            None
+        };
+
+        // Evaluate the candidate.
+        let t0 = Instant::now();
+        let (lnl, calls) = match &mut self.evaluator {
+            Evaluator::Simple(eval) => {
+                if let Some(m) = &candidate_model {
+                    eval.set_model(m.clone());
+                }
+                let plan = PlfPlan::for_tree(&candidate.tree, self.options.scale_every)
+                    .expect("proposals preserve validity");
+                let lnl = eval
+                    .log_likelihood_planned(&candidate.tree, &plan, backend)
+                    .expect("workspace matches tree");
+                (lnl, plan.n_calls())
+            }
+            Evaluator::Incremental(inc) => {
+                let lnl = if let Some(m) = &candidate_model {
+                    // Model moves invalidate every CLV.
+                    inc.set_model(m.clone());
+                    inc.propose_full(&candidate.tree, backend)
+                } else if let Dirty::Nodes(nodes) = &outcome.dirty {
+                    inc.propose(&candidate.tree, nodes, backend)
+                } else {
+                    inc.propose_full(&candidate.tree, backend)
+                }
+                .expect("workspace matches tree");
+                (lnl, inc.last_calls())
+            }
+        };
+        self.accum.plf_time += t0.elapsed();
+        self.accum.plf_calls += calls as u64;
+        self.accum.n_evaluations += 1;
+        candidate.ln_likelihood = lnl;
+        let cand_prior = self.priors.ln_prior(&candidate);
+
+        // Heated acceptance: (posterior ratio)^β × Hastings.
+        let ln_accept = self.beta
+            * ((lnl + cand_prior) - (self.state.ln_likelihood + self.cur_prior))
+            + outcome.ln_hastings;
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let accept = u.ln() < ln_accept;
+
+        match &mut self.evaluator {
+            Evaluator::Simple(_) if accept => {}
+            Evaluator::Simple(eval) => {
+                if candidate_model.is_some() {
+                    eval.set_model(self.model.clone());
+                }
+            }
+            Evaluator::Incremental(inc) if accept => inc.accept(),
+            Evaluator::Incremental(inc) => {
+                inc.reject();
+                if candidate_model.is_some() {
+                    inc.set_model(self.model.clone());
+                }
+            }
+        }
+        if accept {
+            self.state = candidate;
+            self.cur_prior = cand_prior;
+            if let Some(m) = candidate_model {
+                self.model = m;
+            }
+            self.accum.proposals[slot].1.accepted += 1;
+        }
+        accept
+    }
+
+    fn sample_now(&self, generation: usize) -> Sample {
+        Sample {
+            generation,
+            ln_likelihood: self.state.ln_likelihood,
+            tree_length: self.state.tree.tree_length(),
+            shape: self.state.shape,
+        }
+    }
+
+    fn trace_now(&self, generation: usize) -> TraceRecord {
+        TraceRecord {
+            generation,
+            ln_likelihood: self.state.ln_likelihood,
+            tree_length: self.state.tree.tree_length(),
+            shape: self.state.shape,
+            pinvar: self.state.pinvar,
+            freqs: self.state.params.freqs,
+            rates: self.state.params.rates,
+            newick: self.state.tree.to_newick(),
+        }
+    }
+
+    /// Run the chain to completion on `backend`, returning run statistics.
+    pub fn run(&mut self, backend: &mut dyn PlfBackend) -> ChainStats {
+        let run_start = Instant::now();
+        self.accum = RunAccum::default();
+        self.initialized = false;
+        let mut samples = Vec::new();
+        let mut trace = Vec::new();
+        self.initialize(backend);
+        for generation in 1..=self.options.generations {
+            self.step(backend);
+            if self.options.sample_every > 0 && generation % self.options.sample_every == 0 {
+                samples.push(self.sample_now(generation));
+                if self.options.record_trace {
+                    trace.push(self.trace_now(generation));
+                }
+            }
+        }
+        ChainStats {
+            samples,
+            proposals: self.accum.proposals,
+            n_evaluations: self.accum.n_evaluations,
+            plf_calls: self.accum.plf_calls,
+            plf_time: self.accum.plf_time,
+            total_time: run_start.elapsed(),
+            final_ln_likelihood: self.state.ln_likelihood,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::alignment::Alignment;
+    use plf_phylo::kernels::ScalarBackend;
+
+    fn toy_data() -> (Tree, PatternAlignment) {
+        let tree = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAAGGCCTTAGCA"),
+            ("b", "ACGTACGTACGGCCTTAGCA"),
+            ("c", "ACGAACGTTAGGCCTAAGCA"),
+            ("d", "ACTTACGTAAGGCGTTAGCA"),
+        ])
+        .unwrap()
+        .compress();
+        (tree, aln)
+    }
+
+    fn toy_chain_with(generations: usize, seed: u64, incremental: bool) -> Chain {
+        let (tree, aln) = toy_data();
+        Chain::new(
+            tree,
+            &aln,
+            GtrParams::jc69(),
+            0.5,
+            Priors::default(),
+            ChainOptions {
+                generations,
+                seed,
+                sample_every: 10,
+                incremental,
+                ..ChainOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn toy_chain(generations: usize, seed: u64) -> Chain {
+        toy_chain_with(generations, seed, false)
+    }
+
+    #[test]
+    fn chain_runs_and_improves_or_holds() {
+        let mut chain = toy_chain(300, 7);
+        let stats = chain.run(&mut ScalarBackend);
+        let proposed: u64 = stats.proposals.iter().map(|(_, s)| s.proposed).sum();
+        // Inapplicable moves skip the evaluation, so evals <= proposals+1.
+        assert!(stats.n_evaluations >= 1 && stats.n_evaluations <= proposed + 1);
+        assert!(stats.final_ln_likelihood.is_finite());
+        assert!(!stats.samples.is_empty());
+        // Posterior exploration should not be catastrophically worse than
+        // the start.
+        let first = stats.samples.first().unwrap().ln_likelihood;
+        let last = stats.samples.last().unwrap().ln_likelihood;
+        assert!(last >= first - 50.0, "chain diverged: {first} -> {last}");
+    }
+
+    #[test]
+    fn acceptance_rates_in_bounds() {
+        let mut chain = toy_chain(500, 11);
+        let stats = chain.run(&mut ScalarBackend);
+        let mut any_accepted = false;
+        for (_, s) in &stats.proposals {
+            assert!(s.accepted <= s.proposed);
+            any_accepted |= s.accepted > 0;
+        }
+        assert!(any_accepted, "nothing was ever accepted");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s1 = toy_chain(200, 3).run(&mut ScalarBackend);
+        let s2 = toy_chain(200, 3).run(&mut ScalarBackend);
+        assert_eq!(s1.final_ln_likelihood, s2.final_ln_likelihood);
+        assert_eq!(s1.plf_calls, s2.plf_calls);
+        let a: Vec<u64> = s1.proposals.iter().map(|(_, s)| s.accepted).collect();
+        let b: Vec<u64> = s2.proposals.iter().map(|(_, s)| s.accepted).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let s1 = toy_chain(200, 1).run(&mut ScalarBackend);
+        let s2 = toy_chain(200, 2).run(&mut ScalarBackend);
+        assert_ne!(s1.final_ln_likelihood, s2.final_ln_likelihood);
+    }
+
+    #[test]
+    fn plf_dominates_runtime() {
+        // The paper: PLF is ~85-95% of MrBayes runtime. On a tiny data
+        // set the share is lower, but the PLF must still be measured.
+        let mut chain = toy_chain(100, 5);
+        let stats = chain.run(&mut ScalarBackend);
+        assert!(stats.plf_time > Duration::ZERO);
+        assert!(stats.plf_time <= stats.total_time);
+        assert!(stats.plf_calls >= stats.n_evaluations);
+    }
+
+    #[test]
+    fn timing_identity() {
+        let mut chain = toy_chain(50, 9);
+        let stats = chain.run(&mut ScalarBackend);
+        let sum = stats.plf_time + stats.remaining_time();
+        let diff = sum.abs_diff(stats.total_time);
+        assert!(diff < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn incremental_chain_matches_full_chain_trajectory() {
+        // Same seeds, same proposals; partial updates recompute the
+        // identical CLVs, so the trajectories agree to float-accumulation
+        // tolerance (scaler sums are ordered differently).
+        let full = toy_chain_with(300, 21, false).run(&mut ScalarBackend);
+        let inc = toy_chain_with(300, 21, true).run(&mut ScalarBackend);
+        assert!(
+            (full.final_ln_likelihood - inc.final_ln_likelihood).abs()
+                < full.final_ln_likelihood.abs() * 1e-6 + 1e-3,
+            "full {} vs incremental {}",
+            full.final_ln_likelihood,
+            inc.final_ln_likelihood
+        );
+        let a: Vec<u64> = full.proposals.iter().map(|(_, s)| s.accepted).collect();
+        let b: Vec<u64> = inc.proposals.iter().map(|(_, s)| s.accepted).collect();
+        assert_eq!(a, b, "acceptance sequences diverged");
+    }
+
+    #[test]
+    fn incremental_chain_issues_fewer_plf_calls() {
+        // That is the whole point of the touched mechanism.
+        let full = toy_chain_with(400, 33, false).run(&mut ScalarBackend);
+        let inc = toy_chain_with(400, 33, true).run(&mut ScalarBackend);
+        assert!(
+            inc.plf_calls < full.plf_calls,
+            "incremental {} !< full {}",
+            inc.plf_calls,
+            full.plf_calls
+        );
+    }
+
+    #[test]
+    fn pinvar_chain_explores_invariable_sites() {
+        let (tree, aln) = toy_data();
+        let mut chain = Chain::new(
+            tree,
+            &aln,
+            GtrParams::jc69(),
+            0.5,
+            Priors::default(),
+            ChainOptions {
+                generations: 400,
+                seed: 77,
+                sample_every: 0,
+                initial_pinvar: 0.2,
+                incremental: true,
+                ..ChainOptions::default()
+            },
+        )
+        .unwrap();
+        let stats = chain.run(&mut ScalarBackend);
+        assert!(stats.final_ln_likelihood.is_finite());
+        let pinvar_slot = stats
+            .proposals
+            .iter()
+            .find(|(k, _)| *k == ProposalKind::PinvarSlide)
+            .unwrap();
+        assert!(pinvar_slot.1.proposed > 0, "pinvar move never drawn");
+        // The final state stays within the proposal bounds.
+        let p = chain.state().pinvar;
+        assert!((0.0..1.0).contains(&p), "pinvar {p}");
+    }
+
+    #[test]
+    fn incremental_deterministic() {
+        let s1 = toy_chain_with(150, 8, true).run(&mut ScalarBackend);
+        let s2 = toy_chain_with(150, 8, true).run(&mut ScalarBackend);
+        assert_eq!(s1.final_ln_likelihood, s2.final_ln_likelihood);
+        assert_eq!(s1.plf_calls, s2.plf_calls);
+    }
+}

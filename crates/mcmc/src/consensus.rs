@@ -1,0 +1,274 @@
+//! Majority-rule consensus trees — how Bayesian phylogenetics actually
+//! summarizes a posterior sample of topologies (MrBayes's `sumt`).
+//!
+//! Every sampled tree is decomposed into its non-trivial bipartitions
+//! (splits of the taxon set induced by internal edges, orientation-
+//! normalized for unrooted trees); splits occurring in more than half
+//! the samples are mutually compatible and assemble into the consensus
+//! topology, annotated with posterior support.
+
+use plf_phylo::tree::Tree;
+use std::collections::{BTreeSet, HashMap};
+
+/// A bipartition as the set of taxon indices on one side, normalized to
+/// exclude taxon 0 (the unrooted-tree orientation convention).
+pub type Split = BTreeSet<usize>;
+
+/// One consensus split with its posterior support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportedSplit {
+    /// Taxon names on the minority side of the split.
+    pub taxa: Vec<String>,
+    /// Fraction of samples containing the split.
+    pub support: f64,
+}
+
+/// A majority-rule consensus summary.
+#[derive(Debug, Clone)]
+pub struct Consensus {
+    /// Canonical taxon ordering used for indices.
+    pub taxa: Vec<String>,
+    /// Majority splits with supports, largest support first.
+    pub splits: Vec<SupportedSplit>,
+    /// Newick rendering with support values as internal labels.
+    pub newick: String,
+}
+
+/// Canonical (sorted) taxon list of a tree.
+pub fn taxa_of(tree: &Tree) -> Vec<String> {
+    let mut taxa: Vec<String> = tree
+        .leaves()
+        .iter()
+        .map(|&l| tree.node(l).name.clone().expect("leaves are named"))
+        .collect();
+    taxa.sort();
+    taxa
+}
+
+/// Non-trivial bipartitions of `tree` relative to `taxa` (which must be
+/// the tree's sorted taxon list).
+pub fn bipartitions(tree: &Tree, taxa: &[String]) -> Vec<Split> {
+    let index: HashMap<&str, usize> = taxa.iter().enumerate().map(|(i, t)| (t.as_str(), i)).collect();
+    // Leafsets bottom-up.
+    let mut leafset: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); tree.n_nodes()];
+    for id in tree.postorder() {
+        let node = tree.node(id);
+        if node.is_leaf() {
+            let name = node.name.as_deref().expect("leaf named");
+            leafset[id.0].insert(index[name]);
+        } else {
+            let mut acc = BTreeSet::new();
+            for &c in &node.children {
+                acc.extend(leafset[c.0].iter().copied());
+            }
+            leafset[id.0] = acc;
+        }
+    }
+    let n = taxa.len();
+    let mut out = Vec::new();
+    for id in tree.node_ids() {
+        let node = tree.node(id);
+        if node.is_leaf() || node.parent.is_none() {
+            continue; // trivial splits and the root
+        }
+        let mut side = leafset[id.0].clone();
+        // Orientation: the side not containing taxon 0.
+        if side.contains(&0) {
+            side = (0..n).filter(|i| !side.contains(i)).collect();
+        }
+        // Non-trivial: at least 2 taxa on each side.
+        if side.len() >= 2 && side.len() <= n - 2 {
+            out.push(side);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Build the majority-rule consensus of `trees` (all over the same
+/// taxon set). `threshold` is the inclusion fraction — 0.5 for the
+/// classic majority rule (values below 0.5 can produce incompatible
+/// splits and are rejected).
+///
+/// ```
+/// use plf_phylo::tree::Tree;
+/// use plf_mcmc::consensus::majority_consensus;
+/// let trees: Vec<Tree> = (0..3)
+///     .map(|_| Tree::from_newick("((a:1,b:1):1,c:1,d:1);").unwrap())
+///     .collect();
+/// let c = majority_consensus(&trees, 0.5);
+/// assert_eq!(c.splits.len(), 1);
+/// assert_eq!(c.splits[0].support, 1.0);
+/// ```
+pub fn majority_consensus(trees: &[Tree], threshold: f64) -> Consensus {
+    assert!(!trees.is_empty(), "need at least one tree");
+    assert!((0.5..=1.0).contains(&threshold), "threshold must be in [0.5, 1]");
+    let taxa = taxa_of(&trees[0]);
+    for t in trees {
+        assert_eq!(taxa_of(t), taxa, "trees over different taxon sets");
+    }
+    let mut counts: HashMap<Split, usize> = HashMap::new();
+    for t in trees {
+        for split in bipartitions(t, &taxa) {
+            *counts.entry(split).or_insert(0) += 1;
+        }
+    }
+    let n_trees = trees.len() as f64;
+    let mut kept: Vec<(Split, f64)> = counts
+        .into_iter()
+        .map(|(s, c)| (s, c as f64 / n_trees))
+        .filter(|(_, support)| *support > threshold)
+        .collect();
+    // Smaller clusters first so nesting builds bottom-up.
+    kept.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
+
+    // Forest assembly: each cluster groups the current roots it covers.
+    #[derive(Debug)]
+    struct Cluster {
+        leaves: BTreeSet<usize>,
+        label: String,
+    }
+    let mut forest: Vec<Cluster> = (0..taxa.len())
+        .map(|i| Cluster {
+            leaves: BTreeSet::from([i]),
+            label: taxa[i].clone(),
+        })
+        .collect();
+    for (split, support) in &kept {
+        let (inside, outside): (Vec<Cluster>, Vec<Cluster>) = forest
+            .drain(..)
+            .partition(|c| c.leaves.is_subset(split));
+        // Compatibility of majority splits guarantees exact coverage.
+        let covered: BTreeSet<usize> = inside.iter().flat_map(|c| c.leaves.iter().copied()).collect();
+        debug_assert_eq!(&covered, split, "incompatible split survived the majority rule");
+        let label = format!(
+            "({}){:.2}",
+            inside.iter().map(|c| c.label.as_str()).collect::<Vec<_>>().join(","),
+            support
+        );
+        forest = outside;
+        forest.push(Cluster {
+            leaves: covered,
+            label,
+        });
+    }
+    forest.sort_by(|a, b| a.leaves.cmp(&b.leaves));
+    let newick = format!(
+        "({});",
+        forest.iter().map(|c| c.label.as_str()).collect::<Vec<_>>().join(",")
+    );
+
+    let mut splits: Vec<SupportedSplit> = kept
+        .into_iter()
+        .map(|(s, support)| SupportedSplit {
+            taxa: s.iter().map(|&i| taxa[i].clone()).collect(),
+            support,
+        })
+        .collect();
+    splits.sort_by(|a, b| b.support.partial_cmp(&a.support).unwrap().then_with(|| a.taxa.cmp(&b.taxa)));
+    Consensus { taxa, splits, newick }
+}
+
+/// Convenience: consensus from sampled newick strings (e.g. a `.t`
+/// trace).
+pub fn consensus_from_newicks(newicks: &[String], threshold: f64) -> Result<Consensus, plf_phylo::tree::TreeError> {
+    let trees: Result<Vec<Tree>, _> = newicks.iter().map(|s| Tree::from_newick(s)).collect();
+    Ok(majority_consensus(&trees?, threshold))
+}
+
+/// Robinson–Foulds distance between two trees over the same taxa: the
+/// number of bipartitions present in exactly one of them.
+pub fn robinson_foulds(a: &Tree, b: &Tree) -> usize {
+    let taxa = taxa_of(a);
+    assert_eq!(taxa, taxa_of(b), "trees over different taxon sets");
+    let sa: BTreeSet<Split> = bipartitions(a, &taxa).into_iter().collect();
+    let sb: BTreeSet<Split> = bipartitions(b, &taxa).into_iter().collect();
+    sa.symmetric_difference(&sb).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(newick: &str) -> Tree {
+        Tree::from_newick(newick).unwrap()
+    }
+
+    #[test]
+    fn bipartitions_of_quartet() {
+        let tree = t("((a:1,b:1):1,c:1,d:1);");
+        let taxa = taxa_of(&tree);
+        let splits = bipartitions(&tree, &taxa);
+        // One non-trivial split: {a,b} | {c,d} → normalized side {c,d}?
+        // taxa sorted = [a,b,c,d]; side {a,b} contains taxon 0 → flip.
+        assert_eq!(splits.len(), 1);
+        assert_eq!(splits[0], BTreeSet::from([2usize, 3]));
+    }
+
+    #[test]
+    fn identical_trees_full_support() {
+        let trees: Vec<Tree> = (0..10)
+            .map(|_| t("(((a:1,b:1):1,(c:1,d:1):1):1,e:1,f:1);"))
+            .collect();
+        let c = majority_consensus(&trees, 0.5);
+        assert_eq!(c.splits.len(), 3);
+        assert!(c.splits.iter().all(|s| (s.support - 1.0).abs() < 1e-12));
+        // The consensus topology matches the input topology.
+        let rebuilt = Tree::from_newick(&c.newick.replace("1.00", "")).unwrap();
+        assert_eq!(robinson_foulds(&rebuilt, &trees[0]), 0);
+    }
+
+    #[test]
+    fn conflicting_trees_collapse_to_star() {
+        // Three quartet resolutions, each once: no split reaches majority.
+        let trees = vec![
+            t("((a:1,b:1):1,c:1,d:1);"),
+            t("((a:1,c:1):1,b:1,d:1);"),
+            t("((a:1,d:1):1,b:1,c:1);"),
+        ];
+        let c = majority_consensus(&trees, 0.5);
+        assert!(c.splits.is_empty());
+        assert_eq!(c.newick, "(a,b,c,d);");
+    }
+
+    #[test]
+    fn majority_wins() {
+        let trees = vec![
+            t("((a:1,b:1):1,c:1,d:1);"),
+            t("((a:1,b:1):1,c:1,d:1);"),
+            t("((a:1,c:1):1,b:1,d:1);"),
+        ];
+        let c = majority_consensus(&trees, 0.5);
+        assert_eq!(c.splits.len(), 1);
+        assert!((c.splits[0].support - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.splits[0].taxa, vec!["c".to_string(), "d".to_string()]);
+        assert!(c.newick.contains("(c,d)0.67"));
+    }
+
+    #[test]
+    fn rf_distance() {
+        let a = t("(((a:1,b:1):1,(c:1,d:1):1):1,e:1,f:1);");
+        let b = t("(((a:1,c:1):1,(b:1,d:1):1):1,e:1,f:1);");
+        assert_eq!(robinson_foulds(&a, &a), 0);
+        let d = robinson_foulds(&a, &b);
+        assert!(d > 0 && d.is_multiple_of(2), "RF {d}");
+    }
+
+    #[test]
+    fn consensus_from_newick_strings() {
+        let newicks = vec![
+            "((a:1,b:1):1,c:1,d:1);".to_string(),
+            "((a:1,b:1):1,c:1,d:1);".to_string(),
+        ];
+        let c = consensus_from_newicks(&newicks, 0.5).unwrap();
+        assert_eq!(c.splits.len(), 1);
+        assert!(consensus_from_newicks(&["(bad".to_string()], 0.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn sub_majority_threshold_rejected() {
+        majority_consensus(&[t("((a:1,b:1):1,c:1,d:1);")], 0.3);
+    }
+}

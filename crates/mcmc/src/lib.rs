@@ -1,0 +1,31 @@
+//! # plf-mcmc — MrBayes-like Bayesian phylogenetic inference
+//!
+//! A Metropolis–Hastings MCMC driver over GTR+Γ tree space, reproducing
+//! the application structure the paper parallelizes: a serial chain
+//! ("Remaining" time in Figure 12) that calls the Phylogenetic
+//! Likelihood Function — through any [`plf_phylo::kernels::PlfBackend`] —
+//! for every proposal. Chains run with fixed seeds and fixed generation
+//! counts, as in §4 of the paper.
+
+#![warn(missing_docs)]
+// Fixed-size 4-state matrix math reads clearest with explicit indices;
+// iterator adaptors would obscure the correspondence with the paper's
+// formulas.
+#![allow(clippy::needless_range_loop)]
+
+pub mod chain;
+pub mod consensus;
+pub mod mc3;
+pub mod priors;
+pub mod proposals;
+pub mod rng;
+pub mod state;
+pub mod trace;
+
+pub use chain::{Chain, ChainOptions, ChainStats, ProposalStats, Sample};
+pub use consensus::{consensus_from_newicks, majority_consensus, robinson_foulds, Consensus};
+pub use mc3::{Mc3, Mc3Options, Mc3Stats};
+pub use priors::Priors;
+pub use proposals::{ProposalKind, Tuning, ALL_PROPOSALS};
+pub use state::ChainState;
+pub use trace::{p_file, summarize, t_file, TraceRecord, TraceSummary};

@@ -1,0 +1,393 @@
+//! Metropolis-coupled MCMC (MC³) — the flagship algorithm of MrBayes 3.
+//!
+//! Several chains run simultaneously: one *cold* chain samples the true
+//! posterior while heated chains (`β_i = 1 / (1 + i·ΔT)`) explore a
+//! flattened landscape; periodic state-swap moves let the cold chain
+//! teleport across likelihood valleys. Chains are independent between
+//! swaps, so MC³ is also the natural *coarse-grain* parallelism of
+//! Bayesian phylogenetics — the complement to the paper's fine-grain
+//! PLF parallelism (PBPI's "multi-grain" combines both; see §5). This
+//! driver can run its chains on host threads, each with its own
+//! [`PlfBackend`].
+
+use crate::chain::{Chain, ChainOptions, RunAccum, Sample};
+use crate::priors::Priors;
+use crate::trace::TraceRecord;
+use plf_phylo::alignment::PatternAlignment;
+use plf_phylo::kernels::PlfBackend;
+use plf_phylo::likelihood::LikelihoodError;
+use plf_phylo::model::GtrParams;
+use plf_phylo::tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// MC³ configuration.
+#[derive(Debug, Clone)]
+pub struct Mc3Options {
+    /// Number of coupled chains (MrBayes default: 4).
+    pub n_chains: usize,
+    /// Temperature increment ΔT (MrBayes default: 0.1).
+    pub heat: f64,
+    /// Generations between swap attempts.
+    pub swap_every: usize,
+    /// Run the chains of each block on separate host threads.
+    pub parallel: bool,
+    /// Per-chain options; `generations` is the total run length and
+    /// `seed` seeds chain 0 (chain `i` uses `seed + i`).
+    pub chain: ChainOptions,
+}
+
+impl Default for Mc3Options {
+    fn default() -> Mc3Options {
+        Mc3Options {
+            n_chains: 4,
+            heat: 0.1,
+            swap_every: 10,
+            parallel: false,
+            chain: ChainOptions::default(),
+        }
+    }
+}
+
+/// Results of an MC³ run.
+#[derive(Debug, Clone)]
+pub struct Mc3Stats {
+    /// Posterior samples from the cold chain.
+    pub cold_samples: Vec<Sample>,
+    /// Full trace records from the cold chain (if enabled).
+    pub cold_trace: Vec<TraceRecord>,
+    /// Swap attempts.
+    pub swaps_proposed: u64,
+    /// Accepted swaps.
+    pub swaps_accepted: u64,
+    /// `(β, accumulators)` per chain slot.
+    pub per_chain: Vec<(f64, RunAccum)>,
+    /// Final cold-chain log-likelihood.
+    pub final_cold_ln_likelihood: f64,
+    /// Wall time of the whole run.
+    pub total_time: Duration,
+}
+
+impl Mc3Stats {
+    /// Fraction of accepted swaps.
+    pub fn swap_acceptance(&self) -> f64 {
+        if self.swaps_proposed == 0 {
+            0.0
+        } else {
+            self.swaps_accepted as f64 / self.swaps_proposed as f64
+        }
+    }
+
+    /// Total PLF kernel calls across all chains.
+    pub fn total_plf_calls(&self) -> u64 {
+        self.per_chain.iter().map(|(_, a)| a.plf_calls).sum()
+    }
+}
+
+/// A Metropolis-coupled ensemble over one data set.
+pub struct Mc3 {
+    chains: Vec<Chain>,
+    rng: StdRng,
+    options: Mc3Options,
+}
+
+impl Mc3 {
+    /// Build `n_chains` coupled chains, all starting from the same tree
+    /// and model but with distinct RNG streams and temperatures.
+    pub fn new(
+        tree: Tree,
+        data: &PatternAlignment,
+        params: GtrParams,
+        shape: f64,
+        priors: Priors,
+        options: Mc3Options,
+    ) -> Result<Mc3, LikelihoodError> {
+        assert!(options.n_chains >= 1);
+        assert!(options.heat >= 0.0);
+        assert!(options.swap_every >= 1);
+        let mut chains = Vec::with_capacity(options.n_chains);
+        for i in 0..options.n_chains {
+            let chain_opts = ChainOptions {
+                seed: options.chain.seed + i as u64,
+                ..options.chain.clone()
+            };
+            let mut chain = Chain::new(
+                tree.clone(),
+                data,
+                params.clone(),
+                shape,
+                priors.clone(),
+                chain_opts,
+            )?;
+            chain.set_temperature(1.0 / (1.0 + i as f64 * options.heat));
+            chains.push(chain);
+        }
+        Ok(Mc3 {
+            chains,
+            rng: StdRng::seed_from_u64(options.chain.seed ^ 0x4d43_3333),
+            options,
+        })
+    }
+
+    /// The chains (for inspection).
+    pub fn chains(&self) -> &[Chain] {
+        &self.chains
+    }
+
+    /// Run a block of `steps` generations on every chain, optionally in
+    /// parallel (one thread per chain).
+    fn run_block(&mut self, backends: &mut [Box<dyn PlfBackend>], steps: usize) {
+        if self.options.parallel && self.chains.len() > 1 {
+            std::thread::scope(|scope| {
+                for (chain, backend) in self.chains.iter_mut().zip(backends.iter_mut()) {
+                    scope.spawn(move || {
+                        chain.initialize(backend.as_mut());
+                        for _ in 0..steps {
+                            chain.step(backend.as_mut());
+                        }
+                    });
+                }
+            });
+        } else {
+            for (chain, backend) in self.chains.iter_mut().zip(backends.iter_mut()) {
+                chain.initialize(backend.as_mut());
+                for _ in 0..steps {
+                    chain.step(backend.as_mut());
+                }
+            }
+        }
+    }
+
+    /// Run to completion. `backends` must provide one backend per chain.
+    pub fn run(&mut self, backends: &mut [Box<dyn PlfBackend>]) -> Mc3Stats {
+        assert_eq!(
+            backends.len(),
+            self.chains.len(),
+            "need one backend per chain"
+        );
+        let start = Instant::now();
+        let total = self.options.chain.generations;
+        let swap_every = self.options.swap_every;
+        let sample_every = self.options.chain.sample_every;
+        let mut cold_samples = Vec::new();
+        let mut cold_trace = Vec::new();
+        let mut swaps_proposed = 0u64;
+        let mut swaps_accepted = 0u64;
+
+        let mut done = 0usize;
+        while done < total {
+            let steps = swap_every.min(total - done);
+            self.run_block(backends, steps);
+            done += steps;
+
+            // Swap attempt between a random adjacent pair.
+            if self.chains.len() > 1 {
+                swaps_proposed += 1;
+                let i = self.rng.gen_range(0..self.chains.len() - 1);
+                let (beta_i, beta_j) = (
+                    self.chains[i].temperature(),
+                    self.chains[i + 1].temperature(),
+                );
+                let (lp_i, lp_j) = (
+                    self.chains[i].ln_posterior(),
+                    self.chains[i + 1].ln_posterior(),
+                );
+                let ln_accept = (beta_i - beta_j) * (lp_j - lp_i);
+                let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                if u.ln() < ln_accept {
+                    let (a, b) = self.chains.split_at_mut(i + 1);
+                    Chain::swap_payload(&mut a[i], &mut b[0]);
+                    swaps_accepted += 1;
+                }
+            }
+
+            // Cold-chain sampling at block boundaries.
+            if sample_every > 0 && done.is_multiple_of(sample_every) {
+                let cold = &self.chains[0];
+                cold_samples.push(Sample {
+                    generation: done,
+                    ln_likelihood: cold.state().ln_likelihood,
+                    tree_length: cold.state().tree.tree_length(),
+                    shape: cold.state().shape,
+                });
+                if self.options.chain.record_trace {
+                    cold_trace.push(TraceRecord {
+                        generation: done,
+                        ln_likelihood: cold.state().ln_likelihood,
+                        tree_length: cold.state().tree.tree_length(),
+                        shape: cold.state().shape,
+                        pinvar: cold.state().pinvar,
+                        freqs: cold.state().params.freqs,
+                        rates: cold.state().params.rates,
+                        newick: cold.state().tree.to_newick(),
+                    });
+                }
+            }
+        }
+
+        Mc3Stats {
+            cold_samples,
+            cold_trace,
+            swaps_proposed,
+            swaps_accepted,
+            per_chain: self
+                .chains
+                .iter()
+                .map(|c| (c.temperature(), c.accum().clone()))
+                .collect(),
+            final_cold_ln_likelihood: self.chains[0].state().ln_likelihood,
+            total_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::alignment::Alignment;
+    use plf_phylo::kernels::ScalarBackend;
+
+    fn toy_data() -> (Tree, PatternAlignment) {
+        let tree = Tree::from_newick(
+            "(((a:0.1,b:0.1):0.1,(c:0.1,d:0.1):0.1):0.1,(e:0.1,f:0.1):0.1,g:0.2);",
+        )
+        .unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAAGGCCTTAGCAACGTAGGA"),
+            ("b", "ACGTACGTACGGCCTTAGCAACGTAGGA"),
+            ("c", "ACGAACGTTAGGCCTAAGCAACGAAGGA"),
+            ("d", "ACTTACGTAAGGCGTTAGCAACGTAGGT"),
+            ("e", "ACGTACGTAAGGCCTTAGCCACGTAGGA"),
+            ("f", "ACGTTCGTAAGGCCTTAGCAACGTCGGA"),
+            ("g", "AGGTACGTAAGGCCTTAGCAACGTAGGA"),
+        ])
+        .unwrap()
+        .compress();
+        (tree, aln)
+    }
+
+    fn backends(n: usize) -> Vec<Box<dyn PlfBackend>> {
+        (0..n)
+            .map(|_| Box::new(ScalarBackend) as Box<dyn PlfBackend>)
+            .collect()
+    }
+
+    fn mc3_with(n_chains: usize, parallel: bool, generations: usize) -> Mc3 {
+        let (tree, aln) = toy_data();
+        Mc3::new(
+            tree,
+            &aln,
+            GtrParams::jc69(),
+            0.5,
+            Priors::default(),
+            Mc3Options {
+                n_chains,
+                parallel,
+                swap_every: 10,
+                chain: ChainOptions {
+                    generations,
+                    seed: 5,
+                    sample_every: 50,
+                    ..ChainOptions::default()
+                },
+                ..Mc3Options::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_chain_mc3_equals_plain_chain() {
+        let (tree, aln) = toy_data();
+        let mut plain = Chain::new(
+            tree,
+            &aln,
+            GtrParams::jc69(),
+            0.5,
+            Priors::default(),
+            ChainOptions {
+                generations: 200,
+                seed: 5,
+                sample_every: 50,
+                ..ChainOptions::default()
+            },
+        )
+        .unwrap();
+        let plain_stats = plain.run(&mut ScalarBackend);
+        let mut mc3 = mc3_with(1, false, 200);
+        let stats = mc3.run(&mut backends(1));
+        assert_eq!(stats.final_cold_ln_likelihood, plain_stats.final_ln_likelihood);
+        assert_eq!(stats.swaps_proposed, 0);
+    }
+
+    #[test]
+    fn swaps_happen_and_are_bounded() {
+        let mut mc3 = mc3_with(4, false, 400);
+        let stats = mc3.run(&mut backends(4));
+        assert_eq!(stats.swaps_proposed, 40);
+        assert!(stats.swaps_accepted <= stats.swaps_proposed);
+        assert!(stats.swaps_accepted > 0, "no swap ever accepted");
+        assert_eq!(stats.per_chain.len(), 4);
+        // Temperatures form the MrBayes ladder.
+        for (i, (beta, _)) in stats.per_chain.iter().enumerate() {
+            assert!((beta - 1.0 / (1.0 + 0.1 * i as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn strong_heating_raises_acceptance() {
+        // Identical chains (same seed, same proposals) at β = 1 vs a
+        // strongly heated β = 0.1: the flattened posterior must accept
+        // at least as many moves, and strictly more over a long run.
+        let (tree, aln) = toy_data();
+        let rate_at = |beta: f64| {
+            let mut chain = Chain::new(
+                tree.clone(),
+                &aln,
+                GtrParams::jc69(),
+                0.5,
+                Priors::default(),
+                ChainOptions {
+                    generations: 800,
+                    seed: 9,
+                    sample_every: 0,
+                    ..ChainOptions::default()
+                },
+            )
+            .unwrap();
+            chain.set_temperature(beta);
+            let stats = chain.run(&mut ScalarBackend);
+            let (p, a) = stats
+                .proposals
+                .iter()
+                .fold((0u64, 0u64), |(p, a), (_, s)| (p + s.proposed, a + s.accepted));
+            a as f64 / p as f64
+        };
+        let cold = rate_at(1.0);
+        let hot = rate_at(0.1);
+        assert!(
+            hot > cold,
+            "heated chain should accept more: cold {cold:.3} vs hot {hot:.3}"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let serial = mc3_with(3, false, 300).run(&mut backends(3));
+        let parallel = mc3_with(3, true, 300).run(&mut backends(3));
+        assert_eq!(
+            serial.final_cold_ln_likelihood,
+            parallel.final_cold_ln_likelihood
+        );
+        assert_eq!(serial.swaps_accepted, parallel.swaps_accepted);
+    }
+
+    #[test]
+    fn cold_samples_recorded() {
+        let mut mc3 = mc3_with(2, false, 200);
+        let stats = mc3.run(&mut backends(2));
+        assert_eq!(stats.cold_samples.len(), 4);
+        assert!(stats.total_plf_calls() > 0);
+    }
+}

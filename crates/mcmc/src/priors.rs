@@ -1,0 +1,86 @@
+//! Prior densities — the MrBayes 3.1.2 defaults.
+//!
+//! Branch lengths: i.i.d. Exponential(10); base frequencies and
+//! exchangeabilities: flat Dirichlet; Γ shape: Uniform(0, max).
+
+use crate::state::ChainState;
+
+/// Prior hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Priors {
+    /// Rate of the exponential branch-length prior (MrBayes default 10).
+    pub branch_rate: f64,
+    /// Upper bound of the uniform prior on the Γ shape.
+    pub shape_max: f64,
+}
+
+impl Default for Priors {
+    fn default() -> Priors {
+        Priors {
+            branch_rate: 10.0,
+            shape_max: 200.0,
+        }
+    }
+}
+
+impl Priors {
+    /// Joint log prior density of a state. Flat Dirichlet terms are
+    /// constants and therefore omitted (they cancel in MH ratios).
+    pub fn ln_prior(&self, state: &ChainState) -> f64 {
+        if !(state.shape > 0.0 && state.shape <= self.shape_max) {
+            return f64::NEG_INFINITY;
+        }
+        if !(0.0..1.0).contains(&state.pinvar) {
+            return f64::NEG_INFINITY;
+        }
+        let mut ln = -self.shape_max.ln();
+        for id in state.tree.branches() {
+            let b = state.tree.node(id).branch;
+            if b < 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            ln += self.branch_rate.ln() - self.branch_rate * b;
+        }
+        ln
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::model::GtrParams;
+    use plf_phylo::tree::Tree;
+
+    fn state(shape: f64) -> ChainState {
+        let tree = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        ChainState::new(tree, GtrParams::jc69(), shape)
+    }
+
+    #[test]
+    fn shorter_trees_are_more_probable() {
+        let p = Priors::default();
+        let s_short = state(1.0);
+        let mut s_long = s_short.clone();
+        for id in s_long.tree.branches() {
+            s_long.tree.node_mut(id).branch *= 10.0;
+        }
+        assert!(p.ln_prior(&s_short) > p.ln_prior(&s_long));
+    }
+
+    #[test]
+    fn out_of_range_shape_is_impossible() {
+        let p = Priors::default();
+        assert_eq!(p.ln_prior(&state(0.0)), f64::NEG_INFINITY);
+        assert_eq!(p.ln_prior(&state(1e9)), f64::NEG_INFINITY);
+        assert!(p.ln_prior(&state(0.5)).is_finite());
+    }
+
+    #[test]
+    fn exponential_prior_value() {
+        // 5 branches summing to 1.05 with rate 10:
+        // ln = -ln(200) + 5 ln 10 - 10*1.05
+        let p = Priors::default();
+        let expect = -(200.0f64).ln() + 5.0 * 10.0f64.ln() - 10.0 * 1.05;
+        assert!((p.ln_prior(&state(1.0)) - expect).abs() < 1e-10);
+    }
+}

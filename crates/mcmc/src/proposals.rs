@@ -1,0 +1,376 @@
+//! Metropolis–Hastings proposal moves.
+//!
+//! The move set mirrors the MrBayes defaults relevant to a GTR+Γ DNA
+//! analysis: branch-length multipliers, NNI topology changes, Dirichlet
+//! moves on base frequencies and exchangeabilities, and a multiplier on
+//! the Γ shape.
+
+use crate::rng::{dirichlet, ln_dirichlet_pdf};
+use crate::state::ChainState;
+use plf_phylo::tree::NodeId;
+use rand::Rng;
+
+/// What a move invalidated — drives MrBayes-style partial PLF updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dirty {
+    /// Only the CLVs above these nodes are stale.
+    Nodes(Vec<NodeId>),
+    /// The substitution model changed: every CLV is stale.
+    Model,
+}
+
+/// Result of applying a proposal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProposalOutcome {
+    /// `ln` of the Hastings ratio.
+    pub ln_hastings: f64,
+    /// Invalidation scope.
+    pub dirty: Dirty,
+}
+
+/// The available move types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProposalKind {
+    /// Multiply one random branch length by `exp(λ(u−½))`.
+    BranchMultiplier,
+    /// Nearest-neighbour interchange across a random internal edge.
+    Nni,
+    /// Dirichlet-centred move on the base frequencies.
+    FreqDirichlet,
+    /// Dirichlet-centred move on the exchangeability rates.
+    RateDirichlet,
+    /// Multiplier move on the Γ shape α.
+    ShapeMultiplier,
+    /// Sliding-window move on the proportion of invariable sites.
+    PinvarSlide,
+    /// Subtree prune-and-regraft across the whole tree (MrBayes eSPR).
+    Spr,
+}
+
+/// All proposal kinds, for iteration and stats tables.
+pub const ALL_PROPOSALS: [ProposalKind; 7] = [
+    ProposalKind::BranchMultiplier,
+    ProposalKind::Nni,
+    ProposalKind::Spr,
+    ProposalKind::FreqDirichlet,
+    ProposalKind::RateDirichlet,
+    ProposalKind::ShapeMultiplier,
+    ProposalKind::PinvarSlide,
+];
+
+impl ProposalKind {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProposalKind::BranchMultiplier => "branch-mult",
+            ProposalKind::Nni => "nni",
+            ProposalKind::FreqDirichlet => "freq-dirichlet",
+            ProposalKind::RateDirichlet => "rate-dirichlet",
+            ProposalKind::ShapeMultiplier => "shape-mult",
+            ProposalKind::PinvarSlide => "pinvar-slide",
+            ProposalKind::Spr => "spr",
+        }
+    }
+
+    /// Does this move change the substitution model (requiring new
+    /// transition matrices *and* a new eigensystem)?
+    pub fn changes_model(self) -> bool {
+        matches!(
+            self,
+            ProposalKind::FreqDirichlet
+                | ProposalKind::RateDirichlet
+                | ProposalKind::ShapeMultiplier
+                | ProposalKind::PinvarSlide
+        )
+    }
+}
+
+/// Tuning constants (MrBayes-like defaults).
+#[derive(Debug, Clone)]
+pub struct Tuning {
+    /// λ of the branch multiplier.
+    pub branch_lambda: f64,
+    /// λ of the shape multiplier.
+    pub shape_lambda: f64,
+    /// Dirichlet concentration for frequency moves.
+    pub freq_concentration: f64,
+    /// Dirichlet concentration for exchangeability moves.
+    pub rate_concentration: f64,
+    /// Window half-width of the pinvar slide.
+    pub pinvar_window: f64,
+}
+
+impl Default for Tuning {
+    fn default() -> Tuning {
+        Tuning {
+            branch_lambda: 2.0 * (1.6f64).ln(),
+            shape_lambda: 2.0 * (1.5f64).ln(),
+            freq_concentration: 300.0,
+            rate_concentration: 150.0,
+            pinvar_window: 0.1,
+        }
+    }
+}
+
+/// Apply `kind` to `state` in place, returning the Hastings ratio and
+/// the invalidation scope, or `None` when the move is not applicable
+/// (e.g. NNI on a tree without internal edges) — the chain counts that
+/// as an auto-reject.
+pub fn propose<R: Rng>(
+    kind: ProposalKind,
+    state: &mut ChainState,
+    tuning: &Tuning,
+    rng: &mut R,
+) -> Option<ProposalOutcome> {
+    let (ln_hastings, dirty) = propose_inner(kind, state, tuning, rng)?;
+    Some(ProposalOutcome { ln_hastings, dirty })
+}
+
+fn propose_inner<R: Rng>(
+    kind: ProposalKind,
+    state: &mut ChainState,
+    tuning: &Tuning,
+    rng: &mut R,
+) -> Option<(f64, Dirty)> {
+    match kind {
+        ProposalKind::BranchMultiplier => {
+            let branches = state.tree.branches();
+            let id = branches[rng.gen_range(0..branches.len())];
+            let factor = (tuning.branch_lambda * (rng.gen_range(0.0..1.0) - 0.5)).exp();
+            let node = state.tree.node_mut(id);
+            node.branch = (node.branch * factor).clamp(1e-9, 1e3);
+            Some((factor.ln(), Dirty::Nodes(vec![id])))
+        }
+        ProposalKind::Nni => {
+            let edges = state.tree.internal_edges();
+            if edges.is_empty() {
+                return None;
+            }
+            let (p, c) = edges[rng.gen_range(0..edges.len())];
+            let parent_options = state.tree.node(p).children.len() - 1;
+            let i = rng.gen_range(0..parent_options);
+            let j = rng.gen_range(0..2);
+            state
+                .tree
+                .nni(p, c, i, j)
+                .expect("edge came from internal_edges");
+            // The reverse move picks the same edge and indices: symmetric.
+            Some((0.0, Dirty::Nodes(vec![p, c])))
+        }
+        ProposalKind::FreqDirichlet => {
+            let old = state.params.freqs;
+            let c = tuning.freq_concentration;
+            let alphas: [f64; 4] = std::array::from_fn(|i| c * old[i] + 1e-3);
+            let new = dirichlet(&alphas, rng);
+            if new.iter().any(|&x| x < 1e-6) {
+                return None;
+            }
+            let rev_alphas: [f64; 4] = std::array::from_fn(|i| c * new[i] + 1e-3);
+            let ln_h = ln_dirichlet_pdf(&rev_alphas, &old) - ln_dirichlet_pdf(&alphas, &new);
+            state.params.freqs = new;
+            Some((ln_h, Dirty::Model))
+        }
+        ProposalKind::RateDirichlet => {
+            // Work on the rate simplex (rates are scale-free because Q is
+            // renormalized).
+            let sum: f64 = state.params.rates.iter().sum();
+            let old: [f64; 6] = std::array::from_fn(|i| state.params.rates[i] / sum);
+            let c = tuning.rate_concentration;
+            let alphas: [f64; 6] = std::array::from_fn(|i| c * old[i] + 1e-3);
+            let new = dirichlet(&alphas, rng);
+            if new.iter().any(|&x| x < 1e-7) {
+                return None;
+            }
+            let rev_alphas: [f64; 6] = std::array::from_fn(|i| c * new[i] + 1e-3);
+            let ln_h = ln_dirichlet_pdf(&rev_alphas, &old) - ln_dirichlet_pdf(&alphas, &new);
+            // Keep the customary GT≈1 scaling for readability.
+            state.params.rates = std::array::from_fn(|i| new[i] / new[5]);
+            Some((ln_h, Dirty::Model))
+        }
+        ProposalKind::ShapeMultiplier => {
+            let factor = (tuning.shape_lambda * (rng.gen_range(0.0..1.0) - 0.5)).exp();
+            state.shape = (state.shape * factor).clamp(1e-3, 1e3);
+            Some((factor.ln(), Dirty::Model))
+        }
+        ProposalKind::Spr => {
+            let candidates = state.tree.spr_prune_candidates();
+            if candidates.is_empty() {
+                return None;
+            }
+            let x = candidates[rng.gen_range(0..candidates.len())];
+            let targets = state.tree.spr_targets(x);
+            if targets.is_empty() {
+                return None;
+            }
+            let target = targets[rng.gen_range(0..targets.len())];
+            let split: f64 = rng.gen_range(0.02..0.98);
+            let info = state
+                .tree
+                .spr(x, target, split)
+                .expect("candidate/target pair is legal");
+            // Candidate-set sizes are SPR-invariant, and the split
+            // fraction is uniform, so the MH correction reduces to the
+            // branch-measure Jacobians of the merge and split:
+            // ln H = ln b_target − ln b_merged.
+            let ln_h = info.target_branch.max(1e-300).ln() - info.merged_branch.max(1e-300).ln();
+            Some((
+                ln_h,
+                Dirty::Nodes(vec![info.old_location, info.new_internal]),
+            ))
+        }
+        ProposalKind::PinvarSlide => {
+            // Uniform window with reflection at 0 and PINVAR_MAX keeps
+            // the move symmetric (Hastings ratio 1).
+            let w = tuning.pinvar_window;
+            let mut p = state.pinvar + rng.gen_range(-w..w);
+            if p < 0.0 {
+                p = -p;
+            }
+            if p > PINVAR_MAX {
+                p = 2.0 * PINVAR_MAX - p;
+            }
+            state.pinvar = p.clamp(0.0, PINVAR_MAX);
+            Some((0.0, Dirty::Model))
+        }
+    }
+}
+
+/// Upper bound of the invariable-sites proportion explored by the chain.
+pub const PINVAR_MAX: f64 = 0.85;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::model::GtrParams;
+    use plf_phylo::tree::Tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn state() -> ChainState {
+        let tree =
+            Tree::from_newick("(((a:0.1,b:0.1):0.1,(c:0.1,d:0.1):0.1):0.1,(e:0.1,f:0.1):0.1,g:0.2);")
+                .unwrap();
+        ChainState::new(tree, GtrParams::jc69(), 0.5)
+    }
+
+    #[test]
+    fn branch_multiplier_changes_one_branch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s0 = state();
+        let mut s = s0.clone();
+        let out = propose(ProposalKind::BranchMultiplier, &mut s, &Tuning::default(), &mut rng)
+            .unwrap();
+        let changed: Vec<_> = s0
+            .tree
+            .branches()
+            .into_iter()
+            .filter(|&id| (s.tree.node(id).branch - s0.tree.node(id).branch).abs() > 1e-15)
+            .collect();
+        assert_eq!(changed.len(), 1);
+        let id = changed[0];
+        let ratio = s.tree.node(id).branch / s0.tree.node(id).branch;
+        assert!((out.ln_hastings - ratio.ln()).abs() < 1e-12);
+        assert_eq!(out.dirty, Dirty::Nodes(vec![id]));
+    }
+
+    #[test]
+    fn nni_keeps_tree_valid_and_changes_topology() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s0 = state();
+        let mut changed = 0;
+        for _ in 0..20 {
+            let mut s = s0.clone();
+            let out = propose(ProposalKind::Nni, &mut s, &Tuning::default(), &mut rng).unwrap();
+            assert_eq!(out.ln_hastings, 0.0);
+            assert!(matches!(out.dirty, Dirty::Nodes(ref v) if v.len() == 2));
+            assert!(s.tree.validate().is_ok());
+            assert_eq!(s.tree.n_leaves(), s0.tree.n_leaves());
+            if s.tree.topology_signature() != s0.tree.topology_signature() {
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "NNI never changed the topology in 20 draws");
+    }
+
+    #[test]
+    fn freq_move_stays_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = state();
+        for _ in 0..50 {
+            if propose(ProposalKind::FreqDirichlet, &mut s, &Tuning::default(), &mut rng).is_some()
+            {
+                let sum: f64 = s.params.freqs.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9);
+                assert!(s.params.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn rate_move_keeps_rates_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = state();
+        for _ in 0..50 {
+            if propose(ProposalKind::RateDirichlet, &mut s, &Tuning::default(), &mut rng).is_some()
+            {
+                assert!(s.params.rates.iter().all(|&r| r > 0.0));
+                assert!((s.params.rates[5] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_multiplier_hastings() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = state();
+        let before = s.shape;
+        let out =
+            propose(ProposalKind::ShapeMultiplier, &mut s, &Tuning::default(), &mut rng).unwrap();
+        assert!((out.ln_hastings - (s.shape / before).ln()).abs() < 1e-12);
+        assert_eq!(out.dirty, Dirty::Model);
+    }
+
+    #[test]
+    fn model_change_classification() {
+        assert!(!ProposalKind::BranchMultiplier.changes_model());
+        assert!(!ProposalKind::Nni.changes_model());
+        assert!(ProposalKind::FreqDirichlet.changes_model());
+        assert!(ProposalKind::RateDirichlet.changes_model());
+        assert!(ProposalKind::ShapeMultiplier.changes_model());
+        assert!(ProposalKind::PinvarSlide.changes_model());
+    }
+
+    #[test]
+    fn spr_preserves_validity_and_has_branch_hastings() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s0 = state();
+        let mut changed = 0;
+        for _ in 0..40 {
+            let mut s = s0.clone();
+            let out = propose(ProposalKind::Spr, &mut s, &Tuning::default(), &mut rng).unwrap();
+            assert!(s.tree.validate().is_ok());
+            assert_eq!(s.tree.n_leaves(), s0.tree.n_leaves());
+            assert!(out.ln_hastings.is_finite());
+            assert!(matches!(out.dirty, Dirty::Nodes(ref v) if v.len() == 2));
+            if s.tree.topology_signature() != s0.tree.topology_signature() {
+                changed += 1;
+            }
+        }
+        assert!(changed > 5, "SPR rarely changed topology: {changed}/40");
+    }
+
+    #[test]
+    fn pinvar_slide_stays_in_bounds_and_symmetric() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut s = state();
+        for _ in 0..300 {
+            let out =
+                propose(ProposalKind::PinvarSlide, &mut s, &Tuning::default(), &mut rng).unwrap();
+            assert_eq!(out.ln_hastings, 0.0);
+            assert_eq!(out.dirty, Dirty::Model);
+            assert!((0.0..=PINVAR_MAX).contains(&s.pinvar), "pinvar {}", s.pinvar);
+        }
+        // The reflecting walk must actually move.
+        assert!(s.pinvar > 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Random-variate sampling used by the MCMC proposals.
+//!
+//! The offline `rand` crate provides uniform sampling only, so the
+//! gamma/normal/Dirichlet variates the proposals need are implemented
+//! here with standard algorithms (Box–Muller, Marsaglia–Tsang).
+
+use rand::Rng;
+
+/// Standard normal variate (Box–Muller).
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gamma(shape, scale 1) variate (Marsaglia & Tsang 2000, with the
+/// shape<1 boost).
+pub fn gamma<R: Rng>(shape: f64, rng: &mut R) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite());
+    if shape < 1.0 {
+        // Boost: G(a) = G(a+1) * U^{1/a}.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Dirichlet(alphas) variate via normalized gammas.
+pub fn dirichlet<R: Rng, const N: usize>(alphas: &[f64; N], rng: &mut R) -> [f64; N] {
+    let mut draws = [0.0f64; N];
+    let mut sum = 0.0;
+    for (d, &a) in draws.iter_mut().zip(alphas.iter()) {
+        *d = gamma(a, rng).max(1e-300);
+        sum += *d;
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Log density of Dirichlet(alphas) at `x` (x on the simplex).
+pub fn ln_dirichlet_pdf<const N: usize>(alphas: &[f64; N], x: &[f64; N]) -> f64 {
+    use plf_phylo::model::ln_gamma;
+    let a0: f64 = alphas.iter().sum();
+    let mut ln = ln_gamma(a0);
+    for i in 0..N {
+        ln -= ln_gamma(alphas[i]);
+        ln += (alphas[i] - 1.0) * x[i].ln();
+    }
+    ln
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &shape in &[0.5f64, 1.0, 2.0, 8.0] {
+            let n = 20_000;
+            let draws: Vec<f64> = (0..n).map(|_| gamma(shape, &mut rng)).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.1 * shape.max(1.0), "shape {shape} mean {mean}");
+            assert!((var - shape).abs() < 0.2 * shape.max(1.0), "shape {shape} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(gamma(0.3, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn dirichlet_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let d = dirichlet(&[2.0, 3.0, 4.0, 1.0], &mut rng);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(d.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let alphas = [4.0, 2.0, 1.0, 1.0];
+        let n = 10_000;
+        let mut acc = [0.0f64; 4];
+        for _ in 0..n {
+            let d = dirichlet(&alphas, &mut rng);
+            for i in 0..4 {
+                acc[i] += d[i];
+            }
+        }
+        let a0: f64 = alphas.iter().sum();
+        for i in 0..4 {
+            let mean = acc[i] / n as f64;
+            assert!((mean - alphas[i] / a0).abs() < 0.02, "component {i}: {mean}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_pdf_uniform_case() {
+        // Dirichlet(1,1,1,1) density is Γ(4) = 6 everywhere: ln = ln 6.
+        let ln = ln_dirichlet_pdf(&[1.0; 4], &[0.25; 4]);
+        assert!((ln - 6.0f64.ln()).abs() < 1e-10);
+    }
+}

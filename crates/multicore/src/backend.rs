@@ -1,0 +1,223 @@
+//! Rayon-based parallel PLF backend — the OpenMP analogue.
+//!
+//! §3.2 of the paper: "parallelize the outermost loop, thus reducing the
+//! parallelization overheads", with one static chunk per core. We do the
+//! same: the pattern loop is split into `n_threads` contiguous chunks,
+//! each processed by the scalar/SIMD range kernels, with rayon's
+//! fork-join standing in for `#pragma omp parallel for`.
+
+use plf_phylo::clv::{Clv, TransitionMatrices};
+use plf_phylo::dna::N_STATES;
+use plf_phylo::kernels::{scalar, simd4, PlfBackend, SimdSchedule};
+use rayon::prelude::*;
+
+/// Parallel host backend over a dedicated rayon pool.
+pub struct RayonBackend {
+    pool: rayon::ThreadPool,
+    n_threads: usize,
+    schedule: Option<SimdSchedule>,
+}
+
+impl RayonBackend {
+    /// Build a backend with `n_threads` worker threads using the
+    /// column-wise SIMD kernels (bitwise-identical to the scalar
+    /// reference).
+    pub fn new(n_threads: usize) -> RayonBackend {
+        RayonBackend::with_kernel(n_threads, Some(SimdSchedule::ColWise))
+    }
+
+    /// Choose the kernel: `None` = scalar reference, `Some(schedule)` =
+    /// 4-wide SIMD.
+    pub fn with_kernel(n_threads: usize, schedule: Option<SimdSchedule>) -> RayonBackend {
+        assert!(n_threads >= 1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n_threads)
+            .build()
+            .expect("thread pool construction");
+        RayonBackend {
+            pool,
+            n_threads,
+            schedule,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Floats per chunk for `m` patterns of stride `stride`: one
+    /// contiguous chunk per thread (OpenMP static schedule).
+    fn chunk_len(&self, m: usize, stride: usize) -> usize {
+        m.div_ceil(self.n_threads).max(1) * stride
+    }
+}
+
+impl PlfBackend for RayonBackend {
+    fn name(&self) -> String {
+        format!("rayon-{}", self.n_threads)
+    }
+
+    fn cond_like_down(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    ) {
+        let n_rates = out.n_rates();
+        let stride = n_rates * N_STATES;
+        let chunk = self.chunk_len(out.n_patterns(), stride);
+        let schedule = self.schedule;
+        let (l, r) = (left.as_slice(), right.as_slice());
+        self.pool.install(|| {
+            out.as_mut_slice()
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, o)| {
+                    let start = ci * chunk;
+                    let (lc, rc) = (&l[start..start + o.len()], &r[start..start + o.len()]);
+                    match schedule {
+                        None => scalar::cond_like_down_range(lc, p_left, rc, p_right, o, n_rates),
+                        Some(s) => {
+                            simd4::cond_like_down_range(s, lc, p_left, rc, p_right, o, n_rates)
+                        }
+                    }
+                });
+        });
+    }
+
+    fn cond_like_root(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    ) {
+        let n_rates = out.n_rates();
+        let stride = n_rates * N_STATES;
+        let chunk = self.chunk_len(out.n_patterns(), stride);
+        let schedule = self.schedule;
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+        let sc = c.map(|(clv, p)| (clv.as_slice(), p));
+        self.pool.install(|| {
+            out.as_mut_slice()
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, o)| {
+                    let start = ci * chunk;
+                    let range = start..start + o.len();
+                    let ca = &sa[range.clone()];
+                    let cb = &sb[range.clone()];
+                    let cc = sc.map(|(s, p)| (&s[range.clone()], p));
+                    match schedule {
+                        None => scalar::cond_like_root_range(ca, p_a, cb, p_b, cc, o, n_rates),
+                        Some(s) => {
+                            simd4::cond_like_root_range(s, ca, p_a, cb, p_b, cc, o, n_rates)
+                        }
+                    }
+                });
+        });
+    }
+
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+        let n_rates = clv.n_rates();
+        let stride = n_rates * N_STATES;
+        let m = clv.n_patterns();
+        let chunk = self.chunk_len(m, stride);
+        let chunk_patterns = chunk / stride;
+        let schedule = self.schedule;
+        self.pool.install(|| {
+            clv.as_mut_slice()
+                .par_chunks_mut(chunk)
+                .zip(ln_scalers.par_chunks_mut(chunk_patterns))
+                .for_each(|(c, s)| match schedule {
+                    None => scalar::cond_like_scaler_range(c, s, n_rates),
+                    Some(_) => simd4::cond_like_scaler_range(c, s, n_rates),
+                });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::alignment::Alignment;
+    use plf_phylo::kernels::ScalarBackend;
+    use plf_phylo::likelihood::TreeLikelihood;
+    use plf_phylo::model::{GtrParams, SiteModel};
+    use plf_phylo::tree::Tree;
+
+    fn toy() -> (Tree, plf_phylo::alignment::PatternAlignment) {
+        let tree = Tree::from_newick(
+            "(((a:0.1,b:0.15):0.1,(c:0.2,d:0.1):0.05):0.1,(e:0.1,f:0.3):0.1,g:0.2);",
+        )
+        .unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAAGGCCTTAGCAACGTACGTAAGGCCTTAGCA"),
+            ("b", "ACGTACGTACGGCCTTAGCAACGTACCTAAGGCCATAGCA"),
+            ("c", "ACGAACGTTAGGCCTAAGCAACGTACGTAAGGCCTTAGTA"),
+            ("d", "ACTTACGTAAGGCGTTAGCAACGTACGAAAGGCCTTAGCA"),
+            ("e", "ACGTACGTAAGGCCTTAGCATCGTACGTAAGGCCTTAGCA"),
+            ("f", "ACGTTCGTAAGGCCTTAGCAACGTACGTAAGCCCTTAGCA"),
+            ("g", "AGGTACGTAAGGCCTTAGCAACGTACGTAAGGCCTTAGCG"),
+        ])
+        .unwrap()
+        .compress();
+        (tree, aln)
+    }
+
+    #[test]
+    fn matches_scalar_bitwise_any_thread_count() {
+        let (tree, aln) = toy();
+        let model = SiteModel::gtr_gamma4(GtrParams::hky85(2.0, [0.3, 0.2, 0.2, 0.3]), 0.6).unwrap();
+        let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let mut backend = RayonBackend::new(threads);
+            let mut eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+            let got = eval.log_likelihood(&tree, &mut backend).unwrap();
+            assert_eq!(got, expect, "{} threads", threads);
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_variant_matches_too() {
+        let (tree, aln) = toy();
+        let model = SiteModel::gtr_gamma4(GtrParams::jc69(), 0.5).unwrap();
+        let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        let mut backend = RayonBackend::with_kernel(4, None);
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        assert_eq!(eval.log_likelihood(&tree, &mut backend).unwrap(), expect);
+    }
+
+    #[test]
+    fn more_threads_than_patterns_is_safe() {
+        let (tree, _) = toy();
+        let aln = Alignment::from_strings(&[
+            ("a", "AC"),
+            ("b", "AC"),
+            ("c", "AG"),
+            ("d", "AT"),
+            ("e", "CC"),
+            ("f", "AC"),
+            ("g", "AA"),
+        ])
+        .unwrap()
+        .compress();
+        let model = SiteModel::jc69();
+        let mut backend = RayonBackend::new(16);
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        let lnl = eval.log_likelihood(&tree, &mut backend).unwrap();
+        assert!(lnl.is_finite());
+    }
+
+    #[test]
+    fn name_reflects_threads() {
+        assert_eq!(RayonBackend::new(5).name(), "rayon-5");
+    }
+}

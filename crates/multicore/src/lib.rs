@@ -1,0 +1,16 @@
+//! # plf-multicore — general-purpose multi-core backend (OpenMP analogue)
+//!
+//! Implements §3.2 of the paper: outermost-loop parallelization of the
+//! three PLF kernels, here with rayon instead of OpenMP, plus the
+//! analytic timing model of the three Figure 9 systems (2×Xeon(4),
+//! 4×Opteron(4), 8×Opteron(2)).
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod model;
+pub mod persistent;
+
+pub use backend::RayonBackend;
+pub use model::MultiCoreModel;
+pub use persistent::PersistentPoolBackend;

@@ -1,0 +1,377 @@
+//! Persistent-worker backend — the paper's TFlux suggestion.
+//!
+//! §4.1.1 observes that OpenMP's per-region spawn/join overhead limits
+//! fine-grain scalability and suggests exploring "implementations that
+//! are more efficient (e.g. the TFlux model, which has minimal
+//! synchronization and runtime overheads)". This backend implements
+//! that idea: worker threads are spawned **once** and live for the
+//! backend's lifetime; each PLF call publishes a job epoch, workers
+//! self-schedule pattern chunks off a single atomic counter, and the
+//! caller participates in the work and spin-waits for the last chunk —
+//! no thread creation, no parked-thread wakeup on the critical path
+//! beyond one condvar broadcast.
+
+use plf_phylo::clv::{Clv, TransitionMatrices};
+use plf_phylo::dna::N_STATES;
+use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Patterns per self-scheduled chunk. Small enough to balance load,
+/// large enough that the atomic fetch-add is negligible.
+const CHUNK_PATTERNS: usize = 256;
+
+type Task = Box<dyn Fn(usize) + Send + Sync>;
+
+struct PoolState {
+    epoch: u64,
+    task: Option<Arc<Task>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    job_ready: Condvar,
+    next_chunk: AtomicUsize,
+    chunks_done: AtomicUsize,
+    n_chunks: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Claim and run chunks until the current job is exhausted.
+    fn drain(&self, task: &Task) {
+        let n = self.n_chunks.load(Ordering::Acquire);
+        loop {
+            let i = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            task(i);
+            self.chunks_done.fetch_add(1, Ordering::Release);
+        }
+    }
+}
+
+/// A pointer that may cross threads; safety is established by the job
+/// construction (each chunk index owns a disjoint output region).
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Taking `self` forces closures to capture the whole wrapper (2021
+    /// edition precise capture would otherwise grab the raw field and
+    /// lose the Send/Sync impls).
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Persistent-thread-pool PLF backend with TFlux-style self-scheduling.
+pub struct PersistentPoolBackend {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    n_threads: usize,
+    schedule: SimdSchedule,
+}
+
+impl PersistentPoolBackend {
+    /// Spawn `n_threads` workers (including the caller, so `n_threads-1`
+    /// OS threads) using the column-wise SIMD kernels.
+    pub fn new(n_threads: usize) -> PersistentPoolBackend {
+        assert!(n_threads >= 1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                task: None,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            next_chunk: AtomicUsize::new(0),
+            chunks_done: AtomicUsize::new(0),
+            n_chunks: AtomicUsize::new(0),
+        });
+        let workers = (1..n_threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut seen_epoch = 0u64;
+                    loop {
+                        // Wait for a new job epoch (or shutdown).
+                        let task = {
+                            let mut st = shared.state.lock().expect("pool mutex");
+                            loop {
+                                if st.shutdown {
+                                    return;
+                                }
+                                if st.epoch != seen_epoch {
+                                    seen_epoch = st.epoch;
+                                    break st.task.clone().expect("task set with epoch");
+                                }
+                                st = shared.job_ready.wait(st).expect("pool condvar");
+                            }
+                        };
+                        shared.drain(&task);
+                    }
+                })
+            })
+            .collect();
+        PersistentPoolBackend {
+            shared,
+            workers,
+            n_threads,
+            schedule: SimdSchedule::ColWise,
+        }
+    }
+
+    /// Number of threads participating in each call.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Publish a job of `n_chunks` chunks, work on it, and wait for the
+    /// last chunk to finish.
+    fn run_job(&self, n_chunks: usize, task: Task) {
+        if n_chunks == 0 {
+            return;
+        }
+        let task: Arc<Task> = Arc::new(task);
+        self.shared.next_chunk.store(0, Ordering::Relaxed);
+        self.shared.chunks_done.store(0, Ordering::Relaxed);
+        self.shared.n_chunks.store(n_chunks, Ordering::Release);
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.epoch += 1;
+            st.task = Some(Arc::clone(&task));
+        }
+        self.shared.job_ready.notify_all();
+        // The caller is worker 0.
+        self.shared.drain(&task);
+        // Spin for the stragglers (chunks are tiny; parking would cost
+        // more than it saves — the TFlux premise).
+        while self.shared.chunks_done.load(Ordering::Acquire) < n_chunks {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn n_chunks(m: usize) -> usize {
+        m.div_ceil(CHUNK_PATTERNS)
+    }
+}
+
+impl Drop for PersistentPoolBackend {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl PlfBackend for PersistentPoolBackend {
+    fn name(&self) -> String {
+        format!("persistent-{}", self.n_threads)
+    }
+
+    fn cond_like_down(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    ) {
+        let m = out.n_patterns();
+        let n_rates = out.n_rates();
+        let stride = n_rates * N_STATES;
+        let schedule = self.schedule;
+        let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+        let left = left.as_slice().to_vec();
+        let right = right.as_slice().to_vec();
+        let p_left = p_left.clone();
+        let p_right = p_right.clone();
+        let task: Task = Box::new(move |chunk| {
+            let start = chunk * CHUNK_PATTERNS;
+            let end = (start + CHUNK_PATTERNS).min(m);
+            let lo = start * stride;
+            let hi = end * stride;
+            // SAFETY: each chunk index owns the disjoint region
+            // [lo, hi) of the output; the buffer outlives the job
+            // because run_job joins all chunks before returning.
+            let out_chunk =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo), hi - lo) };
+            simd4::cond_like_down_range(
+                schedule,
+                &left[lo..hi],
+                &p_left,
+                &right[lo..hi],
+                &p_right,
+                out_chunk,
+                n_rates,
+            );
+        });
+        self.run_job(Self::n_chunks(m), task);
+    }
+
+    fn cond_like_root(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    ) {
+        let m = out.n_patterns();
+        let n_rates = out.n_rates();
+        let stride = n_rates * N_STATES;
+        let schedule = self.schedule;
+        let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+        let a = a.as_slice().to_vec();
+        let b = b.as_slice().to_vec();
+        let c = c.map(|(clv, p)| (clv.as_slice().to_vec(), p.clone()));
+        let p_a = p_a.clone();
+        let p_b = p_b.clone();
+        let task: Task = Box::new(move |chunk| {
+            let start = chunk * CHUNK_PATTERNS;
+            let end = (start + CHUNK_PATTERNS).min(m);
+            let lo = start * stride;
+            let hi = end * stride;
+            // SAFETY: as in cond_like_down — disjoint chunk regions.
+            let out_chunk =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo), hi - lo) };
+            let cc = c.as_ref().map(|(clv, p)| (&clv[lo..hi], p));
+            simd4::cond_like_root_range(
+                schedule,
+                &a[lo..hi],
+                &p_a,
+                &b[lo..hi],
+                &p_b,
+                cc,
+                out_chunk,
+                n_rates,
+            );
+        });
+        self.run_job(Self::n_chunks(m), task);
+    }
+
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+        let m = clv.n_patterns();
+        let n_rates = clv.n_rates();
+        let stride = n_rates * N_STATES;
+        let clv_ptr = SendPtr(clv.as_mut_slice().as_mut_ptr());
+        let sc_ptr = SendPtr(ln_scalers.as_mut_ptr());
+        let task: Task = Box::new(move |chunk| {
+            let start = chunk * CHUNK_PATTERNS;
+            let end = (start + CHUNK_PATTERNS).min(m);
+            // SAFETY: disjoint chunk regions of both buffers.
+            let clv_chunk = unsafe {
+                std::slice::from_raw_parts_mut(clv_ptr.get().add(start * stride), (end - start) * stride)
+            };
+            let sc_chunk =
+                unsafe { std::slice::from_raw_parts_mut(sc_ptr.get().add(start), end - start) };
+            simd4::cond_like_scaler_range(clv_chunk, sc_chunk, n_rates);
+        });
+        self.run_job(Self::n_chunks(m), task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::alignment::Alignment;
+    use plf_phylo::kernels::ScalarBackend;
+    use plf_phylo::likelihood::TreeLikelihood;
+    use plf_phylo::model::{GtrParams, SiteModel};
+    use plf_phylo::tree::Tree;
+
+    fn toy() -> (Tree, plf_phylo::alignment::PatternAlignment, SiteModel) {
+        let tree = Tree::from_newick(
+            "(((a:0.1,b:0.15):0.1,(c:0.2,d:0.1):0.05):0.1,(e:0.1,f:0.3):0.1,g:0.2);",
+        )
+        .unwrap();
+        // > CHUNK_PATTERNS distinct patterns so multiple chunks exist.
+        let mut rows = vec![String::new(); 7];
+        let bases = ['A', 'C', 'G', 'T'];
+        let mut h: u64 = 0x243F6A8885A308D3;
+        for _ in 0..600usize {
+            for row in rows.iter_mut() {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                row.push(bases[(h >> 33) as usize % 4]);
+            }
+        }
+        let named: Vec<(&str, &str)> = ["a", "b", "c", "d", "e", "f", "g"]
+            .iter()
+            .zip(rows.iter())
+            .map(|(n, r)| (*n, r.as_str()))
+            .collect();
+        let aln = Alignment::from_strings(&named).unwrap().compress();
+        let model = SiteModel::gtr_gamma4(GtrParams::hky85(2.0, [0.3, 0.2, 0.2, 0.3]), 0.6).unwrap();
+        (tree, aln, model)
+    }
+
+    #[test]
+    fn matches_scalar_bitwise() {
+        let (tree, aln, model) = toy();
+        assert!(aln.n_patterns() > CHUNK_PATTERNS, "need multiple chunks");
+        let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        for threads in [1usize, 2, 4] {
+            let mut backend = PersistentPoolBackend::new(threads);
+            let mut eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+            let got = eval.log_likelihood(&tree, &mut backend).unwrap();
+            assert_eq!(got, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn repeated_evaluations_stay_consistent() {
+        let (tree, aln, model) = toy();
+        let mut backend = PersistentPoolBackend::new(3);
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        let first = eval.log_likelihood(&tree, &mut backend).unwrap();
+        for _ in 0..10 {
+            assert_eq!(eval.log_likelihood(&tree, &mut backend).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        // Constructing and dropping many pools must not leak or hang.
+        for _ in 0..20 {
+            let backend = PersistentPoolBackend::new(4);
+            drop(backend);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_has_no_workers() {
+        let backend = PersistentPoolBackend::new(1);
+        assert_eq!(backend.workers.len(), 0);
+        assert_eq!(backend.n_threads(), 1);
+    }
+
+    #[test]
+    fn tiny_inputs_single_chunk() {
+        let tree = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGT"),
+            ("b", "ACGA"),
+            ("c", "ACGT"),
+            ("d", "ATGT"),
+        ])
+        .unwrap()
+        .compress();
+        let model = SiteModel::jc69();
+        let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        let mut backend = PersistentPoolBackend::new(8);
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        assert_eq!(eval.log_likelihood(&tree, &mut backend).unwrap(), expect);
+    }
+}

@@ -1,0 +1,393 @@
+//! Multiple sequence alignments and site-pattern compression.
+//!
+//! The paper's experiments are parameterized by the number of *distinct
+//! column patterns*: "identical alignment columns can be compressed into
+//! column patterns under ML, which are then assigned a respective higher
+//! per-pattern weight" (§4). [`PatternAlignment`] implements exactly that
+//! compression; its pattern count is the length `m` of the PLF loops.
+
+use crate::dna::StateMask;
+use std::collections::HashMap;
+
+/// Errors from alignment construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlignmentError {
+    /// Sequences have differing lengths.
+    RaggedRows {
+        /// Expected row length (from the first row).
+        expected: usize,
+        /// Offending row's length.
+        got: usize,
+        /// Offending taxon.
+        taxon: String,
+    },
+    /// A sequence character was not a valid IUPAC code.
+    BadChar {
+        /// Offending taxon.
+        taxon: String,
+        /// Site index of the bad character.
+        site: usize,
+        /// The character itself.
+        ch: char,
+    },
+    /// No taxa or zero-length sequences.
+    Empty,
+    /// Duplicate taxon name.
+    DuplicateTaxon(String),
+}
+
+impl std::fmt::Display for AlignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignmentError::RaggedRows { expected, got, taxon } => {
+                write!(f, "taxon {taxon}: length {got}, expected {expected}")
+            }
+            AlignmentError::BadChar { taxon, site, ch } => {
+                write!(f, "taxon {taxon}, site {site}: invalid character {ch:?}")
+            }
+            AlignmentError::Empty => write!(f, "empty alignment"),
+            AlignmentError::DuplicateTaxon(t) => write!(f, "duplicate taxon {t}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignmentError {}
+
+/// An uncompressed multiple sequence alignment.
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    taxa: Vec<String>,
+    /// `seqs[taxon][site]`.
+    seqs: Vec<Vec<StateMask>>,
+}
+
+impl Alignment {
+    /// Build from parallel vectors of names and already-encoded rows.
+    pub fn new(taxa: Vec<String>, seqs: Vec<Vec<StateMask>>) -> Result<Alignment, AlignmentError> {
+        if taxa.is_empty() || seqs.is_empty() || seqs[0].is_empty() {
+            return Err(AlignmentError::Empty);
+        }
+        assert_eq!(taxa.len(), seqs.len(), "taxa/seqs length mismatch");
+        let expected = seqs[0].len();
+        let mut seen = std::collections::HashSet::new();
+        for (t, s) in taxa.iter().zip(&seqs) {
+            if s.len() != expected {
+                return Err(AlignmentError::RaggedRows {
+                    expected,
+                    got: s.len(),
+                    taxon: t.clone(),
+                });
+            }
+            if !seen.insert(t.clone()) {
+                return Err(AlignmentError::DuplicateTaxon(t.clone()));
+            }
+        }
+        Ok(Alignment { taxa, seqs })
+    }
+
+    /// Build from textual rows of IUPAC characters.
+    pub fn from_strings(rows: &[(&str, &str)]) -> Result<Alignment, AlignmentError> {
+        let mut taxa = Vec::with_capacity(rows.len());
+        let mut seqs = Vec::with_capacity(rows.len());
+        for (name, seq) in rows {
+            let mut row = Vec::with_capacity(seq.len());
+            for (i, c) in seq.chars().enumerate() {
+                row.push(StateMask::from_iupac(c).ok_or_else(|| AlignmentError::BadChar {
+                    taxon: name.to_string(),
+                    site: i,
+                    ch: c,
+                })?);
+            }
+            taxa.push(name.to_string());
+            seqs.push(row);
+        }
+        Alignment::new(taxa, seqs)
+    }
+
+    /// Taxon names.
+    pub fn taxa(&self) -> &[String] {
+        &self.taxa
+    }
+
+    /// Number of taxa.
+    pub fn n_taxa(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// Number of sites (columns).
+    pub fn n_sites(&self) -> usize {
+        self.seqs[0].len()
+    }
+
+    /// Row for one taxon.
+    pub fn row(&self, taxon: usize) -> &[StateMask] {
+        &self.seqs[taxon]
+    }
+
+    /// One column as a vector of per-taxon masks.
+    pub fn column(&self, site: usize) -> Vec<StateMask> {
+        self.seqs.iter().map(|row| row[site]).collect()
+    }
+
+    /// Compress identical columns into weighted patterns.
+    ///
+    /// ```
+    /// use plf_phylo::alignment::Alignment;
+    /// let a = Alignment::from_strings(&[("x", "AAC"), ("y", "AAG")]).unwrap();
+    /// let p = a.compress();
+    /// assert_eq!(p.n_patterns(), 2);      // (A,A) twice + (C,G) once
+    /// assert_eq!(p.weights(), &[2, 1]);
+    /// ```
+    pub fn compress(&self) -> PatternAlignment {
+        let n_taxa = self.n_taxa();
+        let n_sites = self.n_sites();
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut patterns: Vec<Vec<StateMask>> = vec![Vec::new(); n_taxa];
+        let mut weights: Vec<u32> = Vec::new();
+        let mut site_to_pattern = Vec::with_capacity(n_sites);
+        let mut key = Vec::with_capacity(n_taxa);
+        for site in 0..n_sites {
+            key.clear();
+            key.extend(self.seqs.iter().map(|row| row[site].bits()));
+            if let Some(&p) = index.get(&key) {
+                weights[p] += 1;
+                site_to_pattern.push(p);
+            } else {
+                let p = weights.len();
+                index.insert(key.clone(), p);
+                for (t, col) in patterns.iter_mut().enumerate() {
+                    col.push(self.seqs[t][site]);
+                }
+                weights.push(1);
+                site_to_pattern.push(p);
+            }
+        }
+        PatternAlignment {
+            taxa: self.taxa.clone(),
+            patterns,
+            weights,
+            site_to_pattern,
+            n_sites,
+        }
+    }
+}
+
+/// A pattern-compressed alignment: the input to the PLF.
+#[derive(Debug, Clone)]
+pub struct PatternAlignment {
+    taxa: Vec<String>,
+    /// `patterns[taxon][pattern]`.
+    patterns: Vec<Vec<StateMask>>,
+    /// Number of original columns represented by each pattern.
+    weights: Vec<u32>,
+    /// Pattern index of every original site.
+    site_to_pattern: Vec<usize>,
+    n_sites: usize,
+}
+
+impl PatternAlignment {
+    /// Construct directly from per-taxon pattern rows and weights (used by
+    /// the data-set generator, which synthesizes distinct patterns).
+    pub fn from_patterns(
+        taxa: Vec<String>,
+        patterns: Vec<Vec<StateMask>>,
+        weights: Vec<u32>,
+    ) -> PatternAlignment {
+        assert_eq!(taxa.len(), patterns.len());
+        let m = patterns.first().map_or(0, |p| p.len());
+        assert!(patterns.iter().all(|p| p.len() == m), "ragged pattern rows");
+        assert_eq!(weights.len(), m);
+        let n_sites = weights.iter().map(|&w| w as usize).sum();
+        let mut site_to_pattern = Vec::with_capacity(n_sites);
+        for (p, &w) in weights.iter().enumerate() {
+            site_to_pattern.extend(std::iter::repeat_n(p, w as usize));
+        }
+        PatternAlignment {
+            taxa,
+            patterns,
+            weights,
+            site_to_pattern,
+            n_sites,
+        }
+    }
+
+    /// Taxon names.
+    pub fn taxa(&self) -> &[String] {
+        &self.taxa
+    }
+
+    /// Number of taxa.
+    pub fn n_taxa(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// Number of distinct patterns — the `m` of the paper's loops.
+    pub fn n_patterns(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of original alignment columns.
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Per-pattern multiplicities.
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Pattern row for one taxon.
+    pub fn taxon_patterns(&self, taxon: usize) -> &[StateMask] {
+        &self.patterns[taxon]
+    }
+
+    /// Pattern index for an original site (for decompression checks).
+    pub fn pattern_of_site(&self, site: usize) -> usize {
+        self.site_to_pattern[site]
+    }
+
+    /// Per-pattern *constant-state* masks: bit `s` is set iff every taxon
+    /// admits state `s` at that pattern — i.e. the pattern could have
+    /// been produced by a site that never changed. This is the data-side
+    /// ingredient of the `+I` (invariable sites) likelihood term.
+    pub fn constant_masks(&self) -> Vec<u8> {
+        (0..self.n_patterns())
+            .map(|p| {
+                self.patterns
+                    .iter()
+                    .fold(0b1111u8, |acc, row| acc & row[p].bits())
+            })
+            .collect()
+    }
+
+    /// Reconstruct the uncompressed alignment (site order preserved).
+    pub fn decompress(&self) -> Alignment {
+        let seqs = (0..self.n_taxa())
+            .map(|t| {
+                self.site_to_pattern
+                    .iter()
+                    .map(|&p| self.patterns[t][p])
+                    .collect()
+            })
+            .collect();
+        Alignment::new(self.taxa.clone(), seqs).expect("compressed alignment is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::Nucleotide;
+
+    fn toy() -> Alignment {
+        Alignment::from_strings(&[
+            ("t1", "ACGTACGA"),
+            ("t2", "ACGTACGC"),
+            ("t3", "ACTTACTA"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let a = toy();
+        assert_eq!(a.n_taxa(), 3);
+        assert_eq!(a.n_sites(), 8);
+    }
+
+    #[test]
+    fn compression_counts_duplicates() {
+        // Columns: (A,A,A) (C,C,C) (G,G,T) (T,T,T) (A,A,A) (C,C,C) (G,G,T) (A,C,A)
+        let pa = toy().compress();
+        assert_eq!(pa.n_patterns(), 5);
+        assert_eq!(pa.n_sites(), 8);
+        assert_eq!(pa.weights().iter().sum::<u32>(), 8);
+        // First pattern (A,A,A) appears twice.
+        assert_eq!(pa.weights()[0], 2);
+    }
+
+    #[test]
+    fn decompress_roundtrip() {
+        let a = toy();
+        let b = a.compress().decompress();
+        assert_eq!(a.n_sites(), b.n_sites());
+        for t in 0..a.n_taxa() {
+            assert_eq!(a.row(t), b.row(t));
+        }
+    }
+
+    #[test]
+    fn all_unique_columns() {
+        let a = Alignment::from_strings(&[("x", "ACGT"), ("y", "CAGT")]).unwrap();
+        let pa = a.compress();
+        assert_eq!(pa.n_patterns(), 4);
+        assert!(pa.weights().iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn all_identical_columns() {
+        let a = Alignment::from_strings(&[("x", "AAAA"), ("y", "CCCC")]).unwrap();
+        let pa = a.compress();
+        assert_eq!(pa.n_patterns(), 1);
+        assert_eq!(pa.weights(), &[4]);
+    }
+
+    #[test]
+    fn ambiguity_codes_distinguish_patterns() {
+        let a = Alignment::from_strings(&[("x", "AN"), ("y", "AA")]).unwrap();
+        assert_eq!(a.compress().n_patterns(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            Alignment::from_strings(&[("a", "ACG"), ("b", "AC")]),
+            Err(AlignmentError::RaggedRows { .. })
+        ));
+        assert!(matches!(
+            Alignment::from_strings(&[("a", "AZG")]),
+            Err(AlignmentError::BadChar { .. })
+        ));
+        assert!(matches!(
+            Alignment::from_strings(&[]),
+            Err(AlignmentError::Empty)
+        ));
+        assert!(matches!(
+            Alignment::from_strings(&[("a", "ACG"), ("a", "ACG")]),
+            Err(AlignmentError::DuplicateTaxon(_))
+        ));
+    }
+
+    #[test]
+    fn constant_masks_detect_invariable_patterns() {
+        let a = Alignment::from_strings(&[("x", "AACR-"), ("y", "ACAAC"), ("z", "AGAAT")])
+            .unwrap()
+            .compress();
+        let masks = a.constant_masks();
+        // Column 0 (A,A,A): constant in A. Column 1 (A,C,G): impossible.
+        // Column 2 (C,A,A): impossible. Column 3 (R,A,A): R admits A ⇒
+        // constant in A. Column 4 (-,C,T): gap admits all ⇒ no common
+        // state between C and T.
+        assert_eq!(masks[0], 0b0001);
+        assert_eq!(masks[1], 0);
+        assert_eq!(masks[2], 0);
+        assert_eq!(masks[3], 0b0001);
+        assert_eq!(masks[4], 0);
+    }
+
+    #[test]
+    fn from_patterns_site_bookkeeping() {
+        let taxa = vec!["a".into(), "b".into()];
+        let pats = vec![
+            vec![StateMask::of(Nucleotide::A), StateMask::of(Nucleotide::C)],
+            vec![StateMask::of(Nucleotide::G), StateMask::of(Nucleotide::T)],
+        ];
+        let pa = PatternAlignment::from_patterns(taxa, pats, vec![3, 2]);
+        assert_eq!(pa.n_sites(), 5);
+        assert_eq!(pa.pattern_of_site(0), 0);
+        assert_eq!(pa.pattern_of_site(3), 1);
+        let a = pa.decompress();
+        assert_eq!(a.n_sites(), 5);
+        assert_eq!(a.compress().n_patterns(), 2);
+    }
+}

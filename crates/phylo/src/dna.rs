@@ -1,0 +1,235 @@
+//! DNA state encoding.
+//!
+//! Nucleotides are the four states of the substitution process
+//! (Figure 1 of the paper). Observed sequence data may be ambiguous, so
+//! sequences are stored as IUPAC ambiguity bitmasks: bit 0 = A, bit 1 = C,
+//! bit 2 = G, bit 3 = T. A fully determined site has exactly one bit set;
+//! a gap/unknown site has all four bits set, exactly as MrBayes treats
+//! missing data in its conditional likelihood tips.
+
+/// Number of DNA states.
+pub const N_STATES: usize = 4;
+
+/// A concrete (unambiguous) nucleotide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Nucleotide {
+    /// Adenine
+    A = 0,
+    /// Cytosine
+    C = 1,
+    /// Guanine
+    G = 2,
+    /// Thymine
+    T = 3,
+}
+
+impl Nucleotide {
+    /// All four nucleotides in state order.
+    pub const ALL: [Nucleotide; 4] = [Nucleotide::A, Nucleotide::C, Nucleotide::G, Nucleotide::T];
+
+    /// State index in `0..4`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct from a state index in `0..4`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 4`.
+    #[inline]
+    pub fn from_index(i: usize) -> Nucleotide {
+        Nucleotide::ALL[i]
+    }
+
+    /// Upper-case character representation.
+    pub fn to_char(self) -> char {
+        match self {
+            Nucleotide::A => 'A',
+            Nucleotide::C => 'C',
+            Nucleotide::G => 'G',
+            Nucleotide::T => 'T',
+        }
+    }
+}
+
+/// An IUPAC ambiguity code stored as a 4-bit state mask.
+///
+/// The mask is never zero for a valid code: a site always admits at least
+/// one state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateMask(u8);
+
+impl StateMask {
+    /// Mask admitting every state (gap / completely missing data).
+    pub const ANY: StateMask = StateMask(0b1111);
+
+    /// Build a mask from raw bits (low 4 bits used).
+    ///
+    /// Returns `None` when no state bit is set.
+    pub fn from_bits(bits: u8) -> Option<StateMask> {
+        let bits = bits & 0b1111;
+        if bits == 0 {
+            None
+        } else {
+            Some(StateMask(bits))
+        }
+    }
+
+    /// Mask admitting exactly one nucleotide.
+    #[inline]
+    pub fn of(n: Nucleotide) -> StateMask {
+        StateMask(1 << n.index())
+    }
+
+    /// Raw bit representation (low 4 bits).
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Does the mask admit state `s`?
+    #[inline]
+    pub fn admits(self, s: usize) -> bool {
+        debug_assert!(s < N_STATES);
+        self.0 & (1 << s) != 0
+    }
+
+    /// Number of admitted states (1..=4).
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Is this an unambiguous (single-state) observation?
+    #[inline]
+    pub fn is_determined(self) -> bool {
+        self.0.count_ones() == 1
+    }
+
+    /// The unique nucleotide if the mask is determined.
+    pub fn as_nucleotide(self) -> Option<Nucleotide> {
+        if self.is_determined() {
+            Some(Nucleotide::from_index(self.0.trailing_zeros() as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Parse an IUPAC DNA character (case-insensitive). `-`, `.`, `?`, `N`
+    /// and `X` all map to [`StateMask::ANY`].
+    pub fn from_iupac(c: char) -> Option<StateMask> {
+        let bits = match c.to_ascii_uppercase() {
+            'A' => 0b0001,
+            'C' => 0b0010,
+            'G' => 0b0100,
+            'T' | 'U' => 0b1000,
+            'R' => 0b0101, // A|G
+            'Y' => 0b1010, // C|T
+            'S' => 0b0110, // C|G
+            'W' => 0b1001, // A|T
+            'K' => 0b1100, // G|T
+            'M' => 0b0011, // A|C
+            'B' => 0b1110, // C|G|T
+            'D' => 0b1101, // A|G|T
+            'H' => 0b1011, // A|C|T
+            'V' => 0b0111, // A|C|G
+            'N' | 'X' | '-' | '.' | '?' => 0b1111,
+            _ => return None,
+        };
+        Some(StateMask(bits))
+    }
+
+    /// IUPAC character for the mask.
+    pub fn to_iupac(self) -> char {
+        match self.0 {
+            0b0001 => 'A',
+            0b0010 => 'C',
+            0b0100 => 'G',
+            0b1000 => 'T',
+            0b0101 => 'R',
+            0b1010 => 'Y',
+            0b0110 => 'S',
+            0b1001 => 'W',
+            0b1100 => 'K',
+            0b0011 => 'M',
+            0b1110 => 'B',
+            0b1101 => 'D',
+            0b1011 => 'H',
+            0b0111 => 'V',
+            _ => 'N',
+        }
+    }
+}
+
+impl From<Nucleotide> for StateMask {
+    fn from(n: Nucleotide) -> StateMask {
+        StateMask::of(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nucleotide_roundtrip() {
+        for (i, n) in Nucleotide::ALL.iter().enumerate() {
+            assert_eq!(n.index(), i);
+            assert_eq!(Nucleotide::from_index(i), *n);
+        }
+    }
+
+    #[test]
+    fn single_state_masks_are_determined() {
+        for n in Nucleotide::ALL {
+            let m = StateMask::of(n);
+            assert!(m.is_determined());
+            assert_eq!(m.as_nucleotide(), Some(n));
+            assert_eq!(m.count(), 1);
+            for s in 0..N_STATES {
+                assert_eq!(m.admits(s), s == n.index());
+            }
+        }
+    }
+
+    #[test]
+    fn iupac_roundtrip_all_codes() {
+        for c in "ACGTRYSWKMBDHVN".chars() {
+            let m = StateMask::from_iupac(c).unwrap();
+            assert_eq!(m.to_iupac(), c);
+        }
+    }
+
+    #[test]
+    fn gap_and_unknown_map_to_any() {
+        for c in ['-', '.', '?', 'N', 'n', 'x'] {
+            assert_eq!(StateMask::from_iupac(c), Some(StateMask::ANY));
+        }
+        assert_eq!(StateMask::ANY.count(), 4);
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(
+            StateMask::from_iupac('a'),
+            Some(StateMask::of(Nucleotide::A))
+        );
+        assert_eq!(StateMask::from_iupac('u'), StateMask::from_iupac('T'));
+    }
+
+    #[test]
+    fn invalid_chars_rejected() {
+        for c in ['Z', 'q', '!', '5'] {
+            assert_eq!(StateMask::from_iupac(c), None);
+        }
+    }
+
+    #[test]
+    fn zero_mask_rejected() {
+        assert_eq!(StateMask::from_bits(0), None);
+        assert_eq!(StateMask::from_bits(0b10000), None); // high bits ignored
+        assert!(StateMask::from_bits(0b10001).is_some());
+    }
+}

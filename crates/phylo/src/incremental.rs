@@ -1,0 +1,448 @@
+//! Incremental likelihood evaluation with flip buffers — MrBayes's
+//! production mechanism for cheap proposals.
+//!
+//! Each internal node owns *two* CLV buffers (and two per-node scaler
+//! vectors). A proposal recomputes only the invalidated path to the
+//! root ([`crate::kernels::plan::PlfPlan::for_update`]), writing into
+//! each touched node's inactive buffer and flipping it. Rejection flips
+//! the touched nodes back — an O(depth) undo with no data copied —
+//! while acceptance simply commits the flips. This is why MrBayes can
+//! afford a PLF call per proposal, and it is the mechanism that makes
+//! the number of *calls* to the parallel section (rather than raw
+//! flops) the quantity the paper's scalability study stresses.
+
+use crate::alignment::PatternAlignment;
+use crate::clv::{Clv, TransitionMatrices};
+use crate::dna::N_STATES;
+use crate::kernels::plan::{PlfOp, PlfPlan};
+use crate::kernels::PlfBackend;
+use crate::likelihood::LikelihoodError;
+use crate::model::SiteModel;
+use crate::tree::{NodeId, Tree};
+use std::collections::HashMap;
+
+/// Double-buffered incremental tree-likelihood evaluator.
+pub struct IncrementalLikelihood {
+    model: SiteModel,
+    n_patterns: usize,
+    weights: Vec<f64>,
+    /// Tip CLVs (immutable, single-buffered).
+    tips: Vec<Option<Clv>>,
+    /// Internal-node CLV pairs.
+    bufs: Vec<Option<[Clv; 2]>>,
+    /// Per-pattern constant-state masks (for the +I likelihood term).
+    const_masks: Vec<u8>,
+    /// Internal-node per-pattern log-scaler pairs.
+    scaler_bufs: Vec<Option<[Vec<f32>; 2]>>,
+    /// Which buffer of each pair is live.
+    active: Vec<u8>,
+    /// Nodes flipped by the in-flight proposal (for reject/accept).
+    pending: Vec<NodeId>,
+    /// Kernel calls issued by the most recent plan (for run statistics).
+    last_calls: usize,
+    root: NodeId,
+}
+
+impl IncrementalLikelihood {
+    /// Build the double-buffered workspace for `tree` over `data`.
+    pub fn new(
+        tree: &Tree,
+        data: &PatternAlignment,
+        model: SiteModel,
+    ) -> Result<IncrementalLikelihood, LikelihoodError> {
+        tree.validate()?;
+        let n_patterns = data.n_patterns();
+        let n_rates = model.n_rates();
+        let taxon_index: HashMap<&str, usize> = data
+            .taxa()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.as_str(), i))
+            .collect();
+        let mut tips = Vec::with_capacity(tree.n_nodes());
+        let mut bufs = Vec::with_capacity(tree.n_nodes());
+        let mut scaler_bufs = Vec::with_capacity(tree.n_nodes());
+        for id in tree.node_ids() {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                let name = node.name.as_deref().expect("validated leaf has a name");
+                let &t = taxon_index
+                    .get(name)
+                    .ok_or_else(|| LikelihoodError::UnknownTaxon(name.to_string()))?;
+                tips.push(Some(Clv::tip(data.taxon_patterns(t), n_rates)));
+                bufs.push(None);
+                scaler_bufs.push(None);
+            } else {
+                tips.push(None);
+                bufs.push(Some([
+                    Clv::zeroed(n_patterns, n_rates),
+                    Clv::zeroed(n_patterns, n_rates),
+                ]));
+                scaler_bufs.push(Some([vec![0.0; n_patterns], vec![0.0; n_patterns]]));
+            }
+        }
+        Ok(IncrementalLikelihood {
+            model,
+            n_patterns,
+            weights: data.weights().iter().map(|&w| w as f64).collect(),
+            tips,
+            bufs,
+            const_masks: data.constant_masks(),
+            scaler_bufs,
+            active: vec![0; tree.n_nodes()],
+            pending: Vec::new(),
+            last_calls: 0,
+            root: tree.root(),
+        })
+    }
+
+    /// The site model in use.
+    pub fn model(&self) -> &SiteModel {
+        &self.model
+    }
+
+    /// Replace the model. The next evaluation must be a
+    /// [`IncrementalLikelihood::full_evaluate`] (every CLV is stale).
+    pub fn set_model(&mut self, model: SiteModel) {
+        assert_eq!(model.n_rates(), self.model.n_rates());
+        self.model = model;
+    }
+
+    /// Is a proposal currently uncommitted?
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    fn active_clv(&self, tree: &Tree, id: NodeId) -> &Clv {
+        if tree.node(id).is_leaf() {
+            self.tips[id.0].as_ref().expect("tip CLV present")
+        } else {
+            &self.bufs[id.0].as_ref().expect("internal buffers present")[self.active[id.0] as usize]
+        }
+    }
+
+    /// Run `plan`, writing each touched node's results into its inactive
+    /// buffer and flipping it; returns the resulting log-likelihood.
+    fn run_plan(
+        &mut self,
+        tree: &Tree,
+        plan: &PlfPlan,
+        backend: &mut dyn PlfBackend,
+    ) -> f64 {
+        assert!(
+            self.pending.is_empty(),
+            "previous proposal not accepted/rejected"
+        );
+        self.last_calls = plan.n_calls();
+        backend.begin_evaluation();
+        // Transition matrices for the children of recomputed nodes only.
+        let mut tm_cache: HashMap<NodeId, TransitionMatrices> = HashMap::new();
+        let mut tm = |model: &SiteModel, tree: &Tree, id: NodeId| -> TransitionMatrices {
+            tm_cache
+                .entry(id)
+                .or_insert_with(|| model.transition_matrices(tree.node(id).branch))
+                .clone()
+        };
+        for op in plan.ops() {
+            match op {
+                PlfOp::Down { node, left, right } => {
+                    self.flip(*node);
+                    let p_l = tm(&self.model, tree, *left);
+                    let p_r = tm(&self.model, tree, *right);
+                    let mut out = self.take_active(*node);
+                    {
+                        let l = self.active_clv(tree, *left);
+                        let r = self.active_clv(tree, *right);
+                        backend.cond_like_down(l, &p_l, r, &p_r, &mut out);
+                    }
+                    self.put_active(*node, out);
+                }
+                PlfOp::Root { node, children } => {
+                    self.flip(*node);
+                    let p_a = tm(&self.model, tree, children[0]);
+                    let p_b = tm(&self.model, tree, children[1]);
+                    let p_c = children.get(2).map(|&c| tm(&self.model, tree, c));
+                    let mut out = self.take_active(*node);
+                    {
+                        let a = self.active_clv(tree, children[0]);
+                        let b = self.active_clv(tree, children[1]);
+                        let c = children
+                            .get(2)
+                            .map(|&c3| (self.active_clv(tree, c3), p_c.as_ref().unwrap()));
+                        backend.cond_like_root(a, &p_a, b, &p_b, c, &mut out);
+                    }
+                    self.put_active(*node, out);
+                }
+                PlfOp::Scale { node } => {
+                    // The node was just recomputed (and flipped); its
+                    // active scaler buffer gets this evaluation's values.
+                    let a = self.active[node.0] as usize;
+                    let mut clv = self.take_active(*node);
+                    let scalers = &mut self.scaler_bufs[node.0]
+                        .as_mut()
+                        .expect("internal node has scalers")[a];
+                    scalers.iter_mut().for_each(|s| *s = 0.0);
+                    backend.cond_like_scaler(&mut clv, scalers);
+                    self.put_active(*node, clv);
+                }
+            }
+        }
+        self.integrate_root()
+    }
+
+    /// Flip `node` to its inactive buffer, recording it as pending, and
+    /// carry the old scaler values over (a node recomputed *without* a
+    /// Scale op keeps contributing its previous scalers — matching a
+    /// scale-free plan).
+    fn flip(&mut self, node: NodeId) {
+        let old = self.active[node.0] as usize;
+        let new = old ^ 1;
+        // Carry scalers so an unscaled recompute keeps the old values.
+        let pair = self.scaler_bufs[node.0].as_mut().expect("internal node");
+        let (src, dst) = if old == 0 {
+            let (a, b) = pair.split_at_mut(1);
+            (&a[0], &mut b[0])
+        } else {
+            let (a, b) = pair.split_at_mut(1);
+            (&b[0], &mut a[0])
+        };
+        dst.copy_from_slice(src);
+        self.active[node.0] = new as u8;
+        self.pending.push(node);
+    }
+
+    fn take_active(&mut self, node: NodeId) -> Clv {
+        let a = self.active[node.0] as usize;
+        let pair = self.bufs[node.0].as_mut().expect("internal node");
+        std::mem::replace(&mut pair[a], Clv::zeroed(0, 1))
+    }
+
+    fn put_active(&mut self, node: NodeId, clv: Clv) {
+        let a = self.active[node.0] as usize;
+        self.bufs[node.0].as_mut().expect("internal node")[a] = clv;
+    }
+
+    fn integrate_root(&self) -> f64 {
+        let root_clv = &self.bufs[self.root.0].as_ref().expect("root is internal")
+            [self.active[self.root.0] as usize];
+        let n_rates = self.model.n_rates();
+        let freqs = self.model.freqs();
+        let cat_weight = 1.0 / n_rates as f64;
+        // Per-pattern scaler sum across all internal nodes' active buffers.
+        let mut scaler_sum = vec![0.0f64; self.n_patterns];
+        for (id, pair) in self.scaler_bufs.iter().enumerate() {
+            if let Some(pair) = pair {
+                let s = &pair[self.active[id] as usize];
+                for (acc, &v) in scaler_sum.iter_mut().zip(s) {
+                    *acc += v as f64;
+                }
+            }
+        }
+        let pinvar = self.model.pinvar();
+        let mut lnl = 0.0f64;
+        for i in 0..self.n_patterns {
+            let mut site = 0.0f64;
+            for k in 0..n_rates {
+                let e = root_clv.entry(i, k);
+                let mut acc = 0.0f64;
+                for s in 0..N_STATES {
+                    acc += freqs[s] * e[s] as f64;
+                }
+                site += cat_weight * acc;
+            }
+            let inv = crate::likelihood::invariant_support(self.const_masks[i], &freqs);
+            lnl += self.weights[i]
+                * crate::likelihood::ln_site_likelihood(site, scaler_sum[i], pinvar, inv);
+        }
+        lnl
+    }
+
+    /// Full evaluation: recompute every internal CLV and commit.
+    pub fn full_evaluate(
+        &mut self,
+        tree: &Tree,
+        backend: &mut dyn PlfBackend,
+    ) -> Result<f64, LikelihoodError> {
+        let plan = PlfPlan::for_tree(tree, 1)?;
+        let lnl = self.run_plan(tree, &plan, backend);
+        self.accept();
+        Ok(lnl)
+    }
+
+    /// Partial evaluation of a proposal that dirtied `dirty` (changed
+    /// branches / NNI endpoints). Leaves the flips pending: call
+    /// [`IncrementalLikelihood::accept`] or
+    /// [`IncrementalLikelihood::reject`] afterwards.
+    pub fn propose(
+        &mut self,
+        tree: &Tree,
+        dirty: &[NodeId],
+        backend: &mut dyn PlfBackend,
+    ) -> Result<f64, LikelihoodError> {
+        let plan = PlfPlan::for_update(tree, dirty, true)?;
+        Ok(self.run_plan(tree, &plan, backend))
+    }
+
+    /// Like [`IncrementalLikelihood::propose`], but recomputing the
+    /// whole tree (model-parameter moves invalidate every CLV) while
+    /// staying rejectable.
+    pub fn propose_full(
+        &mut self,
+        tree: &Tree,
+        backend: &mut dyn PlfBackend,
+    ) -> Result<f64, LikelihoodError> {
+        let plan = PlfPlan::for_tree(tree, 1)?;
+        Ok(self.run_plan(tree, &plan, backend))
+    }
+
+    /// Commit the pending proposal.
+    pub fn accept(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Undo the pending proposal: every touched node flips back to the
+    /// buffer holding the previous state.
+    pub fn reject(&mut self) {
+        for node in self.pending.drain(..) {
+            self.active[node.0] ^= 1;
+        }
+    }
+
+    /// Kernel calls a partial plan would issue (for stats).
+    pub fn plan_calls(tree: &Tree, dirty: &[NodeId]) -> usize {
+        PlfPlan::for_update(tree, dirty, true).map_or(0, |p| p.n_calls())
+    }
+
+    /// Kernel calls issued by the most recent evaluation.
+    pub fn last_calls(&self) -> usize {
+        self.last_calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Alignment;
+    use crate::kernels::ScalarBackend;
+    use crate::likelihood::TreeLikelihood;
+    use crate::model::GtrParams;
+
+    fn setup() -> (Tree, PatternAlignment, SiteModel) {
+        let tree = Tree::from_newick(
+            "(((a:0.1,b:0.15):0.1,(c:0.2,d:0.1):0.05):0.1,(e:0.1,f:0.3):0.1,g:0.2);",
+        )
+        .unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAAGGCCTTAGCA"),
+            ("b", "ACGTACGTACGGCCTTAGCA"),
+            ("c", "ACGAACGTTAGGCCTAAGCA"),
+            ("d", "ACTTACGTAAGGCGTTAGCA"),
+            ("e", "ACGTACGTAAGGCCTTAGCC"),
+            ("f", "ACGTTCGTAAGGCCTTAGCA"),
+            ("g", "AGGTACGTAAGGCCTTAGCA"),
+        ])
+        .unwrap()
+        .compress();
+        let model = SiteModel::gtr_gamma4(GtrParams::hky85(2.0, [0.3, 0.2, 0.2, 0.3]), 0.6).unwrap();
+        (tree, aln, model)
+    }
+
+    #[test]
+    fn full_evaluate_matches_simple_evaluator() {
+        let (tree, aln, model) = setup();
+        let mut inc = IncrementalLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let a = inc.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        let mut simple = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        let b = simple.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        // Scaler contributions are summed in a different order (per-node
+        // vectors vs one running vector), so agreement is to float
+        // accumulation tolerance, not bitwise.
+        assert!((a - b).abs() < b.abs() * 1e-8 + 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn partial_update_matches_full_recompute() {
+        let (mut tree, aln, model) = setup();
+        let mut inc = IncrementalLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        inc.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        // Change one branch and compare partial vs from-scratch.
+        let victim = tree.branches()[2];
+        tree.node_mut(victim).branch *= 1.7;
+        let partial = inc.propose(&tree, &[victim], &mut ScalarBackend).unwrap();
+        inc.accept();
+        let mut fresh = IncrementalLikelihood::new(&tree, &aln, model).unwrap();
+        let full = fresh.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        assert!((partial - full).abs() < 1e-6, "partial {partial} vs full {full}");
+    }
+
+    #[test]
+    fn reject_restores_previous_state_exactly() {
+        let (mut tree, aln, model) = setup();
+        let mut inc = IncrementalLikelihood::new(&tree, &aln, model).unwrap();
+        let before = inc.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        let victim = tree.branches()[0];
+        let old_branch = tree.node(victim).branch;
+        tree.node_mut(victim).branch *= 3.0;
+        let during = inc.propose(&tree, &[victim], &mut ScalarBackend).unwrap();
+        assert_ne!(before, during);
+        inc.reject();
+        tree.node_mut(victim).branch = old_branch;
+        // Re-proposing a no-op change must give exactly the old value.
+        let after = inc.propose(&tree, &[victim], &mut ScalarBackend).unwrap();
+        inc.accept();
+        assert_eq!(before, after, "reject failed to restore state");
+    }
+
+    #[test]
+    fn nni_partial_update_matches_full() {
+        let (mut tree, aln, model) = setup();
+        let mut inc = IncrementalLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        inc.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        let (p, c) = tree.internal_edges()[0];
+        tree.nni(p, c, 0, 0).unwrap();
+        let partial = inc.propose(&tree, &[p, c], &mut ScalarBackend).unwrap();
+        inc.accept();
+        let mut fresh = IncrementalLikelihood::new(&tree, &aln, model).unwrap();
+        let full = fresh.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        assert!((partial - full).abs() < 1e-6, "{partial} vs {full}");
+    }
+
+    #[test]
+    fn accept_then_more_proposals() {
+        let (mut tree, aln, model) = setup();
+        let mut inc = IncrementalLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        inc.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        let mut last = 0.0;
+        for (i, victim) in tree.branches().into_iter().take(5).enumerate() {
+            tree.node_mut(victim).branch *= if i % 2 == 0 { 1.3 } else { 0.8 };
+            last = inc.propose(&tree, &[victim], &mut ScalarBackend).unwrap();
+            inc.accept();
+        }
+        let mut fresh = IncrementalLikelihood::new(&tree, &aln, model).unwrap();
+        let full = fresh.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        assert!((last - full).abs() < 1e-6, "{last} vs {full}");
+    }
+
+    #[test]
+    fn double_propose_without_commit_panics() {
+        let (tree, aln, model) = setup();
+        let mut inc = IncrementalLikelihood::new(&tree, &aln, model).unwrap();
+        inc.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        let victim = tree.branches()[0];
+        inc.propose(&tree, &[victim], &mut ScalarBackend).unwrap();
+        assert!(inc.has_pending());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = inc.propose(&tree, &[victim], &mut ScalarBackend);
+        }));
+        assert!(result.is_err(), "second propose without accept/reject must panic");
+    }
+
+    #[test]
+    fn partial_plans_are_much_smaller() {
+        let (tree, _, _) = setup();
+        let leaf = tree.leaves()[0];
+        let partial = IncrementalLikelihood::plan_calls(&tree, &[leaf]);
+        let full = PlfPlan::for_tree(&tree, 1).unwrap().n_calls();
+        assert!(partial < full, "{partial} !< {full}");
+    }
+}

@@ -1,0 +1,392 @@
+//! Alignment file I/O: FASTA and (relaxed sequential) PHYLIP.
+//!
+//! MrBayes reads NEXUS; field data, however, moves as FASTA and PHYLIP,
+//! and both are trivial to map onto [`Alignment`]. Parsers are strict
+//! about structure (duplicate names, ragged rows, invalid characters
+//! all error through [`AlignmentError`]) and tolerant about whitespace.
+
+use crate::alignment::{Alignment, AlignmentError};
+use crate::dna::StateMask;
+
+/// Errors from file parsing: either the surrounding format or the
+/// alignment content.
+#[derive(Debug)]
+pub enum IoError {
+    /// Structural problem with the file format.
+    Format(String),
+    /// The sequences themselves are invalid.
+    Alignment(AlignmentError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Format(m) => write!(f, "format error: {m}"),
+            IoError::Alignment(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<AlignmentError> for IoError {
+    fn from(e: AlignmentError) -> IoError {
+        IoError::Alignment(e)
+    }
+}
+
+fn encode_row(name: &str, seq: &str) -> Result<(String, Vec<StateMask>), IoError> {
+    let mut row = Vec::with_capacity(seq.len());
+    for (i, c) in seq.chars().enumerate() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        row.push(StateMask::from_iupac(c).ok_or_else(|| {
+            IoError::Alignment(AlignmentError::BadChar {
+                taxon: name.to_string(),
+                site: i,
+                ch: c,
+            })
+        })?);
+    }
+    Ok((name.to_string(), row))
+}
+
+/// Parse FASTA text into an alignment.
+pub fn parse_fasta(text: &str) -> Result<Alignment, IoError> {
+    let mut taxa = Vec::new();
+    let mut seqs: Vec<Vec<StateMask>> = Vec::new();
+    let mut current: Option<(String, String)> = None;
+    let flush = |current: &mut Option<(String, String)>,
+                     taxa: &mut Vec<String>,
+                     seqs: &mut Vec<Vec<StateMask>>|
+     -> Result<(), IoError> {
+        if let Some((name, seq)) = current.take() {
+            if seq.is_empty() {
+                return Err(IoError::Format(format!("record {name} has no sequence")));
+            }
+            let (name, row) = encode_row(&name, &seq)?;
+            taxa.push(name);
+            seqs.push(row);
+        }
+        Ok(())
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            flush(&mut current, &mut taxa, &mut seqs)?;
+            let name = header.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Err(IoError::Format("empty FASTA header".into()));
+            }
+            current = Some((name, String::new()));
+        } else {
+            match &mut current {
+                Some((_, seq)) => seq.push_str(line),
+                None => return Err(IoError::Format("sequence before first '>' header".into())),
+            }
+        }
+    }
+    flush(&mut current, &mut taxa, &mut seqs)?;
+    Ok(Alignment::new(taxa, seqs)?)
+}
+
+/// Serialize an alignment as FASTA (60-column wrapped).
+pub fn write_fasta(aln: &Alignment) -> String {
+    let mut out = String::new();
+    for (t, name) in aln.taxa().iter().enumerate() {
+        out.push('>');
+        out.push_str(name);
+        out.push('\n');
+        let chars: String = aln.row(t).iter().map(|m| m.to_iupac()).collect();
+        for chunk in chars.as_bytes().chunks(60) {
+            out.push_str(std::str::from_utf8(chunk).expect("IUPAC chars are ASCII"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse relaxed sequential PHYLIP: a `ntax nchar` header line, then one
+/// `name sequence` record per taxon (sequence may continue on following
+/// lines until `nchar` characters are read).
+pub fn parse_phylip(text: &str) -> Result<Alignment, IoError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty PHYLIP file".into()))?;
+    let mut parts = header.split_whitespace();
+    let ntax: usize = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| IoError::Format("bad ntax in PHYLIP header".into()))?;
+    let nchar: usize = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| IoError::Format("bad nchar in PHYLIP header".into()))?;
+    let mut taxa = Vec::with_capacity(ntax);
+    let mut seqs = Vec::with_capacity(ntax);
+    for _ in 0..ntax {
+        let first = lines
+            .next()
+            .ok_or_else(|| IoError::Format(format!("expected {ntax} records")))?;
+        let mut parts = first.trim().splitn(2, char::is_whitespace);
+        let name = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| IoError::Format("missing taxon name".into()))?
+            .to_string();
+        let mut seq: String = parts.next().unwrap_or("").split_whitespace().collect();
+        while seq.len() < nchar {
+            let cont = lines.next().ok_or_else(|| {
+                IoError::Format(format!("taxon {name}: expected {nchar} characters, got {}", seq.len()))
+            })?;
+            seq.extend(cont.split_whitespace().flat_map(|s| s.chars()));
+        }
+        if seq.len() != nchar {
+            return Err(IoError::Format(format!(
+                "taxon {name}: expected {nchar} characters, got {}",
+                seq.len()
+            )));
+        }
+        let (name, row) = encode_row(&name, &seq)?;
+        taxa.push(name);
+        seqs.push(row);
+    }
+    Ok(Alignment::new(taxa, seqs)?)
+}
+
+/// Parse the `DATA` block of a NEXUS file — MrBayes's native input
+/// format. Handles the standard
+/// `#NEXUS / begin data; dimensions ntax=N nchar=M; format ...; matrix
+/// ... ; end;` skeleton with interleaved or sequential matrices.
+pub fn parse_nexus(text: &str) -> Result<Alignment, IoError> {
+    let lower = text.to_lowercase();
+    if !lower.trim_start().starts_with("#nexus") {
+        return Err(IoError::Format("missing #NEXUS header".into()));
+    }
+    let dim_at = lower
+        .find("dimensions")
+        .ok_or_else(|| IoError::Format("missing dimensions statement".into()))?;
+    let dim_end = lower[dim_at..]
+        .find(';')
+        .ok_or_else(|| IoError::Format("unterminated dimensions statement".into()))?
+        + dim_at;
+    let dims = &lower[dim_at..dim_end];
+    let grab = |key: &str| -> Result<usize, IoError> {
+        let at = dims
+            .find(key)
+            .ok_or_else(|| IoError::Format(format!("missing {key} in dimensions")))?;
+        dims[at + key.len()..]
+            .trim_start()
+            .trim_start_matches('=')
+            .trim_start()
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .filter(|s| !s.is_empty())
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| IoError::Format(format!("bad {key} value")))
+    };
+    let ntax = grab("ntax")?;
+    let nchar = grab("nchar")?;
+
+    let matrix_at = lower
+        .find("matrix")
+        .ok_or_else(|| IoError::Format("missing matrix block".into()))?;
+    let matrix_end = text[matrix_at..]
+        .find(';')
+        .ok_or_else(|| IoError::Format("unterminated matrix block".into()))?
+        + matrix_at;
+    let body = &text[matrix_at + "matrix".len()..matrix_end];
+
+    // Interleaved format: accumulate per-taxon sequence across blocks.
+    let mut order: Vec<String> = Vec::new();
+    let mut seqs: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('[') {
+            continue;
+        }
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let name = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| IoError::Format("matrix row without taxon name".into()))?
+            .trim_matches('\'')
+            .to_string();
+        let chunk: String = parts.next().unwrap_or("").split_whitespace().collect();
+        if !seqs.contains_key(&name) {
+            order.push(name.clone());
+        }
+        seqs.entry(name).or_default().push_str(&chunk);
+    }
+    if order.len() != ntax {
+        return Err(IoError::Format(format!(
+            "dimensions say ntax={ntax} but matrix has {} taxa",
+            order.len()
+        )));
+    }
+    let mut taxa = Vec::with_capacity(ntax);
+    let mut rows = Vec::with_capacity(ntax);
+    for name in order {
+        let seq = &seqs[&name];
+        if seq.len() != nchar {
+            return Err(IoError::Format(format!(
+                "taxon {name}: expected nchar={nchar}, got {}",
+                seq.len()
+            )));
+        }
+        let (name, row) = encode_row(&name, seq)?;
+        taxa.push(name);
+        rows.push(row);
+    }
+    Ok(Alignment::new(taxa, rows)?)
+}
+
+/// Serialize an alignment as a NEXUS data block.
+pub fn write_nexus(aln: &Alignment) -> String {
+    let mut out = String::from("#NEXUS\nbegin data;\n");
+    out.push_str(&format!(
+        "  dimensions ntax={} nchar={};\n  format datatype=dna missing=? gap=-;\n  matrix\n",
+        aln.n_taxa(),
+        aln.n_sites()
+    ));
+    for (t, name) in aln.taxa().iter().enumerate() {
+        let seq: String = aln.row(t).iter().map(|m| m.to_iupac()).collect();
+        out.push_str(&format!("    {name} {seq}\n"));
+    }
+    out.push_str("  ;\nend;\n");
+    out
+}
+
+/// Serialize an alignment as sequential PHYLIP.
+pub fn write_phylip(aln: &Alignment) -> String {
+    let mut out = format!("{} {}\n", aln.n_taxa(), aln.n_sites());
+    for (t, name) in aln.taxa().iter().enumerate() {
+        let seq: String = aln.row(t).iter().map(|m| m.to_iupac()).collect();
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&seq);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FASTA: &str = ">taxA description ignored\nACGT\nACGT\n>taxB\nACGTRYKM\n";
+
+    #[test]
+    fn fasta_parse_basic() {
+        let aln = parse_fasta(FASTA).unwrap();
+        assert_eq!(aln.n_taxa(), 2);
+        assert_eq!(aln.n_sites(), 8);
+        assert_eq!(aln.taxa(), &["taxA".to_string(), "taxB".to_string()]);
+    }
+
+    #[test]
+    fn fasta_roundtrip() {
+        let aln = parse_fasta(FASTA).unwrap();
+        let again = parse_fasta(&write_fasta(&aln)).unwrap();
+        assert_eq!(aln.n_sites(), again.n_sites());
+        for t in 0..aln.n_taxa() {
+            assert_eq!(aln.row(t), again.row(t));
+        }
+    }
+
+    #[test]
+    fn fasta_wraps_long_sequences() {
+        let seq = "ACGT".repeat(40);
+        let text = format!(">x\n{seq}\n>y\n{seq}\n");
+        let aln = parse_fasta(&text).unwrap();
+        let written = write_fasta(&aln);
+        assert!(written.lines().all(|l| l.len() <= 60));
+        assert_eq!(parse_fasta(&written).unwrap().n_sites(), 160);
+    }
+
+    #[test]
+    fn fasta_errors() {
+        assert!(matches!(parse_fasta("ACGT\n"), Err(IoError::Format(_))));
+        assert!(matches!(parse_fasta(">\nACGT\n"), Err(IoError::Format(_))));
+        assert!(matches!(parse_fasta(">x\n"), Err(IoError::Format(_))));
+        assert!(matches!(
+            parse_fasta(">x\nACGZ\n>y\nACGT\n"),
+            Err(IoError::Alignment(AlignmentError::BadChar { .. }))
+        ));
+        assert!(matches!(
+            parse_fasta(">x\nACG\n>x\nACG\n"),
+            Err(IoError::Alignment(AlignmentError::DuplicateTaxon(_)))
+        ));
+    }
+
+    const PHYLIP: &str = "3 10\ntaxA ACGTACGTAC\ntaxB ACGTA\nCGTAA\ntaxC ACGT-ACGTN\n";
+
+    #[test]
+    fn phylip_parse_with_continuation() {
+        let aln = parse_phylip(PHYLIP).unwrap();
+        assert_eq!(aln.n_taxa(), 3);
+        assert_eq!(aln.n_sites(), 10);
+        assert_eq!(aln.row(0), parse_phylip(&write_phylip(&aln)).unwrap().row(0));
+    }
+
+    #[test]
+    fn phylip_roundtrip() {
+        let aln = parse_phylip(PHYLIP).unwrap();
+        let again = parse_phylip(&write_phylip(&aln)).unwrap();
+        for t in 0..3 {
+            assert_eq!(aln.row(t), again.row(t));
+        }
+    }
+
+    #[test]
+    fn phylip_errors() {
+        assert!(parse_phylip("").is_err());
+        assert!(parse_phylip("x 10\n").is_err());
+        assert!(parse_phylip("2 4\na ACGT\n").is_err()); // missing record
+        assert!(parse_phylip("1 8\na ACGT\n").is_err()); // too short, no continuation
+        assert!(parse_phylip("1 3\na ACGT\n").is_err()); // too long
+    }
+
+    const NEXUS: &str = "#NEXUS\nbegin data;\n  dimensions ntax=3 nchar=8;\n  format datatype=dna;\n  matrix\n    alpha ACGT\n    beta  ACGA\n    gamma ACGC\n    alpha ACGT\n    beta  TTTT\n    gamma AAAA\n  ;\nend;\n";
+
+    #[test]
+    fn nexus_interleaved_parse() {
+        let aln = parse_nexus(NEXUS).unwrap();
+        assert_eq!(aln.n_taxa(), 3);
+        assert_eq!(aln.n_sites(), 8);
+        let beta: String = aln.row(1).iter().map(|m| m.to_iupac()).collect();
+        assert_eq!(beta, "ACGATTTT");
+    }
+
+    #[test]
+    fn nexus_roundtrip() {
+        let aln = parse_nexus(NEXUS).unwrap();
+        let again = parse_nexus(&write_nexus(&aln)).unwrap();
+        for t in 0..3 {
+            assert_eq!(aln.row(t), again.row(t));
+        }
+        assert_eq!(aln.taxa(), again.taxa());
+    }
+
+    #[test]
+    fn nexus_errors() {
+        assert!(parse_nexus("begin data;").is_err()); // no #NEXUS
+        assert!(parse_nexus("#NEXUS\nbegin data; matrix a ACGT;end;").is_err()); // no dimensions
+        assert!(parse_nexus("#NEXUS\ndimensions ntax=2 nchar=4;\nmatrix\na ACGT\n;\n").is_err()); // ntax mismatch
+        assert!(parse_nexus("#NEXUS\ndimensions ntax=1 nchar=9;\nmatrix\na ACGT\n;\n").is_err()); // nchar mismatch
+    }
+
+    #[test]
+    fn cross_format_equivalence() {
+        let aln = parse_fasta(FASTA).unwrap();
+        let via_phylip = parse_phylip(&write_phylip(&aln)).unwrap();
+        for t in 0..aln.n_taxa() {
+            assert_eq!(aln.row(t), via_phylip.row(t));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The Phylogenetic Likelihood Function kernels.
+//!
+//! Three operations dominate MrBayes runtime (>85%, §3.1):
+//!
+//! * **CondLikeDown** — combine two children's conditional likelihoods
+//!   through their branch transition matrices (Figure 5),
+//! * **CondLikeRoot** — the same at the (virtual) root, combining three
+//!   subtrees,
+//! * **CondLikeScaler** — per-pattern rescaling against numerical
+//!   underflow (a max-reduction followed by a division).
+//!
+//! [`scalar`] is the reference implementation; [`simd4`] provides the two
+//! 4-wide SIMD schedules the paper contrasts on the Cell (§3.3). All
+//! kernels accumulate inner products in ascending-`j` order so that every
+//! backend — host, simulated Cell SPE, simulated GPU thread — produces
+//! bitwise-identical `f32` results, which the cross-backend tests rely on.
+
+pub mod plan;
+pub mod scalar;
+pub mod simd4;
+
+use crate::clv::{Clv, TransitionMatrices};
+
+/// Which SIMD schedule a vectorized kernel uses; mirrors the paper's two
+/// Cell/BE implementations (§3.3) and the analogous GPU choice (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdSchedule {
+    /// Approach (i): parallelize inside each inner product — element-wise
+    /// multiply then a horizontal (tree) reduction. Row-wise matrix access.
+    RowWise,
+    /// Approach (ii): run the four inner products of one matrix-vector
+    /// product in lockstep — four serial reductions, column-wise matrix
+    /// access via the pre-transposed matrix. The paper's winner (2× PLF).
+    ColWise,
+}
+
+/// A PLF execution engine.
+///
+/// Implementations range from the in-process scalar reference to the
+/// rayon multicore backend and the Cell/BE and GPU simulators; the MCMC
+/// driver and the experiment harness are generic over this trait.
+pub trait PlfBackend: Send {
+    /// Human-readable backend name for reports.
+    fn name(&self) -> String;
+
+    /// CondLikeDown: `out[i] = (P_l · left[i]) ⊙ (P_r · right[i])` for
+    /// every pattern `i` and rate category.
+    fn cond_like_down(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    );
+
+    /// CondLikeRoot: like `cond_like_down` but combining the three
+    /// subtrees meeting at the virtual root. `c` is `None` for a rooted
+    /// (degree-2) anchor node.
+    #[allow(clippy::too_many_arguments)]
+    fn cond_like_root(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    );
+
+    /// CondLikeScaler: divide each pattern's `n_rates × 4` block by its
+    /// maximum entry and accumulate `ln(max)` into `ln_scalers[i]`.
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]);
+
+    /// Called once per tree evaluation before the first kernel; lets
+    /// simulated backends reset per-invocation bookkeeping. Default no-op.
+    fn begin_evaluation(&mut self) {}
+}
+
+/// The scalar reference backend (the "Baseline" single-core execution of
+/// Table 1, modulo 2009 silicon).
+#[derive(Debug, Default, Clone)]
+pub struct ScalarBackend;
+
+impl PlfBackend for ScalarBackend {
+    fn name(&self) -> String {
+        "scalar".into()
+    }
+
+    fn cond_like_down(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    ) {
+        let n_rates = out.n_rates();
+        scalar::cond_like_down_range(
+            left.as_slice(),
+            p_left,
+            right.as_slice(),
+            p_right,
+            out.as_mut_slice(),
+            n_rates,
+        );
+    }
+
+    fn cond_like_root(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    ) {
+        let n_rates = out.n_rates();
+        scalar::cond_like_root_range(
+            a.as_slice(),
+            p_a,
+            b.as_slice(),
+            p_b,
+            c.map(|(clv, p)| (clv.as_slice(), p)),
+            out.as_mut_slice(),
+            n_rates,
+        );
+    }
+
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+        let n_rates = clv.n_rates();
+        scalar::cond_like_scaler_range(clv.as_mut_slice(), ln_scalers, n_rates);
+    }
+}
+
+/// Host backend using the 4-wide SIMD kernels with a selectable schedule.
+#[derive(Debug, Clone)]
+pub struct Simd4Backend {
+    /// Chosen schedule.
+    pub schedule: SimdSchedule,
+}
+
+impl Simd4Backend {
+    /// Column-wise (the fast schedule the paper adopts).
+    pub fn col_wise() -> Simd4Backend {
+        Simd4Backend {
+            schedule: SimdSchedule::ColWise,
+        }
+    }
+
+    /// Row-wise (the paper's slower first attempt; kept for the ablation).
+    pub fn row_wise() -> Simd4Backend {
+        Simd4Backend {
+            schedule: SimdSchedule::RowWise,
+        }
+    }
+}
+
+impl PlfBackend for Simd4Backend {
+    fn name(&self) -> String {
+        match self.schedule {
+            SimdSchedule::RowWise => "simd4-rowwise".into(),
+            SimdSchedule::ColWise => "simd4-colwise".into(),
+        }
+    }
+
+    fn cond_like_down(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    ) {
+        let n_rates = out.n_rates();
+        simd4::cond_like_down_range(
+            self.schedule,
+            left.as_slice(),
+            p_left,
+            right.as_slice(),
+            p_right,
+            out.as_mut_slice(),
+            n_rates,
+        );
+    }
+
+    fn cond_like_root(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    ) {
+        let n_rates = out.n_rates();
+        simd4::cond_like_root_range(
+            self.schedule,
+            a.as_slice(),
+            p_a,
+            b.as_slice(),
+            p_b,
+            c.map(|(clv, p)| (clv.as_slice(), p)),
+            out.as_mut_slice(),
+            n_rates,
+        );
+    }
+
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+        let n_rates = clv.n_rates();
+        simd4::cond_like_scaler_range(clv.as_mut_slice(), ln_scalers, n_rates);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_mats(n_rates: usize) -> impl Strategy<Value = TransitionMatrices> {
+        prop::collection::vec(
+            prop::array::uniform4(prop::array::uniform4(0.0f32..1.0)),
+            n_rates,
+        )
+        .prop_map(TransitionMatrices::from_mats)
+    }
+
+    fn arb_clv(len: usize) -> impl Strategy<Value = Vec<f32>> {
+        prop::collection::vec(0.0f32..1.0, len)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_colwise_bitwise_equals_scalar(
+            m in 1usize..40,
+            n_rates in 1usize..5,
+            seed_left in arb_mats(4),
+            seed_right in arb_mats(4),
+        ) {
+            // Reuse the first n_rates matrices of the generated sets.
+            let pl = TransitionMatrices::from_mats(seed_left.mats()[..n_rates.min(4)].to_vec());
+            let pr = TransitionMatrices::from_mats(seed_right.mats()[..n_rates.min(4)].to_vec());
+            let n_rates = pl.n_rates();
+            let len = m * n_rates * 4;
+            let left: Vec<f32> = (0..len).map(|i| (i % 17) as f32 / 17.0).collect();
+            let right: Vec<f32> = (0..len).map(|i| (i % 13) as f32 / 13.0).collect();
+            let mut out_simd = vec![0.0f32; len];
+            let mut out_ref = vec![0.0f32; len];
+            simd4::cond_like_down_range(SimdSchedule::ColWise, &left, &pl, &right, &pr, &mut out_simd, n_rates);
+            scalar::cond_like_down_range(&left, &pl, &right, &pr, &mut out_ref, n_rates);
+            prop_assert_eq!(out_simd, out_ref);
+        }
+
+        #[test]
+        fn prop_scaler_idempotent_and_bounded(
+            m in 1usize..30,
+            data in arb_clv(30 * 16),
+        ) {
+            let n_rates = 4;
+            let len = m * n_rates * 4;
+            let mut clv = data[..len].to_vec();
+            let mut scalers = vec![0.0f32; m];
+            simd4::cond_like_scaler_range(&mut clv, &mut scalers, n_rates);
+            // After scaling every non-zero block's max is 1 up to the
+            // rounding of the reciprocal multiply (x · (1/max)).
+            for (i, block) in clv.chunks_exact(n_rates * 4).enumerate() {
+                let max = block.iter().fold(0.0f32, |a, &b| a.max(b));
+                prop_assert!(
+                    max == 0.0 || (max - 1.0).abs() <= 2e-7,
+                    "block {i} max {max}"
+                );
+            }
+            // Scaling again is a no-op up to the same rounding.
+            let before = clv.clone();
+            let mut scalers2 = vec![0.0f32; m];
+            simd4::cond_like_scaler_range(&mut clv, &mut scalers2, n_rates);
+            for (a, b) in before.iter().zip(&clv) {
+                prop_assert!((a - b).abs() <= 2e-7, "{a} vs {b}");
+            }
+            for (i, &s) in scalers2.iter().enumerate() {
+                prop_assert!(s.abs() <= 3e-7, "scaler {i} = {s}");
+            }
+        }
+
+        #[test]
+        fn prop_rowwise_within_tolerance(
+            m in 1usize..20,
+            mats in arb_mats(4),
+        ) {
+            let n_rates = 4;
+            let len = m * n_rates * 4;
+            let v: Vec<f32> = (0..len).map(|i| ((i * 7) % 23) as f32 / 23.0).collect();
+            let mut row = vec![0.0f32; len];
+            let mut col = vec![0.0f32; len];
+            simd4::cond_like_down_range(SimdSchedule::RowWise, &v, &mats, &v, &mats, &mut row, n_rates);
+            simd4::cond_like_down_range(SimdSchedule::ColWise, &v, &mats, &v, &mats, &mut col, n_rates);
+            for (a, b) in row.iter().zip(&col) {
+                prop_assert!((a - b).abs() <= 1e-5 * b.abs().max(1e-3));
+            }
+        }
+    }
+}

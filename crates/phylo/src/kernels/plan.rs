@@ -1,0 +1,313 @@
+//! PLF evaluation plans.
+//!
+//! A plan is the ordered list of kernel invocations needed to score one
+//! tree: a postorder sweep of `CondLikeDown` over internal nodes,
+//! interleaved `CondLikeScaler` calls, and a final `CondLikeRoot`. The
+//! paper's "number of calls to the parallel section" — the quantity that
+//! grows with the number of leaves and stresses each architecture's
+//! synchronization (§4.1) — is exactly the length of this list.
+
+use crate::tree::{NodeId, Tree, TreeError};
+
+/// One kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlfOp {
+    /// CondLikeDown at `node`, combining `left` and `right`.
+    Down {
+        /// Destination node.
+        node: NodeId,
+        /// Left child.
+        left: NodeId,
+        /// Right child.
+        right: NodeId,
+    },
+    /// CondLikeRoot at the virtual root, combining 2 or 3 children.
+    Root {
+        /// The root node.
+        node: NodeId,
+        /// Its children (2 for a rooted anchor, 3 for an unrooted tree).
+        children: Vec<NodeId>,
+    },
+    /// CondLikeScaler over `node`'s freshly computed CLV.
+    Scale {
+        /// Node whose CLV is rescaled.
+        node: NodeId,
+    },
+}
+
+/// An ordered PLF schedule for one tree topology.
+#[derive(Debug, Clone)]
+pub struct PlfPlan {
+    ops: Vec<PlfOp>,
+    root: NodeId,
+}
+
+impl PlfPlan {
+    /// Build the plan for `tree`. `scale_every = 0` disables scaling;
+    /// `scale_every = n` rescales after every `n`-th internal node (and
+    /// always after the root), mirroring MrBayes's periodic
+    /// `CondLikeScaler` calls.
+    pub fn for_tree(tree: &Tree, scale_every: usize) -> Result<PlfPlan, TreeError> {
+        tree.validate()?;
+        let mut ops = Vec::new();
+        let mut internal_count = 0usize;
+        for id in tree.postorder() {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                continue;
+            }
+            if id == tree.root() {
+                ops.push(PlfOp::Root {
+                    node: id,
+                    children: node.children.clone(),
+                });
+                if scale_every > 0 {
+                    ops.push(PlfOp::Scale { node: id });
+                }
+            } else {
+                debug_assert_eq!(node.children.len(), 2);
+                ops.push(PlfOp::Down {
+                    node: id,
+                    left: node.children[0],
+                    right: node.children[1],
+                });
+                internal_count += 1;
+                if scale_every > 0 && internal_count.is_multiple_of(scale_every) {
+                    ops.push(PlfOp::Scale { node: id });
+                }
+            }
+        }
+        Ok(PlfPlan { ops, root: tree.root() })
+    }
+
+    /// Build a *partial* plan recomputing only the CLVs invalidated by
+    /// changes at `dirty` nodes — MrBayes's "touched" mechanism: when a
+    /// branch length or local topology changes, only the conditional
+    /// likelihoods on the path from the change to the root need
+    /// recomputation, shrinking the per-proposal PLF work from
+    /// `O(taxa)` kernel calls to `O(depth)`.
+    ///
+    /// A dirty node invalidates its own CLV (if internal) and every
+    /// ancestor's. Scaling follows the full plan's policy: every
+    /// recomputed internal node is rescaled when `scale` is true (the
+    /// caller maintains per-node scaler vectors, so untouched nodes keep
+    /// their contributions).
+    pub fn for_update(
+        tree: &Tree,
+        dirty: &[NodeId],
+        scale: bool,
+    ) -> Result<PlfPlan, TreeError> {
+        tree.validate()?;
+        let mut needs = vec![false; tree.n_nodes()];
+        for &d in dirty {
+            if d.0 >= tree.n_nodes() {
+                return Err(TreeError::Invalid(format!("dirty node {d} out of range")));
+            }
+            let mut cur = if tree.node(d).is_leaf() {
+                tree.node(d).parent
+            } else {
+                Some(d)
+            };
+            while let Some(n) = cur {
+                if needs[n.0] {
+                    break; // ancestors already marked
+                }
+                needs[n.0] = true;
+                cur = tree.node(n).parent;
+            }
+        }
+        let mut ops = Vec::new();
+        for id in tree.postorder() {
+            let node = tree.node(id);
+            if node.is_leaf() || !needs[id.0] {
+                continue;
+            }
+            if id == tree.root() {
+                ops.push(PlfOp::Root {
+                    node: id,
+                    children: node.children.clone(),
+                });
+            } else {
+                ops.push(PlfOp::Down {
+                    node: id,
+                    left: node.children[0],
+                    right: node.children[1],
+                });
+            }
+            if scale {
+                ops.push(PlfOp::Scale { node: id });
+            }
+        }
+        Ok(PlfPlan { ops, root: tree.root() })
+    }
+
+    /// The scheduled operations in execution order.
+    pub fn ops(&self) -> &[PlfOp] {
+        &self.ops
+    }
+
+    /// The root node the final `Root` op targets.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of `CondLikeDown` calls.
+    pub fn n_down(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, PlfOp::Down { .. })).count()
+    }
+
+    /// Number of `CondLikeScaler` calls.
+    pub fn n_scale(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, PlfOp::Scale { .. })).count()
+    }
+
+    /// Total parallel-section invocations (every op is one "call to the
+    /// parallel section" in the paper's sense).
+    pub fn n_calls(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+
+    #[test]
+    fn quartet_plan() {
+        let t = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        let plan = PlfPlan::for_tree(&t, 1).unwrap();
+        // One internal non-root node + root; scale after each.
+        assert_eq!(plan.n_down(), 1);
+        assert_eq!(plan.n_scale(), 2);
+        assert_eq!(plan.n_calls(), 4);
+        assert!(matches!(plan.ops().last(), Some(PlfOp::Scale { .. })));
+    }
+
+    #[test]
+    fn down_before_dependent_ops() {
+        let t = Tree::from_newick(
+            "(((a:0.1,b:0.1):0.1,(c:0.1,d:0.1):0.1):0.1,(e:0.1,f:0.1):0.1,g:0.2);",
+        )
+        .unwrap();
+        let plan = PlfPlan::for_tree(&t, 0).unwrap();
+        // Every Down's operands must be leaves or already-computed nodes.
+        let mut done: std::collections::HashSet<NodeId> =
+            t.leaves().into_iter().collect();
+        for op in plan.ops() {
+            match op {
+                PlfOp::Down { node, left, right } => {
+                    assert!(done.contains(left) && done.contains(right));
+                    done.insert(*node);
+                }
+                PlfOp::Root { node, children } => {
+                    for c in children {
+                        assert!(done.contains(c));
+                    }
+                    done.insert(*node);
+                }
+                PlfOp::Scale { node } => assert!(done.contains(node)),
+            }
+        }
+    }
+
+    #[test]
+    fn scale_every_two() {
+        let t = Tree::from_newick(
+            "((((a:1,b:1):1,(c:1,d:1):1):1,(e:1,f:1):1):1,(g:1,h:1):1,i:1);",
+        )
+        .unwrap();
+        let plan = PlfPlan::for_tree(&t, 2).unwrap();
+        // 6 internal non-root nodes => 3 interior scales + root scale.
+        assert_eq!(plan.n_down(), 6);
+        assert_eq!(plan.n_scale(), 4);
+    }
+
+    #[test]
+    fn no_scaling() {
+        let t = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        let plan = PlfPlan::for_tree(&t, 0).unwrap();
+        assert_eq!(plan.n_scale(), 0);
+    }
+
+    #[test]
+    fn call_count_scales_with_leaves() {
+        // The paper: number of leaves drives number of PLF calls.
+        let t10 = crate::tree::Tree::from_newick(&chain_newick(10)).unwrap();
+        let t50 = crate::tree::Tree::from_newick(&chain_newick(50)).unwrap();
+        let p10 = PlfPlan::for_tree(&t10, 1).unwrap();
+        let p50 = PlfPlan::for_tree(&t50, 1).unwrap();
+        assert!(p50.n_calls() > 4 * p10.n_calls() / 2);
+        assert_eq!(p10.n_down(), 10 - 3); // caterpillar: n-3 internal non-root nodes
+    }
+
+    #[test]
+    fn update_plan_touches_only_ancestors() {
+        let t = Tree::from_newick(
+            "(((a:0.1,b:0.1):0.1,(c:0.1,d:0.1):0.1):0.1,(e:0.1,f:0.1):0.1,g:0.2);",
+        )
+        .unwrap();
+        // Dirty = leaf "a": its parent, grandparent, and the root must
+        // recompute; the (c,d) and (e,f) subtrees must not.
+        let a = t
+            .leaves()
+            .into_iter()
+            .find(|&l| t.node(l).name.as_deref() == Some("a"))
+            .unwrap();
+        let plan = PlfPlan::for_update(&t, &[a], true).unwrap();
+        // Path a -> parent(ab) -> parent(abcd) -> root = 3 internal nodes.
+        assert_eq!(plan.n_down(), 2);
+        assert_eq!(plan.n_scale(), 3);
+        assert_eq!(plan.n_calls(), 6);
+        let full = PlfPlan::for_tree(&t, 1).unwrap();
+        assert!(plan.n_calls() < full.n_calls());
+    }
+
+    #[test]
+    fn update_plan_with_all_leaves_equals_full_structure() {
+        let t = Tree::from_newick(
+            "(((a:0.1,b:0.1):0.1,(c:0.1,d:0.1):0.1):0.1,(e:0.1,f:0.1):0.1,g:0.2);",
+        )
+        .unwrap();
+        let all = t.leaves();
+        let plan = PlfPlan::for_update(&t, &all, true).unwrap();
+        let full = PlfPlan::for_tree(&t, 1).unwrap();
+        assert_eq!(plan.n_down(), full.n_down());
+        assert_eq!(plan.n_scale(), full.n_scale());
+    }
+
+    #[test]
+    fn update_plan_internal_dirty_includes_self() {
+        let t = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        let internal = t
+            .internal_nodes()
+            .into_iter()
+            .find(|&n| n != t.root())
+            .unwrap();
+        let plan = PlfPlan::for_update(&t, &[internal], false).unwrap();
+        assert_eq!(plan.n_down(), 1); // the node itself
+        assert_eq!(plan.n_calls(), 2); // + root
+    }
+
+    #[test]
+    fn update_plan_empty_dirty_is_empty() {
+        let t = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        let plan = PlfPlan::for_update(&t, &[], true).unwrap();
+        assert_eq!(plan.n_calls(), 0);
+    }
+
+    #[test]
+    fn update_plan_rejects_bad_node() {
+        let t = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        assert!(PlfPlan::for_update(&t, &[NodeId(999)], true).is_err());
+    }
+
+    fn chain_newick(n: usize) -> String {
+        // Caterpillar tree ((...((t0,t1),t2)...),t_{n-2},t_{n-1});
+        let mut s = "(t0:0.1,t1:0.1)".to_string();
+        for i in 2..n - 2 {
+            s = format!("({s}:0.1,t{i}:0.1)");
+        }
+        format!("({s}:0.1,t{}:0.1,t{}:0.1);", n - 2, n - 1)
+    }
+}

@@ -1,0 +1,252 @@
+//! Scalar reference implementation of the PLF kernels.
+//!
+//! These functions operate on *pattern-range slices* — flat `f32` slices
+//! covering some contiguous run of patterns — so every parallel backend
+//! (rayon chunks, simulated SPE Local-Store chunks, simulated GPU blocks)
+//! can reuse them on its own partition of the data.
+//!
+//! The inner-product accumulation order (ascending `j`) is the canonical
+//! order all other kernels replicate for bitwise reproducibility.
+
+use crate::clv::TransitionMatrices;
+use crate::dna::N_STATES;
+
+/// Multiply one 4-float state vector by a row-major transition matrix:
+/// `out[s] = Σ_j p[s][j] * v[j]` (one of the paper's "4 inner products").
+#[inline(always)]
+pub fn mat_vec(p: &[[f32; 4]; 4], v: &[f32]) -> [f32; 4] {
+    debug_assert!(v.len() >= N_STATES);
+    let mut out = [0.0f32; 4];
+    for s in 0..N_STATES {
+        let row = &p[s];
+        let mut acc = 0.0f32;
+        for j in 0..N_STATES {
+            acc += row[j] * v[j];
+        }
+        out[s] = acc;
+    }
+    out
+}
+
+fn n_patterns_of(len: usize, n_rates: usize) -> usize {
+    let stride = n_rates * N_STATES;
+    debug_assert_eq!(len % stride, 0, "slice not a whole number of patterns");
+    len / stride
+}
+
+/// CondLikeDown over a pattern range (Figure 5's loop nest).
+pub fn cond_like_down_range(
+    left: &[f32],
+    p_left: &TransitionMatrices,
+    right: &[f32],
+    p_right: &TransitionMatrices,
+    out: &mut [f32],
+    n_rates: usize,
+) {
+    assert_eq!(left.len(), out.len());
+    assert_eq!(right.len(), out.len());
+    let m = n_patterns_of(out.len(), n_rates);
+    let stride = n_rates * N_STATES;
+    for i in 0..m {
+        for k in 0..n_rates {
+            let base = i * stride + k * N_STATES;
+            let l = mat_vec(p_left.rate(k), &left[base..base + N_STATES]);
+            let r = mat_vec(p_right.rate(k), &right[base..base + N_STATES]);
+            for s in 0..N_STATES {
+                out[base + s] = l[s] * r[s];
+            }
+        }
+    }
+}
+
+/// CondLikeRoot over a pattern range: two or three incident subtrees.
+pub fn cond_like_root_range(
+    a: &[f32],
+    p_a: &TransitionMatrices,
+    b: &[f32],
+    p_b: &TransitionMatrices,
+    c: Option<(&[f32], &TransitionMatrices)>,
+    out: &mut [f32],
+    n_rates: usize,
+) {
+    assert_eq!(a.len(), out.len());
+    assert_eq!(b.len(), out.len());
+    if let Some((c_clv, _)) = c {
+        assert_eq!(c_clv.len(), out.len());
+    }
+    let m = n_patterns_of(out.len(), n_rates);
+    let stride = n_rates * N_STATES;
+    for i in 0..m {
+        for k in 0..n_rates {
+            let base = i * stride + k * N_STATES;
+            let va = mat_vec(p_a.rate(k), &a[base..base + N_STATES]);
+            let vb = mat_vec(p_b.rate(k), &b[base..base + N_STATES]);
+            match c {
+                Some((c_clv, p_c)) => {
+                    let vc = mat_vec(p_c.rate(k), &c_clv[base..base + N_STATES]);
+                    for s in 0..N_STATES {
+                        out[base + s] = va[s] * vb[s] * vc[s];
+                    }
+                }
+                None => {
+                    for s in 0..N_STATES {
+                        out[base + s] = va[s] * vb[s];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// CondLikeScaler over a pattern range: per pattern, find the maximum of
+/// the `n_rates × 4` block (a max-reduction, §3.1), divide the block by
+/// it, and accumulate `ln(max)` into the pattern's scaler slot.
+///
+/// A pattern whose block is entirely zero (impossible for valid data, but
+/// defensively handled like MrBayes does) is left untouched.
+pub fn cond_like_scaler_range(clv: &mut [f32], ln_scalers: &mut [f32], n_rates: usize) {
+    let m = n_patterns_of(clv.len(), n_rates);
+    assert_eq!(ln_scalers.len(), m);
+    let stride = n_rates * N_STATES;
+    for i in 0..m {
+        let block = &mut clv[i * stride..(i + 1) * stride];
+        let mut max = 0.0f32;
+        for &v in block.iter() {
+            if v > max {
+                max = v;
+            }
+        }
+        if max > 0.0 {
+            let inv = 1.0 / max;
+            for v in block.iter_mut() {
+                *v *= inv;
+            }
+            ln_scalers[i] += max.ln();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident() -> TransitionMatrices {
+        let mut m = [[0.0f32; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        TransitionMatrices::from_mats(vec![m, m])
+    }
+
+    #[test]
+    fn mat_vec_identity() {
+        let m = ident();
+        let v = [0.1f32, 0.2, 0.3, 0.4];
+        assert_eq!(mat_vec(m.rate(0), &v), v);
+    }
+
+    #[test]
+    fn mat_vec_general() {
+        let p = [
+            [1.0f32, 0.0, 0.0, 0.0],
+            [0.0, 2.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0, 1.0],
+            [0.5, 0.5, 0.0, 0.0],
+        ];
+        let v = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(mat_vec(&p, &v), [1.0, 4.0, 10.0, 1.5]);
+    }
+
+    #[test]
+    fn down_with_identity_multiplies_children() {
+        let p = ident();
+        let left = [0.5f32; 16];
+        let mut right = [0.0f32; 16];
+        for (i, v) in right.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let mut out = [0.0f32; 16];
+        cond_like_down_range(&left, &p, &right, &p, &mut out, 2);
+        for i in 0..16 {
+            assert_eq!(out[i], 0.5 * i as f32);
+        }
+    }
+
+    #[test]
+    fn root_three_children() {
+        let p = ident();
+        let a = [2.0f32; 8];
+        let b = [3.0f32; 8];
+        let c = [0.5f32; 8];
+        let mut out = [0.0f32; 8];
+        cond_like_root_range(&a, &p, &b, &p, Some((&c[..], &p)), &mut out, 2);
+        assert!(out.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn root_two_children_matches_down() {
+        let p = ident();
+        let a: Vec<f32> = (0..16).map(|i| 0.1 * i as f32).collect();
+        let b: Vec<f32> = (0..16).map(|i| 0.2 * i as f32).collect();
+        let mut via_root = vec![0.0f32; 16];
+        let mut via_down = vec![0.0f32; 16];
+        cond_like_root_range(&a, &p, &b, &p, None, &mut via_root, 2);
+        cond_like_down_range(&a, &p, &b, &p, &mut via_down, 2);
+        assert_eq!(via_root, via_down);
+    }
+
+    #[test]
+    fn scaler_normalizes_and_records() {
+        let mut clv = vec![0.25f32, 0.5, 0.125, 0.0625, 0.03125, 0.5, 0.25, 0.125];
+        // 1 rate category => stride 4, two patterns.
+        let mut scalers = vec![0.0f32; 2];
+        cond_like_scaler_range(&mut clv, &mut scalers, 1);
+        assert_eq!(&clv[0..4], &[0.5, 1.0, 0.25, 0.125]);
+        assert_eq!(&clv[4..8], &[0.0625, 1.0, 0.5, 0.25]);
+        assert!((scalers[0] - 0.5f32.ln()).abs() < 1e-6);
+        assert!((scalers[1] - 0.5f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaler_accumulates_across_calls() {
+        let mut clv = vec![0.5f32; 4];
+        let mut scalers = vec![0.0f32; 1];
+        cond_like_scaler_range(&mut clv, &mut scalers, 1);
+        clv.iter_mut().for_each(|v| *v *= 0.5);
+        cond_like_scaler_range(&mut clv, &mut scalers, 1);
+        assert!((scalers[0] - 0.25f32.ln()).abs() < 1e-6);
+        assert!(clv.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn scaler_skips_zero_block() {
+        let mut clv = vec![0.0f32; 4];
+        let mut scalers = vec![0.0f32; 1];
+        cond_like_scaler_range(&mut clv, &mut scalers, 1);
+        assert_eq!(scalers[0], 0.0);
+        assert!(clv.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn down_preserves_probability_semantics() {
+        // With stochastic P and probability-vector children, outputs stay
+        // within [0, 1].
+        let p = TransitionMatrices::from_mats(vec![[
+            [0.7, 0.1, 0.1, 0.1],
+            [0.1, 0.7, 0.1, 0.1],
+            [0.1, 0.1, 0.7, 0.1],
+            [0.1, 0.1, 0.1, 0.7f32],
+        ]]);
+        let left = [1.0f32, 0.0, 0.0, 0.0];
+        let right = [0.0f32, 1.0, 0.0, 0.0];
+        let mut out = [0.0f32; 4];
+        cond_like_down_range(&left, &p, &right, &p, &mut out, 1);
+        for &v in &out {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // out[s] = P[s][0] * P[s][1]
+        assert!((out[0] - 0.07).abs() < 1e-6);
+        assert!((out[1] - 0.07).abs() < 1e-6);
+        assert!((out[2] - 0.01).abs() < 1e-6);
+    }
+}

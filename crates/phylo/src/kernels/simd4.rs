@@ -1,0 +1,333 @@
+//! 4-wide SIMD PLF kernels.
+//!
+//! The Cell/BE SPEs (and host SSE units) operate on 128-bit vectors of
+//! four `f32` — exactly the width of one discrete-rate state array. The
+//! paper implements the matrix–vector products of the PLF in two ways
+//! (§3.3) and finds the column-wise variant 2× faster on the PLF:
+//!
+//! * **Row-wise** (approach i): each inner product `Σ_j P[s][j]·v[j]` is
+//!   vectorized as an element-wise multiply followed by a *horizontal*
+//!   tree reduction — the reduction serializes the vector lanes.
+//! * **Column-wise** (approach ii): the four inner products of one
+//!   matrix–vector product run in lockstep: `acc += v[j] · Pᵀ[j]` for
+//!   `j = 0..4`, using the pre-transposed matrix for unit-stride access.
+//!   No horizontal operation is needed.
+//!
+//! The kernels are written over `[f32; 4]` values with simple lane-wise
+//! helpers; rustc/LLVM lowers them to genuine vector instructions on any
+//! SIMD-capable host.
+
+use super::SimdSchedule;
+use crate::clv::TransitionMatrices;
+use crate::dna::N_STATES;
+
+/// Lane-wise multiply.
+#[inline(always)]
+fn mul4(a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
+    [a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]]
+}
+
+/// Lane-wise add.
+#[inline(always)]
+fn add4(a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
+    [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+}
+
+/// Broadcast a scalar to all four lanes.
+#[inline(always)]
+fn splat4(x: f32) -> [f32; 4] {
+    [x, x, x, x]
+}
+
+/// Lane-wise max.
+#[inline(always)]
+fn max4(a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
+    [
+        a[0].max(b[0]),
+        a[1].max(b[1]),
+        a[2].max(b[2]),
+        a[3].max(b[3]),
+    ]
+}
+
+/// Horizontal (pairwise-tree) sum of one vector — the reduction step of
+/// the row-wise schedule (Figure 4's dependency graph).
+#[inline(always)]
+fn hsum4(v: [f32; 4]) -> f32 {
+    (v[0] + v[1]) + (v[2] + v[3])
+}
+
+#[inline(always)]
+fn load4(s: &[f32]) -> [f32; 4] {
+    [s[0], s[1], s[2], s[3]]
+}
+
+/// Row-wise matrix–vector product: four vector multiplies, each followed
+/// by a horizontal reduction.
+#[inline(always)]
+pub fn mat_vec_rowwise(p: &[[f32; 4]; 4], v: [f32; 4]) -> [f32; 4] {
+    [
+        hsum4(mul4(p[0], v)),
+        hsum4(mul4(p[1], v)),
+        hsum4(mul4(p[2], v)),
+        hsum4(mul4(p[3], v)),
+    ]
+}
+
+/// Column-wise matrix–vector product over the transposed matrix:
+/// `acc = Σ_j splat(v[j]) · Pᵀ[j]`. Accumulates in ascending `j`, matching
+/// the scalar reference bit-for-bit.
+#[inline(always)]
+pub fn mat_vec_colwise(pt: &[[f32; 4]; 4], v: [f32; 4]) -> [f32; 4] {
+    let mut acc = mul4(splat4(v[0]), pt[0]);
+    acc = add4(acc, mul4(splat4(v[1]), pt[1]));
+    acc = add4(acc, mul4(splat4(v[2]), pt[2]));
+    add4(acc, mul4(splat4(v[3]), pt[3]))
+}
+
+#[inline(always)]
+fn mat_vec(schedule: SimdSchedule, p: &TransitionMatrices, k: usize, v: [f32; 4]) -> [f32; 4] {
+    match schedule {
+        SimdSchedule::RowWise => mat_vec_rowwise(p.rate(k), v),
+        SimdSchedule::ColWise => mat_vec_colwise(p.rate_transposed(k), v),
+    }
+}
+
+/// SIMD CondLikeDown over a pattern-range slice.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's natural signature
+pub fn cond_like_down_range(
+    schedule: SimdSchedule,
+    left: &[f32],
+    p_left: &TransitionMatrices,
+    right: &[f32],
+    p_right: &TransitionMatrices,
+    out: &mut [f32],
+    n_rates: usize,
+) {
+    assert_eq!(left.len(), out.len());
+    assert_eq!(right.len(), out.len());
+    let stride = n_rates * N_STATES;
+    debug_assert_eq!(out.len() % stride, 0);
+    for (i, out_pat) in out.chunks_exact_mut(stride).enumerate() {
+        let lbase = i * stride;
+        for k in 0..n_rates {
+            let off = k * N_STATES;
+            let l = mat_vec(schedule, p_left, k, load4(&left[lbase + off..]));
+            let r = mat_vec(schedule, p_right, k, load4(&right[lbase + off..]));
+            let prod = mul4(l, r);
+            out_pat[off..off + N_STATES].copy_from_slice(&prod);
+        }
+    }
+}
+
+/// SIMD CondLikeRoot over a pattern-range slice.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's natural signature
+pub fn cond_like_root_range(
+    schedule: SimdSchedule,
+    a: &[f32],
+    p_a: &TransitionMatrices,
+    b: &[f32],
+    p_b: &TransitionMatrices,
+    c: Option<(&[f32], &TransitionMatrices)>,
+    out: &mut [f32],
+    n_rates: usize,
+) {
+    assert_eq!(a.len(), out.len());
+    assert_eq!(b.len(), out.len());
+    if let Some((c_clv, _)) = c {
+        assert_eq!(c_clv.len(), out.len());
+    }
+    let stride = n_rates * N_STATES;
+    debug_assert_eq!(out.len() % stride, 0);
+    for (i, out_pat) in out.chunks_exact_mut(stride).enumerate() {
+        let base = i * stride;
+        for k in 0..n_rates {
+            let off = k * N_STATES;
+            let va = mat_vec(schedule, p_a, k, load4(&a[base + off..]));
+            let vb = mat_vec(schedule, p_b, k, load4(&b[base + off..]));
+            let mut prod = mul4(va, vb);
+            if let Some((c_clv, p_c)) = c {
+                let vc = mat_vec(schedule, p_c, k, load4(&c_clv[base + off..]));
+                prod = mul4(prod, vc);
+            }
+            out_pat[off..off + N_STATES].copy_from_slice(&prod);
+        }
+    }
+}
+
+/// SIMD CondLikeScaler: vector max across the pattern block, horizontal
+/// max, then a broadcast multiply by the reciprocal. `max` is associative
+/// and commutative, so the result matches the scalar kernel exactly.
+pub fn cond_like_scaler_range(clv: &mut [f32], ln_scalers: &mut [f32], n_rates: usize) {
+    let stride = n_rates * N_STATES;
+    debug_assert_eq!(clv.len() % stride, 0);
+    let m = clv.len() / stride;
+    assert_eq!(ln_scalers.len(), m);
+    for (i, block) in clv.chunks_exact_mut(stride).enumerate() {
+        let mut vmax = [0.0f32; 4];
+        for chunk in block.chunks_exact(N_STATES) {
+            vmax = max4(vmax, load4(chunk));
+        }
+        let max = vmax[0].max(vmax[1]).max(vmax[2]).max(vmax[3]);
+        if max > 0.0 {
+            let inv = splat4(1.0 / max);
+            for chunk in block.chunks_exact_mut(N_STATES) {
+                let scaled = mul4(load4(chunk), inv);
+                chunk.copy_from_slice(&scaled);
+            }
+            ln_scalers[i] += max.ln();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::scalar;
+
+    fn random_mats(seed: u64, n_rates: usize) -> TransitionMatrices {
+        // Small deterministic LCG so the test needs no RNG dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32).fract().abs()
+        };
+        let mats = (0..n_rates)
+            .map(|_| {
+                let mut m = [[0.0f32; 4]; 4];
+                for row in &mut m {
+                    for v in row.iter_mut() {
+                        *v = next() * 0.9 + 0.05;
+                    }
+                }
+                m
+            })
+            .collect();
+        TransitionMatrices::from_mats(mats)
+    }
+
+    fn random_clv(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                ((state >> 33) as f32 / (1u64 << 31) as f32).fract().abs()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn colwise_matches_scalar_bitwise() {
+        let p = random_mats(7, 4);
+        let v = [0.3f32, 0.9, 0.01, 0.47];
+        let simd = mat_vec_colwise(p.rate_transposed(0), v);
+        let sc = scalar::mat_vec(p.rate(0), &v);
+        assert_eq!(simd, sc);
+    }
+
+    #[test]
+    fn rowwise_matches_scalar_closely() {
+        let p = random_mats(11, 4);
+        let v = [0.3f32, 0.9, 0.01, 0.47];
+        let simd = mat_vec_rowwise(p.rate(0), v);
+        let sc = scalar::mat_vec(p.rate(0), &v);
+        for s in 0..4 {
+            assert!((simd[s] - sc[s]).abs() <= 1e-6 * sc[s].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn down_colwise_bitwise_equals_scalar() {
+        let n_rates = 4;
+        let m = 33;
+        let len = m * n_rates * 4;
+        let (pl, pr) = (random_mats(1, n_rates), random_mats(2, n_rates));
+        let left = random_clv(3, len);
+        let right = random_clv(4, len);
+        let mut out_simd = vec![0.0f32; len];
+        let mut out_scalar = vec![0.0f32; len];
+        cond_like_down_range(
+            SimdSchedule::ColWise,
+            &left,
+            &pl,
+            &right,
+            &pr,
+            &mut out_simd,
+            n_rates,
+        );
+        scalar::cond_like_down_range(&left, &pl, &right, &pr, &mut out_scalar, n_rates);
+        assert_eq!(out_simd, out_scalar);
+    }
+
+    #[test]
+    fn down_rowwise_close_to_scalar() {
+        let n_rates = 4;
+        let m = 17;
+        let len = m * n_rates * 4;
+        let (pl, pr) = (random_mats(5, n_rates), random_mats(6, n_rates));
+        let left = random_clv(7, len);
+        let right = random_clv(8, len);
+        let mut out_simd = vec![0.0f32; len];
+        let mut out_scalar = vec![0.0f32; len];
+        cond_like_down_range(
+            SimdSchedule::RowWise,
+            &left,
+            &pl,
+            &right,
+            &pr,
+            &mut out_simd,
+            n_rates,
+        );
+        scalar::cond_like_down_range(&left, &pl, &right, &pr, &mut out_scalar, n_rates);
+        for (a, b) in out_simd.iter().zip(&out_scalar) {
+            assert!((a - b).abs() <= 1e-5 * b.abs().max(1e-3));
+        }
+    }
+
+    #[test]
+    fn root_three_children_colwise_bitwise_equals_scalar() {
+        let n_rates = 4;
+        let m = 9;
+        let len = m * n_rates * 4;
+        let (pa, pb, pc) = (random_mats(9, n_rates), random_mats(10, n_rates), random_mats(11, n_rates));
+        let a = random_clv(12, len);
+        let b = random_clv(13, len);
+        let c = random_clv(14, len);
+        let mut out_simd = vec![0.0f32; len];
+        let mut out_scalar = vec![0.0f32; len];
+        cond_like_root_range(
+            SimdSchedule::ColWise,
+            &a,
+            &pa,
+            &b,
+            &pb,
+            Some((&c[..], &pc)),
+            &mut out_simd,
+            n_rates,
+        );
+        scalar::cond_like_root_range(&a, &pa, &b, &pb, Some((&c[..], &pc)), &mut out_scalar, n_rates);
+        assert_eq!(out_simd, out_scalar);
+    }
+
+    #[test]
+    fn scaler_bitwise_equals_scalar() {
+        let n_rates = 4;
+        let m = 21;
+        let len = m * n_rates * 4;
+        let mut a = random_clv(20, len);
+        let mut b = a.clone();
+        let mut sa = vec![0.0f32; m];
+        let mut sb = vec![0.0f32; m];
+        cond_like_scaler_range(&mut a, &mut sa, n_rates);
+        scalar::cond_like_scaler_range(&mut b, &mut sb, n_rates);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn hsum_is_pairwise() {
+        assert_eq!(hsum4([1.0, 2.0, 3.0, 4.0]), 10.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # plf-phylo — the Phylogenetic Likelihood Function core
+//!
+//! Domain library for the ICPP 2009 reproduction: DNA substitution
+//! models (GTR+Γ), unrooted binary trees, pattern-compressed alignments,
+//! conditional likelihood vectors in the MrBayes memory layout, and the
+//! three PLF kernels (`CondLikeDown`, `CondLikeRoot`, `CondLikeScaler`)
+//! in scalar and 4-wide SIMD form.
+//!
+//! Parallel and simulated-hardware execution engines implement
+//! [`kernels::PlfBackend`] and live in the sibling crates `plf-multicore`,
+//! `plf-cellbe`, and `plf-gpu`.
+//!
+//! ```
+//! use plf_phylo::prelude::*;
+//!
+//! let tree = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+//! let aln = Alignment::from_strings(&[
+//!     ("a", "ACGTACGT"),
+//!     ("b", "ACGTACGA"),
+//!     ("c", "ACGAACGT"),
+//!     ("d", "ACTTACGT"),
+//! ]).unwrap().compress();
+//! let model = SiteModel::gtr_gamma4(GtrParams::jc69(), 0.5).unwrap();
+//! let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+//! let lnl = eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+//! assert!(lnl.is_finite() && lnl < 0.0);
+//! ```
+
+#![warn(missing_docs)]
+// Fixed-size 4-state matrix math reads clearest with explicit indices;
+// iterator adaptors would obscure the correspondence with the paper's
+// formulas.
+#![allow(clippy::needless_range_loop)]
+
+pub mod alignment;
+pub mod clv;
+pub mod dna;
+pub mod incremental;
+pub mod io;
+pub mod kernels;
+pub mod likelihood;
+pub mod model;
+pub mod oracle;
+pub mod partition;
+pub mod tree;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::alignment::{Alignment, PatternAlignment};
+    pub use crate::clv::{Clv, TransitionMatrices};
+    pub use crate::dna::{Nucleotide, StateMask, N_STATES};
+    pub use crate::kernels::plan::{PlfOp, PlfPlan};
+    pub use crate::kernels::{PlfBackend, ScalarBackend, Simd4Backend, SimdSchedule};
+    pub use crate::incremental::IncrementalLikelihood;
+    pub use crate::likelihood::TreeLikelihood;
+    pub use crate::model::{GtrParams, SiteModel};
+    pub use crate::partition::{by_codon_position, by_gene_blocks, Partition, PartitionedLikelihood};
+    pub use crate::tree::{Node, NodeId, Tree};
+}

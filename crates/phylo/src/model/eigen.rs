@@ -1,0 +1,259 @@
+//! Eigendecomposition of the GTR rate matrix and computation of the
+//! transition-probability matrix `P(t) = e^{Qt}`.
+//!
+//! A time-reversible `Q` is similar to the symmetric matrix
+//! `B = Π^{1/2} Q Π^{-1/2}` (with `Π = diag(π)`), so we diagonalize `B`
+//! with a cyclic Jacobi sweep — small, dependency-free, and numerically
+//! robust for 4×4 — and recover
+//! `P(t) = Π^{-1/2} U e^{Λt} Uᵀ Π^{1/2}`.
+
+use super::gtr::QMatrix;
+use crate::dna::N_STATES;
+
+/// Symmetric Jacobi eigendecomposition of an `n x n` matrix (here 4×4).
+///
+/// Returns `(eigenvalues, eigenvectors)` where column `k` of the returned
+/// matrix is the eigenvector for eigenvalue `k`.
+fn jacobi_eigen(mut a: [[f64; 4]; 4]) -> ([f64; 4], [[f64; 4]; 4]) {
+    let n = N_STATES;
+    let mut v = [[0.0f64; 4]; 4];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..64 {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-30 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) on both sides of `a`.
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut vals = [0.0f64; 4];
+    for i in 0..n {
+        vals[i] = a[i][i];
+    }
+    (vals, v)
+}
+
+/// Precomputed eigensystem of a normalized GTR rate matrix.
+///
+/// With it, a transition matrix for any branch length costs only 4
+/// exponentials and a pair of small matrix products, which is how every
+/// ML/Bayesian phylogenetics code (MrBayes included) amortizes `e^{Qt}`.
+#[derive(Debug, Clone)]
+pub struct EigenSystem {
+    /// Eigenvalues of Q (all ≤ 0; one is 0 for the stationary direction).
+    pub eigenvalues: [f64; 4],
+    /// `Π^{-1/2} U` — maps eigenbasis back to state space.
+    pub right: [[f64; 4]; 4],
+    /// `Uᵀ Π^{1/2}` — maps state space to eigenbasis.
+    pub left: [[f64; 4]; 4],
+    /// Stationary frequencies.
+    pub freqs: [f64; 4],
+}
+
+impl EigenSystem {
+    /// Decompose a (normalized, time-reversible) rate matrix.
+    pub fn new(q: &QMatrix) -> EigenSystem {
+        let pi = q.freqs;
+        let sqrt_pi: Vec<f64> = pi.iter().map(|p| p.sqrt()).collect();
+        // B = Π^{1/2} Q Π^{-1/2}, symmetric by detailed balance.
+        let mut b = [[0.0f64; 4]; 4];
+        for i in 0..N_STATES {
+            for j in 0..N_STATES {
+                b[i][j] = sqrt_pi[i] * q.q[i][j] / sqrt_pi[j];
+            }
+        }
+        // Force exact symmetry against rounding before Jacobi.
+        for i in 0..N_STATES {
+            for j in (i + 1)..N_STATES {
+                let m = 0.5 * (b[i][j] + b[j][i]);
+                b[i][j] = m;
+                b[j][i] = m;
+            }
+        }
+        let (vals, u) = jacobi_eigen(b);
+        let mut right = [[0.0f64; 4]; 4];
+        let mut left = [[0.0f64; 4]; 4];
+        for i in 0..N_STATES {
+            for k in 0..N_STATES {
+                right[i][k] = u[i][k] / sqrt_pi[i];
+                left[k][i] = u[i][k] * sqrt_pi[i];
+            }
+        }
+        EigenSystem {
+            eigenvalues: vals,
+            right,
+            left,
+            freqs: pi,
+        }
+    }
+
+    /// Transition-probability matrix `P(t) = e^{Qt}` in double precision.
+    ///
+    /// Negative `t` is clamped to zero (a zero-length branch), matching the
+    /// defensive behaviour of production likelihood kernels.
+    pub fn transition_matrix_f64(&self, t: f64) -> [[f64; 4]; 4] {
+        let t = t.max(0.0);
+        let exps: [f64; 4] = std::array::from_fn(|k| (self.eigenvalues[k] * t).exp());
+        let mut p = [[0.0f64; 4]; 4];
+        for i in 0..N_STATES {
+            for j in 0..N_STATES {
+                let mut acc = 0.0;
+                for k in 0..N_STATES {
+                    acc += self.right[i][k] * exps[k] * self.left[k][j];
+                }
+                // Clamp tiny negative values produced by rounding.
+                p[i][j] = if acc < 0.0 && acc > -1e-12 { 0.0 } else { acc };
+            }
+        }
+        p
+    }
+
+    /// Transition matrix cast to the single-precision layout used by the
+    /// PLF kernels (MrBayes computes the PLF in `f32`).
+    pub fn transition_matrix(&self, t: f64) -> [[f32; 4]; 4] {
+        let p = self.transition_matrix_f64(t);
+        std::array::from_fn(|i| std::array::from_fn(|j| p[i][j] as f32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::gtr::GtrParams;
+
+    fn sample_q() -> QMatrix {
+        QMatrix::build(&GtrParams::gtr(
+            [0.9, 2.7, 0.4, 1.1, 3.2, 1.0],
+            [0.31, 0.19, 0.23, 0.27],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn p_zero_is_identity() {
+        let es = EigenSystem::new(&sample_q());
+        let p = es.transition_matrix_f64(0.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((p[i][j] - expect).abs() < 1e-10, "p[{i}][{j}] = {}", p[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let es = EigenSystem::new(&sample_q());
+        for &t in &[0.001, 0.05, 0.3, 1.0, 5.0, 50.0] {
+            let p = es.transition_matrix_f64(t);
+            for (i, row) in p.iter().enumerate() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "t={t} row {i} sums to {s}");
+                for (j, &v) in row.iter().enumerate() {
+                    assert!((-1e-12..=1.0 + 1e-9).contains(&v), "p[{i}][{j}]={v} at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_branches_converge_to_stationary() {
+        let q = sample_q();
+        let es = EigenSystem::new(&q);
+        let p = es.transition_matrix_f64(500.0);
+        for row in &p {
+            for j in 0..4 {
+                assert!((row[j] - q.freqs[j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn chapman_kolmogorov() {
+        // P(s+t) == P(s) P(t)
+        let es = EigenSystem::new(&sample_q());
+        let (s, t) = (0.17, 0.42);
+        let ps = es.transition_matrix_f64(s);
+        let pt = es.transition_matrix_f64(t);
+        let pst = es.transition_matrix_f64(s + t);
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += ps[i][k] * pt[k][j];
+                }
+                assert!((acc - pst[i][j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn one_eigenvalue_is_zero_rest_negative() {
+        let es = EigenSystem::new(&sample_q());
+        let mut vals = es.eigenvalues;
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(vals[3].abs() < 1e-10, "largest eigenvalue {}", vals[3]);
+        for &v in &vals[..3] {
+            assert!(v < -1e-6, "non-stationary eigenvalue {v} not negative");
+        }
+    }
+
+    #[test]
+    fn negative_branch_clamped_to_zero() {
+        let es = EigenSystem::new(&sample_q());
+        assert_eq!(
+            es.transition_matrix_f64(-3.0),
+            es.transition_matrix_f64(0.0)
+        );
+    }
+
+    #[test]
+    fn expected_substitutions_match_branch_length_for_small_t() {
+        // For normalized Q, Σ_i π_i (1 - P_ii(t)) ≈ t as t → 0.
+        let q = sample_q();
+        let es = EigenSystem::new(&q);
+        let t = 1e-4;
+        let p = es.transition_matrix_f64(t);
+        let mut subs = 0.0;
+        for i in 0..4 {
+            subs += q.freqs[i] * (1.0 - p[i][i]);
+        }
+        assert!((subs - t).abs() < t * 0.01, "subs={subs} t={t}");
+    }
+}

@@ -1,0 +1,331 @@
+//! Discrete Γ-distributed among-site rate variation (Yang, 1994).
+//!
+//! The paper's Γ model uses 4 discrete rate categories `r0..r3` of equal
+//! probability; every conditional-likelihood element therefore holds
+//! 4 × 4 = 16 floats (Figure 3). The category rates are the means of the
+//! K equal-probability slices of a Gamma(α, α) density (mean 1), computed
+//! from the regularized incomplete gamma function and its quantile.
+
+use super::gtr::ModelError;
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+///
+/// Accurate to ~1e-13 over the positive reals, which far exceeds what the
+/// discretization needs.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x), then P = 1 - Q (modified Lentz).
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_gamma(a)).exp() * h
+    }
+}
+
+/// Quantile of the Gamma(shape `a`, rate `beta`) distribution: the `x`
+/// with `P(a, beta * x) = p`.
+///
+/// Wilson–Hilferty initial guess refined by Newton iterations on the
+/// regularized incomplete gamma; bisection fallback keeps it inside the
+/// bracket.
+pub fn gamma_quantile(p: f64, a: f64, beta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "quantile needs p in [0,1), got {p}");
+    assert!(a > 0.0 && beta > 0.0);
+    if p == 0.0 {
+        return 0.0;
+    }
+    // Wilson–Hilferty: chi2_df quantile ≈ df (1 - 2/(9 df) + z sqrt(2/(9 df)))^3
+    let df = 2.0 * a;
+    let z = normal_quantile(p);
+    let g = 2.0 / (9.0 * df);
+    let mut x = df * (1.0 - g + z * g.sqrt()).powi(3) / 2.0; // gamma(shape a, rate 1)
+    if x <= 0.0 {
+        x = (p * a * ln_gamma(a).exp()).powf(1.0 / a).max(1e-10);
+    }
+    // Newton on F(x) = gamma_p(a, x) - p;  F'(x) = x^{a-1} e^{-x} / Γ(a).
+    let (mut lo, mut hi) = (0.0f64, f64::MAX);
+    for _ in 0..100 {
+        let f = gamma_p(a, x) - p;
+        if f > 0.0 {
+            hi = hi.min(x);
+        } else {
+            lo = lo.max(x);
+        }
+        if f.abs() < 1e-14 {
+            break;
+        }
+        let ln_pdf = (a - 1.0) * x.ln() - x - ln_gamma(a);
+        let step = f / ln_pdf.exp();
+        let mut next = x - step;
+        if next <= lo || next >= hi {
+            next = if hi.is_finite() { 0.5 * (lo + hi) } else { x * 2.0 };
+        }
+        if (next - x).abs() < 1e-15 * x.max(1.0) {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x / beta
+}
+
+/// Quantile of the standard normal distribution (Acklam's rational
+/// approximation, |ε| < 1.15e-9 — only used to seed Newton iterations).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p) && p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Mean rates of the `k` equal-probability categories of a Gamma(α, α)
+/// distribution (Yang 1994, "mean" discretization — the MrBayes default).
+///
+/// The rates average to 1, so rate variation never changes the expected
+/// number of substitutions.
+pub fn discrete_gamma_rates(alpha: f64, k: usize) -> Result<Vec<f64>, ModelError> {
+    if !(alpha.is_finite() && alpha > 0.0) {
+        return Err(ModelError::BadShape(alpha));
+    }
+    assert!(k >= 1, "need at least one rate category");
+    if k == 1 {
+        return Ok(vec![1.0]);
+    }
+    // Category boundaries: quantiles of Gamma(α, α) at i/k.
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0.0);
+    for i in 1..k {
+        bounds.push(gamma_quantile(i as f64 / k as f64, alpha, alpha));
+    }
+    bounds.push(f64::INFINITY);
+    // E[X · 1{a<X<b}] for X ~ Gamma(α, α) equals F_{α+1,α}(b) − F_{α+1,α}(a)
+    // (the mean of the distribution is 1). Each slice has mass 1/k, so the
+    // conditional mean is k times the slice integral.
+    let cdf_a1 = |x: f64| {
+        if x.is_infinite() {
+            1.0
+        } else {
+            gamma_p(alpha + 1.0, alpha * x)
+        }
+    };
+    let mut rates = Vec::with_capacity(k);
+    for i in 0..k {
+        rates.push(k as f64 * (cdf_a1(bounds[i + 1]) - cdf_a1(bounds[i])));
+    }
+    // Renormalize the (tiny) discretization residue so the mean is exactly 1.
+    let mean: f64 = rates.iter().sum::<f64>() / k as f64;
+    for r in &mut rates {
+        *r /= mean;
+    }
+    Ok(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert!((gamma_p(2.0, 1e6) - 1.0).abs() < 1e-12);
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_is_monotone() {
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let x = i as f64 * 0.05;
+            let v = gamma_p(1.7, x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &a in &[0.2, 0.5, 1.0, 2.0, 7.3] {
+            for &p in &[0.01, 0.25, 0.5, 0.75, 0.99] {
+                let x = gamma_quantile(p, a, a);
+                assert!(
+                    (gamma_p(a, a * x) - p).abs() < 1e-9,
+                    "a={a} p={p} x={x} P={}",
+                    gamma_p(a, a * x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normal_quantile_symmetry() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.2) + normal_quantile(0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discrete_rates_mean_one_and_increasing() {
+        for &alpha in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+            for &k in &[2usize, 4, 8] {
+                let r = discrete_gamma_rates(alpha, k).unwrap();
+                assert_eq!(r.len(), k);
+                let mean = r.iter().sum::<f64>() / k as f64;
+                assert!((mean - 1.0).abs() < 1e-10, "alpha={alpha} k={k} mean={mean}");
+                for w in r.windows(2) {
+                    assert!(w[0] < w[1], "rates not increasing: {r:?}");
+                }
+                assert!(r[0] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_rates_match_yang_published() {
+        // Yang (1994) Table 1 style check: alpha=0.5, K=4 mean rates.
+        // Reference values computed with PAML's DiscreteGamma (mean variant):
+        let r = discrete_gamma_rates(0.5, 4).unwrap();
+        let expect = [0.033_388, 0.251_916, 0.820_268, 2.894_428];
+        for (a, b) in r.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 2e-4, "got {r:?}, expected {expect:?}");
+        }
+    }
+
+    #[test]
+    fn single_category_is_rate_one() {
+        assert_eq!(discrete_gamma_rates(0.7, 1).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn bad_shape_rejected() {
+        assert!(discrete_gamma_rates(0.0, 4).is_err());
+        assert!(discrete_gamma_rates(f64::NAN, 4).is_err());
+        assert!(discrete_gamma_rates(-1.0, 4).is_err());
+    }
+
+    #[test]
+    fn high_alpha_approaches_uniform_rates() {
+        let r = discrete_gamma_rates(1e4, 4).unwrap();
+        for &v in &r {
+            assert!((v - 1.0).abs() < 0.05, "rates {r:?}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The General Time-Reversible (GTR) model of nucleotide substitution and
+//! its named special cases (JC69, K80, HKY85).
+//!
+//! The instantaneous rate matrix `Q` (Figure 2 of the paper) is built from
+//! six symmetric exchangeability parameters and four stationary base
+//! frequencies, and normalized so that one unit of branch length equals one
+//! expected substitution per site — the same convention as MrBayes.
+
+use crate::dna::N_STATES;
+
+/// Errors arising from invalid model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An exchangeability rate was zero, negative, or non-finite.
+    BadRate(f64),
+    /// A base frequency was non-positive or non-finite.
+    BadFrequency(f64),
+    /// Base frequencies did not sum to 1 (beyond tolerance).
+    FrequenciesNotNormalized(f64),
+    /// The Γ shape parameter was non-positive or non-finite.
+    BadShape(f64),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadRate(r) => write!(f, "invalid exchangeability rate {r}"),
+            ModelError::BadFrequency(p) => write!(f, "invalid base frequency {p}"),
+            ModelError::FrequenciesNotNormalized(s) => {
+                write!(f, "base frequencies sum to {s}, expected 1")
+            }
+            ModelError::BadShape(a) => write!(f, "invalid gamma shape {a}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Index of the rate between an (unordered) state pair in the 6-element
+/// exchangeability vector: AC, AG, AT, CG, CT, GT.
+#[inline]
+pub fn pair_index(i: usize, j: usize) -> usize {
+    debug_assert!(i != j && i < N_STATES && j < N_STATES);
+    let (a, b) = if i < j { (i, j) } else { (j, i) };
+    match (a, b) {
+        (0, 1) => 0, // A-C
+        (0, 2) => 1, // A-G
+        (0, 3) => 2, // A-T
+        (1, 2) => 3, // C-G
+        (1, 3) => 4, // C-T
+        (2, 3) => 5, // G-T
+        _ => unreachable!(),
+    }
+}
+
+/// GTR model parameters: six exchangeabilities and four base frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GtrParams {
+    /// Exchangeability rates in order AC, AG, AT, CG, CT, GT.
+    pub rates: [f64; 6],
+    /// Stationary frequencies πA, πC, πG, πT (must sum to 1).
+    pub freqs: [f64; 4],
+}
+
+impl GtrParams {
+    /// Jukes-Cantor 1969: equal rates, equal frequencies.
+    pub fn jc69() -> GtrParams {
+        GtrParams {
+            rates: [1.0; 6],
+            freqs: [0.25; 4],
+        }
+    }
+
+    /// Kimura 1980: transition/transversion ratio `kappa`, equal frequencies.
+    pub fn k80(kappa: f64) -> GtrParams {
+        GtrParams {
+            rates: [1.0, kappa, 1.0, 1.0, kappa, 1.0],
+            freqs: [0.25; 4],
+        }
+    }
+
+    /// HKY85: transition/transversion ratio `kappa` with arbitrary
+    /// frequencies.
+    pub fn hky85(kappa: f64, freqs: [f64; 4]) -> GtrParams {
+        GtrParams {
+            rates: [1.0, kappa, 1.0, 1.0, kappa, 1.0],
+            freqs,
+        }
+    }
+
+    /// Fully general GTR.
+    pub fn gtr(rates: [f64; 6], freqs: [f64; 4]) -> GtrParams {
+        GtrParams { rates, freqs }
+    }
+
+    /// Validate parameters: all rates positive and finite, frequencies
+    /// positive and summing to one within `1e-6`.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for &r in &self.rates {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(ModelError::BadRate(r));
+            }
+        }
+        let mut sum = 0.0;
+        for &p in &self.freqs {
+            if !(p.is_finite() && p > 0.0) {
+                return Err(ModelError::BadFrequency(p));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(ModelError::FrequenciesNotNormalized(sum));
+        }
+        Ok(())
+    }
+
+    /// Return a copy with frequencies rescaled to sum to exactly one.
+    pub fn normalized(&self) -> GtrParams {
+        let sum: f64 = self.freqs.iter().sum();
+        let mut out = self.clone();
+        for p in &mut out.freqs {
+            *p /= sum;
+        }
+        out
+    }
+}
+
+/// A normalized instantaneous rate matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QMatrix {
+    /// Row-major rate matrix; rows sum to zero.
+    pub q: [[f64; 4]; 4],
+    /// The stationary frequencies the matrix was built with.
+    pub freqs: [f64; 4],
+}
+
+impl QMatrix {
+    /// Build the normalized Q matrix for the given parameters:
+    /// `Q[i][j] = s(i,j) * π_j` for `i != j`, diagonal set so rows sum to
+    /// zero, then globally scaled so `-Σ_i π_i Q[i][i] = 1`.
+    pub fn build(params: &GtrParams) -> Result<QMatrix, ModelError> {
+        params.validate()?;
+        let mut q = [[0.0f64; 4]; 4];
+        for i in 0..N_STATES {
+            let mut row_sum = 0.0;
+            for j in 0..N_STATES {
+                if i != j {
+                    q[i][j] = params.rates[pair_index(i, j)] * params.freqs[j];
+                    row_sum += q[i][j];
+                }
+            }
+            q[i][i] = -row_sum;
+        }
+        // Normalize to one expected substitution per unit time.
+        let mut mu = 0.0;
+        for i in 0..N_STATES {
+            mu -= params.freqs[i] * q[i][i];
+        }
+        for row in &mut q {
+            for v in row.iter_mut() {
+                *v /= mu;
+            }
+        }
+        Ok(QMatrix {
+            q,
+            freqs: params.freqs,
+        })
+    }
+
+    /// Expected substitution rate `-Σ_i π_i Q_ii`; 1.0 after normalization.
+    pub fn mean_rate(&self) -> f64 {
+        -(0..N_STATES).map(|i| self.freqs[i] * self.q[i][i]).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_is_symmetric_and_complete() {
+        let mut seen = [false; 6];
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    let k = pair_index(i, j);
+                    assert_eq!(k, pair_index(j, i));
+                    seen[k] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn jc69_q_matrix() {
+        let q = QMatrix::build(&GtrParams::jc69()).unwrap();
+        // JC69 normalized: off-diagonal 1/3, diagonal -1.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    assert!((q.q[i][j] + 1.0).abs() < 1e-12);
+                } else {
+                    assert!((q.q[i][j] - 1.0 / 3.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_zero() {
+        let params = GtrParams::gtr([1.2, 3.1, 0.4, 0.9, 4.0, 1.0], [0.3, 0.2, 0.15, 0.35]);
+        let q = QMatrix::build(&params).unwrap();
+        for row in &q.q {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-12, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_one() {
+        let params = GtrParams::hky85(2.5, [0.1, 0.4, 0.2, 0.3]);
+        let q = QMatrix::build(&params).unwrap();
+        assert!((q.mean_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detailed_balance_holds() {
+        // Time reversibility: π_i Q_ij == π_j Q_ji.
+        let params = GtrParams::gtr([0.5, 2.0, 0.3, 0.8, 3.5, 1.0], [0.28, 0.22, 0.26, 0.24]);
+        let q = QMatrix::build(&params).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let lhs = params.freqs[i] * q.q[i][j];
+                let rhs = params.freqs[j] * q.q[j][i];
+                assert!((lhs - rhs).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut p = GtrParams::jc69();
+        p.rates[2] = -1.0;
+        assert!(matches!(p.validate(), Err(ModelError::BadRate(_))));
+
+        let mut p = GtrParams::jc69();
+        p.freqs = [0.5, 0.5, 0.5, 0.5];
+        assert!(matches!(
+            p.validate(),
+            Err(ModelError::FrequenciesNotNormalized(_))
+        ));
+
+        let mut p = GtrParams::jc69();
+        p.freqs[0] = 0.0;
+        assert!(matches!(p.validate(), Err(ModelError::BadFrequency(_))));
+    }
+
+    #[test]
+    fn normalized_fixes_frequency_sum() {
+        let p = GtrParams::gtr([1.0; 6], [1.0, 2.0, 3.0, 4.0]).normalized();
+        assert!(p.validate().is_ok());
+        assert!((p.freqs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

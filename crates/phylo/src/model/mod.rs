@@ -1,0 +1,158 @@
+//! Statistical models of sequence evolution: GTR substitution model,
+//! eigendecomposition for `P(t) = e^{Qt}`, and discrete-Γ rate variation.
+
+pub mod eigen;
+pub mod gamma;
+pub mod gtr;
+
+pub use eigen::EigenSystem;
+pub use gamma::{discrete_gamma_rates, gamma_p, gamma_quantile, ln_gamma};
+pub use gtr::{GtrParams, ModelError, QMatrix};
+
+use crate::clv::TransitionMatrices;
+
+/// A complete site model: GTR parameters plus discrete-Γ rate variation.
+///
+/// This is what the paper calls the "GTR+Γ model"; the default of four
+/// rate categories gives the 16-float likelihood-vector elements of
+/// Figure 3.
+#[derive(Debug, Clone)]
+pub struct SiteModel {
+    params: GtrParams,
+    shape: f64,
+    rates: Vec<f64>,
+    eigen: EigenSystem,
+    pinvar: f64,
+}
+
+impl SiteModel {
+    /// Build a GTR+Γ site model with `n_rates` discrete categories
+    /// (no invariable-sites class; see [`SiteModel::with_pinvar`]).
+    pub fn new(params: GtrParams, shape: f64, n_rates: usize) -> Result<SiteModel, ModelError> {
+        let q = QMatrix::build(&params)?;
+        let rates = discrete_gamma_rates(shape, n_rates)?;
+        Ok(SiteModel {
+            eigen: EigenSystem::new(&q),
+            params,
+            shape,
+            rates,
+            pinvar: 0.0,
+        })
+    }
+
+    /// Add a proportion of invariable sites (the MrBayes `+I` extension:
+    /// with probability `pinvar` a site cannot change at all). Valid
+    /// range `0 <= pinvar < 1`.
+    pub fn with_pinvar(mut self, pinvar: f64) -> Result<SiteModel, ModelError> {
+        if !(pinvar.is_finite() && (0.0..1.0).contains(&pinvar)) {
+            return Err(ModelError::BadShape(pinvar));
+        }
+        self.pinvar = pinvar;
+        Ok(self)
+    }
+
+    /// Proportion of invariable sites (0 without `+I`).
+    pub fn pinvar(&self) -> f64 {
+        self.pinvar
+    }
+
+    /// GTR+Γ(4) — the configuration the paper benchmarks.
+    pub fn gtr_gamma4(params: GtrParams, shape: f64) -> Result<SiteModel, ModelError> {
+        SiteModel::new(params, shape, 4)
+    }
+
+    /// JC69 with uniform rates — the simplest sanity-check model.
+    pub fn jc69() -> SiteModel {
+        SiteModel::new(GtrParams::jc69(), 1.0, 1).expect("JC69 parameters are always valid")
+    }
+
+    /// The model's GTR parameters.
+    pub fn params(&self) -> &GtrParams {
+        &self.params
+    }
+
+    /// The Γ shape parameter α.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Per-category relative rates (mean 1).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of discrete rate categories.
+    pub fn n_rates(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Stationary base frequencies.
+    pub fn freqs(&self) -> [f64; 4] {
+        self.params.freqs
+    }
+
+    /// The precomputed eigensystem.
+    pub fn eigen(&self) -> &EigenSystem {
+        &self.eigen
+    }
+
+    /// Per-rate-category transition matrices for a branch of length `t`:
+    /// category `k` gets `P(t · r_k)`.
+    pub fn transition_matrices(&self, t: f64) -> TransitionMatrices {
+        TransitionMatrices::from_mats(
+            self.rates
+                .iter()
+                .map(|&r| self.eigen.transition_matrix(t * r))
+                .collect(),
+        )
+    }
+
+    /// Double-precision transition matrix for one rate category (used by
+    /// the sequence simulator, which does not need the f32 kernel layout).
+    pub fn transition_matrix_f64(&self, t: f64, category: usize) -> [[f64; 4]; 4] {
+        self.eigen.transition_matrix_f64(t * self.rates[category])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtr_gamma4_has_four_categories() {
+        let m = SiteModel::gtr_gamma4(GtrParams::jc69(), 0.5).unwrap();
+        assert_eq!(m.n_rates(), 4);
+        assert_eq!(m.transition_matrices(0.1).n_rates(), 4);
+    }
+
+    #[test]
+    fn category_matrices_differ_by_rate() {
+        let m = SiteModel::gtr_gamma4(GtrParams::jc69(), 0.5).unwrap();
+        let tm = m.transition_matrices(0.1);
+        // Slow category stays closer to identity than fast category.
+        let diag_slow = tm.rate(0)[0][0];
+        let diag_fast = tm.rate(3)[0][0];
+        assert!(diag_slow > diag_fast);
+    }
+
+    #[test]
+    fn pinvar_validation() {
+        let m = SiteModel::jc69();
+        assert!(m.clone().with_pinvar(0.0).is_ok());
+        assert!(m.clone().with_pinvar(0.5).is_ok());
+        assert!(m.clone().with_pinvar(1.0).is_err());
+        assert!(m.clone().with_pinvar(-0.1).is_err());
+        assert!(m.clone().with_pinvar(f64::NAN).is_err());
+        assert_eq!(m.pinvar(), 0.0);
+        assert_eq!(m.with_pinvar(0.3).unwrap().pinvar(), 0.3);
+    }
+
+    #[test]
+    fn uniform_rates_give_identical_matrices() {
+        let m = SiteModel::new(GtrParams::jc69(), 1.0, 1).unwrap();
+        let tm = m.transition_matrices(0.25);
+        assert_eq!(tm.n_rates(), 1);
+        let p = m.eigen().transition_matrix(0.25);
+        assert_eq!(tm.rate(0), &p);
+    }
+}

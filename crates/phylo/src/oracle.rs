@@ -1,0 +1,201 @@
+//! An independent, obviously-correct likelihood oracle.
+//!
+//! Direct Felsenstein pruning in `f64`, recomputed per site with no
+//! pattern compression, no CLV reuse, no rescaling, no SIMD — nothing
+//! shared with the production pipeline except the model types. Tests
+//! cross-validate the fast `f32` kernels against it; any systematic bug
+//! in the kernel pipeline (layout, scaling, mixture weights, +I
+//! handling) would show up as a divergence here.
+
+use crate::alignment::PatternAlignment;
+use crate::dna::N_STATES;
+use crate::model::SiteModel;
+use crate::tree::{NodeId, Tree};
+use std::collections::HashMap;
+
+/// Per-node partial likelihood for one site and one rate category.
+fn partial(
+    tree: &Tree,
+    node: NodeId,
+    site_states: &HashMap<NodeId, u8>,
+    mats: &HashMap<NodeId, [[f64; 4]; 4]>,
+) -> [f64; 4] {
+    let n = tree.node(node);
+    if n.is_leaf() {
+        let mask = site_states[&node];
+        std::array::from_fn(|s| if mask & (1 << s) != 0 { 1.0 } else { 0.0 })
+    } else {
+        let mut acc = [1.0f64; 4];
+        for &child in &n.children {
+            let down = partial(tree, child, site_states, mats);
+            let p = &mats[&child];
+            for s in 0..N_STATES {
+                let mut sum = 0.0;
+                for (j, d) in down.iter().enumerate() {
+                    sum += p[s][j] * d;
+                }
+                acc[s] *= sum;
+            }
+        }
+        acc
+    }
+}
+
+/// Compute the tree log-likelihood by brute force: per original site
+/// (expanding pattern weights), per rate category, fresh recursion.
+///
+/// Exponentially slower than the production path — use on small inputs
+/// only.
+pub fn naive_log_likelihood(tree: &Tree, data: &PatternAlignment, model: &SiteModel) -> f64 {
+    let taxon_index: HashMap<&str, usize> = data
+        .taxa()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.as_str(), i))
+        .collect();
+    let leaf_taxon: HashMap<NodeId, usize> = tree
+        .leaves()
+        .into_iter()
+        .map(|l| {
+            let name = tree.node(l).name.as_deref().expect("leaves named");
+            (l, taxon_index[name])
+        })
+        .collect();
+
+    let n_rates = model.n_rates();
+    let freqs = model.freqs();
+    let pinvar = model.pinvar();
+    // Per-category transition matrices per branch, f64.
+    let mats_per_rate: Vec<HashMap<NodeId, [[f64; 4]; 4]>> = (0..n_rates)
+        .map(|k| {
+            tree.node_ids()
+                .filter(|&id| id != tree.root())
+                .map(|id| (id, model.transition_matrix_f64(tree.node(id).branch, k)))
+                .collect()
+        })
+        .collect();
+    let const_masks = data.constant_masks();
+
+    let mut lnl = 0.0f64;
+    for pattern in 0..data.n_patterns() {
+        let site_states: HashMap<NodeId, u8> = leaf_taxon
+            .iter()
+            .map(|(&l, &t)| (l, data.taxon_patterns(t)[pattern].bits()))
+            .collect();
+        let mut gamma_mix = 0.0f64;
+        for mats in &mats_per_rate {
+            let root_partial = partial(tree, tree.root(), &site_states, mats);
+            let mut site = 0.0;
+            for (s, &f) in freqs.iter().enumerate() {
+                site += f * root_partial[s];
+            }
+            gamma_mix += site / n_rates as f64;
+        }
+        let inv_support: f64 = freqs
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| const_masks[pattern] & (1 << s) != 0)
+            .map(|(_, &f)| f)
+            .sum();
+        let site_likelihood = pinvar * inv_support + (1.0 - pinvar) * gamma_mix;
+        lnl += data.weights()[pattern] as f64 * site_likelihood.ln();
+    }
+    lnl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Alignment;
+    use crate::kernels::{ScalarBackend, Simd4Backend};
+    use crate::likelihood::TreeLikelihood;
+    use crate::model::GtrParams;
+
+    fn setup() -> (Tree, PatternAlignment) {
+        let tree = Tree::from_newick(
+            "(((a:0.12,b:0.07):0.05,(c:0.2,d:0.11):0.08):0.1,(e:0.09,f:0.31):0.06,g:0.22);",
+        )
+        .unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAAGGCCTTAGCR"),
+            ("b", "ACGTACGTACGGCCTTAGCA"),
+            ("c", "ACGAACGTTAGGCCTAAGCA"),
+            ("d", "ACTTACGTAAGGCGTTAGCA"),
+            ("e", "ACGTACGTAAGGCCTTAGC-"),
+            ("f", "ACGTTCGTAAGGCCTTAGCA"),
+            ("g", "AGGTACGTAAGGCCTTNGCA"),
+        ])
+        .unwrap()
+        .compress();
+        (tree, aln)
+    }
+
+    fn check(model: SiteModel) {
+        let (tree, aln) = setup();
+        let oracle = naive_log_likelihood(&tree, &aln, &model);
+        let mut fast = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
+        let got = fast.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        let tol = oracle.abs() * 1e-5 + 1e-3; // f32 kernels vs f64 oracle
+        assert!((got - oracle).abs() < tol, "fast {got} vs oracle {oracle}");
+        let mut simd = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        let got2 = simd
+            .log_likelihood(&tree, &mut Simd4Backend::col_wise())
+            .unwrap();
+        assert!((got2 - oracle).abs() < tol);
+    }
+
+    #[test]
+    fn oracle_agrees_jc69() {
+        check(SiteModel::jc69());
+    }
+
+    #[test]
+    fn oracle_agrees_gtr_gamma() {
+        check(
+            SiteModel::gtr_gamma4(
+                GtrParams::gtr([1.2, 3.9, 0.9, 1.1, 4.5, 1.0], [0.3, 0.21, 0.24, 0.25]),
+                0.4,
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn oracle_agrees_with_invariable_sites() {
+        check(
+            SiteModel::gtr_gamma4(GtrParams::hky85(2.5, [0.35, 0.15, 0.2, 0.3]), 0.7)
+                .unwrap()
+                .with_pinvar(0.3)
+                .unwrap(),
+        );
+    }
+
+    #[test]
+    fn oracle_agrees_single_rate() {
+        check(
+            SiteModel::new(GtrParams::k80(3.0), 1.0, 1)
+                .unwrap()
+                .with_pinvar(0.1)
+                .unwrap(),
+        );
+    }
+
+    #[test]
+    fn oracle_agrees_on_rooted_anchor() {
+        // Degree-2 root exercises the Root2 path.
+        let tree = Tree::from_newick("((a:0.1,b:0.2):0.07,(c:0.15,d:0.05):0.12);").unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTAC"),
+            ("b", "ACGTAA"),
+            ("c", "ACGTCC"),
+            ("d", "ATGTAC"),
+        ])
+        .unwrap()
+        .compress();
+        let model = SiteModel::gtr_gamma4(GtrParams::jc69(), 0.9).unwrap();
+        let oracle = naive_log_likelihood(&tree, &aln, &model);
+        let mut fast = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        let got = fast.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+        assert!((got - oracle).abs() < oracle.abs() * 1e-5 + 1e-3);
+    }
+}

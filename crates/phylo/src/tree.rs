@@ -1,0 +1,773 @@
+//! Phylogenetic tree topology.
+//!
+//! MrBayes scores *unrooted* binary trees; for likelihood computation the
+//! tree is anchored at an arbitrary internal node ("virtual root") of
+//! degree 3, every other internal node has exactly two children, and each
+//! non-root node carries the length of the branch to its parent. This
+//! module stores such trees in an arena, parses/prints Newick, computes
+//! traversal orders for the PLF, and implements the NNI topology move the
+//! MCMC driver uses.
+
+use std::fmt::Write as _;
+
+/// Index of a node in a [`Tree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single tree node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Parent node; `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children (0 for leaves, 2 for internal nodes, 2 or 3 for the root).
+    pub children: Vec<NodeId>,
+    /// Length of the branch to the parent (ignored for the root).
+    pub branch: f64,
+    /// Taxon name; present exactly on leaves.
+    pub name: Option<String>,
+}
+
+impl Node {
+    /// Is this node a leaf?
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Errors from tree construction or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// Newick syntax error with a byte offset and message.
+    Parse(usize, String),
+    /// Structural invariant violated.
+    Invalid(String),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Parse(at, msg) => write!(f, "newick parse error at byte {at}: {msg}"),
+            TreeError::Invalid(msg) => write!(f, "invalid tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Branch bookkeeping returned by [`Tree::spr`] for the MH correction
+/// and for incremental-update dirty tracking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprInfo {
+    /// Sum of the two branches merged by the splice.
+    pub merged_branch: f64,
+    /// Length of the target branch before it was split.
+    pub target_branch: f64,
+    /// The node whose CLV path was dirtied by the detach (old
+    /// grandparent).
+    pub old_location: NodeId,
+    /// The re-inserted internal node (dirty at the new location).
+    pub new_internal: NodeId,
+}
+
+/// An (un)rooted binary phylogeny stored as a node arena.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Build a tree from parts. Validates structure.
+    pub fn from_parts(nodes: Vec<Node>, root: NodeId) -> Result<Tree, TreeError> {
+        let t = Tree { nodes, root };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// The root (virtual root for unrooted trees).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (used by MCMC branch-length proposals).
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// All leaf ids, in arena order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| self.node(id).is_leaf()).collect()
+    }
+
+    /// Number of leaves (taxa).
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// All internal node ids (including the root).
+    pub fn internal_nodes(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| !self.node(id).is_leaf()).collect()
+    }
+
+    /// Non-root nodes, i.e. one id per branch.
+    pub fn branches(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| id != self.root).collect()
+    }
+
+    /// Sum of all branch lengths.
+    pub fn tree_length(&self) -> f64 {
+        self.branches().iter().map(|&id| self.node(id).branch).sum()
+    }
+
+    /// Postorder traversal (children before parents), ending at the root.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        // Iterative DFS with an explicit stack of (node, child cursor).
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some(&mut (id, ref mut cursor)) = stack.last_mut() {
+            let node = self.node(id);
+            if *cursor < node.children.len() {
+                let child = node.children[*cursor];
+                *cursor += 1;
+                stack.push((child, 0));
+            } else {
+                order.push(id);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// Internal edges: edges whose both endpoints are internal nodes.
+    /// Returned as `(parent, child)` pairs — the NNI move set.
+    pub fn internal_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for id in self.node_ids() {
+            let n = self.node(id);
+            if n.is_leaf() {
+                continue;
+            }
+            if let Some(p) = n.parent {
+                if !self.node(p).is_leaf() {
+                    out.push((p, id));
+                }
+            }
+        }
+        out
+    }
+
+    /// Perform a nearest-neighbour interchange across the internal edge
+    /// `(parent, child)`: swap `parent`'s `swap_parent_child`-th *other*
+    /// child with `child`'s `swap_child_child`-th child.
+    ///
+    /// `swap_parent_child` indexes the parent's children excluding `child`.
+    pub fn nni(
+        &mut self,
+        parent: NodeId,
+        child: NodeId,
+        swap_parent_child: usize,
+        swap_child_child: usize,
+    ) -> Result<(), TreeError> {
+        if self.node(child).parent != Some(parent) {
+            return Err(TreeError::Invalid(format!(
+                "{child} is not a child of {parent}"
+            )));
+        }
+        if self.node(child).is_leaf() {
+            return Err(TreeError::Invalid(format!("{child} is a leaf; NNI needs an internal edge")));
+        }
+        let parent_side: Vec<NodeId> = self
+            .node(parent)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| c != child)
+            .collect();
+        let a = *parent_side
+            .get(swap_parent_child)
+            .ok_or_else(|| TreeError::Invalid("parent-side child index out of range".into()))?;
+        let b = *self
+            .node(child)
+            .children
+            .get(swap_child_child)
+            .ok_or_else(|| TreeError::Invalid("child-side child index out of range".into()))?;
+        // Swap subtrees a and b.
+        let ai = self.nodes[parent.0]
+            .children
+            .iter()
+            .position(|&c| c == a)
+            .expect("a is a child of parent");
+        let bi = self.nodes[child.0]
+            .children
+            .iter()
+            .position(|&c| c == b)
+            .expect("b is a child of child");
+        self.nodes[parent.0].children[ai] = b;
+        self.nodes[child.0].children[bi] = a;
+        self.nodes[a.0].parent = Some(child);
+        self.nodes[b.0].parent = Some(parent);
+        debug_assert!(self.validate().is_ok());
+        Ok(())
+    }
+
+    /// Is `node` inside the subtree rooted at `root_of_subtree`?
+    pub fn in_subtree(&self, node: NodeId, root_of_subtree: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            if n == root_of_subtree {
+                return true;
+            }
+            cur = self.node(n).parent;
+        }
+        false
+    }
+
+    /// Subtree prune-and-regraft: detach the subtree rooted at `x`
+    /// *together with its parent edge node* `p = parent(x)`, splice `p`
+    /// out (its other child inherits the merged branch), and reinsert
+    /// `p` into the branch above `target`, splitting that branch at
+    /// fraction `split`.
+    ///
+    /// Returns the branch lengths the MH correction needs: the merged
+    /// branch created by the splice and the target branch that was
+    /// split (`ln H = ln b_target − ln b_merged` for uniform `split`).
+    ///
+    /// Constraints: `p` must not be the root; `target` must be a
+    /// non-root node outside `x`'s subtree and different from `p`.
+    pub fn spr(&mut self, x: NodeId, target: NodeId, split: f64) -> Result<SprInfo, TreeError> {
+        if !(0.0 < split && split < 1.0) {
+            return Err(TreeError::Invalid(format!("split {split} outside (0,1)")));
+        }
+        let p = self
+            .node(x)
+            .parent
+            .ok_or_else(|| TreeError::Invalid("cannot prune the root".into()))?;
+        let g = self
+            .node(p)
+            .parent
+            .ok_or_else(|| TreeError::Invalid("cannot prune a child of the root".into()))?;
+        if target == self.root {
+            return Err(TreeError::Invalid("cannot regraft above the root".into()));
+        }
+        if target == p || self.in_subtree(target, x) {
+            return Err(TreeError::Invalid(
+                "regraft target inside the pruned subtree".into(),
+            ));
+        }
+        debug_assert_eq!(self.node(p).children.len(), 2);
+        let c_other = *self
+            .node(p)
+            .children
+            .iter()
+            .find(|&&c| c != x)
+            .expect("binary internal node has another child");
+
+        // Splice p out: g adopts c_other with the merged branch.
+        let merged_branch = self.node(p).branch + self.node(c_other).branch;
+        let slot = self.nodes[g.0]
+            .children
+            .iter()
+            .position(|&c| c == p)
+            .expect("p is a child of g");
+        self.nodes[g.0].children[slot] = c_other;
+        self.nodes[c_other.0].parent = Some(g);
+        self.nodes[c_other.0].branch = merged_branch;
+
+        // Reinsert p into the branch above target.
+        let tp = self.node(target).parent.expect("target is not the root");
+        let target_branch = self.node(target).branch;
+        let tslot = self.nodes[tp.0]
+            .children
+            .iter()
+            .position(|&c| c == target)
+            .expect("target is a child of its parent");
+        self.nodes[tp.0].children[tslot] = p;
+        self.nodes[p.0].parent = Some(tp);
+        self.nodes[p.0].branch = (target_branch * split).max(1e-12);
+        self.nodes[p.0].children = vec![x, target];
+        self.nodes[target.0].parent = Some(p);
+        self.nodes[target.0].branch = (target_branch * (1.0 - split)).max(1e-12);
+        // x keeps its branch and stays a child of p.
+        debug_assert!(self.validate().is_ok());
+        Ok(SprInfo {
+            merged_branch,
+            target_branch,
+            old_location: g,
+            new_internal: p,
+        })
+    }
+
+    /// Nodes eligible as SPR prune points (`parent(x)` exists and is not
+    /// the root).
+    pub fn spr_prune_candidates(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&x| {
+                self.node(x)
+                    .parent
+                    .is_some_and(|p| self.node(p).parent.is_some())
+            })
+            .collect()
+    }
+
+    /// Valid regraft targets for pruning `x`: non-root nodes outside
+    /// `x`'s subtree, excluding `parent(x)`.
+    pub fn spr_targets(&self, x: NodeId) -> Vec<NodeId> {
+        let p = self.node(x).parent;
+        self.node_ids()
+            .filter(|&t| {
+                t != self.root && Some(t) != p && !self.in_subtree(t, x)
+            })
+            .collect()
+    }
+
+    /// Check all structural invariants.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.nodes.is_empty() {
+            return Err(TreeError::Invalid("empty tree".into()));
+        }
+        if self.root.0 >= self.nodes.len() {
+            return Err(TreeError::Invalid("root id out of range".into()));
+        }
+        if self.node(self.root).parent.is_some() {
+            return Err(TreeError::Invalid("root has a parent".into()));
+        }
+        for id in self.node_ids() {
+            let n = self.node(id);
+            match n.children.len() {
+                0 => {
+                    if n.name.is_none() {
+                        return Err(TreeError::Invalid(format!("leaf {id} has no name")));
+                    }
+                }
+                2 => {}
+                3 if id == self.root => {}
+                k => {
+                    return Err(TreeError::Invalid(format!(
+                        "node {id} has {k} children (root={})",
+                        id == self.root
+                    )))
+                }
+            }
+            for &c in &n.children {
+                if c.0 >= self.nodes.len() {
+                    return Err(TreeError::Invalid(format!("child {c} out of range")));
+                }
+                if self.node(c).parent != Some(id) {
+                    return Err(TreeError::Invalid(format!(
+                        "parent link of {c} does not point to {id}"
+                    )));
+                }
+            }
+            if id != self.root {
+                let p = n
+                    .parent
+                    .ok_or_else(|| TreeError::Invalid(format!("non-root {id} has no parent")))?;
+                if !self.node(p).children.contains(&id) {
+                    return Err(TreeError::Invalid(format!(
+                        "{id} not among parent {p}'s children"
+                    )));
+                }
+                if !(n.branch.is_finite() && n.branch >= 0.0) {
+                    return Err(TreeError::Invalid(format!(
+                        "branch length {} of {id} invalid",
+                        n.branch
+                    )));
+                }
+            }
+        }
+        // Reachability: postorder must visit every node exactly once.
+        let order = self.postorder();
+        if order.len() != self.nodes.len() {
+            return Err(TreeError::Invalid(format!(
+                "{} of {} nodes reachable from root (cycle or orphan)",
+                order.len(),
+                self.nodes.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Parse a Newick string such as `((a:0.1,b:0.2):0.05,c:0.3,d:0.4);`.
+    ///
+    /// ```
+    /// use plf_phylo::tree::Tree;
+    /// let t = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+    /// assert_eq!(t.n_leaves(), 4);
+    /// assert!((t.tree_length() - 1.05).abs() < 1e-12);
+    /// ```
+    pub fn from_newick(s: &str) -> Result<Tree, TreeError> {
+        let bytes = s.as_bytes();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut pos = 0usize;
+
+        fn skip_ws(bytes: &[u8], pos: &mut usize) {
+            while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+        }
+
+        fn parse_node(
+            bytes: &[u8],
+            pos: &mut usize,
+            nodes: &mut Vec<Node>,
+        ) -> Result<NodeId, TreeError> {
+            skip_ws(bytes, pos);
+            let id = NodeId(nodes.len());
+            nodes.push(Node {
+                parent: None,
+                children: Vec::new(),
+                branch: 0.0,
+                name: None,
+            });
+            if *pos < bytes.len() && bytes[*pos] == b'(' {
+                *pos += 1;
+                loop {
+                    let child = parse_node(bytes, pos, nodes)?;
+                    nodes[child.0].parent = Some(id);
+                    nodes[id.0].children.push(child);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => {
+                            *pos += 1;
+                        }
+                        Some(b')') => {
+                            *pos += 1;
+                            break;
+                        }
+                        _ => return Err(TreeError::Parse(*pos, "expected ',' or ')'".into())),
+                    }
+                }
+            }
+            // Optional label.
+            skip_ws(bytes, pos);
+            let start = *pos;
+            while *pos < bytes.len()
+                && !matches!(bytes[*pos], b':' | b',' | b')' | b'(' | b';')
+                && !bytes[*pos].is_ascii_whitespace()
+            {
+                *pos += 1;
+            }
+            if *pos > start {
+                nodes[id.0].name = Some(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|_| TreeError::Parse(start, "non-utf8 label".into()))?
+                        .to_string(),
+                );
+            }
+            // Optional branch length.
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b':') {
+                *pos += 1;
+                skip_ws(bytes, pos);
+                let start = *pos;
+                while *pos < bytes.len()
+                    && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let txt = std::str::from_utf8(&bytes[start..*pos]).unwrap_or("");
+                nodes[id.0].branch = txt
+                    .parse::<f64>()
+                    .map_err(|e| TreeError::Parse(start, format!("bad branch length: {e}")))?;
+            }
+            Ok(id)
+        }
+
+        let root = parse_node(bytes, &mut pos, &mut nodes)?;
+        skip_ws(bytes, &mut pos);
+        if bytes.get(pos) != Some(&b';') {
+            return Err(TreeError::Parse(pos, "expected ';'".into()));
+        }
+        // Internal nodes keep no names (labels on internals are discarded
+        // so that `validate` invariants are purely structural).
+        for n in nodes.iter_mut() {
+            if !n.children.is_empty() {
+                n.name = None;
+            }
+        }
+        Tree::from_parts(nodes, root)
+    }
+
+    /// Serialize to Newick.
+    pub fn to_newick(&self) -> String {
+        let mut out = String::new();
+        self.write_newick(self.root, &mut out);
+        out.push(';');
+        out
+    }
+
+    fn write_newick(&self, id: NodeId, out: &mut String) {
+        let n = self.node(id);
+        if !n.children.is_empty() {
+            out.push('(');
+            for (i, &c) in n.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                self.write_newick(c, out);
+            }
+            out.push(')');
+        }
+        if let Some(name) = &n.name {
+            out.push_str(name);
+        }
+        if id != self.root {
+            let _ = write!(out, ":{}", n.branch);
+        }
+    }
+
+    /// Canonical topology signature: the sorted-leaf-set shape of the tree,
+    /// independent of arena ordering and child order. Two trees with equal
+    /// signatures have the same unrooted-at-this-root topology.
+    pub fn topology_signature(&self) -> String {
+        fn sig(t: &Tree, id: NodeId) -> String {
+            let n = t.node(id);
+            if n.is_leaf() {
+                return n.name.clone().unwrap_or_default();
+            }
+            let mut parts: Vec<String> = n.children.iter().map(|&c| sig(t, c)).collect();
+            parts.sort();
+            format!("({})", parts.join(","))
+        }
+        sig(self, self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quartet() -> Tree {
+        Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap()
+    }
+
+    #[test]
+    fn parse_counts() {
+        let t = quartet();
+        assert_eq!(t.n_leaves(), 4);
+        assert_eq!(t.n_nodes(), 6);
+        assert_eq!(t.node(t.root()).children.len(), 3);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn parse_branch_lengths() {
+        let t = quartet();
+        let total: f64 = t.tree_length();
+        assert!((total - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newick_roundtrip() {
+        let t = quartet();
+        let t2 = Tree::from_newick(&t.to_newick()).unwrap();
+        assert_eq!(t.topology_signature(), t2.topology_signature());
+        assert!((t.tree_length() - t2.tree_length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let t = quartet();
+        let order = t.postorder();
+        assert_eq!(order.len(), t.n_nodes());
+        assert_eq!(*order.last().unwrap(), t.root());
+        let position: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for id in t.node_ids() {
+            for &c in &t.node(id).children {
+                assert!(position[&c] < position[&id]);
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_binary_newick_accepted() {
+        let t = Tree::from_newick("((a:1,b:1):1,(c:1,d:1):1);").unwrap();
+        assert_eq!(t.node(t.root()).children.len(), 2);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn nni_swaps_subtrees() {
+        let mut t = quartet();
+        let edges = t.internal_edges();
+        assert_eq!(edges.len(), 1);
+        let (p, c) = edges[0];
+        let before = t.topology_signature();
+        t.nni(p, c, 0, 0).unwrap();
+        assert!(t.validate().is_ok());
+        assert_ne!(t.topology_signature(), before);
+        assert_eq!(t.n_leaves(), 4);
+        // NNI twice with same arguments restores the topology.
+        t.nni(p, c, 0, 0).unwrap();
+        assert_eq!(t.topology_signature(), before);
+    }
+
+    #[test]
+    fn nni_rejects_leaf_edge() {
+        let mut t = quartet();
+        let root = t.root();
+        let leaf = *t
+            .node(root)
+            .children
+            .iter()
+            .find(|&&c| t.node(c).is_leaf())
+            .unwrap();
+        assert!(t.nni(root, leaf, 0, 0).is_err());
+    }
+
+    fn seven_taxa() -> Tree {
+        Tree::from_newick(
+            "(((a:0.1,b:0.1):0.1,(c:0.1,d:0.1):0.1):0.1,(e:0.1,f:0.1):0.1,g:0.2);",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spr_preserves_leafset_and_validity() {
+        let t0 = seven_taxa();
+        for &x in &t0.spr_prune_candidates() {
+            for &target in &t0.spr_targets(x) {
+                let mut t = t0.clone();
+                let info = t.spr(x, target, 0.5).unwrap();
+                assert!(t.validate().is_ok(), "prune {x} regraft {target}");
+                assert_eq!(t.n_leaves(), 7);
+                assert!(info.merged_branch > 0.0);
+                assert!(info.target_branch > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn spr_changes_topology_for_distant_targets() {
+        let t0 = seven_taxa();
+        let mut changed = 0;
+        let candidates = t0.spr_prune_candidates();
+        for &x in &candidates {
+            for &target in &t0.spr_targets(x) {
+                let mut t = t0.clone();
+                t.spr(x, target, 0.5).unwrap();
+                if t.topology_signature() != t0.topology_signature() {
+                    changed += 1;
+                }
+            }
+        }
+        assert!(changed > 0, "SPR never changed any topology");
+    }
+
+    #[test]
+    fn spr_branch_bookkeeping() {
+        let mut t = seven_taxa();
+        let x = t.spr_prune_candidates()[0];
+        let p = t.node(x).parent.unwrap();
+        let c_other = *t.node(p).children.iter().find(|&&c| c != x).unwrap();
+        let expected_merge = t.node(p).branch + t.node(c_other).branch;
+        let target = *t
+            .spr_targets(x)
+            .iter()
+            .find(|&&tt| tt != c_other)
+            .unwrap();
+        let target_before = t.node(target).branch;
+        let info = t.spr(x, target, 0.25).unwrap();
+        assert!((info.merged_branch - expected_merge).abs() < 1e-12);
+        assert!((info.target_branch - target_before).abs() < 1e-12);
+        // Split fractions applied.
+        assert!((t.node(p).branch - 0.25 * target_before).abs() < 1e-12);
+        assert!((t.node(target).branch - 0.75 * target_before).abs() < 1e-12);
+        // Total tree length is preserved by construction (merge + split).
+    }
+
+    #[test]
+    fn spr_rejects_illegal_moves() {
+        let mut t = seven_taxa();
+        let root = t.root();
+        // Pruning the root or a child of the root is rejected.
+        assert!(t.spr(root, NodeId(1), 0.5).is_err());
+        let root_child = t.node(root).children[0];
+        assert!(t.spr(root_child, NodeId(1), 0.5).is_err());
+        // Regrafting inside the pruned subtree is rejected.
+        let x = *t
+            .spr_prune_candidates()
+            .iter()
+            .find(|&&n| !t.node(n).is_leaf())
+            .unwrap();
+        let inside = t.node(x).children[0];
+        assert!(t.spr(x, inside, 0.5).is_err());
+        // Bad split fraction.
+        let ok_target = t.spr_targets(x)[0];
+        assert!(t.spr(x, ok_target, 0.0).is_err());
+        assert!(t.spr(x, ok_target, 1.0).is_err());
+    }
+
+    #[test]
+    fn spr_candidate_counts_are_stable() {
+        // |X| and |T(x)| are invariant under SPR — the symmetry argument
+        // behind ln H = ln b_t − ln b_merged.
+        let t0 = seven_taxa();
+        let x = t0.spr_prune_candidates()[2];
+        let n_x = t0.spr_prune_candidates().len();
+        let n_t = t0.spr_targets(x).len();
+        let mut t = t0.clone();
+        let target = t0.spr_targets(x)[0];
+        t.spr(x, target, 0.5).unwrap();
+        assert_eq!(t.spr_prune_candidates().len(), n_x);
+        assert_eq!(t.spr_targets(x).len(), n_t);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            Tree::from_newick("((a,b)"),
+            Err(TreeError::Parse(_, _))
+        ));
+        assert!(Tree::from_newick("(a:x,b:1,c:1);").is_err());
+        assert!(Tree::from_newick("").is_err());
+    }
+
+    #[test]
+    fn unnamed_leaf_rejected() {
+        assert!(matches!(
+            Tree::from_newick("((,b:1):1,c:1,d:1);"),
+            Err(TreeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn degree_four_rejected() {
+        assert!(Tree::from_newick("(a:1,b:1,c:1,d:1);").is_err());
+    }
+
+    #[test]
+    fn larger_tree_parses() {
+        let t =
+            Tree::from_newick("(((a:0.1,b:0.1):0.1,(c:0.1,d:0.1):0.1):0.1,(e:0.1,f:0.1):0.1,g:0.2);")
+                .unwrap();
+        assert_eq!(t.n_leaves(), 7);
+        assert_eq!(t.internal_edges().len(), 4);
+    }
+}

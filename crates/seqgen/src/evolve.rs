@@ -1,0 +1,174 @@
+//! Monte-Carlo simulation of DNA evolution along a tree — the Seq-Gen
+//! substitute (Rambaut & Grassly 1997).
+//!
+//! Each site draws a root state from the stationary distribution and a
+//! discrete-Γ rate category, then mutates down every branch according to
+//! `P(t · r)` in double precision. Leaves collect into an [`Alignment`].
+
+use plf_phylo::alignment::Alignment;
+use plf_phylo::dna::{Nucleotide, StateMask};
+use plf_phylo::model::SiteModel;
+use plf_phylo::tree::Tree;
+use rand::Rng;
+
+/// Sample an index from a (not necessarily exactly normalized) discrete
+/// distribution.
+fn sample_discrete<R: Rng>(probs: &[f64; 4], rng: &mut R) -> usize {
+    let total: f64 = probs.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    3
+}
+
+/// Simulate `n_sites` columns of sequence evolution on `tree` under
+/// `model`, returning the leaf alignment (taxa in the tree's leaf order).
+pub fn evolve_alignment<R: Rng>(
+    tree: &Tree,
+    model: &SiteModel,
+    n_sites: usize,
+    rng: &mut R,
+) -> Alignment {
+    assert!(n_sites > 0);
+    let n_rates = model.n_rates();
+    let freqs = model.freqs();
+    let order = {
+        // Preorder: parents before children, so states propagate down.
+        let mut post = tree.postorder();
+        post.reverse();
+        post
+    };
+    // Per-branch transition matrices for every rate category, f64.
+    let mut branch_mats: Vec<Option<Vec<[[f64; 4]; 4]>>> = vec![None; tree.n_nodes()];
+    for id in tree.node_ids() {
+        if id != tree.root() {
+            let t = tree.node(id).branch;
+            branch_mats[id.0] =
+                Some((0..n_rates).map(|k| model.transition_matrix_f64(t, k)).collect());
+        }
+    }
+
+    let leaves = tree.leaves();
+    let leaf_slot: Vec<Option<usize>> = {
+        let mut v = vec![None; tree.n_nodes()];
+        for (slot, &l) in leaves.iter().enumerate() {
+            v[l.0] = Some(slot);
+        }
+        v
+    };
+    let mut seqs: Vec<Vec<StateMask>> = vec![Vec::with_capacity(n_sites); leaves.len()];
+    let mut state: Vec<u8> = vec![0; tree.n_nodes()];
+
+    for _site in 0..n_sites {
+        let category = rng.gen_range(0..n_rates);
+        for &id in &order {
+            let s = match tree.node(id).parent {
+                None => sample_discrete(&freqs, rng),
+                Some(parent) => {
+                    let mats = branch_mats[id.0].as_ref().expect("non-root branch");
+                    let row = &mats[category][state[parent.0] as usize];
+                    sample_discrete(row, rng)
+                }
+            };
+            state[id.0] = s as u8;
+            if let Some(slot) = leaf_slot[id.0] {
+                seqs[slot].push(StateMask::of(Nucleotide::from_index(s)));
+            }
+        }
+    }
+
+    let taxa = leaves
+        .iter()
+        .map(|&l| tree.node(l).name.clone().expect("leaves are named"))
+        .collect();
+    Alignment::new(taxa, seqs).expect("simulated alignment is rectangular")
+}
+
+/// Sampled base-frequency summary of an alignment (for statistical tests).
+pub fn empirical_frequencies(aln: &Alignment) -> [f64; 4] {
+    let mut counts = [0u64; 4];
+    let mut total = 0u64;
+    for t in 0..aln.n_taxa() {
+        for &m in aln.row(t) {
+            if let Some(n) = m.as_nucleotide() {
+                counts[n.index()] += 1;
+                total += 1;
+            }
+        }
+    }
+    std::array::from_fn(|i| counts[i] as f64 / total.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yule::random_unrooted_tree;
+    use plf_phylo::model::GtrParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alignment_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = random_unrooted_tree(8, 0.1, &mut rng);
+        let model = SiteModel::gtr_gamma4(GtrParams::jc69(), 0.5).unwrap();
+        let aln = evolve_alignment(&tree, &model, 100, &mut rng);
+        assert_eq!(aln.n_taxa(), 8);
+        assert_eq!(aln.n_sites(), 100);
+    }
+
+    #[test]
+    fn zero_branch_lengths_give_identical_sequences() {
+        let tree = plf_phylo::tree::Tree::from_newick("(a:0.0,b:0.0,c:0.0);").unwrap();
+        let model = SiteModel::jc69();
+        let mut rng = StdRng::seed_from_u64(2);
+        let aln = evolve_alignment(&tree, &model, 50, &mut rng);
+        assert_eq!(aln.row(0), aln.row(1));
+        assert_eq!(aln.row(1), aln.row(2));
+    }
+
+    #[test]
+    fn long_branches_decorrelate_sequences() {
+        let tree = plf_phylo::tree::Tree::from_newick("(a:50.0,b:50.0,c:50.0);").unwrap();
+        let model = SiteModel::jc69();
+        let mut rng = StdRng::seed_from_u64(3);
+        let aln = evolve_alignment(&tree, &model, 2000, &mut rng);
+        let matches = aln
+            .row(0)
+            .iter()
+            .zip(aln.row(1))
+            .filter(|(x, y)| x == y)
+            .count();
+        // Saturated: expect ~25% identity.
+        let frac = matches as f64 / 2000.0;
+        assert!((frac - 0.25).abs() < 0.05, "identity fraction {frac}");
+    }
+
+    #[test]
+    fn stationary_frequencies_recovered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let tree = random_unrooted_tree(10, 0.2, &mut rng);
+        let freqs = [0.4, 0.3, 0.2, 0.1];
+        let model = SiteModel::gtr_gamma4(GtrParams::hky85(2.0, freqs), 1.0).unwrap();
+        let aln = evolve_alignment(&tree, &model, 5000, &mut rng);
+        let emp = empirical_frequencies(&aln);
+        for s in 0..4 {
+            assert!((emp[s] - freqs[s]).abs() < 0.03, "state {s}: {} vs {}", emp[s], freqs[s]);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let tree = random_unrooted_tree(6, 0.1, &mut StdRng::seed_from_u64(5));
+        let model = SiteModel::jc69();
+        let a = evolve_alignment(&tree, &model, 30, &mut StdRng::seed_from_u64(9));
+        let b = evolve_alignment(&tree, &model, 30, &mut StdRng::seed_from_u64(9));
+        for t in 0..a.n_taxa() {
+            assert_eq!(a.row(t), b.row(t));
+        }
+    }
+}

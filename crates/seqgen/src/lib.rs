@@ -1,0 +1,22 @@
+//! # plf-seqgen — synthetic data generation (Seq-Gen substitute)
+//!
+//! The paper generates its inputs with Seq-Gen v1.3.2: artificial DNA
+//! alignments evolved under GTR+Γ along trees of 10–100 leaves, from
+//! which sub-alignments with fixed numbers of *distinct column patterns*
+//! are extracted (§4). This crate reimplements that pipeline:
+//!
+//! * [`yule`] — random unrooted binary tree generation,
+//! * [`evolve`] — Monte-Carlo sequence evolution along a tree,
+//! * [`datasets`] — the paper's 16-cell benchmark grid plus the
+//!   real-world 20-taxon/8,543-pattern shape, generated deterministically
+//!   from seeds.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod evolve;
+pub mod yule;
+
+pub use datasets::{default_model, generate, paper_grid, real_world, Dataset, DatasetSpec};
+pub use evolve::evolve_alignment;
+pub use yule::{random_tree_for_taxa, random_unrooted_tree};

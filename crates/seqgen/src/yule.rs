@@ -1,0 +1,211 @@
+//! Random phylogeny generation.
+//!
+//! The paper obtains its input trees "from analyses of real data sets";
+//! lacking those, we grow random unrooted binary trees by stochastic
+//! leaf attachment (a Yule-type process) with exponentially distributed
+//! branch lengths — the standard way simulation studies produce
+//! realistic topologies.
+
+use plf_phylo::tree::{Node, NodeId, Tree};
+use rand::Rng;
+
+/// Grow a random unrooted binary tree over `n_leaves` taxa named
+/// `t0..t{n-1}`, with i.i.d. Exp(mean = `branch_mean`) branch lengths.
+///
+/// Starts from the 3-leaf star and repeatedly splits a uniformly chosen
+/// branch to attach the next leaf, so every unrooted topology is
+/// reachable.
+///
+/// # Panics
+/// Panics if `n_leaves < 3` (unrooted trees need at least three tips) or
+/// `branch_mean <= 0`.
+pub fn random_unrooted_tree<R: Rng>(n_leaves: usize, branch_mean: f64, rng: &mut R) -> Tree {
+    assert!(n_leaves >= 3, "unrooted binary trees need >= 3 leaves");
+    assert!(branch_mean > 0.0);
+    let draw = |rng: &mut R| -> f64 {
+        // Inverse-CDF exponential; clamp away from exact zero.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        (-u.ln() * branch_mean).max(1e-6)
+    };
+
+    // Node arena; root is node 0 with three leaf children.
+    let mut nodes = vec![Node {
+        parent: None,
+        children: Vec::new(),
+        branch: 0.0,
+        name: None,
+    }];
+    let root = NodeId(0);
+    for i in 0..3 {
+        let id = NodeId(nodes.len());
+        nodes.push(Node {
+            parent: Some(root),
+            children: Vec::new(),
+            branch: draw(rng),
+            name: Some(format!("t{i}")),
+        });
+        nodes[root.0].children.push(id);
+    }
+
+    for i in 3..n_leaves {
+        // Choose a uniform random branch = a uniform random non-root node.
+        let target = NodeId(rng.gen_range(1..nodes.len()));
+        let parent = nodes[target.0].parent.expect("non-root has parent");
+        // Split the branch with a new internal node.
+        let split = NodeId(nodes.len());
+        let old_len = nodes[target.0].branch;
+        let cut: f64 = rng.gen_range(0.05..0.95);
+        nodes.push(Node {
+            parent: Some(parent),
+            children: vec![target],
+            branch: (old_len * cut).max(1e-6),
+            name: None,
+        });
+        let slot = nodes[parent.0]
+            .children
+            .iter()
+            .position(|&c| c == target)
+            .expect("target is registered under its parent");
+        nodes[parent.0].children[slot] = split;
+        nodes[target.0].parent = Some(split);
+        nodes[target.0].branch = (old_len * (1.0 - cut)).max(1e-6);
+        // Attach the new leaf to the split node.
+        let leaf = NodeId(nodes.len());
+        nodes.push(Node {
+            parent: Some(split),
+            children: Vec::new(),
+            branch: draw(rng),
+            name: Some(format!("t{i}")),
+        });
+        nodes[split.0].children.push(leaf);
+    }
+
+    Tree::from_parts(nodes, root).expect("construction preserves invariants")
+}
+
+/// Grow a random unrooted binary tree whose leaves carry the given
+/// taxon names (for starting an analysis from an alignment without a
+/// user-supplied tree).
+///
+/// # Panics
+/// Panics if fewer than 3 names are given or names repeat.
+pub fn random_tree_for_taxa<R: Rng>(names: &[String], branch_mean: f64, rng: &mut R) -> Tree {
+    assert!(names.len() >= 3, "need at least 3 taxa");
+    let unique: std::collections::HashSet<&String> = names.iter().collect();
+    assert_eq!(unique.len(), names.len(), "duplicate taxon names");
+    let mut tree = random_unrooted_tree(names.len(), branch_mean, rng);
+    // Leaves are named t0..tN in creation order; remap positionally.
+    let leaves = tree.leaves();
+    let mut order: Vec<(usize, NodeId)> = leaves
+        .iter()
+        .map(|&l| {
+            let n = tree.node(l).name.as_deref().unwrap();
+            (n[1..].parse::<usize>().expect("generated leaf name"), l)
+        })
+        .collect();
+    order.sort();
+    for ((_, leaf), name) in order.into_iter().zip(names) {
+        tree.node_mut(leaf).name = Some(name.clone());
+    }
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_are_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [3usize, 4, 10, 50, 100] {
+            let t = random_unrooted_tree(n, 0.1, &mut rng);
+            assert_eq!(t.n_leaves(), n);
+            // Unrooted binary: n leaves, n-2 internal nodes.
+            assert_eq!(t.n_nodes(), 2 * n - 2);
+            assert!(t.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn leaf_names_unique_and_complete() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = random_unrooted_tree(20, 0.1, &mut rng);
+        let mut names: Vec<String> = t
+            .leaves()
+            .iter()
+            .map(|&l| t.node(l).name.clone().unwrap())
+            .collect();
+        names.sort();
+        let mut expect: Vec<String> = (0..20).map(|i| format!("t{i}")).collect();
+        expect.sort();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn branch_lengths_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = random_unrooted_tree(30, 0.2, &mut rng);
+        for id in t.branches() {
+            assert!(t.node(id).branch > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let t1 = random_unrooted_tree(15, 0.1, &mut StdRng::seed_from_u64(42));
+        let t2 = random_unrooted_tree(15, 0.1, &mut StdRng::seed_from_u64(42));
+        assert_eq!(t1.to_newick(), t2.to_newick());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t1 = random_unrooted_tree(15, 0.1, &mut StdRng::seed_from_u64(1));
+        let t2 = random_unrooted_tree(15, 0.1, &mut StdRng::seed_from_u64(2));
+        assert_ne!(t1.to_newick(), t2.to_newick());
+    }
+
+    #[test]
+    fn named_tree_carries_exact_taxa() {
+        let names: Vec<String> = ["ape", "bat", "cow", "dog", "elk"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = random_tree_for_taxa(&names, 0.1, &mut rng);
+        assert!(t.validate().is_ok());
+        let mut got: Vec<String> = t
+            .leaves()
+            .iter()
+            .map(|&l| t.node(l).name.clone().unwrap())
+            .collect();
+        got.sort();
+        let mut want = names.clone();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate taxon names")]
+    fn named_tree_rejects_duplicates() {
+        let names = vec!["a".to_string(), "a".to_string(), "b".to_string()];
+        random_tree_for_taxa(&names, 0.1, &mut StdRng::seed_from_u64(1));
+    }
+
+    #[test]
+    fn mean_branch_length_tracks_parameter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = random_unrooted_tree(200, 0.5, &mut rng);
+        // Leaf branches are untouched Exp(0.5) draws; internal branches
+        // get split, so test the leaves only.
+        let leaf_mean: f64 = t
+            .leaves()
+            .iter()
+            .map(|&l| t.node(l).branch)
+            .sum::<f64>()
+            / t.n_leaves() as f64;
+        assert!((leaf_mean - 0.5).abs() < 0.15, "mean {leaf_mean}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Hypothetical future systems from the paper's conclusions.
+//!
+//! §4.2/§6: "a successful future large-scale many-core system will have
+//! to be composed of heterogeneous cores … and also certain powerful
+//! cores in order to execute the serial code"; for the GPUs, "explore
+//! faster ways to transfer the data, or overlap the data transmission
+//! with computation". [`HybridModel`] realizes both what-ifs on top of
+//! any existing [`MachineModel`]: replace the weak host core with a
+//! baseline-class core, and/or overlap transfers with kernel execution.
+
+use crate::machine::MachineConfig;
+use crate::model::MachineModel;
+use crate::workload::PlfWorkload;
+
+/// A machine model modified per the paper's future-work suggestions.
+pub struct HybridModel<M: MachineModel> {
+    inner: M,
+    serial_factor: f64,
+    overlap_transfers: bool,
+    transfer_speedup: f64,
+}
+
+impl<M: MachineModel> HybridModel<M> {
+    /// Wrap `inner` unchanged.
+    pub fn new(inner: M) -> HybridModel<M> {
+        let serial_factor = inner.serial_cycle_factor();
+        HybridModel {
+            inner,
+            serial_factor,
+            overlap_transfers: false,
+            transfer_speedup: 1.0,
+        }
+    }
+
+    /// Pair the accelerator with a baseline-class serial core (the
+    /// "offload the serial execution to more powerful cores" fix for
+    /// the Cell's PPE problem).
+    pub fn with_strong_host(mut self) -> HybridModel<M> {
+        self.serial_factor = 1.0;
+        self
+    }
+
+    /// Overlap host↔device transfers with kernel execution (the fix for
+    /// the GPUs' PCIe penalty): only the transfer time exceeding the
+    /// kernel time remains exposed.
+    pub fn with_transfer_overlap(mut self) -> HybridModel<M> {
+        self.overlap_transfers = true;
+        self
+    }
+
+    /// The paper's other GPU remedy: "explore faster ways to transfer
+    /// the data" — scale the interconnect bandwidth by `factor` (e.g.
+    /// a later PCIe generation).
+    pub fn with_faster_transfers(mut self, factor: f64) -> HybridModel<M> {
+        assert!(factor >= 1.0);
+        self.transfer_speedup = factor;
+        self
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: MachineModel> MachineModel for HybridModel<M> {
+    fn config(&self) -> &MachineConfig {
+        self.inner.config()
+    }
+
+    fn max_units(&self) -> usize {
+        self.inner.max_units()
+    }
+
+    fn plf_time(&self, w: &PlfWorkload, units: usize) -> f64 {
+        self.inner.plf_time(w, units)
+    }
+
+    fn transfer_time(&self, w: &PlfWorkload) -> f64 {
+        let t = self.inner.transfer_time(w) / self.transfer_speedup;
+        if self.overlap_transfers {
+            (t - self.inner.plf_time(w, self.inner.max_units())).max(0.0)
+        } else {
+            t
+        }
+    }
+
+    fn serial_cycle_factor(&self) -> f64 {
+        self.serial_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::BASELINE;
+
+    /// Toy accelerator: fixed PLF time, big transfer cost, weak host.
+    struct Toy;
+
+    impl MachineModel for Toy {
+        fn config(&self) -> &MachineConfig {
+            &BASELINE
+        }
+        fn max_units(&self) -> usize {
+            1
+        }
+        fn plf_time(&self, _w: &PlfWorkload, _units: usize) -> f64 {
+            2.0
+        }
+        fn transfer_time(&self, _w: &PlfWorkload) -> f64 {
+            5.0
+        }
+        fn serial_cycle_factor(&self) -> f64 {
+            4.0
+        }
+    }
+
+    fn w() -> PlfWorkload {
+        PlfWorkload::for_run(10, 1000, 4, 1, 1)
+    }
+
+    #[test]
+    fn plain_wrapper_is_transparent() {
+        let h = HybridModel::new(Toy);
+        assert_eq!(h.plf_time(&w(), 1), 2.0);
+        assert_eq!(h.transfer_time(&w()), 5.0);
+        assert_eq!(h.serial_cycle_factor(), 4.0);
+    }
+
+    #[test]
+    fn strong_host_fixes_serial_factor_only() {
+        let h = HybridModel::new(Toy).with_strong_host();
+        assert_eq!(h.serial_cycle_factor(), 1.0);
+        assert_eq!(h.transfer_time(&w()), 5.0);
+    }
+
+    #[test]
+    fn overlap_exposes_only_excess_transfer() {
+        let h = HybridModel::new(Toy).with_transfer_overlap();
+        // 5s transfer − 2s kernel = 3s exposed.
+        assert_eq!(h.transfer_time(&w()), 3.0);
+    }
+
+    #[test]
+    fn overlap_never_negative() {
+        struct FastXfer;
+        impl MachineModel for FastXfer {
+            fn config(&self) -> &MachineConfig {
+                &BASELINE
+            }
+            fn max_units(&self) -> usize {
+                1
+            }
+            fn plf_time(&self, _w: &PlfWorkload, _u: usize) -> f64 {
+                10.0
+            }
+            fn transfer_time(&self, _w: &PlfWorkload) -> f64 {
+                1.0
+            }
+            fn serial_cycle_factor(&self) -> f64 {
+                1.0
+            }
+        }
+        let h = HybridModel::new(FastXfer).with_transfer_overlap();
+        assert_eq!(h.transfer_time(&w()), 0.0);
+    }
+
+    #[test]
+    fn combined_improvements_lower_total() {
+        let plain = HybridModel::new(Toy);
+        let both = HybridModel::new(Toy).with_strong_host().with_transfer_overlap();
+        let b_plain = plain.breakdown(&w(), 1.0);
+        let b_both = both.breakdown(&w(), 1.0);
+        assert!(b_both.total() < b_plain.total());
+    }
+}

@@ -1,0 +1,28 @@
+//! # plf-simcore — shared simulation substrate
+//!
+//! Common infrastructure for the three architecture backends:
+//!
+//! * [`machine`] — the eight systems of the paper's Table 1, with the
+//!   micro-architectural topology §4.1 reasons about,
+//! * [`workload`] — PLF kernel-invocation counts and their flop/byte
+//!   costs,
+//! * [`xfer`] — latency+bandwidth models for Cell DMA and PCIe,
+//! * [`model`] — the [`model::MachineModel`] timing-model trait and the
+//!   Figure 12 [`model::Breakdown`] record.
+
+#![warn(missing_docs)]
+
+pub mod hybrid;
+pub mod machine;
+pub mod model;
+pub mod workload;
+pub mod xfer;
+
+pub use hybrid::HybridModel;
+pub use machine::{
+    table1, ArchClass, MachineConfig, BASELINE, GPU_8800GT, GPU_GTX285, OPTERON_4X4, OPTERON_8X2,
+    PS3, QS20, XEON_2X4,
+};
+pub use model::{deterministic_jitter, Breakdown, MachineModel};
+pub use workload::{PlfWorkload, ENTRY_BYTES};
+pub use xfer::TransferModel;

@@ -1,0 +1,287 @@
+//! The eight systems of Table 1.
+//!
+//! Every field is transcribed from the paper; the topology details
+//! (dies per package, cores per shared cache) come from §4.1.1's
+//! discussion of the Xeon E5320 (two dual-core dies per package, L2
+//! shared per die) versus the Opteron 8354 (four cores on one die) and
+//! the Opteron 8218 (dual-core).
+
+/// Architecture class plus its class-specific topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArchClass {
+    /// Homogeneous general-purpose multi-core (MPMD, hardware caches).
+    MultiCore {
+        /// Number of sockets (packages).
+        sockets: usize,
+        /// Dies per package (Xeon quad-core = 2 dual-core dies).
+        dies_per_socket: usize,
+        /// Cores per die.
+        cores_per_die: usize,
+        /// How many cores share the last on-die cache level.
+        cores_per_shared_cache: usize,
+    },
+    /// Heterogeneous Cell/BE: PPE + SPEs with software-managed Local
+    /// Stores connected by the EIB.
+    CellBe {
+        /// Number of usable SPEs (PS3: 6; QS20 blade: 16 across 2 chips).
+        spes: usize,
+        /// Number of Cell chips (EIB hops double across chips).
+        chips: usize,
+    },
+    /// GPU accelerator behind a PCIe bus (SPMD).
+    Gpu {
+        /// Streaming multiprocessors.
+        sms: usize,
+        /// Scalar cores per SM (8 for G80/GT200 generation).
+        cores_per_sm: usize,
+        /// Shared memory per SM in bytes (16 KB on both devices).
+        shared_mem_per_sm: usize,
+        /// Maximum resident threads per SM (768 on G80, 1024 on GT200).
+        max_threads_per_sm: usize,
+    },
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Paper's column header, e.g. `2xXeon(4)`.
+    pub name: &'static str,
+    /// "System" row.
+    pub system: &'static str,
+    /// "Model" row (CPU/GPU model).
+    pub model: &'static str,
+    /// Total parallel processing elements (Table 1 "Cores").
+    pub cores: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// "Cache" row, verbatim.
+    pub cache: &'static str,
+    /// Memory in GB.
+    pub mem_gb: f64,
+    /// Architecture class and topology.
+    pub arch: ArchClass,
+}
+
+impl MachineConfig {
+    /// Frequency-scaling factor relative to the baseline system: the
+    /// paper normalizes all measured times "according to the frequencies
+    /// of each system and the baseline" (§4.2).
+    pub fn freq_scale(&self) -> f64 {
+        self.freq_ghz / BASELINE.freq_ghz
+    }
+}
+
+/// The reference system: a generic 3.0 GHz Intel E8400 desktop.
+pub const BASELINE: MachineConfig = MachineConfig {
+    name: "Baseline",
+    system: "Generic",
+    model: "Intel E8400",
+    cores: 1,
+    freq_ghz: 3.0,
+    cache: "6MB",
+    mem_gb: 2.0,
+    arch: ArchClass::MultiCore {
+        sockets: 1,
+        dies_per_socket: 1,
+        cores_per_die: 1,
+        cores_per_shared_cache: 1,
+    },
+};
+
+/// IBM x3650: two quad-core Xeon E5320 (each package = 2 dual-core dies,
+/// 4 MB L2 shared per die).
+pub const XEON_2X4: MachineConfig = MachineConfig {
+    name: "2xXeon(4)",
+    system: "IBM x3650",
+    model: "Intel E5320",
+    cores: 8,
+    freq_ghz: 1.8,
+    cache: "2x4MB",
+    mem_gb: 48.0,
+    arch: ArchClass::MultiCore {
+        sockets: 2,
+        dies_per_socket: 2,
+        cores_per_die: 2,
+        cores_per_shared_cache: 2,
+    },
+};
+
+/// Dell PowerEdge M905: four quad-core Opteron 8354 (single die, L3
+/// shared by all four cores).
+pub const OPTERON_4X4: MachineConfig = MachineConfig {
+    name: "4xOpteron(4)",
+    system: "Dell PowerEdge M905",
+    model: "AMD 8354",
+    cores: 16,
+    freq_ghz: 2.2,
+    cache: "4x512KB+2MB",
+    mem_gb: 64.0,
+    arch: ArchClass::MultiCore {
+        sockets: 4,
+        dies_per_socket: 1,
+        cores_per_die: 4,
+        cores_per_shared_cache: 4,
+    },
+};
+
+/// Sun x4600 M2: eight dual-core Opteron 8218.
+pub const OPTERON_8X2: MachineConfig = MachineConfig {
+    name: "8xOpteron(2)",
+    system: "Sun x4600 M2",
+    model: "AMD 8218",
+    cores: 16,
+    freq_ghz: 2.6,
+    cache: "2x1MB",
+    mem_gb: 64.0,
+    arch: ArchClass::MultiCore {
+        sockets: 8,
+        dies_per_socket: 1,
+        cores_per_die: 2,
+        cores_per_shared_cache: 1, // per-core L2 on the 8218
+    },
+};
+
+/// Sony PlayStation 3: one Cell/BE, 6 SPEs available to applications.
+pub const PS3: MachineConfig = MachineConfig {
+    name: "PS3",
+    system: "Sony PS3",
+    model: "PPE+SPE",
+    cores: 6,
+    freq_ghz: 3.2,
+    cache: "512KB",
+    mem_gb: 0.25,
+    arch: ArchClass::CellBe { spes: 6, chips: 1 },
+};
+
+/// IBM QS20 blade: two Cell/BE chips, 16 SPEs.
+pub const QS20: MachineConfig = MachineConfig {
+    name: "Blade QS20",
+    system: "IBM QS20",
+    model: "PPE+SPE",
+    cores: 16,
+    freq_ghz: 3.2,
+    cache: "2x 512KB",
+    mem_gb: 1.0,
+    arch: ArchClass::CellBe { spes: 16, chips: 2 },
+};
+
+/// NVIDIA 8800 GT: 112 streaming cores (14 SMs × 8), G92.
+pub const GPU_8800GT: MachineConfig = MachineConfig {
+    name: "8800GT",
+    system: "NVIDIA 8800 GT",
+    model: "Streaming",
+    cores: 112,
+    freq_ghz: 1.5,
+    cache: "256KB",
+    mem_gb: 0.5,
+    arch: ArchClass::Gpu {
+        sms: 14,
+        cores_per_sm: 8,
+        shared_mem_per_sm: 16 * 1024,
+        max_threads_per_sm: 768,
+    },
+};
+
+/// NVIDIA GTX 285: 240 streaming cores (30 SMs × 8), GT200.
+pub const GPU_GTX285: MachineConfig = MachineConfig {
+    name: "GTX285",
+    system: "NVIDIA GTX 285",
+    model: "Streaming",
+    cores: 240,
+    freq_ghz: 1.476,
+    cache: "480KB",
+    mem_gb: 1.0,
+    arch: ArchClass::Gpu {
+        sms: 30,
+        cores_per_sm: 8,
+        shared_mem_per_sm: 16 * 1024,
+        max_threads_per_sm: 1024,
+    },
+};
+
+/// All eight systems in Table 1 column order.
+pub fn table1() -> Vec<MachineConfig> {
+    vec![
+        BASELINE,
+        XEON_2X4,
+        OPTERON_4X4,
+        OPTERON_8X2,
+        PS3,
+        QS20,
+        GPU_8800GT,
+        GPU_GTX285,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eight_systems() {
+        let t = table1();
+        assert_eq!(t.len(), 8);
+        let names: Vec<_> = t.iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            [
+                "Baseline",
+                "2xXeon(4)",
+                "4xOpteron(4)",
+                "8xOpteron(2)",
+                "PS3",
+                "Blade QS20",
+                "8800GT",
+                "GTX285"
+            ]
+        );
+    }
+
+    #[test]
+    fn core_counts_match_paper() {
+        assert_eq!(XEON_2X4.cores, 8);
+        assert_eq!(OPTERON_4X4.cores, 16);
+        assert_eq!(OPTERON_8X2.cores, 16);
+        assert_eq!(PS3.cores, 6);
+        assert_eq!(QS20.cores, 16);
+        assert_eq!(GPU_8800GT.cores, 112);
+        assert_eq!(GPU_GTX285.cores, 240);
+    }
+
+    #[test]
+    fn topology_consistency() {
+        for m in table1() {
+            if let ArchClass::MultiCore {
+                sockets,
+                dies_per_socket,
+                cores_per_die,
+                cores_per_shared_cache,
+            } = m.arch
+            {
+                assert_eq!(m.cores, sockets * dies_per_socket * cores_per_die, "{}", m.name);
+                assert!(cores_per_shared_cache <= cores_per_die.max(1));
+            }
+            if let ArchClass::Gpu { sms, cores_per_sm, .. } = m.arch {
+                assert_eq!(m.cores, sms * cores_per_sm, "{}", m.name);
+            }
+            if let ArchClass::CellBe { spes, .. } = m.arch {
+                assert_eq!(m.cores, spes, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn gtx285_has_2_1x_cores_of_8800gt() {
+        // §4.1.3: "the number of cores available in the GTX285 (240) is
+        // 2.1x larger than the number of cores in the 8800GT (112)".
+        let ratio = GPU_GTX285.cores as f64 / GPU_8800GT.cores as f64;
+        assert!((ratio - 2.14).abs() < 0.01);
+    }
+
+    #[test]
+    fn frequency_scaling_relative_to_baseline() {
+        assert!((BASELINE.freq_scale() - 1.0).abs() < 1e-12);
+        assert!((XEON_2X4.freq_scale() - 0.6).abs() < 1e-12);
+        assert!((PS3.freq_scale() - 3.2 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! The timing-model interface every simulated architecture implements,
+//! plus the Figure 12 breakdown record.
+//!
+//! # Why analytic timing models
+//!
+//! None of the paper's 2009 hardware (Cell/BE, G92/GT200 GPUs,
+//! FSB-era Xeons) exists on this machine, so per the reproduction rules
+//! each backend pairs a *functional* execution (the PLF really runs,
+//! with results testable against the scalar reference) with an
+//! *analytic* cycle/bandwidth model that produces the times the figures
+//! plot. Model constants are calibrated against the paper's own reported
+//! observations (efficiencies, crossover points, bandwidth/latency specs
+//! of the era) and documented where they are defined.
+
+use crate::machine::MachineConfig;
+use crate::workload::PlfWorkload;
+
+/// A timing model of one Table 1 system.
+pub trait MachineModel {
+    /// Static description (Table 1 row).
+    fn config(&self) -> &MachineConfig;
+
+    /// Maximum parallel units (cores / SPEs; for GPUs this is the device
+    /// itself — pass `1`).
+    fn max_units(&self) -> usize;
+
+    /// Modeled wall-clock seconds the PLF workload takes on `units`
+    /// parallel elements *on that machine* (no frequency normalization).
+    fn plf_time(&self, w: &PlfWorkload, units: usize) -> f64;
+
+    /// Un-overlapped host↔device transfer seconds (PCIe); zero except
+    /// for GPUs.
+    fn transfer_time(&self, _w: &PlfWorkload) -> f64 {
+        0.0
+    }
+
+    /// Ratio of serial ("Remaining") code runtime on this system's host
+    /// core versus the baseline core *at equal clock* (>1 ⇒ slower, e.g.
+    /// the in-order PPE).
+    fn serial_cycle_factor(&self) -> f64;
+
+    /// Figure 12 row: modeled full-application times given the measured
+    /// baseline serial portion. All three components are
+    /// frequency-scaled to the baseline clock, as in §4.2.
+    fn breakdown(&self, w: &PlfWorkload, baseline_remaining_s: f64) -> Breakdown {
+        let cfg = self.config();
+        let fs = cfg.freq_scale();
+        // Serial code: cycles = baseline_cycles × factor; at this
+        // machine's clock time = cycles/freq; frequency-scaling (×fs)
+        // cancels the clock difference, leaving the pure cycle factor.
+        let remaining = baseline_remaining_s * self.serial_cycle_factor();
+        Breakdown {
+            system: cfg.name.to_string(),
+            plf_s: self.plf_time(w, self.max_units()) * fs,
+            remaining_s: remaining,
+            transfer_s: self.transfer_time(w) * fs,
+        }
+    }
+}
+
+/// One bar of Figure 12: frequency-scaled seconds split into PLF,
+/// Remaining, and PCIe transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// System name (Table 1 header).
+    pub system: String,
+    /// Parallel-section (PLF) time, seconds.
+    pub plf_s: f64,
+    /// Serial remainder, seconds.
+    pub remaining_s: f64,
+    /// Host↔device transfer time, seconds (GPUs only).
+    pub transfer_s: f64,
+}
+
+impl Breakdown {
+    /// Total application time.
+    pub fn total(&self) -> f64 {
+        self.plf_s + self.remaining_s + self.transfer_s
+    }
+
+    /// Components as percentages of a reference total (the baseline's
+    /// 100%), in Figure 12's normalization.
+    pub fn normalized(&self, reference_total: f64) -> (f64, f64, f64) {
+        let f = 100.0 / reference_total;
+        (self.plf_s * f, self.remaining_s * f, self.transfer_s * f)
+    }
+
+    /// Overall application speedup versus a reference total.
+    pub fn speedup_vs(&self, reference_total: f64) -> f64 {
+        reference_total / self.total()
+    }
+}
+
+/// Deterministic per-label jitter in `[1−amp, 1+amp]`, used to reproduce
+/// the paper's "low and unstable" small-data-set measurements without a
+/// real noisy machine. FNV-1a over the label keeps it stable across runs.
+pub fn deterministic_jitter(label: &str, amp: f64) -> f64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    1.0 + amp * (2.0 * unit - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let b = Breakdown {
+            system: "X".into(),
+            plf_s: 10.0,
+            remaining_s: 5.0,
+            transfer_s: 5.0,
+        };
+        assert_eq!(b.total(), 20.0);
+        let (p, r, t) = b.normalized(40.0);
+        assert_eq!((p, r, t), (25.0, 12.5, 12.5));
+        assert_eq!(b.speedup_vs(40.0), 2.0);
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        for label in ["10_1K", "100_50K", "20_8543"] {
+            let j = deterministic_jitter(label, 0.2);
+            assert!((0.8..=1.2).contains(&j), "{label}: {j}");
+            assert_eq!(j, deterministic_jitter(label, 0.2));
+        }
+        assert_ne!(
+            deterministic_jitter("10_1K", 0.2),
+            deterministic_jitter("20_1K", 0.2)
+        );
+    }
+
+    #[test]
+    fn jitter_zero_amp_is_identity() {
+        assert_eq!(deterministic_jitter("anything", 0.0), 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! PLF workload descriptions — the inputs to every timing model.
+//!
+//! A workload counts the kernel invocations of a run and knows how much
+//! arithmetic and memory traffic each invocation implies under the
+//! paper's data layout (`m` patterns × `r` rates × 4 states of `f32`).
+
+/// Bytes per (pattern, rate) state array.
+pub const ENTRY_BYTES: usize = 16; // 4 × f32
+
+/// Counts of PLF kernel invocations plus the data shape they run over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlfWorkload {
+    /// Number of tree leaves (taxa) — drives the call count and, in the
+    /// paper's measurements, the synchronization pressure.
+    pub n_leaves: usize,
+    /// Distinct site patterns `m` (the parallel loop length).
+    pub n_patterns: usize,
+    /// Discrete rate categories `r` (4 under Γ(4)).
+    pub n_rates: usize,
+    /// Total `CondLikeDown` invocations.
+    pub n_down: u64,
+    /// Total `CondLikeRoot` invocations.
+    pub n_root: u64,
+    /// Total `CondLikeScaler` invocations.
+    pub n_scale: u64,
+}
+
+impl PlfWorkload {
+    /// Workload of `n_evals` full-tree evaluations on an unrooted binary
+    /// tree with `n_leaves` leaves (virtual root of degree 3): per
+    /// evaluation `n_leaves − 3` Down calls, one Root call, and — with
+    /// `scale_every = 1` — one Scaler call per internal node.
+    pub fn for_run(
+        n_leaves: usize,
+        n_patterns: usize,
+        n_rates: usize,
+        n_evals: u64,
+        scale_every: usize,
+    ) -> PlfWorkload {
+        assert!(n_leaves >= 3);
+        let downs_per_eval = (n_leaves - 3) as u64;
+        let internals = (n_leaves - 2) as u64;
+        let scales_per_eval = if scale_every == 0 {
+            0
+        } else {
+            // interior scales + the root scale
+            (downs_per_eval / scale_every as u64) + 1
+        };
+        PlfWorkload {
+            n_leaves,
+            n_patterns,
+            n_rates,
+            n_down: downs_per_eval * n_evals,
+            n_root: n_evals,
+            n_scale: scales_per_eval.min(internals) * n_evals,
+        }
+    }
+
+    /// Label in the paper's `taxa_columns` convention (used for jitter
+    /// keys and reports).
+    pub fn label(&self) -> String {
+        if self.n_patterns.is_multiple_of(1000) {
+            format!("{}_{}K", self.n_leaves, self.n_patterns / 1000)
+        } else {
+            format!("{}_{}", self.n_leaves, self.n_patterns)
+        }
+    }
+
+    /// Bytes of one full conditional likelihood vector.
+    pub fn clv_bytes(&self) -> u64 {
+        (self.n_patterns * self.n_rates * ENTRY_BYTES) as u64
+    }
+
+    /// Total kernel invocations — the paper's "number of calls to the
+    /// parallel section".
+    pub fn calls(&self) -> u64 {
+        self.n_down + self.n_root + self.n_scale
+    }
+
+    /// Floating-point operations of one `CondLikeDown` call: per
+    /// (pattern, rate), two 4×4 matrix–vector products (16 mul + 12 add
+    /// each) plus the 4-wide combine = 60 flops.
+    pub fn down_flops(&self) -> u64 {
+        (self.n_patterns * self.n_rates * 60) as u64
+    }
+
+    /// Flops of one `CondLikeRoot` call (three children): three
+    /// matrix–vector products plus two 4-wide combines = 92 flops per
+    /// (pattern, rate).
+    pub fn root_flops(&self) -> u64 {
+        (self.n_patterns * self.n_rates * 92) as u64
+    }
+
+    /// Ops of one `CondLikeScaler` call: a 16-way max reduction plus a
+    /// broadcast multiply ≈ 8 ops per (pattern, rate).
+    pub fn scale_flops(&self) -> u64 {
+        (self.n_patterns * self.n_rates * 8) as u64
+    }
+
+    /// Total arithmetic of the whole workload.
+    pub fn total_flops(&self) -> f64 {
+        self.n_down as f64 * self.down_flops() as f64 / 1.0f64.max(1.0)
+            + self.n_root as f64 * self.root_flops() as f64
+            + self.n_scale as f64 * self.scale_flops() as f64
+    }
+
+    /// Main-memory bytes touched by one Down call (read two CLVs, write
+    /// one).
+    pub fn down_bytes(&self) -> u64 {
+        3 * self.clv_bytes()
+    }
+
+    /// Bytes touched by one Root call (read three CLVs, write one).
+    pub fn root_bytes(&self) -> u64 {
+        4 * self.clv_bytes()
+    }
+
+    /// Bytes touched by one Scaler call (read + write one CLV).
+    pub fn scale_bytes(&self) -> u64 {
+        2 * self.clv_bytes()
+    }
+
+    /// Total bytes of the workload.
+    pub fn total_bytes(&self) -> f64 {
+        self.n_down as f64 * self.down_bytes() as f64
+            + self.n_root as f64 * self.root_bytes() as f64
+            + self.n_scale as f64 * self.scale_bytes() as f64
+    }
+
+    /// Arithmetic intensity (flops per byte) — the "computation-to-data
+    /// ratio" the paper invokes to explain Cell/GPU trends.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.total_flops() / self.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_eval_counts() {
+        let w = PlfWorkload::for_run(10, 1000, 4, 1, 1);
+        assert_eq!(w.n_down, 7);
+        assert_eq!(w.n_root, 1);
+        assert_eq!(w.n_scale, 8); // 7 interior + root
+        assert_eq!(w.calls(), 16);
+    }
+
+    #[test]
+    fn evals_scale_linearly() {
+        let w1 = PlfWorkload::for_run(50, 5000, 4, 1, 1);
+        let w10 = PlfWorkload::for_run(50, 5000, 4, 10, 1);
+        assert_eq!(w10.n_down, 10 * w1.n_down);
+        assert_eq!(w10.calls(), 10 * w1.calls());
+        assert!((w10.total_flops() - 10.0 * w1.total_flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn clv_bytes_match_figure3() {
+        // Γ(4): 16 floats = 64 bytes per pattern element.
+        let w = PlfWorkload::for_run(10, 1000, 4, 1, 1);
+        assert_eq!(w.clv_bytes(), 1000 * 64);
+    }
+
+    #[test]
+    fn no_scaling_option() {
+        let w = PlfWorkload::for_run(10, 1000, 4, 5, 0);
+        assert_eq!(w.n_scale, 0);
+    }
+
+    #[test]
+    fn more_leaves_mean_more_calls_same_flops_per_call() {
+        let w10 = PlfWorkload::for_run(10, 1000, 4, 1, 1);
+        let w100 = PlfWorkload::for_run(100, 1000, 4, 1, 1);
+        assert!(w100.calls() > 6 * w10.calls());
+        assert_eq!(w10.down_flops(), w100.down_flops());
+    }
+
+    #[test]
+    fn intensity_independent_of_m() {
+        let a = PlfWorkload::for_run(20, 1000, 4, 3, 1);
+        let b = PlfWorkload::for_run(20, 50000, 4, 3, 1);
+        assert!((a.arithmetic_intensity() - b.arithmetic_intensity()).abs() < 1e-9);
+        // Down: 60 flops per entry over 48 bytes ⇒ 1.25 flops/byte;
+        // scaler calls pull the mix slightly below that.
+        assert!(a.arithmetic_intensity() > 0.8 && a.arithmetic_intensity() < 1.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Latency + bandwidth transfer-cost models.
+//!
+//! Two interconnects matter in the paper: the Cell/BE's Element
+//! Interconnect Bus carrying ≤16 KB DMA transfers (§3.3) and the PCIe
+//! bus between host and GPU whose per-invocation transfers dominate GPU
+//! total time (§4.2, Figure 12).
+
+/// A simple `latency + bytes/bandwidth` channel model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    /// Fixed per-transfer latency in seconds.
+    pub latency_s: f64,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Maximum bytes per hardware transfer (transfers above this are
+    /// split and pay the latency repeatedly). `None` = unlimited.
+    pub max_transfer: Option<usize>,
+}
+
+impl TransferModel {
+    /// Cell/BE EIB DMA: 25.6 GB/s per direction, ~0.2 µs setup, 16 KB
+    /// maximum per DMA command (the paper's §3.3 constraint).
+    pub fn cell_dma() -> TransferModel {
+        TransferModel {
+            latency_s: 0.2e-6,
+            bandwidth_bps: 25.6e9,
+            max_transfer: Some(16 * 1024),
+        }
+    }
+
+    /// PCIe 1.1 ×16 as seen by 2008-era CUDA: ~1.5 GB/s effective with
+    /// ~15 µs per-transfer overhead (driver + DMA setup).
+    pub fn pcie_gen1() -> TransferModel {
+        TransferModel {
+            latency_s: 15e-6,
+            bandwidth_bps: 1.5e9,
+            max_transfer: None,
+        }
+    }
+
+    /// PCIe 2.0 ×16 (GTX 285 era): ~4.5 GB/s effective with pinned
+    /// host memory.
+    pub fn pcie_gen2() -> TransferModel {
+        TransferModel {
+            latency_s: 12e-6,
+            bandwidth_bps: 4.5e9,
+            max_transfer: None,
+        }
+    }
+
+    /// Number of hardware transfers needed for `bytes`.
+    pub fn n_transfers(&self, bytes: u64) -> u64 {
+        match self.max_transfer {
+            None => 1,
+            Some(max) => bytes.div_ceil(max as u64).max(1),
+        }
+    }
+
+    /// Seconds to move `bytes` (zero bytes cost nothing).
+    pub fn time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.n_transfers(bytes) as f64 * self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_free() {
+        assert_eq!(TransferModel::cell_dma().time(0), 0.0);
+    }
+
+    #[test]
+    fn dma_splits_at_16k() {
+        let dma = TransferModel::cell_dma();
+        assert_eq!(dma.n_transfers(16 * 1024), 1);
+        assert_eq!(dma.n_transfers(16 * 1024 + 1), 2);
+        assert_eq!(dma.n_transfers(160 * 1024), 10);
+    }
+
+    #[test]
+    fn time_monotone_in_bytes() {
+        let pcie = TransferModel::pcie_gen1();
+        let mut prev = 0.0;
+        for kb in [1u64, 4, 64, 1024, 16384] {
+            let t = pcie.time(kb * 1024);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let pcie = TransferModel::pcie_gen1();
+        let bytes = 512u64 * 1024 * 1024;
+        let t = pcie.time(bytes);
+        let ideal = bytes as f64 / pcie.bandwidth_bps;
+        assert!((t - ideal) / ideal < 0.01);
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let dma = TransferModel::cell_dma();
+        let t = dma.time(128);
+        assert!(t > 0.9 * dma.latency_s && t < 2.0 * dma.latency_s);
+    }
+
+    #[test]
+    fn gen2_faster_than_gen1() {
+        let b = 8 * 1024 * 1024;
+        assert!(TransferModel::pcie_gen2().time(b) < TransferModel::pcie_gen1().time(b));
+    }
+}

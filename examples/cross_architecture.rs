@@ -1,0 +1,86 @@
+//! The paper's headline study in miniature: one data set, all eight
+//! Table 1 systems, and the frequency-scaled PLF / Remaining / PCIe
+//! breakdown of Figure 12.
+//!
+//! A short MCMC run on this machine provides the measured baseline
+//! (serial PLF share and serial remainder); each architecture's
+//! calibrated model then projects the full-application breakdown.
+//!
+//! ```sh
+//! cargo run --release --example cross_architecture
+//! ```
+
+use plf_repro::mcmc::{Chain, ChainOptions, Priors};
+use plf_repro::phylo::kernels::ScalarBackend;
+use plf_repro::prelude::*;
+use plf_repro::seqgen;
+
+fn main() {
+    // Scaled-down real-world shape (20 taxa; fewer patterns so the
+    // example finishes in seconds — the bench binaries run the full
+    // 8,543-pattern set).
+    let spec = DatasetSpec::new(20, 1_000);
+    let ds = seqgen::generate(spec, 11);
+    let generations = 200u64;
+
+    println!("measuring the serial baseline ({} generations on {})...", generations, spec.label());
+    let mut chain = Chain::new(
+        ds.tree.clone(),
+        &ds.data,
+        seqgen::default_model().params().clone(),
+        0.5,
+        Priors::default(),
+        ChainOptions {
+            generations: generations as usize,
+            seed: 1,
+            sample_every: 0,
+            ..ChainOptions::default()
+        },
+    )
+    .unwrap();
+    let stats = chain.run(&mut ScalarBackend);
+    let remaining_s = stats.remaining_time().as_secs_f64();
+    println!(
+        "  baseline: PLF {:.2}s + Remaining {:.2}s  (PLF share {:.1}%)\n",
+        stats.plf_time.as_secs_f64(),
+        remaining_s,
+        100.0 * stats.plf_fraction()
+    );
+
+    let w = PlfWorkload::for_run(spec.taxa, spec.patterns, 4, stats.n_evaluations, 1);
+
+    let models: Vec<Box<dyn MachineModel>> = vec![
+        Box::new(MultiCoreModel::baseline()),
+        Box::new(MultiCoreModel::xeon_2x4()),
+        Box::new(MultiCoreModel::opteron_4x4()),
+        Box::new(MultiCoreModel::opteron_8x2()),
+        Box::new(CellModel::ps3()),
+        Box::new(CellModel::qs20()),
+        Box::new(GpuModel::gt8800()),
+        Box::new(GpuModel::gtx285()),
+    ];
+
+    // The baseline row anchors the 100% normalization of Figure 12.
+    let baseline = models[0].breakdown(&w, remaining_s);
+    let reference_total = baseline.total();
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>8} {:>8} {:>9}",
+        "System", "PLF%", "Remaining%", "PCIe%", "Total%", "Speedup"
+    );
+    for m in &models {
+        let b = m.breakdown(&w, remaining_s);
+        let (plf, rem, pcie) = b.normalized(reference_total);
+        println!(
+            "{:<14} {:>8.1} {:>10.1} {:>8.1} {:>8.1} {:>8.2}x",
+            b.system,
+            plf,
+            rem,
+            pcie,
+            plf + rem + pcie,
+            b.speedup_vs(reference_total)
+        );
+    }
+    println!("\n(cf. Figure 12: multi-cores win overall; the Cell's PPE inflates Remaining;");
+    println!(" the GPUs crush the PLF but pay for PCIe — the 8800GT exceeding the baseline.)");
+}

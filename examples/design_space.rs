@@ -1,0 +1,70 @@
+//! GPU design-space exploration (§3.4): sweep CUDA launch
+//! configurations (threads per block × blocks) on both devices and
+//! report the best, alongside the paper's empirically found optima
+//! (256×40 on the 8800 GT, 256×85 on the GTX 285).
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use plf_repro::gpu::{GpuModel, LaunchConfig};
+use plf_repro::prelude::*;
+
+fn main() {
+    // The real-world workload shape: 20 taxa, 8,543 distinct patterns.
+    let w = PlfWorkload::for_run(20, 8_543, 4, 100, 1);
+
+    for (model, paper_cfg) in [
+        (GpuModel::gt8800(), LaunchConfig::paper_8800gt()),
+        (GpuModel::gtx285(), LaunchConfig::paper_gtx285()),
+    ] {
+        let name = model.config().name;
+        println!("== {name} ==");
+
+        // A few representative configurations.
+        println!("  {:<12} {:>12} {:>12}", "config", "PLF time", "vs paper cfg");
+        let paper_time = model.clone_with(paper_cfg).plf_time(&w, 1);
+        for cfg in [
+            LaunchConfig { threads: 32, blocks: 14 },
+            LaunchConfig { threads: 64, blocks: 28 },
+            LaunchConfig { threads: 128, blocks: 42 },
+            paper_cfg,
+        ] {
+            let m = model.clone_with(cfg);
+            if !m.is_launchable(cfg) {
+                println!("  {:>4}x{:<6} {:>12}", cfg.threads, cfg.blocks, "invalid");
+                continue;
+            }
+            let t = m.plf_time(&w, 1);
+            println!(
+                "  {:>4}x{:<6} {:>9.3} ms {:>11.2}x",
+                cfg.threads,
+                cfg.blocks,
+                t * 1e3,
+                t / paper_time
+            );
+        }
+
+        // Full sweep.
+        let (best, t) = model.sweep(&w);
+        println!(
+            "  sweep optimum: {}x{} ({:.3} ms); paper found {}x{}\n",
+            best.threads,
+            best.blocks,
+            t * 1e3,
+            paper_cfg.threads,
+            paper_cfg.blocks
+        );
+    }
+}
+
+/// Small helper: clone a model with a different launch configuration.
+trait CloneWith {
+    fn clone_with(&self, cfg: LaunchConfig) -> GpuModel;
+}
+
+impl CloneWith for GpuModel {
+    fn clone_with(&self, cfg: LaunchConfig) -> GpuModel {
+        self.clone().with_config(cfg)
+    }
+}

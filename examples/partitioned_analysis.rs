@@ -1,0 +1,105 @@
+//! Partitioned ("mixed model") analysis — MrBayes 3's namesake feature
+//! and the regime the paper's introduction motivates (phylogenomic
+//! alignments of many concatenated genes, §3.1).
+//!
+//! Three codon positions evolve at very different rates; fitting each
+//! with its own Γ shape beats forcing one model across the alignment.
+//!
+//! ```sh
+//! cargo run --release --example partitioned_analysis
+//! ```
+
+use plf_repro::phylo::kernels::ScalarBackend;
+use plf_repro::phylo::likelihood::TreeLikelihood;
+use plf_repro::phylo::partition::{by_codon_position, Partition, PartitionedLikelihood};
+use plf_repro::prelude::*;
+use plf_repro::seqgen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Simulate codon-like data: three interleaved column classes with
+    // very different rates (3rd positions evolve ~8x faster than 2nd).
+    let mut rng = StdRng::seed_from_u64(2009);
+    let tree = seqgen::random_unrooted_tree(10, 0.08, &mut rng);
+    let shapes = [0.6f64, 0.2, 3.0]; // per-position Γ shapes used to simulate
+    let class_scale = [1.0f64, 0.4, 3.0]; // relative rates per position
+    let mut rows: Vec<String> = vec![String::new(); 10];
+    for codon in 0..400 {
+        for pos in 0..3 {
+            let mut scaled = tree.clone();
+            for id in scaled.branches() {
+                scaled.node_mut(id).branch *= class_scale[pos];
+            }
+            let model = SiteModel::gtr_gamma4(GtrParams::jc69(), shapes[pos]).unwrap();
+            let aln = seqgen::evolve_alignment(&scaled, &model, 1, &mut rng);
+            for (t, row) in rows.iter_mut().enumerate() {
+                let name_idx = aln
+                    .taxa()
+                    .iter()
+                    .position(|n| n == &format!("t{t}"))
+                    .unwrap();
+                row.push(aln.row(name_idx)[0].to_iupac());
+            }
+        }
+        let _ = codon;
+    }
+    let named: Vec<(&str, &str)> = (0..10)
+        .map(|t| (Box::leak(format!("t{t}").into_boxed_str()) as &str, rows[t].as_str()))
+        .collect();
+    let aln = plf_repro::phylo::alignment::Alignment::from_strings(&named).unwrap();
+    println!(
+        "simulated coding alignment: {} taxa × {} sites (three rate classes)\n",
+        aln.n_taxa(),
+        aln.n_sites()
+    );
+
+    // Single-model fit.
+    let single_model = SiteModel::gtr_gamma4(GtrParams::jc69(), 0.6).unwrap();
+    let mut single = TreeLikelihood::new(&tree, &aln.compress(), single_model.clone()).unwrap();
+    let lnl_single = single.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+
+    // Partitioned fit: per-codon-position Γ shapes (simple grid search
+    // per partition stands in for per-partition MCMC).
+    let positions = by_codon_position(&aln);
+    let mut best_parts = Vec::new();
+    println!("per-partition Γ-shape fits:");
+    for (i, part_aln) in positions.iter().enumerate() {
+        let data = part_aln.compress();
+        let mut best = (f64::NEG_INFINITY, 0.0f64);
+        for &shape in &[0.1, 0.2, 0.4, 0.6, 1.0, 1.5, 3.0, 6.0] {
+            let model = SiteModel::gtr_gamma4(GtrParams::jc69(), shape).unwrap();
+            let mut eval = TreeLikelihood::new(&tree, &data, model).unwrap();
+            let lnl = eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+            if lnl > best.0 {
+                best = (lnl, shape);
+            }
+        }
+        println!(
+            "  codon position {}: best shape {:>4.1}  (lnL {:.2}; simulated with {:.1})",
+            i + 1,
+            best.1,
+            best.0,
+            shapes[i]
+        );
+        // (Position 3's recovered shape absorbs the 3x branch-rate scale
+        // we simulated with, since this fit keeps branch lengths fixed.)
+        best_parts.push(Partition {
+            name: format!("pos{}", i + 1),
+            data,
+            model: SiteModel::gtr_gamma4(GtrParams::jc69(), best.1).unwrap(),
+        });
+    }
+
+    let mut partitioned = PartitionedLikelihood::new(&tree, best_parts).unwrap();
+    let lnl_part = partitioned.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+
+    println!("\nsingle model    lnL: {lnl_single:.2}");
+    println!("mixed model     lnL: {lnl_part:.2}");
+    println!(
+        "partitioning improves the fit by {:.2} log units ({} extra parameters)",
+        lnl_part - lnl_single,
+        2
+    );
+    assert!(lnl_part > lnl_single, "mixed model must fit heterogeneous data better");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: generate data, compute a tree likelihood on every
+//! architecture, and show the modeled cross-architecture timings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use plf_repro::prelude::*;
+use plf_repro::{evaluate_on_all_backends, seqgen};
+
+fn main() {
+    // 1. A Seq-Gen-style data set: 10 taxa, 1,000 distinct patterns —
+    //    the paper's smallest benchmark cell (10_1K).
+    let spec = DatasetSpec::new(10, 1_000);
+    println!("generating data set {} ...", spec.label());
+    let ds = seqgen::generate(spec, 2009);
+    let model = seqgen::default_model();
+    println!(
+        "  {} taxa, {} distinct patterns ({} sites)\n",
+        ds.data.n_taxa(),
+        ds.data.n_patterns(),
+        ds.data.n_sites()
+    );
+
+    // 2. The same Phylogenetic Likelihood Function on every backend:
+    //    host scalar/SIMD, rayon multicore, simulated Cell/BE, simulated
+    //    GPUs. All agree (bitwise for the canonical-order kernels).
+    println!("log-likelihood per backend:");
+    let results = evaluate_on_all_backends(&ds.tree, &ds.data, &model).unwrap();
+    for (name, lnl) in &results {
+        println!("  {name:<22} lnL = {lnl:.6}");
+    }
+
+    // 3. Modeled PLF times on the paper's eight systems for one
+    //    evaluation sweep over this data set (frequency-scaled to the
+    //    3.0 GHz baseline as in §4.2).
+    let w = PlfWorkload::for_run(spec.taxa, spec.patterns, 4, 1, 1);
+    println!("\nmodeled PLF time for one tree evaluation (frequency-scaled):");
+    let models: Vec<Box<dyn MachineModel>> = vec![
+        Box::new(MultiCoreModel::baseline()),
+        Box::new(MultiCoreModel::xeon_2x4()),
+        Box::new(MultiCoreModel::opteron_4x4()),
+        Box::new(MultiCoreModel::opteron_8x2()),
+        Box::new(CellModel::ps3()),
+        Box::new(CellModel::qs20()),
+        Box::new(GpuModel::gt8800()),
+        Box::new(GpuModel::gtx285()),
+    ];
+    for m in &models {
+        let cfg = m.config();
+        let t = m.plf_time(&w, m.max_units()) * cfg.freq_scale();
+        let x = m.transfer_time(&w) * cfg.freq_scale();
+        if x > 0.0 {
+            println!("  {:<14} {:>9.3} ms  (+ {:>8.3} ms PCIe)", cfg.name, t * 1e3, x * 1e3);
+        } else {
+            println!("  {:<14} {:>9.3} ms", cfg.name, t * 1e3);
+        }
+    }
+    println!("\n(see `cargo run -p plf-bench --bin fig09` .. fig12 for the full figures)");
+}

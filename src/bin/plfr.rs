@@ -1,0 +1,478 @@
+//! `plfr` — command-line front end for the PLF reproduction.
+//!
+//! ```text
+//! plfr simulate   --taxa 10 --patterns 1000 --seed 42 --out data.fasta [--tree-out tree.nwk]
+//! plfr likelihood --alignment data.fasta [--tree tree.nwk] [--backend rayon] [--shape 0.5] [--pinvar 0.1]
+//! plfr mcmc       --alignment data.fasta [--tree tree.nwk] --generations 1000 [--backend qs20]
+//!                 [--incremental] [--trace PREFIX] [--sample-every 100] [--seed 42]
+//! plfr backends
+//! ```
+//!
+//! Alignment files are FASTA (`.fa`, `.fasta`) or PHYLIP (anything
+//! else); trees are Newick. Without `--tree`, a random starting tree
+//! over the alignment's taxa is generated from the seed.
+
+use plf_repro::mcmc::consensus::consensus_from_newicks;
+use plf_repro::mcmc::{p_file, summarize, t_file, Chain, ChainOptions, Mc3, Mc3Options, Priors};
+use plf_repro::phylo::alignment::{Alignment, PatternAlignment};
+use plf_repro::phylo::io;
+use plf_repro::phylo::kernels::{PlfBackend, ScalarBackend, Simd4Backend};
+use plf_repro::phylo::likelihood::TreeLikelihood;
+use plf_repro::phylo::model::{GtrParams, SiteModel};
+use plf_repro::phylo::tree::Tree;
+use plf_repro::seqgen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Minimal `--key value` / `--flag` argument map.
+#[derive(Debug, Default)]
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument {a:?} (expected --key)"))?;
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                out.values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                out.flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn backend_by_name(name: &str) -> Result<Box<dyn PlfBackend>, String> {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    Ok(match name {
+        "scalar" => Box::new(ScalarBackend),
+        "simd" | "simd-colwise" => Box::new(Simd4Backend::col_wise()),
+        "simd-rowwise" => Box::new(Simd4Backend::row_wise()),
+        "rayon" => Box::new(plf_repro::multicore::RayonBackend::new(threads)),
+        "persistent" => Box::new(plf_repro::multicore::PersistentPoolBackend::new(threads)),
+        "ps3" => Box::new(plf_repro::cellbe::CellBackend::ps3()),
+        "qs20" => Box::new(plf_repro::cellbe::CellBackend::qs20()),
+        "8800gt" => Box::new(plf_repro::gpu::GpuBackend::gt8800()),
+        "gtx285" => Box::new(plf_repro::gpu::GpuBackend::gtx285()),
+        other => return Err(format!("unknown backend {other:?}; see `plfr backends`")),
+    })
+}
+
+const BACKEND_NAMES: &[&str] = &[
+    "scalar",
+    "simd",
+    "simd-rowwise",
+    "rayon",
+    "persistent",
+    "ps3",
+    "qs20",
+    "8800gt",
+    "gtx285",
+];
+
+fn read_alignment(path: &str) -> Result<Alignment, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let is_fasta = path.ends_with(".fa") || path.ends_with(".fasta") || text.trim_start().starts_with('>');
+    if is_fasta {
+        io::parse_fasta(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        io::parse_phylip(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_or_make_tree(args: &Args, data: &PatternAlignment, seed: u64) -> Result<Tree, String> {
+    match args.get("tree") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Tree::from_newick(text.trim()).map_err(|e| format!("{path}: {e}"))
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7265_7065);
+            Ok(seqgen::random_tree_for_taxa(data.taxa(), 0.1, &mut rng))
+        }
+    }
+}
+
+fn build_model(args: &Args) -> Result<SiteModel, String> {
+    let shape: f64 = args.parse_num("shape", 0.5)?;
+    let pinvar: f64 = args.parse_num("pinvar", 0.0)?;
+    let n_rates: usize = args.parse_num("rates", 4)?;
+    SiteModel::new(GtrParams::jc69(), shape, n_rates)
+        .and_then(|m| m.with_pinvar(pinvar))
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let taxa: usize = args.parse_num("taxa", 10)?;
+    let patterns: usize = args.parse_num("patterns", 1000)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let out = args.required("out")?;
+    let ds = seqgen::generate(seqgen::DatasetSpec::new(taxa, patterns), seed);
+    let aln = ds.data.decompress();
+    let text = if out.ends_with(".phy") || out.ends_with(".phylip") {
+        io::write_phylip(&aln)
+    } else {
+        io::write_fasta(&aln)
+    };
+    std::fs::write(out, text).map_err(|e| format!("{out}: {e}"))?;
+    if let Some(tree_out) = args.get("tree-out") {
+        std::fs::write(tree_out, format!("{}\n", ds.tree.to_newick()))
+            .map_err(|e| format!("{tree_out}: {e}"))?;
+    }
+    eprintln!(
+        "wrote {} taxa x {} sites ({} distinct patterns) to {out}",
+        aln.n_taxa(),
+        aln.n_sites(),
+        patterns
+    );
+    Ok(())
+}
+
+fn cmd_likelihood(args: &Args) -> Result<(), String> {
+    let aln = read_alignment(args.required("alignment")?)?;
+    let data = aln.compress();
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let tree = load_or_make_tree(args, &data, seed)?;
+    let model = build_model(args)?;
+    let mut backend = backend_by_name(args.get("backend").unwrap_or("scalar"))?;
+    let mut eval = TreeLikelihood::new(&tree, &data, model).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    let lnl = eval
+        .log_likelihood(&tree, backend.as_mut())
+        .map_err(|e| e.to_string())?;
+    let dt = t0.elapsed();
+    println!("backend:  {}", backend.name());
+    println!("patterns: {} (from {} sites)", data.n_patterns(), data.n_sites());
+    println!("lnL:      {lnl:.6}");
+    println!("time:     {:.3} ms", dt.as_secs_f64() * 1e3);
+    Ok(())
+}
+
+fn cmd_mcmc(args: &Args) -> Result<(), String> {
+    let aln = read_alignment(args.required("alignment")?)?;
+    let data = aln.compress();
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let tree = load_or_make_tree(args, &data, seed)?;
+    let generations: usize = args.parse_num("generations", 1000)?;
+    let sample_every: usize = args.parse_num("sample-every", 100)?;
+    let trace_prefix = args.get("trace");
+    let options = ChainOptions {
+        generations,
+        seed,
+        sample_every,
+        incremental: args.flag("incremental"),
+        initial_pinvar: args.parse_num("pinvar", 0.0)?,
+        record_trace: trace_prefix.is_some(),
+        ..ChainOptions::default()
+    };
+    let n_chains: usize = args.parse_num("mc3", 1)?;
+    if n_chains > 1 {
+        return cmd_mc3(args, tree, &data, options, n_chains, trace_prefix);
+    }
+    let mut backend = backend_by_name(args.get("backend").unwrap_or("scalar"))?;
+    let mut chain = Chain::new(tree, &data, GtrParams::jc69(), 0.5, Priors::default(), options)
+        .map_err(|e| e.to_string())?;
+    let stats = chain.run(backend.as_mut());
+    println!("backend:            {}", backend.name());
+    println!("generations:        {generations}");
+    println!("final lnL:          {:.4}", stats.final_ln_likelihood);
+    println!("PLF calls:          {}", stats.plf_calls);
+    println!(
+        "PLF / Remaining:    {:.3}s / {:.3}s ({:.1}% PLF)",
+        stats.plf_time.as_secs_f64(),
+        stats.remaining_time().as_secs_f64(),
+        100.0 * stats.plf_fraction()
+    );
+    for (kind, ps) in &stats.proposals {
+        println!(
+            "  {:<16} {:>5.1}% accepted ({}/{})",
+            kind.name(),
+            100.0 * ps.acceptance_rate(),
+            ps.accepted,
+            ps.proposed
+        );
+    }
+    if let Some(prefix) = trace_prefix {
+        let pf = format!("{prefix}.p");
+        let tf = format!("{prefix}.t");
+        std::fs::write(&pf, p_file(&stats.trace)).map_err(|e| format!("{pf}: {e}"))?;
+        std::fs::write(&tf, t_file(&stats.trace)).map_err(|e| format!("{tf}: {e}"))?;
+        if let Some(s) = summarize(&stats.trace, 0.25) {
+            println!(
+                "trace:              {pf}, {tf} ({} samples; post-burn-in mean lnL {:.3})",
+                s.n, s.mean_ln_likelihood
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_mc3(
+    args: &Args,
+    tree: Tree,
+    data: &PatternAlignment,
+    options: ChainOptions,
+    n_chains: usize,
+    trace_prefix: Option<&str>,
+) -> Result<(), String> {
+    let backend_name = args.get("backend").unwrap_or("scalar");
+    let mut backends = Vec::with_capacity(n_chains);
+    for _ in 0..n_chains {
+        backends.push(backend_by_name(backend_name)?);
+    }
+    let mut mc3 = Mc3::new(
+        tree,
+        data,
+        GtrParams::jc69(),
+        0.5,
+        Priors::default(),
+        Mc3Options {
+            n_chains,
+            parallel: args.flag("parallel"),
+            swap_every: args.parse_num("swap-every", 10)?,
+            heat: args.parse_num("heat", 0.1)?,
+            chain: options,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let stats = mc3.run(&mut backends);
+    println!("chains:             {n_chains} (MC3, heat ladder)");
+    println!("swap acceptance:    {:.1}%", 100.0 * stats.swap_acceptance());
+    println!("final cold lnL:     {:.4}", stats.final_cold_ln_likelihood);
+    println!("total PLF calls:    {}", stats.total_plf_calls());
+    if let Some(prefix) = trace_prefix {
+        let pf = format!("{prefix}.p");
+        let tf = format!("{prefix}.t");
+        std::fs::write(&pf, p_file(&stats.cold_trace)).map_err(|e| format!("{pf}: {e}"))?;
+        std::fs::write(&tf, t_file(&stats.cold_trace)).map_err(|e| format!("{tf}: {e}"))?;
+        println!("trace:              {pf}, {tf}");
+    }
+    Ok(())
+}
+
+fn cmd_consensus(args: &Args) -> Result<(), String> {
+    let path = args.required("trees")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // Accept either a NEXUS .t file or plain newick-per-line.
+    let newicks: Vec<String> = text
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            if let Some(eq) = l.find('=') {
+                if l.starts_with("tree ") || l.starts_with("  tree ") || l.contains(" tree ") {
+                    return Some(l[eq + 1..].trim().to_string());
+                }
+            }
+            if l.starts_with('(') {
+                Some(l.to_string())
+            } else {
+                None
+            }
+        })
+        .collect();
+    if newicks.is_empty() {
+        return Err(format!("{path}: no trees found"));
+    }
+    let burn_in: f64 = args.parse_num("burn-in", 0.25)?;
+    let skip = (newicks.len() as f64 * burn_in) as usize;
+    let threshold: f64 = args.parse_num("threshold", 0.5)?;
+    let c = consensus_from_newicks(&newicks[skip..], threshold).map_err(|e| e.to_string())?;
+    println!("{} trees ({} after burn-in)", newicks.len(), newicks.len() - skip);
+    println!("consensus: {}", c.newick);
+    for s in &c.splits {
+        println!("  {:.2}  {{{}}}", s.support, s.taxa.join(","));
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "plfr — Phylogenetic Likelihood Function reproduction CLI
+
+USAGE:
+  plfr simulate   --taxa N --patterns M [--seed S] --out FILE [--tree-out FILE]
+  plfr likelihood --alignment FILE [--tree FILE] [--backend NAME] [--shape A] [--pinvar P] [--rates K]
+  plfr mcmc       --alignment FILE [--tree FILE] [--generations N] [--seed S]
+                  [--backend NAME] [--incremental] [--sample-every K] [--trace PREFIX] [--pinvar P]
+                  [--mc3 N --heat H --swap-every K --parallel]
+  plfr consensus  --trees FILE.t [--burn-in F] [--threshold F]
+  plfr backends
+
+Formats: FASTA (.fa/.fasta) or PHYLIP; trees are Newick."
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "backends" => {
+            for b in BACKEND_NAMES {
+                println!("{b}");
+            }
+            Ok(())
+        }
+        "simulate" | "likelihood" | "mcmc" | "consensus" => match Args::parse(rest) {
+            Err(e) => Err(e),
+            Ok(args) => match cmd.as_str() {
+                "simulate" => cmd_simulate(&args),
+                "likelihood" => cmd_likelihood(&args),
+                "consensus" => cmd_consensus(&args),
+                _ => cmd_mcmc(&args),
+            },
+        },
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn arg_parsing_values_and_flags() {
+        let a = args(&["--taxa", "10", "--incremental", "--out", "x.fa"]);
+        assert_eq!(a.get("taxa"), Some("10"));
+        assert_eq!(a.get("out"), Some("x.fa"));
+        assert!(a.flag("incremental"));
+        assert!(!a.flag("verbose"));
+        assert_eq!(a.parse_num::<usize>("taxa", 0).unwrap(), 10);
+        assert_eq!(a.parse_num::<usize>("patterns", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn arg_parsing_rejects_positional() {
+        assert!(Args::parse(&["oops".to_string()]).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let a = args(&["--taxa", "ten"]);
+        assert!(a.parse_num::<usize>("taxa", 0).is_err());
+    }
+
+    #[test]
+    fn all_backend_names_resolve() {
+        for name in BACKEND_NAMES {
+            assert!(backend_by_name(name).is_ok(), "{name}");
+        }
+        assert!(backend_by_name("quantum").is_err());
+    }
+
+    fn tmpfile(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("plfr-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn read_alignment_dispatches_on_content() {
+        let fasta = tmpfile("a.txt", ">x\nACGT\n>y\nACGA\n");
+        let aln = read_alignment(&fasta).unwrap();
+        assert_eq!(aln.n_taxa(), 2);
+        let phylip = tmpfile("b.txt", "2 4\nx ACGT\ny ACGA\n");
+        let aln = read_alignment(&phylip).unwrap();
+        assert_eq!(aln.n_sites(), 4);
+        assert!(read_alignment("/nonexistent/path").is_err());
+        std::fs::remove_file(fasta).ok();
+        std::fs::remove_file(phylip).ok();
+    }
+
+    #[test]
+    fn tree_loading_and_generation() {
+        let fasta = tmpfile("c.fa", ">x\nACGT\n>y\nACGA\n>z\nACGT\n");
+        let data = read_alignment(&fasta).unwrap().compress();
+        // No --tree: a random tree over the taxa is generated.
+        let a = args(&[]);
+        let t = load_or_make_tree(&a, &data, 1).unwrap();
+        assert_eq!(t.n_leaves(), 3);
+        // Deterministic for the same seed.
+        let t2 = load_or_make_tree(&a, &data, 1).unwrap();
+        assert_eq!(t.to_newick(), t2.to_newick());
+        // Explicit --tree wins.
+        let nwk = tmpfile("d.nwk", "(x:0.1,y:0.1,z:0.1);\n");
+        let a = args(&["--tree", &nwk]);
+        let t3 = load_or_make_tree(&a, &data, 1).unwrap();
+        assert!((t3.tree_length() - 0.3).abs() < 1e-12);
+        std::fs::remove_file(fasta).ok();
+        std::fs::remove_file(nwk).ok();
+    }
+
+    #[test]
+    fn simulate_roundtrips_through_cli_paths() {
+        let out = std::env::temp_dir().join(format!("plfr-sim-{}.fasta", std::process::id()));
+        let tree_out = std::env::temp_dir().join(format!("plfr-sim-{}.nwk", std::process::id()));
+        let a = args(&[
+            "--taxa", "5",
+            "--patterns", "40",
+            "--seed", "3",
+            "--out", out.to_str().unwrap(),
+            "--tree-out", tree_out.to_str().unwrap(),
+        ]);
+        cmd_simulate(&a).unwrap();
+        let aln = read_alignment(out.to_str().unwrap()).unwrap();
+        assert_eq!(aln.n_taxa(), 5);
+        assert_eq!(aln.compress().n_patterns(), 40);
+        let tree_text = std::fs::read_to_string(&tree_out).unwrap();
+        assert!(Tree::from_newick(tree_text.trim()).is_ok());
+        std::fs::remove_file(out).ok();
+        std::fs::remove_file(tree_out).ok();
+    }
+
+    #[test]
+    fn model_building_from_args() {
+        let a = args(&["--shape", "1.5", "--pinvar", "0.2", "--rates", "8"]);
+        let m = build_model(&a).unwrap();
+        assert_eq!(m.n_rates(), 8);
+        assert_eq!(m.pinvar(), 0.2);
+        let bad = args(&["--pinvar", "1.5"]);
+        assert!(build_model(&bad).is_err());
+    }
+}

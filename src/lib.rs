@@ -1,0 +1,135 @@
+//! # plf-repro
+//!
+//! A from-scratch Rust reproduction of
+//!
+//! > *Fine-grain Parallelism using Multi-core, Cell/BE, and GPU Systems:
+//! > Accelerating the Phylogenetic Likelihood Function* (ICPP 2009).
+//!
+//! The workspace implements the paper's entire stack: a MrBayes-style
+//! Bayesian phylogenetics application (GTR+Γ likelihood + MCMC), a
+//! Seq-Gen-style data generator, and the three parallel execution
+//! targets — general-purpose multi-cores (rayon, real parallelism),
+//! and execution-driven simulators of the IBM Cell/BE and of
+//! CUDA-era NVIDIA GPUs, each paired with a calibrated timing model
+//! that regenerates the paper's figures.
+//!
+//! This crate is the facade: it re-exports every sub-crate under one
+//! namespace and provides a couple of cross-backend conveniences.
+//!
+//! ```
+//! use plf_repro::prelude::*;
+//!
+//! // Generate a small data set the way the paper does (Seq-Gen style),
+//! // then score it on every architecture.
+//! let ds = plf_repro::seqgen::generate(DatasetSpec::new(8, 64), 42);
+//! let model = plf_repro::seqgen::default_model();
+//! let results = plf_repro::evaluate_on_all_backends(&ds.tree, &ds.data, &model).unwrap();
+//! // Every backend computes the same likelihood (bitwise for the
+//! // canonical-order kernels; within float tolerance for the
+//! // row-wise/reduction variants, whose summation order differs).
+//! for (name, lnl) in &results {
+//!     assert!((lnl - results[0].1).abs() < 1e-2, "{name} disagrees");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use plf_cellbe as cellbe;
+pub use plf_gpu as gpu;
+pub use plf_mcmc as mcmc;
+pub use plf_multicore as multicore;
+pub use plf_phylo as phylo;
+pub use plf_seqgen as seqgen;
+pub use plf_simcore as simcore;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use plf_cellbe::{CellBackend, CellModel};
+    pub use plf_gpu::{GpuBackend, GpuModel, LaunchConfig, WorkDistribution};
+    pub use plf_mcmc::{Chain, ChainOptions, Priors};
+    pub use plf_multicore::{MultiCoreModel, PersistentPoolBackend, RayonBackend};
+    pub use plf_phylo::prelude::*;
+    pub use plf_seqgen::{Dataset, DatasetSpec};
+    pub use plf_simcore::{table1, Breakdown, MachineModel, PlfWorkload};
+}
+
+use phylo::alignment::PatternAlignment;
+use phylo::kernels::{PlfBackend, ScalarBackend, Simd4Backend};
+use phylo::likelihood::{LikelihoodError, TreeLikelihood};
+use phylo::model::SiteModel;
+use phylo::tree::Tree;
+
+/// Every functional backend in the workspace, ready to run.
+///
+/// The rayon backend uses all available cores; the Cell and GPU
+/// backends use the paper's flagship configurations.
+pub fn all_backends() -> Vec<Box<dyn PlfBackend>> {
+    vec![
+        Box::new(ScalarBackend),
+        Box::new(Simd4Backend::col_wise()),
+        Box::new(Simd4Backend::row_wise()),
+        Box::new(multicore::RayonBackend::new(
+            std::thread::available_parallelism().map_or(4, |n| n.get()),
+        )),
+        Box::new(multicore::PersistentPoolBackend::new(
+            std::thread::available_parallelism().map_or(4, |n| n.get()),
+        )),
+        Box::new(cellbe::CellBackend::ps3()),
+        Box::new(cellbe::CellBackend::qs20()),
+        Box::new(gpu::GpuBackend::gt8800()),
+        Box::new(gpu::GpuBackend::gtx285()),
+    ]
+}
+
+/// Compute the log-likelihood of `tree` over `data` under `model` on
+/// every backend, returning `(backend name, lnL)` pairs.
+pub fn evaluate_on_all_backends(
+    tree: &Tree,
+    data: &PatternAlignment,
+    model: &SiteModel,
+) -> Result<Vec<(String, f64)>, LikelihoodError> {
+    let mut out = Vec::new();
+    for mut backend in all_backends() {
+        let mut eval = TreeLikelihood::new(tree, data, model.clone())?;
+        let lnl = eval.log_likelihood(tree, backend.as_mut())?;
+        out.push((backend.name(), lnl));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::alignment::Alignment;
+
+    #[test]
+    fn all_backends_report_distinct_names() {
+        let names: Vec<String> = all_backends().iter().map(|b| b.name()).collect();
+        let unique: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "{names:?}");
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn cross_backend_agreement_tiny() {
+        let tree = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAA"),
+            ("b", "ACGTACGTAC"),
+            ("c", "ACGAACGTTA"),
+            ("d", "ACTTACGTAA"),
+        ])
+        .unwrap()
+        .compress();
+        let model = SiteModel::jc69();
+        let results = evaluate_on_all_backends(&tree, &aln, &model).unwrap();
+        let reference = results[0].1;
+        for (name, lnl) in &results {
+            if name.contains("rowwise") || name.contains("reduction") {
+                assert!((lnl - reference).abs() < 1e-3, "{name}: {lnl} vs {reference}");
+            } else {
+                assert_eq!(*lnl, reference, "{name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests of the core mathematical invariants.
+
+use plf_repro::phylo::alignment::Alignment;
+use plf_repro::phylo::dna::StateMask;
+use plf_repro::phylo::kernels::ScalarBackend;
+use plf_repro::phylo::model::{discrete_gamma_rates, EigenSystem, GtrParams, QMatrix};
+use plf_repro::prelude::*;
+use proptest::prelude::*;
+
+fn arb_gtr() -> impl Strategy<Value = GtrParams> {
+    (
+        prop::array::uniform6(0.05f64..10.0),
+        prop::array::uniform4(0.05f64..1.0),
+    )
+        .prop_map(|(rates, raw_freqs)| GtrParams::gtr(rates, raw_freqs).normalized())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_q_matrix_valid(params in arb_gtr()) {
+        let q = QMatrix::build(&params).unwrap();
+        for row in &q.q {
+            let s: f64 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-9, "row sum {s}");
+        }
+        prop_assert!((q.mean_rate() - 1.0).abs() < 1e-9);
+        // Detailed balance (time reversibility).
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = params.freqs[i] * q.q[i][j] - params.freqs[j] * q.q[j][i];
+                prop_assert!(d.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_transition_matrix_stochastic(params in arb_gtr(), t in 0.0f64..20.0) {
+        let es = EigenSystem::new(&QMatrix::build(&params).unwrap());
+        let p = es.transition_matrix_f64(t);
+        for row in &p {
+            let s: f64 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-7, "row sum {s} at t={t}");
+            for &v in row {
+                prop_assert!((-1e-9..=1.0 + 1e-7).contains(&v), "entry {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_chapman_kolmogorov(params in arb_gtr(), s in 0.001f64..2.0, t in 0.001f64..2.0) {
+        let es = EigenSystem::new(&QMatrix::build(&params).unwrap());
+        let ps = es.transition_matrix_f64(s);
+        let pt = es.transition_matrix_f64(t);
+        let pst = es.transition_matrix_f64(s + t);
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += ps[i][k] * pt[k][j];
+                }
+                prop_assert!((acc - pst[i][j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_discrete_gamma_mean_one(alpha in 0.05f64..50.0, k in 2usize..9) {
+        let rates = discrete_gamma_rates(alpha, k).unwrap();
+        let mean: f64 = rates.iter().sum::<f64>() / k as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9);
+        for w in rates.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn prop_pattern_compression_roundtrip(
+        taxa in 2usize..6,
+        sites in 1usize..60,
+        seed in 0u64..500,
+    ) {
+        // Random alignment with ambiguity codes.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let codes: Vec<char> = "ACGTRYSWKMBDHVN-".chars().collect();
+        let rows: Vec<Vec<StateMask>> = (0..taxa)
+            .map(|_| {
+                (0..sites)
+                    .map(|_| StateMask::from_iupac(codes[next() % codes.len()]).unwrap())
+                    .collect()
+            })
+            .collect();
+        let names = (0..taxa).map(|i| format!("t{i}")).collect();
+        let aln = Alignment::new(names, rows).unwrap();
+        let compressed = aln.compress();
+        prop_assert!(compressed.n_patterns() <= sites);
+        prop_assert_eq!(compressed.weights().iter().sum::<u32>() as usize, sites);
+        let back = compressed.decompress();
+        for t in 0..taxa {
+            prop_assert_eq!(aln.row(t), back.row(t));
+        }
+    }
+
+    #[test]
+    fn prop_scaling_preserves_likelihood(seed in 0u64..200, scale_every in 0usize..4) {
+        let ds = plf_repro::seqgen::generate(DatasetSpec::new(7, 60), seed);
+        let model = plf_repro::seqgen::default_model();
+        let mut with = plf_repro::phylo::likelihood::TreeLikelihood::with_scaling(
+            &ds.tree, &ds.data, model.clone(), scale_every).unwrap();
+        let mut without = plf_repro::phylo::likelihood::TreeLikelihood::with_scaling(
+            &ds.tree, &ds.data, model, 1).unwrap();
+        let a = with.log_likelihood(&ds.tree, &mut ScalarBackend).unwrap();
+        let b = without.log_likelihood(&ds.tree, &mut ScalarBackend).unwrap();
+        let tol = b.abs() * 1e-5 + 1e-2;
+        prop_assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn prop_nni_preserves_leafset_and_validity(seed in 0u64..500, moves in 1usize..12) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut tree = plf_repro::seqgen::random_unrooted_tree(10, 0.1, &mut rng);
+        let mut leaves: Vec<String> = tree
+            .leaves()
+            .iter()
+            .map(|&l| tree.node(l).name.clone().unwrap())
+            .collect();
+        leaves.sort();
+        for _ in 0..moves {
+            let edges = tree.internal_edges();
+            let (p, c) = edges[rng.gen_range(0..edges.len())];
+            let i = rng.gen_range(0..tree.node(p).children.len() - 1);
+            let j = rng.gen_range(0..2);
+            tree.nni(p, c, i, j).unwrap();
+        }
+        prop_assert!(tree.validate().is_ok());
+        let mut after: Vec<String> = tree
+            .leaves()
+            .iter()
+            .map(|&l| tree.node(l).name.clone().unwrap())
+            .collect();
+        after.sort();
+        prop_assert_eq!(leaves, after);
+    }
+
+    #[test]
+    fn prop_incremental_equals_full_under_random_walks(seed in 0u64..300, moves in 1usize..15) {
+        use plf_repro::phylo::incremental::IncrementalLikelihood;
+        use rand::{Rng, SeedableRng};
+        let ds = plf_repro::seqgen::generate(DatasetSpec::new(8, 50), seed);
+        let model = plf_repro::seqgen::default_model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut tree = ds.tree.clone();
+        let mut inc = IncrementalLikelihood::new(&tree, &ds.data, model.clone()).unwrap();
+        inc.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        let mut last = f64::NAN;
+        for _ in 0..moves {
+            // Random branch change, NNI, or SPR; accept or reject randomly.
+            let kind = rng.gen_range(0..3);
+            let dirty: Vec<plf_repro::phylo::tree::NodeId> = match kind {
+                0 => {
+                    let branches = tree.branches();
+                    let id = branches[rng.gen_range(0..branches.len())];
+                    tree.node_mut(id).branch *= rng.gen_range(0.5..2.0);
+                    vec![id]
+                }
+                1 => {
+                    let edges = tree.internal_edges();
+                    let (p, c) = edges[rng.gen_range(0..edges.len())];
+                    let i = rng.gen_range(0..tree.node(p).children.len() - 1);
+                    tree.nni(p, c, i, rng.gen_range(0..2)).unwrap();
+                    vec![p, c]
+                }
+                _ => {
+                    let xs = tree.spr_prune_candidates();
+                    let x = xs[rng.gen_range(0..xs.len())];
+                    let ts = tree.spr_targets(x);
+                    let target = ts[rng.gen_range(0..ts.len())];
+                    let info = tree.spr(x, target, rng.gen_range(0.1..0.9)).unwrap();
+                    vec![info.old_location, info.new_internal]
+                }
+            };
+            let lnl = inc.propose(&tree, &dirty, &mut ScalarBackend).unwrap();
+            inc.accept();
+            last = lnl;
+        }
+        // The incremental evaluator's state must equal a from-scratch
+        // evaluation of the final tree.
+        let mut fresh = IncrementalLikelihood::new(&tree, &ds.data, model).unwrap();
+        let full = fresh.full_evaluate(&tree, &mut ScalarBackend).unwrap();
+        prop_assert!((last - full).abs() < full.abs() * 1e-7 + 1e-4,
+            "incremental {last} vs full {full}");
+    }
+
+    #[test]
+    fn prop_newick_roundtrip(seed in 0u64..500, taxa in 3usize..30) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tree = plf_repro::seqgen::random_unrooted_tree(taxa, 0.2, &mut rng);
+        let parsed = Tree::from_newick(&tree.to_newick()).unwrap();
+        prop_assert_eq!(tree.topology_signature(), parsed.topology_signature());
+        prop_assert!((tree.tree_length() - parsed.tree_length()).abs() < 1e-9);
+    }
+}

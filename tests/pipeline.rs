@@ -1,0 +1,122 @@
+//! Full-pipeline integration: Seq-Gen-style generation → MrBayes-style
+//! MCMC → every architecture backend, plus smoke tests of the figure
+//! harness (shape + JSON serialization).
+
+use plf_repro::mcmc::{Chain, ChainOptions, Priors};
+use plf_repro::prelude::*;
+use plf_repro::seqgen;
+
+fn small_chain_options(generations: usize) -> ChainOptions {
+    ChainOptions {
+        generations,
+        seed: 31,
+        sample_every: 25,
+        ..ChainOptions::default()
+    }
+}
+
+#[test]
+fn end_to_end_on_simulated_backends() {
+    let ds = seqgen::generate(DatasetSpec::new(10, 120), 77);
+    for mut backend in plf_repro::all_backends() {
+        let mut chain = Chain::new(
+            ds.tree.clone(),
+            &ds.data,
+            seqgen::default_model().params().clone(),
+            0.5,
+            Priors::default(),
+            small_chain_options(60),
+        )
+        .unwrap();
+        let stats = chain.run(backend.as_mut());
+        assert!(stats.final_ln_likelihood.is_finite(), "{}", backend.name());
+        assert!(stats.plf_calls > 0);
+        assert!(!stats.samples.is_empty());
+    }
+}
+
+#[test]
+fn cell_simulator_bookkeeping_through_full_run() {
+    let ds = seqgen::generate(DatasetSpec::new(12, 200), 13);
+    let mut backend = plf_repro::cellbe::CellBackend::qs20();
+    let mut chain = Chain::new(
+        ds.tree.clone(),
+        &ds.data,
+        seqgen::default_model().params().clone(),
+        0.5,
+        Priors::default(),
+        small_chain_options(40),
+    )
+    .unwrap();
+    let stats = chain.run(&mut backend);
+    let cell = backend.stats();
+    assert!(cell.modeled_seconds > 0.0);
+    assert_eq!(cell.kernel_calls, stats.plf_calls);
+    assert!(cell.dma_commands > 0);
+    assert!(cell.chunks >= cell.kernel_calls);
+}
+
+#[test]
+fn gpu_simulator_bookkeeping_through_full_run() {
+    let ds = seqgen::generate(DatasetSpec::new(12, 200), 13);
+    let mut backend = plf_repro::gpu::GpuBackend::gt8800();
+    let mut chain = Chain::new(
+        ds.tree.clone(),
+        &ds.data,
+        seqgen::default_model().params().clone(),
+        0.5,
+        Priors::default(),
+        small_chain_options(40),
+    )
+    .unwrap();
+    let stats = chain.run(&mut backend);
+    let gpu = backend.stats();
+    assert_eq!(gpu.launches, stats.plf_calls);
+    assert!(gpu.pcie_seconds > gpu.kernel_seconds, "PCIe must dominate (§4.2)");
+    assert!(gpu.bytes_h2d > 0 && gpu.bytes_d2h > 0);
+}
+
+#[test]
+fn figure_harness_smoke_and_json() {
+    use plf_bench::figures;
+    let f9 = figures::fig09();
+    let f10 = figures::fig10();
+    let f11 = figures::fig11();
+    let f12 = figures::fig12(figures::BASELINE_REMAINING_OVER_PLF);
+    assert_eq!(f9.len(), 3);
+    assert_eq!(f10.len(), 2);
+    assert_eq!(f11.len(), 2);
+    assert_eq!(f12.len(), 8);
+    // All serialize to JSON (the --json mode of the binaries).
+    for payload in [
+        serde_json::to_value(&f9).unwrap(),
+        serde_json::to_value(&f10).unwrap(),
+        serde_json::to_value(&f11).unwrap(),
+        serde_json::to_value(&f12).unwrap(),
+        serde_json::to_value(figures::table1_rows()).unwrap(),
+        serde_json::to_value(figures::ablation_cell_simd()).unwrap(),
+        serde_json::to_value(figures::ablation_gpu_sched()).unwrap(),
+        serde_json::to_value(figures::gpu_design_space()).unwrap(),
+    ] {
+        assert!(payload.is_array());
+    }
+}
+
+#[test]
+fn headline_result_holds() {
+    // The paper's conclusion, §6: "the general-purpose multi-core
+    // systems achieved the best balance between an efficient parallel
+    // and serial execution of the code resulting in the largest
+    // speedup for MrBayes."
+    use plf_bench::figures;
+    let rows = figures::fig12(figures::BASELINE_REMAINING_OVER_PLF);
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+        .unwrap();
+    assert!(
+        ["2xXeon(4)", "4xOpteron(4)", "8xOpteron(2)"].contains(&best.system.as_str()),
+        "best overall system was {} — the paper's headline requires a multi-core",
+        best.system
+    );
+}
