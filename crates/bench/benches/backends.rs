@@ -26,7 +26,7 @@ fn bench_tree_eval(c: &mut Criterion) {
         ("simd-rowwise", Box::new(Simd4Backend::row_wise())),
         ("rayon", Box::new(RayonBackend::new(
             std::thread::available_parallelism().map_or(2, |n| n.get()),
-        ))),
+        ).expect("thread pool"))),
         ("persistent", Box::new(PersistentPoolBackend::new(
             std::thread::available_parallelism().map_or(2, |n| n.get()),
         ))),

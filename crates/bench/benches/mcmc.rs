@@ -32,7 +32,7 @@ fn bench_chain(c: &mut Criterion) {
                     },
                 )
                 .unwrap();
-                black_box(chain.run(&mut ScalarBackend).final_ln_likelihood)
+                black_box(chain.run(&mut ScalarBackend).unwrap().final_ln_likelihood)
             })
         });
     }

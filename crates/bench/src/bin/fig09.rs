@@ -33,7 +33,7 @@ fn measured_host_scaling() {
         let model = plf_seqgen::default_model();
         let mut times = Vec::new();
         for &threads in &thread_counts {
-            let mut backend = RayonBackend::new(threads);
+            let mut backend = RayonBackend::new(threads).expect("thread pool");
             let mut eval = TreeLikelihood::new(&ds.tree, &ds.data, model.clone()).unwrap();
             // Warm up once, then time a few evaluations.
             eval.log_likelihood(&ds.tree, &mut backend).unwrap();

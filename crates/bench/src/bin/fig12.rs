@@ -32,7 +32,7 @@ fn measured_ratio() -> f64 {
         },
     )
     .expect("chain over generated data");
-    let stats = chain.run(&mut ScalarBackend);
+    let stats = chain.run(&mut ScalarBackend).expect("MCMC run");
     let ratio = stats.remaining_time().as_secs_f64() / stats.plf_time.as_secs_f64();
     eprintln!(
         "measured: PLF {:.2}s, Remaining {:.2}s (ratio {:.4}; paper's was {:.4})",

@@ -10,12 +10,15 @@
 //! the reference kernels — while the calibrated timing model accounts
 //! for DMA, double buffering, messages, and barriers.
 
+use crate::dma::DmaEngine;
 use crate::fsm::{PpeMessage, SpeFsm};
 use crate::timing::{CellCalibration, KernelKind};
 use parking_lot::Mutex;
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::dna::N_STATES;
 use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
+use plf_phylo::resilience::{panic_message, FaultInjector, PlfError};
+use std::sync::Arc;
 
 /// Per-run statistics of the simulated Cell execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -41,6 +44,8 @@ pub struct CellBackend {
     stats: CellRunStats,
     /// Shared event counters updated from SPE threads.
     spe_counters: Mutex<(u64, u64)>, // (dma_commands, chunks)
+    /// Optional fault source (DMA failures, output corruption).
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl CellBackend {
@@ -56,7 +61,15 @@ impl CellBackend {
             configured_patterns: None,
             stats: CellRunStats::default(),
             spe_counters: Mutex::new((0, 0)),
+            injector: None,
         }
+    }
+
+    /// Attach a fault injector; SPE chunk transfers roll the DMA site
+    /// and kernel outputs roll the corruption site.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> CellBackend {
+        self.injector = Some(injector);
+        self
     }
 
     /// Sony PS3: one Cell, 6 SPEs available, column-wise SIMD.
@@ -123,7 +136,7 @@ impl CellBackend {
         out
     }
 
-    fn ensure_configured(&mut self, m: usize, kind: KernelKind, r: usize) {
+    fn ensure_configured(&mut self, m: usize, kind: KernelKind, r: usize) -> Result<(), PlfError> {
         if self.configured_patterns != Some(m) {
             let chunk = self.cal.chunk_patterns(kind, r);
             let ranges = self.first_level(m);
@@ -133,9 +146,37 @@ impl CellBackend {
                     patterns,
                     chunk_patterns: chunk,
                 })
-                .expect("configure is always legal before finalize");
+                .map_err(|e| PlfError::Config(format!("SPE {i} configure: {e}")))?;
             }
             self.configured_patterns = Some(m);
+        }
+        Ok(())
+    }
+
+    /// Dispatch a run message to every SPE FSM.
+    fn dispatch(&mut self, msg: PpeMessage) -> Result<(), PlfError> {
+        for (i, fsm) in self.fsms.iter_mut().enumerate() {
+            fsm.handle(msg)
+                .map_err(|e| PlfError::Config(format!("SPE {i} dispatch: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// The DMA engine SPE threads roll per chunk transfer.
+    fn dma_engine(&self) -> DmaEngine {
+        let engine = DmaEngine::new(self.n_spes, self.chips);
+        match &self.injector {
+            Some(inj) => engine.with_fault_injector(Arc::clone(inj)),
+            None => engine,
+        }
+    }
+
+    /// Roll and apply kernel-output corruption after a parallel section.
+    fn maybe_corrupt(&self, out: &mut [f32]) {
+        if let Some(inj) = &self.injector {
+            if let Some(kind) = inj.fire_corruption() {
+                inj.corrupt(out, kind);
+            }
         }
     }
 
@@ -150,14 +191,28 @@ impl CellBackend {
     ///
     /// `out` is the output CLV slice for the *whole* call; each SPE gets
     /// its disjoint sub-slice. `work(spe_range_start, chunk_range, out_chunk)`
-    /// executes one Local-Store chunk.
-    fn run_on_spes<F>(&self, m: usize, stride: usize, kind: KernelKind, r: usize, out: &mut [f32], work: F)
+    /// executes one Local-Store chunk. Every chunk's in/out movement goes
+    /// through the (possibly fault-injected) DMA engine; the first DMA
+    /// failure aborts that SPE's block and surfaces as the call's error.
+    fn run_on_spes<F>(
+        &self,
+        m: usize,
+        stride: usize,
+        kind: KernelKind,
+        r: usize,
+        out: &mut [f32],
+        work: F,
+    ) -> Result<(), PlfError>
     where
         F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
     {
         let ranges = self.first_level(m);
         let chunk_patterns = self.cal.chunk_patterns(kind, r);
         let counters = &self.spe_counters;
+        let dma = self.dma_engine();
+        let dma = &dma;
+        let error: Mutex<Option<PlfError>> = Mutex::new(None);
+        let error_ref = &error;
         let work = &work;
         crossbeam::thread::scope(|scope| {
             let mut rest = out;
@@ -172,13 +227,20 @@ impl CellBackend {
                     let mut start = range.start;
                     while start < range.end {
                         let end = (start + chunk_patterns).min(range.end);
+                        // operands in + result out, each ≤16 KB per command
+                        let bytes_in = (end - start) * kind.bytes_in_per_pattern(r);
+                        let bytes_out = (end - start) * kind.bytes_out_per_pattern(r);
+                        let moved = dma
+                            .transfer(bytes_in as u64)
+                            .and_then(|_| dma.transfer(bytes_out as u64));
+                        if let Err(e) = moved {
+                            error_ref.lock().get_or_insert(e);
+                            break;
+                        }
                         let off = (start - range.start) * stride;
                         let out_chunk = &mut head[off..off + (end - start) * stride];
                         work(start..end, out_chunk);
                         local_chunks += 1;
-                        // operands in + result out, each ≤16 KB per command
-                        let bytes_in = (end - start) * kind.bytes_in_per_pattern(r);
-                        let bytes_out = (end - start) * kind.bytes_out_per_pattern(r);
                         local_dma += bytes_in.div_ceil(16 * 1024) as u64
                             + bytes_out.div_ceil(16 * 1024) as u64;
                         start = end;
@@ -189,7 +251,14 @@ impl CellBackend {
                 });
             }
         })
-        .expect("SPE thread panicked");
+        .map_err(|payload| PlfError::WorkerPanic {
+            backend: self.name(),
+            detail: panic_message(payload.as_ref()),
+        })?;
+        match error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -211,21 +280,21 @@ impl PlfBackend for CellBackend {
         right: &Clv,
         p_right: &TransitionMatrices,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let (m, r) = (out.n_patterns(), out.n_rates());
         let stride = r * N_STATES;
-        self.ensure_configured(m, KernelKind::Down, r);
-        for fsm in &mut self.fsms {
-            fsm.handle(PpeMessage::RunDown).expect("configured");
-        }
+        self.ensure_configured(m, KernelKind::Down, r)?;
+        self.dispatch(PpeMessage::RunDown)?;
         let schedule = self.schedule;
         let (l, rt) = (left.as_slice(), right.as_slice());
         self.run_on_spes(m, stride, KernelKind::Down, r, out.as_mut_slice(), |pats, o| {
             let s = pats.start * stride;
             let e = pats.end * stride;
             simd4::cond_like_down_range(schedule, &l[s..e], p_left, &rt[s..e], p_right, o, r);
-        });
+        })?;
+        self.maybe_corrupt(out.as_mut_slice());
         self.account_call(KernelKind::Down, m, r);
+        Ok(())
     }
 
     fn cond_like_root(
@@ -236,14 +305,12 @@ impl PlfBackend for CellBackend {
         p_b: &TransitionMatrices,
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let (m, r) = (out.n_patterns(), out.n_rates());
         let stride = r * N_STATES;
         let kind = if c.is_some() { KernelKind::Root3 } else { KernelKind::Root2 };
-        self.ensure_configured(m, kind, r);
-        for fsm in &mut self.fsms {
-            fsm.handle(PpeMessage::RunRoot).expect("configured");
-        }
+        self.ensure_configured(m, kind, r)?;
+        self.dispatch(PpeMessage::RunRoot)?;
         let schedule = self.schedule;
         let (sa, sb) = (a.as_slice(), b.as_slice());
         let sc = c.map(|(clv, p)| (clv.as_slice(), p));
@@ -252,25 +319,29 @@ impl PlfBackend for CellBackend {
             let e = pats.end * stride;
             let cc = sc.map(|(slice, p)| (&slice[s..e], p));
             simd4::cond_like_root_range(schedule, &sa[s..e], p_a, &sb[s..e], p_b, cc, o, r);
-        });
+        })?;
+        self.maybe_corrupt(out.as_mut_slice());
         self.account_call(kind, m, r);
+        Ok(())
     }
 
-    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
         let (m, r) = (clv.n_patterns(), clv.n_rates());
         let stride = r * N_STATES;
-        self.ensure_configured(m, KernelKind::Scale, r);
-        for fsm in &mut self.fsms {
-            fsm.handle(PpeMessage::RunScale).expect("configured");
-        }
+        self.ensure_configured(m, KernelKind::Scale, r)?;
+        self.dispatch(PpeMessage::RunScale)?;
         // The scaler mutates the CLV in place and writes the scaler
         // vector; split both across SPEs.
         let ranges = self.first_level(m);
         let chunk_patterns = self.cal.chunk_patterns(KernelKind::Scale, r);
         let counters = &self.spe_counters;
+        let dma_engine = self.dma_engine();
+        let dma_engine = &dma_engine;
+        let error: Mutex<Option<PlfError>> = Mutex::new(None);
+        let error_ref = &error;
         crossbeam::thread::scope(|scope| {
             let mut clv_rest = clv.as_mut_slice();
-            let mut sc_rest = ln_scalers;
+            let mut sc_rest = &mut *ln_scalers;
             for range in &ranges {
                 let len = range.len() * stride;
                 let (clv_head, clv_tail) = clv_rest.split_at_mut(len);
@@ -283,13 +354,20 @@ impl PlfBackend for CellBackend {
                     let mut start = 0usize;
                     while start < clv_head.len() / stride {
                         let end = (start + chunk_patterns).min(clv_head.len() / stride);
+                        let bytes = (end - start) * stride * 4;
+                        let moved = dma_engine
+                            .transfer(bytes as u64)
+                            .and_then(|_| dma_engine.transfer(bytes as u64));
+                        if let Err(e) = moved {
+                            error_ref.lock().get_or_insert(e);
+                            break;
+                        }
                         simd4::cond_like_scaler_range(
                             &mut clv_head[start * stride..end * stride],
                             &mut sc_head[start..end],
                             r,
                         );
                         chunks += 1;
-                        let bytes = (end - start) * stride * 4;
                         dma += 2 * bytes.div_ceil(16 * 1024) as u64;
                         start = end;
                     }
@@ -299,8 +377,16 @@ impl PlfBackend for CellBackend {
                 });
             }
         })
-        .expect("SPE thread panicked");
+        .map_err(|payload| PlfError::WorkerPanic {
+            backend: self.name(),
+            detail: panic_message(payload.as_ref()),
+        })?;
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        self.maybe_corrupt(clv.as_mut_slice());
         self.account_call(KernelKind::Scale, m, r);
+        Ok(())
     }
 }
 

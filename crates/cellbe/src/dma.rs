@@ -6,7 +6,9 @@
 //! `max(compute_i, dma_out_{i−1} + dma_in_{i+1})`, plus the initial fill
 //! and the final drain — exactly the T/C/R schedule the paper draws.
 
+use plf_phylo::resilience::{FaultInjector, FaultSite, PlfError};
 use plf_simcore::xfer::TransferModel;
+use std::sync::Arc;
 
 /// Per-chunk costs in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +28,8 @@ pub struct DmaEngine {
     /// Fraction of aggregate memory bandwidth this SPE can claim
     /// (1/active_spes under full contention).
     bandwidth_share: f64,
+    /// Optional fault source; each [`DmaEngine::transfer`] rolls it.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl DmaEngine {
@@ -39,7 +43,30 @@ impl DmaEngine {
         DmaEngine {
             model: TransferModel::cell_dma(),
             bandwidth_share: 1.0 / active_spes as f64,
+            injector: None,
         }
+    }
+
+    /// Attach a fault injector; subsequent [`DmaEngine::transfer`] calls
+    /// roll the [`FaultSite::DmaTransfer`] site.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> DmaEngine {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Perform a simulated transfer of `bytes`: one injector roll, then
+    /// the modeled time on success.
+    pub fn transfer(&self, bytes: u64) -> Result<f64, PlfError> {
+        if let Some(inj) = &self.injector {
+            if inj.fire(FaultSite::DmaTransfer) {
+                return Err(PlfError::Transfer {
+                    backend: "cellbe-dma".into(),
+                    channel: "dma",
+                    detail: format!("injected fault on {bytes}-byte DMA transfer"),
+                });
+            }
+        }
+        Ok(self.time(bytes))
     }
 
     /// Seconds to move `bytes` for this SPE, honouring the 16 KB command
@@ -125,6 +152,27 @@ mod tests {
         let e = DmaEngine::new(1, 1);
         assert_eq!(e.n_commands(16 * 1024), 1);
         assert_eq!(e.n_commands(16 * 1024 + 1), 2);
+    }
+
+    #[test]
+    fn transfer_without_injector_never_fails() {
+        let e = DmaEngine::new(4, 1);
+        for bytes in [0u64, 1, 16 * 1024, 1 << 20] {
+            let t = e.transfer(bytes).unwrap();
+            assert_eq!(t, e.time(bytes));
+        }
+    }
+
+    #[test]
+    fn scheduled_dma_fault_fails_once_then_recovers() {
+        let inj = Arc::new(FaultInjector::new(5).schedule(FaultSite::DmaTransfer, 1));
+        let e = DmaEngine::new(4, 1).with_fault_injector(inj);
+        assert!(e.transfer(1024).is_ok());
+        assert!(matches!(
+            e.transfer(1024),
+            Err(PlfError::Transfer { channel: "dma", .. })
+        ));
+        assert!(e.transfer(1024).is_ok(), "one-shot fault must be consumed");
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::kernels::{self, WorkDistribution};
 use crate::model::{GpuKernelKind, GpuModel};
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::kernels::PlfBackend;
+use plf_phylo::resilience::{FaultInjector, FaultSite, PlfError};
 use plf_simcore::model::MachineModel as _;
+use std::sync::Arc;
 
 /// Accumulated modeled costs of a GPU run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -43,6 +45,7 @@ pub struct GpuBackend {
     model: GpuModel,
     dist: WorkDistribution,
     stats: GpuRunStats,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl GpuBackend {
@@ -63,7 +66,15 @@ impl GpuBackend {
             model,
             dist,
             stats: GpuRunStats::default(),
+            injector: None,
         }
+    }
+
+    /// Attach a fault injector (launch failures, PCIe failures, output
+    /// corruption).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> GpuBackend {
+        self.injector = Some(injector);
+        self
     }
 
     /// Override the launch configuration.
@@ -98,6 +109,46 @@ impl GpuBackend {
         self.stats.bytes_h2d += (m * kind.h2d_bytes_per_pattern(r)) as u64;
         self.stats.bytes_d2h += (m * kind.d2h_bytes_per_pattern(r)) as u64;
     }
+
+    /// The host→device leg: one PCIe roll before any kernel work.
+    fn upload(&self, kind: GpuKernelKind, m: usize, r: usize) -> Result<(), PlfError> {
+        if let Some(inj) = &self.injector {
+            if inj.fire(FaultSite::PcieTransfer) {
+                return Err(PlfError::Transfer {
+                    backend: self.name(),
+                    channel: "pcie",
+                    detail: format!(
+                        "injected fault on {}-byte host→device transfer",
+                        m * kind.h2d_bytes_per_pattern(r)
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The launch itself: one launch roll.
+    fn launch(&self, kind: GpuKernelKind) -> Result<(), PlfError> {
+        if let Some(inj) = &self.injector {
+            if inj.fire(FaultSite::KernelLaunch) {
+                return Err(PlfError::Launch {
+                    backend: self.name(),
+                    detail: format!("injected fault launching {kind:?} kernel"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Roll and apply output corruption (a device→host transfer that
+    /// silently delivered garbage).
+    fn maybe_corrupt(&self, out: &mut [f32]) {
+        if let Some(inj) = &self.injector {
+            if let Some(kind) = inj.fire_corruption() {
+                inj.corrupt(out, kind);
+            }
+        }
+    }
 }
 
 impl PlfBackend for GpuBackend {
@@ -120,8 +171,10 @@ impl PlfBackend for GpuBackend {
         right: &Clv,
         p_right: &TransitionMatrices,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let (m, r) = (out.n_patterns(), out.n_rates());
+        self.upload(GpuKernelKind::Down, m, r)?;
+        self.launch(GpuKernelKind::Down)?;
         let stats = kernels::down(
             self.dist,
             self.cfg(),
@@ -132,8 +185,10 @@ impl PlfBackend for GpuBackend {
             out.as_mut_slice(),
             r,
         );
+        self.maybe_corrupt(out.as_mut_slice());
         self.stats.syncs += stats.syncs;
         self.account(GpuKernelKind::Down, m, r);
+        Ok(())
     }
 
     fn cond_like_root(
@@ -144,9 +199,11 @@ impl PlfBackend for GpuBackend {
         p_b: &TransitionMatrices,
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let (m, r) = (out.n_patterns(), out.n_rates());
         let kind = if c.is_some() { GpuKernelKind::Root3 } else { GpuKernelKind::Root2 };
+        self.upload(kind, m, r)?;
+        self.launch(kind)?;
         let stats = kernels::root(
             self.dist,
             self.cfg(),
@@ -158,15 +215,21 @@ impl PlfBackend for GpuBackend {
             out.as_mut_slice(),
             r,
         );
+        self.maybe_corrupt(out.as_mut_slice());
         self.stats.syncs += stats.syncs;
         self.account(kind, m, r);
+        Ok(())
     }
 
-    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
         let (m, r) = (clv.n_patterns(), clv.n_rates());
+        self.upload(GpuKernelKind::Scale, m, r)?;
+        self.launch(GpuKernelKind::Scale)?;
         let stats = kernels::scale(self.dist, self.cfg(), clv.as_mut_slice(), ln_scalers, r);
+        self.maybe_corrupt(clv.as_mut_slice());
         self.stats.syncs += stats.syncs;
         self.account(GpuKernelKind::Scale, m, r);
+        Ok(())
     }
 }
 

@@ -19,6 +19,7 @@
 //!   move are recomputed, with double-buffered flip/undo (see
 //!   [`plf_phylo::incremental`]).
 
+use crate::checkpoint::{AccumSnapshot, ChainCheckpoint, CHECKPOINT_FORMAT_VERSION};
 use crate::priors::Priors;
 use crate::trace::TraceRecord;
 use crate::proposals::{propose, Dirty, ProposalKind, Tuning, ALL_PROPOSALS};
@@ -33,6 +34,36 @@ use plf_phylo::tree::Tree;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
+
+/// Errors surfaced by chain execution and checkpoint/restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainError {
+    /// The PLF evaluation failed (backend fault, corrupted output, …).
+    Likelihood(LikelihoodError),
+    /// Checkpoint data is malformed, torn, or inconsistent with the
+    /// chain options it is being restored into.
+    Checkpoint(String),
+    /// A worker thread running a chain panicked (MC³ parallel blocks).
+    Panic(String),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Likelihood(e) => write!(f, "likelihood evaluation failed: {e}"),
+            ChainError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            ChainError::Panic(m) => write!(f, "chain worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<LikelihoodError> for ChainError {
+    fn from(e: LikelihoodError) -> ChainError {
+        ChainError::Likelihood(e)
+    }
+}
 
 /// Chain configuration.
 #[derive(Debug, Clone)]
@@ -81,7 +112,7 @@ impl Default for ChainOptions {
 }
 
 /// One recorded posterior sample.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Generation index.
     pub generation: usize,
@@ -199,6 +230,12 @@ pub struct Chain {
     beta: f64,
     initialized: bool,
     accum: RunAccum,
+    /// Generations executed so far (survives checkpoint/restore).
+    generation: usize,
+    /// Samples recorded so far (survives checkpoint/restore).
+    samples: Vec<Sample>,
+    /// Trace records recorded so far (survives checkpoint/restore).
+    trace: Vec<TraceRecord>,
 }
 
 impl Chain {
@@ -242,6 +279,111 @@ impl Chain {
             beta: 1.0,
             initialized: false,
             accum: RunAccum::default(),
+            generation: 0,
+            samples: Vec::new(),
+            trace: Vec::new(),
+        })
+    }
+
+    /// Restore a chain from a [`ChainCheckpoint`] and continue it with
+    /// [`Chain::run_to_completion`].
+    ///
+    /// The checkpoint's fingerprint (seed, generation count, sampling
+    /// and scaling periods, evaluator kind) must match `options`, and
+    /// the likelihood recomputed from the restored tree + model must
+    /// reproduce the checkpointed value *bit for bit* — both guards
+    /// turn a stale or corrupted checkpoint into a
+    /// [`ChainError::Checkpoint`] instead of a silently divergent run.
+    pub fn resume(
+        data: &PatternAlignment,
+        priors: Priors,
+        options: ChainOptions,
+        ckpt: &ChainCheckpoint,
+        backend: &mut dyn PlfBackend,
+    ) -> Result<Chain, ChainError> {
+        ckpt.check_compatible(&options)?;
+        let tree = ckpt.restore_tree()?;
+        let params = GtrParams {
+            rates: ckpt.rates,
+            freqs: ckpt.freqs,
+        };
+        let model = SiteModel::new(params.clone(), ckpt.shape, options.n_rates)
+            .and_then(|m| m.with_pinvar(ckpt.pinvar))
+            .map_err(|_| {
+                ChainError::Checkpoint("invalid model parameters in checkpoint".into())
+            })?;
+        let evaluator = if options.incremental {
+            Evaluator::Incremental(IncrementalLikelihood::new(&tree, data, model.clone())?)
+        } else {
+            Evaluator::Simple(TreeLikelihood::with_scaling(
+                &tree,
+                data,
+                model.clone(),
+                options.scale_every,
+            )?)
+        };
+        let mut state = ChainState::new(tree, params, ckpt.shape);
+        state.pinvar = ckpt.pinvar;
+        let mut chain = Chain {
+            state,
+            evaluator,
+            model,
+            priors,
+            rng: StdRng::from_state(ckpt.rng_state),
+            options,
+            cur_prior: f64::NEG_INFINITY,
+            beta: ckpt.beta,
+            initialized: false,
+            accum: ckpt.accum.to_accum(),
+            generation: ckpt.generation,
+            samples: ckpt.samples.clone(),
+            trace: ckpt.trace.clone(),
+        };
+        // Rebuild the CLV workspace with a fresh full evaluation. It is
+        // not counted in the accumulators — the checkpointed ones
+        // already include the original initial evaluation.
+        chain.initialize_inner(backend, false)?;
+        if chain.state.ln_likelihood.to_bits() != ckpt.ln_likelihood.to_bits() {
+            return Err(ChainError::Checkpoint(format!(
+                "restored state evaluates to lnL {} but the checkpoint recorded {}; \
+                 the checkpoint does not match this data set",
+                chain.state.ln_likelihood, ckpt.ln_likelihood
+            )));
+        }
+        chain.cur_prior = ckpt.cur_prior;
+        Ok(chain)
+    }
+
+    /// Snapshot the full chain state for later [`Chain::resume`].
+    pub fn checkpoint(&self) -> Result<ChainCheckpoint, ChainError> {
+        if !self.initialized {
+            return Err(ChainError::Checkpoint(
+                "cannot checkpoint an uninitialized chain".into(),
+            ));
+        }
+        let (tree_nodes, tree_root) = ChainCheckpoint::snapshot_tree(&self.state.tree);
+        Ok(ChainCheckpoint {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            seed: self.options.seed,
+            generations: self.options.generations,
+            sample_every: self.options.sample_every,
+            scale_every: self.options.scale_every,
+            n_rates: self.options.n_rates,
+            incremental: self.options.incremental,
+            generation: self.generation,
+            beta: self.beta,
+            rng_state: self.rng.state(),
+            cur_prior: self.cur_prior,
+            rates: self.state.params.rates,
+            freqs: self.state.params.freqs,
+            shape: self.state.shape,
+            pinvar: self.state.pinvar,
+            ln_likelihood: self.state.ln_likelihood,
+            tree_nodes,
+            tree_root,
+            accum: AccumSnapshot::from_accum(&self.accum),
+            samples: self.samples.clone(),
+            trace: self.trace.clone(),
         })
     }
 
@@ -294,39 +436,64 @@ impl Chain {
         ALL_PROPOSALS[ALL_PROPOSALS.len() - 1]
     }
 
+    /// Generations executed so far.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
     /// Perform the initial full likelihood evaluation (idempotent).
-    pub fn initialize(&mut self, backend: &mut dyn PlfBackend) {
+    pub fn initialize(&mut self, backend: &mut dyn PlfBackend) -> Result<(), ChainError> {
+        self.initialize_inner(backend, true)
+    }
+
+    /// Shared initializer: `count` controls whether the evaluation is
+    /// charged to the run accumulators (a [`Chain::resume`] rebuild is
+    /// not — the restored accumulators already include it).
+    fn initialize_inner(
+        &mut self,
+        backend: &mut dyn PlfBackend,
+        count: bool,
+    ) -> Result<(), ChainError> {
         if self.initialized {
-            return;
+            return Ok(());
         }
         let t0 = Instant::now();
         let (lnl, calls) = match &mut self.evaluator {
             Evaluator::Simple(eval) => {
                 let plan = PlfPlan::for_tree(&self.state.tree, self.options.scale_every)
-                    .expect("constructor validated the tree");
-                let lnl = eval
-                    .log_likelihood_planned(&self.state.tree, &plan, backend)
-                    .expect("workspace matches tree");
+                    .map_err(LikelihoodError::Tree)?;
+                let lnl = eval.log_likelihood_planned(&self.state.tree, &plan, backend)?;
                 (lnl, plan.n_calls())
             }
             Evaluator::Incremental(inc) => {
-                let lnl = inc
-                    .full_evaluate(&self.state.tree, backend)
-                    .expect("workspace matches tree");
+                let lnl = inc.full_evaluate(&self.state.tree, backend)?;
                 (lnl, inc.last_calls())
             }
         };
-        self.accum.plf_time += t0.elapsed();
-        self.accum.plf_calls += calls as u64;
-        self.accum.n_evaluations += 1;
+        if count {
+            self.accum.plf_time += t0.elapsed();
+            self.accum.plf_calls += calls as u64;
+            self.accum.n_evaluations += 1;
+        }
         self.state.ln_likelihood = lnl;
         self.cur_prior = self.priors.ln_prior(&self.state);
         self.initialized = true;
+        Ok(())
     }
 
     /// Execute one MCMC generation (one proposal + accept/reject).
     /// Returns whether the proposal was accepted.
-    pub fn step(&mut self, backend: &mut dyn PlfBackend) -> bool {
+    ///
+    /// On a PLF failure the candidate is discarded, the evaluator is
+    /// rolled back to the pre-proposal state (flip buffers un-flipped,
+    /// model restored), and the error is returned — the chain remains
+    /// consistent and can be stepped again, checkpointed, or dropped.
+    pub fn step(&mut self, backend: &mut dyn PlfBackend) -> Result<bool, ChainError> {
         assert!(self.initialized, "call initialize() before step()");
         let kind = self.pick_proposal();
         let slot = ALL_PROPOSALS.iter().position(|&k| k == kind).unwrap();
@@ -335,7 +502,8 @@ impl Chain {
         let mut candidate = self.state.clone();
         let Some(outcome) = propose(kind, &mut candidate, &self.options.tuning, &mut self.rng)
         else {
-            return false; // inapplicable move: auto-reject
+            self.finish_generation();
+            return Ok(false); // inapplicable move: auto-reject
         };
 
         // Rebuild the site model if the move touched it.
@@ -348,7 +516,10 @@ impl Chain {
             .and_then(|m| m.with_pinvar(candidate.pinvar))
             {
                 Ok(m) => Some(m),
-                Err(_) => return false, // invalid parameters: auto-reject
+                Err(_) => {
+                    self.finish_generation();
+                    return Ok(false); // invalid parameters: auto-reject
+                }
             }
         } else {
             None
@@ -356,20 +527,20 @@ impl Chain {
 
         // Evaluate the candidate.
         let t0 = Instant::now();
-        let (lnl, calls) = match &mut self.evaluator {
+        let evaluated: Result<(f64, usize), LikelihoodError> = match &mut self.evaluator {
             Evaluator::Simple(eval) => {
                 if let Some(m) = &candidate_model {
                     eval.set_model(m.clone());
                 }
-                let plan = PlfPlan::for_tree(&candidate.tree, self.options.scale_every)
-                    .expect("proposals preserve validity");
-                let lnl = eval
-                    .log_likelihood_planned(&candidate.tree, &plan, backend)
-                    .expect("workspace matches tree");
-                (lnl, plan.n_calls())
+                PlfPlan::for_tree(&candidate.tree, self.options.scale_every)
+                    .map_err(LikelihoodError::Tree)
+                    .and_then(|plan| {
+                        eval.log_likelihood_planned(&candidate.tree, &plan, backend)
+                            .map(|lnl| (lnl, plan.n_calls()))
+                    })
             }
             Evaluator::Incremental(inc) => {
-                let lnl = if let Some(m) = &candidate_model {
+                if let Some(m) = &candidate_model {
                     // Model moves invalidate every CLV.
                     inc.set_model(m.clone());
                     inc.propose_full(&candidate.tree, backend)
@@ -378,11 +549,30 @@ impl Chain {
                 } else {
                     inc.propose_full(&candidate.tree, backend)
                 }
-                .expect("workspace matches tree");
-                (lnl, inc.last_calls())
+                .map(|lnl| (lnl, inc.last_calls()))
             }
         };
         self.accum.plf_time += t0.elapsed();
+        let (lnl, calls) = match evaluated {
+            Ok(v) => v,
+            Err(e) => {
+                // Roll the evaluator back so the chain stays consistent.
+                match &mut self.evaluator {
+                    Evaluator::Simple(eval) => {
+                        if candidate_model.is_some() {
+                            eval.set_model(self.model.clone());
+                        }
+                    }
+                    Evaluator::Incremental(inc) => {
+                        inc.reject();
+                        if candidate_model.is_some() {
+                            inc.set_model(self.model.clone());
+                        }
+                    }
+                }
+                return Err(e.into());
+            }
+        };
         self.accum.plf_calls += calls as u64;
         self.accum.n_evaluations += 1;
         candidate.ln_likelihood = lnl;
@@ -418,7 +608,19 @@ impl Chain {
             }
             self.accum.proposals[slot].1.accepted += 1;
         }
-        accept
+        self.finish_generation();
+        Ok(accept)
+    }
+
+    /// Advance the generation counter and record samples at boundaries.
+    fn finish_generation(&mut self) {
+        self.generation += 1;
+        if self.options.sample_every > 0 && self.generation.is_multiple_of(self.options.sample_every) {
+            self.samples.push(self.sample_now(self.generation));
+            if self.options.record_trace {
+                self.trace.push(self.trace_now(self.generation));
+            }
+        }
     }
 
     fn sample_now(&self, generation: usize) -> Sample {
@@ -443,33 +645,57 @@ impl Chain {
         }
     }
 
-    /// Run the chain to completion on `backend`, returning run statistics.
-    pub fn run(&mut self, backend: &mut dyn PlfBackend) -> ChainStats {
-        let run_start = Instant::now();
+    /// Run the chain from scratch on `backend`, returning run
+    /// statistics. Resets any prior progress; use
+    /// [`Chain::run_to_completion`] to continue a restored chain.
+    pub fn run(&mut self, backend: &mut dyn PlfBackend) -> Result<ChainStats, ChainError> {
         self.accum = RunAccum::default();
         self.initialized = false;
-        let mut samples = Vec::new();
-        let mut trace = Vec::new();
-        self.initialize(backend);
-        for generation in 1..=self.options.generations {
-            self.step(backend);
-            if self.options.sample_every > 0 && generation % self.options.sample_every == 0 {
-                samples.push(self.sample_now(generation));
-                if self.options.record_trace {
-                    trace.push(self.trace_now(generation));
-                }
-            }
+        self.generation = 0;
+        self.samples.clear();
+        self.trace.clear();
+        self.run_to_completion(backend)
+    }
+
+    /// Advance the chain until `generation` generations have executed
+    /// (bounded by the configured total). Used to split a run around a
+    /// checkpoint.
+    pub fn run_to(
+        &mut self,
+        backend: &mut dyn PlfBackend,
+        generation: usize,
+    ) -> Result<(), ChainError> {
+        self.initialize(backend)?;
+        let target = generation.min(self.options.generations);
+        while self.generation < target {
+            self.step(backend)?;
         }
-        ChainStats {
-            samples,
+        Ok(())
+    }
+
+    /// Continue from the current generation to the configured total —
+    /// without resetting progress — and return run statistics covering
+    /// everything recorded so far (including pre-checkpoint samples of
+    /// a resumed chain).
+    pub fn run_to_completion(
+        &mut self,
+        backend: &mut dyn PlfBackend,
+    ) -> Result<ChainStats, ChainError> {
+        let run_start = Instant::now();
+        self.initialize(backend)?;
+        while self.generation < self.options.generations {
+            self.step(backend)?;
+        }
+        Ok(ChainStats {
+            samples: self.samples.clone(),
             proposals: self.accum.proposals,
             n_evaluations: self.accum.n_evaluations,
             plf_calls: self.accum.plf_calls,
             plf_time: self.accum.plf_time,
             total_time: run_start.elapsed(),
             final_ln_likelihood: self.state.ln_likelihood,
-            trace,
-        }
+            trace: self.trace.clone(),
+        })
     }
 }
 
@@ -518,7 +744,7 @@ mod tests {
     #[test]
     fn chain_runs_and_improves_or_holds() {
         let mut chain = toy_chain(300, 7);
-        let stats = chain.run(&mut ScalarBackend);
+        let stats = chain.run(&mut ScalarBackend).unwrap();
         let proposed: u64 = stats.proposals.iter().map(|(_, s)| s.proposed).sum();
         // Inapplicable moves skip the evaluation, so evals <= proposals+1.
         assert!(stats.n_evaluations >= 1 && stats.n_evaluations <= proposed + 1);
@@ -534,7 +760,7 @@ mod tests {
     #[test]
     fn acceptance_rates_in_bounds() {
         let mut chain = toy_chain(500, 11);
-        let stats = chain.run(&mut ScalarBackend);
+        let stats = chain.run(&mut ScalarBackend).unwrap();
         let mut any_accepted = false;
         for (_, s) in &stats.proposals {
             assert!(s.accepted <= s.proposed);
@@ -545,8 +771,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let s1 = toy_chain(200, 3).run(&mut ScalarBackend);
-        let s2 = toy_chain(200, 3).run(&mut ScalarBackend);
+        let s1 = toy_chain(200, 3).run(&mut ScalarBackend).unwrap();
+        let s2 = toy_chain(200, 3).run(&mut ScalarBackend).unwrap();
         assert_eq!(s1.final_ln_likelihood, s2.final_ln_likelihood);
         assert_eq!(s1.plf_calls, s2.plf_calls);
         let a: Vec<u64> = s1.proposals.iter().map(|(_, s)| s.accepted).collect();
@@ -556,8 +782,8 @@ mod tests {
 
     #[test]
     fn different_seeds_diverge() {
-        let s1 = toy_chain(200, 1).run(&mut ScalarBackend);
-        let s2 = toy_chain(200, 2).run(&mut ScalarBackend);
+        let s1 = toy_chain(200, 1).run(&mut ScalarBackend).unwrap();
+        let s2 = toy_chain(200, 2).run(&mut ScalarBackend).unwrap();
         assert_ne!(s1.final_ln_likelihood, s2.final_ln_likelihood);
     }
 
@@ -566,7 +792,7 @@ mod tests {
         // The paper: PLF is ~85-95% of MrBayes runtime. On a tiny data
         // set the share is lower, but the PLF must still be measured.
         let mut chain = toy_chain(100, 5);
-        let stats = chain.run(&mut ScalarBackend);
+        let stats = chain.run(&mut ScalarBackend).unwrap();
         assert!(stats.plf_time > Duration::ZERO);
         assert!(stats.plf_time <= stats.total_time);
         assert!(stats.plf_calls >= stats.n_evaluations);
@@ -575,7 +801,7 @@ mod tests {
     #[test]
     fn timing_identity() {
         let mut chain = toy_chain(50, 9);
-        let stats = chain.run(&mut ScalarBackend);
+        let stats = chain.run(&mut ScalarBackend).unwrap();
         let sum = stats.plf_time + stats.remaining_time();
         let diff = sum.abs_diff(stats.total_time);
         assert!(diff < Duration::from_millis(1));
@@ -586,8 +812,8 @@ mod tests {
         // Same seeds, same proposals; partial updates recompute the
         // identical CLVs, so the trajectories agree to float-accumulation
         // tolerance (scaler sums are ordered differently).
-        let full = toy_chain_with(300, 21, false).run(&mut ScalarBackend);
-        let inc = toy_chain_with(300, 21, true).run(&mut ScalarBackend);
+        let full = toy_chain_with(300, 21, false).run(&mut ScalarBackend).unwrap();
+        let inc = toy_chain_with(300, 21, true).run(&mut ScalarBackend).unwrap();
         assert!(
             (full.final_ln_likelihood - inc.final_ln_likelihood).abs()
                 < full.final_ln_likelihood.abs() * 1e-6 + 1e-3,
@@ -603,8 +829,8 @@ mod tests {
     #[test]
     fn incremental_chain_issues_fewer_plf_calls() {
         // That is the whole point of the touched mechanism.
-        let full = toy_chain_with(400, 33, false).run(&mut ScalarBackend);
-        let inc = toy_chain_with(400, 33, true).run(&mut ScalarBackend);
+        let full = toy_chain_with(400, 33, false).run(&mut ScalarBackend).unwrap();
+        let inc = toy_chain_with(400, 33, true).run(&mut ScalarBackend).unwrap();
         assert!(
             inc.plf_calls < full.plf_calls,
             "incremental {} !< full {}",
@@ -632,7 +858,7 @@ mod tests {
             },
         )
         .unwrap();
-        let stats = chain.run(&mut ScalarBackend);
+        let stats = chain.run(&mut ScalarBackend).unwrap();
         assert!(stats.final_ln_likelihood.is_finite());
         let pinvar_slot = stats
             .proposals
@@ -647,9 +873,235 @@ mod tests {
 
     #[test]
     fn incremental_deterministic() {
-        let s1 = toy_chain_with(150, 8, true).run(&mut ScalarBackend);
-        let s2 = toy_chain_with(150, 8, true).run(&mut ScalarBackend);
+        let s1 = toy_chain_with(150, 8, true).run(&mut ScalarBackend).unwrap();
+        let s2 = toy_chain_with(150, 8, true).run(&mut ScalarBackend).unwrap();
         assert_eq!(s1.final_ln_likelihood, s2.final_ln_likelihood);
         assert_eq!(s1.plf_calls, s2.plf_calls);
+    }
+
+    fn traced_options(generations: usize, seed: u64, incremental: bool) -> ChainOptions {
+        ChainOptions {
+            generations,
+            seed,
+            sample_every: 10,
+            incremental,
+            record_trace: true,
+            ..ChainOptions::default()
+        }
+    }
+
+    fn traced_chain(generations: usize, seed: u64, incremental: bool) -> Chain {
+        let (tree, aln) = toy_data();
+        Chain::new(
+            tree,
+            &aln,
+            GtrParams::jc69(),
+            0.5,
+            Priors::default(),
+            traced_options(generations, seed, incremental),
+        )
+        .unwrap()
+    }
+
+    /// The checkpoint/restore acceptance test: a chain killed at
+    /// generation `k` and resumed from its serialized checkpoint must
+    /// reproduce the uninterrupted run's trace *exactly* — samples,
+    /// trace records, and final log-likelihood all bitwise-equal.
+    fn assert_resume_is_exact(incremental: bool) {
+        let (_, aln) = toy_data();
+        let uninterrupted = traced_chain(300, 4242, incremental)
+            .run(&mut ScalarBackend)
+            .unwrap();
+
+        // "Crash" at generation 150: checkpoint, serialize, drop the chain.
+        let mut victim = traced_chain(300, 4242, incremental);
+        victim.run_to(&mut ScalarBackend, 150).unwrap();
+        assert_eq!(victim.generation(), 150);
+        let json = victim.checkpoint().unwrap().to_json();
+        drop(victim);
+
+        // Resume from the JSON text alone and run to completion.
+        let ckpt = ChainCheckpoint::from_json(&json).unwrap();
+        let mut resumed = Chain::resume(
+            &aln,
+            Priors::default(),
+            traced_options(300, 4242, incremental),
+            &ckpt,
+            &mut ScalarBackend,
+        )
+        .unwrap_or_else(|e| panic!("resume failed: {e}"));
+        let stats = resumed.run_to_completion(&mut ScalarBackend).unwrap();
+
+        assert_eq!(
+            stats.final_ln_likelihood.to_bits(),
+            uninterrupted.final_ln_likelihood.to_bits(),
+            "final lnL diverged: {} vs {}",
+            stats.final_ln_likelihood,
+            uninterrupted.final_ln_likelihood
+        );
+        assert_eq!(stats.samples, uninterrupted.samples, "sample trace diverged");
+        assert_eq!(stats.trace, uninterrupted.trace, "full trace diverged");
+        let a: Vec<u64> = stats.proposals.iter().map(|(_, s)| s.accepted).collect();
+        let b: Vec<u64> = uninterrupted
+            .proposals
+            .iter()
+            .map(|(_, s)| s.accepted)
+            .collect();
+        assert_eq!(a, b, "acceptance counts diverged");
+        assert_eq!(stats.plf_calls, uninterrupted.plf_calls);
+        assert_eq!(stats.n_evaluations, uninterrupted.n_evaluations);
+    }
+
+    #[test]
+    fn resume_reproduces_full_chain_exactly() {
+        assert_resume_is_exact(false);
+    }
+
+    #[test]
+    fn resume_reproduces_incremental_chain_exactly() {
+        assert_resume_is_exact(true);
+    }
+
+    #[test]
+    fn checkpoint_requires_initialization() {
+        let chain = toy_chain(100, 1);
+        assert!(matches!(
+            chain.checkpoint(),
+            Err(ChainError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_options() {
+        let (_, aln) = toy_data();
+        let mut chain = traced_chain(300, 7, false);
+        chain.run_to(&mut ScalarBackend, 50).unwrap();
+        let ckpt = chain.checkpoint().unwrap();
+        // Wrong seed in the resume options: the trajectory would diverge.
+        let Err(err) = Chain::resume(
+            &aln,
+            Priors::default(),
+            traced_options(300, 8, false),
+            &ckpt,
+            &mut ScalarBackend,
+        ) else {
+            panic!("mismatched options must be rejected");
+        };
+        assert!(matches!(err, ChainError::Checkpoint(ref m) if m.contains("seed")));
+    }
+
+    #[test]
+    fn resume_rejects_wrong_data() {
+        let mut chain = traced_chain(300, 7, false);
+        chain.run_to(&mut ScalarBackend, 50).unwrap();
+        let ckpt = chain.checkpoint().unwrap();
+        // A different alignment cannot reproduce the checkpointed lnL.
+        let other = Alignment::from_strings(&[
+            ("a", "AAAAAAAAAACCCCCCCCCC"),
+            ("b", "AAAAAAAAAAGGGGGGGGGG"),
+            ("c", "AAAAACCCCCGGGGGTTTTT"),
+            ("d", "TTTTTTTTTTAAAAAAAAAA"),
+        ])
+        .unwrap()
+        .compress();
+        let Err(err) = Chain::resume(
+            &other,
+            Priors::default(),
+            traced_options(300, 7, false),
+            &ckpt,
+            &mut ScalarBackend,
+        ) else {
+            panic!("wrong data must be rejected");
+        };
+        assert!(
+            matches!(err, ChainError::Checkpoint(ref m) if m.contains("lnL")),
+            "expected a likelihood-verification failure, got {err}"
+        );
+    }
+
+    /// A backend whose first `fails` kernel calls error out; used to
+    /// prove a failed step leaves the chain consistent and re-steppable.
+    struct FlakyBackend {
+        fails: u32,
+    }
+
+    impl PlfBackend for FlakyBackend {
+        fn name(&self) -> String {
+            "flaky".into()
+        }
+
+        fn cond_like_down(
+            &mut self,
+            left: &plf_phylo::clv::Clv,
+            p_left: &plf_phylo::clv::TransitionMatrices,
+            right: &plf_phylo::clv::Clv,
+            p_right: &plf_phylo::clv::TransitionMatrices,
+            out: &mut plf_phylo::clv::Clv,
+        ) -> Result<(), plf_phylo::resilience::PlfError> {
+            if self.fails > 0 {
+                self.fails -= 1;
+                return Err(plf_phylo::resilience::PlfError::Launch {
+                    backend: "flaky".into(),
+                    detail: "synthetic failure".into(),
+                });
+            }
+            ScalarBackend.cond_like_down(left, p_left, right, p_right, out)
+        }
+
+        fn cond_like_root(
+            &mut self,
+            a: &plf_phylo::clv::Clv,
+            p_a: &plf_phylo::clv::TransitionMatrices,
+            b: &plf_phylo::clv::Clv,
+            p_b: &plf_phylo::clv::TransitionMatrices,
+            c: Option<(&plf_phylo::clv::Clv, &plf_phylo::clv::TransitionMatrices)>,
+            out: &mut plf_phylo::clv::Clv,
+        ) -> Result<(), plf_phylo::resilience::PlfError> {
+            ScalarBackend.cond_like_root(a, p_a, b, p_b, c, out)
+        }
+
+        fn cond_like_scaler(
+            &mut self,
+            clv: &mut plf_phylo::clv::Clv,
+            ln_scalers: &mut [f32],
+        ) -> Result<(), plf_phylo::resilience::PlfError> {
+            ScalarBackend.cond_like_scaler(clv, ln_scalers)
+        }
+    }
+
+    #[test]
+    fn failed_step_leaves_chain_consistent() {
+        for incremental in [false, true] {
+            let mut chain = traced_chain(200, 31, incremental);
+            chain.initialize(&mut ScalarBackend).unwrap();
+            let before_gen = chain.generation();
+            let before_lnl = chain.state().ln_likelihood;
+
+            // Drive steps through a failing backend until one errors
+            // (some proposals are auto-rejected without a PLF call).
+            let mut flaky = FlakyBackend { fails: u32::MAX };
+            let mut errored = false;
+            for _ in 0..20 {
+                match chain.step(&mut flaky) {
+                    Err(ChainError::Likelihood(_)) => {
+                        errored = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error kind: {e}"),
+                    Ok(_) => {}
+                }
+            }
+            assert!(errored, "the flaky backend never surfaced an error");
+            // The failed generation was not counted and the state is intact.
+            assert_eq!(chain.state().ln_likelihood, before_lnl);
+            assert!(chain.generation() >= before_gen);
+
+            // The chain remains usable on a healthy backend.
+            for _ in 0..10 {
+                chain.step(&mut ScalarBackend).unwrap();
+            }
+            assert!(chain.state().ln_likelihood.is_finite());
+            chain.checkpoint().unwrap();
+        }
     }
 }

@@ -1,0 +1,614 @@
+//! Chain checkpoint/restore — crash-consistent MCMC state snapshots.
+//!
+//! A [`ChainCheckpoint`] captures everything a chain needs to continue
+//! *bitwise-identically* after a crash: the tree (topology + branch
+//! lengths), model parameters, the xoshiro256++ RNG state, the
+//! generation counter, run accumulators, and the samples/trace recorded
+//! so far. All `f64` values are stored as raw IEEE-754 bit patterns
+//! (`u64`), never as decimal text, so a round-trip through JSON cannot
+//! perturb the trajectory by even one ULP. On restore the chain
+//! re-evaluates the likelihood from the restored state and refuses to
+//! continue unless it reproduces the checkpointed value bit-for-bit —
+//! a torn or hand-edited checkpoint is detected, not silently resumed.
+
+use crate::chain::{ChainError, ChainOptions, ProposalStats, RunAccum, Sample};
+use crate::proposals::ALL_PROPOSALS;
+use crate::trace::TraceRecord;
+use plf_phylo::tree::{Node, NodeId, Tree};
+use serde::{Number, Value};
+use std::time::Duration;
+
+/// On-disk format version; bumped on incompatible layout changes.
+pub const CHECKPOINT_FORMAT_VERSION: u64 = 1;
+
+/// One tree node in serializable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointNode {
+    /// Parent index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child indices.
+    pub children: Vec<usize>,
+    /// Branch length to the parent.
+    pub branch: f64,
+    /// Taxon name (leaves only).
+    pub name: Option<String>,
+}
+
+/// Serializable snapshot of [`RunAccum`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumSnapshot {
+    /// Proposal counts in [`ALL_PROPOSALS`] order.
+    pub proposed: [u64; 7],
+    /// Acceptance counts in [`ALL_PROPOSALS`] order.
+    pub accepted: [u64; 7],
+    /// Likelihood evaluations performed.
+    pub n_evaluations: u64,
+    /// Kernel invocations.
+    pub plf_calls: u64,
+    /// Wall nanoseconds inside the PLF.
+    pub plf_time_nanos: u64,
+}
+
+impl AccumSnapshot {
+    /// Capture a [`RunAccum`].
+    pub fn from_accum(accum: &RunAccum) -> AccumSnapshot {
+        AccumSnapshot {
+            proposed: std::array::from_fn(|i| accum.proposals[i].1.proposed),
+            accepted: std::array::from_fn(|i| accum.proposals[i].1.accepted),
+            n_evaluations: accum.n_evaluations,
+            plf_calls: accum.plf_calls,
+            plf_time_nanos: accum.plf_time.as_nanos() as u64,
+        }
+    }
+
+    /// Rebuild the [`RunAccum`].
+    pub fn to_accum(&self) -> RunAccum {
+        RunAccum {
+            proposals: std::array::from_fn(|i| {
+                (
+                    ALL_PROPOSALS[i],
+                    ProposalStats {
+                        proposed: self.proposed[i],
+                        accepted: self.accepted[i],
+                    },
+                )
+            }),
+            n_evaluations: self.n_evaluations,
+            plf_calls: self.plf_calls,
+            plf_time: Duration::from_nanos(self.plf_time_nanos),
+        }
+    }
+}
+
+/// A complete, self-describing chain snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainCheckpoint {
+    /// Format version ([`CHECKPOINT_FORMAT_VERSION`]).
+    pub format_version: u64,
+    /// RNG seed of the original run (fingerprint field).
+    pub seed: u64,
+    /// Total generations of the original run (fingerprint field).
+    pub generations: usize,
+    /// Sampling period (fingerprint field).
+    pub sample_every: usize,
+    /// Scaler period (fingerprint field).
+    pub scale_every: usize,
+    /// Γ categories (fingerprint field).
+    pub n_rates: usize,
+    /// Incremental-evaluator flag (fingerprint field).
+    pub incremental: bool,
+    /// Generations already executed.
+    pub generation: usize,
+    /// MC³ inverse temperature.
+    pub beta: f64,
+    /// xoshiro256++ internal state.
+    pub rng_state: [u64; 4],
+    /// Log prior of the current state.
+    pub cur_prior: f64,
+    /// GTR exchangeabilities.
+    pub rates: [f64; 6],
+    /// Stationary frequencies.
+    pub freqs: [f64; 4],
+    /// Γ shape α.
+    pub shape: f64,
+    /// Proportion of invariable sites.
+    pub pinvar: f64,
+    /// Log-likelihood of the current state (verified on restore).
+    pub ln_likelihood: f64,
+    /// Tree node arena.
+    pub tree_nodes: Vec<CheckpointNode>,
+    /// Root index.
+    pub tree_root: usize,
+    /// Run accumulators.
+    pub accum: AccumSnapshot,
+    /// Samples recorded so far.
+    pub samples: Vec<Sample>,
+    /// Trace records recorded so far.
+    pub trace: Vec<TraceRecord>,
+}
+
+impl ChainCheckpoint {
+    /// Snapshot a tree into serializable nodes.
+    pub fn snapshot_tree(tree: &Tree) -> (Vec<CheckpointNode>, usize) {
+        let nodes = tree
+            .node_ids()
+            .map(|id| {
+                let n = tree.node(id);
+                CheckpointNode {
+                    parent: n.parent.map(|p| p.0),
+                    children: n.children.iter().map(|c| c.0).collect(),
+                    branch: n.branch,
+                    name: n.name.clone(),
+                }
+            })
+            .collect();
+        (nodes, tree.root().0)
+    }
+
+    /// Rebuild the tree, preserving every `NodeId`.
+    pub fn restore_tree(&self) -> Result<Tree, ChainError> {
+        let nodes = self
+            .tree_nodes
+            .iter()
+            .map(|n| Node {
+                parent: n.parent.map(NodeId),
+                children: n.children.iter().map(|&c| NodeId(c)).collect(),
+                branch: n.branch,
+                name: n.name.clone(),
+            })
+            .collect();
+        Tree::from_parts(nodes, NodeId(self.tree_root))
+            .map_err(|e| ChainError::Checkpoint(format!("invalid tree in checkpoint: {e}")))
+    }
+
+    /// Verify this checkpoint belongs to a run configured by `options`.
+    pub fn check_compatible(&self, options: &ChainOptions) -> Result<(), ChainError> {
+        if self.format_version != CHECKPOINT_FORMAT_VERSION {
+            return Err(ChainError::Checkpoint(format!(
+                "checkpoint format v{} (expected v{CHECKPOINT_FORMAT_VERSION})",
+                self.format_version
+            )));
+        }
+        let mismatches: Vec<String> = [
+            ("seed", self.seed != options.seed),
+            ("generations", self.generations != options.generations),
+            ("sample_every", self.sample_every != options.sample_every),
+            ("scale_every", self.scale_every != options.scale_every),
+            ("n_rates", self.n_rates != options.n_rates),
+            ("incremental", self.incremental != options.incremental),
+        ]
+        .iter()
+        .filter(|(_, bad)| *bad)
+        .map(|(name, _)| name.to_string())
+        .collect();
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(ChainError::Checkpoint(format!(
+                "checkpoint does not match the chain options: {}",
+                mismatches.join(", ")
+            )))
+        }
+    }
+
+    /// Serialize to pretty JSON. Floats are emitted as `u64` bit
+    /// patterns, so the text round-trips bit-exactly.
+    pub fn to_json(&self) -> String {
+        let mut obj: Vec<(String, Value)> = Vec::new();
+        let mut put = |k: &str, v: Value| obj.push((k.to_string(), v));
+        put("format_version", uint(self.format_version));
+        put("seed", uint(self.seed));
+        put("generations", uint(self.generations as u64));
+        put("sample_every", uint(self.sample_every as u64));
+        put("scale_every", uint(self.scale_every as u64));
+        put("n_rates", uint(self.n_rates as u64));
+        put("incremental", Value::Bool(self.incremental));
+        put("generation", uint(self.generation as u64));
+        put("beta", bits(self.beta));
+        put(
+            "rng_state",
+            Value::Array(self.rng_state.iter().map(|&s| uint(s)).collect()),
+        );
+        put("cur_prior", bits(self.cur_prior));
+        put(
+            "rates",
+            Value::Array(self.rates.iter().map(|&r| bits(r)).collect()),
+        );
+        put(
+            "freqs",
+            Value::Array(self.freqs.iter().map(|&f| bits(f)).collect()),
+        );
+        put("shape", bits(self.shape));
+        put("pinvar", bits(self.pinvar));
+        put("ln_likelihood", bits(self.ln_likelihood));
+        put(
+            "tree_nodes",
+            Value::Array(
+                self.tree_nodes
+                    .iter()
+                    .map(|n| {
+                        Value::Object(vec![
+                            (
+                                "parent".to_string(),
+                                n.parent.map_or(Value::Null, |p| uint(p as u64)),
+                            ),
+                            (
+                                "children".to_string(),
+                                Value::Array(
+                                    n.children.iter().map(|&c| uint(c as u64)).collect(),
+                                ),
+                            ),
+                            ("branch".to_string(), bits(n.branch)),
+                            (
+                                "name".to_string(),
+                                n.name
+                                    .as_ref()
+                                    .map_or(Value::Null, |s| Value::String(s.clone())),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        put("tree_root", uint(self.tree_root as u64));
+        put(
+            "accum",
+            Value::Object(vec![
+                (
+                    "proposed".to_string(),
+                    Value::Array(self.accum.proposed.iter().map(|&v| uint(v)).collect()),
+                ),
+                (
+                    "accepted".to_string(),
+                    Value::Array(self.accum.accepted.iter().map(|&v| uint(v)).collect()),
+                ),
+                ("n_evaluations".to_string(), uint(self.accum.n_evaluations)),
+                ("plf_calls".to_string(), uint(self.accum.plf_calls)),
+                ("plf_time_nanos".to_string(), uint(self.accum.plf_time_nanos)),
+            ]),
+        );
+        put(
+            "samples",
+            Value::Array(
+                self.samples
+                    .iter()
+                    .map(|s| {
+                        Value::Object(vec![
+                            ("generation".to_string(), uint(s.generation as u64)),
+                            ("ln_likelihood".to_string(), bits(s.ln_likelihood)),
+                            ("tree_length".to_string(), bits(s.tree_length)),
+                            ("shape".to_string(), bits(s.shape)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        put(
+            "trace",
+            Value::Array(
+                self.trace
+                    .iter()
+                    .map(|t| {
+                        Value::Object(vec![
+                            ("generation".to_string(), uint(t.generation as u64)),
+                            ("ln_likelihood".to_string(), bits(t.ln_likelihood)),
+                            ("tree_length".to_string(), bits(t.tree_length)),
+                            ("shape".to_string(), bits(t.shape)),
+                            ("pinvar".to_string(), bits(t.pinvar)),
+                            (
+                                "freqs".to_string(),
+                                Value::Array(t.freqs.iter().map(|&f| bits(f)).collect()),
+                            ),
+                            (
+                                "rates".to_string(),
+                                Value::Array(t.rates.iter().map(|&r| bits(r)).collect()),
+                            ),
+                            ("newick".to_string(), Value::String(t.newick.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        serde_json::to_string_pretty(&Value::Object(obj))
+            .expect("in-memory JSON serialization is infallible")
+    }
+
+    /// Parse a checkpoint back from JSON text.
+    pub fn from_json(text: &str) -> Result<ChainCheckpoint, ChainError> {
+        let root = serde_json::from_str(text)
+            .map_err(|e| ChainError::Checkpoint(format!("checkpoint parse: {e}")))?;
+        let ckpt = ChainCheckpoint {
+            format_version: get_u64(&root, "format_version")?,
+            seed: get_u64(&root, "seed")?,
+            generations: get_u64(&root, "generations")? as usize,
+            sample_every: get_u64(&root, "sample_every")? as usize,
+            scale_every: get_u64(&root, "scale_every")? as usize,
+            n_rates: get_u64(&root, "n_rates")? as usize,
+            incremental: get_bool(&root, "incremental")?,
+            generation: get_u64(&root, "generation")? as usize,
+            beta: get_bits(&root, "beta")?,
+            rng_state: {
+                let arr = get_u64_array(&root, "rng_state")?;
+                arr.try_into().map_err(|_| {
+                    ChainError::Checkpoint("rng_state must have 4 words".into())
+                })?
+            },
+            cur_prior: get_bits(&root, "cur_prior")?,
+            rates: fixed(get_bits_array(&root, "rates")?, "rates")?,
+            freqs: fixed(get_bits_array(&root, "freqs")?, "freqs")?,
+            shape: get_bits(&root, "shape")?,
+            pinvar: get_bits(&root, "pinvar")?,
+            ln_likelihood: get_bits(&root, "ln_likelihood")?,
+            tree_nodes: field(&root, "tree_nodes")?
+                .as_array()
+                .ok_or_else(|| ChainError::Checkpoint("tree_nodes must be an array".into()))?
+                .iter()
+                .map(parse_node)
+                .collect::<Result<Vec<_>, _>>()?,
+            tree_root: get_u64(&root, "tree_root")? as usize,
+            accum: {
+                let a = field(&root, "accum")?;
+                AccumSnapshot {
+                    proposed: fixed_u64(get_u64_array(a, "proposed")?, "proposed")?,
+                    accepted: fixed_u64(get_u64_array(a, "accepted")?, "accepted")?,
+                    n_evaluations: get_u64(a, "n_evaluations")?,
+                    plf_calls: get_u64(a, "plf_calls")?,
+                    plf_time_nanos: get_u64(a, "plf_time_nanos")?,
+                }
+            },
+            samples: field(&root, "samples")?
+                .as_array()
+                .ok_or_else(|| ChainError::Checkpoint("samples must be an array".into()))?
+                .iter()
+                .map(|s| {
+                    Ok(Sample {
+                        generation: get_u64(s, "generation")? as usize,
+                        ln_likelihood: get_bits(s, "ln_likelihood")?,
+                        tree_length: get_bits(s, "tree_length")?,
+                        shape: get_bits(s, "shape")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ChainError>>()?,
+            trace: field(&root, "trace")?
+                .as_array()
+                .ok_or_else(|| ChainError::Checkpoint("trace must be an array".into()))?
+                .iter()
+                .map(|t| {
+                    Ok(TraceRecord {
+                        generation: get_u64(t, "generation")? as usize,
+                        ln_likelihood: get_bits(t, "ln_likelihood")?,
+                        tree_length: get_bits(t, "tree_length")?,
+                        shape: get_bits(t, "shape")?,
+                        pinvar: get_bits(t, "pinvar")?,
+                        freqs: fixed(get_bits_array(t, "freqs")?, "trace freqs")?,
+                        rates: fixed(get_bits_array(t, "rates")?, "trace rates")?,
+                        newick: field(t, "newick")?
+                            .as_str()
+                            .ok_or_else(|| {
+                                ChainError::Checkpoint("newick must be a string".into())
+                            })?
+                            .to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>, ChainError>>()?,
+        };
+        Ok(ckpt)
+    }
+}
+
+fn bits(v: f64) -> Value {
+    Value::Number(Number::PosInt(v.to_bits()))
+}
+
+fn uint(v: u64) -> Value {
+    Value::Number(Number::PosInt(v))
+}
+
+fn field<'a>(obj: &'a Value, key: &str) -> Result<&'a Value, ChainError> {
+    obj.get(key)
+        .ok_or_else(|| ChainError::Checkpoint(format!("missing checkpoint field `{key}`")))
+}
+
+fn get_u64(obj: &Value, key: &str) -> Result<u64, ChainError> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| ChainError::Checkpoint(format!("field `{key}` must be a u64")))
+}
+
+fn get_bool(obj: &Value, key: &str) -> Result<bool, ChainError> {
+    field(obj, key)?
+        .as_bool()
+        .ok_or_else(|| ChainError::Checkpoint(format!("field `{key}` must be a bool")))
+}
+
+fn get_bits(obj: &Value, key: &str) -> Result<f64, ChainError> {
+    get_u64(obj, key).map(f64::from_bits)
+}
+
+fn get_u64_array(obj: &Value, key: &str) -> Result<Vec<u64>, ChainError> {
+    field(obj, key)?
+        .as_array()
+        .ok_or_else(|| ChainError::Checkpoint(format!("field `{key}` must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| ChainError::Checkpoint(format!("`{key}` entries must be u64")))
+        })
+        .collect()
+}
+
+fn get_bits_array(obj: &Value, key: &str) -> Result<Vec<f64>, ChainError> {
+    Ok(get_u64_array(obj, key)?.into_iter().map(f64::from_bits).collect())
+}
+
+fn fixed<const N: usize>(v: Vec<f64>, what: &str) -> Result<[f64; N], ChainError> {
+    v.try_into()
+        .map_err(|_| ChainError::Checkpoint(format!("`{what}` must have {N} entries")))
+}
+
+fn fixed_u64<const N: usize>(v: Vec<u64>, what: &str) -> Result<[u64; N], ChainError> {
+    v.try_into()
+        .map_err(|_| ChainError::Checkpoint(format!("`{what}` must have {N} entries")))
+}
+
+fn parse_node(v: &Value) -> Result<CheckpointNode, ChainError> {
+    let parent = match field(v, "parent")? {
+        Value::Null => None,
+        other => Some(other.as_u64().ok_or_else(|| {
+            ChainError::Checkpoint("node parent must be null or u64".into())
+        })? as usize),
+    };
+    let name = match field(v, "name")? {
+        Value::Null => None,
+        other => Some(
+            other
+                .as_str()
+                .ok_or_else(|| ChainError::Checkpoint("node name must be null or string".into()))?
+                .to_string(),
+        ),
+    };
+    Ok(CheckpointNode {
+        parent,
+        children: get_u64_array(v, "children")?
+            .into_iter()
+            .map(|c| c as usize)
+            .collect(),
+        branch: get_bits(v, "branch")?,
+        name,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_checkpoint() -> ChainCheckpoint {
+        let tree = Tree::from_newick("((a:0.1,b:0.2):0.05,c:0.3,d:0.4);").unwrap();
+        let (tree_nodes, tree_root) = ChainCheckpoint::snapshot_tree(&tree);
+        ChainCheckpoint {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            seed: 42,
+            generations: 1000,
+            sample_every: 100,
+            scale_every: 1,
+            n_rates: 4,
+            incremental: true,
+            generation: 250,
+            beta: 1.0,
+            rng_state: [1, u64::MAX, 3, 0x0123_4567_89ab_cdef],
+            cur_prior: -3.215,
+            rates: [1.0, 2.0, 1.0, 1.0, 2.0, 1.0],
+            freqs: [0.3, 0.2, 0.2, 0.3],
+            shape: 0.5731,
+            pinvar: 0.05,
+            ln_likelihood: -1_234.567_890_123,
+            tree_nodes,
+            tree_root,
+            accum: AccumSnapshot {
+                proposed: [10, 20, 30, 40, 50, 60, 70],
+                accepted: [1, 2, 3, 4, 5, 6, 7],
+                n_evaluations: 251,
+                plf_calls: 999,
+                plf_time_nanos: 123_456_789,
+            },
+            samples: vec![Sample {
+                generation: 100,
+                ln_likelihood: -1250.25,
+                tree_length: 1.05,
+                shape: 0.5,
+            }],
+            trace: vec![TraceRecord {
+                generation: 100,
+                ln_likelihood: -1250.25,
+                tree_length: 1.05,
+                shape: 0.5,
+                pinvar: 0.0,
+                freqs: [0.25; 4],
+                rates: [1.0; 6],
+                newick: "((a:0.1,b:0.2):0.05,c:0.3,d:0.4);".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let ckpt = toy_checkpoint();
+        let text = ckpt.to_json();
+        let back = ChainCheckpoint::from_json(&text).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn nonfinite_floats_survive_round_trip() {
+        let mut ckpt = toy_checkpoint();
+        ckpt.cur_prior = f64::NEG_INFINITY;
+        ckpt.ln_likelihood = f64::from_bits(0x7ff8_dead_beef_0001); // NaN payload
+        let back = ChainCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(back.cur_prior, f64::NEG_INFINITY);
+        assert_eq!(
+            back.ln_likelihood.to_bits(),
+            ckpt.ln_likelihood.to_bits(),
+            "NaN payload must be preserved"
+        );
+    }
+
+    #[test]
+    fn tree_round_trip_preserves_node_ids() {
+        let ckpt = toy_checkpoint();
+        let tree = ckpt.restore_tree().unwrap();
+        assert_eq!(tree.root().0, ckpt.tree_root);
+        assert_eq!(tree.n_nodes(), ckpt.tree_nodes.len());
+        let (nodes2, root2) = ChainCheckpoint::snapshot_tree(&tree);
+        assert_eq!(nodes2, ckpt.tree_nodes);
+        assert_eq!(root2, ckpt.tree_root);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let ckpt = toy_checkpoint();
+        let mut opts = ChainOptions {
+            generations: 1000,
+            seed: 42,
+            sample_every: 100,
+            incremental: true,
+            ..ChainOptions::default()
+        };
+        assert!(ckpt.check_compatible(&opts).is_ok());
+        opts.seed = 43;
+        let err = ckpt.check_compatible(&opts).unwrap_err();
+        assert!(matches!(err, ChainError::Checkpoint(ref m) if m.contains("seed")));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut ckpt = toy_checkpoint();
+        ckpt.format_version = 99;
+        let opts = ChainOptions::default();
+        assert!(matches!(
+            ckpt.check_compatible(&opts),
+            Err(ChainError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_json_is_an_error() {
+        let text = toy_checkpoint().to_json();
+        let torn = &text[..text.len() / 2];
+        assert!(ChainCheckpoint::from_json(torn).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let text = toy_checkpoint().to_json().replace("\"rng_state\"", "\"rng_st8\"");
+        let err = ChainCheckpoint::from_json(&text).unwrap_err();
+        assert!(matches!(err, ChainError::Checkpoint(ref m) if m.contains("rng_state")));
+    }
+
+    #[test]
+    fn accum_snapshot_round_trips() {
+        let snap = toy_checkpoint().accum;
+        let accum = snap.to_accum();
+        assert_eq!(AccumSnapshot::from_accum(&accum), snap);
+        assert_eq!(accum.plf_time, Duration::from_nanos(123_456_789));
+    }
+}

@@ -14,6 +14,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod chain;
+pub mod checkpoint;
 pub mod consensus;
 pub mod mc3;
 pub mod priors;
@@ -22,7 +23,8 @@ pub mod rng;
 pub mod state;
 pub mod trace;
 
-pub use chain::{Chain, ChainOptions, ChainStats, ProposalStats, Sample};
+pub use chain::{Chain, ChainError, ChainOptions, ChainStats, ProposalStats, RunAccum, Sample};
+pub use checkpoint::{ChainCheckpoint, CHECKPOINT_FORMAT_VERSION};
 pub use consensus::{consensus_from_newicks, majority_consensus, robinson_foulds, Consensus};
 pub use mc3::{Mc3, Mc3Options, Mc3Stats};
 pub use priors::Priors;

@@ -10,13 +10,14 @@
 //! driver can run its chains on host threads, each with its own
 //! [`PlfBackend`].
 
-use crate::chain::{Chain, ChainOptions, RunAccum, Sample};
+use crate::chain::{Chain, ChainError, ChainOptions, RunAccum, Sample};
 use crate::priors::Priors;
 use crate::trace::TraceRecord;
 use plf_phylo::alignment::PatternAlignment;
 use plf_phylo::kernels::PlfBackend;
 use plf_phylo::likelihood::LikelihoodError;
 use plf_phylo::model::GtrParams;
+use plf_phylo::resilience::panic_message;
 use plf_phylo::tree::Tree;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,31 +137,57 @@ impl Mc3 {
     }
 
     /// Run a block of `steps` generations on every chain, optionally in
-    /// parallel (one thread per chain).
-    fn run_block(&mut self, backends: &mut [Box<dyn PlfBackend>], steps: usize) {
+    /// parallel (one thread per chain). A PLF failure or worker panic
+    /// in any chain aborts the block and surfaces as a [`ChainError`];
+    /// sibling chains still finish their block first, so every chain
+    /// is left in a consistent (pre- or post-block) state.
+    fn run_block(
+        &mut self,
+        backends: &mut [Box<dyn PlfBackend>],
+        steps: usize,
+    ) -> Result<(), ChainError> {
         if self.options.parallel && self.chains.len() > 1 {
-            std::thread::scope(|scope| {
-                for (chain, backend) in self.chains.iter_mut().zip(backends.iter_mut()) {
-                    scope.spawn(move || {
-                        chain.initialize(backend.as_mut());
-                        for _ in 0..steps {
-                            chain.step(backend.as_mut());
-                        }
-                    });
-                }
+            let results: Vec<Result<(), ChainError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .chains
+                    .iter_mut()
+                    .zip(backends.iter_mut())
+                    .map(|(chain, backend)| {
+                        scope.spawn(move || -> Result<(), ChainError> {
+                            chain.initialize(backend.as_mut())?;
+                            for _ in 0..steps {
+                                chain.step(backend.as_mut())?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|payload| {
+                            Err(ChainError::Panic(panic_message(payload.as_ref())))
+                        })
+                    })
+                    .collect()
             });
+            results.into_iter().collect()
         } else {
             for (chain, backend) in self.chains.iter_mut().zip(backends.iter_mut()) {
-                chain.initialize(backend.as_mut());
+                chain.initialize(backend.as_mut())?;
                 for _ in 0..steps {
-                    chain.step(backend.as_mut());
+                    chain.step(backend.as_mut())?;
                 }
             }
+            Ok(())
         }
     }
 
     /// Run to completion. `backends` must provide one backend per chain.
-    pub fn run(&mut self, backends: &mut [Box<dyn PlfBackend>]) -> Mc3Stats {
+    pub fn run(
+        &mut self,
+        backends: &mut [Box<dyn PlfBackend>],
+    ) -> Result<Mc3Stats, ChainError> {
         assert_eq!(
             backends.len(),
             self.chains.len(),
@@ -178,7 +205,7 @@ impl Mc3 {
         let mut done = 0usize;
         while done < total {
             let steps = swap_every.min(total - done);
-            self.run_block(backends, steps);
+            self.run_block(backends, steps)?;
             done += steps;
 
             // Swap attempt between a random adjacent pair.
@@ -226,7 +253,7 @@ impl Mc3 {
             }
         }
 
-        Mc3Stats {
+        Ok(Mc3Stats {
             cold_samples,
             cold_trace,
             swaps_proposed,
@@ -238,7 +265,7 @@ impl Mc3 {
                 .collect(),
             final_cold_ln_likelihood: self.chains[0].state().ln_likelihood,
             total_time: start.elapsed(),
-        }
+        })
     }
 }
 
@@ -314,9 +341,9 @@ mod tests {
             },
         )
         .unwrap();
-        let plain_stats = plain.run(&mut ScalarBackend);
+        let plain_stats = plain.run(&mut ScalarBackend).unwrap();
         let mut mc3 = mc3_with(1, false, 200);
-        let stats = mc3.run(&mut backends(1));
+        let stats = mc3.run(&mut backends(1)).unwrap();
         assert_eq!(stats.final_cold_ln_likelihood, plain_stats.final_ln_likelihood);
         assert_eq!(stats.swaps_proposed, 0);
     }
@@ -324,7 +351,7 @@ mod tests {
     #[test]
     fn swaps_happen_and_are_bounded() {
         let mut mc3 = mc3_with(4, false, 400);
-        let stats = mc3.run(&mut backends(4));
+        let stats = mc3.run(&mut backends(4)).unwrap();
         assert_eq!(stats.swaps_proposed, 40);
         assert!(stats.swaps_accepted <= stats.swaps_proposed);
         assert!(stats.swaps_accepted > 0, "no swap ever accepted");
@@ -357,7 +384,7 @@ mod tests {
             )
             .unwrap();
             chain.set_temperature(beta);
-            let stats = chain.run(&mut ScalarBackend);
+            let stats = chain.run(&mut ScalarBackend).unwrap();
             let (p, a) = stats
                 .proposals
                 .iter()
@@ -374,8 +401,8 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_agree() {
-        let serial = mc3_with(3, false, 300).run(&mut backends(3));
-        let parallel = mc3_with(3, true, 300).run(&mut backends(3));
+        let serial = mc3_with(3, false, 300).run(&mut backends(3)).unwrap();
+        let parallel = mc3_with(3, true, 300).run(&mut backends(3)).unwrap();
         assert_eq!(
             serial.final_cold_ln_likelihood,
             parallel.final_cold_ln_likelihood
@@ -386,7 +413,7 @@ mod tests {
     #[test]
     fn cold_samples_recorded() {
         let mut mc3 = mc3_with(2, false, 200);
-        let stats = mc3.run(&mut backends(2));
+        let stats = mc3.run(&mut backends(2)).unwrap();
         assert_eq!(stats.cold_samples.len(), 4);
         assert!(stats.total_plf_calls() > 0);
     }

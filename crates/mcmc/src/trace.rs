@@ -9,7 +9,7 @@
 use serde::Serialize;
 
 /// One sampled generation with full parameter state.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TraceRecord {
     /// Generation index.
     pub generation: usize,

@@ -9,36 +9,53 @@
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::dna::N_STATES;
 use plf_phylo::kernels::{scalar, simd4, PlfBackend, SimdSchedule};
+use plf_phylo::resilience::{FaultInjector, FaultSite, PlfError};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Parallel host backend over a dedicated rayon pool.
 pub struct RayonBackend {
     pool: rayon::ThreadPool,
     n_threads: usize,
     schedule: Option<SimdSchedule>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl RayonBackend {
     /// Build a backend with `n_threads` worker threads using the
     /// column-wise SIMD kernels (bitwise-identical to the scalar
     /// reference).
-    pub fn new(n_threads: usize) -> RayonBackend {
+    pub fn new(n_threads: usize) -> Result<RayonBackend, PlfError> {
         RayonBackend::with_kernel(n_threads, Some(SimdSchedule::ColWise))
     }
 
     /// Choose the kernel: `None` = scalar reference, `Some(schedule)` =
     /// 4-wide SIMD.
-    pub fn with_kernel(n_threads: usize, schedule: Option<SimdSchedule>) -> RayonBackend {
-        assert!(n_threads >= 1);
+    pub fn with_kernel(
+        n_threads: usize,
+        schedule: Option<SimdSchedule>,
+    ) -> Result<RayonBackend, PlfError> {
+        if n_threads == 0 {
+            return Err(PlfError::Config(
+                "rayon backend needs at least one thread".into(),
+            ));
+        }
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(n_threads)
             .build()
-            .expect("thread pool construction");
-        RayonBackend {
+            .map_err(|e| PlfError::Config(format!("thread pool construction: {e}")))?;
+        Ok(RayonBackend {
             pool,
             n_threads,
             schedule,
-        }
+            injector: None,
+        })
+    }
+
+    /// Attach a fault injector (worker panics, output corruption).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> RayonBackend {
+        self.injector = Some(injector);
+        self
     }
 
     /// Number of worker threads.
@@ -50,6 +67,24 @@ impl RayonBackend {
     /// contiguous chunk per thread (OpenMP static schedule).
     fn chunk_len(&self, m: usize, stride: usize) -> usize {
         m.div_ceil(self.n_threads).max(1) * stride
+    }
+
+    /// Roll the worker-panic fault *before* entering the pool; the hit
+    /// is delivered inside worker chunk 0 so the panic genuinely crosses
+    /// the fork-join boundary.
+    fn worker_fault_armed(&self) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|inj| inj.fire(FaultSite::Worker))
+    }
+
+    /// Roll and apply output corruption after the parallel section.
+    fn maybe_corrupt(&self, out: &mut [f32]) {
+        if let Some(inj) = &self.injector {
+            if let Some(kind) = inj.fire_corruption() {
+                inj.corrupt(out, kind);
+            }
+        }
     }
 }
 
@@ -65,17 +100,21 @@ impl PlfBackend for RayonBackend {
         right: &Clv,
         p_right: &TransitionMatrices,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
         let chunk = self.chunk_len(out.n_patterns(), stride);
         let schedule = self.schedule;
+        let panic_armed = self.worker_fault_armed();
         let (l, r) = (left.as_slice(), right.as_slice());
         self.pool.install(|| {
             out.as_mut_slice()
                 .par_chunks_mut(chunk)
                 .enumerate()
                 .for_each(|(ci, o)| {
+                    if panic_armed && ci == 0 {
+                        panic!("injected fault: rayon worker panic");
+                    }
                     let start = ci * chunk;
                     let (lc, rc) = (&l[start..start + o.len()], &r[start..start + o.len()]);
                     match schedule {
@@ -86,6 +125,8 @@ impl PlfBackend for RayonBackend {
                     }
                 });
         });
+        self.maybe_corrupt(out.as_mut_slice());
+        Ok(())
     }
 
     fn cond_like_root(
@@ -96,11 +137,12 @@ impl PlfBackend for RayonBackend {
         p_b: &TransitionMatrices,
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
         let chunk = self.chunk_len(out.n_patterns(), stride);
         let schedule = self.schedule;
+        let panic_armed = self.worker_fault_armed();
         let (sa, sb) = (a.as_slice(), b.as_slice());
         let sc = c.map(|(clv, p)| (clv.as_slice(), p));
         self.pool.install(|| {
@@ -108,6 +150,9 @@ impl PlfBackend for RayonBackend {
                 .par_chunks_mut(chunk)
                 .enumerate()
                 .for_each(|(ci, o)| {
+                    if panic_armed && ci == 0 {
+                        panic!("injected fault: rayon worker panic");
+                    }
                     let start = ci * chunk;
                     let range = start..start + o.len();
                     let ca = &sa[range.clone()];
@@ -121,24 +166,39 @@ impl PlfBackend for RayonBackend {
                     }
                 });
         });
+        self.maybe_corrupt(out.as_mut_slice());
+        Ok(())
     }
 
-    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
         let n_rates = clv.n_rates();
         let stride = n_rates * N_STATES;
         let m = clv.n_patterns();
         let chunk = self.chunk_len(m, stride);
         let chunk_patterns = chunk / stride;
         let schedule = self.schedule;
+        let panic_armed = self.worker_fault_armed();
         self.pool.install(|| {
             clv.as_mut_slice()
                 .par_chunks_mut(chunk)
                 .zip(ln_scalers.par_chunks_mut(chunk_patterns))
-                .for_each(|(c, s)| match schedule {
-                    None => scalar::cond_like_scaler_range(c, s, n_rates),
-                    Some(_) => simd4::cond_like_scaler_range(c, s, n_rates),
+                .enumerate()
+                .for_each(|(ci, (c, s))| {
+                    if panic_armed && ci == 0 {
+                        panic!("injected fault: rayon worker panic");
+                    }
+                    match schedule {
+                        None => scalar::cond_like_scaler_range(c, s, n_rates),
+                        Some(_) => simd4::cond_like_scaler_range(c, s, n_rates),
+                    }
                 });
         });
+        if let Some(inj) = &self.injector {
+            if let Some(kind) = inj.fire_corruption() {
+                inj.corrupt(ln_scalers, kind);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -146,6 +206,7 @@ impl PlfBackend for RayonBackend {
 mod tests {
     use super::*;
     use plf_phylo::alignment::Alignment;
+    use plf_phylo::resilience::CorruptionKind;
     use plf_phylo::kernels::ScalarBackend;
     use plf_phylo::likelihood::TreeLikelihood;
     use plf_phylo::model::{GtrParams, SiteModel};
@@ -177,7 +238,7 @@ mod tests {
         let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
         let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
         for threads in [1usize, 2, 3, 8] {
-            let mut backend = RayonBackend::new(threads);
+            let mut backend = RayonBackend::new(threads).unwrap();
             let mut eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
             let got = eval.log_likelihood(&tree, &mut backend).unwrap();
             assert_eq!(got, expect, "{} threads", threads);
@@ -190,7 +251,7 @@ mod tests {
         let model = SiteModel::gtr_gamma4(GtrParams::jc69(), 0.5).unwrap();
         let mut ref_eval = TreeLikelihood::new(&tree, &aln, model.clone()).unwrap();
         let expect = ref_eval.log_likelihood(&tree, &mut ScalarBackend).unwrap();
-        let mut backend = RayonBackend::with_kernel(4, None);
+        let mut backend = RayonBackend::with_kernel(4, None).unwrap();
         let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
         assert_eq!(eval.log_likelihood(&tree, &mut backend).unwrap(), expect);
     }
@@ -210,7 +271,7 @@ mod tests {
         .unwrap()
         .compress();
         let model = SiteModel::jc69();
-        let mut backend = RayonBackend::new(16);
+        let mut backend = RayonBackend::new(16).unwrap();
         let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
         let lnl = eval.log_likelihood(&tree, &mut backend).unwrap();
         assert!(lnl.is_finite());
@@ -218,6 +279,25 @@ mod tests {
 
     #[test]
     fn name_reflects_threads() {
-        assert_eq!(RayonBackend::new(5).name(), "rayon-5");
+        assert_eq!(RayonBackend::new(5).unwrap().name(), "rayon-5");
+    }
+
+    #[test]
+    fn zero_threads_is_a_config_error() {
+        assert!(matches!(
+            RayonBackend::new(0),
+            Err(PlfError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn injected_corruption_poisons_output() {
+        let (tree, aln) = toy();
+        let model = SiteModel::jc69();
+        let inj = Arc::new(FaultInjector::new(11).schedule_corruption(1, CorruptionKind::Nan));
+        let mut backend = RayonBackend::new(2).unwrap().with_fault_injector(inj);
+        let mut eval = TreeLikelihood::new(&tree, &aln, model).unwrap();
+        let lnl = eval.log_likelihood(&tree, &mut backend).unwrap();
+        assert!(lnl.is_nan(), "NaN corruption must reach the root, got {lnl}");
     }
 }

@@ -14,6 +14,7 @@
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::dna::N_STATES;
 use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
+use plf_phylo::resilience::PlfError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -100,7 +101,7 @@ impl PersistentPoolBackend {
                     loop {
                         // Wait for a new job epoch (or shutdown).
                         let task = {
-                            let mut st = shared.state.lock().expect("pool mutex");
+                            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
                             loop {
                                 if st.shutdown {
                                     return;
@@ -109,7 +110,10 @@ impl PersistentPoolBackend {
                                     seen_epoch = st.epoch;
                                     break st.task.clone().expect("task set with epoch");
                                 }
-                                st = shared.job_ready.wait(st).expect("pool condvar");
+                                st = shared
+                                    .job_ready
+                                    .wait(st)
+                                    .unwrap_or_else(|p| p.into_inner());
                             }
                         };
                         shared.drain(&task);
@@ -141,7 +145,7 @@ impl PersistentPoolBackend {
         self.shared.chunks_done.store(0, Ordering::Relaxed);
         self.shared.n_chunks.store(n_chunks, Ordering::Release);
         {
-            let mut st = self.shared.state.lock().expect("pool mutex");
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
             st.epoch += 1;
             st.task = Some(Arc::clone(&task));
         }
@@ -163,7 +167,7 @@ impl PersistentPoolBackend {
 impl Drop for PersistentPoolBackend {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool mutex");
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
             st.shutdown = true;
         }
         self.shared.job_ready.notify_all();
@@ -185,7 +189,7 @@ impl PlfBackend for PersistentPoolBackend {
         right: &Clv,
         p_right: &TransitionMatrices,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let m = out.n_patterns();
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
@@ -216,6 +220,7 @@ impl PlfBackend for PersistentPoolBackend {
             );
         });
         self.run_job(Self::n_chunks(m), task);
+        Ok(())
     }
 
     fn cond_like_root(
@@ -226,7 +231,7 @@ impl PlfBackend for PersistentPoolBackend {
         p_b: &TransitionMatrices,
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let m = out.n_patterns();
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
@@ -258,9 +263,10 @@ impl PlfBackend for PersistentPoolBackend {
             );
         });
         self.run_job(Self::n_chunks(m), task);
+        Ok(())
     }
 
-    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
         let m = clv.n_patterns();
         let n_rates = clv.n_rates();
         let stride = n_rates * N_STATES;
@@ -278,6 +284,7 @@ impl PlfBackend for PersistentPoolBackend {
             simd4::cond_like_scaler_range(clv_chunk, sc_chunk, n_rates);
         });
         self.run_job(Self::n_chunks(m), task);
+        Ok(())
     }
 }
 

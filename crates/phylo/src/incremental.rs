@@ -123,12 +123,16 @@ impl IncrementalLikelihood {
 
     /// Run `plan`, writing each touched node's results into its inactive
     /// buffer and flipping it; returns the resulting log-likelihood.
+    ///
+    /// On a backend error the flips made so far stay pending, so the
+    /// caller can [`IncrementalLikelihood::reject`] to roll back to the
+    /// pre-proposal state.
     fn run_plan(
         &mut self,
         tree: &Tree,
         plan: &PlfPlan,
         backend: &mut dyn PlfBackend,
-    ) -> f64 {
+    ) -> Result<f64, LikelihoodError> {
         assert!(
             self.pending.is_empty(),
             "previous proposal not accepted/rejected"
@@ -150,12 +154,15 @@ impl IncrementalLikelihood {
                     let p_l = tm(&self.model, tree, *left);
                     let p_r = tm(&self.model, tree, *right);
                     let mut out = self.take_active(*node);
-                    {
+                    let result = {
                         let l = self.active_clv(tree, *left);
                         let r = self.active_clv(tree, *right);
-                        backend.cond_like_down(l, &p_l, r, &p_r, &mut out);
-                    }
+                        backend.cond_like_down(l, &p_l, r, &p_r, &mut out)
+                    };
+                    // Restore the buffer slot before propagating any
+                    // error, or the workspace is poisoned.
                     self.put_active(*node, out);
+                    result?;
                 }
                 PlfOp::Root { node, children } => {
                     self.flip(*node);
@@ -163,15 +170,16 @@ impl IncrementalLikelihood {
                     let p_b = tm(&self.model, tree, children[1]);
                     let p_c = children.get(2).map(|&c| tm(&self.model, tree, c));
                     let mut out = self.take_active(*node);
-                    {
+                    let result = {
                         let a = self.active_clv(tree, children[0]);
                         let b = self.active_clv(tree, children[1]);
                         let c = children
                             .get(2)
                             .map(|&c3| (self.active_clv(tree, c3), p_c.as_ref().unwrap()));
-                        backend.cond_like_root(a, &p_a, b, &p_b, c, &mut out);
-                    }
+                        backend.cond_like_root(a, &p_a, b, &p_b, c, &mut out)
+                    };
                     self.put_active(*node, out);
+                    result?;
                 }
                 PlfOp::Scale { node } => {
                     // The node was just recomputed (and flipped); its
@@ -182,12 +190,13 @@ impl IncrementalLikelihood {
                         .as_mut()
                         .expect("internal node has scalers")[a];
                     scalers.iter_mut().for_each(|s| *s = 0.0);
-                    backend.cond_like_scaler(&mut clv, scalers);
+                    let result = backend.cond_like_scaler(&mut clv, scalers);
                     self.put_active(*node, clv);
+                    result?;
                 }
             }
         }
-        self.integrate_root()
+        Ok(self.integrate_root())
     }
 
     /// Flip `node` to its inactive buffer, recording it as pending, and
@@ -265,8 +274,18 @@ impl IncrementalLikelihood {
     ) -> Result<f64, LikelihoodError> {
         let plan = PlfPlan::for_tree(tree, 1)?;
         let lnl = self.run_plan(tree, &plan, backend);
-        self.accept();
-        Ok(lnl)
+        match lnl {
+            Ok(lnl) => {
+                self.accept();
+                Ok(lnl)
+            }
+            Err(e) => {
+                // Roll the half-applied sweep back so the workspace
+                // still holds the previous consistent state.
+                self.reject();
+                Err(e)
+            }
+        }
     }
 
     /// Partial evaluation of a proposal that dirtied `dirty` (changed
@@ -280,7 +299,7 @@ impl IncrementalLikelihood {
         backend: &mut dyn PlfBackend,
     ) -> Result<f64, LikelihoodError> {
         let plan = PlfPlan::for_update(tree, dirty, true)?;
-        Ok(self.run_plan(tree, &plan, backend))
+        self.run_plan(tree, &plan, backend)
     }
 
     /// Like [`IncrementalLikelihood::propose`], but recomputing the
@@ -292,7 +311,7 @@ impl IncrementalLikelihood {
         backend: &mut dyn PlfBackend,
     ) -> Result<f64, LikelihoodError> {
         let plan = PlfPlan::for_tree(tree, 1)?;
-        Ok(self.run_plan(tree, &plan, backend))
+        self.run_plan(tree, &plan, backend)
     }
 
     /// Commit the pending proposal.

@@ -20,6 +20,7 @@ pub mod scalar;
 pub mod simd4;
 
 use crate::clv::{Clv, TransitionMatrices};
+use crate::resilience::PlfError;
 
 /// Which SIMD schedule a vectorized kernel uses; mirrors the paper's two
 /// Cell/BE implementations (§3.3) and the analogous GPU choice (§3.4).
@@ -45,6 +46,10 @@ pub trait PlfBackend: Send {
 
     /// CondLikeDown: `out[i] = (P_l · left[i]) ⊙ (P_r · right[i])` for
     /// every pattern `i` and rate category.
+    ///
+    /// Errors surface simulated device failures (transfer, launch,
+    /// worker panic) and corrupted output; the in-process host backends
+    /// are infallible and always return `Ok(())`.
     fn cond_like_down(
         &mut self,
         left: &Clv,
@@ -52,7 +57,7 @@ pub trait PlfBackend: Send {
         right: &Clv,
         p_right: &TransitionMatrices,
         out: &mut Clv,
-    );
+    ) -> Result<(), PlfError>;
 
     /// CondLikeRoot: like `cond_like_down` but combining the three
     /// subtrees meeting at the virtual root. `c` is `None` for a rooted
@@ -66,11 +71,16 @@ pub trait PlfBackend: Send {
         p_b: &TransitionMatrices,
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
-    );
+    ) -> Result<(), PlfError>;
 
     /// CondLikeScaler: divide each pattern's `n_rates × 4` block by its
     /// maximum entry and accumulate `ln(max)` into `ln_scalers[i]`.
-    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]);
+    ///
+    /// Not idempotent: callers that retry a failed scale must restore
+    /// `clv` and `ln_scalers` first (see
+    /// [`crate::resilience::ResilientBackend`]).
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32])
+        -> Result<(), PlfError>;
 
     /// Called once per tree evaluation before the first kernel; lets
     /// simulated backends reset per-invocation bookkeeping. Default no-op.
@@ -94,7 +104,7 @@ impl PlfBackend for ScalarBackend {
         right: &Clv,
         p_right: &TransitionMatrices,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let n_rates = out.n_rates();
         scalar::cond_like_down_range(
             left.as_slice(),
@@ -104,6 +114,7 @@ impl PlfBackend for ScalarBackend {
             out.as_mut_slice(),
             n_rates,
         );
+        Ok(())
     }
 
     fn cond_like_root(
@@ -114,7 +125,7 @@ impl PlfBackend for ScalarBackend {
         p_b: &TransitionMatrices,
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let n_rates = out.n_rates();
         scalar::cond_like_root_range(
             a.as_slice(),
@@ -125,11 +136,17 @@ impl PlfBackend for ScalarBackend {
             out.as_mut_slice(),
             n_rates,
         );
+        Ok(())
     }
 
-    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+    fn cond_like_scaler(
+        &mut self,
+        clv: &mut Clv,
+        ln_scalers: &mut [f32],
+    ) -> Result<(), PlfError> {
         let n_rates = clv.n_rates();
         scalar::cond_like_scaler_range(clv.as_mut_slice(), ln_scalers, n_rates);
+        Ok(())
     }
 }
 
@@ -171,7 +188,7 @@ impl PlfBackend for Simd4Backend {
         right: &Clv,
         p_right: &TransitionMatrices,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let n_rates = out.n_rates();
         simd4::cond_like_down_range(
             self.schedule,
@@ -182,6 +199,7 @@ impl PlfBackend for Simd4Backend {
             out.as_mut_slice(),
             n_rates,
         );
+        Ok(())
     }
 
     fn cond_like_root(
@@ -192,7 +210,7 @@ impl PlfBackend for Simd4Backend {
         p_b: &TransitionMatrices,
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
-    ) {
+    ) -> Result<(), PlfError> {
         let n_rates = out.n_rates();
         simd4::cond_like_root_range(
             self.schedule,
@@ -204,11 +222,17 @@ impl PlfBackend for Simd4Backend {
             out.as_mut_slice(),
             n_rates,
         );
+        Ok(())
     }
 
-    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) {
+    fn cond_like_scaler(
+        &mut self,
+        clv: &mut Clv,
+        ln_scalers: &mut [f32],
+    ) -> Result<(), PlfError> {
         let n_rates = clv.n_rates();
         simd4::cond_like_scaler_range(clv.as_mut_slice(), ln_scalers, n_rates);
+        Ok(())
     }
 }
 

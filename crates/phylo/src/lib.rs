@@ -42,6 +42,7 @@ pub mod likelihood;
 pub mod model;
 pub mod oracle;
 pub mod partition;
+pub mod resilience;
 pub mod tree;
 
 /// Convenient glob-import surface.
@@ -55,5 +56,9 @@ pub mod prelude {
     pub use crate::likelihood::TreeLikelihood;
     pub use crate::model::{GtrParams, SiteModel};
     pub use crate::partition::{by_codon_position, by_gene_blocks, Partition, PartitionedLikelihood};
+    pub use crate::resilience::{
+        CorruptionKind, FaultInjector, FaultSite, PlfError, ResilienceReport, ResilientBackend,
+        RetryPolicy,
+    };
     pub use crate::tree::{Node, NodeId, Tree};
 }

@@ -16,16 +16,19 @@ use crate::dna::N_STATES;
 use crate::kernels::plan::{PlfOp, PlfPlan};
 use crate::kernels::PlfBackend;
 use crate::model::SiteModel;
+use crate::resilience::PlfError;
 use crate::tree::{NodeId, Tree, TreeError};
 use std::collections::HashMap;
 
-/// Errors from evaluator construction.
+/// Errors from evaluator construction or evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LikelihoodError {
     /// A leaf name was not found in the alignment.
     UnknownTaxon(String),
     /// Underlying tree problem.
     Tree(TreeError),
+    /// The PLF backend failed (device fault, corrupted output, …).
+    Backend(PlfError),
 }
 
 impl std::fmt::Display for LikelihoodError {
@@ -33,6 +36,7 @@ impl std::fmt::Display for LikelihoodError {
         match self {
             LikelihoodError::UnknownTaxon(t) => write!(f, "taxon {t} not in alignment"),
             LikelihoodError::Tree(e) => write!(f, "{e}"),
+            LikelihoodError::Backend(e) => write!(f, "backend failure: {e}"),
         }
     }
 }
@@ -42,6 +46,12 @@ impl std::error::Error for LikelihoodError {}
 impl From<TreeError> for LikelihoodError {
     fn from(e: TreeError) -> Self {
         LikelihoodError::Tree(e)
+    }
+}
+
+impl From<PlfError> for LikelihoodError {
+    fn from(e: PlfError) -> Self {
+        LikelihoodError::Backend(e)
     }
 }
 
@@ -228,30 +238,35 @@ impl TreeLikelihood {
             match op {
                 PlfOp::Down { node, left, right } => {
                     let mut out = self.clvs[node.0].take().expect("CLV slot present");
-                    {
+                    let result = {
                         let l = self.clvs[left.0].as_ref().expect("child CLV computed");
                         let r = self.clvs[right.0].as_ref().expect("child CLV computed");
-                        backend.cond_like_down(l, tm(*left), r, tm(*right), &mut out);
-                    }
+                        backend.cond_like_down(l, tm(*left), r, tm(*right), &mut out)
+                    };
+                    // The slot must be restored even on error, or the
+                    // workspace is poisoned for the next evaluation.
                     self.clvs[node.0] = Some(out);
+                    result?;
                 }
                 PlfOp::Root { node, children } => {
                     let mut out = self.clvs[node.0].take().expect("CLV slot present");
-                    {
+                    let result = {
                         let a = self.clvs[children[0].0].as_ref().unwrap();
                         let b = self.clvs[children[1].0].as_ref().unwrap();
                         let c = children
                             .get(2)
                             .map(|c3| (self.clvs[c3.0].as_ref().unwrap(), tm(*c3)));
-                        backend.cond_like_root(a, tm(children[0]), b, tm(children[1]), c, &mut out);
-                    }
+                        backend.cond_like_root(a, tm(children[0]), b, tm(children[1]), c, &mut out)
+                    };
                     self.clvs[node.0] = Some(out);
+                    result?;
                 }
                 PlfOp::Scale { node } => {
                     assert!(!self.is_tip[node.0], "tips are never rescaled");
                     let mut clv = self.clvs[node.0].take().expect("CLV slot present");
-                    backend.cond_like_scaler(&mut clv, &mut self.scalers);
+                    let result = backend.cond_like_scaler(&mut clv, &mut self.scalers);
                     self.clvs[node.0] = Some(clv);
+                    result?;
                 }
             }
         }

@@ -1,0 +1,116 @@
+//! The PLF error taxonomy.
+//!
+//! Every way a backend call can fail maps onto one of these variants so
+//! the execution layer (retry / fallback / abort) can act on the *class*
+//! of failure rather than a stringly-typed message. The classes mirror
+//! the real failure surfaces of the paper's three substrates: corrupted
+//! kernel output (any device), DMA transfer errors (Cell/BE), kernel
+//! launch and PCIe transfer errors (GPU), and worker-thread panics
+//! (multi-core thread pools).
+
+/// Which PLF kernel an error occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlfOpKind {
+    /// `CondLikeDown`.
+    Down,
+    /// `CondLikeRoot`.
+    Root,
+    /// `CondLikeScaler`.
+    Scale,
+}
+
+impl std::fmt::Display for PlfOpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlfOpKind::Down => write!(f, "CondLikeDown"),
+            PlfOpKind::Root => write!(f, "CondLikeRoot"),
+            PlfOpKind::Scale => write!(f, "CondLikeScaler"),
+        }
+    }
+}
+
+/// A failure inside a [`crate::kernels::PlfBackend`] call or its
+/// surrounding execution machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlfError {
+    /// A kernel produced non-finite (or, under a strict policy,
+    /// subnormal) output — numerical corruption.
+    InvalidOutput {
+        /// Backend that produced the value.
+        backend: String,
+        /// Kernel the value came from.
+        op: PlfOpKind,
+        /// What was found (offset and value).
+        detail: String,
+    },
+    /// A simulated data transfer (Cell/BE DMA or GPU PCIe) failed.
+    Transfer {
+        /// Backend whose transfer failed.
+        backend: String,
+        /// Which channel ("dma" or "pcie").
+        channel: &'static str,
+        /// Transfer description.
+        detail: String,
+    },
+    /// A GPU kernel launch was rejected by the device.
+    Launch {
+        /// Backend whose launch failed.
+        backend: String,
+        /// Launch description.
+        detail: String,
+    },
+    /// A worker thread panicked during a kernel.
+    WorkerPanic {
+        /// Backend whose worker died.
+        backend: String,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+    /// Invalid configuration (thread counts, pool construction, FSM
+    /// protocol violations).
+    Config(String),
+    /// Every backend in a resilience chain failed; `last` is the final
+    /// error observed.
+    Exhausted {
+        /// Total attempts made across all tiers.
+        attempts: u32,
+        /// The error that ended the last attempt.
+        last: Box<PlfError>,
+    },
+}
+
+impl std::fmt::Display for PlfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlfError::InvalidOutput { backend, op, detail } => {
+                write!(f, "{backend}: invalid {op} output: {detail}")
+            }
+            PlfError::Transfer { backend, channel, detail } => {
+                write!(f, "{backend}: {channel} transfer failed: {detail}")
+            }
+            PlfError::Launch { backend, detail } => {
+                write!(f, "{backend}: kernel launch failed: {detail}")
+            }
+            PlfError::WorkerPanic { backend, detail } => {
+                write!(f, "{backend}: worker panicked: {detail}")
+            }
+            PlfError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PlfError::Exhausted { attempts, last } => {
+                write!(f, "all backends exhausted after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlfError {}
+
+/// Render a `catch_unwind` payload as a human-readable string.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,35 @@
+//! Resilient PLF execution: fault injection, error taxonomy, and a
+//! self-healing backend wrapper.
+//!
+//! The paper's accelerators (Cell/BE SPEs over DMA, GPUs over PCIe,
+//! multi-core thread pools) each add a real-world failure surface that
+//! the idealised simulation otherwise hides. This module makes those
+//! failures *first-class*:
+//!
+//! - [`FaultInjector`] — a deterministic, seeded fault source that can
+//!   corrupt kernel outputs (NaN / Inf / denormal), fail simulated DMA
+//!   and PCIe transfers, reject kernel launches, and kill worker
+//!   threads. Scheduled one-shot faults give tests exact control;
+//!   rate-based faults exercise soak runs. Environment knobs
+//!   (`PLF_FAULT_*`) arm it from the CLI without code changes.
+//! - [`PlfError`] — the failure taxonomy every fallible backend call
+//!   returns.
+//! - [`ResilientBackend`] — a [`crate::kernels::PlfBackend`] wrapper
+//!   that validates outputs, retries with bounded exponential backoff,
+//!   isolates worker panics, and degrades through a caller-supplied
+//!   tier chain (e.g. gpu → multicore → scalar), recording everything
+//!   in a [`ResilienceReport`].
+//!
+//! Because the PLF kernels are deterministic, a recovered computation
+//! is *bitwise identical* to a fault-free run — the integration suite
+//! in `tests/recovery.rs` asserts exactly that.
+
+mod error;
+mod fault;
+mod wrapper;
+
+pub use error::{panic_message, PlfError, PlfOpKind};
+pub use fault::{CorruptionKind, FaultInjector, FaultSite};
+pub use wrapper::{
+    RecoveryAction, ResilienceEvent, ResilienceReport, ResilientBackend, RetryPolicy,
+};

@@ -1,0 +1,555 @@
+//! The resilient execution wrapper: validate → retry → degrade.
+//!
+//! [`ResilientBackend`] owns an ordered chain of backends (the caller
+//! composes it, typically gpu → multicore → scalar) and implements
+//! [`PlfBackend`] itself, so the likelihood evaluators and the MCMC
+//! driver need no changes to run under it. Every kernel call is
+//!
+//! 1. executed on the *active* tier under `catch_unwind`, so a worker
+//!    panic becomes a [`PlfError::WorkerPanic`] instead of tearing down
+//!    the chain;
+//! 2. validated: all written CLV entries (and scaler entries) must be
+//!    finite, optionally rejecting subnormals;
+//! 3. on failure, retried on the same tier up to
+//!    [`RetryPolicy::max_retries`] times with bounded exponential
+//!    backoff, then the wrapper *degrades* to the next tier;
+//! 4. recorded in a [`ResilienceReport`].
+//!
+//! `CondLikeScaler` mutates its CLV in place and accumulates into the
+//! scaler vector, so it is **not** idempotent; the wrapper snapshots
+//! both before the first attempt and restores them before every
+//! re-attempt. `CondLikeDown`/`CondLikeRoot` fully overwrite their
+//! output, so they retry without restoration.
+
+use super::error::{panic_message, PlfError, PlfOpKind};
+use crate::clv::{Clv, TransitionMatrices};
+use crate::kernels::PlfBackend;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Retry / validation policy of a [`ResilientBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Re-attempts on the same tier before degrading (0 = degrade at
+    /// once).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Scan kernel outputs for non-finite values.
+    pub validate_outputs: bool,
+    /// Additionally reject subnormal CLV entries. Off by default: on
+    /// extreme trees, pre-rescale CLV magnitudes may legitimately dip
+    /// into the subnormal range.
+    pub reject_subnormals: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            validate_outputs: true,
+            reject_subnormals: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff(&self, retry: u32) -> Duration {
+        let d = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX));
+        d.min(self.max_backoff)
+    }
+}
+
+/// What the wrapper did in response to one failed attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryAction {
+    /// Same tier, tried again.
+    Retried,
+    /// Moved to the next tier.
+    Degraded {
+        /// Name of the tier taking over.
+        to: String,
+    },
+    /// No tiers left; the error was returned to the caller.
+    GaveUp,
+}
+
+/// One recorded failure + response.
+#[derive(Debug, Clone)]
+pub struct ResilienceEvent {
+    /// Kernel in which the failure occurred.
+    pub op: PlfOpKind,
+    /// Tier that failed.
+    pub backend: String,
+    /// Attempt number on that tier (0 = first try).
+    pub attempt: u32,
+    /// The failure itself.
+    pub error: PlfError,
+    /// What the wrapper did about it.
+    pub action: RecoveryAction,
+}
+
+/// Structured account of everything the wrapper observed.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceReport {
+    /// Every failure, in order.
+    pub events: Vec<ResilienceEvent>,
+    /// Kernel calls issued through the wrapper.
+    pub total_calls: u64,
+    /// Same-tier re-attempts.
+    pub retries: u64,
+    /// Tier switches.
+    pub degradations: u64,
+}
+
+impl ResilienceReport {
+    /// Did any fault at all surface?
+    pub fn any_faults(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+/// A [`PlfBackend`] that survives faults in the backends it wraps.
+pub struct ResilientBackend {
+    tiers: Vec<Box<dyn PlfBackend>>,
+    active: usize,
+    policy: RetryPolicy,
+    report: ResilienceReport,
+}
+
+impl ResilientBackend {
+    /// Wrap a primary backend with the default policy. Add fallbacks
+    /// with [`ResilientBackend::with_fallback`] in degradation order.
+    pub fn new(primary: Box<dyn PlfBackend>) -> ResilientBackend {
+        ResilientBackend {
+            tiers: vec![primary],
+            active: 0,
+            policy: RetryPolicy::default(),
+            report: ResilienceReport::default(),
+        }
+    }
+
+    /// Append a fallback tier (used after the previous tiers fail).
+    pub fn with_fallback(mut self, backend: Box<dyn PlfBackend>) -> ResilientBackend {
+        self.tiers.push(backend);
+        self
+    }
+
+    /// Replace the retry/validation policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> ResilientBackend {
+        self.policy = policy;
+        self
+    }
+
+    /// Name of the tier currently executing calls.
+    pub fn active_tier(&self) -> String {
+        self.tiers[self.active].name()
+    }
+
+    /// The structured event log.
+    pub fn report(&self) -> &ResilienceReport {
+        &self.report
+    }
+
+    /// Clear the event log (tier degradation is kept — a failed device
+    /// stays failed).
+    pub fn reset_report(&mut self) {
+        self.report = ResilienceReport::default();
+    }
+
+    /// Total attempts across the events recorded so far.
+    fn attempts_so_far(&self) -> u32 {
+        self.report.events.len() as u32 + 1
+    }
+
+    /// Handle one failed attempt: retry, degrade, or give up. Returns
+    /// `Ok(())` when another attempt should be made.
+    fn after_failure(&mut self, op: PlfOpKind, err: PlfError, retry: &mut u32) -> Result<(), PlfError> {
+        let backend = self.tiers[self.active].name();
+        if *retry < self.policy.max_retries {
+            let backoff = self.policy.backoff(*retry);
+            self.report.events.push(ResilienceEvent {
+                op,
+                backend,
+                attempt: *retry,
+                error: err,
+                action: RecoveryAction::Retried,
+            });
+            self.report.retries += 1;
+            *retry += 1;
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            return Ok(());
+        }
+        if self.active + 1 < self.tiers.len() {
+            let to = self.tiers[self.active + 1].name();
+            self.report.events.push(ResilienceEvent {
+                op,
+                backend,
+                attempt: *retry,
+                error: err,
+                action: RecoveryAction::Degraded { to },
+            });
+            self.report.degradations += 1;
+            self.active += 1;
+            *retry = 0;
+            return Ok(());
+        }
+        let attempts = self.attempts_so_far();
+        self.report.events.push(ResilienceEvent {
+            op,
+            backend,
+            attempt: *retry,
+            error: err.clone(),
+            action: RecoveryAction::GaveUp,
+        });
+        Err(PlfError::Exhausted {
+            attempts,
+            last: Box::new(err),
+        })
+    }
+
+    /// Validate a kernel-written buffer.
+    fn check(&self, data: &[f32], backend: &str, op: PlfOpKind, what: &str) -> Result<(), PlfError> {
+        if !self.policy.validate_outputs {
+            return Ok(());
+        }
+        for (i, &v) in data.iter().enumerate() {
+            let bad = !v.is_finite() || (self.policy.reject_subnormals && v.is_subnormal());
+            if bad {
+                return Err(PlfError::InvalidOutput {
+                    backend: backend.to_string(),
+                    op,
+                    detail: format!("{what}[{i}] = {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run `f` and fold a panic into [`PlfError::WorkerPanic`].
+fn guard<F: FnOnce() -> Result<(), PlfError>>(backend: &str, f: F) -> Result<(), PlfError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(PlfError::WorkerPanic {
+            backend: backend.to_string(),
+            detail: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+impl PlfBackend for ResilientBackend {
+    fn name(&self) -> String {
+        let chain: Vec<String> = self.tiers.iter().map(|t| t.name()).collect();
+        format!("resilient({})", chain.join("→"))
+    }
+
+    fn begin_evaluation(&mut self) {
+        // Every tier gets the notification: a degradation mid-evaluation
+        // must land on a tier whose per-evaluation state is current.
+        for tier in &mut self.tiers {
+            tier.begin_evaluation();
+        }
+    }
+
+    fn cond_like_down(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    ) -> Result<(), PlfError> {
+        self.report.total_calls += 1;
+        let mut retry = 0u32;
+        loop {
+            let backend = self.tiers[self.active].name();
+            let tier = self.tiers[self.active].as_mut();
+            let res = guard(&backend, || {
+                tier.cond_like_down(left, p_left, right, p_right, out)
+            })
+            .and_then(|()| self.check(out.as_slice(), &backend, PlfOpKind::Down, "clv"));
+            match res {
+                Ok(()) => return Ok(()),
+                // Down fully overwrites `out`: safe to re-run as is.
+                Err(e) => self.after_failure(PlfOpKind::Down, e, &mut retry)?,
+            }
+        }
+    }
+
+    fn cond_like_root(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    ) -> Result<(), PlfError> {
+        self.report.total_calls += 1;
+        let mut retry = 0u32;
+        loop {
+            let backend = self.tiers[self.active].name();
+            let tier = self.tiers[self.active].as_mut();
+            let res = guard(&backend, || tier.cond_like_root(a, p_a, b, p_b, c, out))
+                .and_then(|()| self.check(out.as_slice(), &backend, PlfOpKind::Root, "clv"));
+            match res {
+                Ok(()) => return Ok(()),
+                Err(e) => self.after_failure(PlfOpKind::Root, e, &mut retry)?,
+            }
+        }
+    }
+
+    fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
+        self.report.total_calls += 1;
+        // The scaler divides in place and accumulates — not idempotent.
+        let clv_snapshot: Vec<f32> = clv.as_slice().to_vec();
+        let sc_snapshot: Vec<f32> = ln_scalers.to_vec();
+        let mut retry = 0u32;
+        loop {
+            let backend = self.tiers[self.active].name();
+            let tier = self.tiers[self.active].as_mut();
+            let res = guard(&backend, || tier.cond_like_scaler(clv, ln_scalers))
+                .and_then(|()| self.check(clv.as_slice(), &backend, PlfOpKind::Scale, "clv"))
+                .and_then(|()| self.check(ln_scalers, &backend, PlfOpKind::Scale, "ln_scalers"));
+            match res {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    self.after_failure(PlfOpKind::Scale, e, &mut retry)?;
+                    clv.as_mut_slice().copy_from_slice(&clv_snapshot);
+                    ln_scalers.copy_from_slice(&sc_snapshot);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::ScalarBackend;
+
+    /// A backend that fails its first `fail_n` down-calls.
+    struct Flaky {
+        fail_n: u32,
+        calls: u32,
+        mode: FlakyMode,
+    }
+
+    enum FlakyMode {
+        Error,
+        Panic,
+        Corrupt,
+    }
+
+    impl PlfBackend for Flaky {
+        fn name(&self) -> String {
+            "flaky".into()
+        }
+
+        fn cond_like_down(
+            &mut self,
+            left: &Clv,
+            p_left: &TransitionMatrices,
+            right: &Clv,
+            p_right: &TransitionMatrices,
+            out: &mut Clv,
+        ) -> Result<(), PlfError> {
+            let failing = self.calls < self.fail_n;
+            self.calls += 1;
+            ScalarBackend.cond_like_down(left, p_left, right, p_right, out)?;
+            if failing {
+                match self.mode {
+                    FlakyMode::Error => {
+                        return Err(PlfError::Launch {
+                            backend: "flaky".into(),
+                            detail: "injected".into(),
+                        })
+                    }
+                    FlakyMode::Panic => panic!("injected worker death"),
+                    FlakyMode::Corrupt => out.as_mut_slice()[0] = f32::NAN,
+                }
+            }
+            Ok(())
+        }
+
+        fn cond_like_root(
+            &mut self,
+            a: &Clv,
+            p_a: &TransitionMatrices,
+            b: &Clv,
+            p_b: &TransitionMatrices,
+            c: Option<(&Clv, &TransitionMatrices)>,
+            out: &mut Clv,
+        ) -> Result<(), PlfError> {
+            ScalarBackend.cond_like_root(a, p_a, b, p_b, c, out)
+        }
+
+        fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
+            ScalarBackend.cond_like_scaler(clv, ln_scalers)
+        }
+    }
+
+    fn operands() -> (Clv, Clv, TransitionMatrices, Clv) {
+        let m = 6;
+        let mut left = Clv::zeroed(m, 1);
+        let mut right = Clv::zeroed(m, 1);
+        for (i, v) in left.as_mut_slice().iter_mut().enumerate() {
+            *v = (i % 7) as f32 / 7.0 + 0.1;
+        }
+        for (i, v) in right.as_mut_slice().iter_mut().enumerate() {
+            *v = (i % 5) as f32 / 5.0 + 0.1;
+        }
+        let p = TransitionMatrices::from_mats(vec![[[0.25f32; 4]; 4]]);
+        let out = Clv::zeroed(m, 1);
+        (left, right, p, out)
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    fn expected_out() -> Vec<f32> {
+        let (left, right, p, mut out) = operands();
+        ScalarBackend
+            .cond_like_down(&left, &p, &right, &p, &mut out)
+            .unwrap();
+        out.as_slice().to_vec()
+    }
+
+    fn run_flaky(mode: FlakyMode, fail_n: u32) -> (Result<(), PlfError>, Vec<f32>, ResilienceReport) {
+        let flaky = Flaky { fail_n, calls: 0, mode };
+        let mut rb = ResilientBackend::new(Box::new(flaky))
+            .with_fallback(Box::new(ScalarBackend))
+            .with_policy(fast_policy());
+        let (left, right, p, mut out) = operands();
+        let res = rb.cond_like_down(&left, &p, &right, &p, &mut out);
+        (res, out.as_slice().to_vec(), rb.report().clone())
+    }
+
+    #[test]
+    fn transient_error_is_retried_to_success() {
+        let (res, out, report) = run_flaky(FlakyMode::Error, 1);
+        res.unwrap();
+        assert_eq!(out, expected_out());
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.degradations, 0);
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_retried() {
+        let (res, out, report) = run_flaky(FlakyMode::Panic, 2);
+        res.unwrap();
+        assert_eq!(out, expected_out());
+        assert_eq!(report.retries, 2);
+        assert!(matches!(report.events[0].error, PlfError::WorkerPanic { .. }));
+    }
+
+    #[test]
+    fn corrupt_output_is_caught_by_validation() {
+        let (res, out, report) = run_flaky(FlakyMode::Corrupt, 1);
+        res.unwrap();
+        assert_eq!(out, expected_out());
+        assert!(matches!(report.events[0].error, PlfError::InvalidOutput { .. }));
+    }
+
+    #[test]
+    fn persistent_failure_degrades_to_fallback() {
+        let (res, out, report) = run_flaky(FlakyMode::Error, u32::MAX);
+        res.unwrap();
+        assert_eq!(out, expected_out());
+        assert_eq!(report.degradations, 1);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(&e.action, RecoveryAction::Degraded { to } if to == "scalar")));
+    }
+
+    #[test]
+    fn single_tier_exhaustion_returns_error() {
+        let flaky = Flaky { fail_n: u32::MAX, calls: 0, mode: FlakyMode::Error };
+        let mut rb = ResilientBackend::new(Box::new(flaky)).with_policy(fast_policy());
+        let (left, right, p, mut out) = operands();
+        let err = rb.cond_like_down(&left, &p, &right, &p, &mut out).unwrap_err();
+        assert!(matches!(err, PlfError::Exhausted { .. }));
+        assert!(matches!(
+            rb.report().events.last().unwrap().action,
+            RecoveryAction::GaveUp
+        ));
+    }
+
+    #[test]
+    fn scaler_retry_restores_snapshot() {
+        /// Fails the first scale call *after* half-applying it.
+        struct HalfScaler {
+            failed: bool,
+        }
+        impl PlfBackend for HalfScaler {
+            fn name(&self) -> String {
+                "half-scaler".into()
+            }
+            fn cond_like_down(
+                &mut self,
+                l: &Clv,
+                pl: &TransitionMatrices,
+                r: &Clv,
+                pr: &TransitionMatrices,
+                out: &mut Clv,
+            ) -> Result<(), PlfError> {
+                ScalarBackend.cond_like_down(l, pl, r, pr, out)
+            }
+            fn cond_like_root(
+                &mut self,
+                a: &Clv,
+                pa: &TransitionMatrices,
+                b: &Clv,
+                pb: &TransitionMatrices,
+                c: Option<(&Clv, &TransitionMatrices)>,
+                out: &mut Clv,
+            ) -> Result<(), PlfError> {
+                ScalarBackend.cond_like_root(a, pa, b, pb, c, out)
+            }
+            fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
+                if !self.failed {
+                    self.failed = true;
+                    // Half-apply, then die: scale but also corrupt.
+                    ScalarBackend.cond_like_scaler(clv, ln_scalers)?;
+                    ln_scalers[0] = f32::NAN;
+                    return Ok(()); // validation will catch the NaN
+                }
+                ScalarBackend.cond_like_scaler(clv, ln_scalers)
+            }
+        }
+
+        let (_, _, _, _) = operands();
+        let mut clv = Clv::zeroed(4, 1);
+        for (i, v) in clv.as_mut_slice().iter_mut().enumerate() {
+            *v = (i + 1) as f32 * 10.0;
+        }
+        let mut scalers = vec![0.5f32; 4];
+        // Reference: one clean scale from identical initial state.
+        let mut ref_clv = clv.clone();
+        let mut ref_sc = scalers.clone();
+        ScalarBackend.cond_like_scaler(&mut ref_clv, &mut ref_sc).unwrap();
+
+        let mut rb = ResilientBackend::new(Box::new(HalfScaler { failed: false }))
+            .with_policy(fast_policy());
+        rb.cond_like_scaler(&mut clv, &mut scalers).unwrap();
+        // Without snapshot/restore the retry would double-scale.
+        assert_eq!(clv.as_slice(), ref_clv.as_slice());
+        assert_eq!(scalers, ref_sc);
+        assert_eq!(rb.report().retries, 1);
+    }
+}

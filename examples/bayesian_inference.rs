@@ -44,10 +44,10 @@ fn main() {
 
     // The PLF runs on the rayon multicore backend — the paper's winner.
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut backend = RayonBackend::new(threads);
+    let mut backend = RayonBackend::new(threads).expect("thread pool");
     println!("running 2,000 generations on {} ({threads} threads)...\n", backend_name(&backend));
 
-    let stats = chain.run(&mut backend);
+    let stats = chain.run(&mut backend).expect("MCMC run");
 
     println!("posterior trace (lnL):");
     for s in &stats.samples {

@@ -38,7 +38,7 @@ fn main() {
         },
     )
     .unwrap();
-    let stats = chain.run(&mut ScalarBackend);
+    let stats = chain.run(&mut ScalarBackend).expect("MCMC run");
     let remaining_s = stats.remaining_time().as_secs_f64();
     println!(
         "  baseline: PLF {:.2}s + Remaining {:.2}s  (PLF share {:.1}%)\n",

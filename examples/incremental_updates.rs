@@ -33,7 +33,7 @@ fn run(incremental: bool, label: &str, ds: &Dataset) -> (f64, u64, std::time::Du
         },
     )
     .expect("chain construction");
-    let stats = chain.run(&mut ScalarBackend);
+    let stats = chain.run(&mut ScalarBackend).expect("MCMC run");
     println!(
         "{label:<12} lnL {:>12.3}   PLF calls {:>7}   PLF time {:>8.3}s",
         stats.final_ln_likelihood,

@@ -51,7 +51,7 @@ fn main() {
     let mut backends: Vec<Box<dyn PlfBackend>> = (0..4)
         .map(|_| Box::new(plf_repro::multicore::PersistentPoolBackend::new(2)) as Box<dyn PlfBackend>)
         .collect();
-    let stats = mc3.run(&mut backends);
+    let stats = mc3.run(&mut backends).expect("MC3 run");
 
     println!("cold-chain posterior trace:");
     for s in stats.cold_samples.iter().step_by(5) {

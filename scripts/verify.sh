@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus lint for the resilience layer.
+#
+#   scripts/verify.sh
+#
+# Runs, in order:
+#   1. the tier-1 gate from ROADMAP.md: release build + full test suite;
+#   2. clippy with -D warnings on the crates the resilience layer spans
+#      (phylo owns resilience/, mcmc owns checkpoint/restore, and the
+#      three backend crates host the fault hooks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> clippy (resilience-bearing crates), -D warnings"
+cargo clippy -p plf-phylo -p plf-mcmc -p plf-multicore -p plf-cellbe -p plf-gpu \
+    --all-targets -- -D warnings
+
+echo "==> verify OK"

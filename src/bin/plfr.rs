@@ -19,6 +19,7 @@ use plf_repro::phylo::io;
 use plf_repro::phylo::kernels::{PlfBackend, ScalarBackend, Simd4Backend};
 use plf_repro::phylo::likelihood::TreeLikelihood;
 use plf_repro::phylo::model::{GtrParams, SiteModel};
+use plf_repro::phylo::resilience::{FaultInjector, ResilientBackend};
 use plf_repro::phylo::tree::Tree;
 use plf_repro::seqgen;
 use rand::rngs::StdRng;
@@ -73,20 +74,77 @@ impl Args {
     }
 }
 
-fn backend_by_name(name: &str) -> Result<Box<dyn PlfBackend>, String> {
+fn backend_by_name(
+    name: &str,
+    injector: Option<&std::sync::Arc<FaultInjector>>,
+) -> Result<Box<dyn PlfBackend>, String> {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let inj = || injector.map(std::sync::Arc::clone);
     Ok(match name {
         "scalar" => Box::new(ScalarBackend),
         "simd" | "simd-colwise" => Box::new(Simd4Backend::col_wise()),
         "simd-rowwise" => Box::new(Simd4Backend::row_wise()),
-        "rayon" => Box::new(plf_repro::multicore::RayonBackend::new(threads)),
+        "rayon" => {
+            let b = plf_repro::multicore::RayonBackend::new(threads).map_err(|e| e.to_string())?;
+            match inj() {
+                Some(i) => Box::new(b.with_fault_injector(i)),
+                None => Box::new(b),
+            }
+        }
+        // The persistent pool keeps workers parked on channels; a
+        // mid-kernel panic would wedge them, so it opts out of injection.
         "persistent" => Box::new(plf_repro::multicore::PersistentPoolBackend::new(threads)),
-        "ps3" => Box::new(plf_repro::cellbe::CellBackend::ps3()),
-        "qs20" => Box::new(plf_repro::cellbe::CellBackend::qs20()),
-        "8800gt" => Box::new(plf_repro::gpu::GpuBackend::gt8800()),
-        "gtx285" => Box::new(plf_repro::gpu::GpuBackend::gtx285()),
+        "ps3" => {
+            let b = plf_repro::cellbe::CellBackend::ps3();
+            match inj() {
+                Some(i) => Box::new(b.with_fault_injector(i)),
+                None => Box::new(b),
+            }
+        }
+        "qs20" => {
+            let b = plf_repro::cellbe::CellBackend::qs20();
+            match inj() {
+                Some(i) => Box::new(b.with_fault_injector(i)),
+                None => Box::new(b),
+            }
+        }
+        "8800gt" => {
+            let b = plf_repro::gpu::GpuBackend::gt8800();
+            match inj() {
+                Some(i) => Box::new(b.with_fault_injector(i)),
+                None => Box::new(b),
+            }
+        }
+        "gtx285" => {
+            let b = plf_repro::gpu::GpuBackend::gtx285();
+            match inj() {
+                Some(i) => Box::new(b.with_fault_injector(i)),
+                None => Box::new(b),
+            }
+        }
         other => return Err(format!("unknown backend {other:?}; see `plfr backends`")),
     })
+}
+
+/// Build the backend named on the command line. If any `PLF_FAULT_*`
+/// environment knob is set, attach a deterministic fault injector to it
+/// and wrap the result in a [`ResilientBackend`] that retries and falls
+/// back to the scalar reference, so injected faults are survived rather
+/// than fatal.
+fn make_backend(name: &str) -> Result<Box<dyn PlfBackend>, String> {
+    match FaultInjector::from_env() {
+        None => backend_by_name(name, None),
+        Some(injector) => {
+            let injector = std::sync::Arc::new(injector);
+            let primary = backend_by_name(name, Some(&injector))?;
+            eprintln!(
+                "fault injection enabled via PLF_FAULT_* env; running {name} under the resilient executor"
+            );
+            Ok(Box::new(
+                ResilientBackend::new(primary).with_fallback(Box::new(ScalarBackend)),
+            ))
+        }
+    }
 }
 
 const BACKEND_NAMES: &[&str] = &[
@@ -165,7 +223,7 @@ fn cmd_likelihood(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parse_num("seed", 42)?;
     let tree = load_or_make_tree(args, &data, seed)?;
     let model = build_model(args)?;
-    let mut backend = backend_by_name(args.get("backend").unwrap_or("scalar"))?;
+    let mut backend = make_backend(args.get("backend").unwrap_or("scalar"))?;
     let mut eval = TreeLikelihood::new(&tree, &data, model).map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let lnl = eval
@@ -200,10 +258,10 @@ fn cmd_mcmc(args: &Args) -> Result<(), String> {
     if n_chains > 1 {
         return cmd_mc3(args, tree, &data, options, n_chains, trace_prefix);
     }
-    let mut backend = backend_by_name(args.get("backend").unwrap_or("scalar"))?;
+    let mut backend = make_backend(args.get("backend").unwrap_or("scalar"))?;
     let mut chain = Chain::new(tree, &data, GtrParams::jc69(), 0.5, Priors::default(), options)
         .map_err(|e| e.to_string())?;
-    let stats = chain.run(backend.as_mut());
+    let stats = chain.run(backend.as_mut()).map_err(|e| e.to_string())?;
     println!("backend:            {}", backend.name());
     println!("generations:        {generations}");
     println!("final lnL:          {:.4}", stats.final_ln_likelihood);
@@ -249,7 +307,7 @@ fn cmd_mc3(
     let backend_name = args.get("backend").unwrap_or("scalar");
     let mut backends = Vec::with_capacity(n_chains);
     for _ in 0..n_chains {
-        backends.push(backend_by_name(backend_name)?);
+        backends.push(make_backend(backend_name)?);
     }
     let mut mc3 = Mc3::new(
         tree,
@@ -266,7 +324,7 @@ fn cmd_mc3(
         },
     )
     .map_err(|e| e.to_string())?;
-    let stats = mc3.run(&mut backends);
+    let stats = mc3.run(&mut backends).map_err(|e| e.to_string())?;
     println!("chains:             {n_chains} (MC3, heat ladder)");
     println!("swap acceptance:    {:.1}%", 100.0 * stats.swap_acceptance());
     println!("final cold lnL:     {:.4}", stats.final_cold_ln_likelihood);
@@ -401,9 +459,9 @@ mod tests {
     #[test]
     fn all_backend_names_resolve() {
         for name in BACKEND_NAMES {
-            assert!(backend_by_name(name).is_ok(), "{name}");
+            assert!(backend_by_name(name, None).is_ok(), "{name}");
         }
-        assert!(backend_by_name("quantum").is_err());
+        assert!(backend_by_name("quantum", None).is_err());
     }
 
     fn tmpfile(name: &str, contents: &str) -> String {

@@ -57,28 +57,27 @@ use phylo::alignment::PatternAlignment;
 use phylo::kernels::{PlfBackend, ScalarBackend, Simd4Backend};
 use phylo::likelihood::{LikelihoodError, TreeLikelihood};
 use phylo::model::SiteModel;
+use phylo::resilience::PlfError;
 use phylo::tree::Tree;
 
 /// Every functional backend in the workspace, ready to run.
 ///
 /// The rayon backend uses all available cores; the Cell and GPU
-/// backends use the paper's flagship configurations.
-pub fn all_backends() -> Vec<Box<dyn PlfBackend>> {
-    vec![
+/// backends use the paper's flagship configurations. Fails only if the
+/// host thread pools cannot be constructed.
+pub fn all_backends() -> Result<Vec<Box<dyn PlfBackend>>, PlfError> {
+    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    Ok(vec![
         Box::new(ScalarBackend),
         Box::new(Simd4Backend::col_wise()),
         Box::new(Simd4Backend::row_wise()),
-        Box::new(multicore::RayonBackend::new(
-            std::thread::available_parallelism().map_or(4, |n| n.get()),
-        )),
-        Box::new(multicore::PersistentPoolBackend::new(
-            std::thread::available_parallelism().map_or(4, |n| n.get()),
-        )),
+        Box::new(multicore::RayonBackend::new(n_threads)?),
+        Box::new(multicore::PersistentPoolBackend::new(n_threads)),
         Box::new(cellbe::CellBackend::ps3()),
         Box::new(cellbe::CellBackend::qs20()),
         Box::new(gpu::GpuBackend::gt8800()),
         Box::new(gpu::GpuBackend::gtx285()),
-    ]
+    ])
 }
 
 /// Compute the log-likelihood of `tree` over `data` under `model` on
@@ -89,7 +88,7 @@ pub fn evaluate_on_all_backends(
     model: &SiteModel,
 ) -> Result<Vec<(String, f64)>, LikelihoodError> {
     let mut out = Vec::new();
-    for mut backend in all_backends() {
+    for mut backend in all_backends().map_err(LikelihoodError::Backend)? {
         let mut eval = TreeLikelihood::new(tree, data, model.clone())?;
         let lnl = eval.log_likelihood(tree, backend.as_mut())?;
         out.push((backend.name(), lnl));
@@ -104,7 +103,7 @@ mod tests {
 
     #[test]
     fn all_backends_report_distinct_names() {
-        let names: Vec<String> = all_backends().iter().map(|b| b.name()).collect();
+        let names: Vec<String> = all_backends().unwrap().iter().map(|b| b.name()).collect();
         let unique: std::collections::HashSet<&String> = names.iter().collect();
         assert_eq!(unique.len(), names.len(), "{names:?}");
         assert_eq!(names.len(), 9);

@@ -66,7 +66,7 @@ fn agreement_after_mcmc_moves() {
             },
         )
         .unwrap();
-        chain.run(backend).final_ln_likelihood
+        chain.run(backend).unwrap().final_ln_likelihood
     };
     let mut scalar = plf_repro::phylo::kernels::ScalarBackend;
     let expect = run(&mut scalar);
@@ -74,7 +74,7 @@ fn agreement_after_mcmc_moves() {
     assert_eq!(run(&mut cell), expect, "cell trajectory diverged");
     let mut gpu = plf_repro::gpu::GpuBackend::gtx285();
     assert_eq!(run(&mut gpu), expect, "gpu trajectory diverged");
-    let mut rayon = plf_repro::multicore::RayonBackend::new(3);
+    let mut rayon = plf_repro::multicore::RayonBackend::new(3).unwrap();
     assert_eq!(run(&mut rayon), expect, "rayon trajectory diverged");
 }
 

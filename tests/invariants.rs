@@ -1,4 +1,16 @@
 //! Property-based tests of the core mathematical invariants.
+//!
+//! A note on tolerances: these bounds are intentionally strict —
+//! tighter than textbook float-error analysis would demand — so that a
+//! regression in kernel summation order, eigen decomposition, or CLV
+//! rescaling shows up as a test failure rather than a silent drift.
+//! `1e-9` bounds (Q-matrix rows, detailed balance, gamma means) check
+//! quantities that are exact up to f64 rounding; `1e-7`/`1e-8` bounds
+//! (transition matrices, Chapman–Kolmogorov) absorb eigendecomposition
+//! round-trip error; the looser relative bounds on whole-tree
+//! likelihoods absorb f32 CLV accumulation across thousands of sites.
+//! If one of these fails after a kernel change, treat it as a real
+//! numerical regression first and only then consider loosening.
 
 use plf_repro::phylo::alignment::Alignment;
 use plf_repro::phylo::dna::StateMask;
@@ -6,6 +18,52 @@ use plf_repro::phylo::kernels::ScalarBackend;
 use plf_repro::phylo::model::{discrete_gamma_rates, EigenSystem, GtrParams, QMatrix};
 use plf_repro::prelude::*;
 use proptest::prelude::*;
+
+/// Underflow stress: 160 taxa with long branches drive the per-pattern
+/// root CLV towards `4^-160 ≈ 1e-96`, far below f32's smallest
+/// subnormal (`~1.4e-45`). `CondLikeScaler` is load-bearing here: with
+/// rescaling disabled the likelihood collapses to `-inf`, and with the
+/// default per-node rescaling every backend must stay finite and the
+/// canonical-order backends must agree with the scalar oracle bitwise.
+#[test]
+fn underflow_stress_scalers_are_load_bearing() {
+    let ds = plf_repro::seqgen::generate(DatasetSpec::new(160, 40), 2009);
+    let mut tree = ds.tree.clone();
+    for id in tree.branches() {
+        let b = &mut tree.node_mut(id).branch;
+        *b = (*b * 20.0).clamp(1.5, 10.0);
+    }
+    let model = plf_repro::seqgen::default_model();
+
+    // Scaling off (scale_every = 0): the root CLV underflows to zero
+    // and the log-likelihood is non-finite.
+    let mut unscaled = plf_repro::phylo::likelihood::TreeLikelihood::with_scaling(
+        &tree, &ds.data, model.clone(), 0,
+    )
+    .unwrap();
+    let raw = unscaled.log_likelihood(&tree, &mut ScalarBackend).unwrap();
+    assert!(
+        !raw.is_finite(),
+        "160 stretched taxa must underflow without rescaling, got {raw}"
+    );
+
+    // Scaling on (the default): every backend is finite and matches the
+    // scalar oracle — bitwise for the canonical-order kernels, within a
+    // small relative tolerance for the summation-order variants.
+    let results = plf_repro::evaluate_on_all_backends(&tree, &ds.data, &model).unwrap();
+    let (oracle_name, oracle) = &results[0];
+    assert_eq!(oracle_name, "scalar");
+    assert!(oracle.is_finite(), "scalar oracle must be finite");
+    for (name, lnl) in &results {
+        assert!(lnl.is_finite(), "{name}: non-finite lnL under scaling");
+        if name.contains("rowwise") || name.contains("reduction") {
+            let tol = oracle.abs() * 1e-6 + 1e-3;
+            assert!((lnl - oracle).abs() < tol, "{name}: {lnl} vs {oracle}");
+        } else {
+            assert_eq!(lnl, oracle, "{name} must match the scalar oracle bitwise");
+        }
+    }
+}
 
 fn arb_gtr() -> impl Strategy<Value = GtrParams> {
     (

@@ -18,7 +18,7 @@ fn small_chain_options(generations: usize) -> ChainOptions {
 #[test]
 fn end_to_end_on_simulated_backends() {
     let ds = seqgen::generate(DatasetSpec::new(10, 120), 77);
-    for mut backend in plf_repro::all_backends() {
+    for mut backend in plf_repro::all_backends().unwrap() {
         let mut chain = Chain::new(
             ds.tree.clone(),
             &ds.data,
@@ -28,7 +28,7 @@ fn end_to_end_on_simulated_backends() {
             small_chain_options(60),
         )
         .unwrap();
-        let stats = chain.run(backend.as_mut());
+        let stats = chain.run(backend.as_mut()).unwrap();
         assert!(stats.final_ln_likelihood.is_finite(), "{}", backend.name());
         assert!(stats.plf_calls > 0);
         assert!(!stats.samples.is_empty());
@@ -48,7 +48,7 @@ fn cell_simulator_bookkeeping_through_full_run() {
         small_chain_options(40),
     )
     .unwrap();
-    let stats = chain.run(&mut backend);
+    let stats = chain.run(&mut backend).unwrap();
     let cell = backend.stats();
     assert!(cell.modeled_seconds > 0.0);
     assert_eq!(cell.kernel_calls, stats.plf_calls);
@@ -69,7 +69,7 @@ fn gpu_simulator_bookkeeping_through_full_run() {
         small_chain_options(40),
     )
     .unwrap();
-    let stats = chain.run(&mut backend);
+    let stats = chain.run(&mut backend).unwrap();
     let gpu = backend.stats();
     assert_eq!(gpu.launches, stats.plf_calls);
     assert!(gpu.pcie_seconds > gpu.kernel_seconds, "PCIe must dominate (§4.2)");
