@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cell_dbuf-4d1137cbe13f22fc.d: crates/bench/src/bin/ablation_cell_dbuf.rs
+
+/root/repo/target/debug/deps/ablation_cell_dbuf-4d1137cbe13f22fc: crates/bench/src/bin/ablation_cell_dbuf.rs
+
+crates/bench/src/bin/ablation_cell_dbuf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cell_dbuf-63b851784ecc9581.d: crates/bench/src/bin/ablation_cell_dbuf.rs
+
+/root/repo/target/debug/deps/ablation_cell_dbuf-63b851784ecc9581: crates/bench/src/bin/ablation_cell_dbuf.rs
+
+crates/bench/src/bin/ablation_cell_dbuf.rs:

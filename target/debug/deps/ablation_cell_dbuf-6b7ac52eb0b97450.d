@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cell_dbuf-6b7ac52eb0b97450.d: crates/bench/src/bin/ablation_cell_dbuf.rs
+
+/root/repo/target/debug/deps/ablation_cell_dbuf-6b7ac52eb0b97450: crates/bench/src/bin/ablation_cell_dbuf.rs
+
+crates/bench/src/bin/ablation_cell_dbuf.rs:

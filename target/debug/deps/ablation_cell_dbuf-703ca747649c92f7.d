@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cell_dbuf-703ca747649c92f7.d: crates/bench/src/bin/ablation_cell_dbuf.rs
+
+/root/repo/target/debug/deps/ablation_cell_dbuf-703ca747649c92f7: crates/bench/src/bin/ablation_cell_dbuf.rs
+
+crates/bench/src/bin/ablation_cell_dbuf.rs:

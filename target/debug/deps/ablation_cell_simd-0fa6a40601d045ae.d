@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cell_simd-0fa6a40601d045ae.d: crates/bench/src/bin/ablation_cell_simd.rs
+
+/root/repo/target/debug/deps/ablation_cell_simd-0fa6a40601d045ae: crates/bench/src/bin/ablation_cell_simd.rs
+
+crates/bench/src/bin/ablation_cell_simd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cell_simd-10b4fe4068a3c63c.d: crates/bench/src/bin/ablation_cell_simd.rs
+
+/root/repo/target/debug/deps/ablation_cell_simd-10b4fe4068a3c63c: crates/bench/src/bin/ablation_cell_simd.rs
+
+crates/bench/src/bin/ablation_cell_simd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cell_simd-9f3658aff461428c.d: crates/bench/src/bin/ablation_cell_simd.rs
+
+/root/repo/target/debug/deps/ablation_cell_simd-9f3658aff461428c: crates/bench/src/bin/ablation_cell_simd.rs
+
+crates/bench/src/bin/ablation_cell_simd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cell_simd-eaf5ce265fa5448b.d: crates/bench/src/bin/ablation_cell_simd.rs
+
+/root/repo/target/debug/deps/ablation_cell_simd-eaf5ce265fa5448b: crates/bench/src/bin/ablation_cell_simd.rs
+
+crates/bench/src/bin/ablation_cell_simd.rs:

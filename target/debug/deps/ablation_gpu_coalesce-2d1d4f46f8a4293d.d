@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_coalesce-2d1d4f46f8a4293d.d: crates/bench/src/bin/ablation_gpu_coalesce.rs
+
+/root/repo/target/debug/deps/ablation_gpu_coalesce-2d1d4f46f8a4293d: crates/bench/src/bin/ablation_gpu_coalesce.rs
+
+crates/bench/src/bin/ablation_gpu_coalesce.rs:

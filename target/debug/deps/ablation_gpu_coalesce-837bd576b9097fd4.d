@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_coalesce-837bd576b9097fd4.d: crates/bench/src/bin/ablation_gpu_coalesce.rs
+
+/root/repo/target/debug/deps/ablation_gpu_coalesce-837bd576b9097fd4: crates/bench/src/bin/ablation_gpu_coalesce.rs
+
+crates/bench/src/bin/ablation_gpu_coalesce.rs:

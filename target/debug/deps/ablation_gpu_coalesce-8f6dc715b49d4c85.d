@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_coalesce-8f6dc715b49d4c85.d: crates/bench/src/bin/ablation_gpu_coalesce.rs
+
+/root/repo/target/debug/deps/ablation_gpu_coalesce-8f6dc715b49d4c85: crates/bench/src/bin/ablation_gpu_coalesce.rs
+
+crates/bench/src/bin/ablation_gpu_coalesce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_coalesce-bef751d47fa77f75.d: crates/bench/src/bin/ablation_gpu_coalesce.rs
+
+/root/repo/target/debug/deps/ablation_gpu_coalesce-bef751d47fa77f75: crates/bench/src/bin/ablation_gpu_coalesce.rs
+
+crates/bench/src/bin/ablation_gpu_coalesce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_sched-887232436d14d7ae.d: crates/bench/src/bin/ablation_gpu_sched.rs
+
+/root/repo/target/debug/deps/ablation_gpu_sched-887232436d14d7ae: crates/bench/src/bin/ablation_gpu_sched.rs
+
+crates/bench/src/bin/ablation_gpu_sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_sched-8e7481aabff15345.d: crates/bench/src/bin/ablation_gpu_sched.rs
+
+/root/repo/target/debug/deps/ablation_gpu_sched-8e7481aabff15345: crates/bench/src/bin/ablation_gpu_sched.rs
+
+crates/bench/src/bin/ablation_gpu_sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_sched-bb12676f2649f962.d: crates/bench/src/bin/ablation_gpu_sched.rs
+
+/root/repo/target/debug/deps/ablation_gpu_sched-bb12676f2649f962: crates/bench/src/bin/ablation_gpu_sched.rs
+
+crates/bench/src/bin/ablation_gpu_sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_sched-f2a1125161ce7954.d: crates/bench/src/bin/ablation_gpu_sched.rs
+
+/root/repo/target/debug/deps/ablation_gpu_sched-f2a1125161ce7954: crates/bench/src/bin/ablation_gpu_sched.rs
+
+crates/bench/src/bin/ablation_gpu_sched.rs:

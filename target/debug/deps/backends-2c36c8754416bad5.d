@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backends-2c36c8754416bad5.d: crates/bench/benches/backends.rs
+
+/root/repo/target/debug/deps/backends-2c36c8754416bad5: crates/bench/benches/backends.rs
+
+crates/bench/benches/backends.rs:

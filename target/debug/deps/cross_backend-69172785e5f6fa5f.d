@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-69172785e5f6fa5f.d: tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-69172785e5f6fa5f: tests/cross_backend.rs
+
+tests/cross_backend.rs:

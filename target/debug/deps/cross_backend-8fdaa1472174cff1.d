@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-8fdaa1472174cff1.d: tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-8fdaa1472174cff1: tests/cross_backend.rs
+
+tests/cross_backend.rs:

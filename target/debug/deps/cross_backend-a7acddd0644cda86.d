@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-a7acddd0644cda86.d: tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-a7acddd0644cda86: tests/cross_backend.rs
+
+tests/cross_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datagen-f89226166cda1463.d: crates/bench/benches/datagen.rs
+
+/root/repo/target/debug/deps/datagen-f89226166cda1463: crates/bench/benches/datagen.rs
+
+crates/bench/benches/datagen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-3d14612292a853d1.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-3d14612292a853d1: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

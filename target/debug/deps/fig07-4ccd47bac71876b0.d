@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-4ccd47bac71876b0.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-4ccd47bac71876b0: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-75346b28c18e3afd.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-75346b28c18e3afd: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-816aca850847b0e0.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-816aca850847b0e0: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-547d44ca97ff30a9.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-547d44ca97ff30a9: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-9a1e53430d750b9d.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-9a1e53430d750b9d: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

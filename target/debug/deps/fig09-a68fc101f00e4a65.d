@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-a68fc101f00e4a65.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-a68fc101f00e4a65: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

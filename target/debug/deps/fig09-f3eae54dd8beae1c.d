@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-f3eae54dd8beae1c.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-f3eae54dd8beae1c: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-199becb3d853e6ce.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-199becb3d853e6ce: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-5c73990f3bdd703b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-5c73990f3bdd703b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

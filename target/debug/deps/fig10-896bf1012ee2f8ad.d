@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-896bf1012ee2f8ad.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-896bf1012ee2f8ad: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-8a293698e045dcd9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-8a293698e045dcd9: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

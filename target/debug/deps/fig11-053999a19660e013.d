@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-053999a19660e013.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-053999a19660e013: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-0ac23018240523a8.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-0ac23018240523a8: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-4b085befd179543a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-4b085befd179543a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

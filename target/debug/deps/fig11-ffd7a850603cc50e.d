@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-ffd7a850603cc50e.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-ffd7a850603cc50e: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

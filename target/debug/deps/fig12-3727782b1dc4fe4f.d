@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-3727782b1dc4fe4f.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-3727782b1dc4fe4f: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-4cc5f2527ac4c40c.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-4cc5f2527ac4c40c: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

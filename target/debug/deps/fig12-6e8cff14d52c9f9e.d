@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-6e8cff14d52c9f9e.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-6e8cff14d52c9f9e: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

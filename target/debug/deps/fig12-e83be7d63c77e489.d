@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-e83be7d63c77e489.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-e83be7d63c77e489: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

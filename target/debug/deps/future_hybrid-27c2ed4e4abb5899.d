@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_hybrid-27c2ed4e4abb5899.d: crates/bench/src/bin/future_hybrid.rs
+
+/root/repo/target/debug/deps/future_hybrid-27c2ed4e4abb5899: crates/bench/src/bin/future_hybrid.rs
+
+crates/bench/src/bin/future_hybrid.rs:

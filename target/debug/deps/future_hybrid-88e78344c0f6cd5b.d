@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_hybrid-88e78344c0f6cd5b.d: crates/bench/src/bin/future_hybrid.rs
+
+/root/repo/target/debug/deps/future_hybrid-88e78344c0f6cd5b: crates/bench/src/bin/future_hybrid.rs
+
+crates/bench/src/bin/future_hybrid.rs:

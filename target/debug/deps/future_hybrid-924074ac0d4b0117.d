@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_hybrid-924074ac0d4b0117.d: crates/bench/src/bin/future_hybrid.rs
+
+/root/repo/target/debug/deps/future_hybrid-924074ac0d4b0117: crates/bench/src/bin/future_hybrid.rs
+
+crates/bench/src/bin/future_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_hybrid-e06555b4ebea2dd1.d: crates/bench/src/bin/future_hybrid.rs
+
+/root/repo/target/debug/deps/future_hybrid-e06555b4ebea2dd1: crates/bench/src/bin/future_hybrid.rs
+
+crates/bench/src/bin/future_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_design_space-360bfd4248160d64.d: crates/bench/src/bin/gpu_design_space.rs
+
+/root/repo/target/debug/deps/gpu_design_space-360bfd4248160d64: crates/bench/src/bin/gpu_design_space.rs
+
+crates/bench/src/bin/gpu_design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_design_space-99fee0e19cf36ddd.d: crates/bench/src/bin/gpu_design_space.rs
+
+/root/repo/target/debug/deps/gpu_design_space-99fee0e19cf36ddd: crates/bench/src/bin/gpu_design_space.rs
+
+crates/bench/src/bin/gpu_design_space.rs:

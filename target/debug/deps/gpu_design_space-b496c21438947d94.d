@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_design_space-b496c21438947d94.d: crates/bench/src/bin/gpu_design_space.rs
+
+/root/repo/target/debug/deps/gpu_design_space-b496c21438947d94: crates/bench/src/bin/gpu_design_space.rs
+
+crates/bench/src/bin/gpu_design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_design_space-b9c4225ee91dd697.d: crates/bench/src/bin/gpu_design_space.rs
+
+/root/repo/target/debug/deps/gpu_design_space-b9c4225ee91dd697: crates/bench/src/bin/gpu_design_space.rs
+
+crates/bench/src/bin/gpu_design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-70967f798168f6a8.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-70967f798168f6a8: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-a8de9b73c88509ca.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-a8de9b73c88509ca: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-b3a762b3bc1cd59f.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-b3a762b3bc1cd59f: tests/invariants.rs
+
+tests/invariants.rs:

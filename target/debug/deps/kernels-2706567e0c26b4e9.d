@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-2706567e0c26b4e9.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-2706567e0c26b4e9: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmc-dffc02d035d7b632.d: crates/bench/benches/mcmc.rs
+
+/root/repo/target/debug/deps/mcmc-dffc02d035d7b632: crates/bench/benches/mcmc.rs
+
+crates/bench/benches/mcmc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-14fe0c899950d465.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-14fe0c899950d465: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-521404d7e3b2d58e.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-521404d7e3b2d58e: tests/pipeline.rs
+
+tests/pipeline.rs:

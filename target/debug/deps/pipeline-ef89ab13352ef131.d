@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-ef89ab13352ef131.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-ef89ab13352ef131: tests/pipeline.rs
+
+tests/pipeline.rs:

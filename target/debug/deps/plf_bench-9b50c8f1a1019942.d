@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plf_bench-9b50c8f1a1019942.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libplf_bench-9b50c8f1a1019942.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libplf_bench-9b50c8f1a1019942.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

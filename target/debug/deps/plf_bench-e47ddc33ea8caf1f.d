@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plf_bench-e47ddc33ea8caf1f.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libplf_bench-e47ddc33ea8caf1f.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libplf_bench-e47ddc33ea8caf1f.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

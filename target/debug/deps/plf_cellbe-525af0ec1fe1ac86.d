@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/plf_cellbe-525af0ec1fe1ac86.d: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplf_cellbe-525af0ec1fe1ac86.rmeta: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs Cargo.toml
+
+crates/cellbe/src/lib.rs:
+crates/cellbe/src/backend.rs:
+crates/cellbe/src/dma.rs:
+crates/cellbe/src/fsm.rs:
+crates/cellbe/src/ls.rs:
+crates/cellbe/src/model.rs:
+crates/cellbe/src/schedule.rs:
+crates/cellbe/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

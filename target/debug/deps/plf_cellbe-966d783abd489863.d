@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plf_cellbe-966d783abd489863.d: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs
+
+/root/repo/target/debug/deps/plf_cellbe-966d783abd489863: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs
+
+crates/cellbe/src/lib.rs:
+crates/cellbe/src/backend.rs:
+crates/cellbe/src/dma.rs:
+crates/cellbe/src/fsm.rs:
+crates/cellbe/src/ls.rs:
+crates/cellbe/src/model.rs:
+crates/cellbe/src/schedule.rs:
+crates/cellbe/src/timing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plf_cellbe-f0ae7a885aa45aa3.d: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs
+
+/root/repo/target/debug/deps/libplf_cellbe-f0ae7a885aa45aa3.rlib: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs
+
+/root/repo/target/debug/deps/libplf_cellbe-f0ae7a885aa45aa3.rmeta: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs
+
+crates/cellbe/src/lib.rs:
+crates/cellbe/src/backend.rs:
+crates/cellbe/src/dma.rs:
+crates/cellbe/src/fsm.rs:
+crates/cellbe/src/ls.rs:
+crates/cellbe/src/model.rs:
+crates/cellbe/src/schedule.rs:
+crates/cellbe/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plf_gpu-3ed63613b861e4e1.d: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs
+
+/root/repo/target/debug/deps/libplf_gpu-3ed63613b861e4e1.rlib: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs
+
+/root/repo/target/debug/deps/libplf_gpu-3ed63613b861e4e1.rmeta: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/backend.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/grid.rs:
+crates/gpu/src/kernels.rs:
+crates/gpu/src/model.rs:

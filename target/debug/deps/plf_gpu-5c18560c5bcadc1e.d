@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plf_gpu-5c18560c5bcadc1e.d: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplf_gpu-5c18560c5bcadc1e.rmeta: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/backend.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/grid.rs:
+crates/gpu/src/kernels.rs:
+crates/gpu/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plf_gpu-8eee34794e943c44.d: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs
+
+/root/repo/target/debug/deps/plf_gpu-8eee34794e943c44: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/backend.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/grid.rs:
+crates/gpu/src/kernels.rs:
+crates/gpu/src/model.rs:

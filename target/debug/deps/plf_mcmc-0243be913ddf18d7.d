@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plf_mcmc-0243be913ddf18d7.d: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/checkpoint.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs
+
+/root/repo/target/debug/deps/plf_mcmc-0243be913ddf18d7: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/checkpoint.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs
+
+crates/mcmc/src/lib.rs:
+crates/mcmc/src/chain.rs:
+crates/mcmc/src/checkpoint.rs:
+crates/mcmc/src/consensus.rs:
+crates/mcmc/src/mc3.rs:
+crates/mcmc/src/priors.rs:
+crates/mcmc/src/proposals.rs:
+crates/mcmc/src/rng.rs:
+crates/mcmc/src/state.rs:
+crates/mcmc/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/plf_mcmc-f4ae3743055257ad.d: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/checkpoint.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplf_mcmc-f4ae3743055257ad.rmeta: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/checkpoint.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs Cargo.toml
+
+crates/mcmc/src/lib.rs:
+crates/mcmc/src/chain.rs:
+crates/mcmc/src/checkpoint.rs:
+crates/mcmc/src/consensus.rs:
+crates/mcmc/src/mc3.rs:
+crates/mcmc/src/priors.rs:
+crates/mcmc/src/proposals.rs:
+crates/mcmc/src/rng.rs:
+crates/mcmc/src/state.rs:
+crates/mcmc/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plf_multicore-2cb8b0370deba42f.d: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs
+
+/root/repo/target/debug/deps/libplf_multicore-2cb8b0370deba42f.rlib: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs
+
+/root/repo/target/debug/deps/libplf_multicore-2cb8b0370deba42f.rmeta: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs
+
+crates/multicore/src/lib.rs:
+crates/multicore/src/backend.rs:
+crates/multicore/src/model.rs:
+crates/multicore/src/persistent.rs:

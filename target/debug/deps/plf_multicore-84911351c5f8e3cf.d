@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plf_multicore-84911351c5f8e3cf.d: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplf_multicore-84911351c5f8e3cf.rmeta: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs Cargo.toml
+
+crates/multicore/src/lib.rs:
+crates/multicore/src/backend.rs:
+crates/multicore/src/model.rs:
+crates/multicore/src/persistent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

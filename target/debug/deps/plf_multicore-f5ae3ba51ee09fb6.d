@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plf_multicore-f5ae3ba51ee09fb6.d: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs
+
+/root/repo/target/debug/deps/plf_multicore-f5ae3ba51ee09fb6: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs
+
+crates/multicore/src/lib.rs:
+crates/multicore/src/backend.rs:
+crates/multicore/src/model.rs:
+crates/multicore/src/persistent.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/plf_phylo-2dbc00fc5f6df1a6.d: crates/phylo/src/lib.rs crates/phylo/src/alignment.rs crates/phylo/src/clv.rs crates/phylo/src/dna.rs crates/phylo/src/incremental.rs crates/phylo/src/io.rs crates/phylo/src/kernels/mod.rs crates/phylo/src/kernels/plan.rs crates/phylo/src/kernels/scalar.rs crates/phylo/src/kernels/simd4.rs crates/phylo/src/likelihood.rs crates/phylo/src/model/mod.rs crates/phylo/src/model/eigen.rs crates/phylo/src/model/gamma.rs crates/phylo/src/model/gtr.rs crates/phylo/src/oracle.rs crates/phylo/src/partition.rs crates/phylo/src/resilience/mod.rs crates/phylo/src/resilience/error.rs crates/phylo/src/resilience/fault.rs crates/phylo/src/resilience/wrapper.rs crates/phylo/src/tree.rs
+
+/root/repo/target/debug/deps/libplf_phylo-2dbc00fc5f6df1a6.rlib: crates/phylo/src/lib.rs crates/phylo/src/alignment.rs crates/phylo/src/clv.rs crates/phylo/src/dna.rs crates/phylo/src/incremental.rs crates/phylo/src/io.rs crates/phylo/src/kernels/mod.rs crates/phylo/src/kernels/plan.rs crates/phylo/src/kernels/scalar.rs crates/phylo/src/kernels/simd4.rs crates/phylo/src/likelihood.rs crates/phylo/src/model/mod.rs crates/phylo/src/model/eigen.rs crates/phylo/src/model/gamma.rs crates/phylo/src/model/gtr.rs crates/phylo/src/oracle.rs crates/phylo/src/partition.rs crates/phylo/src/resilience/mod.rs crates/phylo/src/resilience/error.rs crates/phylo/src/resilience/fault.rs crates/phylo/src/resilience/wrapper.rs crates/phylo/src/tree.rs
+
+/root/repo/target/debug/deps/libplf_phylo-2dbc00fc5f6df1a6.rmeta: crates/phylo/src/lib.rs crates/phylo/src/alignment.rs crates/phylo/src/clv.rs crates/phylo/src/dna.rs crates/phylo/src/incremental.rs crates/phylo/src/io.rs crates/phylo/src/kernels/mod.rs crates/phylo/src/kernels/plan.rs crates/phylo/src/kernels/scalar.rs crates/phylo/src/kernels/simd4.rs crates/phylo/src/likelihood.rs crates/phylo/src/model/mod.rs crates/phylo/src/model/eigen.rs crates/phylo/src/model/gamma.rs crates/phylo/src/model/gtr.rs crates/phylo/src/oracle.rs crates/phylo/src/partition.rs crates/phylo/src/resilience/mod.rs crates/phylo/src/resilience/error.rs crates/phylo/src/resilience/fault.rs crates/phylo/src/resilience/wrapper.rs crates/phylo/src/tree.rs
+
+crates/phylo/src/lib.rs:
+crates/phylo/src/alignment.rs:
+crates/phylo/src/clv.rs:
+crates/phylo/src/dna.rs:
+crates/phylo/src/incremental.rs:
+crates/phylo/src/io.rs:
+crates/phylo/src/kernels/mod.rs:
+crates/phylo/src/kernels/plan.rs:
+crates/phylo/src/kernels/scalar.rs:
+crates/phylo/src/kernels/simd4.rs:
+crates/phylo/src/likelihood.rs:
+crates/phylo/src/model/mod.rs:
+crates/phylo/src/model/eigen.rs:
+crates/phylo/src/model/gamma.rs:
+crates/phylo/src/model/gtr.rs:
+crates/phylo/src/oracle.rs:
+crates/phylo/src/partition.rs:
+crates/phylo/src/resilience/mod.rs:
+crates/phylo/src/resilience/error.rs:
+crates/phylo/src/resilience/fault.rs:
+crates/phylo/src/resilience/wrapper.rs:
+crates/phylo/src/tree.rs:

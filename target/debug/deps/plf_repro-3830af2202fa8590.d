@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plf_repro-3830af2202fa8590.d: src/lib.rs
+
+/root/repo/target/debug/deps/plf_repro-3830af2202fa8590: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plf_repro-55ffa5ca3ce85eab.d: src/lib.rs
+
+/root/repo/target/debug/deps/plf_repro-55ffa5ca3ce85eab: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plf_repro-5cfbc87eac0d14b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplf_repro-5cfbc87eac0d14b6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplf_repro-5cfbc87eac0d14b6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plf_repro-7f81e28e8f00b28e.d: src/lib.rs
+
+/root/repo/target/debug/deps/plf_repro-7f81e28e8f00b28e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plf_repro-8ef5d3a4b5257380.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplf_repro-8ef5d3a4b5257380.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplf_repro-8ef5d3a4b5257380.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plf_repro-9a8e6ef799056de2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplf_repro-9a8e6ef799056de2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplf_repro-9a8e6ef799056de2.rmeta: src/lib.rs
+
+src/lib.rs:

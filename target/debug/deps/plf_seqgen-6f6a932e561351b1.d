@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plf_seqgen-6f6a932e561351b1.d: crates/seqgen/src/lib.rs crates/seqgen/src/datasets.rs crates/seqgen/src/evolve.rs crates/seqgen/src/yule.rs
+
+/root/repo/target/debug/deps/libplf_seqgen-6f6a932e561351b1.rlib: crates/seqgen/src/lib.rs crates/seqgen/src/datasets.rs crates/seqgen/src/evolve.rs crates/seqgen/src/yule.rs
+
+/root/repo/target/debug/deps/libplf_seqgen-6f6a932e561351b1.rmeta: crates/seqgen/src/lib.rs crates/seqgen/src/datasets.rs crates/seqgen/src/evolve.rs crates/seqgen/src/yule.rs
+
+crates/seqgen/src/lib.rs:
+crates/seqgen/src/datasets.rs:
+crates/seqgen/src/evolve.rs:
+crates/seqgen/src/yule.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plf_seqgen-97d37059e34349c4.d: crates/seqgen/src/lib.rs crates/seqgen/src/datasets.rs crates/seqgen/src/evolve.rs crates/seqgen/src/yule.rs
+
+/root/repo/target/debug/deps/plf_seqgen-97d37059e34349c4: crates/seqgen/src/lib.rs crates/seqgen/src/datasets.rs crates/seqgen/src/evolve.rs crates/seqgen/src/yule.rs
+
+crates/seqgen/src/lib.rs:
+crates/seqgen/src/datasets.rs:
+crates/seqgen/src/evolve.rs:
+crates/seqgen/src/yule.rs:

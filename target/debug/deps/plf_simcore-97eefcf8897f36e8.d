@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plf_simcore-97eefcf8897f36e8.d: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplf_simcore-97eefcf8897f36e8.rmeta: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/hybrid.rs:
+crates/simcore/src/machine.rs:
+crates/simcore/src/model.rs:
+crates/simcore/src/workload.rs:
+crates/simcore/src/xfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

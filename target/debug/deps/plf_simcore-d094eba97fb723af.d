@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plf_simcore-d094eba97fb723af.d: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs
+
+/root/repo/target/debug/deps/libplf_simcore-d094eba97fb723af.rlib: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs
+
+/root/repo/target/debug/deps/libplf_simcore-d094eba97fb723af.rmeta: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/hybrid.rs:
+crates/simcore/src/machine.rs:
+crates/simcore/src/model.rs:
+crates/simcore/src/workload.rs:
+crates/simcore/src/xfer.rs:

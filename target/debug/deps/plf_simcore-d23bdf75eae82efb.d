@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plf_simcore-d23bdf75eae82efb.d: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs
+
+/root/repo/target/debug/deps/plf_simcore-d23bdf75eae82efb: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/hybrid.rs:
+crates/simcore/src/machine.rs:
+crates/simcore/src/model.rs:
+crates/simcore/src/workload.rs:
+crates/simcore/src/xfer.rs:

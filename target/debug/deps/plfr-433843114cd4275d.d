@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plfr-433843114cd4275d.d: src/bin/plfr.rs
+
+/root/repo/target/debug/deps/plfr-433843114cd4275d: src/bin/plfr.rs
+
+src/bin/plfr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plfr-4c4ea17e334a287f.d: src/bin/plfr.rs
+
+/root/repo/target/debug/deps/plfr-4c4ea17e334a287f: src/bin/plfr.rs
+
+src/bin/plfr.rs:

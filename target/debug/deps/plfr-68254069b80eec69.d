@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plfr-68254069b80eec69.d: src/bin/plfr.rs
+
+/root/repo/target/debug/deps/plfr-68254069b80eec69: src/bin/plfr.rs
+
+src/bin/plfr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plfr-6975692e2d3897ec.d: src/bin/plfr.rs
+
+/root/repo/target/debug/deps/plfr-6975692e2d3897ec: src/bin/plfr.rs
+
+src/bin/plfr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plfr-953c77a1fc8b02fe.d: src/bin/plfr.rs
+
+/root/repo/target/debug/deps/plfr-953c77a1fc8b02fe: src/bin/plfr.rs
+
+src/bin/plfr.rs:

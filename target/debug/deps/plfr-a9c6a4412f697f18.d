@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plfr-a9c6a4412f697f18.d: src/bin/plfr.rs
+
+/root/repo/target/debug/deps/plfr-a9c6a4412f697f18: src/bin/plfr.rs
+
+src/bin/plfr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-68bb3262d056e5a1.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-68bb3262d056e5a1: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8390438ec4d2cd50.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8390438ec4d2cd50.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8390438ec4d2cd50.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rates_sweep-119a6a0fe612be27.d: crates/bench/src/bin/rates_sweep.rs
+
+/root/repo/target/debug/deps/rates_sweep-119a6a0fe612be27: crates/bench/src/bin/rates_sweep.rs
+
+crates/bench/src/bin/rates_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rates_sweep-422729ef7960e1b1.d: crates/bench/src/bin/rates_sweep.rs
+
+/root/repo/target/debug/deps/rates_sweep-422729ef7960e1b1: crates/bench/src/bin/rates_sweep.rs
+
+crates/bench/src/bin/rates_sweep.rs:

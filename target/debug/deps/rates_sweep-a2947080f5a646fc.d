@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rates_sweep-a2947080f5a646fc.d: crates/bench/src/bin/rates_sweep.rs
+
+/root/repo/target/debug/deps/rates_sweep-a2947080f5a646fc: crates/bench/src/bin/rates_sweep.rs
+
+crates/bench/src/bin/rates_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rates_sweep-b8d792829fe23725.d: crates/bench/src/bin/rates_sweep.rs
+
+/root/repo/target/debug/deps/rates_sweep-b8d792829fe23725: crates/bench/src/bin/rates_sweep.rs
+
+crates/bench/src/bin/rates_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-af4e7f57fd674781.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-af4e7f57fd674781: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

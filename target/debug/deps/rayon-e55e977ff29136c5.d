@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-e55e977ff29136c5.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-e55e977ff29136c5.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-e55e977ff29136c5.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

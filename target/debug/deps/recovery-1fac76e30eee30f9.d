@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-1fac76e30eee30f9.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-1fac76e30eee30f9: tests/recovery.rs
+
+tests/recovery.rs:

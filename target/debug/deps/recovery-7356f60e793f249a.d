@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-7356f60e793f249a.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-7356f60e793f249a: tests/recovery.rs
+
+tests/recovery.rs:

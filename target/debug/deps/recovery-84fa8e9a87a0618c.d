@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-84fa8e9a87a0618c.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-84fa8e9a87a0618c: tests/recovery.rs
+
+tests/recovery.rs:

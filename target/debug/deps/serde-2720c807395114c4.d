@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2720c807395114c4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2720c807395114c4.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2720c807395114c4.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-cbe259a5e6606124.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-cbe259a5e6606124.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-cbe259a5e6606124.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-d6cc8e09e14a383f.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-d6cc8e09e14a383f: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

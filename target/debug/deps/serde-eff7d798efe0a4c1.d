@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-eff7d798efe0a4c1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-eff7d798efe0a4c1: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

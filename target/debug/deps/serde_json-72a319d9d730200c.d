@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-72a319d9d730200c.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-72a319d9d730200c: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

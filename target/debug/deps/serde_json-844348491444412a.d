@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-844348491444412a.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-844348491444412a.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-844348491444412a.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

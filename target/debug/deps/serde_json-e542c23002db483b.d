@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-e542c23002db483b.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-e542c23002db483b: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

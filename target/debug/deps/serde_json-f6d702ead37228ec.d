@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-f6d702ead37228ec.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f6d702ead37228ec.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f6d702ead37228ec.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1811a08bb75beb20.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1811a08bb75beb20: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

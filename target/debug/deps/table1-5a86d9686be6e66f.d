@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5a86d9686be6e66f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5a86d9686be6e66f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-bcc6801814a6e6cc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-bcc6801814a6e6cc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c9d27e186ce5f363.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c9d27e186ce5f363: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

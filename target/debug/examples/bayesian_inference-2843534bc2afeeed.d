@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bayesian_inference-2843534bc2afeeed.d: examples/bayesian_inference.rs
+
+/root/repo/target/debug/examples/bayesian_inference-2843534bc2afeeed: examples/bayesian_inference.rs
+
+examples/bayesian_inference.rs:

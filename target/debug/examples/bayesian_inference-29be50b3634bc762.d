@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bayesian_inference-29be50b3634bc762.d: examples/bayesian_inference.rs
+
+/root/repo/target/debug/examples/bayesian_inference-29be50b3634bc762: examples/bayesian_inference.rs
+
+examples/bayesian_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bayesian_inference-d4fd8998cdc63c09.d: examples/bayesian_inference.rs
+
+/root/repo/target/debug/examples/bayesian_inference-d4fd8998cdc63c09: examples/bayesian_inference.rs
+
+examples/bayesian_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_architecture-0007723951071ab8.d: examples/cross_architecture.rs
+
+/root/repo/target/debug/examples/cross_architecture-0007723951071ab8: examples/cross_architecture.rs
+
+examples/cross_architecture.rs:

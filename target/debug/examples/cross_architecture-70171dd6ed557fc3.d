@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_architecture-70171dd6ed557fc3.d: examples/cross_architecture.rs
+
+/root/repo/target/debug/examples/cross_architecture-70171dd6ed557fc3: examples/cross_architecture.rs
+
+examples/cross_architecture.rs:

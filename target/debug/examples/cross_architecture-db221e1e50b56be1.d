@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_architecture-db221e1e50b56be1.d: examples/cross_architecture.rs
+
+/root/repo/target/debug/examples/cross_architecture-db221e1e50b56be1: examples/cross_architecture.rs
+
+examples/cross_architecture.rs:

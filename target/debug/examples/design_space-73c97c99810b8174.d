@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-73c97c99810b8174.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-73c97c99810b8174: examples/design_space.rs
+
+examples/design_space.rs:

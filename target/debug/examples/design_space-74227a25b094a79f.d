@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-74227a25b094a79f.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-74227a25b094a79f: examples/design_space.rs
+
+examples/design_space.rs:

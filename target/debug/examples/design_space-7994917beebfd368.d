@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-7994917beebfd368.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-7994917beebfd368: examples/design_space.rs
+
+examples/design_space.rs:

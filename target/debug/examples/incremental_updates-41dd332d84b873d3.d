@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_updates-41dd332d84b873d3.d: examples/incremental_updates.rs
+
+/root/repo/target/debug/examples/incremental_updates-41dd332d84b873d3: examples/incremental_updates.rs
+
+examples/incremental_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_updates-983effe399d17dfd.d: examples/incremental_updates.rs
+
+/root/repo/target/debug/examples/incremental_updates-983effe399d17dfd: examples/incremental_updates.rs
+
+examples/incremental_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_updates-b32e0d07c2081036.d: examples/incremental_updates.rs
+
+/root/repo/target/debug/examples/incremental_updates-b32e0d07c2081036: examples/incremental_updates.rs
+
+examples/incremental_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mc3_inference-0f3d69ac3dcae05d.d: examples/mc3_inference.rs
+
+/root/repo/target/debug/examples/mc3_inference-0f3d69ac3dcae05d: examples/mc3_inference.rs
+
+examples/mc3_inference.rs:

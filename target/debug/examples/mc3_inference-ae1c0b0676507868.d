@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mc3_inference-ae1c0b0676507868.d: examples/mc3_inference.rs
+
+/root/repo/target/debug/examples/mc3_inference-ae1c0b0676507868: examples/mc3_inference.rs
+
+examples/mc3_inference.rs:

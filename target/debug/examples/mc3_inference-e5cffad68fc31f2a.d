@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mc3_inference-e5cffad68fc31f2a.d: examples/mc3_inference.rs
+
+/root/repo/target/debug/examples/mc3_inference-e5cffad68fc31f2a: examples/mc3_inference.rs
+
+examples/mc3_inference.rs:

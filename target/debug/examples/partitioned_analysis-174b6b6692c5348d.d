@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioned_analysis-174b6b6692c5348d.d: examples/partitioned_analysis.rs
+
+/root/repo/target/debug/examples/partitioned_analysis-174b6b6692c5348d: examples/partitioned_analysis.rs
+
+examples/partitioned_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioned_analysis-5f11c08d3e5d3162.d: examples/partitioned_analysis.rs
+
+/root/repo/target/debug/examples/partitioned_analysis-5f11c08d3e5d3162: examples/partitioned_analysis.rs
+
+examples/partitioned_analysis.rs:

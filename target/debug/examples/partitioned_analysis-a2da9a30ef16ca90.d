@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioned_analysis-a2da9a30ef16ca90.d: examples/partitioned_analysis.rs
+
+/root/repo/target/debug/examples/partitioned_analysis-a2da9a30ef16ca90: examples/partitioned_analysis.rs
+
+examples/partitioned_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-40336d72566647c6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-40336d72566647c6: examples/quickstart.rs
+
+examples/quickstart.rs:

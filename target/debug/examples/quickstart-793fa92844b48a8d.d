@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-793fa92844b48a8d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-793fa92844b48a8d: examples/quickstart.rs
+
+examples/quickstart.rs:

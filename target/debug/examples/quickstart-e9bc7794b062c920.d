@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e9bc7794b062c920.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e9bc7794b062c920: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/plf_cellbe-af74082fd99b200f.d: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs
+
+/root/repo/target/release/deps/libplf_cellbe-af74082fd99b200f.rlib: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs
+
+/root/repo/target/release/deps/libplf_cellbe-af74082fd99b200f.rmeta: crates/cellbe/src/lib.rs crates/cellbe/src/backend.rs crates/cellbe/src/dma.rs crates/cellbe/src/fsm.rs crates/cellbe/src/ls.rs crates/cellbe/src/model.rs crates/cellbe/src/schedule.rs crates/cellbe/src/timing.rs
+
+crates/cellbe/src/lib.rs:
+crates/cellbe/src/backend.rs:
+crates/cellbe/src/dma.rs:
+crates/cellbe/src/fsm.rs:
+crates/cellbe/src/ls.rs:
+crates/cellbe/src/model.rs:
+crates/cellbe/src/schedule.rs:
+crates/cellbe/src/timing.rs:

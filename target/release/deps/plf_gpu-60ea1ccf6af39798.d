@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/plf_gpu-60ea1ccf6af39798.d: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs
+
+/root/repo/target/release/deps/libplf_gpu-60ea1ccf6af39798.rlib: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs
+
+/root/repo/target/release/deps/libplf_gpu-60ea1ccf6af39798.rmeta: crates/gpu/src/lib.rs crates/gpu/src/backend.rs crates/gpu/src/device.rs crates/gpu/src/grid.rs crates/gpu/src/kernels.rs crates/gpu/src/model.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/backend.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/grid.rs:
+crates/gpu/src/kernels.rs:
+crates/gpu/src/model.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/plf_mcmc-50ff164009d756ab.d: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/checkpoint.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs
+
+/root/repo/target/release/deps/libplf_mcmc-50ff164009d756ab.rlib: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/checkpoint.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs
+
+/root/repo/target/release/deps/libplf_mcmc-50ff164009d756ab.rmeta: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/checkpoint.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs
+
+crates/mcmc/src/lib.rs:
+crates/mcmc/src/chain.rs:
+crates/mcmc/src/checkpoint.rs:
+crates/mcmc/src/consensus.rs:
+crates/mcmc/src/mc3.rs:
+crates/mcmc/src/priors.rs:
+crates/mcmc/src/proposals.rs:
+crates/mcmc/src/rng.rs:
+crates/mcmc/src/state.rs:
+crates/mcmc/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/plf_mcmc-84867db51cc45935.d: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs
+
+/root/repo/target/release/deps/libplf_mcmc-84867db51cc45935.rlib: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs
+
+/root/repo/target/release/deps/libplf_mcmc-84867db51cc45935.rmeta: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/consensus.rs crates/mcmc/src/mc3.rs crates/mcmc/src/priors.rs crates/mcmc/src/proposals.rs crates/mcmc/src/rng.rs crates/mcmc/src/state.rs crates/mcmc/src/trace.rs
+
+crates/mcmc/src/lib.rs:
+crates/mcmc/src/chain.rs:
+crates/mcmc/src/consensus.rs:
+crates/mcmc/src/mc3.rs:
+crates/mcmc/src/priors.rs:
+crates/mcmc/src/proposals.rs:
+crates/mcmc/src/rng.rs:
+crates/mcmc/src/state.rs:
+crates/mcmc/src/trace.rs:

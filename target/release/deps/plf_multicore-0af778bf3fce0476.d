@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/plf_multicore-0af778bf3fce0476.d: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs
+
+/root/repo/target/release/deps/libplf_multicore-0af778bf3fce0476.rlib: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs
+
+/root/repo/target/release/deps/libplf_multicore-0af778bf3fce0476.rmeta: crates/multicore/src/lib.rs crates/multicore/src/backend.rs crates/multicore/src/model.rs crates/multicore/src/persistent.rs
+
+crates/multicore/src/lib.rs:
+crates/multicore/src/backend.rs:
+crates/multicore/src/model.rs:
+crates/multicore/src/persistent.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plf_repro-8ee463f047846efd.d: src/lib.rs
+
+/root/repo/target/release/deps/libplf_repro-8ee463f047846efd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libplf_repro-8ee463f047846efd.rmeta: src/lib.rs
+
+src/lib.rs:

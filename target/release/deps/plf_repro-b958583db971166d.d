@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plf_repro-b958583db971166d.d: src/lib.rs
+
+/root/repo/target/release/deps/libplf_repro-b958583db971166d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libplf_repro-b958583db971166d.rmeta: src/lib.rs
+
+src/lib.rs:

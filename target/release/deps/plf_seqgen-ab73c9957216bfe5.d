@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/plf_seqgen-ab73c9957216bfe5.d: crates/seqgen/src/lib.rs crates/seqgen/src/datasets.rs crates/seqgen/src/evolve.rs crates/seqgen/src/yule.rs
+
+/root/repo/target/release/deps/libplf_seqgen-ab73c9957216bfe5.rlib: crates/seqgen/src/lib.rs crates/seqgen/src/datasets.rs crates/seqgen/src/evolve.rs crates/seqgen/src/yule.rs
+
+/root/repo/target/release/deps/libplf_seqgen-ab73c9957216bfe5.rmeta: crates/seqgen/src/lib.rs crates/seqgen/src/datasets.rs crates/seqgen/src/evolve.rs crates/seqgen/src/yule.rs
+
+crates/seqgen/src/lib.rs:
+crates/seqgen/src/datasets.rs:
+crates/seqgen/src/evolve.rs:
+crates/seqgen/src/yule.rs:

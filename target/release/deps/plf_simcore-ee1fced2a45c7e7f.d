@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/plf_simcore-ee1fced2a45c7e7f.d: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs
+
+/root/repo/target/release/deps/libplf_simcore-ee1fced2a45c7e7f.rlib: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs
+
+/root/repo/target/release/deps/libplf_simcore-ee1fced2a45c7e7f.rmeta: crates/simcore/src/lib.rs crates/simcore/src/hybrid.rs crates/simcore/src/machine.rs crates/simcore/src/model.rs crates/simcore/src/workload.rs crates/simcore/src/xfer.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/hybrid.rs:
+crates/simcore/src/machine.rs:
+crates/simcore/src/model.rs:
+crates/simcore/src/workload.rs:
+crates/simcore/src/xfer.rs:

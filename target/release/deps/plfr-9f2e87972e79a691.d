@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plfr-9f2e87972e79a691.d: src/bin/plfr.rs
+
+/root/repo/target/release/deps/plfr-9f2e87972e79a691: src/bin/plfr.rs
+
+src/bin/plfr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plfr-b10f8158c2958377.d: src/bin/plfr.rs
+
+/root/repo/target/release/deps/plfr-b10f8158c2958377: src/bin/plfr.rs
+
+src/bin/plfr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7a40a07f04fb6ef5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7a40a07f04fb6ef5.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7a40a07f04fb6ef5.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-5c132665ccb5a638.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-5c132665ccb5a638.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-5c132665ccb5a638.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-cc8fb4ea7db02f1b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cc8fb4ea7db02f1b.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cc8fb4ea7db02f1b.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

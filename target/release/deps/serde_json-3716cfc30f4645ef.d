@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-3716cfc30f4645ef.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3716cfc30f4645ef.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3716cfc30f4645ef.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

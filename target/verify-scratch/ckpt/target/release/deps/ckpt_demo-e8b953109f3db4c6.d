@@ -1,0 +1,5 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/ckpt_demo-e8b953109f3db4c6.d: src/main.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/ckpt_demo-e8b953109f3db4c6: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/crossbeam-4f7e6fd13667b4fe.d: /root/repo/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libcrossbeam-4f7e6fd13667b4fe.rlib: /root/repo/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libcrossbeam-4f7e6fd13667b4fe.rmeta: /root/repo/vendor/crossbeam/src/lib.rs
+
+/root/repo/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/parking_lot-5b624def46bea22f.d: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libparking_lot-5b624def46bea22f.rlib: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libparking_lot-5b624def46bea22f.rmeta: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/vendor/parking_lot/src/lib.rs:

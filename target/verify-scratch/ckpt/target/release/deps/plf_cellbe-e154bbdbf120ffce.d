@@ -1,0 +1,14 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/plf_cellbe-e154bbdbf120ffce.d: /root/repo/crates/cellbe/src/lib.rs /root/repo/crates/cellbe/src/backend.rs /root/repo/crates/cellbe/src/dma.rs /root/repo/crates/cellbe/src/fsm.rs /root/repo/crates/cellbe/src/ls.rs /root/repo/crates/cellbe/src/model.rs /root/repo/crates/cellbe/src/schedule.rs /root/repo/crates/cellbe/src/timing.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_cellbe-e154bbdbf120ffce.rlib: /root/repo/crates/cellbe/src/lib.rs /root/repo/crates/cellbe/src/backend.rs /root/repo/crates/cellbe/src/dma.rs /root/repo/crates/cellbe/src/fsm.rs /root/repo/crates/cellbe/src/ls.rs /root/repo/crates/cellbe/src/model.rs /root/repo/crates/cellbe/src/schedule.rs /root/repo/crates/cellbe/src/timing.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_cellbe-e154bbdbf120ffce.rmeta: /root/repo/crates/cellbe/src/lib.rs /root/repo/crates/cellbe/src/backend.rs /root/repo/crates/cellbe/src/dma.rs /root/repo/crates/cellbe/src/fsm.rs /root/repo/crates/cellbe/src/ls.rs /root/repo/crates/cellbe/src/model.rs /root/repo/crates/cellbe/src/schedule.rs /root/repo/crates/cellbe/src/timing.rs
+
+/root/repo/crates/cellbe/src/lib.rs:
+/root/repo/crates/cellbe/src/backend.rs:
+/root/repo/crates/cellbe/src/dma.rs:
+/root/repo/crates/cellbe/src/fsm.rs:
+/root/repo/crates/cellbe/src/ls.rs:
+/root/repo/crates/cellbe/src/model.rs:
+/root/repo/crates/cellbe/src/schedule.rs:
+/root/repo/crates/cellbe/src/timing.rs:

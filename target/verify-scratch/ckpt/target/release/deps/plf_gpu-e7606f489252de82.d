@@ -1,0 +1,12 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/plf_gpu-e7606f489252de82.d: /root/repo/crates/gpu/src/lib.rs /root/repo/crates/gpu/src/backend.rs /root/repo/crates/gpu/src/device.rs /root/repo/crates/gpu/src/grid.rs /root/repo/crates/gpu/src/kernels.rs /root/repo/crates/gpu/src/model.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_gpu-e7606f489252de82.rlib: /root/repo/crates/gpu/src/lib.rs /root/repo/crates/gpu/src/backend.rs /root/repo/crates/gpu/src/device.rs /root/repo/crates/gpu/src/grid.rs /root/repo/crates/gpu/src/kernels.rs /root/repo/crates/gpu/src/model.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_gpu-e7606f489252de82.rmeta: /root/repo/crates/gpu/src/lib.rs /root/repo/crates/gpu/src/backend.rs /root/repo/crates/gpu/src/device.rs /root/repo/crates/gpu/src/grid.rs /root/repo/crates/gpu/src/kernels.rs /root/repo/crates/gpu/src/model.rs
+
+/root/repo/crates/gpu/src/lib.rs:
+/root/repo/crates/gpu/src/backend.rs:
+/root/repo/crates/gpu/src/device.rs:
+/root/repo/crates/gpu/src/grid.rs:
+/root/repo/crates/gpu/src/kernels.rs:
+/root/repo/crates/gpu/src/model.rs:

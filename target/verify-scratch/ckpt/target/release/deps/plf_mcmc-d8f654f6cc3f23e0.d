@@ -1,0 +1,16 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/plf_mcmc-d8f654f6cc3f23e0.d: /root/repo/crates/mcmc/src/lib.rs /root/repo/crates/mcmc/src/chain.rs /root/repo/crates/mcmc/src/checkpoint.rs /root/repo/crates/mcmc/src/consensus.rs /root/repo/crates/mcmc/src/mc3.rs /root/repo/crates/mcmc/src/priors.rs /root/repo/crates/mcmc/src/proposals.rs /root/repo/crates/mcmc/src/rng.rs /root/repo/crates/mcmc/src/state.rs /root/repo/crates/mcmc/src/trace.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_mcmc-d8f654f6cc3f23e0.rlib: /root/repo/crates/mcmc/src/lib.rs /root/repo/crates/mcmc/src/chain.rs /root/repo/crates/mcmc/src/checkpoint.rs /root/repo/crates/mcmc/src/consensus.rs /root/repo/crates/mcmc/src/mc3.rs /root/repo/crates/mcmc/src/priors.rs /root/repo/crates/mcmc/src/proposals.rs /root/repo/crates/mcmc/src/rng.rs /root/repo/crates/mcmc/src/state.rs /root/repo/crates/mcmc/src/trace.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_mcmc-d8f654f6cc3f23e0.rmeta: /root/repo/crates/mcmc/src/lib.rs /root/repo/crates/mcmc/src/chain.rs /root/repo/crates/mcmc/src/checkpoint.rs /root/repo/crates/mcmc/src/consensus.rs /root/repo/crates/mcmc/src/mc3.rs /root/repo/crates/mcmc/src/priors.rs /root/repo/crates/mcmc/src/proposals.rs /root/repo/crates/mcmc/src/rng.rs /root/repo/crates/mcmc/src/state.rs /root/repo/crates/mcmc/src/trace.rs
+
+/root/repo/crates/mcmc/src/lib.rs:
+/root/repo/crates/mcmc/src/chain.rs:
+/root/repo/crates/mcmc/src/checkpoint.rs:
+/root/repo/crates/mcmc/src/consensus.rs:
+/root/repo/crates/mcmc/src/mc3.rs:
+/root/repo/crates/mcmc/src/priors.rs:
+/root/repo/crates/mcmc/src/proposals.rs:
+/root/repo/crates/mcmc/src/rng.rs:
+/root/repo/crates/mcmc/src/state.rs:
+/root/repo/crates/mcmc/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/plf_multicore-1de309080f8e74e9.d: /root/repo/crates/multicore/src/lib.rs /root/repo/crates/multicore/src/backend.rs /root/repo/crates/multicore/src/model.rs /root/repo/crates/multicore/src/persistent.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_multicore-1de309080f8e74e9.rlib: /root/repo/crates/multicore/src/lib.rs /root/repo/crates/multicore/src/backend.rs /root/repo/crates/multicore/src/model.rs /root/repo/crates/multicore/src/persistent.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_multicore-1de309080f8e74e9.rmeta: /root/repo/crates/multicore/src/lib.rs /root/repo/crates/multicore/src/backend.rs /root/repo/crates/multicore/src/model.rs /root/repo/crates/multicore/src/persistent.rs
+
+/root/repo/crates/multicore/src/lib.rs:
+/root/repo/crates/multicore/src/backend.rs:
+/root/repo/crates/multicore/src/model.rs:
+/root/repo/crates/multicore/src/persistent.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/plf_phylo-fbac1e04492005ab.d: /root/repo/crates/phylo/src/lib.rs /root/repo/crates/phylo/src/alignment.rs /root/repo/crates/phylo/src/clv.rs /root/repo/crates/phylo/src/dna.rs /root/repo/crates/phylo/src/incremental.rs /root/repo/crates/phylo/src/io.rs /root/repo/crates/phylo/src/kernels/mod.rs /root/repo/crates/phylo/src/kernels/plan.rs /root/repo/crates/phylo/src/kernels/scalar.rs /root/repo/crates/phylo/src/kernels/simd4.rs /root/repo/crates/phylo/src/likelihood.rs /root/repo/crates/phylo/src/model/mod.rs /root/repo/crates/phylo/src/model/eigen.rs /root/repo/crates/phylo/src/model/gamma.rs /root/repo/crates/phylo/src/model/gtr.rs /root/repo/crates/phylo/src/oracle.rs /root/repo/crates/phylo/src/partition.rs /root/repo/crates/phylo/src/resilience/mod.rs /root/repo/crates/phylo/src/resilience/error.rs /root/repo/crates/phylo/src/resilience/fault.rs /root/repo/crates/phylo/src/resilience/wrapper.rs /root/repo/crates/phylo/src/tree.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_phylo-fbac1e04492005ab.rlib: /root/repo/crates/phylo/src/lib.rs /root/repo/crates/phylo/src/alignment.rs /root/repo/crates/phylo/src/clv.rs /root/repo/crates/phylo/src/dna.rs /root/repo/crates/phylo/src/incremental.rs /root/repo/crates/phylo/src/io.rs /root/repo/crates/phylo/src/kernels/mod.rs /root/repo/crates/phylo/src/kernels/plan.rs /root/repo/crates/phylo/src/kernels/scalar.rs /root/repo/crates/phylo/src/kernels/simd4.rs /root/repo/crates/phylo/src/likelihood.rs /root/repo/crates/phylo/src/model/mod.rs /root/repo/crates/phylo/src/model/eigen.rs /root/repo/crates/phylo/src/model/gamma.rs /root/repo/crates/phylo/src/model/gtr.rs /root/repo/crates/phylo/src/oracle.rs /root/repo/crates/phylo/src/partition.rs /root/repo/crates/phylo/src/resilience/mod.rs /root/repo/crates/phylo/src/resilience/error.rs /root/repo/crates/phylo/src/resilience/fault.rs /root/repo/crates/phylo/src/resilience/wrapper.rs /root/repo/crates/phylo/src/tree.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_phylo-fbac1e04492005ab.rmeta: /root/repo/crates/phylo/src/lib.rs /root/repo/crates/phylo/src/alignment.rs /root/repo/crates/phylo/src/clv.rs /root/repo/crates/phylo/src/dna.rs /root/repo/crates/phylo/src/incremental.rs /root/repo/crates/phylo/src/io.rs /root/repo/crates/phylo/src/kernels/mod.rs /root/repo/crates/phylo/src/kernels/plan.rs /root/repo/crates/phylo/src/kernels/scalar.rs /root/repo/crates/phylo/src/kernels/simd4.rs /root/repo/crates/phylo/src/likelihood.rs /root/repo/crates/phylo/src/model/mod.rs /root/repo/crates/phylo/src/model/eigen.rs /root/repo/crates/phylo/src/model/gamma.rs /root/repo/crates/phylo/src/model/gtr.rs /root/repo/crates/phylo/src/oracle.rs /root/repo/crates/phylo/src/partition.rs /root/repo/crates/phylo/src/resilience/mod.rs /root/repo/crates/phylo/src/resilience/error.rs /root/repo/crates/phylo/src/resilience/fault.rs /root/repo/crates/phylo/src/resilience/wrapper.rs /root/repo/crates/phylo/src/tree.rs
+
+/root/repo/crates/phylo/src/lib.rs:
+/root/repo/crates/phylo/src/alignment.rs:
+/root/repo/crates/phylo/src/clv.rs:
+/root/repo/crates/phylo/src/dna.rs:
+/root/repo/crates/phylo/src/incremental.rs:
+/root/repo/crates/phylo/src/io.rs:
+/root/repo/crates/phylo/src/kernels/mod.rs:
+/root/repo/crates/phylo/src/kernels/plan.rs:
+/root/repo/crates/phylo/src/kernels/scalar.rs:
+/root/repo/crates/phylo/src/kernels/simd4.rs:
+/root/repo/crates/phylo/src/likelihood.rs:
+/root/repo/crates/phylo/src/model/mod.rs:
+/root/repo/crates/phylo/src/model/eigen.rs:
+/root/repo/crates/phylo/src/model/gamma.rs:
+/root/repo/crates/phylo/src/model/gtr.rs:
+/root/repo/crates/phylo/src/oracle.rs:
+/root/repo/crates/phylo/src/partition.rs:
+/root/repo/crates/phylo/src/resilience/mod.rs:
+/root/repo/crates/phylo/src/resilience/error.rs:
+/root/repo/crates/phylo/src/resilience/fault.rs:
+/root/repo/crates/phylo/src/resilience/wrapper.rs:
+/root/repo/crates/phylo/src/tree.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/plf_repro-3c5d3e413f16d56a.d: /root/repo/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_repro-3c5d3e413f16d56a.rlib: /root/repo/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_repro-3c5d3e413f16d56a.rmeta: /root/repo/src/lib.rs
+
+/root/repo/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/plf_seqgen-e858f85edc706220.d: /root/repo/crates/seqgen/src/lib.rs /root/repo/crates/seqgen/src/datasets.rs /root/repo/crates/seqgen/src/evolve.rs /root/repo/crates/seqgen/src/yule.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_seqgen-e858f85edc706220.rlib: /root/repo/crates/seqgen/src/lib.rs /root/repo/crates/seqgen/src/datasets.rs /root/repo/crates/seqgen/src/evolve.rs /root/repo/crates/seqgen/src/yule.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_seqgen-e858f85edc706220.rmeta: /root/repo/crates/seqgen/src/lib.rs /root/repo/crates/seqgen/src/datasets.rs /root/repo/crates/seqgen/src/evolve.rs /root/repo/crates/seqgen/src/yule.rs
+
+/root/repo/crates/seqgen/src/lib.rs:
+/root/repo/crates/seqgen/src/datasets.rs:
+/root/repo/crates/seqgen/src/evolve.rs:
+/root/repo/crates/seqgen/src/yule.rs:

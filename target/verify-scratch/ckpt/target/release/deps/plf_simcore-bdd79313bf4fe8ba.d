@@ -1,0 +1,12 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/plf_simcore-bdd79313bf4fe8ba.d: /root/repo/crates/simcore/src/lib.rs /root/repo/crates/simcore/src/hybrid.rs /root/repo/crates/simcore/src/machine.rs /root/repo/crates/simcore/src/model.rs /root/repo/crates/simcore/src/workload.rs /root/repo/crates/simcore/src/xfer.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_simcore-bdd79313bf4fe8ba.rlib: /root/repo/crates/simcore/src/lib.rs /root/repo/crates/simcore/src/hybrid.rs /root/repo/crates/simcore/src/machine.rs /root/repo/crates/simcore/src/model.rs /root/repo/crates/simcore/src/workload.rs /root/repo/crates/simcore/src/xfer.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libplf_simcore-bdd79313bf4fe8ba.rmeta: /root/repo/crates/simcore/src/lib.rs /root/repo/crates/simcore/src/hybrid.rs /root/repo/crates/simcore/src/machine.rs /root/repo/crates/simcore/src/model.rs /root/repo/crates/simcore/src/workload.rs /root/repo/crates/simcore/src/xfer.rs
+
+/root/repo/crates/simcore/src/lib.rs:
+/root/repo/crates/simcore/src/hybrid.rs:
+/root/repo/crates/simcore/src/machine.rs:
+/root/repo/crates/simcore/src/model.rs:
+/root/repo/crates/simcore/src/workload.rs:
+/root/repo/crates/simcore/src/xfer.rs:

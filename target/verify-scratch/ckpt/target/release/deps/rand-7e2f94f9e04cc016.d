@@ -1,0 +1,7 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/rand-7e2f94f9e04cc016.d: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/librand-7e2f94f9e04cc016.rlib: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/librand-7e2f94f9e04cc016.rmeta: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/rayon-f3030281d05af22c.d: /root/repo/vendor/rayon/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/librayon-f3030281d05af22c.rlib: /root/repo/vendor/rayon/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/librayon-f3030281d05af22c.rmeta: /root/repo/vendor/rayon/src/lib.rs
+
+/root/repo/vendor/rayon/src/lib.rs:

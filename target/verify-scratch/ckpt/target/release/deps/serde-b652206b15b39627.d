@@ -1,0 +1,7 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/serde-b652206b15b39627.d: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libserde-b652206b15b39627.rlib: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libserde-b652206b15b39627.rmeta: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/serde_derive-549a55e60732c3ca.d: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libserde_derive-549a55e60732c3ca.so: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_derive/src/lib.rs:

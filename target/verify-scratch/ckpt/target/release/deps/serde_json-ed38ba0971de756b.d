@@ -1,0 +1,7 @@
+/root/repo/target/verify-scratch/ckpt/target/release/deps/serde_json-ed38ba0971de756b.d: /root/repo/vendor/serde_json/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libserde_json-ed38ba0971de756b.rlib: /root/repo/vendor/serde_json/src/lib.rs
+
+/root/repo/target/verify-scratch/ckpt/target/release/deps/libserde_json-ed38ba0971de756b.rmeta: /root/repo/vendor/serde_json/src/lib.rs
+
+/root/repo/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,275 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Keeps the workspace's benchmark targets compiling and runnable with
+//! no crates.io access. Instead of statistical sampling, each benchmark
+//! runs its routine a handful of times and prints a single wall-clock
+//! figure — enough to smoke-test the bench harness and eyeball relative
+//! cost, not a substitute for real criterion runs.
+
+use std::fmt;
+use std::time::Instant;
+
+/// How many times the stub executes each routine.
+const RUNS: u32 = 3;
+
+/// Measurement throughput annotation (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched` (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `routine`, called [`RUNS`] times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..RUNS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() / RUNS as u128;
+    }
+
+    /// Time `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = 0u128;
+        for _ in 0..RUNS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total / RUNS as u128;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the work per iteration (echoed in the report line).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override sample count (accepted, ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed_ns: 0 };
+        f(&mut b);
+        self.report(&id, b.elapsed_ns);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed_ns: 0 };
+        f(&mut b, input);
+        self.report(&id, b.elapsed_ns);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, elapsed_ns: u128) {
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) if elapsed_ns > 0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / elapsed_ns as f64 * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if elapsed_ns > 0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / elapsed_ns as f64 * 1e9 / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} ms/iter{} [stub: {} runs, no statistics]",
+            self.name,
+            id.id,
+            elapsed_ns as f64 / 1e6,
+            tp,
+            self.criterion.sample_size,
+        );
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: RUNS as usize }
+    }
+}
+
+impl Criterion {
+    /// Configure sample count (accepted for API parity; the stub always
+    /// executes a fixed small number of runs).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.min(RUNS as usize);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export for `use criterion::black_box` call sites.
+pub use std::hint::black_box;
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.throughput(Throughput::Elements(1000));
+        group.sample_size(10);
+        group.bench_function("iota", |b| {
+            b.iter(|| (0u64..1000).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("upto", 500), &500u64, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn long_form_group_compiles() {
+        criterion_group! {
+            name = cfg_benches;
+            config = Criterion::default().sample_size(20);
+            targets = sum_bench
+        }
+        cfg_benches();
+    }
+}

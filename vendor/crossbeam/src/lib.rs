@@ -1,0 +1,77 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided,
+//! implemented on top of `std::thread::scope` (which did not exist when
+//! crossbeam's scoped threads were written, and fully covers this
+//! workspace's usage). A panicking child propagates when the scope
+//! joins, as with the real crate.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result alias matching crossbeam's `thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (for
+        /// nested spawns), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            })
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads.
+    ///
+    /// Unlike crossbeam (which returns `Err` if a child panicked), a
+    /// child panic propagates out of `std::thread::scope` directly, so
+    /// the returned value is always `Ok` when reached — callers that
+    /// `.expect()` the result behave identically either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partials = vec![0u64; 2];
+        super::thread::scope(|scope| {
+            let (a, b) = partials.split_at_mut(1);
+            let d = &data;
+            scope.spawn(move |_| a[0] = d[..2].iter().sum());
+            scope.spawn(move |_| b[0] = d[2..].iter().sum());
+        })
+        .expect("scope");
+        assert_eq!(partials, vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn child_panic_propagates() {
+        let _ = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child down"));
+        });
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of rayon it uses: `ThreadPool(Builder)`,
+//! `install`, and the parallel-slice iterators (`par_chunks_mut` with
+//! `enumerate`/`zip`/`for_each`).
+//!
+//! Unlike the real rayon there is no global work-stealing pool: each
+//! `for_each` runs its items on freshly spawned **scoped OS threads**,
+//! one per item. The multicore PLF backend hands rayon exactly one
+//! contiguous chunk per worker (the paper's OpenMP static schedule), so
+//! item count == intended thread count and the execution shape matches
+//! the real library. Panics in workers propagate to the caller at the
+//! scope boundary, like rayon's `join` semantics.
+
+use std::fmt;
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    n_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker-thread count (0 = one per available core).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.n_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.n_threads
+        };
+        Ok(ThreadPool { n_threads: n })
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`].
+///
+/// The vendored pool performs no up-front thread spawning, so
+/// construction cannot actually fail; the type exists for API parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A (virtual) thread pool. Threads are spawned per parallel call, not
+/// kept resident; `n_threads` is advisory.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool as the ambient pool. The stub simply
+    /// calls `op`; parallelism comes from the par-iterators themselves.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n_threads
+    }
+}
+
+/// Two-way fork-join.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Parallel iterator machinery (eager, scoped-thread-backed).
+pub mod iter {
+    /// A materialized "parallel" iterator: items are computed up front,
+    /// the terminal `for_each` fans them out over scoped threads.
+    pub struct ParIter<I> {
+        items: Vec<I>,
+    }
+
+    impl<I: Send> ParIter<I> {
+        /// Pair each item with its index.
+        pub fn enumerate(self) -> ParIter<(usize, I)> {
+            ParIter {
+                items: self.items.into_iter().enumerate().collect(),
+            }
+        }
+
+        /// Zip with another parallel iterator (truncates to the shorter).
+        pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+            ParIter {
+                items: self
+                    .items
+                    .into_iter()
+                    .zip(other.items)
+                    .collect(),
+            }
+        }
+
+        /// Run `f` on every item, one scoped thread per item. A panic in
+        /// any worker propagates to the caller when the scope joins.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(I) + Send + Sync,
+        {
+            let mut items = self.items;
+            match items.len() {
+                0 => {}
+                // Run a singleton inline: no thread spin-up on the
+                // small-input path.
+                1 => f(items.pop().expect("len checked")),
+                _ => {
+                    let f = &f;
+                    std::thread::scope(|s| {
+                        for item in items {
+                            s.spawn(move || f(item));
+                        }
+                    });
+                }
+            }
+        }
+
+        /// Map every item (lazy would buy nothing here — eager).
+        pub fn map<O: Send, F>(self, f: F) -> ParIter<O>
+        where
+            F: Fn(I) -> O,
+        {
+            ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            }
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split into mutable chunks of `size` (last may be shorter).
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ParIter {
+                items: self.chunks_mut(size).collect(),
+            }
+        }
+    }
+
+    /// `par_chunks` on shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Split into shared chunks of `size` (last may be shorter).
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    }
+
+    impl<T: Sync + Send> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ParIter {
+                items: self.chunks(size).collect(),
+            }
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::iter::{ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_disjointly() {
+        let mut data = vec![0u32; 37];
+        data.as_mut_slice()
+            .par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = ci as u32 + 1;
+                }
+            });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[36], 4);
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter() {
+        let mut a = vec![0usize; 10];
+        let mut b = vec![0usize; 4];
+        a.as_mut_slice()
+            .par_chunks_mut(5)
+            .zip(b.as_mut_slice().par_chunks_mut(2))
+            .for_each(|(ca, cb)| {
+                ca[0] = cb.len();
+            });
+        assert_eq!(a[0], 2);
+        assert_eq!(a[5], 2);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let mut data = vec![0u8; 8];
+        data.as_mut_slice().par_chunks_mut(2).for_each(|c| {
+            if c[0] == 0 {
+                panic!("worker down");
+            }
+        });
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline, dependency-free subset of the `serde_derive` proc-macro.
+//!
+//! Supports `#[derive(Serialize)]` on the shapes this workspace uses:
+//! non-generic structs with named fields, plus C-like (unit-variant)
+//! enums. No `syn`/`quote` — the input `TokenStream` is walked directly
+//! and the impl is emitted as a string, which keeps the macro buildable
+//! with no crates.io access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored stub's value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility/keywords until the
+    // `struct`/`enum` keyword.
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + bracket group
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                kind = Some("struct");
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                kind = Some("enum");
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("derive(Serialize): expected `struct` or `enum`");
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Find the brace-delimited body; anything before it that isn't a
+    // brace group (e.g. generics) is unsupported by this stub.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize) stub: generic types are not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize) stub: tuple/unit types are not supported"),
+        }
+    };
+
+    let impl_src = match kind {
+        "struct" => {
+            let fields = named_fields(body);
+            assert!(
+                !fields.is_empty(),
+                "derive(Serialize) stub: struct {name} has no named fields"
+            );
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        _ => {
+            let variants = unit_variants(&name, body);
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+
+    impl_src
+        .parse()
+        .expect("derive(Serialize): generated impl parses")
+}
+
+/// Field names of a named-field struct body: for each top-level
+/// (angle-bracket-aware) comma-separated entry, the identifier directly
+/// before the first `:`.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut taken_this_field = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && !taken_this_field => {
+                    if let Some(f) = last_ident.take() {
+                        fields.push(f);
+                        taken_this_field = true;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    taken_this_field = false;
+                    last_ident = None;
+                }
+                '#' => {}
+                _ => {}
+            },
+            TokenTree::Ident(id) if !taken_this_field => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Variant names of a C-like enum body; payload-carrying variants are
+/// rejected (the stub has no data-variant encoding).
+fn unit_variants(name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the `[...]` group
+            }
+            TokenTree::Ident(id) => {
+                match iter.peek() {
+                    Some(TokenTree::Group(_)) => panic!(
+                        "derive(Serialize) stub: enum {name} has a payload-carrying \
+                         variant ({id}); only unit variants are supported"
+                    ),
+                    _ => variants.push(id.to_string()),
+                }
+                // Skip to past the next comma (drops discriminants).
+                for rest in iter.by_ref() {
+                    if matches!(&rest, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    variants
+}
