@@ -1,0 +1,131 @@
+//! `perf_report` — run every functional backend under `PlfCounters`
+//! instrumentation and emit `BENCH_plf.json`.
+//!
+//! For each data set, each backend evaluates the same tree likelihood
+//! `N` times with a fresh counter block attached; the snapshot becomes
+//! one `BENCH_plf.json` entry — per-kernel invocation/pattern/time
+//! shares, the measured PLF share of wall time, and (for the Cell and
+//! GPU backends) the modeled DMA/PCIe transfer estimate and double-
+//! buffer overlap ratio, i.e. the Figure 12 breakdown measured on this
+//! machine instead of modeled.
+//!
+//! ```text
+//! perf_report [--smoke | --full] [--out PATH]
+//! ```
+//!
+//! * default: the 10_1K and 20_1K grid cells, 10 evaluations each;
+//! * `--smoke`: one tiny 10-taxa × 200-pattern set, 2 evaluations —
+//!   fast enough for `scripts/verify.sh`;
+//! * `--full`: the paper's whole 16-cell grid (slow);
+//! * `--out`: output path (default `BENCH_plf.json`).
+
+use plf_bench::report::{
+    plf_backend_report, write_json, PlfBenchReport, PlfDatasetReport, PLF_BENCH_SCHEMA_VERSION,
+};
+use plf_cellbe::CellBackend;
+use plf_gpu::GpuBackend;
+use plf_multicore::{PersistentPoolBackend, RayonBackend};
+use plf_phylo::kernels::PlfBackend;
+use plf_phylo::likelihood::TreeLikelihood;
+use plf_phylo::metrics::PlfCounters;
+use plf_seqgen::{generate, paper_grid, DatasetSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Same generation seed as the figure binaries.
+const SEED: u64 = 2009;
+
+/// Threads for the host multi-core backends.
+const THREADS: usize = 4;
+
+fn backends(counters: &Arc<PlfCounters>) -> Vec<Box<dyn PlfBackend>> {
+    let armed = || Arc::clone(counters);
+    vec![
+        Box::new(
+            RayonBackend::new(THREADS)
+                .expect("rayon pool")
+                .with_metrics(armed()),
+        ),
+        Box::new(PersistentPoolBackend::new(THREADS).with_metrics(armed())),
+        Box::new(CellBackend::qs20().with_metrics(armed())),
+        Box::new(GpuBackend::gt8800().with_metrics(armed())),
+    ]
+}
+
+fn run_dataset(spec: DatasetSpec, evals: u64) -> PlfDatasetReport {
+    eprintln!("generating {} ({} taxa x {} patterns)...", spec.label(), spec.taxa, spec.patterns);
+    let ds = generate(spec, SEED);
+    let counters = PlfCounters::new();
+    let mut reports = Vec::new();
+    for mut backend in backends(&counters) {
+        counters.reset();
+        let mut eval = TreeLikelihood::new(&ds.tree, &ds.data, plf_seqgen::default_model())
+            .expect("likelihood over generated data");
+        let t0 = Instant::now();
+        let mut lnl = 0.0;
+        for _ in 0..evals {
+            lnl = eval
+                .log_likelihood(&ds.tree, backend.as_mut())
+                .expect("likelihood evaluation");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let report = plf_backend_report(&backend.name(), wall, &counters.snapshot());
+        eprintln!(
+            "  {:<22} lnL {:>12.4}  wall {:>8.3}s  PLF {:>5.1}%  transfer {:>5.1}%",
+            report.backend, lnl, wall, report.plf_pct, report.transfer_pct
+        );
+        reports.push(report);
+    }
+    PlfDatasetReport {
+        label: spec.label(),
+        taxa: spec.taxa,
+        patterns: spec.patterns,
+        backends: reports,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("BENCH_plf.json");
+    let mut specs = vec![DatasetSpec::new(10, 1_000), DatasetSpec::new(20, 1_000)];
+    let mut evals: u64 = 10;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                specs = vec![DatasetSpec::new(10, 200)];
+                evals = 2;
+            }
+            "--full" => specs = paper_grid(),
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = PathBuf::from(p),
+                    None => {
+                        eprintln!("error: --out needs a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (expected --smoke, --full, --out PATH)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let report = PlfBenchReport {
+        schema_version: PLF_BENCH_SCHEMA_VERSION,
+        evaluations: evals,
+        datasets: specs.into_iter().map(|s| run_dataset(s, evals)).collect(),
+    };
+    if let Err(e) = write_json(&out, &report) {
+        eprintln!("error: {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}

@@ -1,7 +1,10 @@
-//! Text/JSON rendering shared by the figure binaries.
+//! Text/JSON rendering shared by the figure binaries, plus the
+//! `BENCH_plf.json` schema emitted by the `perf_report` binary.
 
 use crate::figures::Series;
+use plf_phylo::metrics::{Kernel, MetricsSnapshot};
 use serde::Serialize;
+use std::path::Path;
 
 /// Should the binary emit JSON instead of a text table?
 pub fn json_mode() -> bool {
@@ -35,9 +38,197 @@ pub fn print_series_table(title: &str, series: &[Series]) {
     }
 }
 
+/// Schema version stamped into `BENCH_plf.json`.
+pub const PLF_BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Top level of `BENCH_plf.json`: measured PLF observability numbers
+/// (from [`plf_phylo::metrics::PlfCounters`]) for every backend over a
+/// set of data sets.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlfBenchReport {
+    /// Schema version; bump on incompatible layout changes.
+    pub schema_version: u32,
+    /// Full likelihood evaluations run per backend per data set.
+    pub evaluations: u64,
+    /// One entry per data set, in run order.
+    pub datasets: Vec<PlfDatasetReport>,
+}
+
+/// Per-data-set section of `BENCH_plf.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlfDatasetReport {
+    /// Grid label, e.g. `10_1K`.
+    pub label: String,
+    /// Taxa (tree leaves).
+    pub taxa: usize,
+    /// Distinct alignment patterns.
+    pub patterns: usize,
+    /// One entry per backend, in run order.
+    pub backends: Vec<PlfBackendReport>,
+}
+
+/// One kernel's share of a backend's PLF time.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlfKernelShare {
+    /// Kernel label (`down` / `root` / `scale`).
+    pub kernel: &'static str,
+    /// Calls.
+    pub invocations: u64,
+    /// Patterns processed across all calls.
+    pub patterns: u64,
+    /// Wall seconds inside the kernel.
+    pub seconds: f64,
+    /// Fraction of the backend's total PLF seconds (0 when no PLF time
+    /// was recorded).
+    pub share: f64,
+}
+
+/// Per-backend section of `BENCH_plf.json` — the Figure 12 breakdown
+/// (PLF share plus a transfer-time estimate) with per-kernel detail.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlfBackendReport {
+    /// Backend name as reported by `PlfBackend::name()`.
+    pub backend: String,
+    /// Measured wall seconds for the whole evaluation loop.
+    pub wall_seconds: f64,
+    /// Measured wall seconds inside PLF kernels.
+    pub plf_seconds: f64,
+    /// `plf_seconds` as a percentage of `wall_seconds` (the Figure 12
+    /// "PLF" bar; the rest is the harness's "Remaining").
+    pub plf_pct: f64,
+    /// Modeled transfer seconds if fully serialized (Cell DMA / GPU
+    /// PCIe); zero for host-memory backends.
+    pub transfer_seconds: f64,
+    /// Modeled transfer seconds left exposed after double-buffer
+    /// overlap.
+    pub transfer_exposed_seconds: f64,
+    /// Exposed transfer time as a percentage of the modeled
+    /// PLF + transfer budget (the Figure 12 "PCIe" bar). Modeled, not
+    /// wall-clock: the functional devices compute on the host, so their
+    /// bus time exists only in the calibration model.
+    pub transfer_pct: f64,
+    /// Fraction of serialized transfer time hidden by double buffering.
+    pub overlap_ratio: f64,
+    /// Bytes moved toward the device.
+    pub transfer_bytes_in: u64,
+    /// Bytes moved back to the host.
+    pub transfer_bytes_out: u64,
+    /// Hardware transfer commands (Cell: ≤16 KB each).
+    pub transfer_commands: u64,
+    /// Per-kernel invocation/pattern/time shares.
+    pub kernels: Vec<PlfKernelShare>,
+    /// Patterns actually rescaled by scaler calls.
+    pub rescaled_patterns: u64,
+    /// Tree evaluations recorded by the backend.
+    pub evaluations: u64,
+}
+
+/// Fold a counter snapshot plus the measured wall time of the run into
+/// one `BENCH_plf.json` backend entry.
+pub fn plf_backend_report(
+    backend: &str,
+    wall_seconds: f64,
+    snapshot: &MetricsSnapshot,
+) -> PlfBackendReport {
+    let plf_seconds = snapshot.plf_seconds();
+    let exposed = snapshot.transfer.exposed_seconds();
+    let budget = plf_seconds + exposed;
+    let kernels = Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let cell = snapshot.kernel(k);
+            PlfKernelShare {
+                kernel: k.label(),
+                invocations: cell.invocations,
+                patterns: cell.patterns,
+                seconds: cell.seconds,
+                share: if plf_seconds > 0.0 { cell.seconds / plf_seconds } else { 0.0 },
+            }
+        })
+        .collect();
+    PlfBackendReport {
+        backend: backend.to_string(),
+        wall_seconds,
+        plf_seconds,
+        plf_pct: if wall_seconds > 0.0 { 100.0 * plf_seconds / wall_seconds } else { 0.0 },
+        transfer_seconds: snapshot.transfer.seconds,
+        transfer_exposed_seconds: exposed,
+        transfer_pct: if budget > 0.0 { 100.0 * exposed / budget } else { 0.0 },
+        overlap_ratio: snapshot.transfer.overlap_ratio(),
+        transfer_bytes_in: snapshot.transfer.bytes_in,
+        transfer_bytes_out: snapshot.transfer.bytes_out,
+        transfer_commands: snapshot.transfer.commands,
+        kernels,
+        rescaled_patterns: snapshot.rescaled_patterns,
+        evaluations: snapshot.evaluations,
+    }
+}
+
+/// Write any serializable payload as pretty JSON (trailing newline),
+/// creating parent directories as needed.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut text = serde_json::to_string_pretty(value).expect("report serializes");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plf_phylo::metrics::PlfCounters;
+    use std::time::Duration;
+
+    #[test]
+    fn backend_report_computes_shares() {
+        let c = PlfCounters::new();
+        c.record_kernel(Kernel::Down, 1000, Duration::from_millis(3));
+        c.record_kernel(Kernel::Root, 1000, Duration::from_millis(1));
+        c.record_transfer(4096, 2048, 3, 2e-3);
+        c.record_overlap_saved(1e-3);
+        c.record_rescaled(17);
+        c.record_evaluation();
+        let r = plf_backend_report("qs20", 0.008, &c.snapshot());
+        assert_eq!(r.backend, "qs20");
+        assert!((r.plf_seconds - 4e-3).abs() < 1e-9);
+        assert!((r.plf_pct - 50.0).abs() < 1e-6);
+        let down = r.kernels.iter().find(|k| k.kernel == "down").unwrap();
+        assert!((down.share - 0.75).abs() < 1e-9);
+        assert_eq!(r.kernels.iter().map(|k| k.invocations).sum::<u64>(), 2);
+        // Exposed transfer: 2ms - 1ms hidden = 1ms; budget 4+1 = 5ms.
+        assert!((r.transfer_exposed_seconds - 1e-3).abs() < 1e-9);
+        assert!((r.transfer_pct - 20.0).abs() < 1e-6);
+        assert!((r.overlap_ratio - 0.5).abs() < 1e-9);
+        assert_eq!(r.transfer_bytes_in, 4096);
+        assert_eq!(r.rescaled_patterns, 17);
+        assert_eq!(r.evaluations, 1);
+    }
+
+    #[test]
+    fn backend_report_safe_on_empty_counters() {
+        let r = plf_backend_report("scalar", 0.0, &MetricsSnapshot::default());
+        assert_eq!(r.plf_pct, 0.0);
+        assert_eq!(r.transfer_pct, 0.0);
+        for k in &r.kernels {
+            assert_eq!(k.share, 0.0);
+        }
+    }
+
+    #[test]
+    fn write_json_creates_parents_and_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("plf-report-{}", std::process::id()));
+        let path = dir.join("nested/out.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        let back = serde_json::from_str(&text).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), "[1,2,3]");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn series_table_renders() {

@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::dna::N_STATES;
 use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
+use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
 use plf_phylo::resilience::{panic_message, FaultInjector, PlfError};
 use std::sync::Arc;
 
@@ -46,6 +47,8 @@ pub struct CellBackend {
     spe_counters: Mutex<(u64, u64)>, // (dma_commands, chunks)
     /// Optional fault source (DMA failures, output corruption).
     injector: Option<Arc<FaultInjector>>,
+    /// Optional shared observability counters.
+    metrics: Option<Arc<PlfCounters>>,
 }
 
 impl CellBackend {
@@ -62,6 +65,7 @@ impl CellBackend {
             stats: CellRunStats::default(),
             spe_counters: Mutex::new((0, 0)),
             injector: None,
+            metrics: None,
         }
     }
 
@@ -69,6 +73,14 @@ impl CellBackend {
     /// and kernel outputs roll the corruption site.
     pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> CellBackend {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attach shared observability counters: kernel timings, rescale
+    /// events, and per-chunk DMA accounting (bytes, ≤16 KB commands,
+    /// modeled bus seconds, double-buffer overlap savings).
+    pub fn with_metrics(mut self, counters: Arc<PlfCounters>) -> CellBackend {
+        self.metrics = Some(counters);
         self
     }
 
@@ -182,9 +194,22 @@ impl CellBackend {
 
     fn account_call(&mut self, kind: KernelKind, m: usize, r: usize) {
         self.stats.kernel_calls += 1;
-        self.stats.modeled_seconds +=
-            self.cal
-                .call_time(kind, self.schedule, m, r, self.n_spes, self.chips);
+        let t = self
+            .cal
+            .call_time(kind, self.schedule, m, r, self.n_spes, self.chips);
+        self.stats.modeled_seconds += t;
+        if let Some(counters) = &self.metrics {
+            if self.cal.double_buffered {
+                // What the same call would cost with DMA and compute
+                // serialized — the difference is what double buffering
+                // hides (the paper's overlap argument, §3.3).
+                let mut serial = self.cal.clone();
+                serial.double_buffered = false;
+                let t_serial =
+                    serial.call_time(kind, self.schedule, m, r, self.n_spes, self.chips);
+                counters.record_overlap_saved((t_serial - t).max(0.0));
+            }
+        }
     }
 
     /// Run `work` over each SPE's chunk sub-ranges on scoped threads.
@@ -209,6 +234,7 @@ impl CellBackend {
         let ranges = self.first_level(m);
         let chunk_patterns = self.cal.chunk_patterns(kind, r);
         let counters = &self.spe_counters;
+        let metrics = self.metrics.as_deref();
         let dma = self.dma_engine();
         let dma = &dma;
         let error: Mutex<Option<PlfError>> = Mutex::new(None);
@@ -224,26 +250,42 @@ impl CellBackend {
                 scope.spawn(move |_| {
                     let mut local_dma = 0u64;
                     let mut local_chunks = 0u64;
+                    let mut local_bytes_in = 0u64;
+                    let mut local_bytes_out = 0u64;
+                    let mut local_bus_seconds = 0.0f64;
                     let mut start = range.start;
                     while start < range.end {
                         let end = (start + chunk_patterns).min(range.end);
                         // operands in + result out, each ≤16 KB per command
                         let bytes_in = (end - start) * kind.bytes_in_per_pattern(r);
                         let bytes_out = (end - start) * kind.bytes_out_per_pattern(r);
-                        let moved = dma
-                            .transfer(bytes_in as u64)
-                            .and_then(|_| dma.transfer(bytes_out as u64));
-                        if let Err(e) = moved {
-                            error_ref.lock().get_or_insert(e);
-                            break;
+                        let moved = dma.transfer(bytes_in as u64).and_then(|t_in| {
+                            dma.transfer(bytes_out as u64).map(|t_out| t_in + t_out)
+                        });
+                        match moved {
+                            Ok(t) => local_bus_seconds += t,
+                            Err(e) => {
+                                error_ref.lock().get_or_insert(e);
+                                break;
+                            }
                         }
                         let off = (start - range.start) * stride;
                         let out_chunk = &mut head[off..off + (end - start) * stride];
                         work(start..end, out_chunk);
                         local_chunks += 1;
+                        local_bytes_in += bytes_in as u64;
+                        local_bytes_out += bytes_out as u64;
                         local_dma += bytes_in.div_ceil(16 * 1024) as u64
                             + bytes_out.div_ceil(16 * 1024) as u64;
                         start = end;
+                    }
+                    if let Some(c) = metrics {
+                        c.record_transfer(
+                            local_bytes_in,
+                            local_bytes_out,
+                            local_dma,
+                            local_bus_seconds,
+                        );
                     }
                     let mut c = counters.lock();
                     c.0 += local_dma;
@@ -271,6 +313,9 @@ impl PlfBackend for CellBackend {
     fn begin_evaluation(&mut self) {
         // The PPE's chunk-size-calculation message round (§3.3).
         self.stats.modeled_seconds += self.cal.per_eval_overhead;
+        if let Some(m) = &self.metrics {
+            m.record_evaluation();
+        }
     }
 
     fn cond_like_down(
@@ -281,6 +326,7 @@ impl PlfBackend for CellBackend {
         p_right: &TransitionMatrices,
         out: &mut Clv,
     ) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, out.n_patterns());
         let (m, r) = (out.n_patterns(), out.n_rates());
         let stride = r * N_STATES;
         self.ensure_configured(m, KernelKind::Down, r)?;
@@ -306,6 +352,7 @@ impl PlfBackend for CellBackend {
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
     ) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, out.n_patterns());
         let (m, r) = (out.n_patterns(), out.n_rates());
         let stride = r * N_STATES;
         let kind = if c.is_some() { KernelKind::Root3 } else { KernelKind::Root2 };
@@ -326,6 +373,7 @@ impl PlfBackend for CellBackend {
     }
 
     fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, clv.n_patterns());
         let (m, r) = (clv.n_patterns(), clv.n_rates());
         let stride = r * N_STATES;
         self.ensure_configured(m, KernelKind::Scale, r)?;
@@ -335,6 +383,7 @@ impl PlfBackend for CellBackend {
         let ranges = self.first_level(m);
         let chunk_patterns = self.cal.chunk_patterns(KernelKind::Scale, r);
         let counters = &self.spe_counters;
+        let metrics = self.metrics.as_deref();
         let dma_engine = self.dma_engine();
         let dma_engine = &dma_engine;
         let error: Mutex<Option<PlfError>> = Mutex::new(None);
@@ -351,25 +400,38 @@ impl PlfBackend for CellBackend {
                 scope.spawn(move |_| {
                     let mut chunks = 0u64;
                     let mut dma = 0u64;
+                    let mut bytes_moved = 0u64;
+                    let mut bus_seconds = 0.0f64;
+                    let mut rescaled = 0u64;
                     let mut start = 0usize;
                     while start < clv_head.len() / stride {
                         let end = (start + chunk_patterns).min(clv_head.len() / stride);
                         let bytes = (end - start) * stride * 4;
-                        let moved = dma_engine
-                            .transfer(bytes as u64)
-                            .and_then(|_| dma_engine.transfer(bytes as u64));
-                        if let Err(e) = moved {
-                            error_ref.lock().get_or_insert(e);
-                            break;
+                        let moved = dma_engine.transfer(bytes as u64).and_then(|t_in| {
+                            dma_engine.transfer(bytes as u64).map(|t_out| t_in + t_out)
+                        });
+                        match moved {
+                            Ok(t) => bus_seconds += t,
+                            Err(e) => {
+                                error_ref.lock().get_or_insert(e);
+                                break;
+                            }
                         }
-                        simd4::cond_like_scaler_range(
+                        rescaled += simd4::cond_like_scaler_range(
                             &mut clv_head[start * stride..end * stride],
                             &mut sc_head[start..end],
                             r,
                         );
                         chunks += 1;
+                        bytes_moved += bytes as u64;
                         dma += 2 * bytes.div_ceil(16 * 1024) as u64;
                         start = end;
+                    }
+                    if let Some(c) = metrics {
+                        // In + out symmetric: the chunk is read, rescaled
+                        // in place, and written back.
+                        c.record_transfer(bytes_moved, bytes_moved, dma, bus_seconds);
+                        c.record_rescaled(rescaled);
                     }
                     let mut c = counters.lock();
                     c.0 += dma;

@@ -12,6 +12,7 @@ use crate::kernels::{self, WorkDistribution};
 use crate::model::{GpuKernelKind, GpuModel};
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::kernels::PlfBackend;
+use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
 use plf_phylo::resilience::{FaultInjector, FaultSite, PlfError};
 use plf_simcore::model::MachineModel as _;
 use std::sync::Arc;
@@ -46,6 +47,7 @@ pub struct GpuBackend {
     dist: WorkDistribution,
     stats: GpuRunStats,
     injector: Option<Arc<FaultInjector>>,
+    metrics: Option<Arc<PlfCounters>>,
 }
 
 impl GpuBackend {
@@ -67,6 +69,7 @@ impl GpuBackend {
             dist,
             stats: GpuRunStats::default(),
             injector: None,
+            metrics: None,
         }
     }
 
@@ -74,6 +77,14 @@ impl GpuBackend {
     /// corruption).
     pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> GpuBackend {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attach shared observability counters: kernel timings, rescale
+    /// events, and PCIe transfer accounting (bytes each way, modeled bus
+    /// seconds — the Fig. 12 PLF/PCIe breakdown).
+    pub fn with_metrics(mut self, counters: Arc<PlfCounters>) -> GpuBackend {
+        self.metrics = Some(counters);
         self
     }
 
@@ -103,11 +114,18 @@ impl GpuBackend {
     }
 
     fn account(&mut self, kind: GpuKernelKind, m: usize, r: usize) {
+        let pcie = self.model.pcie_time(kind, m, r);
+        let h2d = (m * kind.h2d_bytes_per_pattern(r)) as u64;
+        let d2h = (m * kind.d2h_bytes_per_pattern(r)) as u64;
         self.stats.launches += 1;
         self.stats.kernel_seconds += self.model.kernel_time(kind, m, r);
-        self.stats.pcie_seconds += self.model.pcie_time(kind, m, r);
-        self.stats.bytes_h2d += (m * kind.h2d_bytes_per_pattern(r)) as u64;
-        self.stats.bytes_d2h += (m * kind.d2h_bytes_per_pattern(r)) as u64;
+        self.stats.pcie_seconds += pcie;
+        self.stats.bytes_h2d += h2d;
+        self.stats.bytes_d2h += d2h;
+        if let Some(counters) = &self.metrics {
+            // One host→device and one device→host command per launch.
+            counters.record_transfer(h2d, d2h, 2, pcie);
+        }
     }
 
     /// The host→device leg: one PCIe roll before any kernel work.
@@ -162,6 +180,9 @@ impl PlfBackend for GpuBackend {
 
     fn begin_evaluation(&mut self) {
         self.stats.kernel_seconds += self.model.device().invocation_overhead;
+        if let Some(m) = &self.metrics {
+            m.record_evaluation();
+        }
     }
 
     fn cond_like_down(
@@ -172,6 +193,7 @@ impl PlfBackend for GpuBackend {
         p_right: &TransitionMatrices,
         out: &mut Clv,
     ) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, out.n_patterns());
         let (m, r) = (out.n_patterns(), out.n_rates());
         self.upload(GpuKernelKind::Down, m, r)?;
         self.launch(GpuKernelKind::Down)?;
@@ -200,6 +222,7 @@ impl PlfBackend for GpuBackend {
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
     ) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, out.n_patterns());
         let (m, r) = (out.n_patterns(), out.n_rates());
         let kind = if c.is_some() { GpuKernelKind::Root3 } else { GpuKernelKind::Root2 };
         self.upload(kind, m, r)?;
@@ -222,12 +245,16 @@ impl PlfBackend for GpuBackend {
     }
 
     fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, clv.n_patterns());
         let (m, r) = (clv.n_patterns(), clv.n_rates());
         self.upload(GpuKernelKind::Scale, m, r)?;
         self.launch(GpuKernelKind::Scale)?;
         let stats = kernels::scale(self.dist, self.cfg(), clv.as_mut_slice(), ln_scalers, r);
         self.maybe_corrupt(clv.as_mut_slice());
         self.stats.syncs += stats.syncs;
+        if let Some(counters) = &self.metrics {
+            counters.record_rescaled(stats.rescaled);
+        }
         self.account(GpuKernelKind::Scale, m, r);
         Ok(())
     }

@@ -38,6 +38,8 @@ pub struct KernelStats {
     pub launch: LaunchStats,
     /// `__syncthreads()`-equivalent synchronization points executed.
     pub syncs: u64,
+    /// Patterns rescaled (nonzero only for the scaler kernel).
+    pub rescaled: u64,
 }
 
 #[inline]
@@ -108,7 +110,7 @@ pub fn down(
         );
         out[base..base + N_STATES].copy_from_slice(&slot);
     });
-    KernelStats { launch: stats, syncs }
+    KernelStats { launch: stats, syncs, rescaled: 0 }
 }
 
 /// CondLikeRoot over the whole CLV on the virtual GPU.
@@ -152,7 +154,7 @@ pub fn root(
         }
         out[base..base + N_STATES].copy_from_slice(&prod);
     });
-    KernelStats { launch: stats, syncs }
+    KernelStats { launch: stats, syncs, rescaled: 0 }
 }
 
 /// CondLikeScaler: one thread per *pattern* (the max-reduction spans the
@@ -167,18 +169,19 @@ pub fn scale(
     let stride = n_rates * N_STATES;
     let m = clv.len() / stride;
     let mut syncs = 0u64;
+    let mut rescaled = 0u64;
     let stats = launch(cfg, m, |_ctx, i| {
         if dist == WorkDistribution::ReductionParallel {
             // Cooperative max-reduction over 16 lanes: 4 sync points.
             syncs += 4;
         }
-        simd4::cond_like_scaler_range(
+        rescaled += simd4::cond_like_scaler_range(
             &mut clv[i * stride..(i + 1) * stride],
             &mut ln_scalers[i..i + 1],
             n_rates,
         );
     });
-    KernelStats { launch: stats, syncs }
+    KernelStats { launch: stats, syncs, rescaled }
 }
 
 #[cfg(test)]
@@ -274,9 +277,11 @@ mod tests {
         let mut ref_clv = gpu_clv.clone();
         let mut gpu_sc = vec![0.0f32; m];
         let mut ref_sc = vec![0.0f32; m];
-        scale(WorkDistribution::EntryParallel, CFG, &mut gpu_clv, &mut gpu_sc, r);
-        scalar::cond_like_scaler_range(&mut ref_clv, &mut ref_sc, r);
+        let stats = scale(WorkDistribution::EntryParallel, CFG, &mut gpu_clv, &mut gpu_sc, r);
+        let ref_rescaled = scalar::cond_like_scaler_range(&mut ref_clv, &mut ref_sc, r);
         assert_eq!(gpu_clv, ref_clv);
         assert_eq!(gpu_sc, ref_sc);
+        assert_eq!(stats.rescaled, ref_rescaled);
+        assert_eq!(stats.rescaled, m as u64, "all random patterns are live");
     }
 }

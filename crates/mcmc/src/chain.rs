@@ -21,7 +21,7 @@
 
 use crate::checkpoint::{AccumSnapshot, ChainCheckpoint, CHECKPOINT_FORMAT_VERSION};
 use crate::priors::Priors;
-use crate::trace::TraceRecord;
+use crate::trace::{ThroughputRecord, TraceRecord};
 use crate::proposals::{propose, Dirty, ProposalKind, Tuning, ALL_PROPOSALS};
 use crate::state::ChainState;
 use plf_phylo::alignment::PatternAlignment;
@@ -163,6 +163,9 @@ pub struct ChainStats {
     pub final_ln_likelihood: f64,
     /// Full trace records (empty unless `ChainOptions::record_trace`).
     pub trace: Vec<TraceRecord>,
+    /// Per-sample-interval throughput (empty when sampling is disabled;
+    /// not part of checkpoints — wall-clock data is not reproducible).
+    pub throughput: Vec<ThroughputRecord>,
 }
 
 impl ChainStats {
@@ -236,6 +239,21 @@ pub struct Chain {
     samples: Vec<Sample>,
     /// Trace records recorded so far (survives checkpoint/restore).
     trace: Vec<TraceRecord>,
+    /// Per-sample-interval throughput records. Deliberately *not*
+    /// checkpointed: wall-clock timings cannot be restored bit-exactly,
+    /// and the checkpoint format stays unchanged.
+    throughput: Vec<ThroughputRecord>,
+    /// Where the current throughput interval started.
+    mark: Option<ThroughputMark>,
+}
+
+/// Snapshot of the run accumulators at the start of an interval.
+struct ThroughputMark {
+    at: Instant,
+    generation: usize,
+    n_evaluations: u64,
+    plf_calls: u64,
+    plf_time: Duration,
 }
 
 impl Chain {
@@ -282,6 +300,8 @@ impl Chain {
             generation: 0,
             samples: Vec::new(),
             trace: Vec::new(),
+            throughput: Vec::new(),
+            mark: None,
         })
     }
 
@@ -338,6 +358,8 @@ impl Chain {
             generation: ckpt.generation,
             samples: ckpt.samples.clone(),
             trace: ckpt.trace.clone(),
+            throughput: Vec::new(),
+            mark: None,
         };
         // Rebuild the CLV workspace with a fresh full evaluation. It is
         // not counted in the accumulators — the checkpointed ones
@@ -446,6 +468,11 @@ impl Chain {
         &self.samples
     }
 
+    /// Per-sample-interval throughput recorded so far.
+    pub fn throughput(&self) -> &[ThroughputRecord] {
+        &self.throughput
+    }
+
     /// Perform the initial full likelihood evaluation (idempotent).
     pub fn initialize(&mut self, backend: &mut dyn PlfBackend) -> Result<(), ChainError> {
         self.initialize_inner(backend, true)
@@ -483,6 +510,7 @@ impl Chain {
         self.state.ln_likelihood = lnl;
         self.cur_prior = self.priors.ln_prior(&self.state);
         self.initialized = true;
+        self.set_mark(Instant::now());
         Ok(())
     }
 
@@ -620,7 +648,38 @@ impl Chain {
             if self.options.record_trace {
                 self.trace.push(self.trace_now(self.generation));
             }
+            self.record_throughput();
         }
+    }
+
+    /// Close the current throughput interval and open the next one.
+    fn record_throughput(&mut self) {
+        let now = Instant::now();
+        if let Some(mark) = &self.mark {
+            self.throughput.push(ThroughputRecord {
+                generation: self.generation,
+                generations: self.generation - mark.generation,
+                evaluations: self.accum.n_evaluations - mark.n_evaluations,
+                plf_calls: self.accum.plf_calls - mark.plf_calls,
+                plf_seconds: self
+                    .accum
+                    .plf_time
+                    .saturating_sub(mark.plf_time)
+                    .as_secs_f64(),
+                wall_seconds: now.duration_since(mark.at).as_secs_f64(),
+            });
+        }
+        self.set_mark(now);
+    }
+
+    fn set_mark(&mut self, at: Instant) {
+        self.mark = Some(ThroughputMark {
+            at,
+            generation: self.generation,
+            n_evaluations: self.accum.n_evaluations,
+            plf_calls: self.accum.plf_calls,
+            plf_time: self.accum.plf_time,
+        });
     }
 
     fn sample_now(&self, generation: usize) -> Sample {
@@ -654,6 +713,8 @@ impl Chain {
         self.generation = 0;
         self.samples.clear();
         self.trace.clear();
+        self.throughput.clear();
+        self.mark = None;
         self.run_to_completion(backend)
     }
 
@@ -695,6 +756,7 @@ impl Chain {
             total_time: run_start.elapsed(),
             final_ln_likelihood: self.state.ln_likelihood,
             trace: self.trace.clone(),
+            throughput: self.throughput.clone(),
         })
     }
 }
@@ -796,6 +858,30 @@ mod tests {
         assert!(stats.plf_time > Duration::ZERO);
         assert!(stats.plf_time <= stats.total_time);
         assert!(stats.plf_calls >= stats.n_evaluations);
+    }
+
+    #[test]
+    fn throughput_intervals_cover_the_run() {
+        let mut chain = toy_chain(100, 13);
+        let stats = chain.run(&mut ScalarBackend).unwrap();
+        // sample_every = 10, so one interval per sample point.
+        assert_eq!(stats.throughput.len(), stats.samples.len());
+        assert_eq!(
+            stats.throughput.iter().map(|t| t.generations).sum::<usize>(),
+            100
+        );
+        // Interval evaluations add up to the run total minus the initial
+        // evaluation (performed before the first interval opens).
+        assert_eq!(
+            stats.throughput.iter().map(|t| t.evaluations).sum::<u64>(),
+            stats.n_evaluations - 1
+        );
+        for t in &stats.throughput {
+            assert!(t.wall_seconds >= 0.0);
+            assert!(t.plf_seconds <= t.wall_seconds + 1e-6);
+            assert!((0.0..=1.0).contains(&t.plf_fraction()));
+        }
+        assert_eq!(stats.throughput.last().unwrap().generation, 100);
     }
 
     #[test]

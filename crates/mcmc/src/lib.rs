@@ -30,4 +30,4 @@ pub use mc3::{Mc3, Mc3Options, Mc3Stats};
 pub use priors::Priors;
 pub use proposals::{ProposalKind, Tuning, ALL_PROPOSALS};
 pub use state::ChainState;
-pub use trace::{p_file, summarize, t_file, TraceRecord, TraceSummary};
+pub use trace::{p_file, summarize, t_file, ThroughputRecord, TraceRecord, TraceSummary};

@@ -68,6 +68,49 @@ pub fn t_file(records: &[TraceRecord]) -> String {
     out
 }
 
+/// Per-sample-interval chain throughput, recorded alongside the trace.
+///
+/// One record covers the generations between two consecutive sample
+/// points and reports how much PLF work they cost — the per-generation
+/// throughput numbers the paper's Tables 3–5 are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ThroughputRecord {
+    /// Generation at the end of the interval.
+    pub generation: usize,
+    /// Generations covered by the interval.
+    pub generations: usize,
+    /// Full likelihood evaluations in the interval.
+    pub evaluations: u64,
+    /// Kernel calls issued in the interval.
+    pub plf_calls: u64,
+    /// Seconds spent inside PLF kernels in the interval.
+    pub plf_seconds: f64,
+    /// Wall-clock seconds of the interval.
+    pub wall_seconds: f64,
+}
+
+impl ThroughputRecord {
+    /// Likelihood evaluations per wall-clock second (0 for an empty
+    /// interval).
+    pub fn evaluations_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.evaluations as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the interval's wall time inside PLF kernels — the
+    /// paper's "PLF share" (Fig. 12), clamped to [0, 1].
+    pub fn plf_fraction(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            (self.plf_seconds / self.wall_seconds).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Simple posterior summaries over a trace (after burn-in).
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct TraceSummary {

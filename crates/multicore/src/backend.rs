@@ -9,8 +9,10 @@
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::dna::N_STATES;
 use plf_phylo::kernels::{scalar, simd4, PlfBackend, SimdSchedule};
+use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
 use plf_phylo::resilience::{FaultInjector, FaultSite, PlfError};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Parallel host backend over a dedicated rayon pool.
@@ -19,6 +21,7 @@ pub struct RayonBackend {
     n_threads: usize,
     schedule: Option<SimdSchedule>,
     injector: Option<Arc<FaultInjector>>,
+    metrics: Option<Arc<PlfCounters>>,
 }
 
 impl RayonBackend {
@@ -49,12 +52,20 @@ impl RayonBackend {
             n_threads,
             schedule,
             injector: None,
+            metrics: None,
         })
     }
 
     /// Attach a fault injector (worker panics, output corruption).
     pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> RayonBackend {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attach shared observability counters (per-kernel invocations,
+    /// patterns, wall time, rescale events).
+    pub fn with_metrics(mut self, counters: Arc<PlfCounters>) -> RayonBackend {
+        self.metrics = Some(counters);
         self
     }
 
@@ -93,6 +104,12 @@ impl PlfBackend for RayonBackend {
         format!("rayon-{}", self.n_threads)
     }
 
+    fn begin_evaluation(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.record_evaluation();
+        }
+    }
+
     fn cond_like_down(
         &mut self,
         left: &Clv,
@@ -101,6 +118,7 @@ impl PlfBackend for RayonBackend {
         p_right: &TransitionMatrices,
         out: &mut Clv,
     ) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, out.n_patterns());
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
         let chunk = self.chunk_len(out.n_patterns(), stride);
@@ -138,6 +156,7 @@ impl PlfBackend for RayonBackend {
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
     ) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, out.n_patterns());
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
         let chunk = self.chunk_len(out.n_patterns(), stride);
@@ -171,6 +190,7 @@ impl PlfBackend for RayonBackend {
     }
 
     fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, clv.n_patterns());
         let n_rates = clv.n_rates();
         let stride = n_rates * N_STATES;
         let m = clv.n_patterns();
@@ -178,6 +198,7 @@ impl PlfBackend for RayonBackend {
         let chunk_patterns = chunk / stride;
         let schedule = self.schedule;
         let panic_armed = self.worker_fault_armed();
+        let rescaled = AtomicU64::new(0);
         self.pool.install(|| {
             clv.as_mut_slice()
                 .par_chunks_mut(chunk)
@@ -187,12 +208,16 @@ impl PlfBackend for RayonBackend {
                     if panic_armed && ci == 0 {
                         panic!("injected fault: rayon worker panic");
                     }
-                    match schedule {
+                    let n = match schedule {
                         None => scalar::cond_like_scaler_range(c, s, n_rates),
                         Some(_) => simd4::cond_like_scaler_range(c, s, n_rates),
-                    }
+                    };
+                    rescaled.fetch_add(n, Ordering::Relaxed);
                 });
         });
+        if let Some(counters) = &self.metrics {
+            counters.record_rescaled(rescaled.into_inner());
+        }
         if let Some(inj) = &self.injector {
             if let Some(kind) = inj.fire_corruption() {
                 inj.corrupt(ln_scalers, kind);

@@ -14,8 +14,9 @@
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::dna::N_STATES;
 use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
+use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
 use plf_phylo::resilience::PlfError;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Patterns per self-scheduled chunk. Small enough to balance load,
@@ -75,6 +76,7 @@ pub struct PersistentPoolBackend {
     workers: Vec<std::thread::JoinHandle<()>>,
     n_threads: usize,
     schedule: SimdSchedule,
+    metrics: Option<Arc<PlfCounters>>,
 }
 
 impl PersistentPoolBackend {
@@ -126,7 +128,15 @@ impl PersistentPoolBackend {
             workers,
             n_threads,
             schedule: SimdSchedule::ColWise,
+            metrics: None,
         }
+    }
+
+    /// Attach shared observability counters (per-kernel invocations,
+    /// patterns, wall time, rescale events).
+    pub fn with_metrics(mut self, counters: Arc<PlfCounters>) -> PersistentPoolBackend {
+        self.metrics = Some(counters);
+        self
     }
 
     /// Number of threads participating in each call.
@@ -182,6 +192,12 @@ impl PlfBackend for PersistentPoolBackend {
         format!("persistent-{}", self.n_threads)
     }
 
+    fn begin_evaluation(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.record_evaluation();
+        }
+    }
+
     fn cond_like_down(
         &mut self,
         left: &Clv,
@@ -190,6 +206,7 @@ impl PlfBackend for PersistentPoolBackend {
         p_right: &TransitionMatrices,
         out: &mut Clv,
     ) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, out.n_patterns());
         let m = out.n_patterns();
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
@@ -232,6 +249,7 @@ impl PlfBackend for PersistentPoolBackend {
         c: Option<(&Clv, &TransitionMatrices)>,
         out: &mut Clv,
     ) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, out.n_patterns());
         let m = out.n_patterns();
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
@@ -267,11 +285,14 @@ impl PlfBackend for PersistentPoolBackend {
     }
 
     fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, clv.n_patterns());
         let m = clv.n_patterns();
         let n_rates = clv.n_rates();
         let stride = n_rates * N_STATES;
         let clv_ptr = SendPtr(clv.as_mut_slice().as_mut_ptr());
         let sc_ptr = SendPtr(ln_scalers.as_mut_ptr());
+        let rescaled = Arc::new(AtomicU64::new(0));
+        let task_rescaled = Arc::clone(&rescaled);
         let task: Task = Box::new(move |chunk| {
             let start = chunk * CHUNK_PATTERNS;
             let end = (start + CHUNK_PATTERNS).min(m);
@@ -281,9 +302,13 @@ impl PlfBackend for PersistentPoolBackend {
             };
             let sc_chunk =
                 unsafe { std::slice::from_raw_parts_mut(sc_ptr.get().add(start), end - start) };
-            simd4::cond_like_scaler_range(clv_chunk, sc_chunk, n_rates);
+            let n = simd4::cond_like_scaler_range(clv_chunk, sc_chunk, n_rates);
+            task_rescaled.fetch_add(n, Ordering::Relaxed);
         });
         self.run_job(Self::n_chunks(m), task);
+        if let Some(counters) = &self.metrics {
+            counters.record_rescaled(rescaled.load(Ordering::Relaxed));
+        }
         Ok(())
     }
 }

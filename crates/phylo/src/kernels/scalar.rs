@@ -103,11 +103,16 @@ pub fn cond_like_root_range(
 /// it, and accumulate `ln(max)` into the pattern's scaler slot.
 ///
 /// A pattern whose block is entirely zero (impossible for valid data, but
-/// defensively handled like MrBayes does) is left untouched.
-pub fn cond_like_scaler_range(clv: &mut [f32], ln_scalers: &mut [f32], n_rates: usize) {
+/// defensively handled like MrBayes does) is left untouched — `ln(0)`
+/// would write `-inf` into the scaler slot and poison the likelihood.
+///
+/// Returns the number of patterns actually rescaled (underflow rescale
+/// events, fed into [`crate::metrics::PlfCounters`] by the backends).
+pub fn cond_like_scaler_range(clv: &mut [f32], ln_scalers: &mut [f32], n_rates: usize) -> u64 {
     let m = n_patterns_of(clv.len(), n_rates);
     assert_eq!(ln_scalers.len(), m);
     let stride = n_rates * N_STATES;
+    let mut rescaled = 0u64;
     for i in 0..m {
         let block = &mut clv[i * stride..(i + 1) * stride];
         let mut max = 0.0f32;
@@ -122,8 +127,10 @@ pub fn cond_like_scaler_range(clv: &mut [f32], ln_scalers: &mut [f32], n_rates: 
                 *v *= inv;
             }
             ln_scalers[i] += max.ln();
+            rescaled += 1;
         }
     }
+    rescaled
 }
 
 #[cfg(test)]
@@ -200,7 +207,7 @@ mod tests {
         let mut clv = vec![0.25f32, 0.5, 0.125, 0.0625, 0.03125, 0.5, 0.25, 0.125];
         // 1 rate category => stride 4, two patterns.
         let mut scalers = vec![0.0f32; 2];
-        cond_like_scaler_range(&mut clv, &mut scalers, 1);
+        assert_eq!(cond_like_scaler_range(&mut clv, &mut scalers, 1), 2);
         assert_eq!(&clv[0..4], &[0.5, 1.0, 0.25, 0.125]);
         assert_eq!(&clv[4..8], &[0.0625, 1.0, 0.5, 0.25]);
         assert!((scalers[0] - 0.5f32.ln()).abs() < 1e-6);
@@ -222,9 +229,24 @@ mod tests {
     fn scaler_skips_zero_block() {
         let mut clv = vec![0.0f32; 4];
         let mut scalers = vec![0.0f32; 1];
-        cond_like_scaler_range(&mut clv, &mut scalers, 1);
-        assert_eq!(scalers[0], 0.0);
+        assert_eq!(cond_like_scaler_range(&mut clv, &mut scalers, 1), 0);
+        assert_eq!(scalers[0], 0.0, "ln(0) must never reach the slot");
+        assert!(scalers[0].is_finite());
         assert!(clv.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scaler_zero_block_among_live_blocks_stays_finite() {
+        // Pattern 0 live, pattern 1 all-zero, pattern 2 live: the zero
+        // block must not poison its slot or disturb its neighbours.
+        let mut clv = vec![0.5f32, 0.25, 0.0, 0.0, /* zero */ 0.0, 0.0, 0.0, 0.0, 0.125, 0.0625, 0.0, 0.0];
+        let mut scalers = vec![0.0f32; 3];
+        assert_eq!(cond_like_scaler_range(&mut clv, &mut scalers, 1), 2);
+        assert!(scalers.iter().all(|s| s.is_finite()));
+        assert_eq!(scalers[1], 0.0);
+        assert!((scalers[0] - 0.5f32.ln()).abs() < 1e-6);
+        assert!((scalers[2] - 0.125f32.ln()).abs() < 1e-6);
+        assert_eq!(&clv[4..8], &[0.0; 4]);
     }
 
     #[test]

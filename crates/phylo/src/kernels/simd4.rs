@@ -157,12 +157,18 @@ pub fn cond_like_root_range(
 
 /// SIMD CondLikeScaler: vector max across the pattern block, horizontal
 /// max, then a broadcast multiply by the reciprocal. `max` is associative
-/// and commutative, so the result matches the scalar kernel exactly.
-pub fn cond_like_scaler_range(clv: &mut [f32], ln_scalers: &mut [f32], n_rates: usize) {
+/// and commutative, so the result matches the scalar kernel exactly —
+/// including the all-zero-block guard (skipping avoids an `ln(0) = -inf`
+/// poisoned scaler slot).
+///
+/// Returns the number of patterns actually rescaled, as the scalar
+/// kernel does.
+pub fn cond_like_scaler_range(clv: &mut [f32], ln_scalers: &mut [f32], n_rates: usize) -> u64 {
     let stride = n_rates * N_STATES;
     debug_assert_eq!(clv.len() % stride, 0);
     let m = clv.len() / stride;
     assert_eq!(ln_scalers.len(), m);
+    let mut rescaled = 0u64;
     for (i, block) in clv.chunks_exact_mut(stride).enumerate() {
         let mut vmax = [0.0f32; 4];
         for chunk in block.chunks_exact(N_STATES) {
@@ -176,8 +182,10 @@ pub fn cond_like_scaler_range(clv: &mut [f32], ln_scalers: &mut [f32], n_rates: 
                 chunk.copy_from_slice(&scaled);
             }
             ln_scalers[i] += max.ln();
+            rescaled += 1;
         }
     }
+    rescaled
 }
 
 #[cfg(test)]
@@ -320,10 +328,26 @@ mod tests {
         let mut b = a.clone();
         let mut sa = vec![0.0f32; m];
         let mut sb = vec![0.0f32; m];
-        cond_like_scaler_range(&mut a, &mut sa, n_rates);
-        scalar::cond_like_scaler_range(&mut b, &mut sb, n_rates);
+        let ca = cond_like_scaler_range(&mut a, &mut sa, n_rates);
+        let cb = scalar::cond_like_scaler_range(&mut b, &mut sb, n_rates);
         assert_eq!(a, b);
         assert_eq!(sa, sb);
+        assert_eq!(ca, cb, "rescale counts must agree with the scalar kernel");
+    }
+
+    #[test]
+    fn scaler_skips_zero_block() {
+        // Mirror of the scalar regression test: an all-zero pattern
+        // block must be skipped (ln(0) = -inf would poison the slot),
+        // not counted, and leave neighbouring patterns untouched.
+        let n_rates = 1;
+        let mut clv = vec![0.5f32, 0.25, 0.0, 0.0, /* zero */ 0.0, 0.0, 0.0, 0.0, 0.125, 0.0625, 0.0, 0.0];
+        let mut scalers = vec![0.0f32; 3];
+        assert_eq!(cond_like_scaler_range(&mut clv, &mut scalers, n_rates), 2);
+        assert!(scalers.iter().all(|s| s.is_finite()));
+        assert_eq!(scalers[1], 0.0);
+        assert_eq!(&clv[4..8], &[0.0; 4]);
+        assert!((scalers[0] - 0.5f32.ln()).abs() < 1e-6);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod incremental;
 pub mod io;
 pub mod kernels;
 pub mod likelihood;
+pub mod metrics;
 pub mod model;
 pub mod oracle;
 pub mod partition;
@@ -54,11 +55,12 @@ pub mod prelude {
     pub use crate::kernels::{PlfBackend, ScalarBackend, Simd4Backend, SimdSchedule};
     pub use crate::incremental::IncrementalLikelihood;
     pub use crate::likelihood::TreeLikelihood;
+    pub use crate::metrics::{Kernel, KernelTimer, MetricsSnapshot, PlfCounters};
     pub use crate::model::{GtrParams, SiteModel};
     pub use crate::partition::{by_codon_position, by_gene_blocks, Partition, PartitionedLikelihood};
     pub use crate::resilience::{
-        CorruptionKind, FaultInjector, FaultSite, PlfError, ResilienceReport, ResilientBackend,
-        RetryPolicy,
+        CorruptionKind, FaultEnvError, FaultInjector, FaultSite, PlfError, ResilienceReport,
+        ResilientBackend, RetryPolicy,
     };
     pub use crate::tree::{Node, NodeId, Tree};
 }

@@ -1,0 +1,404 @@
+//! Lightweight PLF observability: per-kernel counters, timers, and
+//! transfer accounting.
+//!
+//! The paper's entire evaluation is instrumentation — Table 1's >85%
+//! PLF share, the §4 scalability grids, Figure 12's PLF / Remaining /
+//! PCIe breakdown. [`PlfCounters`] makes those numbers measurable in
+//! this reproduction: a block of `AtomicU64` counters shared (via
+//! `Arc`) between a harness and any number of backends, recording
+//!
+//! * per-kernel invocation counts, patterns processed, and wall time
+//!   for `CondLikeDown` / `CondLikeRoot` / `CondLikeScaler`;
+//! * underflow rescale events (patterns actually divided by their max);
+//! * modeled transfer traffic — Cell/BE DMA commands (≤16 KB each) and
+//!   GPU PCIe legs — in bytes, commands, and modeled seconds, plus the
+//!   seconds hidden by double buffering;
+//! * resilience events (same-tier retries, tier degradations);
+//! * tree evaluations started.
+//!
+//! **Overhead budget.** The hot path takes no locks: recording one
+//! kernel call is two `Instant::now()` reads and three relaxed
+//! `fetch_add`s — tens of nanoseconds against kernels that process
+//! thousands of patterns. Backends built without counters skip the
+//! `fetch_add`s entirely and pay only the clock reads of an armed
+//! [`KernelTimer`] whose `counters` is `None`.
+//!
+//! Counters are monotone; read a consistent view with
+//! [`PlfCounters::snapshot`] and difference snapshots to meter an
+//! interval.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The three PLF kernels the paper profiles (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `CondLikeDown` — combine two children.
+    Down,
+    /// `CondLikeRoot` — combine the subtrees at the virtual root.
+    Root,
+    /// `CondLikeScaler` — per-pattern underflow rescaling.
+    Scale,
+}
+
+impl Kernel {
+    /// All kernels, in Table 1 order.
+    pub const ALL: [Kernel; 3] = [Kernel::Down, Kernel::Root, Kernel::Scale];
+
+    fn index(self) -> usize {
+        match self {
+            Kernel::Down => 0,
+            Kernel::Root => 1,
+            Kernel::Scale => 2,
+        }
+    }
+
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kernel::Down => "down",
+            Kernel::Root => "root",
+            Kernel::Scale => "scale",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct KernelCell {
+    invocations: AtomicU64,
+    patterns: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// Shared atomic counter block; see the module docs for what it records.
+#[derive(Debug, Default)]
+pub struct PlfCounters {
+    kernels: [KernelCell; 3],
+    rescaled_patterns: AtomicU64,
+    evaluations: AtomicU64,
+    transfer_bytes_in: AtomicU64,
+    transfer_bytes_out: AtomicU64,
+    transfer_commands: AtomicU64,
+    transfer_nanos: AtomicU64,
+    overlap_saved_nanos: AtomicU64,
+    retries: AtomicU64,
+    degradations: AtomicU64,
+}
+
+/// Modeled seconds, stored losslessly enough as integer nanoseconds.
+fn to_nanos(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e9).round() as u64
+}
+
+impl PlfCounters {
+    /// A fresh, shareable counter block.
+    pub fn new() -> Arc<PlfCounters> {
+        Arc::new(PlfCounters::default())
+    }
+
+    /// Record one kernel call over `patterns` patterns taking `elapsed`.
+    pub fn record_kernel(&self, kernel: Kernel, patterns: u64, elapsed: Duration) {
+        let cell = &self.kernels[kernel.index()];
+        cell.invocations.fetch_add(1, Ordering::Relaxed);
+        cell.patterns.fetch_add(patterns, Ordering::Relaxed);
+        cell.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record `patterns` patterns actually rescaled (block max > 0) by a
+    /// scaler call.
+    pub fn record_rescaled(&self, patterns: u64) {
+        self.rescaled_patterns.fetch_add(patterns, Ordering::Relaxed);
+    }
+
+    /// Record the start of one tree evaluation.
+    pub fn record_evaluation(&self) {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record modeled transfer traffic: `bytes_in` toward the device
+    /// (DMA-in / host→device), `bytes_out` back, split over `commands`
+    /// hardware transfers costing `modeled_seconds` if serialized.
+    pub fn record_transfer(&self, bytes_in: u64, bytes_out: u64, commands: u64, modeled_seconds: f64) {
+        self.transfer_bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        self.transfer_bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.transfer_commands.fetch_add(commands, Ordering::Relaxed);
+        self.transfer_nanos
+            .fetch_add(to_nanos(modeled_seconds), Ordering::Relaxed);
+    }
+
+    /// Record transfer seconds hidden behind compute by double
+    /// buffering (Figure 7); feeds the overlap ratio.
+    pub fn record_overlap_saved(&self, seconds: f64) {
+        self.overlap_saved_nanos
+            .fetch_add(to_nanos(seconds), Ordering::Relaxed);
+    }
+
+    /// Record one same-tier retry of a failed kernel call.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one degradation to a lower backend tier.
+    pub fn record_degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for cell in &self.kernels {
+            cell.invocations.store(0, Ordering::Relaxed);
+            cell.patterns.store(0, Ordering::Relaxed);
+            cell.nanos.store(0, Ordering::Relaxed);
+        }
+        for c in [
+            &self.rescaled_patterns,
+            &self.evaluations,
+            &self.transfer_bytes_in,
+            &self.transfer_bytes_out,
+            &self.transfer_commands,
+            &self.transfer_nanos,
+            &self.overlap_saved_nanos,
+            &self.retries,
+            &self.degradations,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let kernel = |k: Kernel| {
+            let cell = &self.kernels[k.index()];
+            KernelSnapshot {
+                invocations: cell.invocations.load(Ordering::Relaxed),
+                patterns: cell.patterns.load(Ordering::Relaxed),
+                seconds: cell.nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            }
+        };
+        MetricsSnapshot {
+            down: kernel(Kernel::Down),
+            root: kernel(Kernel::Root),
+            scale: kernel(Kernel::Scale),
+            rescaled_patterns: self.rescaled_patterns.load(Ordering::Relaxed),
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            transfer: TransferSnapshot {
+                bytes_in: self.transfer_bytes_in.load(Ordering::Relaxed),
+                bytes_out: self.transfer_bytes_out.load(Ordering::Relaxed),
+                commands: self.transfer_commands.load(Ordering::Relaxed),
+                seconds: self.transfer_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                overlap_saved_seconds: self.overlap_saved_nanos.load(Ordering::Relaxed) as f64
+                    * 1e-9,
+            },
+            retries: self.retries.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One kernel's accumulated counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct KernelSnapshot {
+    /// Calls.
+    pub invocations: u64,
+    /// Patterns processed across all calls.
+    pub patterns: u64,
+    /// Wall seconds inside the kernel (host-measured).
+    pub seconds: f64,
+}
+
+/// Accumulated transfer accounting (Cell DMA or GPU PCIe).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct TransferSnapshot {
+    /// Bytes moved toward the device (DMA-in / host→device).
+    pub bytes_in: u64,
+    /// Bytes moved back to the host.
+    pub bytes_out: u64,
+    /// Hardware transfer commands (Cell: ≤16 KB each).
+    pub commands: u64,
+    /// Modeled seconds if every transfer were serialized.
+    pub seconds: f64,
+    /// Modeled seconds hidden behind compute by double buffering.
+    pub overlap_saved_seconds: f64,
+}
+
+impl TransferSnapshot {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+
+    /// Fraction of serialized transfer time hidden by double buffering,
+    /// in `[0, 1]`; zero when nothing was transferred.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            (self.overlap_saved_seconds / self.seconds).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Modeled transfer seconds left exposed after overlap.
+    pub fn exposed_seconds(&self) -> f64 {
+        (self.seconds - self.overlap_saved_seconds).max(0.0)
+    }
+}
+
+/// A point-in-time copy of a [`PlfCounters`] block.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// `CondLikeDown` counters.
+    pub down: KernelSnapshot,
+    /// `CondLikeRoot` counters.
+    pub root: KernelSnapshot,
+    /// `CondLikeScaler` counters.
+    pub scale: KernelSnapshot,
+    /// Patterns actually rescaled (underflow events) by scaler calls.
+    pub rescaled_patterns: u64,
+    /// Tree evaluations started.
+    pub evaluations: u64,
+    /// DMA / PCIe accounting.
+    pub transfer: TransferSnapshot,
+    /// Same-tier retries recorded by the resilience wrapper.
+    pub retries: u64,
+    /// Tier degradations recorded by the resilience wrapper.
+    pub degradations: u64,
+}
+
+impl MetricsSnapshot {
+    /// The named kernel's counters.
+    pub fn kernel(&self, k: Kernel) -> &KernelSnapshot {
+        match k {
+            Kernel::Down => &self.down,
+            Kernel::Root => &self.root,
+            Kernel::Scale => &self.scale,
+        }
+    }
+
+    /// Total kernel invocations.
+    pub fn invocations(&self) -> u64 {
+        Kernel::ALL.iter().map(|&k| self.kernel(k).invocations).sum()
+    }
+
+    /// Total patterns processed across all kernels.
+    pub fn patterns(&self) -> u64 {
+        Kernel::ALL.iter().map(|&k| self.kernel(k).patterns).sum()
+    }
+
+    /// Total wall seconds inside PLF kernels (the Figure 12 "PLF" bar).
+    pub fn plf_seconds(&self) -> f64 {
+        Kernel::ALL.iter().map(|&k| self.kernel(k).seconds).sum()
+    }
+}
+
+/// RAII span timer: started before a kernel body, records one
+/// invocation (with patterns and elapsed wall time) into the counters
+/// when dropped. With `counters == None` it records nothing.
+pub struct KernelTimer {
+    counters: Option<Arc<PlfCounters>>,
+    kernel: Kernel,
+    patterns: u64,
+    start: Instant,
+}
+
+impl KernelTimer {
+    /// Start timing one kernel call over `patterns` patterns.
+    pub fn start(counters: Option<&Arc<PlfCounters>>, kernel: Kernel, patterns: usize) -> KernelTimer {
+        KernelTimer {
+            counters: counters.cloned(),
+            kernel,
+            patterns: patterns as u64,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for KernelTimer {
+    fn drop(&mut self) {
+        if let Some(c) = &self.counters {
+            c.record_kernel(self.kernel, self.patterns, self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_kernel() {
+        let c = PlfCounters::new();
+        c.record_kernel(Kernel::Down, 100, Duration::from_micros(5));
+        c.record_kernel(Kernel::Down, 100, Duration::from_micros(5));
+        c.record_kernel(Kernel::Scale, 100, Duration::from_micros(1));
+        let s = c.snapshot();
+        assert_eq!(s.down.invocations, 2);
+        assert_eq!(s.down.patterns, 200);
+        assert!((s.down.seconds - 10e-6).abs() < 1e-12);
+        assert_eq!(s.root.invocations, 0);
+        assert_eq!(s.scale.invocations, 1);
+        assert_eq!(s.invocations(), 3);
+        assert_eq!(s.patterns(), 300);
+        assert!((s.plf_seconds() - 11e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timer_records_on_drop_only_when_armed() {
+        let c = PlfCounters::new();
+        {
+            let _t = KernelTimer::start(Some(&c), Kernel::Root, 42);
+        }
+        {
+            let _t = KernelTimer::start(None, Kernel::Root, 42);
+        }
+        let s = c.snapshot();
+        assert_eq!(s.root.invocations, 1);
+        assert_eq!(s.root.patterns, 42);
+    }
+
+    #[test]
+    fn transfer_and_overlap_accounting() {
+        let c = PlfCounters::new();
+        c.record_transfer(32 * 1024, 16 * 1024, 3, 4e-6);
+        c.record_overlap_saved(1e-6);
+        let s = c.snapshot();
+        assert_eq!(s.transfer.total_bytes(), 48 * 1024);
+        assert_eq!(s.transfer.commands, 3);
+        assert!((s.transfer.seconds - 4e-6).abs() < 1e-12);
+        assert!((s.transfer.overlap_ratio() - 0.25).abs() < 1e-9);
+        assert!((s.transfer.exposed_seconds() - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_clamped_and_safe_on_empty() {
+        let c = PlfCounters::new();
+        assert_eq!(c.snapshot().transfer.overlap_ratio(), 0.0);
+        c.record_transfer(1, 1, 1, 1e-9);
+        c.record_overlap_saved(1.0); // saved > serialized: clamp to 1
+        assert_eq!(c.snapshot().transfer.overlap_ratio(), 1.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = PlfCounters::new();
+        c.record_kernel(Kernel::Down, 10, Duration::from_nanos(100));
+        c.record_rescaled(7);
+        c.record_evaluation();
+        c.record_retry();
+        c.record_degradation();
+        c.record_transfer(1, 2, 3, 1e-6);
+        c.reset();
+        assert_eq!(c.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let c = PlfCounters::new();
+        c.record_kernel(Kernel::Scale, 5, Duration::from_nanos(50));
+        let json = serde_json::to_string(&c.snapshot()).unwrap();
+        assert!(json.contains("\"scale\""));
+        assert!(json.contains("\"rescaled_patterns\""));
+    }
+}

@@ -49,6 +49,32 @@ impl FaultSite {
 
 const N_SITES: usize = 5;
 
+/// A `PLF_FAULT_*` environment variable held a value that cannot
+/// configure fault injection (unparsable, or a probability outside
+/// `[0, 1]`). Surfaced by [`FaultInjector::from_env`] so a typo fails
+/// loudly instead of silently disarming the injector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEnvError {
+    /// The offending variable name.
+    pub var: &'static str,
+    /// Its raw value as found in the environment.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid fault-injection knob {}={:?}: {}",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FaultEnvError {}
+
 /// Flavor of value written into a corrupted CLV entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CorruptionKind {
@@ -150,25 +176,57 @@ impl FaultInjector {
     }
 
     /// Build an injector from `PLF_FAULT_*` environment variables, or
-    /// `None` when no knob is set. `PLF_FAULT_SEED` defaults to 0;
+    /// `Ok(None)` when no knob is set. `PLF_FAULT_SEED` defaults to 0;
     /// `PLF_FAULT_{CORRUPT,DMA,PCIE,LAUNCH,PANIC}_RATE` set per-site
     /// probabilities in `[0, 1]`.
-    pub fn from_env() -> Option<FaultInjector> {
-        let rate = |name: &str| -> Option<f64> {
-            std::env::var(name).ok()?.parse::<f64>().ok().filter(|p| (0.0..=1.0).contains(p))
+    ///
+    /// A malformed or out-of-range value is an error, not a silently
+    /// disarmed knob: a typo like `PLF_FAULT_DMA_RATE=0,5` used to turn
+    /// fault injection off with no signal at all.
+    pub fn from_env() -> Result<Option<FaultInjector>, FaultEnvError> {
+        FaultInjector::from_env_with(|name| std::env::var(name).ok())
+    }
+
+    /// [`FaultInjector::from_env`] over an arbitrary variable source, so
+    /// parsing is testable without mutating the process environment.
+    pub fn from_env_with(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> Result<Option<FaultInjector>, FaultEnvError> {
+        let rate = |name: &'static str| -> Result<Option<f64>, FaultEnvError> {
+            let Some(raw) = lookup(name) else {
+                return Ok(None);
+            };
+            let p: f64 = raw.parse().map_err(|_| FaultEnvError {
+                var: name,
+                value: raw.clone(),
+                reason: "not a number".into(),
+            })?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FaultEnvError {
+                    var: name,
+                    value: raw,
+                    reason: "probability outside [0, 1]".into(),
+                });
+            }
+            Ok(Some(p))
         };
-        let seed = std::env::var("PLF_FAULT_SEED")
-            .ok()
-            .and_then(|s| s.parse::<u64>().ok());
+        let seed = match lookup("PLF_FAULT_SEED") {
+            None => None,
+            Some(raw) => Some(raw.parse::<u64>().map_err(|_| FaultEnvError {
+                var: "PLF_FAULT_SEED",
+                value: raw,
+                reason: "not an unsigned integer".into(),
+            })?),
+        };
         let knobs = [
-            (FaultSite::KernelOutput, rate("PLF_FAULT_CORRUPT_RATE")),
-            (FaultSite::DmaTransfer, rate("PLF_FAULT_DMA_RATE")),
-            (FaultSite::PcieTransfer, rate("PLF_FAULT_PCIE_RATE")),
-            (FaultSite::KernelLaunch, rate("PLF_FAULT_LAUNCH_RATE")),
-            (FaultSite::Worker, rate("PLF_FAULT_PANIC_RATE")),
+            (FaultSite::KernelOutput, rate("PLF_FAULT_CORRUPT_RATE")?),
+            (FaultSite::DmaTransfer, rate("PLF_FAULT_DMA_RATE")?),
+            (FaultSite::PcieTransfer, rate("PLF_FAULT_PCIE_RATE")?),
+            (FaultSite::KernelLaunch, rate("PLF_FAULT_LAUNCH_RATE")?),
+            (FaultSite::Worker, rate("PLF_FAULT_PANIC_RATE")?),
         ];
         if seed.is_none() && knobs.iter().all(|(_, p)| p.is_none()) {
-            return None;
+            return Ok(None);
         }
         let mut inj = FaultInjector::new(seed.unwrap_or(0));
         for (site, p) in knobs {
@@ -176,7 +234,7 @@ impl FaultInjector {
                 inj = inj.with_rate(site, p);
             }
         }
-        Some(inj)
+        Ok(Some(inj))
     }
 
     /// Roll at a non-output site; `true` means the occasion fails.
@@ -319,6 +377,67 @@ mod tests {
     #[test]
     fn from_env_without_knobs_is_none() {
         // The test environment does not set PLF_FAULT_*.
-        assert!(FaultInjector::from_env().is_none());
+        assert!(FaultInjector::from_env().unwrap().is_none());
+    }
+
+    #[test]
+    fn from_env_with_empty_lookup_is_none() {
+        assert!(FaultInjector::from_env_with(|_| None).unwrap().is_none());
+    }
+
+    #[test]
+    fn from_env_builds_injector_from_knobs() {
+        let inj = FaultInjector::from_env_with(|name| match name {
+            "PLF_FAULT_SEED" => Some("42".into()),
+            "PLF_FAULT_DMA_RATE" => Some("1.0".into()),
+            _ => None,
+        })
+        .unwrap()
+        .expect("knobs set");
+        assert!(inj.fire(FaultSite::DmaTransfer));
+        assert!(!inj.fire(FaultSite::PcieTransfer));
+    }
+
+    #[test]
+    fn from_env_seed_alone_arms_a_quiet_injector() {
+        let inj = FaultInjector::from_env_with(|name| {
+            (name == "PLF_FAULT_SEED").then(|| "7".to_string())
+        })
+        .unwrap()
+        .expect("seed set");
+        assert!(!inj.fire(FaultSite::Worker));
+    }
+
+    #[test]
+    fn from_env_rejects_unparsable_rate() {
+        // The old implementation swallowed this typo ("0,5" for "0.5")
+        // and silently disabled injection.
+        let err = FaultInjector::from_env_with(|name| {
+            (name == "PLF_FAULT_DMA_RATE").then(|| "0,5".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "PLF_FAULT_DMA_RATE");
+        assert_eq!(err.value, "0,5");
+        assert!(err.to_string().contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn from_env_rejects_out_of_range_rate() {
+        let err = FaultInjector::from_env_with(|name| {
+            (name == "PLF_FAULT_CORRUPT_RATE").then(|| "1.5".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "PLF_FAULT_CORRUPT_RATE");
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn from_env_rejects_bad_seed() {
+        let err = FaultInjector::from_env_with(|name| {
+            (name == "PLF_FAULT_SEED").then(|| "-1".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "PLF_FAULT_SEED");
+        assert!(err.to_string().contains("unsigned"), "{err}");
     }
 }

@@ -29,7 +29,7 @@ mod fault;
 mod wrapper;
 
 pub use error::{panic_message, PlfError, PlfOpKind};
-pub use fault::{CorruptionKind, FaultInjector, FaultSite};
+pub use fault::{CorruptionKind, FaultEnvError, FaultInjector, FaultSite};
 pub use wrapper::{
     RecoveryAction, ResilienceEvent, ResilienceReport, ResilientBackend, RetryPolicy,
 };

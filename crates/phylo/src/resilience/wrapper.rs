@@ -24,7 +24,9 @@
 use super::error::{panic_message, PlfError, PlfOpKind};
 use crate::clv::{Clv, TransitionMatrices};
 use crate::kernels::PlfBackend;
+use crate::metrics::PlfCounters;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Retry / validation policy of a [`ResilientBackend`].
@@ -121,6 +123,7 @@ pub struct ResilientBackend {
     active: usize,
     policy: RetryPolicy,
     report: ResilienceReport,
+    metrics: Option<Arc<PlfCounters>>,
 }
 
 impl ResilientBackend {
@@ -132,6 +135,7 @@ impl ResilientBackend {
             active: 0,
             policy: RetryPolicy::default(),
             report: ResilienceReport::default(),
+            metrics: None,
         }
     }
 
@@ -144,6 +148,14 @@ impl ResilientBackend {
     /// Replace the retry/validation policy.
     pub fn with_policy(mut self, policy: RetryPolicy) -> ResilientBackend {
         self.policy = policy;
+        self
+    }
+
+    /// Mirror recovery events (retries, degradations) into a shared
+    /// [`PlfCounters`], alongside whatever counters the wrapped tiers
+    /// already feed.
+    pub fn with_metrics(mut self, counters: Arc<PlfCounters>) -> ResilientBackend {
+        self.metrics = Some(counters);
         self
     }
 
@@ -182,6 +194,9 @@ impl ResilientBackend {
                 action: RecoveryAction::Retried,
             });
             self.report.retries += 1;
+            if let Some(m) = &self.metrics {
+                m.record_retry();
+            }
             *retry += 1;
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
@@ -198,6 +213,9 @@ impl ResilientBackend {
                 action: RecoveryAction::Degraded { to },
             });
             self.report.degradations += 1;
+            if let Some(m) = &self.metrics {
+                m.record_degradation();
+            }
             self.active += 1;
             *retry = 0;
             return Ok(());

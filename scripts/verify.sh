@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate plus lint for the resilience layer.
+# Tier-1 verification gate plus lint and hygiene checks.
 #
 #   scripts/verify.sh
 #
 # Runs, in order:
-#   1. the tier-1 gate from ROADMAP.md: release build + full test suite;
-#   2. clippy with -D warnings on the crates the resilience layer spans
-#      (phylo owns resilience/, mcmc owns checkpoint/restore, and the
-#      three backend crates host the fault hooks).
+#   1. repo hygiene: no build artifacts (target/) may be tracked by git;
+#   2. the tier-1 gate from ROADMAP.md: release build + full test suite;
+#   3. clippy with -D warnings on the crates the resilience and metrics
+#      layers span (phylo owns resilience/ and metrics, mcmc owns
+#      checkpoint/restore and throughput, the three backend crates host
+#      the fault hooks and counter feeds, bench emits BENCH_plf.json);
+#   4. a smoke run of the perf_report binary, proving the observability
+#      pipeline produces a BENCH_plf report end to end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> hygiene: no tracked files under target/"
+if [ -n "$(git ls-files target/)" ]; then
+    echo "error: build artifacts are tracked by git:" >&2
+    git ls-files target/ | head -n 20 >&2
+    echo "(run: git rm -r --cached target/)" >&2
+    exit 1
+fi
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -17,8 +29,14 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> clippy (resilience-bearing crates), -D warnings"
+echo "==> clippy (resilience- and metrics-bearing crates), -D warnings"
 cargo clippy -p plf-phylo -p plf-mcmc -p plf-multicore -p plf-cellbe -p plf-gpu \
-    --all-targets -- -D warnings
+    -p plf-bench --all-targets -- -D warnings
+
+echo "==> perf_report --smoke"
+mkdir -p results
+cargo run --release -q -p plf-bench --bin perf_report -- \
+    --smoke --out results/BENCH_plf.smoke.tmp
+rm -f results/BENCH_plf.smoke.tmp
 
 echo "==> verify OK"

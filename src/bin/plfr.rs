@@ -132,7 +132,7 @@ fn backend_by_name(
 /// back to the scalar reference, so injected faults are survived rather
 /// than fatal.
 fn make_backend(name: &str) -> Result<Box<dyn PlfBackend>, String> {
-    match FaultInjector::from_env() {
+    match FaultInjector::from_env().map_err(|e| e.to_string())? {
         None => backend_by_name(name, None),
         Some(injector) => {
             let injector = std::sync::Arc::new(injector);
