@@ -15,6 +15,7 @@ use crate::fsm::{PpeMessage, SpeFsm};
 use crate::timing::{CellCalibration, KernelKind};
 use parking_lot::Mutex;
 use plf_phylo::clv::{Clv, TransitionMatrices};
+use plf_phylo::constants::DMA_MAX_BYTES;
 use plf_phylo::dna::N_STATES;
 use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
 use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
@@ -275,8 +276,8 @@ impl CellBackend {
                         local_chunks += 1;
                         local_bytes_in += bytes_in as u64;
                         local_bytes_out += bytes_out as u64;
-                        local_dma += bytes_in.div_ceil(16 * 1024) as u64
-                            + bytes_out.div_ceil(16 * 1024) as u64;
+                        local_dma += bytes_in.div_ceil(DMA_MAX_BYTES) as u64
+                            + bytes_out.div_ceil(DMA_MAX_BYTES) as u64;
                         start = end;
                     }
                     if let Some(c) = metrics {
@@ -424,7 +425,7 @@ impl PlfBackend for CellBackend {
                         );
                         chunks += 1;
                         bytes_moved += bytes as u64;
-                        dma += 2 * bytes.div_ceil(16 * 1024) as u64;
+                        dma += 2 * bytes.div_ceil(DMA_MAX_BYTES) as u64;
                         start = end;
                     }
                     if let Some(c) = metrics {

@@ -8,6 +8,8 @@
 
 use plf_phylo::resilience::{FaultInjector, FaultSite, PlfError};
 use plf_simcore::xfer::TransferModel;
+// (The 16 KB DMA bound itself lives in plf_phylo::constants; see the
+// `transfer_model_mirrors_shared_constants` test below.)
 use std::sync::Arc;
 
 /// Per-chunk costs in seconds.
@@ -145,6 +147,19 @@ mod tests {
         let crowd = DmaEngine::new(16, 2);
         let b = 64 * 1024;
         assert!(crowd.time(b) > 10.0 * solo.time(b));
+    }
+
+    #[test]
+    fn transfer_model_mirrors_shared_constants() {
+        // plf-simcore sits below plf-phylo in the dependency graph, so
+        // it cannot import phylo::constants; its independently written
+        // hardware model carries `plf-lint: allow(L3)` suppressions
+        // instead. This test is the other half of that bargain: the
+        // two definitions of the 16 KB DMA command bound must agree.
+        assert_eq!(
+            TransferModel::cell_dma().max_transfer,
+            Some(plf_phylo::constants::DMA_MAX_BYTES)
+        );
     }
 
     #[test]

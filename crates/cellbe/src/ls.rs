@@ -7,8 +7,8 @@
 //! module enforces that budget — the simulator refuses to schedule a
 //! chunk that would not fit, exactly like real SPE code would crash.
 
-/// Total Local Store per SPE: 256 KB.
-pub const LOCAL_STORE_BYTES: usize = 256 * 1024;
+/// Total Local Store per SPE: 256 KB (shared geometry constant).
+pub const LOCAL_STORE_BYTES: usize = plf_phylo::constants::LS_BYTES;
 
 /// Code footprint of the PLF kernels on the SPE (paper §3.3: "only 90KB").
 pub const CODE_BYTES: usize = 90 * 1024;
@@ -17,8 +17,8 @@ pub const CODE_BYTES: usize = 90 * 1024;
 pub const CONTROL_BYTES: usize = 8 * 1024;
 
 /// DMA alignment requirement (§3.3: arrays aligned to a 128-byte
-/// boundary).
-pub const DMA_ALIGN: usize = 128;
+/// boundary — the same boundary CLVs are allocated on).
+pub const DMA_ALIGN: usize = plf_phylo::constants::CLV_ALIGN;
 
 /// A Local Store allocation plan for one kernel's working buffers.
 #[derive(Debug, Clone, PartialEq)]

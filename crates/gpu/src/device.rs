@@ -60,7 +60,8 @@ impl DeviceConfig {
             pcie: TransferModel::pcie_gen2(),
             launch_overhead: 4.0e-6,
             invocation_overhead: 60.0e-6,
-            regs_per_sm: 16384,
+            // GT200 register-file size, not the Cell DMA bound.
+            regs_per_sm: 16384, // plf-lint: allow(L3)
             regs_per_thread: 20,
             latency_hide_threads: 512,
             max_threads_per_block: 512,

@@ -1,0 +1,151 @@
+//! # plf-lint — the workspace invariant checker
+//!
+//! The paper's performance model rests on hard invariants: 128-byte
+//! aligned likelihood vectors, ≤16 KB DMA commands, a 256 KB Local
+//! Store budget, data-race-free partitioning of the per-pattern loop.
+//! This crate makes them machine-checked: a dependency-free static
+//! analysis (the offline build has no `syn`; see [`scan`]) that walks
+//! every workspace crate and enforces the PLF rule set L1–L4 described
+//! in [`rules`] and DESIGN.md §10.
+//!
+//! Run it with `cargo run -p plf-lint` (from anywhere inside the
+//! workspace); it exits non-zero iff any rule fires. `scripts/verify.sh`
+//! runs it on every verify, so a new magic `16384` or a SAFETY-less
+//! `unsafe` block fails the gate.
+
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{lint_scanned, Diagnostic, FileScope, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// Lint one source string as workspace-relative path `rel`.
+///
+/// `scope` is usually [`FileScope::for_path`]`(rel)`; fixture tests use
+/// [`FileScope::all_rules`].
+pub fn lint_source(rel: &str, src: &str, scope: FileScope) -> Vec<Diagnostic> {
+    lint_scanned(rel, &scan::scan(src), scope)
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Should `rel` (workspace-relative, `/`-separated) be linted at all?
+///
+/// Vendored third-party code, build artifacts, and plf-lint's own
+/// known-bad fixtures are excluded.
+pub fn in_lint_scope(rel: &str) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    if rel.starts_with("vendor/") || rel.starts_with("target/") || rel.contains("/target/") {
+        return false;
+    }
+    if rel.contains("lint_fixtures") {
+        return false;
+    }
+    rel.starts_with("crates/")
+        || rel.starts_with("src/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+}
+
+/// Collect every lintable `.rs` file under `root`, returned as
+/// (workspace-relative path, absolute path), sorted for stable output.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(root, &path, out)?;
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if in_lint_scope(&rel) {
+                out.push((rel, path));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for (rel, abs) in collect_workspace_files(root)? {
+        let src = std::fs::read_to_string(&abs)?;
+        diags.extend(lint_source(&rel, &src, FileScope::for_path(&rel)));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_filter() {
+        assert!(in_lint_scope("crates/phylo/src/clv.rs"));
+        assert!(in_lint_scope("src/lib.rs"));
+        assert!(in_lint_scope("tests/invariants.rs"));
+        assert!(!in_lint_scope("vendor/rayon/src/lib.rs"));
+        assert!(!in_lint_scope("crates/lint/tests/lint_fixtures/l3_magic.rs"));
+        assert!(!in_lint_scope("target/debug/build/foo.rs"));
+        assert!(!in_lint_scope("README.md"));
+    }
+
+    #[test]
+    fn workspace_root_found_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/phylo/Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        // The acceptance invariant: the shipped tree passes its own
+        // linter. Any new magic number / bare unsafe fails this test.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let diags = lint_workspace(&root).expect("lint run");
+        assert!(
+            diags.is_empty(),
+            "workspace must be plf-lint clean:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

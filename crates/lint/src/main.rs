@@ -1,0 +1,93 @@
+//! CLI for the PLF workspace invariant checker.
+//!
+//! ```text
+//! plf-lint                      # lint the enclosing workspace
+//! plf-lint --list-rules         # print the rule table
+//! plf-lint [--all-rules] FILE…  # lint specific files (fixtures force
+//!                               #   every rule with --all-rules)
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any rule fires, 2 on usage or I/O
+//! errors.
+
+use plf_lint::{find_workspace_root, lint_source, lint_workspace, Diagnostic, FileScope, Rule};
+use std::path::Path;
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut all_rules = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--all-rules" => all_rules = true,
+            "--list-rules" => {
+                for r in Rule::ALL {
+                    println!("{}  {}", r.id(), r.name());
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: plf-lint [--list-rules] [--all-rules] [FILE...]");
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("plf-lint: unknown flag `{flag}`");
+                return 2;
+            }
+            f => files.push(f.to_string()),
+        }
+    }
+
+    let diags: Vec<Diagnostic> = if files.is_empty() {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("plf-lint: cannot determine current directory: {e}");
+                return 2;
+            }
+        };
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("plf-lint: no workspace root found above {}", cwd.display());
+            return 2;
+        };
+        match lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("plf-lint: {e}");
+                return 2;
+            }
+        }
+    } else {
+        let mut out = Vec::new();
+        for f in &files {
+            let src = match std::fs::read_to_string(Path::new(f)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("plf-lint: {f}: {e}");
+                    return 2;
+                }
+            };
+            let scope = if all_rules {
+                FileScope::all_rules()
+            } else {
+                FileScope::for_path(f)
+            };
+            out.extend(lint_source(f, &src, scope));
+        }
+        out
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("plf-lint: clean");
+        0
+    } else {
+        eprintln!("plf-lint: {} violation(s)", diags.len());
+        1
+    }
+}

@@ -1,0 +1,347 @@
+//! A minimal Rust source scanner.
+//!
+//! The build environment is fully offline (no `syn`), so plf-lint
+//! carries its own lexical pass. It does **not** parse Rust — it only
+//! separates the three token streams the rules need:
+//!
+//! * `code` — the source with every comment and every string/char
+//!   literal blanked out (replaced by spaces, so columns survive);
+//! * `comments` — per-line concatenated comment text (line `//`,
+//!   doc `///`//`//!`, and block `/* */` comments, including nesting);
+//! * test spans — lines covered by a `#[cfg(test)]` item body, found
+//!   by brace-matching on the cleaned code.
+//!
+//! Handled literal forms: `"…"` with escapes, raw strings `r"…"` /
+//! `r#"…"#` (any hash depth), byte strings `b"…"` / `br#"…"#`, char and
+//! byte-char literals (`'x'`, `'\n'`, `b'x'`), and lifetimes (`'a`,
+//! `'static`), which are *not* char literals.
+
+/// One source file split into the streams the rules consume.
+#[derive(Debug)]
+pub struct Scanned {
+    /// Per-line source code with comments and literal bodies blanked.
+    pub code: Vec<String>,
+    /// Per-line comment text (empty string when the line has none).
+    pub comments: Vec<String>,
+    /// `is_test[i]` — line `i` (0-based) sits inside a `#[cfg(test)]`
+    /// item body.
+    pub is_test: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scan `src` into cleaned code, comment text, and test spans.
+pub fn scan(src: &str) -> Scanned {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code_lines: Vec<String> = Vec::new();
+    let mut comment_lines: Vec<String> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Push `c` to the code stream, or a space placeholder.
+    macro_rules! flush_line {
+        () => {{
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A newline always ends the physical line; line comments
+            // end here, every other state carries across.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_is_ident = i
+                    .checked_sub(1)
+                    .map(|p| chars[p].is_alphanumeric() || chars[p] == '_')
+                    .unwrap_or(false);
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push(' ');
+                    i += 1;
+                } else if !prev_is_ident && (c == 'r' || c == 'b') {
+                    // Possible raw/byte literal prefix: r", r#", b", br",
+                    // br#", b'.
+                    let mut j = i;
+                    if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    let is_raw = chars[j] == 'r';
+                    let mut hashes = 0u32;
+                    let mut k = j + 1;
+                    if is_raw {
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                    }
+                    if is_raw && chars.get(k) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=k {
+                            code.push(' ');
+                        }
+                        i = k + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        state = State::Str;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        state = State::Char;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime? `'\…'` and `'x'` are
+                    // chars; `'ident` (no closing quote right after) is
+                    // a lifetime.
+                    if next == Some('\\') || (chars.get(i + 2) == Some(&'\'') && next != Some('\''))
+                    {
+                        state = State::Char;
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push(' ');
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes as usize {
+                        if chars.get(i + 1 + h) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        state = State::Code;
+                        for _ in 0..=hashes as usize {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!();
+
+    let is_test = test_spans(&code_lines);
+    Scanned {
+        code: code_lines,
+        comments: comment_lines,
+        is_test,
+    }
+}
+
+/// Mark every line covered by the brace-matched body following a
+/// `#[cfg(test)]` attribute.
+fn test_spans(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let squashed: Vec<String> = code
+        .iter()
+        .map(|l| l.split_whitespace().collect::<String>())
+        .collect();
+    for (start, squashed_line) in squashed.iter().enumerate() {
+        if !squashed_line.contains("#[cfg(test)]") {
+            continue;
+        }
+        // Find the opening brace of the attributed item, then match it.
+        let mut depth = 0i64;
+        let mut opened = false;
+        'outer: for (li, line) in code.iter().enumerate().skip(start) {
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // An un-braced item (`#[cfg(test)] use …;`) ends at
+                    // the first `;` before any `{`.
+                    ';' if !opened => {
+                        mask[li] = true;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            mask[li] = true;
+            if opened && depth == 0 {
+                break;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = scan("let x = 1; // trailing 128\n/* block\n128 */ let y = 2;\n");
+        assert!(s.code[0].contains("let x = 1;"));
+        assert!(!s.code[0].contains("128"));
+        assert_eq!(s.comments[0].trim(), "trailing 128");
+        assert!(!s.code[1].contains("128"));
+        assert!(s.code[2].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strips_string_and_char_literals() {
+        let s = scan("let a = \"unsafe 128\"; let c = '\\u{7f}'; let l: &'static str = x;\n");
+        assert!(!s.code[0].contains("unsafe"));
+        assert!(!s.code[0].contains("128"));
+        assert!(s.code[0].contains("'static"), "lifetimes stay: {}", s.code[0]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let s = scan("let a = r#\"quote \" unsafe 16384\"#; let b = 1;\n");
+        assert!(!s.code[0].contains("16384"));
+        assert!(s.code[0].contains("let b = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner 128 */ still comment */ let z = 3;\n");
+        assert!(!s.code[0].contains("128"));
+        assert!(s.code[0].contains("let z = 3;"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let s = scan("let a = b\"128\"; let c = b'x'; let r = br#\"128\"#; let k = 5;\n");
+        assert!(!s.code[0].contains("128"));
+        assert!(s.code[0].contains("let k = 5;"));
+    }
+
+    #[test]
+    fn cfg_test_span_marks_module_body() {
+        let src = "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn after() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test[0]);
+        assert!(s.is_test[1] && s.is_test[2] && s.is_test[3] && s.is_test[4]);
+        assert!(!s.is_test[5]);
+    }
+
+    #[test]
+    fn cfg_test_span_with_interleaved_attr() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    const N: usize = 1;\n}\nfn live() {}\n";
+        let s = scan(src);
+        assert!(s.is_test[0] && s.is_test[2] && s.is_test[3] && s.is_test[4]);
+        assert!(!s.is_test[5]);
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_spans() {
+        let src = "#[cfg(test)]\nmod t {\n    const S: &str = \"}}}}\";\n}\nfn live() {}\n";
+        let s = scan(src);
+        assert!(s.is_test[2] && s.is_test[3]);
+        assert!(!s.is_test[4]);
+    }
+
+    #[test]
+    fn lifetime_does_not_swallow_rest_of_file() {
+        let s = scan("fn f<'a>(x: &'a u32) -> &'a u32 { x }\nlet y = 128;\n");
+        assert!(s.code[1].contains("128"), "second line intact: {:?}", s.code[1]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fixture-based acceptance tests for the plf-lint rule set.
+//!
+//! Each file under `tests/lint_fixtures/` is a known-bad (or
+//! known-good) snippet that is read, never compiled. Every rule has a
+//! fixture that must trip it, the clean fixture must pass all rules,
+//! and the shipped binary must agree with the library (non-zero exit
+//! on violations, zero on clean input and on the real workspace).
+
+use plf_lint::{lint_source, Diagnostic, FileScope, Rule};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> (String, String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    (path.to_string_lossy().into_owned(), src)
+}
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let (path, src) = fixture(name);
+    lint_source(&path, &src, FileScope::all_rules())
+}
+
+fn rule_ids(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule.id()).collect()
+}
+
+#[test]
+fn l1_fixture_trips_only_safety_comment() {
+    let diags = lint_fixture("l1_missing_safety.rs");
+    assert_eq!(rule_ids(&diags), ["L1", "L1", "L1"], "{diags:?}");
+}
+
+#[test]
+fn l2_fixture_trips_only_hot_path_panic() {
+    let diags = lint_fixture("l2_hot_panic.rs");
+    assert_eq!(rule_ids(&diags), ["L2", "L2", "L2", "L2"], "{diags:?}");
+}
+
+#[test]
+fn l3_fixture_trips_only_magic_number() {
+    let diags = lint_fixture("l3_magic.rs");
+    assert_eq!(rule_ids(&diags), ["L3", "L3", "L3", "L3"], "{diags:?}");
+}
+
+#[test]
+fn l4_fixture_trips_only_atomic_ordering() {
+    let diags = lint_fixture("l4_ordering.rs");
+    assert_eq!(rule_ids(&diags), ["L4"], "{diags:?}");
+    assert!(diags[0].message.contains("SeqCst"), "{diags:?}");
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let diags = lint_fixture("clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn diagnostics_carry_file_line_and_rule_id() {
+    let diags = lint_fixture("l3_magic.rs");
+    let rendered = diags[0].to_string();
+    assert!(rendered.contains("l3_magic.rs:"), "{rendered}");
+    assert!(rendered.contains("[L3/magic-number]"), "{rendered}");
+    // Line 5 holds the bare `128`.
+    assert_eq!(diags[0].line, 5, "{diags:?}");
+}
+
+// ------------------------------------------------------------ binary
+
+fn run_binary(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_plf-lint"))
+        .args(args)
+        .output()
+        .expect("plf-lint binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_bad_fixture() {
+    for name in [
+        "l1_missing_safety.rs",
+        "l2_hot_panic.rs",
+        "l3_magic.rs",
+        "l4_ordering.rs",
+    ] {
+        let (path, _) = fixture(name);
+        let (code, stdout) = run_binary(&["--all-rules", &path]);
+        assert_eq!(code, 1, "{name} must fail: {stdout}");
+        assert!(stdout.contains(name), "{name} diagnostics name the file");
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_fixture() {
+    let (path, _) = fixture("clean.rs");
+    let (code, stdout) = run_binary(&["--all-rules", &path]);
+    assert_eq!(code, 0, "clean fixture must pass: {stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_real_workspace() {
+    let root = plf_lint::find_workspace_root(PathBuf::from(env!("CARGO_MANIFEST_DIR")).as_path())
+        .expect("workspace root");
+    let out = Command::new(env!("CARGO_BIN_EXE_plf-lint"))
+        .current_dir(&root)
+        .output()
+        .expect("plf-lint binary runs");
+    assert!(
+        out.status.success(),
+        "workspace must be clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn binary_lists_rules() {
+    let (code, stdout) = run_binary(&["--list-rules"]);
+    assert_eq!(code, 0);
+    for r in Rule::ALL {
+        assert!(stdout.contains(r.id()) && stdout.contains(r.name()), "{stdout}");
+    }
+}

@@ -1,0 +1,37 @@
+// Known-good fixture: passes every rule even with --all-rules.
+// Never compiled — read by tests/fixtures.rs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct RawBox(*mut u8);
+
+// SAFETY: RawBox uniquely owns its allocation; the pointer is never
+// aliased, so sending it to another thread is as sound as sending a
+// Box<u8>.
+unsafe impl Send for RawBox {}
+
+pub fn first(v: &[f32]) -> Option<f32> {
+    v.first().copied()
+}
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+// "unsafe 128 16384" inside strings or comments must not trip anything.
+pub fn describe() -> &'static str {
+    "unsafe 128 16384 Ordering::SeqCst panic!"
+}
+
+pub fn regs_per_sm() -> usize {
+    16384 // plf-lint: allow(L3) — GT200 register-file size, not a DMA bound
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_literals_and_unwrap() {
+        let x: Option<usize> = Some(16 * 1024);
+        assert_eq!(x.unwrap(), 16384);
+    }
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture for L1/safety-comment: three unsafe sites, none
+// with a SAFETY justification. Never compiled — read by tests/fixtures.rs.
+
+pub struct RawBox(*mut u8);
+
+unsafe impl Send for RawBox {}
+
+pub fn deref(p: &RawBox) -> u8 {
+    unsafe { *p.0 }
+}
+
+pub unsafe fn peek(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture for L2/hot-path-panic: panic-capable constructs in
+// what the lint treats as a kernel hot-path module. Never compiled.
+
+pub fn kernel(v: &[f32]) -> f32 {
+    let first = v.first().unwrap();
+    let last = v.last().expect("non-empty");
+    if !first.is_finite() {
+        panic!("non-finite likelihood");
+    }
+    if v.len() == 3 {
+        todo!()
+    }
+    first + last
+}

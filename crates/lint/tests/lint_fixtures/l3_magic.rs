@@ -1,0 +1,18 @@
+// Known-bad fixture for L3/magic-number: the paper's alignment and DMA
+// bounds written as inline literals. Never compiled.
+
+pub fn clv_align() -> usize {
+    128
+}
+
+pub fn dma_max() -> usize {
+    16384
+}
+
+pub fn dma_max_product() -> usize {
+    16 * 1024
+}
+
+pub fn local_store() -> usize {
+    256 * 1024
+}

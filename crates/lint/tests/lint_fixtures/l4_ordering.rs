@@ -1,0 +1,9 @@
+// Known-bad fixture for L4/atomic-ordering: a stray SeqCst in a module
+// whose declared counter ordering is Relaxed. Never compiled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+    c.fetch_add(1, Ordering::SeqCst);
+}

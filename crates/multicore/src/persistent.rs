@@ -58,6 +58,18 @@ impl PoolShared {
 /// construction (each chunk index owns a disjoint output region).
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f32);
+// SAFETY: these impls promise nothing about the pointee on their own —
+// SendPtr is a plain address. Soundness is discharged at every deref
+// site (the `from_raw_parts_mut` calls below), which must uphold:
+// (1) disjointness — chunk `i` derives a slice covering only its own
+//     `[lo, hi)` region, and the fetch-add chunk counter hands each
+//     index to exactly one worker per job, so no two live `&mut [f32]`
+//     overlap;
+// (2) lifetime — the pointee buffer is borrowed by the caller of
+//     `run_job`, which blocks until `chunks_done == n_chunks` (with an
+//     Acquire load pairing against each worker's Release increment),
+//     so every derived slice is dead — and its writes visible — before
+//     the borrow ends.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
@@ -110,7 +122,16 @@ impl PersistentPoolBackend {
                                 }
                                 if st.epoch != seen_epoch {
                                     seen_epoch = st.epoch;
-                                    break st.task.clone().expect("task set with epoch");
+                                    // `run_job` publishes the task and
+                                    // bumps the epoch under this same
+                                    // lock, so a fresh epoch always
+                                    // carries one; should that
+                                    // invariant ever break, waiting
+                                    // again is safe — the caller
+                                    // drains its own job regardless.
+                                    if let Some(task) = st.task.clone() {
+                                        break task;
+                                    }
                                 }
                                 st = shared
                                     .job_ready
@@ -296,10 +317,16 @@ impl PlfBackend for PersistentPoolBackend {
         let task: Task = Box::new(move |chunk| {
             let start = chunk * CHUNK_PATTERNS;
             let end = (start + CHUNK_PATTERNS).min(m);
-            // SAFETY: disjoint chunk regions of both buffers.
+            // SAFETY: chunk `chunk` is claimed by exactly one worker,
+            // and this slice covers only its pattern range scaled by
+            // `stride`; the CLV buffer outlives the job because
+            // `run_job` joins all chunks before returning.
             let clv_chunk = unsafe {
                 std::slice::from_raw_parts_mut(clv_ptr.get().add(start * stride), (end - start) * stride)
             };
+            // SAFETY: same disjointness/lifetime argument for the
+            // per-pattern scaler array (one f32 per pattern, so the
+            // chunk owns `[start, end)` of it exclusively).
             let sc_chunk =
                 unsafe { std::slice::from_raw_parts_mut(sc_ptr.get().add(start), end - start) };
             let n = simd4::cond_like_scaler_range(clv_chunk, sc_chunk, n_rates);
@@ -369,6 +396,42 @@ mod tests {
         let first = eval.log_likelihood(&tree, &mut backend).unwrap();
         for _ in 0..10 {
             assert_eq!(eval.log_likelihood(&tree, &mut backend).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn send_ptr_disjoint_chunk_writes_are_exact() {
+        // Drives run_job/SendPtr directly (no kernels): every chunk
+        // adds its 1-based index to its own disjoint region, repeated
+        // for several rounds. If a chunk ever ran twice, never ran, or
+        // ran after run_job returned, the accumulated values would be
+        // off; if two workers overlapped, Miri/TSan-style failures or
+        // torn sums would show. Also exercises the completion barrier:
+        // round N reads what round N-1 wrote.
+        const CHUNK_LEN: usize = 512;
+        const N_CHUNKS: usize = 64;
+        const ROUNDS: usize = 8;
+        let pool = PersistentPoolBackend::new(4);
+        let mut buf = vec![0.0f32; N_CHUNKS * CHUNK_LEN];
+        for _ in 0..ROUNDS {
+            let ptr = SendPtr(buf.as_mut_ptr());
+            let task: Task = Box::new(move |chunk| {
+                // SAFETY: each chunk index is claimed exactly once per
+                // job and this slice covers only its own CHUNK_LEN
+                // region; `buf` outlives the job because run_job
+                // blocks until all chunks are done.
+                let region = unsafe {
+                    std::slice::from_raw_parts_mut(ptr.get().add(chunk * CHUNK_LEN), CHUNK_LEN)
+                };
+                for x in region.iter_mut() {
+                    *x += (chunk + 1) as f32;
+                }
+            });
+            pool.run_job(N_CHUNKS, task);
+        }
+        for (i, &x) in buf.iter().enumerate() {
+            let chunk = i / CHUNK_LEN;
+            assert_eq!(x, (ROUNDS * (chunk + 1)) as f32, "element {i}");
         }
     }
 

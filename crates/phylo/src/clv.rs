@@ -12,9 +12,7 @@
 use crate::dna::{StateMask, N_STATES};
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 
-/// Alignment (bytes) of every CLV allocation; matches the Cell/BE DMA
-/// requirement from the paper.
-pub const CLV_ALIGN: usize = 128;
+pub use crate::constants::CLV_ALIGN;
 
 /// A heap buffer of `f32` guaranteed to start on a [`CLV_ALIGN`]-byte
 /// boundary.
@@ -23,9 +21,14 @@ pub struct AlignedBuf {
     len: usize,
 }
 
-// SAFETY: AlignedBuf owns its allocation exclusively; &AlignedBuf only
-// hands out shared slices and &mut unique slices, so the usual Vec-like
-// reasoning applies.
+// SAFETY: `ptr` is the sole pointer to a heap allocation created in
+// `zeroed` and released only in `Drop`; no other copy of it escapes
+// the struct (`as_slice`/`as_mut_slice` borrow `self`, tying every
+// derived reference to the buffer's lifetime and to the borrow
+// checker's shared-xor-mutable discipline). `f32` is `Send + Sync`,
+// so moving the unique owner across threads (`Send`) or sharing
+// `&AlignedBuf` — which only permits reads — between threads (`Sync`)
+// has exactly the aliasing story of `Vec<f32>`.
 unsafe impl Send for AlignedBuf {}
 unsafe impl Sync for AlignedBuf {}
 
@@ -40,7 +43,10 @@ impl AlignedBuf {
         }
         let layout = Layout::from_size_align(len * std::mem::size_of::<f32>(), CLV_ALIGN)
             .expect("CLV layout overflow");
-        // SAFETY: layout has non-zero size here.
+        // SAFETY: `len != 0` on this path, so `layout` has non-zero
+        // size — the only precondition of `alloc_zeroed`. The null
+        // return is handled below; alignment to CLV_ALIGN ≥ 4 makes
+        // the cast to *mut f32 valid for the whole block.
         let ptr = unsafe { alloc_zeroed(layout) } as *mut f32;
         if ptr.is_null() {
             handle_alloc_error(layout);
@@ -63,15 +69,21 @@ impl AlignedBuf {
     /// View as a shared slice.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
-        // SAFETY: ptr/len describe a live owned allocation (or a dangling
-        // pointer with len 0, for which from_raw_parts is still valid).
+        // SAFETY: `ptr`/`len` describe a live zero-initialized
+        // allocation owned by `self` (or `NonNull::dangling` with
+        // `len == 0`, which `from_raw_parts` permits). The returned
+        // lifetime is tied to `&self`, so the slice cannot outlive the
+        // buffer, and no `&mut` to it can coexist (shared borrow).
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
 
     /// View as a unique slice.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        // SAFETY: as above, plus &mut self guarantees uniqueness.
+        // SAFETY: as in `as_slice`, plus `&mut self` guarantees this
+        // is the only live reference derived from `ptr` for the
+        // returned lifetime — `ptr` never escapes the struct, so there
+        // is no other path to the allocation to alias.
         unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
     }
 }
@@ -81,7 +93,11 @@ impl Drop for AlignedBuf {
         if self.len != 0 {
             let layout =
                 Layout::from_size_align(self.len * std::mem::size_of::<f32>(), CLV_ALIGN).unwrap();
-            // SAFETY: allocated with the identical layout in `zeroed`.
+            // SAFETY: `len != 0` means `ptr` came from `alloc_zeroed`
+            // in `zeroed` with this exact layout (`len` is immutable
+            // after construction), has not been freed (Drop runs at
+            // most once), and `Clone` allocates fresh storage rather
+            // than sharing `ptr` — so this is the unique release.
             unsafe { dealloc(self.ptr as *mut u8, layout) };
         }
     }
@@ -288,6 +304,52 @@ mod tests {
         let b = a.clone();
         a[0] = 0.0;
         assert_eq!(b[0], 42.0);
+    }
+
+    // The next three tests are the Miri smoke surface for the raw
+    // allocator (`scripts/verify.sh --deep` runs
+    // `cargo +nightly miri test -p plf-phylo clv`): they exercise the
+    // alloc/dealloc layout round-trip, the aliasing discipline of
+    // `as_slice`/`as_mut_slice`, and Drop-after-Clone uniqueness,
+    // which Miri checks against the tree-borrows/provenance rules.
+
+    #[test]
+    fn aligned_buf_layout_roundtrip_many_sizes() {
+        for len in [1usize, 2, 31, 32, 257, 1023] {
+            let mut b = AlignedBuf::zeroed(len);
+            b.as_mut_slice()[0] = -1.0;
+            b.as_mut_slice()[len - 1] = len as f32; // overwrites [0] when len == 1
+            let c = b.clone();
+            drop(b); // dealloc with the construction layout
+            assert_eq!(c.as_slice()[len - 1], len as f32);
+            assert_eq!(c.as_slice()[0], if len == 1 { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn aligned_buf_aliasing_discipline() {
+        let mut b = AlignedBuf::zeroed(16);
+        {
+            let w = b.as_mut_slice();
+            w[3] = 7.0;
+        } // unique borrow ends before any shared one starts
+        let r1 = b.as_slice();
+        let r2 = b.as_slice(); // two simultaneous shared views are fine
+        assert_eq!(r1[3], r2[3]);
+        let w = b.as_mut_slice(); // and a fresh unique view after both
+        w[3] += 1.0;
+        assert_eq!(b.as_slice()[3], 8.0);
+    }
+
+    #[test]
+    fn aligned_buf_drop_after_clone_frees_distinct_allocations() {
+        let mut a = AlignedBuf::zeroed(64);
+        a.as_mut_slice().fill(2.5);
+        let b = a.clone();
+        assert_ne!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        drop(a);
+        assert!(b.as_slice().iter().all(|&x| x == 2.5));
+        drop(b);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! The paper's hard memory-geometry invariants, in one place.
+//!
+//! Every backend derives its layout from these four numbers; writing
+//! them inline anywhere else is a plf-lint L3 (`magic-number`)
+//! violation, so a chunk size or alignment can only be changed here —
+//! where the cross-constant consistency asserts below re-check the
+//! geometry at compile time.
+//!
+//! `plf-simcore` sits *below* this crate in the dependency graph and
+//! models the same hardware bounds independently
+//! (`TransferModel::cell_dma`); the `constants_mirror` test in
+//! `plf-cellbe` pins the two definitions together.
+
+/// Alignment (bytes) of every CLV allocation: the Cell/BE DMA engine
+/// requires 128-byte aligned arrays (§3.3), and the same boundary is
+/// cache-line/SIMD friendly on every other backend.
+pub const CLV_ALIGN: usize = 128; // plf-lint: allow(L3) — definition site
+
+/// Maximum bytes one DMA command may move (§3.3: the MFC splits
+/// transfers at 16 KB; cost models charge per-command latency).
+pub const DMA_MAX_BYTES: usize = 16 * 1024; // plf-lint: allow(L3) — definition site
+
+/// SIMD lane width of the kernels: 4 × `f32` per vector register (SPU
+/// and host SSE, §3.2). Equal to the DNA state count, which is what
+/// makes the one-pattern-per-register layout of Figure 3 work.
+pub const SIMD_WIDTH: usize = 4;
+
+/// Local Store capacity per SPE: 256 KB holding code, stack, control
+/// structures, and all double-buffered data (§3.3).
+pub const LS_BYTES: usize = 256 * 1024; // plf-lint: allow(L3) — definition site
+
+// Geometry cross-checks: a DMA command moves whole aligned blocks, the
+// Local Store holds whole DMA commands, and a SIMD vector of f32 lanes
+// divides the alignment boundary.
+const _: () = assert!(DMA_MAX_BYTES.is_multiple_of(CLV_ALIGN));
+const _: () = assert!(LS_BYTES.is_multiple_of(DMA_MAX_BYTES));
+const _: () = assert!(CLV_ALIGN.is_multiple_of(SIMD_WIDTH * std::mem::size_of::<f32>()));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::N_STATES;
+
+    #[test]
+    fn values_match_the_paper() {
+        assert_eq!(CLV_ALIGN, 128);
+        assert_eq!(DMA_MAX_BYTES, 16384);
+        assert_eq!(LS_BYTES, 262_144);
+        assert_eq!(SIMD_WIDTH, 4);
+    }
+
+    #[test]
+    fn simd_width_covers_the_state_space() {
+        // Figure 3's layout packs one 4-state array per SIMD register.
+        assert_eq!(SIMD_WIDTH, N_STATES);
+    }
+
+    #[test]
+    fn gamma4_pattern_is_dma_aligned() {
+        // 16 f32 per pattern under Γ(4): whole patterns per 128-byte
+        // block, so chunking on even pattern counts keeps DMA aligned.
+        let bytes_per_pattern = 4 * N_STATES * std::mem::size_of::<f32>();
+        assert_eq!(CLV_ALIGN % bytes_per_pattern, 0);
+    }
+}

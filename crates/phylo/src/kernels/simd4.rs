@@ -19,29 +19,37 @@
 
 use super::SimdSchedule;
 use crate::clv::TransitionMatrices;
+use crate::constants::SIMD_WIDTH;
 use crate::dna::N_STATES;
+
+/// One SIMD vector register's worth of lanes. The whole kernel design
+/// hinges on the register width equaling the DNA state count (one
+/// 4-state array per register, Figure 3); the assert keeps the two
+/// constants from drifting apart.
+pub type Lanes = [f32; SIMD_WIDTH];
+const _: () = assert!(SIMD_WIDTH == N_STATES);
 
 /// Lane-wise multiply.
 #[inline(always)]
-fn mul4(a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
+fn mul4(a: Lanes, b: Lanes) -> Lanes {
     [a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]]
 }
 
 /// Lane-wise add.
 #[inline(always)]
-fn add4(a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
+fn add4(a: Lanes, b: Lanes) -> Lanes {
     [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
 }
 
 /// Broadcast a scalar to all four lanes.
 #[inline(always)]
-fn splat4(x: f32) -> [f32; 4] {
+fn splat4(x: f32) -> Lanes {
     [x, x, x, x]
 }
 
 /// Lane-wise max.
 #[inline(always)]
-fn max4(a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
+fn max4(a: Lanes, b: Lanes) -> Lanes {
     [
         a[0].max(b[0]),
         a[1].max(b[1]),
@@ -53,7 +61,7 @@ fn max4(a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
 /// Horizontal (pairwise-tree) sum of one vector — the reduction step of
 /// the row-wise schedule (Figure 4's dependency graph).
 #[inline(always)]
-fn hsum4(v: [f32; 4]) -> f32 {
+fn hsum4(v: Lanes) -> f32 {
     (v[0] + v[1]) + (v[2] + v[3])
 }
 

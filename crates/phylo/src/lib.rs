@@ -34,6 +34,7 @@
 
 pub mod alignment;
 pub mod clv;
+pub mod constants;
 pub mod dna;
 pub mod incremental;
 pub mod io;
@@ -50,6 +51,7 @@ pub mod tree;
 pub mod prelude {
     pub use crate::alignment::{Alignment, PatternAlignment};
     pub use crate::clv::{Clv, TransitionMatrices};
+    pub use crate::constants::{CLV_ALIGN, DMA_MAX_BYTES, LS_BYTES, SIMD_WIDTH};
     pub use crate::dna::{Nucleotide, StateMask, N_STATES};
     pub use crate::kernels::plan::{PlfOp, PlfPlan};
     pub use crate::kernels::{PlfBackend, ScalarBackend, Simd4Backend, SimdSchedule};

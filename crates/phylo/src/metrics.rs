@@ -27,6 +27,10 @@
 //! [`PlfCounters::snapshot`] and difference snapshots to meter an
 //! interval.
 
+// plf-lint: ordering(Relaxed) — every counter is an independent
+// monotone statistic; no reader infers cross-counter happens-before
+// from a snapshot, so Relaxed is the declared (and only permitted)
+// ordering in this module. A stray SeqCst here is an L4 violation.
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

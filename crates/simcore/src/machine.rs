@@ -177,7 +177,9 @@ pub const GPU_8800GT: MachineConfig = MachineConfig {
     arch: ArchClass::Gpu {
         sms: 14,
         cores_per_sm: 8,
-        shared_mem_per_sm: 16 * 1024,
+        // G80 shared-memory size, not the Cell DMA bound — same
+        // value, unrelated invariant.
+        shared_mem_per_sm: 16 * 1024, // plf-lint: allow(L3)
         max_threads_per_sm: 768,
     },
 };
@@ -194,7 +196,8 @@ pub const GPU_GTX285: MachineConfig = MachineConfig {
     arch: ArchClass::Gpu {
         sms: 30,
         cores_per_sm: 8,
-        shared_mem_per_sm: 16 * 1024,
+        // GT200 shared-memory size, not the Cell DMA bound.
+        shared_mem_per_sm: 16 * 1024, // plf-lint: allow(L3)
         max_threads_per_sm: 1024,
     },
 };

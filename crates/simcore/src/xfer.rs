@@ -24,7 +24,11 @@ impl TransferModel {
         TransferModel {
             latency_s: 0.2e-6,
             bandwidth_bps: 25.6e9,
-            max_transfer: Some(16 * 1024),
+            // plf-simcore sits below plf-phylo and cannot import
+            // phylo::constants::DMA_MAX_BYTES; the
+            // `transfer_model_mirrors_shared_constants` test in
+            // plf-cellbe pins this literal to the shared constant.
+            max_transfer: Some(16 * 1024), // plf-lint: allow(L3)
         }
     }
 

@@ -1,19 +1,45 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate plus lint and hygiene checks.
+# Tier-1 verification gate plus static-analysis, lint, and hygiene
+# checks.
 #
-#   scripts/verify.sh
+#   scripts/verify.sh [--deep]
 #
 # Runs, in order:
 #   1. repo hygiene: no build artifacts (target/) may be tracked by git;
 #   2. the tier-1 gate from ROADMAP.md: release build + full test suite;
-#   3. clippy with -D warnings on the crates the resilience and metrics
-#      layers span (phylo owns resilience/ and metrics, mcmc owns
-#      checkpoint/restore and throughput, the three backend crates host
-#      the fault hooks and counter feeds, bench emits BENCH_plf.json);
-#   4. a smoke run of the perf_report binary, proving the observability
+#   3. first-party crate unit tests (the root-package `cargo test` does
+#      not reach workspace members, so the per-crate suites — including
+#      plf-lint's fixture tests — run explicitly);
+#   4. plf-lint, the PLF workspace invariant checker (DESIGN.md §10):
+#      SAFETY-comment coverage, hot-path panic freedom, magic-number
+#      bans, atomic-ordering consistency — a new inline `16384` or a
+#      bare `unsafe` block fails here;
+#   5. clippy with -D warnings on every first-party crate (the
+#      [workspace.lints] wall turns each listed warn into an error);
+#   6. a smoke run of the perf_report binary, proving the observability
 #      pipeline produces a BENCH_plf report end to end.
+#
+# With --deep, additionally runs the Miri soundness pass over the raw
+# allocator (`cargo +nightly miri test -p plf-phylo clv`). Miri needs
+# the nightly toolchain with the miri component; when it is not
+# installed the deep pass is reported and skipped so offline
+# environments still verify.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+DEEP=0
+for arg in "$@"; do
+    case "$arg" in
+        --deep) DEEP=1 ;;
+        *) echo "usage: scripts/verify.sh [--deep]" >&2; exit 2 ;;
+    esac
+done
+
+FIRST_PARTY=(
+    -p plf-phylo -p plf-seqgen -p plf-mcmc -p plf-simcore
+    -p plf-multicore -p plf-cellbe -p plf-gpu -p plf-bench
+    -p plf-lint -p plf-repro
+)
 
 echo "==> hygiene: no tracked files under target/"
 if [ -n "$(git ls-files target/)" ]; then
@@ -29,14 +55,30 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> clippy (resilience- and metrics-bearing crates), -D warnings"
-cargo clippy -p plf-phylo -p plf-mcmc -p plf-multicore -p plf-cellbe -p plf-gpu \
-    -p plf-bench --all-targets -- -D warnings
+echo "==> workspace crate tests"
+cargo test -q "${FIRST_PARTY[@]}"
+
+echo "==> plf-lint (workspace invariants L1-L4)"
+cargo run --release -q -p plf-lint
+
+echo "==> clippy (all first-party crates), -D warnings"
+cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
 
 echo "==> perf_report --smoke"
 mkdir -p results
 cargo run --release -q -p plf-bench --bin perf_report -- \
     --smoke --out results/BENCH_plf.smoke.tmp
 rm -f results/BENCH_plf.smoke.tmp
+
+if [ "$DEEP" = 1 ]; then
+    echo "==> deep: miri soundness pass (AlignedBuf / clv)"
+    if rustup run nightly cargo miri --version >/dev/null 2>&1; then
+        # MIRIFLAGS: vendored deps are path deps, no network access.
+        cargo +nightly miri test -p plf-phylo clv
+    else
+        echo "warning: nightly miri not installed; skipping deep pass" >&2
+        echo "         (install: rustup component add --toolchain nightly miri)" >&2
+    fi
+fi
 
 echo "==> verify OK"
