@@ -7,7 +7,10 @@
 //! shares, the measured PLF share of wall time, and (for the Cell and
 //! GPU backends) the modeled DMA/PCIe transfer estimate and double-
 //! buffer overlap ratio, i.e. the Figure 12 breakdown measured on this
-//! machine instead of modeled.
+//! machine instead of modeled. Schema v2 adds a `service` section: the
+//! plfd serial-vs-batched submission comparison on a rayon worker
+//! pool, with every completed result checked bit-for-bit against the
+//! serial scalar reference.
 //!
 //! ```text
 //! perf_report [--smoke | --full] [--out PATH]
@@ -20,7 +23,8 @@
 //! * `--out`: output path (default `BENCH_plf.json`).
 
 use plf_bench::report::{
-    plf_backend_report, write_json, PlfBenchReport, PlfDatasetReport, PLF_BENCH_SCHEMA_VERSION,
+    plf_backend_report, validate_bench_json, write_json, PlfBenchReport, PlfDatasetReport,
+    PLF_BENCH_SCHEMA_VERSION,
 };
 use plf_cellbe::CellBackend;
 use plf_gpu::GpuBackend;
@@ -86,17 +90,46 @@ fn run_dataset(spec: DatasetSpec, evals: u64) -> PlfDatasetReport {
     }
 }
 
+/// The schema-v2 `service` section: the plfd serial-vs-batched
+/// comparison on a rayon worker pool. `jobs` shrinks in smoke mode.
+fn service_section(jobs: usize, patterns: usize) -> plfd::ServiceBenchmark {
+    eprintln!("service benchmark: {jobs} jobs on {THREADS} rayon workers...");
+    let report = plfd::loadgen::benchmark_batching(
+        &|| Box::new(RayonBackend::new(THREADS).expect("rayon pool")),
+        THREADS,
+        10,
+        patterns,
+        jobs,
+        SEED,
+    );
+    eprintln!(
+        "  direct {:>7.1} jobs/s   serial {:>7.1} jobs/s   batched {:>7.1} jobs/s   \
+         speedup {:.2}x   occupancy {:.0}%   mismatches {}",
+        report.direct_jobs_per_sec,
+        report.serial_jobs_per_sec,
+        report.batched_jobs_per_sec,
+        report.speedup_batched_over_serial,
+        100.0 * report.batch_occupancy,
+        report.bit_mismatches
+    );
+    report
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = PathBuf::from("BENCH_plf.json");
     let mut specs = vec![DatasetSpec::new(10, 1_000), DatasetSpec::new(20, 1_000)];
     let mut evals: u64 = 10;
+    let mut service_jobs: usize = 256;
+    let mut service_patterns: usize = 1_000;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => {
                 specs = vec![DatasetSpec::new(10, 200)];
                 evals = 2;
+                service_jobs = 64;
+                service_patterns = 200;
             }
             "--full" => specs = paper_grid(),
             "--out" => {
@@ -121,11 +154,32 @@ fn main() -> ExitCode {
         schema_version: PLF_BENCH_SCHEMA_VERSION,
         evaluations: evals,
         datasets: specs.into_iter().map(|s| run_dataset(s, evals)).collect(),
+        service: service_section(service_jobs, service_patterns),
     };
+    if report.service.bit_mismatches > 0 {
+        eprintln!(
+            "error: {} service result(s) were not bit-identical to the serial reference",
+            report.service.bit_mismatches
+        );
+        return ExitCode::FAILURE;
+    }
     if let Err(e) = write_json(&out, &report) {
         eprintln!("error: {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
-    eprintln!("wrote {}", out.display());
+    // Self-check: the file we just wrote must pass the same validator
+    // that gates check-ins.
+    let written = match std::fs::read_to_string(&out) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: re-reading {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_bench_json(&written) {
+        eprintln!("error: emitted report failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {} (schema v{PLF_BENCH_SCHEMA_VERSION}, validated)", out.display());
     ExitCode::SUCCESS
 }

@@ -39,11 +39,15 @@ pub fn print_series_table(title: &str, series: &[Series]) {
 }
 
 /// Schema version stamped into `BENCH_plf.json`.
-pub const PLF_BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the mandatory top-level `service` section (the plfd
+/// serial-vs-batched comparison); v1 documents lack it and are
+/// rejected by [`validate_bench_json`].
+pub const PLF_BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Top level of `BENCH_plf.json`: measured PLF observability numbers
 /// (from [`plf_phylo::metrics::PlfCounters`]) for every backend over a
-/// set of data sets.
+/// set of data sets, plus the plfd batching-service benchmark.
 #[derive(Debug, Clone, Serialize)]
 pub struct PlfBenchReport {
     /// Schema version; bump on incompatible layout changes.
@@ -52,6 +56,74 @@ pub struct PlfBenchReport {
     pub evaluations: u64,
     /// One entry per data set, in run order.
     pub datasets: Vec<PlfDatasetReport>,
+    /// Schema v2: the plfd service benchmark — the same seeded job
+    /// stream evaluated directly, through the service one job at a
+    /// time, and through the service fully batched.
+    pub service: plfd::ServiceBenchmark,
+}
+
+/// Top-level keys the v2 `service` section must carry. Kept in sync
+/// with [`plfd::ServiceBenchmark`] by the `validate_accepts_emitted_v2`
+/// test, which round-trips a real report through serialization.
+const SERVICE_REQUIRED_KEYS: [&str; 6] = [
+    "jobs",
+    "serial_jobs_per_sec",
+    "batched_jobs_per_sec",
+    "speedup_batched_over_serial",
+    "bit_mismatches",
+    "batched_service",
+];
+
+/// Validate a `BENCH_plf.json` document against the current schema,
+/// rejecting version mismatches loudly (a v1 file with no `service`
+/// section names both versions in the error instead of failing on a
+/// missing key later).
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    // The vendored serde_json models objects as ordered key/value
+    // pairs, so field lookup is a linear scan.
+    fn field<'a>(obj: &'a [(String, serde_json::Value)], key: &str) -> Option<&'a serde_json::Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("BENCH_plf.json is not valid JSON: {e}"))?;
+    let top = doc
+        .as_object()
+        .ok_or("BENCH_plf.json: top level must be an object")?;
+    let version = field(top, "schema_version")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or("BENCH_plf.json: missing numeric schema_version")?;
+    if version != u64::from(PLF_BENCH_SCHEMA_VERSION) {
+        return Err(format!(
+            "BENCH_plf.json schema mismatch: file is v{version}, this tree expects \
+             v{PLF_BENCH_SCHEMA_VERSION} (v2 added the mandatory `service` section; \
+             regenerate with `cargo run --release -p plf-bench --bin perf_report`)"
+        ));
+    }
+    let datasets = field(top, "datasets")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("BENCH_plf.json: missing datasets array")?;
+    if datasets.is_empty() {
+        return Err("BENCH_plf.json: datasets array is empty".into());
+    }
+    for (i, ds) in datasets.iter().enumerate() {
+        let backends = ds
+            .as_object()
+            .and_then(|o| field(o, "backends"))
+            .and_then(serde_json::Value::as_array);
+        if backends.is_none_or(Vec::is_empty) {
+            return Err(format!("BENCH_plf.json: datasets[{i}] has no backends"));
+        }
+    }
+    let service = field(top, "service")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("BENCH_plf.json: v2 requires a `service` object (file looks v1-shaped)")?;
+    for key in SERVICE_REQUIRED_KEYS {
+        if field(service, key).is_none() {
+            return Err(format!("BENCH_plf.json: service section missing `{key}`"));
+        }
+    }
+    Ok(())
 }
 
 /// Per-data-set section of `BENCH_plf.json`.
@@ -228,6 +300,49 @@ mod tests {
         let back = serde_json::from_str(&text).unwrap();
         assert_eq!(serde_json::to_string(&back).unwrap(), "[1,2,3]");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_rejects_v1_shaped_documents() {
+        // A v1 file: schema_version 1, no `service` section.
+        let v1 = r#"{"schema_version": 1, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
+        let err = validate_bench_json(v1).expect_err("v1 must be rejected");
+        assert!(err.contains("v1") && err.contains("v2"), "names both versions: {err}");
+
+        // Right version but still v1-shaped (no service section).
+        let hybrid = r#"{"schema_version": 2, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
+        let err = validate_bench_json(hybrid).expect_err("missing service must be rejected");
+        assert!(err.contains("service"), "{err}");
+
+        assert!(validate_bench_json("not json").is_err());
+        assert!(validate_bench_json(r#"{"schema_version": 2, "datasets": [], "service": {}}"#).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_emitted_v2() {
+        // Round-trip a real report so the validator stays in sync with
+        // the Rust types that emit the file.
+        let service = plfd::loadgen::benchmark_batching(
+            &|| Box::new(plf_phylo::kernels::ScalarBackend),
+            1,
+            4,
+            16,
+            2,
+            3,
+        );
+        let report = PlfBenchReport {
+            schema_version: PLF_BENCH_SCHEMA_VERSION,
+            evaluations: 1,
+            datasets: vec![PlfDatasetReport {
+                label: "4_16".into(),
+                taxa: 4,
+                patterns: 16,
+                backends: vec![plf_backend_report("scalar", 0.1, &MetricsSnapshot::default())],
+            }],
+            service,
+        };
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        validate_bench_json(&text).expect("emitted report validates");
     }
 
     #[test]

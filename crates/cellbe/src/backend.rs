@@ -319,6 +319,17 @@ impl PlfBackend for CellBackend {
         }
     }
 
+    fn preferred_batch_patterns(&self, n_rates: usize) -> usize {
+        // One Local-Store-sized chunk per SPE: the largest fused unit
+        // that fills every SPE's 256 KB LS exactly once per kernel call.
+        // The per-chunk pattern count shrinks as the rate count grows
+        // (more bytes per pattern in the same LS budget).
+        self.cal
+            .chunk_patterns(KernelKind::Down, n_rates.max(1))
+            .max(1)
+            * self.n_spes
+    }
+
     fn cond_like_down(
         &mut self,
         left: &Clv,

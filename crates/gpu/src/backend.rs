@@ -185,6 +185,14 @@ impl PlfBackend for GpuBackend {
         }
     }
 
+    fn preferred_batch_patterns(&self, n_rates: usize) -> usize {
+        let _ = n_rates;
+        // One full grid per launch: threads × blocks patterns (§3.4's
+        // one-thread-per-pattern entry-parallel mapping).
+        let cfg = self.cfg();
+        (cfg.threads * cfg.blocks).max(1)
+    }
+
     fn cond_like_down(
         &mut self,
         left: &Clv,

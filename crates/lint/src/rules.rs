@@ -106,7 +106,13 @@ impl FileScope {
         let hot_path = rel.starts_with("crates/phylo/src/kernels/")
             || rel == "crates/multicore/src/persistent.rs"
             || rel == "crates/cellbe/src/dma.rs"
-            || rel == "crates/gpu/src/kernels.rs";
+            || rel == "crates/gpu/src/kernels.rs"
+            // The plfd service data path: every queued job flows
+            // through these three files, so a panic there can strand
+            // whole batches, not just one evaluation.
+            || rel == "crates/plfd/src/queue.rs"
+            || rel == "crates/plfd/src/scheduler.rs"
+            || rel == "crates/plfd/src/dispatch.rs";
         let metrics = rel == "crates/phylo/src/metrics.rs";
         let constants_module = rel == "crates/phylo/src/constants.rs";
         // Integration tests, benches, and examples are demo/test
@@ -590,5 +596,18 @@ mod tests {
         assert!(test.relaxed);
         let plain = FileScope::for_path("crates/mcmc/src/chain.rs");
         assert!(!plain.hot_path && !plain.metrics && !plain.relaxed);
+        // The plfd service data path is L2 scope; the rest of the
+        // crate (facade, job types, loadgen) is not.
+        for hot in [
+            "crates/plfd/src/queue.rs",
+            "crates/plfd/src/scheduler.rs",
+            "crates/plfd/src/dispatch.rs",
+        ] {
+            assert!(FileScope::for_path(hot).hot_path, "{hot} must be L2 scope");
+        }
+        let facade = FileScope::for_path("crates/plfd/src/service.rs");
+        assert!(!facade.hot_path);
+        let gen = FileScope::for_path("crates/plfd/src/loadgen.rs");
+        assert!(!gen.hot_path);
     }
 }

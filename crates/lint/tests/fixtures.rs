@@ -40,6 +40,20 @@ fn l2_fixture_trips_only_hot_path_panic() {
 }
 
 #[test]
+fn l2_applies_to_plfd_service_hot_path() {
+    // Lint the fixture under the scope derived from a real plfd
+    // data-path location, proving the path gating (not --all-rules)
+    // is what trips L2 for the new service crate.
+    let (path, src) = fixture("l2_plfd_hot_panic.rs");
+    let scope = FileScope::for_path("crates/plfd/src/queue.rs");
+    let diags = lint_source(&path, &src, scope);
+    assert_eq!(rule_ids(&diags), ["L2", "L2", "L2"], "{diags:?}");
+    // The same source under a non-hot plfd path trips nothing.
+    let cold = lint_source(&path, &src, FileScope::for_path("crates/plfd/src/loadgen.rs"));
+    assert!(cold.is_empty(), "{cold:?}");
+}
+
+#[test]
 fn l3_fixture_trips_only_magic_number() {
     let diags = lint_fixture("l3_magic.rs");
     assert_eq!(rule_ids(&diags), ["L3", "L3", "L3", "L3"], "{diags:?}");

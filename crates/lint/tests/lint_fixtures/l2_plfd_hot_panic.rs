@@ -1,0 +1,20 @@
+//! Known-bad fixture: panicking calls in a plfd service hot-path
+//! file. Linted with the scope derived from a `crates/plfd/src/`
+//! path, so this proves the path-based L2 gating itself — not just
+//! `--all-rules` — catches a regression in the queue/scheduler/
+//! dispatch data path. Never compiled.
+
+fn pop_next(lanes: &std::sync::Mutex<Vec<u32>>) -> u32 {
+    // BAD: poisoning must be handled with into_inner, not unwrap.
+    let mut guard = lanes.lock().unwrap();
+    // BAD: an empty lane is a normal state, not a panic.
+    guard.pop().expect("queue not empty")
+}
+
+fn admit(depth: usize, capacity: usize) -> usize {
+    if depth >= capacity {
+        // BAD: over-capacity must reject with retry-after.
+        panic!("queue full");
+    }
+    depth + 1
+}

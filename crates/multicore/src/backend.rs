@@ -110,6 +110,13 @@ impl PlfBackend for RayonBackend {
         }
     }
 
+    fn preferred_batch_patterns(&self, n_rates: usize) -> usize {
+        let _ = n_rates;
+        // One cache-friendly 256-pattern chunk per worker thread, so a
+        // fused work unit keeps the whole pool busy.
+        256 * self.n_threads
+    }
+
     fn cond_like_down(
         &mut self,
         left: &Clv,

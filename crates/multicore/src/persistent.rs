@@ -219,6 +219,13 @@ impl PlfBackend for PersistentPoolBackend {
         }
     }
 
+    fn preferred_batch_patterns(&self, n_rates: usize) -> usize {
+        let _ = n_rates;
+        // The pool hands out fixed CHUNK_PATTERNS-sized chunks; a fused
+        // unit of one chunk per worker saturates it.
+        CHUNK_PATTERNS * self.n_threads
+    }
+
     fn cond_like_down(
         &mut self,
         left: &Clv,

@@ -85,7 +85,28 @@ pub trait PlfBackend: Send {
     /// Called once per tree evaluation before the first kernel; lets
     /// simulated backends reset per-invocation bookkeeping. Default no-op.
     fn begin_evaluation(&mut self) {}
+
+    /// Preferred number of alignment patterns per fused work unit when a
+    /// batching scheduler (the `plfd` service) sizes device-shaped work
+    /// for this backend.
+    ///
+    /// Host backends default to a cache-friendly fixed chunk; device
+    /// backends override with their real geometry — Local-Store-sized
+    /// chunks on the Cell (a function of `n_rates`, since larger rate
+    /// counts shrink how many patterns fit in 256 KB), grid-sized slabs
+    /// on the GPU (threads × blocks), and per-thread chunks scaled by
+    /// worker count on the multicore pools.
+    fn preferred_batch_patterns(&self, n_rates: usize) -> usize {
+        let _ = n_rates;
+        DEFAULT_BATCH_PATTERNS
+    }
 }
+
+/// Default fused-work-unit size, in patterns, for backends without a
+/// device geometry to respect (see
+/// [`PlfBackend::preferred_batch_patterns`]). Sized so one unit's CLVs
+/// stay comfortably inside a host L2 cache at 4 rate categories.
+pub const DEFAULT_BATCH_PATTERNS: usize = 512;
 
 /// The scalar reference backend (the "Baseline" single-core execution of
 /// Table 1, modulo 2009 silicon).

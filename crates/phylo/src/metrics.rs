@@ -32,8 +32,9 @@
 // from a snapshot, so Relaxed is the declared (and only permitted)
 // ordering in this module. A stray SeqCst here is an L4 violation.
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The three PLF kernels the paper profiles (Table 1).
@@ -297,6 +298,303 @@ impl MetricsSnapshot {
     }
 }
 
+/// Per-tenant accumulators kept under the [`ServiceCounters`] mutex;
+/// plain integers, not atomics, because they are only touched while the
+/// map lock is held.
+#[derive(Debug, Default, Clone)]
+struct TenantCell {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    deadline_missed: u64,
+    wait_nanos: u64,
+    service_nanos: u64,
+}
+
+/// Service-level counters for the `plfd` batched evaluation service:
+/// admission outcomes, queue depth (live gauge plus high-water mark),
+/// wait vs. service time, and batch occupancy, with a per-tenant
+/// breakdown.
+///
+/// The global counters follow the same contract as [`PlfCounters`]:
+/// independent monotone statistics updated with relaxed atomics (the
+/// module-level `plf-lint` ordering declaration covers them). The
+/// per-tenant map takes a short mutex — acceptable because tenant
+/// attribution happens once per *job*, not per kernel call.
+///
+/// `queue_depth` is the one non-monotone field: a gauge incremented on
+/// enqueue and decremented on dequeue, with `queue_depth_peak` tracking
+/// its high-water mark via `fetch_max`.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_missed: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    wait_nanos: AtomicU64,
+    service_nanos: AtomicU64,
+    batches: AtomicU64,
+    batch_jobs: AtomicU64,
+    batch_job_slots: AtomicU64,
+    tenants: Mutex<BTreeMap<String, TenantCell>>,
+}
+
+impl ServiceCounters {
+    /// A fresh, shareable counter block.
+    pub fn new() -> Arc<ServiceCounters> {
+        Arc::new(ServiceCounters::default())
+    }
+
+    fn tenant_cell<R>(&self, tenant: &str, f: impl FnOnce(&mut TenantCell) -> R) -> R {
+        let mut map = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        f(map.entry(tenant.to_string()).or_default())
+    }
+
+    /// Record one submission attempt by `tenant` (accepted *or*
+    /// rejected; pair with [`record_rejected`](Self::record_rejected)
+    /// to derive admissions).
+    pub fn record_submitted(&self, tenant: &str) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.submitted += 1);
+    }
+
+    /// Record one admission-control rejection (queue full) for `tenant`.
+    pub fn record_rejected(&self, tenant: &str) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.rejected += 1);
+    }
+
+    /// Record one job entering the submission queue.
+    pub fn record_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record `n` jobs leaving the submission queue.
+    pub fn record_dequeued(&self, n: u64) {
+        // Saturating: enqueue/dequeue calls are paired by the queue, but
+        // a miscount must not wrap the gauge to u64::MAX.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(n))
+            });
+    }
+
+    /// Record one job completed for `tenant` after waiting `wait` in
+    /// queue and `service` under evaluation.
+    pub fn record_completed(&self, tenant: &str, wait: Duration, service: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let w = wait.as_nanos() as u64;
+        let s = service.as_nanos() as u64;
+        self.wait_nanos.fetch_add(w, Ordering::Relaxed);
+        self.service_nanos.fetch_add(s, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| {
+            c.completed += 1;
+            c.wait_nanos += w;
+            c.service_nanos += s;
+        });
+    }
+
+    /// Record one job that failed evaluation (after resilience
+    /// exhausted retries and fallbacks) for `tenant`.
+    pub fn record_failed(&self, tenant: &str) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.failed += 1);
+    }
+
+    /// Record one job cancelled before evaluation for `tenant`.
+    pub fn record_cancelled(&self, tenant: &str) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.cancelled += 1);
+    }
+
+    /// Record one job that missed its deadline before starting, for
+    /// `tenant`.
+    pub fn record_deadline_missed(&self, tenant: &str) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.deadline_missed += 1);
+    }
+
+    /// Record one fused batch dispatched carrying `jobs` jobs out of
+    /// `slots` possible (the scheduler's `max_jobs` cap); feeds batch
+    /// occupancy.
+    pub fn record_batch(&self, jobs: u64, slots: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_jobs.fetch_add(jobs, Ordering::Relaxed);
+        self.batch_job_slots.fetch_add(slots, Ordering::Relaxed);
+    }
+
+    /// Live queue depth gauge.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Zero every counter and drop all tenant rows.
+    pub fn reset(&self) {
+        for c in [
+            &self.submitted,
+            &self.rejected,
+            &self.completed,
+            &self.failed,
+            &self.cancelled,
+            &self.deadline_missed,
+            &self.queue_depth,
+            &self.queue_depth_peak,
+            &self.wait_nanos,
+            &self.service_nanos,
+            &self.batches,
+            &self.batch_jobs,
+            &self.batch_job_slots,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(name, c)| TenantSnapshot {
+                tenant: name.clone(),
+                submitted: c.submitted,
+                rejected: c.rejected,
+                completed: c.completed,
+                failed: c.failed,
+                cancelled: c.cancelled,
+                deadline_missed: c.deadline_missed,
+                wait_seconds: c.wait_nanos as f64 * 1e-9,
+                service_seconds: c.service_nanos as f64 * 1e-9,
+            })
+            .collect();
+        ServiceSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            wait_seconds: self.wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            service_seconds: self.service_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_jobs: self.batch_jobs.load(Ordering::Relaxed),
+            batch_job_slots: self.batch_job_slots.load(Ordering::Relaxed),
+            tenants,
+        }
+    }
+}
+
+/// One tenant's accumulated service counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct TenantSnapshot {
+    /// Tenant name as given at submission.
+    pub tenant: String,
+    /// Submission attempts (accepted + rejected).
+    pub submitted: u64,
+    /// Admission-control rejections.
+    pub rejected: u64,
+    /// Jobs completed with a log-likelihood.
+    pub completed: u64,
+    /// Jobs that failed evaluation.
+    pub failed: u64,
+    /// Jobs cancelled before evaluation.
+    pub cancelled: u64,
+    /// Jobs that missed their deadline before starting.
+    pub deadline_missed: u64,
+    /// Total queue-wait seconds across completed jobs.
+    pub wait_seconds: f64,
+    /// Total evaluation seconds across completed jobs.
+    pub service_seconds: f64,
+}
+
+/// A point-in-time copy of a [`ServiceCounters`] block; the `service`
+/// section of `BENCH_plf.json` schema v2 embeds one of these.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ServiceSnapshot {
+    /// Submission attempts (accepted + rejected).
+    pub submitted: u64,
+    /// Admission-control rejections (queue full).
+    pub rejected: u64,
+    /// Jobs completed with a log-likelihood.
+    pub completed: u64,
+    /// Jobs that failed evaluation.
+    pub failed: u64,
+    /// Jobs cancelled before evaluation.
+    pub cancelled: u64,
+    /// Jobs that missed their deadline before starting.
+    pub deadline_missed: u64,
+    /// Live queue depth when the snapshot was taken.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth gauge.
+    pub queue_depth_peak: u64,
+    /// Total queue-wait seconds across completed jobs.
+    pub wait_seconds: f64,
+    /// Total evaluation seconds across completed jobs.
+    pub service_seconds: f64,
+    /// Fused batches dispatched.
+    pub batches: u64,
+    /// Jobs carried by those batches.
+    pub batch_jobs: u64,
+    /// Job slots offered by those batches (`batches × max_jobs`).
+    pub batch_job_slots: u64,
+    /// Per-tenant breakdown, sorted by tenant name.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Jobs the queue admitted (attempts minus rejections).
+    pub fn admitted(&self) -> u64 {
+        self.submitted.saturating_sub(self.rejected)
+    }
+
+    /// Jobs that reached a terminal state.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.deadline_missed
+    }
+
+    /// Mean queue wait per completed job, in seconds.
+    pub fn mean_wait_seconds(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.wait_seconds / self.completed as f64
+        }
+    }
+
+    /// Mean evaluation time per completed job, in seconds.
+    pub fn mean_service_seconds(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.service_seconds / self.completed as f64
+        }
+    }
+
+    /// Mean fraction of batch job slots actually filled, in `[0, 1]`.
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batch_job_slots == 0 {
+            0.0
+        } else {
+            (self.batch_jobs as f64 / self.batch_job_slots as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
 /// RAII span timer: started before a kernel body, records one
 /// invocation (with patterns and elapsed wall time) into the counters
 /// when dropped. With `counters == None` it records nothing.
@@ -395,6 +693,66 @@ mod tests {
         c.record_transfer(1, 2, 3, 1e-6);
         c.reset();
         assert_eq!(c.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn service_counters_track_admission_and_latency() {
+        let c = ServiceCounters::new();
+        c.record_submitted("a");
+        c.record_submitted("a");
+        c.record_submitted("b");
+        c.record_rejected("b");
+        c.record_enqueued();
+        c.record_enqueued();
+        c.record_dequeued(1);
+        c.record_completed("a", Duration::from_millis(2), Duration::from_millis(3));
+        c.record_batch(3, 4);
+        let s = c.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.admitted(), 2);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.queue_depth_peak, 2);
+        assert_eq!(s.completed, 1);
+        assert!((s.mean_wait_seconds() - 2e-3).abs() < 1e-12);
+        assert!((s.mean_service_seconds() - 3e-3).abs() < 1e-12);
+        assert!((s.batch_occupancy() - 0.75).abs() < 1e-12);
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.tenants[0].tenant, "a");
+        assert_eq!(s.tenants[0].submitted, 2);
+        assert_eq!(s.tenants[1].rejected, 1);
+    }
+
+    #[test]
+    fn service_counters_terminal_states_and_reset() {
+        let c = ServiceCounters::new();
+        c.record_completed("t", Duration::ZERO, Duration::ZERO);
+        c.record_failed("t");
+        c.record_cancelled("t");
+        c.record_deadline_missed("t");
+        let s = c.snapshot();
+        assert_eq!(s.resolved(), 4);
+        assert_eq!(s.tenants[0].failed, 1);
+        assert_eq!(s.tenants[0].cancelled, 1);
+        assert_eq!(s.tenants[0].deadline_missed, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), ServiceSnapshot::default());
+    }
+
+    #[test]
+    fn service_dequeue_saturates_instead_of_wrapping() {
+        let c = ServiceCounters::new();
+        c.record_dequeued(5);
+        assert_eq!(c.queue_depth(), 0);
+    }
+
+    #[test]
+    fn service_snapshot_serializes() {
+        let c = ServiceCounters::new();
+        c.record_submitted("tenant-0");
+        let json = serde_json::to_string(&c.snapshot()).unwrap();
+        assert!(json.contains("\"queue_depth_peak\""));
+        assert!(json.contains("\"tenant-0\""));
     }
 
     #[test]

@@ -278,6 +278,13 @@ impl PlfBackend for ResilientBackend {
         }
     }
 
+    fn preferred_batch_patterns(&self, n_rates: usize) -> usize {
+        // Batch geometry follows the tier currently executing calls; a
+        // degraded wrapper sizes work for its fallback, not the dead
+        // device.
+        self.tiers[self.active].preferred_batch_patterns(n_rates)
+    }
+
     fn cond_like_down(
         &mut self,
         left: &Clv,

@@ -1,0 +1,178 @@
+//! The dispatcher: shards fused batches across a pool of backend
+//! worker threads and reassembles per-job outcomes.
+//!
+//! Each worker owns one `PlfBackend` (typically resilient-wrapped, so
+//! retries and tier degradation happen inside the worker) and receives
+//! shards over a rendezvous channel — bounded at one in-flight shard
+//! per worker, which is the pool's own backpressure toward the
+//! scheduler. Reassembly is per-job: every job carries its completion
+//! cell, so results flow straight back to the submitting caller with
+//! no collation step that a slow batchmate could stall.
+//!
+//! **Failure containment.** A job that fails evaluation (after the
+//! resilience layer exhausted retries and fallbacks) resolves as
+//! `Failed` without affecting its batchmates; even a panic escaping a
+//! backend is caught per job and folded into a `Failed` outcome, so a
+//! poisoned job can never sink the shard, the worker, or the service.
+//!
+//! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
+
+use crate::job::{Job, JobOutcome};
+use crate::scheduler::Batch;
+use plf_phylo::kernels::PlfBackend;
+use plf_phylo::likelihood::TreeLikelihood;
+use plf_phylo::metrics::ServiceCounters;
+use plf_phylo::resilience::panic_message;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One worker's slice of a fused batch.
+struct Shard {
+    jobs: Vec<Job>,
+}
+
+/// A pool of backend-owning worker threads.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    senders: Vec<SyncSender<Shard>>,
+    handles: Vec<JoinHandle<()>>,
+    unit_patterns: usize,
+    next_worker: AtomicUsize,
+}
+
+impl WorkerPool {
+    /// Spawn one worker per backend. `unit_patterns` — the fused work
+    /// unit the scheduler sizes batches with — is the *narrowest*
+    /// backend's preferred chunk at the canonical Γ4 rate count, so
+    /// every device in a heterogeneous pool can take any unit.
+    pub(crate) fn new(
+        backends: Vec<Box<dyn PlfBackend>>,
+        counters: Arc<ServiceCounters>,
+    ) -> WorkerPool {
+        let unit_patterns = backends
+            .iter()
+            .map(|b| b.preferred_batch_patterns(4).max(1))
+            .min()
+            .unwrap_or(plf_phylo::kernels::DEFAULT_BATCH_PATTERNS);
+        let mut senders = Vec::with_capacity(backends.len());
+        let mut handles = Vec::with_capacity(backends.len());
+        for backend in backends {
+            let (tx, rx) = sync_channel::<Shard>(1);
+            let worker_counters = Arc::clone(&counters);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(rx, backend, worker_counters);
+            }));
+            senders.push(tx);
+        }
+        WorkerPool {
+            senders,
+            handles,
+            unit_patterns,
+            next_worker: AtomicUsize::new(0),
+        }
+    }
+
+    /// Worker count.
+    pub(crate) fn n_workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The fused work-unit size the scheduler should batch with.
+    pub(crate) fn unit_patterns(&self) -> usize {
+        self.unit_patterns
+    }
+
+    /// Shard `batch` across the workers round-robin and hand each
+    /// worker its slice. Blocks while every worker already has a shard
+    /// in flight — that rendezvous is the pool's backpressure.
+    pub(crate) fn dispatch(&self, batch: Batch) {
+        let n_workers = self.senders.len().max(1);
+        let n_shards = n_workers.min(batch.jobs.len()).max(1);
+        let per_shard = batch.jobs.len().div_ceil(n_shards).max(1);
+        let mut jobs = batch.jobs;
+        while !jobs.is_empty() {
+            let rest = jobs.split_off(per_shard.min(jobs.len()));
+            let shard = Shard { jobs };
+            jobs = rest;
+            let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % n_workers;
+            if let Err(send_err) = self.senders[w].send(shard) {
+                // Worker gone (only possible mid-shutdown): resolve the
+                // shard's jobs as failed rather than dropping them.
+                for job in send_err.0.jobs {
+                    job.finish(JobOutcome::Failed {
+                        error: "worker unavailable during shutdown".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Close the shard channels and join every worker. In-flight
+    /// shards finish first; every job they carry resolves.
+    pub(crate) fn shutdown(self) {
+        drop(self.senders);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Shard>,
+    mut backend: Box<dyn PlfBackend>,
+    counters: Arc<ServiceCounters>,
+) {
+    while let Ok(shard) = rx.recv() {
+        for job in shard.jobs {
+            run_job(backend.as_mut(), job, &counters);
+        }
+    }
+}
+
+/// Evaluate one job on `backend` and publish its terminal outcome.
+fn run_job(backend: &mut dyn PlfBackend, job: Job, counters: &ServiceCounters) {
+    let started = Instant::now();
+    if job.is_cancelled() {
+        counters.record_cancelled(&job.tenant);
+        job.finish(JobOutcome::Cancelled);
+        return;
+    }
+    if job.past_deadline(started) {
+        counters.record_deadline_missed(&job.tenant);
+        job.finish(JobOutcome::DeadlineMissed);
+        return;
+    }
+    let wait = started.saturating_duration_since(job.submitted_at);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut eval = TreeLikelihood::new(&job.tree, &job.data, job.model.clone())?;
+        eval.log_likelihood(&job.tree, backend)
+    }));
+    let service = started.elapsed();
+    let outcome = match result {
+        Ok(Ok(ln_likelihood)) => JobOutcome::Completed {
+            ln_likelihood,
+            wait,
+            service,
+            backend: backend.name(),
+        },
+        Ok(Err(err)) => JobOutcome::Failed {
+            error: format!("{}: {err}", job.id),
+        },
+        Err(payload) => JobOutcome::Failed {
+            error: format!(
+                "{}: evaluation panicked: {}",
+                job.id,
+                panic_message(payload.as_ref())
+            ),
+        },
+    };
+    match &outcome {
+        JobOutcome::Completed { .. } => counters.record_completed(&job.tenant, wait, service),
+        _ => counters.record_failed(&job.tenant),
+    }
+    job.finish(outcome);
+}

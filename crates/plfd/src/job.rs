@@ -1,0 +1,353 @@
+//! The job model: what a caller submits, what the service hands back,
+//! and the internal queued representation the scheduler batches.
+//!
+//! A *job* is one likelihood evaluation request — a tree plus a site
+//! model against a pre-registered alignment. The caller receives a
+//! [`JobTicket`] immediately on admission and later collects exactly
+//! one terminal [`JobOutcome`]; the service guarantees every admitted
+//! job reaches a terminal state (no silent drops), even across
+//! shutdown.
+
+use plf_phylo::alignment::PatternAlignment;
+use plf_phylo::model::SiteModel;
+use plf_phylo::tree::Tree;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Opaque handle to an alignment registered with the service; jobs
+/// reference datasets by handle so the (potentially large) pattern data
+/// is shared rather than carried per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub(crate) u64);
+
+/// Unique job identifier within one service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Scheduling lane: the queue drains every `High` job before any
+/// `Normal` job of the same age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive lane, drained first.
+    High,
+    /// Default throughput lane.
+    #[default]
+    Normal,
+}
+
+impl Priority {
+    /// Parse a CLI/protocol label.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            _ => None,
+        }
+    }
+}
+
+/// One evaluation request as submitted by a caller.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Accounting principal; drives the per-tenant metrics breakdown.
+    pub tenant: String,
+    /// Scheduling lane.
+    pub priority: Priority,
+    /// Which registered alignment to evaluate against.
+    pub dataset: DatasetId,
+    /// The tree to score (leaf names must match the alignment's taxa).
+    pub tree: Tree,
+    /// Site model (rate count is part of the batch-compatibility key).
+    pub model: SiteModel,
+    /// Relative deadline from submission. A job whose evaluation has
+    /// not *started* by its deadline resolves as
+    /// [`JobOutcome::DeadlineMissed`]; a started job always runs to its
+    /// natural outcome.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A normal-priority spec with no deadline.
+    pub fn new(
+        tenant: impl Into<String>,
+        dataset: DatasetId,
+        tree: Tree,
+        model: SiteModel,
+    ) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            priority: Priority::Normal,
+            dataset,
+            tree,
+            model,
+            deadline: None,
+        }
+    }
+
+    /// Set the scheduling lane.
+    pub fn with_priority(mut self, priority: Priority) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Set a relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Evaluation finished.
+    Completed {
+        /// The tree log-likelihood, bit-identical to a serial
+        /// single-backend evaluation of the same job.
+        ln_likelihood: f64,
+        /// Time spent queued + batched before evaluation started.
+        wait: Duration,
+        /// Time spent under evaluation.
+        service: Duration,
+        /// Name of the backend that evaluated the job.
+        backend: String,
+    },
+    /// The caller cancelled before evaluation started.
+    Cancelled,
+    /// The deadline passed before evaluation started.
+    DeadlineMissed,
+    /// Evaluation failed after the resilience layer exhausted retries
+    /// and fallbacks.
+    Failed {
+        /// Human-readable failure description.
+        error: String,
+    },
+}
+
+impl JobOutcome {
+    /// The log-likelihood, if the job completed.
+    pub fn ln_likelihood(&self) -> Option<f64> {
+        match self {
+            JobOutcome::Completed { ln_likelihood, .. } => Some(*ln_likelihood),
+            _ => None,
+        }
+    }
+
+    /// Whether the job completed with a result.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed { .. })
+    }
+}
+
+/// One-shot completion cell shared between a [`JobTicket`] and the
+/// dispatcher; the first writer wins and waiters are woken.
+#[derive(Debug, Default)]
+pub(crate) struct JobCell {
+    slot: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+impl JobCell {
+    pub(crate) fn new() -> Arc<JobCell> {
+        Arc::new(JobCell::default())
+    }
+
+    /// Publish the outcome; later writers are ignored (a cancel racing
+    /// a completion keeps whichever resolved first).
+    pub(crate) fn set(&self, outcome: JobOutcome) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until the outcome is published.
+    pub(crate) fn wait(&self) -> JobOutcome {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self.done.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Block up to `timeout`; `None` if the job is still unresolved.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .done
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking peek.
+    pub(crate) fn try_get(&self) -> Option<JobOutcome> {
+        self.slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+}
+
+/// The caller's handle to one admitted job: poll or block for the
+/// outcome, or request cancellation.
+#[derive(Debug, Clone)]
+pub struct JobTicket {
+    id: JobId,
+    tenant: String,
+    cancelled: Arc<AtomicBool>,
+    cell: Arc<JobCell>,
+}
+
+impl JobTicket {
+    pub(crate) fn new(
+        id: JobId,
+        tenant: String,
+        cancelled: Arc<AtomicBool>,
+        cell: Arc<JobCell>,
+    ) -> JobTicket {
+        JobTicket {
+            id,
+            tenant,
+            cancelled,
+            cell,
+        }
+    }
+
+    /// The job's service-wide identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The tenant the job was submitted under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Request cancellation. Best-effort: a job whose evaluation has
+    /// already started still completes; one still queued or batched
+    /// resolves as [`JobOutcome::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait(&self) -> JobOutcome {
+        self.cell.wait()
+    }
+
+    /// Block up to `timeout`; `None` if still unresolved.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        self.cell.wait_timeout(timeout)
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<JobOutcome> {
+        self.cell.try_get()
+    }
+}
+
+/// Batch-compatibility key: jobs fuse into one batch only when they
+/// share the alignment (same pattern data, taxa, and dimensions) and
+/// the model rate count (same CLV stride, hence the same device unit
+/// geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BatchKey {
+    pub dataset: DatasetId,
+    pub n_rates: usize,
+}
+
+/// The internal, queued representation of an admitted job.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: JobId,
+    pub tenant: String,
+    pub priority: Priority,
+    pub dataset: DatasetId,
+    pub data: Arc<PatternAlignment>,
+    pub tree: Tree,
+    pub model: SiteModel,
+    pub submitted_at: Instant,
+    pub deadline: Option<Instant>,
+    pub cancelled: Arc<AtomicBool>,
+    pub cell: Arc<JobCell>,
+}
+
+impl Job {
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn past_deadline(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now > d)
+    }
+
+    pub(crate) fn batch_key(&self) -> BatchKey {
+        BatchKey {
+            dataset: self.dataset,
+            n_rates: self.model.n_rates(),
+        }
+    }
+
+    /// Publish the terminal outcome to the ticket.
+    pub(crate) fn finish(&self, outcome: JobOutcome) {
+        self.cell.set(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn cell_first_writer_wins_and_wakes_waiters() {
+        let cell = JobCell::new();
+        let waiter = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.wait())
+        };
+        cell.set(JobOutcome::Cancelled);
+        cell.set(JobOutcome::DeadlineMissed); // ignored: already resolved
+        assert_eq!(waiter.join().expect("waiter"), JobOutcome::Cancelled);
+        assert_eq!(cell.try_get(), Some(JobOutcome::Cancelled));
+    }
+
+    #[test]
+    fn cell_wait_timeout_expires_and_then_resolves() {
+        let cell = JobCell::new();
+        assert_eq!(cell.wait_timeout(Duration::from_millis(5)), None);
+        cell.set(JobOutcome::Cancelled);
+        assert_eq!(
+            cell.wait_timeout(Duration::from_millis(5)),
+            Some(JobOutcome::Cancelled)
+        );
+    }
+
+    #[test]
+    fn priority_parses_labels() {
+        assert_eq!(Priority::parse("high"), Some(Priority::High));
+        assert_eq!(Priority::parse("normal"), Some(Priority::Normal));
+        assert_eq!(Priority::parse("urgent"), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! # plfd — the batched, multi-tenant PLF evaluation service
+//!
+//! The paper accelerates the three PLF kernels for a single caller on
+//! one device at a time; this crate is the subsystem that turns those
+//! kernels, the backends, and the resilience layer into a *server*, in
+//! the spirit of BEAGLE's likelihood-service layer: many concurrent
+//! clients submit likelihood-evaluation jobs (tree + model + alignment
+//! handle), and the service multiplexes them across a pool of
+//! [`PlfBackend`](plf_phylo::kernels::PlfBackend) workers.
+//!
+//! The pipeline (DESIGN.md §11):
+//!
+//! ```text
+//!  submit() ──▶ BoundedQueue ──▶ batching scheduler ──▶ dispatcher ──▶ workers
+//!   (admission:   (two priority    (coalesce compatible   (shard across   (one
+//!    reject +      lanes, hard      jobs; linger window;   backends;       backend
+//!    retry-after)  capacity)        device-sized units)    reassemble)     each)
+//! ```
+//!
+//! * **Admission control** — the submission queue is bounded; at
+//!   capacity, [`PlfService::submit`] rejects with a `retry_after`
+//!   hint instead of growing without bound ([`queue`]).
+//! * **Batching** — compatible jobs (same dataset handle, same rate
+//!   count) fuse into batches measured in device-sized pattern units:
+//!   Local-Store-sized chunks for the Cell backend, grid-sized slabs
+//!   for the GPU, per-thread chunks for the multicore pools
+//!   ([`scheduler`], sizing via
+//!   [`PlfBackend::preferred_batch_patterns`](plf_phylo::kernels::PlfBackend::preferred_batch_patterns)).
+//! * **Dispatch & reassembly** — batches shard across the worker pool;
+//!   per-job outcomes flow back through one-shot completion cells, and
+//!   a failing (or even panicking) job resolves as `Failed` without
+//!   sinking its batchmates ([`dispatch`]).
+//! * **Accounting** — queue depth, wait vs. service time, batch
+//!   occupancy, rejects, and deadline misses land in
+//!   [`ServiceCounters`](plf_phylo::metrics::ServiceCounters), with a
+//!   per-tenant breakdown, and surface in the `service` section of
+//!   `BENCH_plf.json` schema v2 ([`loadgen::ServiceBenchmark`]).
+//!
+//! See [`service`] for the facade and a usage example, and
+//! [`loadgen`] for the deterministic seeded load generator behind
+//! `plfr loadgen`.
+
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod job;
+pub mod loadgen;
+pub mod queue;
+pub mod scheduler;
+pub mod service;
+
+pub use job::{DatasetId, JobId, JobOutcome, JobSpec, JobTicket, Priority};
+pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport, ServiceBenchmark};
+pub use queue::SubmitError;
+pub use scheduler::BatchPolicy;
+pub use service::{PlfService, ServiceConfig};

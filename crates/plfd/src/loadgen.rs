@@ -1,0 +1,532 @@
+//! Deterministic seeded load generator and the serial-vs-batched
+//! service benchmark behind `BENCH_plf.json`'s `service` section.
+//!
+//! The generator drives a running [`PlfService`] in either a *closed*
+//! loop (a fixed number of outstanding jobs; each completion triggers
+//! the next submission — throughput-oriented) or an *open* loop
+//! (submissions paced at a target QPS regardless of completions —
+//! latency-oriented). Every random choice — per-job tree topology,
+//! tenant, priority, cancellation — derives from one seed through one
+//! `StdRng`, so a (seed, config) pair replays the identical job stream.
+//!
+//! Rejected submissions honor the backpressure contract: the generator
+//! sleeps out the `retry_after` hint and resubmits the same job, so no
+//! job is ever lost to admission control. With `check` enabled, each
+//! completed log-likelihood is recomputed serially on the scalar
+//! reference backend and compared *bit-for-bit*.
+
+use crate::job::{JobOutcome, JobSpec, JobTicket, Priority};
+use crate::queue::SubmitError;
+use crate::service::{PlfService, ServiceConfig};
+use plf_phylo::kernels::{PlfBackend, ScalarBackend};
+use plf_phylo::likelihood::TreeLikelihood;
+use plf_phylo::metrics::ServiceSnapshot;
+use plf_phylo::model::SiteModel;
+use plf_phylo::tree::Tree;
+use plf_seqgen::{random_tree_for_taxa, DatasetSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Submission discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Keep `concurrency` jobs outstanding; submit on completion.
+    Closed {
+        /// Outstanding-job window (1 = serial one-at-a-time).
+        concurrency: usize,
+    },
+    /// Pace submissions at `qps` regardless of completions.
+    Open {
+        /// Target submissions per second.
+        qps: f64,
+    },
+}
+
+/// Load-generator configuration; all randomness flows from `seed`.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Jobs to submit.
+    pub jobs: usize,
+    /// Submission discipline.
+    pub mode: LoadMode,
+    /// Tenants to spread jobs across (`tenant-0..N`, round-robin).
+    pub tenants: usize,
+    /// Fraction of jobs submitted on the high-priority lane.
+    pub high_fraction: f64,
+    /// Fraction of jobs cancelled right after submission.
+    pub cancel_fraction: f64,
+    /// Relative deadline applied to every job, if any.
+    pub deadline: Option<Duration>,
+    /// RNG seed for the whole job stream.
+    pub seed: u64,
+    /// Mean branch length of the per-job random trees.
+    pub branch_mean: f64,
+    /// Recompute every completed result serially on the scalar
+    /// reference backend and compare bit-for-bit.
+    pub check: bool,
+    /// Stop submitting once this much wall time has elapsed (the CI
+    /// smoke caps a run at ~10 s); already-submitted jobs still drain.
+    pub max_duration: Option<Duration>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            jobs: 256,
+            mode: LoadMode::Closed { concurrency: 256 },
+            tenants: 4,
+            high_fraction: 0.125,
+            cancel_fraction: 0.0,
+            deadline: None,
+            seed: 2009,
+            branch_mean: 0.1,
+            check: true,
+            max_duration: None,
+        }
+    }
+}
+
+/// What one loadgen run observed.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Jobs submitted (admitted).
+    pub submitted: usize,
+    /// Jobs that completed with a log-likelihood.
+    pub completed: usize,
+    /// Jobs that failed evaluation.
+    pub failed: usize,
+    /// Jobs cancelled by the generator.
+    pub cancelled: usize,
+    /// Jobs that missed their deadline.
+    pub deadline_missed: usize,
+    /// Admission rejections absorbed by retry (not lost jobs).
+    pub rejections_retried: usize,
+    /// Jobs with no outcome — always 0 unless the service dropped work.
+    pub lost: usize,
+    /// Completed results re-checked against the serial scalar
+    /// reference.
+    pub checked: usize,
+    /// Checked results whose bits differed — always 0 on a correct
+    /// service.
+    pub bit_mismatches: usize,
+    /// Wall-clock seconds from first submission to last resolution.
+    pub wall_seconds: f64,
+    /// Resolved jobs per wall second.
+    pub jobs_per_second: f64,
+    /// Mean queue-wait per completed job, milliseconds.
+    pub mean_wait_ms: f64,
+    /// Mean evaluation time per completed job, milliseconds.
+    pub mean_service_ms: f64,
+    /// Median completion latency (wait + service), milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile completion latency, milliseconds.
+    pub p95_latency_ms: f64,
+    /// Service counter snapshot at the end of the run.
+    pub service: ServiceSnapshot,
+}
+
+/// One pending job the generator is tracking.
+struct Pending {
+    ticket: JobTicket,
+    tree: Tree,
+    model: SiteModel,
+}
+
+/// Drive `service` with a deterministic job stream against `dataset`
+/// (which must be registered with the service; `taxa` are its taxon
+/// names, used to grow random per-job trees).
+pub fn run(
+    service: &PlfService,
+    dataset: crate::job::DatasetId,
+    taxa: &[String],
+    model: &SiteModel,
+    cfg: &LoadgenConfig,
+) -> LoadgenReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let data = service.dataset(dataset);
+    let started = Instant::now();
+    let mut outstanding: VecDeque<Pending> = VecDeque::new();
+    let mut outcomes: Vec<(JobOutcome, Tree, SiteModel)> = Vec::new();
+    let mut rejections_retried = 0usize;
+    let mut submitted = 0usize;
+    let mut next_open_slot = started;
+
+    for i in 0..cfg.jobs {
+        if cfg
+            .max_duration
+            .is_some_and(|limit| started.elapsed() >= limit)
+        {
+            break;
+        }
+        // Deterministic per-job draws (consumed in a fixed order).
+        let tree = random_tree_for_taxa(taxa, cfg.branch_mean, &mut rng);
+        let tenant = format!("tenant-{}", i % cfg.tenants.max(1));
+        let high = rng.gen_range(0.0..1.0) < cfg.high_fraction;
+        let cancel = rng.gen_range(0.0..1.0) < cfg.cancel_fraction;
+
+        match cfg.mode {
+            LoadMode::Closed { concurrency } => {
+                while outstanding.len() >= concurrency.max(1) {
+                    if let Some(p) = outstanding.pop_front() {
+                        outcomes.push((p.ticket.wait(), p.tree, p.model));
+                    }
+                }
+            }
+            LoadMode::Open { qps } => {
+                let now = Instant::now();
+                if next_open_slot > now {
+                    std::thread::sleep(next_open_slot - now);
+                }
+                let period = Duration::from_secs_f64(1.0 / qps.max(1e-3));
+                next_open_slot += period;
+            }
+        }
+
+        let mut spec = JobSpec::new(tenant, dataset, tree.clone(), model.clone());
+        if high {
+            spec = spec.with_priority(Priority::High);
+        }
+        if let Some(d) = cfg.deadline {
+            spec = spec.with_deadline(d);
+        }
+        // Backpressure loop: sleep out retry-after hints, never drop.
+        let ticket = loop {
+            match service.submit(spec.clone()) {
+                Ok(t) => break t,
+                Err(SubmitError::QueueFull { retry_after }) => {
+                    rejections_retried += 1;
+                    std::thread::sleep(retry_after);
+                }
+                Err(err) => {
+                    // Closed / unknown dataset: nothing further to do.
+                    panic!("loadgen submission failed fatally: {err}");
+                }
+            }
+        };
+        submitted += 1;
+        if cancel {
+            ticket.cancel();
+        }
+        outstanding.push_back(Pending {
+            ticket,
+            tree,
+            model: model.clone(),
+        });
+    }
+
+    while let Some(p) = outstanding.pop_front() {
+        outcomes.push((p.ticket.wait(), p.tree, p.model));
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    // Verification pass: recompute completed jobs serially on the
+    // scalar reference and demand bit-identity.
+    let mut checked = 0usize;
+    let mut bit_mismatches = 0usize;
+    if cfg.check {
+        if let Some(data) = data.as_ref() {
+            let mut reference = ScalarBackend;
+            for (outcome, tree, model) in &outcomes {
+                let Some(lnl) = outcome.ln_likelihood() else {
+                    continue;
+                };
+                let serial = TreeLikelihood::new(tree, data, model.clone())
+                    .and_then(|mut eval| eval.log_likelihood(tree, &mut reference));
+                checked += 1;
+                match serial {
+                    Ok(expected) if expected.to_bits() == lnl.to_bits() => {}
+                    _ => bit_mismatches += 1,
+                }
+            }
+        }
+    }
+
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut cancelled = 0usize;
+    let mut deadline_missed = 0usize;
+    let mut wait_total = Duration::ZERO;
+    let mut service_total = Duration::ZERO;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for (outcome, _, _) in &outcomes {
+        match outcome {
+            JobOutcome::Completed { wait, service, .. } => {
+                completed += 1;
+                wait_total += *wait;
+                service_total += *service;
+                latencies_ms.push((*wait + *service).as_secs_f64() * 1e3);
+            }
+            JobOutcome::Failed { .. } => failed += 1,
+            JobOutcome::Cancelled => cancelled += 1,
+            JobOutcome::DeadlineMissed => deadline_missed += 1,
+        }
+    }
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let percentile = |p: f64| -> f64 {
+        if latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_ms.len() - 1) as f64 * p).round() as usize;
+        latencies_ms[idx.min(latencies_ms.len() - 1)]
+    };
+
+    LoadgenReport {
+        submitted,
+        completed,
+        failed,
+        cancelled,
+        deadline_missed,
+        rejections_retried,
+        lost: submitted.saturating_sub(outcomes.len()),
+        checked,
+        bit_mismatches,
+        wall_seconds,
+        jobs_per_second: if wall_seconds > 0.0 {
+            outcomes.len() as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        mean_wait_ms: if completed > 0 {
+            wait_total.as_secs_f64() * 1e3 / completed as f64
+        } else {
+            0.0
+        },
+        mean_service_ms: if completed > 0 {
+            service_total.as_secs_f64() * 1e3 / completed as f64
+        } else {
+            0.0
+        },
+        p50_latency_ms: percentile(0.50),
+        p95_latency_ms: percentile(0.95),
+        service: service.snapshot(),
+    }
+}
+
+/// The `service` section of `BENCH_plf.json` schema v2: the same job
+/// stream pushed through the service three ways.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceBenchmark {
+    /// Jobs per mode.
+    pub jobs: usize,
+    /// Dataset shape.
+    pub taxa: usize,
+    /// Dataset shape.
+    pub patterns: usize,
+    /// Name of the worker backend (one per worker).
+    pub worker_backend: String,
+    /// Worker threads in the batched service.
+    pub workers: usize,
+    /// Baseline: the same evaluations run directly on one backend,
+    /// no service in between.
+    pub direct_seconds: f64,
+    /// Direct evaluations per second.
+    pub direct_jobs_per_sec: f64,
+    /// Through the service, one job outstanding at a time (each job
+    /// pays the full batch-formation linger and dispatch round trip).
+    pub serial_seconds: f64,
+    /// Serial-submission jobs per second.
+    pub serial_jobs_per_sec: f64,
+    /// Through the service, all jobs submitted concurrently (linger
+    /// and dispatch overhead amortize across each fused batch).
+    pub batched_seconds: f64,
+    /// Batched-submission jobs per second.
+    pub batched_jobs_per_sec: f64,
+    /// `batched_jobs_per_sec / serial_jobs_per_sec` — the batching
+    /// payoff the ISSUE's ≥1.5× acceptance bar refers to.
+    pub speedup_batched_over_serial: f64,
+    /// Mean batch occupancy of the batched run, in `[0, 1]`.
+    pub batch_occupancy: f64,
+    /// Completed-result bit-mismatches vs. the serial scalar reference
+    /// across both service runs — must be 0.
+    pub bit_mismatches: usize,
+    /// Service counter snapshot from the batched run.
+    pub batched_service: ServiceSnapshot,
+}
+
+/// Run the serial-vs-batched comparison: `jobs` evaluations of
+/// `taxa × patterns` random trees, (a) directly on one backend, (b)
+/// through the service submitting one at a time, (c) through the
+/// service submitting all at once. The same seed drives all three job
+/// streams, and every completed service result is checked bit-for-bit
+/// against the serial scalar reference.
+pub fn benchmark_batching(
+    make_backend: &dyn Fn() -> Box<dyn PlfBackend>,
+    workers: usize,
+    taxa: usize,
+    patterns: usize,
+    jobs: usize,
+    seed: u64,
+) -> ServiceBenchmark {
+    let ds = plf_seqgen::generate(DatasetSpec::new(taxa, patterns), seed);
+    let model = plf_seqgen::default_model();
+    let taxa_names = ds.data.taxa().to_vec();
+
+    // (a) Direct: no service, one backend, same tree stream.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trees: Vec<Tree> = (0..jobs)
+        .map(|_| random_tree_for_taxa(&taxa_names, 0.1, &mut rng))
+        .collect();
+    let mut direct_backend = make_backend();
+    let direct_started = Instant::now();
+    for tree in &trees {
+        let mut eval = TreeLikelihood::new(tree, &ds.data, model.clone())
+            .unwrap_or_else(|e| panic!("benchmark workspace: {e}"));
+        eval.log_likelihood(tree, direct_backend.as_mut())
+            .unwrap_or_else(|e| panic!("benchmark eval: {e}"));
+    }
+    let direct_seconds = direct_started.elapsed().as_secs_f64();
+
+    let service_run = |concurrency: usize| -> (f64, LoadgenReport) {
+        let service = PlfService::new(
+            ServiceConfig::default(),
+            (0..workers.max(1)).map(|_| make_backend()).collect(),
+        );
+        let dataset = service.register_dataset(ds.data.clone());
+        let cfg = LoadgenConfig {
+            jobs,
+            mode: LoadMode::Closed { concurrency },
+            seed,
+            check: true,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&service, dataset, &taxa_names, &model, &cfg);
+        service.shutdown();
+        (report.wall_seconds, report)
+    };
+
+    // (b) Serial one-job-at-a-time submission.
+    let (serial_seconds, serial_report) = service_run(1);
+    // (c) Batched: everything outstanding at once.
+    let (batched_seconds, batched_report) = service_run(jobs);
+
+    let rate = |n: usize, secs: f64| if secs > 0.0 { n as f64 / secs } else { 0.0 };
+    let serial_jobs_per_sec = rate(serial_report.completed, serial_seconds);
+    let batched_jobs_per_sec = rate(batched_report.completed, batched_seconds);
+    ServiceBenchmark {
+        jobs,
+        taxa,
+        patterns,
+        worker_backend: make_backend().name(),
+        workers: workers.max(1),
+        direct_seconds,
+        direct_jobs_per_sec: rate(jobs, direct_seconds),
+        serial_seconds,
+        serial_jobs_per_sec,
+        batched_seconds,
+        batched_jobs_per_sec,
+        speedup_batched_over_serial: if serial_jobs_per_sec > 0.0 {
+            batched_jobs_per_sec / serial_jobs_per_sec
+        } else {
+            0.0
+        },
+        batch_occupancy: batched_report.service.batch_occupancy(),
+        bit_mismatches: serial_report.bit_mismatches + batched_report.bit_mismatches,
+        batched_service: batched_report.service,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{PlfService, ServiceConfig};
+
+    fn small_service() -> (PlfService, crate::job::DatasetId, Vec<String>, SiteModel) {
+        let ds = plf_seqgen::generate(DatasetSpec::new(6, 48), 17);
+        let model = plf_seqgen::default_model();
+        let service = PlfService::new(
+            ServiceConfig::default(),
+            vec![
+                Box::new(ScalarBackend) as Box<dyn PlfBackend>,
+                Box::new(ScalarBackend) as Box<dyn PlfBackend>,
+            ],
+        );
+        let taxa = ds.data.taxa().to_vec();
+        let dataset = service.register_dataset(ds.data);
+        (service, dataset, taxa, model)
+    }
+
+    #[test]
+    fn closed_loop_completes_all_jobs_bit_identically() {
+        let (service, dataset, taxa, model) = small_service();
+        let cfg = LoadgenConfig {
+            jobs: 24,
+            mode: LoadMode::Closed { concurrency: 8 },
+            tenants: 3,
+            seed: 7,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&service, dataset, &taxa, &model, &cfg);
+        assert_eq!(report.submitted, 24);
+        assert_eq!(report.completed, 24);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.checked, 24);
+        assert_eq!(report.bit_mismatches, 0);
+        assert_eq!(report.service.tenants.len(), 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn open_loop_paces_and_cancellations_resolve() {
+        let (service, dataset, taxa, model) = small_service();
+        let cfg = LoadgenConfig {
+            jobs: 12,
+            mode: LoadMode::Open { qps: 2000.0 },
+            cancel_fraction: 0.5,
+            seed: 21,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&service, dataset, &taxa, &model, &cfg);
+        assert_eq!(report.submitted, 12);
+        assert_eq!(report.lost, 0);
+        assert_eq!(
+            report.completed + report.cancelled + report.failed + report.deadline_missed,
+            12
+        );
+        assert_eq!(report.bit_mismatches, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_job_stream() {
+        // Two runs with one seed must draw identical trees; compare via
+        // the reference log-likelihoods of the first completed job.
+        let mut lnls = Vec::new();
+        for _ in 0..2 {
+            let (service, dataset, taxa, model) = small_service();
+            let cfg = LoadgenConfig {
+                jobs: 4,
+                mode: LoadMode::Closed { concurrency: 1 },
+                seed: 99,
+                ..LoadgenConfig::default()
+            };
+            let report = run(&service, dataset, &taxa, &model, &cfg);
+            assert_eq!(report.completed, 4);
+            lnls.push((
+                report.service.wait_seconds > 0.0,
+                report.completed,
+                report.checked,
+            ));
+            service.shutdown();
+        }
+        assert_eq!(lnls[0].1, lnls[1].1);
+        assert_eq!(lnls[0].2, lnls[1].2);
+    }
+
+    #[test]
+    fn loadgen_report_serializes() {
+        let (service, dataset, taxa, model) = small_service();
+        let cfg = LoadgenConfig {
+            jobs: 2,
+            mode: LoadMode::Closed { concurrency: 2 },
+            ..LoadgenConfig::default()
+        };
+        let report = run(&service, dataset, &taxa, &model, &cfg);
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"bit_mismatches\""));
+        assert!(json.contains("\"p95_latency_ms\""));
+        service.shutdown();
+    }
+}

@@ -1,0 +1,298 @@
+//! Bounded two-lane submission queue with admission control.
+//!
+//! **Backpressure contract.** `push` never blocks and the queue never
+//! grows past its capacity: at capacity, submissions are rejected with
+//! a `retry_after` hint proportional to the current backlog (depth ×
+//! the configured per-job drain estimate, capped at one second).
+//! Callers are expected to back off for the hinted duration and retry;
+//! the deterministic load generator does exactly that.
+//!
+//! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
+//! Lock poisoning is absorbed with `unwrap_or_else(|p| p.into_inner())`
+//! — counter/queue state stays consistent because every critical
+//! section leaves the lanes structurally valid before it can panic.
+
+use crate::job::{DatasetId, Job, Priority};
+use plf_phylo::metrics::ServiceCounters;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry after the hinted backoff.
+    QueueFull {
+        /// Estimated time for enough backlog to drain.
+        retry_after: Duration,
+    },
+    /// The service is shutting down and accepts no new work.
+    Closed,
+    /// The spec referenced a dataset handle never registered with this
+    /// service instance.
+    UnknownDataset(DatasetId),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { retry_after } => write!(
+                f,
+                "queue full; retry after {:.1} ms",
+                retry_after.as_secs_f64() * 1e3
+            ),
+            SubmitError::Closed => write!(f, "service is shut down"),
+            SubmitError::UnknownDataset(id) => {
+                write!(f, "dataset handle {} was never registered", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Result of a blocking pop. Jobs are boxed while queued — a `Job`
+/// carries a whole tree plus model, and boxing keeps the queue's move
+/// and rejection paths pointer-sized.
+#[derive(Debug)]
+pub(crate) enum PopResult {
+    /// A job was available (high lane first).
+    Job(Box<Job>),
+    /// Timed out with the queue still open.
+    Empty,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct Lanes {
+    high: VecDeque<Box<Job>>,
+    normal: VecDeque<Box<Job>>,
+    closed: bool,
+}
+
+impl Lanes {
+    fn depth(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    fn pop_front(&mut self) -> Option<Box<Job>> {
+        self.high.pop_front().or_else(|| self.normal.pop_front())
+    }
+}
+
+/// The bounded, priority-laned submission queue.
+#[derive(Debug)]
+pub(crate) struct BoundedQueue {
+    state: Mutex<Lanes>,
+    ready: Condvar,
+    capacity: usize,
+    drain_hint: Duration,
+    counters: Arc<ServiceCounters>,
+}
+
+impl BoundedQueue {
+    pub(crate) fn new(
+        capacity: usize,
+        drain_hint: Duration,
+        counters: Arc<ServiceCounters>,
+    ) -> BoundedQueue {
+        BoundedQueue {
+            state: Mutex::new(Lanes::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            drain_hint,
+            counters,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Lanes> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admission capacity (jobs).
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current backlog.
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().depth()
+    }
+
+    /// Admit `job` or reject it without blocking. On rejection the job
+    /// is handed back so the caller can surface or retry it.
+    pub(crate) fn push(&self, job: Box<Job>) -> Result<(), (Box<Job>, SubmitError)> {
+        let mut lanes = self.lock();
+        if lanes.closed {
+            return Err((job, SubmitError::Closed));
+        }
+        let depth = lanes.depth();
+        if depth >= self.capacity {
+            let backlog = u32::try_from(depth).unwrap_or(u32::MAX);
+            let retry_after = self
+                .drain_hint
+                .saturating_mul(backlog)
+                .min(Duration::from_secs(1))
+                .max(Duration::from_micros(100));
+            return Err((job, SubmitError::QueueFull { retry_after }));
+        }
+        match job.priority {
+            Priority::High => lanes.high.push_back(job),
+            Priority::Normal => lanes.normal.push_back(job),
+        }
+        drop(lanes);
+        self.counters.record_enqueued();
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block up to `timeout` for the next job (high lane first).
+    pub(crate) fn pop_wait(&self, timeout: Duration) -> PopResult {
+        let mut lanes = self.lock();
+        loop {
+            if let Some(job) = lanes.pop_front() {
+                drop(lanes);
+                self.counters.record_dequeued(1);
+                return PopResult::Job(job);
+            }
+            if lanes.closed {
+                return PopResult::Closed;
+            }
+            let (guard, result) = self
+                .ready
+                .wait_timeout(lanes, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+            lanes = guard;
+            if result.timed_out() && lanes.depth() == 0 {
+                return if lanes.closed {
+                    PopResult::Closed
+                } else {
+                    PopResult::Empty
+                };
+            }
+        }
+    }
+
+    /// Drain up to `max` jobs without blocking, high lane first.
+    pub(crate) fn drain(&self, max: usize) -> Vec<Job> {
+        let mut lanes = self.lock();
+        let take = max.min(lanes.depth());
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            if let Some(job) = lanes.pop_front() {
+                out.push(*job);
+            }
+        }
+        drop(lanes);
+        if !out.is_empty() {
+            self.counters.record_dequeued(out.len() as u64);
+        }
+        out
+    }
+
+    /// Stop admitting; wake all waiters so drains can finish.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobCell, JobId, JobSpec};
+    use plf_phylo::model::SiteModel;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Instant;
+
+    fn test_job(id: u64, priority: Priority) -> Box<Job> {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 8), 7);
+        let spec = JobSpec::new("t", DatasetId(0), ds.tree, SiteModel::jc69())
+            .with_priority(priority);
+        let aln = ds.data;
+        Box::new(Job {
+            id: JobId(id),
+            tenant: spec.tenant,
+            priority: spec.priority,
+            dataset: spec.dataset,
+            data: Arc::new(aln),
+            tree: spec.tree,
+            model: spec.model,
+            submitted_at: Instant::now(),
+            deadline: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            cell: JobCell::new(),
+        })
+    }
+
+    fn queue(capacity: usize) -> BoundedQueue {
+        BoundedQueue::new(
+            capacity,
+            Duration::from_micros(500),
+            ServiceCounters::new(),
+        )
+    }
+
+    #[test]
+    fn rejects_job_k_plus_1_with_positive_retry_after() {
+        let q = queue(3);
+        for i in 0..3 {
+            assert!(q.push(test_job(i, Priority::Normal)).is_ok());
+        }
+        let (_job, err) = q.push(test_job(3, Priority::Normal)).expect_err("full");
+        match err {
+            SubmitError::QueueFull { retry_after } => {
+                assert!(retry_after > Duration::ZERO);
+                assert!(retry_after <= Duration::from_secs(1));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn high_lane_drains_before_normal() {
+        let q = queue(8);
+        q.push(test_job(0, Priority::Normal)).expect("push");
+        q.push(test_job(1, Priority::High)).expect("push");
+        q.push(test_job(2, Priority::Normal)).expect("push");
+        let order: Vec<u64> = q.drain(8).into_iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn pop_wait_times_out_empty_and_sees_close() {
+        let q = queue(2);
+        assert!(matches!(
+            q.pop_wait(Duration::from_millis(2)),
+            PopResult::Empty
+        ));
+        q.push(test_job(0, Priority::Normal)).expect("push");
+        q.close();
+        // Closed queues still drain their backlog...
+        assert!(matches!(
+            q.pop_wait(Duration::from_millis(2)),
+            PopResult::Job(_)
+        ));
+        // ...then report Closed, and reject new work.
+        assert!(matches!(
+            q.pop_wait(Duration::from_millis(2)),
+            PopResult::Closed
+        ));
+        let (_job, err) = q.push(test_job(1, Priority::Normal)).expect_err("closed");
+        assert_eq!(err, SubmitError::Closed);
+    }
+
+    #[test]
+    fn counters_track_depth() {
+        let counters = ServiceCounters::new();
+        let q = BoundedQueue::new(4, Duration::from_micros(500), Arc::clone(&counters));
+        q.push(test_job(0, Priority::Normal)).expect("push");
+        q.push(test_job(1, Priority::Normal)).expect("push");
+        assert_eq!(counters.queue_depth(), 2);
+        let _ = q.drain(1);
+        assert_eq!(counters.queue_depth(), 1);
+        assert_eq!(counters.snapshot().queue_depth_peak, 2);
+    }
+}

@@ -1,0 +1,308 @@
+//! The batching scheduler: coalesces compatible queued jobs into fused
+//! batches and feeds them to the dispatcher.
+//!
+//! Jobs are compatible when they share a [`BatchKey`] — the same
+//! registered alignment and model rate count, hence the same CLV
+//! stride and device work-unit geometry. A fused batch is capped two
+//! ways: by job count (`max_jobs`, the occupancy denominator) and by
+//! fused work units (`max_units`, where one unit is
+//! `PlfBackend::preferred_batch_patterns` patterns on the pool's
+//! narrowest backend — LS-sized chunks for the Cell, grid-sized slabs
+//! for the GPU, per-thread chunks for the multicore pools).
+//!
+//! **Linger.** After the first job of a batching round arrives, the
+//! scheduler waits up to `linger` for batchmates before dispatching.
+//! One-at-a-time closed-loop submission therefore pays the full linger
+//! per job, while concurrent submission amortizes it across the whole
+//! batch — that amortization (plus dispatch-round-trip sharing) is
+//! exactly what the `service` section of `BENCH_plf.json` measures as
+//! batched-over-serial throughput. A full batch dispatches immediately
+//! without waiting out the window.
+//!
+//! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
+
+use crate::dispatch::WorkerPool;
+use crate::job::{BatchKey, Job};
+use crate::queue::{BoundedQueue, PopResult};
+use plf_phylo::metrics::ServiceCounters;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batch-formation knobs.
+#[derive(Debug, Clone)]
+pub struct BatchPolicy {
+    /// Maximum jobs fused into one batch (occupancy denominator).
+    pub max_jobs: usize,
+    /// Maximum fused work units per batch (unit = the worker pool's
+    /// preferred pattern chunk).
+    pub max_units: usize,
+    /// How long to hold an underfull batch open for batchmates.
+    pub linger: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            max_jobs: 32,
+            max_units: 64,
+            linger: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One fused batch of compatible jobs, ready for dispatch.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    pub jobs: Vec<Job>,
+    pub units: usize,
+}
+
+/// Work units one job contributes: its pattern count split into
+/// `unit_patterns`-sized device chunks, at least one.
+pub(crate) fn job_units(patterns: usize, unit_patterns: usize) -> usize {
+    patterns.div_ceil(unit_patterns.max(1)).max(1)
+}
+
+/// Group `jobs` by compatibility key and cut batches at the policy
+/// caps, preserving arrival order within each key. Pure function —
+/// unit-tested without threads.
+pub(crate) fn form_batches(
+    jobs: Vec<Job>,
+    policy: &BatchPolicy,
+    unit_patterns: usize,
+) -> Vec<Batch> {
+    let max_jobs = policy.max_jobs.max(1);
+    let max_units = policy.max_units.max(1);
+    let mut out: Vec<Batch> = Vec::new();
+    let mut open: HashMap<BatchKey, usize> = HashMap::new();
+    for job in jobs {
+        let key = job.batch_key();
+        let units = job_units(job.data.n_patterns(), unit_patterns).min(max_units);
+        let target = open.get(&key).copied().filter(|&i| {
+            let b = &out[i];
+            b.jobs.len() < max_jobs && b.units + units <= max_units
+        });
+        match target {
+            Some(i) => {
+                out[i].units += units;
+                out[i].jobs.push(job);
+            }
+            None => {
+                open.insert(key, out.len());
+                out.push(Batch {
+                    jobs: vec![job],
+                    units,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pause gate: tests hold the scheduler closed so queued jobs stay
+/// visible to admission-control assertions, then release it.
+#[derive(Debug)]
+pub(crate) struct Gate {
+    open: Mutex<bool>,
+    changed: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new(open: bool) -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(open),
+            changed: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn open(&self) {
+        let mut open = self.open.lock().unwrap_or_else(|p| p.into_inner());
+        *open = true;
+        self.changed.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap_or_else(|p| p.into_inner());
+        while !*open {
+            open = self.changed.wait(open).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// How long a pop blocks before re-checking for shutdown.
+const POP_TIMEOUT: Duration = Duration::from_millis(50);
+/// Nap length while lingering for batchmates.
+const LINGER_NAP: Duration = Duration::from_micros(200);
+
+/// The scheduler loop: runs on its own thread, owns the worker pool,
+/// and drains the queue into fused batches until the queue closes.
+/// On close it flushes the backlog (no linger) and shuts the pool
+/// down, so every admitted job still resolves.
+pub(crate) fn run_scheduler(
+    queue: Arc<BoundedQueue>,
+    pool: WorkerPool,
+    policy: BatchPolicy,
+    gate: Arc<Gate>,
+    counters: Arc<ServiceCounters>,
+) {
+    let unit_patterns = pool.unit_patterns();
+    loop {
+        gate.wait_open();
+        let first = match queue.pop_wait(POP_TIMEOUT) {
+            PopResult::Job(job) => *job,
+            PopResult::Empty => continue,
+            PopResult::Closed => break,
+        };
+        let mut jobs = vec![first];
+        let linger_until = Instant::now() + policy.linger;
+        loop {
+            jobs.extend(queue.drain(policy.max_jobs.saturating_sub(jobs.len())));
+            if jobs.len() >= policy.max_jobs {
+                break;
+            }
+            let now = Instant::now();
+            if now >= linger_until {
+                break;
+            }
+            std::thread::sleep(LINGER_NAP.min(linger_until - now));
+        }
+        dispatch_all(jobs, &policy, unit_patterns, &pool, &counters);
+    }
+    // Shutdown flush: everything still queued gets dispatched so the
+    // pool resolves it (possibly as cancelled/deadline-missed).
+    loop {
+        let backlog = queue.drain(usize::MAX);
+        if backlog.is_empty() {
+            break;
+        }
+        dispatch_all(backlog, &policy, unit_patterns, &pool, &counters);
+    }
+    pool.shutdown();
+}
+
+fn dispatch_all(
+    jobs: Vec<Job>,
+    policy: &BatchPolicy,
+    unit_patterns: usize,
+    pool: &WorkerPool,
+    counters: &ServiceCounters,
+) {
+    for batch in form_batches(jobs, policy, unit_patterns) {
+        counters.record_batch(batch.jobs.len() as u64, policy.max_jobs.max(1) as u64);
+        pool.dispatch(batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{DatasetId, JobCell, JobId, Priority};
+    use plf_phylo::model::SiteModel;
+    use std::sync::atomic::AtomicBool;
+
+    fn job_with(id: u64, dataset: u64, n_rates: usize, patterns: usize) -> Job {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, patterns), 11);
+        let model = SiteModel::new(plf_phylo::model::GtrParams::jc69(), 0.5, n_rates)
+            .expect("valid model");
+        Job {
+            id: JobId(id),
+            tenant: "t".into(),
+            priority: Priority::Normal,
+            dataset: DatasetId(dataset),
+            data: Arc::new(ds.data),
+            tree: ds.tree,
+            model,
+            submitted_at: Instant::now(),
+            deadline: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            cell: JobCell::new(),
+        }
+    }
+
+    #[test]
+    fn units_round_up_and_never_zero() {
+        assert_eq!(job_units(1000, 512), 2);
+        assert_eq!(job_units(512, 512), 1);
+        assert_eq!(job_units(1, 512), 1);
+        assert_eq!(job_units(0, 512), 1);
+        // Degenerate unit size clamps to one pattern per unit.
+        assert_eq!(job_units(100, 0), 100);
+    }
+
+    #[test]
+    fn incompatible_jobs_never_fuse() {
+        let jobs = vec![
+            job_with(0, 0, 4, 64),
+            job_with(1, 1, 4, 64), // different dataset
+            job_with(2, 0, 2, 64), // different rate count
+            job_with(3, 0, 4, 64), // fuses with job 0
+        ];
+        let batches = form_batches(jobs, &BatchPolicy::default(), 512);
+        assert_eq!(batches.len(), 3);
+        let ids: Vec<Vec<u64>> = batches
+            .iter()
+            .map(|b| b.jobs.iter().map(|j| j.id.0).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![0, 3], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn max_jobs_cap_cuts_batches() {
+        let jobs: Vec<Job> = (0..5).map(|i| job_with(i, 0, 4, 64)).collect();
+        let policy = BatchPolicy {
+            max_jobs: 2,
+            ..BatchPolicy::default()
+        };
+        let batches = form_batches(jobs, &policy, 512);
+        assert_eq!(
+            batches.iter().map(|b| b.jobs.len()).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+    }
+
+    #[test]
+    fn max_units_cap_cuts_batches_and_accounts_units() {
+        // 64 patterns at 32-pattern units = 2 units per job.
+        let jobs: Vec<Job> = (0..3).map(|i| job_with(i, 0, 4, 64)).collect();
+        let policy = BatchPolicy {
+            max_jobs: 32,
+            max_units: 4,
+            ..BatchPolicy::default()
+        };
+        let batches = form_batches(jobs, &policy, 32);
+        assert_eq!(
+            batches.iter().map(|b| (b.jobs.len(), b.units)).collect::<Vec<_>>(),
+            vec![(2, 4), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn oversized_job_still_gets_a_batch() {
+        // A single job larger than max_units must not be starved.
+        let jobs = vec![job_with(0, 0, 4, 64)];
+        let policy = BatchPolicy {
+            max_units: 1,
+            ..BatchPolicy::default()
+        };
+        let batches = form_batches(jobs, &policy, 16);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].units, 1); // clamped to the cap
+    }
+
+    #[test]
+    fn gate_blocks_until_opened() {
+        let gate = Gate::new(false);
+        let opened = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait_open();
+                true
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!opened.is_finished());
+        gate.open();
+        assert!(opened.join().expect("join"));
+    }
+}

@@ -1,0 +1,450 @@
+//! The service facade: dataset registry, admission, and lifecycle.
+//!
+//! ```
+//! use plfd::{JobSpec, PlfService, ServiceConfig};
+//! use plf_phylo::kernels::{PlfBackend, ScalarBackend};
+//!
+//! let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(8, 64), 42);
+//! let model = plf_seqgen::default_model();
+//! let backends: Vec<Box<dyn PlfBackend>> = vec![Box::new(ScalarBackend)];
+//! let service = PlfService::new(ServiceConfig::default(), backends);
+//! let dataset = service.register_dataset(ds.data);
+//! let ticket = service
+//!     .submit(JobSpec::new("tenant-a", dataset, ds.tree, model))
+//!     .expect("admitted");
+//! let lnl = ticket.wait().ln_likelihood().expect("completed");
+//! assert!(lnl < 0.0);
+//! service.shutdown();
+//! ```
+
+use crate::dispatch::WorkerPool;
+use crate::job::{DatasetId, Job, JobCell, JobId, JobSpec, JobTicket};
+use crate::queue::{BoundedQueue, SubmitError};
+use crate::scheduler::{run_scheduler, BatchPolicy, Gate};
+use plf_phylo::alignment::PatternAlignment;
+use plf_phylo::kernels::{PlfBackend, ScalarBackend};
+use plf_phylo::metrics::{ServiceCounters, ServiceSnapshot};
+use plf_phylo::resilience::ResilientBackend;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission queue capacity (jobs); submissions past this are
+    /// rejected with a retry-after hint.
+    pub queue_capacity: usize,
+    /// Batch formation policy.
+    pub batch: BatchPolicy,
+    /// Estimated per-queued-job drain time used to size retry-after
+    /// hints (hint = backlog × this, capped at 1 s).
+    pub drain_hint: Duration,
+    /// Start with the scheduler gated shut: admitted jobs stay queued
+    /// until [`PlfService::release`] — used by admission-control tests
+    /// to observe a full queue deterministically.
+    pub hold: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: 256,
+            batch: BatchPolicy::default(),
+            drain_hint: Duration::from_micros(500),
+            hold: false,
+        }
+    }
+}
+
+/// A running PLF evaluation service; see the crate docs for the
+/// queue → batcher → dispatcher pipeline it fronts.
+#[derive(Debug)]
+pub struct PlfService {
+    queue: Arc<BoundedQueue>,
+    counters: Arc<ServiceCounters>,
+    registry: RwLock<HashMap<u64, Arc<PatternAlignment>>>,
+    gate: Arc<Gate>,
+    scheduler: Option<JoinHandle<()>>,
+    n_workers: usize,
+    unit_patterns: usize,
+    next_job: AtomicU64,
+    next_dataset: AtomicU64,
+}
+
+impl PlfService {
+    /// Start a service evaluating on `backends`, one worker thread per
+    /// backend. `backends` must be non-empty.
+    ///
+    /// Backends are used as given — callers wanting retry/degrade
+    /// semantics should pass resilient-wrapped backends or use
+    /// [`PlfService::resilient`].
+    ///
+    /// # Panics
+    /// Panics if `backends` is empty.
+    pub fn new(config: ServiceConfig, backends: Vec<Box<dyn PlfBackend>>) -> PlfService {
+        assert!(
+            !backends.is_empty(),
+            "PlfService needs at least one backend"
+        );
+        let counters = ServiceCounters::new();
+        let queue = Arc::new(BoundedQueue::new(
+            config.queue_capacity,
+            config.drain_hint,
+            Arc::clone(&counters),
+        ));
+        let pool = WorkerPool::new(backends, Arc::clone(&counters));
+        let n_workers = pool.n_workers();
+        let unit_patterns = pool.unit_patterns();
+        let gate = Gate::new(!config.hold);
+        let scheduler = {
+            let queue = Arc::clone(&queue);
+            let gate = Arc::clone(&gate);
+            let counters = Arc::clone(&counters);
+            let policy = config.batch.clone();
+            std::thread::spawn(move || run_scheduler(queue, pool, policy, gate, counters))
+        };
+        PlfService {
+            queue,
+            counters,
+            registry: RwLock::new(HashMap::new()),
+            gate,
+            scheduler: Some(scheduler),
+            n_workers,
+            unit_patterns,
+            next_job: AtomicU64::new(0),
+            next_dataset: AtomicU64::new(0),
+        }
+    }
+
+    /// As [`PlfService::new`], but every backend is wrapped in the
+    /// retry/degrade [`ResilientBackend`] with a scalar-reference
+    /// fallback tier, so a faulting device degrades instead of failing
+    /// its jobs.
+    pub fn resilient(config: ServiceConfig, backends: Vec<Box<dyn PlfBackend>>) -> PlfService {
+        let wrapped = backends
+            .into_iter()
+            .map(|b| {
+                Box::new(ResilientBackend::new(b).with_fallback(Box::new(ScalarBackend)))
+                    as Box<dyn PlfBackend>
+            })
+            .collect();
+        PlfService::new(config, wrapped)
+    }
+
+    /// Register an alignment and get the handle jobs reference it by.
+    pub fn register_dataset(&self, data: PatternAlignment) -> DatasetId {
+        self.register_dataset_arc(Arc::new(data))
+    }
+
+    /// Register an already-shared alignment.
+    pub fn register_dataset_arc(&self, data: Arc<PatternAlignment>) -> DatasetId {
+        let id = self.next_dataset.fetch_add(1, Ordering::Relaxed);
+        self.registry
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, data);
+        DatasetId(id)
+    }
+
+    /// The alignment behind a handle, if registered.
+    pub fn dataset(&self, id: DatasetId) -> Option<Arc<PatternAlignment>> {
+        self.registry
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&id.0)
+            .cloned()
+    }
+
+    /// Submit one job. Returns a ticket immediately on admission, or a
+    /// [`SubmitError`] — `QueueFull` carries the retry-after hint of
+    /// the backpressure contract. Every submission attempt (either
+    /// way) is counted in the service metrics under the spec's tenant.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, SubmitError> {
+        let Some(data) = self.dataset(spec.dataset) else {
+            return Err(SubmitError::UnknownDataset(spec.dataset));
+        };
+        self.counters.record_submitted(&spec.tenant);
+        let id = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let cell = JobCell::new();
+        let submitted_at = Instant::now();
+        let ticket = JobTicket::new(
+            id,
+            spec.tenant.clone(),
+            Arc::clone(&cancelled),
+            Arc::clone(&cell),
+        );
+        let job = Box::new(Job {
+            id,
+            tenant: spec.tenant,
+            priority: spec.priority,
+            dataset: spec.dataset,
+            data,
+            tree: spec.tree,
+            model: spec.model,
+            submitted_at,
+            deadline: spec.deadline.map(|d| submitted_at + d),
+            cancelled,
+            cell,
+        });
+        match self.queue.push(job) {
+            Ok(()) => Ok(ticket),
+            Err((job, err)) => {
+                self.counters.record_rejected(&job.tenant);
+                Err(err)
+            }
+        }
+    }
+
+    /// Open the scheduler gate (no-op unless constructed with
+    /// `hold: true`).
+    pub fn release(&self) {
+        self.gate.open();
+    }
+
+    /// The shared service counter block.
+    pub fn counters(&self) -> Arc<ServiceCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Snapshot of the service metrics.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Live queue backlog.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Admission queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Backend worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// The fused work-unit size (patterns) batches are measured in.
+    pub fn unit_patterns(&self) -> usize {
+        self.unit_patterns
+    }
+
+    /// Stop admitting, flush the backlog through the workers, and join
+    /// every thread. Every admitted job resolves before this returns.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        self.gate.open();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PlfService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobOutcome, Priority};
+    use plf_phylo::likelihood::TreeLikelihood;
+
+    fn scalar_backends(n: usize) -> Vec<Box<dyn PlfBackend>> {
+        (0..n)
+            .map(|_| Box::new(ScalarBackend) as Box<dyn PlfBackend>)
+            .collect()
+    }
+
+    #[test]
+    fn completed_jobs_match_serial_scalar_evaluation() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(8, 96), 5);
+        let model = plf_seqgen::default_model();
+        let service = PlfService::new(ServiceConfig::default(), scalar_backends(2));
+        let dataset = service.register_dataset(ds.data.clone());
+        let tickets: Vec<JobTicket> = (0..8)
+            .map(|i| {
+                service
+                    .submit(
+                        JobSpec::new(format!("tenant-{}", i % 2), dataset, ds.tree.clone(), model.clone()),
+                    )
+                    .expect("admitted")
+            })
+            .collect();
+        let mut serial = TreeLikelihood::new(&ds.tree, &ds.data, model).expect("workspace");
+        let mut reference = ScalarBackend;
+        let expected = serial
+            .log_likelihood(&ds.tree, &mut reference)
+            .expect("serial eval");
+        for t in tickets {
+            let outcome = t.wait();
+            let lnl = outcome.ln_likelihood().expect("completed");
+            assert_eq!(lnl.to_bits(), expected.to_bits(), "bit-identical to serial");
+        }
+        let snap = service.snapshot();
+        assert_eq!(snap.completed, 8);
+        assert_eq!(snap.resolved(), 8);
+        assert!(snap.batches >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn held_service_keeps_jobs_queued_until_release() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 16), 9);
+        let model = plf_seqgen::default_model();
+        let config = ServiceConfig {
+            queue_capacity: 4,
+            hold: true,
+            ..ServiceConfig::default()
+        };
+        let service = PlfService::new(config, scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let tickets: Vec<JobTicket> = (0..4)
+            .map(|_| {
+                service
+                    .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        assert_eq!(service.queue_depth(), 4);
+        // Job K+1 rejected with a retry-after while held at capacity.
+        let err = service
+            .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
+            .expect_err("over capacity");
+        assert!(matches!(err, SubmitError::QueueFull { retry_after } if retry_after > Duration::ZERO));
+        service.release();
+        for t in tickets {
+            assert!(t.wait().is_completed());
+        }
+        let snap = service.snapshot();
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queue_depth_peak, 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancellation_before_release_resolves_cancelled() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 16), 9);
+        let model = plf_seqgen::default_model();
+        let config = ServiceConfig {
+            hold: true,
+            ..ServiceConfig::default()
+        };
+        let service = PlfService::new(config, scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let ticket = service
+            .submit(JobSpec::new("t", dataset, ds.tree.clone(), model))
+            .expect("admitted");
+        ticket.cancel();
+        service.release();
+        assert_eq!(ticket.wait(), JobOutcome::Cancelled);
+        assert_eq!(service.snapshot().cancelled, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_resolves_deadline_missed() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 16), 9);
+        let model = plf_seqgen::default_model();
+        let config = ServiceConfig {
+            hold: true,
+            ..ServiceConfig::default()
+        };
+        let service = PlfService::new(config, scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let ticket = service
+            .submit(
+                JobSpec::new("t", dataset, ds.tree.clone(), model)
+                    .with_deadline(Duration::from_millis(1)),
+            )
+            .expect("admitted");
+        std::thread::sleep(Duration::from_millis(10));
+        service.release();
+        assert_eq!(ticket.wait(), JobOutcome::DeadlineMissed);
+        assert_eq!(service.snapshot().deadline_missed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn high_priority_starts_before_normal_backlog() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 16), 9);
+        let model = plf_seqgen::default_model();
+        let config = ServiceConfig {
+            hold: true,
+            batch: BatchPolicy {
+                max_jobs: 1, // one job per batch => strict drain order
+                ..BatchPolicy::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let service = PlfService::new(config, scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let normal = service
+            .submit(JobSpec::new("n", dataset, ds.tree.clone(), model.clone()))
+            .expect("admitted");
+        let high = service
+            .submit(
+                JobSpec::new("h", dataset, ds.tree.clone(), model.clone())
+                    .with_priority(Priority::High),
+            )
+            .expect("admitted");
+        service.release();
+        let (h, n) = (high.wait(), normal.wait());
+        let wait_of = |o: &JobOutcome| match o {
+            JobOutcome::Completed { wait, .. } => *wait,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        // The high job entered the queue second but started first.
+        assert!(wait_of(&h) <= wait_of(&n));
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_dataset_is_rejected() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 16), 9);
+        let model = plf_seqgen::default_model();
+        let service = PlfService::new(ServiceConfig::default(), scalar_backends(1));
+        let err = service
+            .submit(JobSpec::new("t", DatasetId(99), ds.tree.clone(), model))
+            .expect_err("unregistered");
+        assert_eq!(err, SubmitError::UnknownDataset(DatasetId(99)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_resolves_queued_backlog() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 16), 9);
+        let model = plf_seqgen::default_model();
+        let config = ServiceConfig {
+            hold: true,
+            ..ServiceConfig::default()
+        };
+        let service = PlfService::new(config, scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let tickets: Vec<JobTicket> = (0..6)
+            .map(|_| {
+                service
+                    .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        // Shutdown with the gate still held: the flush path must still
+        // resolve every admitted job.
+        service.shutdown();
+        for t in tickets {
+            assert!(t.try_wait().is_some(), "job left unresolved by shutdown");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 # Tier-1 verification gate plus static-analysis, lint, and hygiene
 # checks.
 #
-#   scripts/verify.sh [--deep]
+#   scripts/verify.sh [--deep] [--smoke]
 #
 # Runs, in order:
 #   1. repo hygiene: no build artifacts (target/) may be tracked by git;
@@ -17,7 +17,13 @@
 #   5. clippy with -D warnings on every first-party crate (the
 #      [workspace.lints] wall turns each listed warn into an error);
 #   6. a smoke run of the perf_report binary, proving the observability
-#      pipeline produces a BENCH_plf report end to end.
+#      pipeline produces a BENCH_plf report end to end (schema v2, with
+#      the plfd service section, self-validated by the binary).
+#
+# With --smoke, the perf_report step writes its report to
+# ./BENCH_plf.json (smoke-sized: one small data set, 64 service jobs)
+# instead of a discarded temp file — CI uploads that file as the
+# service-smoke artifact.
 #
 # With --deep, additionally runs the Miri soundness pass over the raw
 # allocator (`cargo +nightly miri test -p plf-phylo clv`). Miri needs
@@ -28,16 +34,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DEEP=0
+SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --deep) DEEP=1 ;;
-        *) echo "usage: scripts/verify.sh [--deep]" >&2; exit 2 ;;
+        --smoke) SMOKE=1 ;;
+        *) echo "usage: scripts/verify.sh [--deep] [--smoke]" >&2; exit 2 ;;
     esac
 done
 
 FIRST_PARTY=(
     -p plf-phylo -p plf-seqgen -p plf-mcmc -p plf-simcore
-    -p plf-multicore -p plf-cellbe -p plf-gpu -p plf-bench
+    -p plf-multicore -p plf-cellbe -p plf-gpu -p plfd -p plf-bench
     -p plf-lint -p plf-repro
 )
 
@@ -65,10 +73,16 @@ echo "==> clippy (all first-party crates), -D warnings"
 cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
 
 echo "==> perf_report --smoke"
-mkdir -p results
-cargo run --release -q -p plf-bench --bin perf_report -- \
-    --smoke --out results/BENCH_plf.smoke.tmp
-rm -f results/BENCH_plf.smoke.tmp
+if [ "$SMOKE" = 1 ]; then
+    # Keep the smoke report: CI's service-smoke job uploads it.
+    cargo run --release -q -p plf-bench --bin perf_report -- \
+        --smoke --out BENCH_plf.json
+else
+    mkdir -p results
+    cargo run --release -q -p plf-bench --bin perf_report -- \
+        --smoke --out results/BENCH_plf.smoke.tmp
+    rm -f results/BENCH_plf.smoke.tmp
+fi
 
 if [ "$DEEP" = 1 ]; then
     echo "==> deep: miri soundness pass (AlignedBuf / clv)"

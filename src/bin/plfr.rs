@@ -5,12 +5,19 @@
 //! plfr likelihood --alignment data.fasta [--tree tree.nwk] [--backend rayon] [--shape 0.5] [--pinvar 0.1]
 //! plfr mcmc       --alignment data.fasta [--tree tree.nwk] --generations 1000 [--backend qs20]
 //!                 [--incremental] [--trace PREFIX] [--sample-every 100] [--seed 42]
+//! plfr serve      --alignment data.fasta [--backend rayon] [--workers 4] [--queue-capacity 256]
+//! plfr loadgen    --jobs 256 [--taxa 10] [--patterns 1000] [--backend rayon] [--workers 4] [--json]
 //! plfr backends
 //! ```
 //!
 //! Alignment files are FASTA (`.fa`, `.fasta`) or PHYLIP (anything
 //! else); trees are Newick. Without `--tree`, a random starting tree
 //! over the alignment's taxa is generated from the seed.
+//!
+//! `serve` runs the `plfd` batched evaluation service over stdin/stdout
+//! (one request per line, see `plfr serve --help`); `loadgen` drives an
+//! in-process service with a deterministic seeded job stream and checks
+//! every completed result bit-for-bit against the scalar reference.
 
 use plf_repro::mcmc::consensus::consensus_from_newicks;
 use plf_repro::mcmc::{p_file, summarize, t_file, Chain, ChainOptions, Mc3, Mc3Options, Priors};
@@ -21,11 +28,16 @@ use plf_repro::phylo::likelihood::TreeLikelihood;
 use plf_repro::phylo::model::{GtrParams, SiteModel};
 use plf_repro::phylo::resilience::{FaultInjector, ResilientBackend};
 use plf_repro::phylo::tree::Tree;
+use plf_repro::plfd::{
+    JobOutcome, JobSpec, LoadMode, LoadgenConfig, PlfService, Priority, ServiceConfig,
+    SubmitError,
+};
 use plf_repro::seqgen;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Minimal `--key value` / `--flag` argument map.
 #[derive(Debug, Default)]
@@ -374,6 +386,304 @@ fn cmd_consensus(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared service-shaping flags for `serve` and `loadgen`.
+fn service_config(args: &Args) -> Result<ServiceConfig, String> {
+    let mut cfg = ServiceConfig::default();
+    cfg.queue_capacity = args.parse_num("queue-capacity", cfg.queue_capacity)?;
+    cfg.batch.max_jobs = args.parse_num("batch-jobs", cfg.batch.max_jobs)?;
+    cfg.batch.max_units = args.parse_num("batch-units", cfg.batch.max_units)?;
+    let linger_ms: f64 =
+        args.parse_num("linger-ms", cfg.batch.linger.as_secs_f64() * 1e3)?;
+    if !(linger_ms.is_finite() && linger_ms >= 0.0) {
+        return Err(format!("bad value for --linger-ms: {linger_ms}"));
+    }
+    cfg.batch.linger = Duration::from_secs_f64(linger_ms / 1e3);
+    Ok(cfg)
+}
+
+/// One worker backend per `--workers`, cycling through the comma list
+/// in `--backend`; honors `PLF_FAULT_*` via [`make_backend`].
+fn service_backends(args: &Args) -> Result<Vec<Box<dyn PlfBackend>>, String> {
+    let spec = args.get("backend").unwrap_or("rayon");
+    let names: Vec<&str> = spec.split(',').filter(|s| !s.is_empty()).collect();
+    if names.is_empty() {
+        return Err("empty --backend list".into());
+    }
+    let workers: usize = args.parse_num("workers", names.len().max(4))?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    (0..workers)
+        .map(|i| make_backend(names[i % names.len()]))
+        .collect()
+}
+
+const SERVE_USAGE: &str = "plfr serve — run the plfd batched evaluation service over stdio
+
+USAGE:
+  plfr serve --alignment FILE [--backend NAME[,NAME...]] [--workers N]
+             [--queue-capacity K] [--batch-jobs N] [--batch-units N] [--linger-ms F]
+             [--shape A] [--pinvar P] [--rates K]
+
+PROTOCOL (one request per input line):
+  [tenant=NAME] [priority=high|normal] [deadline_ms=N] NEWICK
+responses on stdout, in submission order:
+  ok id=N lnl=L wait_ms=W service_ms=S backend=B
+  reject id=N retry_after_ms=M       (queue full; resubmit after M)
+  fail id=N error=...                (evaluation failed)
+  cancelled id=N | deadline id=N
+  error id=N msg=...                 (malformed request line)
+A service-metrics JSON snapshot is printed to stderr at EOF.";
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.flag("help") {
+        println!("{SERVE_USAGE}");
+        return Ok(());
+    }
+    let aln = read_alignment(args.required("alignment")?)?;
+    let data = aln.compress();
+    let model = build_model(args)?;
+    let config = service_config(args)?;
+    let service = PlfService::new(config, service_backends(args)?);
+    let dataset = service.register_dataset(data);
+    eprintln!(
+        "plfd: serving on stdio — {} worker(s), queue capacity {}, unit {} patterns",
+        service.n_workers(),
+        service.queue_capacity(),
+        service.unit_patterns()
+    );
+
+    let stdin = std::io::stdin();
+    let mut pending: std::collections::VecDeque<(u64, plf_repro::plfd::JobTicket)> =
+        std::collections::VecDeque::new();
+    let print_outcome = |id: u64, outcome: JobOutcome| match outcome {
+        JobOutcome::Completed {
+            ln_likelihood,
+            wait,
+            service,
+            backend,
+        } => println!(
+            "ok id={id} lnl={ln_likelihood:.6} wait_ms={:.3} service_ms={:.3} backend={backend}",
+            wait.as_secs_f64() * 1e3,
+            service.as_secs_f64() * 1e3
+        ),
+        JobOutcome::Failed { error } => println!("fail id={id} error={error}"),
+        JobOutcome::Cancelled => println!("cancelled id={id}"),
+        JobOutcome::DeadlineMissed => println!("deadline id={id}"),
+    };
+    let mut next_id: u64 = 0;
+    for line in std::io::BufRead::lines(stdin.lock()) {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        next_id += 1;
+        let id = next_id;
+        match parse_serve_request(line, dataset, &model) {
+            Err(msg) => println!("error id={id} msg={msg}"),
+            Ok(spec) => match service.submit(spec) {
+                Ok(ticket) => pending.push_back((id, ticket)),
+                Err(SubmitError::QueueFull { retry_after }) => println!(
+                    "reject id={id} retry_after_ms={:.3}",
+                    retry_after.as_secs_f64() * 1e3
+                ),
+                Err(err) => println!("error id={id} msg={err}"),
+            },
+        }
+        // Flush responses that are already resolved, preserving order.
+        while let Some((fid, ticket)) = pending.front() {
+            match ticket.try_wait() {
+                Some(outcome) => {
+                    print_outcome(*fid, outcome);
+                    pending.pop_front();
+                }
+                None => break,
+            }
+        }
+    }
+    for (id, ticket) in pending {
+        print_outcome(id, ticket.wait());
+    }
+    let snapshot = service.snapshot();
+    service.shutdown();
+    eprintln!(
+        "{}",
+        serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+/// Parse one `serve` request line: `key=value` tokens followed by the
+/// Newick tree (the first token starting with `(`).
+fn parse_serve_request(
+    line: &str,
+    dataset: plf_repro::plfd::DatasetId,
+    model: &SiteModel,
+) -> Result<JobSpec, String> {
+    let mut tenant = "default".to_string();
+    let mut priority = Priority::Normal;
+    let mut deadline = None;
+    let mut tree = None;
+    for token in line.split_whitespace() {
+        if token.starts_with('(') {
+            tree = Some(Tree::from_newick(token).map_err(|e| e.to_string())?);
+            continue;
+        }
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("expected key=value or a Newick tree, got {token:?}"));
+        };
+        match key {
+            "tenant" => tenant = value.to_string(),
+            "priority" => {
+                priority = Priority::parse(value)
+                    .ok_or_else(|| format!("bad priority {value:?} (high|normal)"))?;
+            }
+            "deadline_ms" => {
+                let ms: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad deadline_ms {value:?}"))?;
+                if !(ms.is_finite() && ms >= 0.0) {
+                    return Err(format!("bad deadline_ms {value:?}"));
+                }
+                deadline = Some(Duration::from_secs_f64(ms / 1e3));
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    let tree = tree.ok_or("missing Newick tree")?;
+    let mut spec = JobSpec::new(tenant, dataset, tree, model.clone()).with_priority(priority);
+    if let Some(d) = deadline {
+        spec = spec.with_deadline(d);
+    }
+    Ok(spec)
+}
+
+const LOADGEN_USAGE: &str = "plfr loadgen — drive an in-process plfd service with a seeded job stream
+
+USAGE:
+  plfr loadgen [--jobs 256] [--taxa 10] [--patterns 1000] [--seed 2009]
+               [--backend NAME[,NAME...]] [--workers 4]
+               [--concurrency N | --serial | --qps Q]   (submission discipline)
+               [--tenants 4] [--high-frac 0.125] [--cancel-frac 0.0] [--deadline-ms D]
+               [--duration SECONDS]                     (stop submitting after this long)
+               [--queue-capacity K] [--batch-jobs N] [--batch-units N] [--linger-ms F]
+               [--no-check]                             (skip bit-identity verification)
+               [--json] [--out FILE]
+
+Default is a closed loop with every job outstanding at once (maximum
+batching pressure); --serial submits one job at a time; --qps switches
+to an open loop at the target rate. Every completed log-likelihood is
+recomputed on the serial scalar reference and must match bit-for-bit;
+any mismatch or lost job makes the run exit non-zero.";
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    if args.flag("help") {
+        println!("{LOADGEN_USAGE}");
+        return Ok(());
+    }
+    let jobs: usize = args.parse_num("jobs", 256)?;
+    let taxa: usize = args.parse_num("taxa", 10)?;
+    let patterns: usize = args.parse_num("patterns", 1000)?;
+    let seed: u64 = args.parse_num("seed", 2009)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let mode = if args.flag("serial") {
+        LoadMode::Closed { concurrency: 1 }
+    } else if let Some(qps) = args.get("qps") {
+        let qps: f64 = qps.parse().map_err(|_| format!("bad value for --qps: {qps}"))?;
+        if !(qps.is_finite() && qps > 0.0) {
+            return Err(format!("bad value for --qps: {qps}"));
+        }
+        LoadMode::Open { qps }
+    } else {
+        LoadMode::Closed {
+            concurrency: args.parse_num("concurrency", jobs)?,
+        }
+    };
+    let deadline = match args.get("deadline-ms") {
+        None => None,
+        Some(v) => {
+            let ms: f64 = v.parse().map_err(|_| format!("bad value for --deadline-ms: {v}"))?;
+            Some(Duration::from_secs_f64(ms.max(0.0) / 1e3))
+        }
+    };
+    let cfg = LoadgenConfig {
+        jobs,
+        mode,
+        tenants: args.parse_num("tenants", 4)?,
+        high_fraction: args.parse_num("high-frac", 0.125)?,
+        cancel_fraction: args.parse_num("cancel-frac", 0.0)?,
+        deadline,
+        seed,
+        check: !args.flag("no-check"),
+        max_duration: match args.get("duration") {
+            None => None,
+            Some(v) => {
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad value for --duration: {v}"))?;
+                Some(Duration::from_secs_f64(secs.max(0.0)))
+            }
+        },
+        ..LoadgenConfig::default()
+    };
+
+    let ds = seqgen::generate(seqgen::DatasetSpec::new(taxa, patterns), seed);
+    let model = seqgen::default_model();
+    let taxa_names = ds.data.taxa().to_vec();
+    let service = PlfService::new(service_config(args)?, service_backends(args)?);
+    let dataset = service.register_dataset(ds.data);
+    let report = plf_repro::plfd::loadgen::run(&service, dataset, &taxa_names, &model, &cfg);
+    service.shutdown();
+
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if args.flag("json") {
+        println!("{json}");
+    } else {
+        println!(
+            "submitted:        {} jobs ({} tenants, seed {seed})",
+            report.submitted, cfg.tenants
+        );
+        println!(
+            "resolved:         {} completed / {} failed / {} cancelled / {} deadline-missed",
+            report.completed, report.failed, report.cancelled, report.deadline_missed
+        );
+        println!("rejections:       {} (all retried)", report.rejections_retried);
+        println!(
+            "throughput:       {:.1} jobs/s over {:.3} s",
+            report.jobs_per_second, report.wall_seconds
+        );
+        println!(
+            "latency:          p50 {:.2} ms, p95 {:.2} ms (wait {:.2} + service {:.2} mean)",
+            report.p50_latency_ms, report.p95_latency_ms, report.mean_wait_ms, report.mean_service_ms
+        );
+        println!(
+            "batches:          {} ({:.0}% occupancy)",
+            report.service.batches,
+            100.0 * report.service.batch_occupancy()
+        );
+        println!(
+            "verification:     {} checked, {} bit mismatches, {} lost",
+            report.checked, report.bit_mismatches, report.lost
+        );
+    }
+    if report.lost > 0 {
+        return Err(format!("{} job(s) resolved without an outcome", report.lost));
+    }
+    if report.bit_mismatches > 0 {
+        return Err(format!(
+            "{} completed result(s) were not bit-identical to the serial reference",
+            report.bit_mismatches
+        ));
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "plfr — Phylogenetic Likelihood Function reproduction CLI
 
@@ -384,6 +694,8 @@ USAGE:
                   [--backend NAME] [--incremental] [--sample-every K] [--trace PREFIX] [--pinvar P]
                   [--mc3 N --heat H --swap-every K --parallel]
   plfr consensus  --trees FILE.t [--burn-in F] [--threshold F]
+  plfr serve      --alignment FILE [--backend NAME[,NAME...]] [--workers N] (see plfr serve --help)
+  plfr loadgen    [--jobs 256] [--taxa 10] [--patterns 1000] [--json]      (see plfr loadgen --help)
   plfr backends
 
 Formats: FASTA (.fa/.fasta) or PHYLIP; trees are Newick."
@@ -402,15 +714,19 @@ fn main() -> ExitCode {
             }
             Ok(())
         }
-        "simulate" | "likelihood" | "mcmc" | "consensus" => match Args::parse(rest) {
-            Err(e) => Err(e),
-            Ok(args) => match cmd.as_str() {
-                "simulate" => cmd_simulate(&args),
-                "likelihood" => cmd_likelihood(&args),
-                "consensus" => cmd_consensus(&args),
-                _ => cmd_mcmc(&args),
-            },
-        },
+        "simulate" | "likelihood" | "mcmc" | "consensus" | "serve" | "loadgen" => {
+            match Args::parse(rest) {
+                Err(e) => Err(e),
+                Ok(args) => match cmd.as_str() {
+                    "simulate" => cmd_simulate(&args),
+                    "likelihood" => cmd_likelihood(&args),
+                    "consensus" => cmd_consensus(&args),
+                    "serve" => cmd_serve(&args),
+                    "loadgen" => cmd_loadgen(&args),
+                    _ => cmd_mcmc(&args),
+                },
+            }
+        }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

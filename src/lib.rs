@@ -41,6 +41,7 @@ pub use plf_multicore as multicore;
 pub use plf_phylo as phylo;
 pub use plf_seqgen as seqgen;
 pub use plf_simcore as simcore;
+pub use plfd;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use plf_phylo::prelude::*;
     pub use plf_seqgen::{Dataset, DatasetSpec};
     pub use plf_simcore::{table1, Breakdown, MachineModel, PlfWorkload};
+    pub use plfd::{JobSpec, PlfService, ServiceConfig};
 }
 
 use phylo::alignment::PatternAlignment;

@@ -1,0 +1,191 @@
+//! End-to-end soak of the plfd batched evaluation service: many
+//! concurrent jobs from mixed tenants, random cancellations, and an
+//! injected `PLF_FAULT_*`-style fault, with every completed result
+//! checked bit-for-bit against the serial scalar reference. This is
+//! the "no silent drops" contract: every admitted job resolves to
+//! exactly one terminal outcome.
+
+use plf_repro::multicore::RayonBackend;
+use plf_repro::phylo::kernels::{PlfBackend, ScalarBackend};
+use plf_repro::phylo::likelihood::TreeLikelihood;
+use plf_repro::phylo::resilience::FaultInjector;
+use plf_repro::phylo::tree::Tree;
+use plf_repro::plfd::{JobOutcome, JobSpec, JobTicket, PlfService, Priority, ServiceConfig, SubmitError};
+use plf_repro::seqgen::{self, DatasetSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SOAK_JOBS: usize = 80;
+const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Submit with the backpressure contract: sleep out `retry_after` on
+/// `QueueFull` instead of giving up.
+fn submit_with_retry(service: &PlfService, spec: JobSpec) -> JobTicket {
+    let mut spec = spec;
+    loop {
+        match service.submit(spec.clone()) {
+            Ok(ticket) => return ticket,
+            Err(SubmitError::QueueFull { retry_after }) => {
+                std::thread::sleep(retry_after.min(Duration::from_millis(5)));
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+        // `spec` is moved back in via the clone above each round.
+        spec = spec.clone();
+    }
+}
+
+#[test]
+fn soak_mixed_tenants_cancellations_and_injected_fault() {
+    let ds = seqgen::generate(DatasetSpec::new(8, 96), 21);
+    let model = seqgen::default_model();
+    let taxa: Vec<String> = ds.data.taxa().to_vec();
+
+    // The fault harness, armed exactly the way `PLF_FAULT_*` variables
+    // would arm it from the CLI — simulated lookup so the process
+    // environment stays untouched and parallel tests stay safe.
+    let injector = Arc::new(
+        FaultInjector::from_env_with(|name| match name {
+            "PLF_FAULT_SEED" => Some("3".into()),
+            "PLF_FAULT_CORRUPT_RATE" => Some("0.05".into()),
+            _ => None,
+        })
+        .expect("valid fault knobs")
+        .expect("knobs set"),
+    );
+
+    // Three resilient rayon workers; one carries the injector, so a
+    // slice of the fused batches keeps hitting corrupted CLVs and must
+    // recover (validate → retry → degrade) without poisoning
+    // batchmates or losing bit-identity.
+    let faulty = RayonBackend::new(2)
+        .expect("rayon pool")
+        .with_fault_injector(Arc::clone(&injector));
+    let backends: Vec<Box<dyn PlfBackend>> = vec![
+        Box::new(faulty),
+        Box::new(RayonBackend::new(2).expect("rayon pool")),
+        Box::new(RayonBackend::new(2).expect("rayon pool")),
+    ];
+    let service = PlfService::resilient(ServiceConfig::default(), backends);
+    let dataset = service.register_dataset(ds.data.clone());
+
+    // Seeded job stream: per-job random tree, round-robin tenants,
+    // every 7th job high-priority, ~15% cancelled right after submit.
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut tickets: Vec<(usize, Tree, JobTicket)> = Vec::with_capacity(SOAK_JOBS);
+    let mut cancelled_ids = Vec::new();
+    for i in 0..SOAK_JOBS {
+        let tree = seqgen::random_tree_for_taxa(&taxa, 0.1, &mut rng);
+        let cancel = rng.gen_range(0.0..1.0) < 0.15;
+        let mut spec = JobSpec::new(TENANTS[i % TENANTS.len()], dataset, tree.clone(), model.clone());
+        if i % 7 == 0 {
+            spec = spec.with_priority(Priority::High);
+        }
+        let ticket = submit_with_retry(&service, spec);
+        if cancel {
+            ticket.cancel();
+            cancelled_ids.push(i);
+        }
+        tickets.push((i, tree, ticket));
+    }
+    assert!(
+        cancelled_ids.len() >= 5,
+        "seed must exercise cancellation, got {cancelled_ids:?}"
+    );
+
+    // Every job resolves — no silent drops — and every completed
+    // log-likelihood is bit-identical to a fresh serial scalar
+    // evaluation of the same tree.
+    let mut completed = 0usize;
+    let mut cancelled = 0usize;
+    for (i, tree, ticket) in tickets {
+        let outcome = ticket.wait();
+        match outcome {
+            JobOutcome::Completed { ln_likelihood, .. } => {
+                completed += 1;
+                let mut serial = TreeLikelihood::new(&tree, &ds.data, model.clone())
+                    .expect("serial workspace");
+                let expected = serial
+                    .log_likelihood(&tree, &mut ScalarBackend)
+                    .expect("serial eval");
+                assert_eq!(
+                    ln_likelihood.to_bits(),
+                    expected.to_bits(),
+                    "job {i}: service result must be bit-identical to serial scalar"
+                );
+            }
+            JobOutcome::Cancelled => {
+                cancelled += 1;
+                assert!(cancelled_ids.contains(&i), "job {i} cancelled but never asked to be");
+            }
+            other => panic!("job {i}: unexpected outcome {other:?}"),
+        }
+    }
+    // A cancel that loses the race completes instead — both are valid,
+    // but the ledger must balance exactly.
+    assert_eq!(completed + cancelled, SOAK_JOBS);
+    assert!(completed >= SOAK_JOBS - cancelled_ids.len());
+
+    // The injected fault actually fired, and the resilience layer ate
+    // it: no job failed.
+    assert!(injector.fired() >= 1, "fault injector never fired");
+
+    let snap = service.snapshot();
+    assert_eq!(snap.submitted, SOAK_JOBS as u64);
+    assert_eq!(snap.completed, completed as u64);
+    assert_eq!(snap.cancelled, cancelled as u64);
+    assert_eq!(snap.failed, 0);
+    assert_eq!(snap.resolved(), SOAK_JOBS as u64, "every admitted job resolves");
+    assert_eq!(service.queue_depth(), 0);
+    let by_tenant: u64 = snap.tenants.iter().map(|t| t.submitted).sum();
+    assert_eq!(by_tenant, SOAK_JOBS as u64, "per-tenant ledger covers every job");
+    assert_eq!(snap.tenants.len(), TENANTS.len());
+    service.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_job_k_plus_one_with_retry_after() {
+    let ds = seqgen::generate(DatasetSpec::new(6, 32), 13);
+    let model = seqgen::default_model();
+    let capacity = 8;
+    let config = ServiceConfig {
+        queue_capacity: capacity,
+        hold: true, // keep the scheduler gated so the queue stays full
+        ..ServiceConfig::default()
+    };
+    let service = PlfService::new(
+        config,
+        vec![Box::new(ScalarBackend) as Box<dyn PlfBackend>],
+    );
+    let dataset = service.register_dataset(ds.data.clone());
+
+    let tickets: Vec<JobTicket> = (0..capacity)
+        .map(|_| {
+            service
+                .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
+                .expect("within capacity")
+        })
+        .collect();
+    // Job K+1 must bounce with a positive retry-after hint, not queue.
+    let err = service
+        .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
+        .expect_err("job K+1 over capacity");
+    let SubmitError::QueueFull { retry_after } = err else {
+        panic!("expected QueueFull, got {err}");
+    };
+    assert!(retry_after > Duration::ZERO);
+
+    let snap = service.snapshot();
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(snap.queue_depth, capacity as u64);
+    assert_eq!(snap.queue_depth_peak, capacity as u64);
+
+    service.release();
+    for t in tickets {
+        assert!(t.wait().is_completed());
+    }
+    assert_eq!(service.snapshot().completed, capacity as u64);
+    service.shutdown();
+}
