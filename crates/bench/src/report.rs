@@ -41,9 +41,11 @@ pub fn print_series_table(title: &str, series: &[Series]) {
 /// Schema version stamped into `BENCH_plf.json`.
 ///
 /// v2 added the mandatory top-level `service` section (the plfd
-/// serial-vs-batched comparison); v1 documents lack it and are
-/// rejected by [`validate_bench_json`].
-pub const PLF_BENCH_SCHEMA_VERSION: u32 = 2;
+/// serial-vs-batched comparison); v3 added the self-healing counters
+/// (breaker transitions, watchdog respawns, sheds, probe outcomes) to
+/// the service section's `batched_service` snapshot. Older documents
+/// are rejected by [`validate_bench_json`].
+pub const PLF_BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Top level of `BENCH_plf.json`: measured PLF observability numbers
 /// (from [`plf_phylo::metrics::PlfCounters`]) for every backend over a
@@ -74,6 +76,21 @@ const SERVICE_REQUIRED_KEYS: [&str; 6] = [
     "batched_service",
 ];
 
+/// Self-healing counters the v3 `service.batched_service` snapshot
+/// must carry (from [`plf_phylo::metrics::ServiceSnapshot`]); kept in
+/// sync by the same round-trip test.
+const BATCHED_SERVICE_REQUIRED_KEYS: [&str; 9] = [
+    "shed",
+    "requeued_jobs",
+    "watchdog_respawns",
+    "watchdog_hangs",
+    "breaker_opened",
+    "breaker_half_opened",
+    "breaker_closed",
+    "probes_ok",
+    "probes_failed",
+];
+
 /// Validate a `BENCH_plf.json` document against the current schema,
 /// rejecting version mismatches loudly (a v1 file with no `service`
 /// section names both versions in the error instead of failing on a
@@ -96,8 +113,9 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     if version != u64::from(PLF_BENCH_SCHEMA_VERSION) {
         return Err(format!(
             "BENCH_plf.json schema mismatch: file is v{version}, this tree expects \
-             v{PLF_BENCH_SCHEMA_VERSION} (v2 added the mandatory `service` section; \
-             regenerate with `cargo run --release -p plf-bench --bin perf_report`)"
+             v{PLF_BENCH_SCHEMA_VERSION} (v2 added the mandatory `service` section, v3 its \
+             self-healing counters; regenerate with \
+             `cargo run --release -p plf-bench --bin perf_report`)"
         ));
     }
     let datasets = field(top, "datasets")
@@ -121,6 +139,17 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     for key in SERVICE_REQUIRED_KEYS {
         if field(service, key).is_none() {
             return Err(format!("BENCH_plf.json: service section missing `{key}`"));
+        }
+    }
+    let batched = field(service, "batched_service")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("BENCH_plf.json: service.batched_service must be an object")?;
+    for key in BATCHED_SERVICE_REQUIRED_KEYS {
+        if field(batched, key).is_none() {
+            return Err(format!(
+                "BENCH_plf.json: service.batched_service missing self-healing counter `{key}` \
+                 (file looks v2-shaped)"
+            ));
         }
     }
     Ok(())
@@ -303,19 +332,34 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_v1_shaped_documents() {
+    fn validate_rejects_stale_shaped_documents() {
         // A v1 file: schema_version 1, no `service` section.
         let v1 = r#"{"schema_version": 1, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
         let err = validate_bench_json(v1).expect_err("v1 must be rejected");
-        assert!(err.contains("v1") && err.contains("v2"), "names both versions: {err}");
+        assert!(err.contains("v1") && err.contains("v3"), "names both versions: {err}");
+
+        // A v2 file is rejected by version before shape.
+        let v2 = r#"{"schema_version": 2, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
+        let err = validate_bench_json(v2).expect_err("v2 must be rejected");
+        assert!(err.contains("v2") && err.contains("v3"), "names both versions: {err}");
 
         // Right version but still v1-shaped (no service section).
-        let hybrid = r#"{"schema_version": 2, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
+        let hybrid = r#"{"schema_version": 3, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
         let err = validate_bench_json(hybrid).expect_err("missing service must be rejected");
         assert!(err.contains("service"), "{err}");
 
+        // Right version, service present, but the batched_service
+        // snapshot predates the self-healing counters (v2-shaped).
+        let stale_snapshot = r#"{"schema_version": 3, "evaluations": 10,
+            "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}],
+            "service": {"jobs": 4, "serial_jobs_per_sec": 1.0, "batched_jobs_per_sec": 2.0,
+                        "speedup_batched_over_serial": 2.0, "bit_mismatches": 0,
+                        "batched_service": {"submitted": 4}}}"#;
+        let err = validate_bench_json(stale_snapshot).expect_err("stale snapshot must be rejected");
+        assert!(err.contains("self-healing") && err.contains("shed"), "{err}");
+
         assert!(validate_bench_json("not json").is_err());
-        assert!(validate_bench_json(r#"{"schema_version": 2, "datasets": [], "service": {}}"#).is_err());
+        assert!(validate_bench_json(r#"{"schema_version": 3, "datasets": [], "service": {}}"#).is_err());
     }
 
     #[test]

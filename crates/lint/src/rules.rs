@@ -112,7 +112,13 @@ impl FileScope {
             // whole batches, not just one evaluation.
             || rel == "crates/plfd/src/queue.rs"
             || rel == "crates/plfd/src/scheduler.rs"
-            || rel == "crates/plfd/src/dispatch.rs";
+            || rel == "crates/plfd/src/dispatch.rs"
+            // The self-healing layer is on the same data path: the
+            // watchdog/breaker/admission code runs under the locks the
+            // dispatcher holds, and the chaos driver resolves real
+            // tickets — a panic in either strands admitted jobs.
+            || rel == "crates/plfd/src/health.rs"
+            || rel == "crates/plfd/src/chaos.rs";
         let metrics = rel == "crates/phylo/src/metrics.rs";
         let constants_module = rel == "crates/phylo/src/constants.rs";
         // Integration tests, benches, and examples are demo/test
@@ -602,6 +608,8 @@ mod tests {
             "crates/plfd/src/queue.rs",
             "crates/plfd/src/scheduler.rs",
             "crates/plfd/src/dispatch.rs",
+            "crates/plfd/src/health.rs",
+            "crates/plfd/src/chaos.rs",
         ] {
             assert!(FileScope::for_path(hot).hot_path, "{hot} must be L2 scope");
         }

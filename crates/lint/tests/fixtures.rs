@@ -54,6 +54,21 @@ fn l2_applies_to_plfd_service_hot_path() {
 }
 
 #[test]
+fn l2_applies_to_self_healing_layer() {
+    // The watchdog/breaker (health.rs) and the chaos driver (chaos.rs)
+    // are the machinery that absorbs panics — a panic inside them is a
+    // hot-path violation, caught by path gating alone.
+    let (path, src) = fixture("l2_health_hot_panic.rs");
+    for hot in ["crates/plfd/src/health.rs", "crates/plfd/src/chaos.rs"] {
+        let diags = lint_source(&path, &src, FileScope::for_path(hot));
+        assert_eq!(rule_ids(&diags), ["L2", "L2", "L2"], "{hot}: {diags:?}");
+    }
+    // The same source outside the self-healing scope trips nothing.
+    let cold = lint_source(&path, &src, FileScope::for_path("crates/plfd/src/loadgen.rs"));
+    assert!(cold.is_empty(), "{cold:?}");
+}
+
+#[test]
 fn l3_fixture_trips_only_magic_number() {
     let diags = lint_fixture("l3_magic.rs");
     assert_eq!(rule_ids(&diags), ["L3", "L3", "L3", "L3"], "{diags:?}");
@@ -100,6 +115,7 @@ fn binary_exits_nonzero_on_each_bad_fixture() {
     for name in [
         "l1_missing_safety.rs",
         "l2_hot_panic.rs",
+        "l2_health_hot_panic.rs",
         "l3_magic.rs",
         "l4_ordering.rs",
     ] {

@@ -1,0 +1,20 @@
+//! Known-bad fixture: panicking calls in the self-healing layer.
+//! Linted with the scope derived from `crates/plfd/src/health.rs` and
+//! `crates/plfd/src/chaos.rs`, proving the L2 path gating covers the
+//! breaker/watchdog/chaos code — a panic there would take down the
+//! very machinery that is supposed to absorb panics. Never compiled.
+
+fn breaker_state(states: &std::sync::Mutex<Vec<u8>>) -> u8 {
+    // BAD: a poisoned lock must be absorbed with into_inner.
+    let guard = states.lock().unwrap();
+    // BAD: an unknown worker index is a caller error, not a panic.
+    *guard.first().expect("at least one breaker")
+}
+
+fn probe_outcome(lnl: f64) -> bool {
+    if !lnl.is_finite() {
+        // BAD: a failed probe is a normal state machine edge.
+        panic!("probe returned non-finite lnL");
+    }
+    true
+}

@@ -305,6 +305,7 @@ impl MetricsSnapshot {
 struct TenantCell {
     submitted: u64,
     rejected: u64,
+    shed: u64,
     completed: u64,
     failed: u64,
     cancelled: u64,
@@ -342,6 +343,15 @@ pub struct ServiceCounters {
     batches: AtomicU64,
     batch_jobs: AtomicU64,
     batch_job_slots: AtomicU64,
+    shed: AtomicU64,
+    requeued_jobs: AtomicU64,
+    watchdog_respawns: AtomicU64,
+    watchdog_hangs: AtomicU64,
+    breaker_opened: AtomicU64,
+    breaker_half_opened: AtomicU64,
+    breaker_closed: AtomicU64,
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
     tenants: Mutex<BTreeMap<String, TenantCell>>,
 }
 
@@ -422,6 +432,55 @@ impl ServiceCounters {
         self.tenant_cell(tenant, |c| c.deadline_missed += 1);
     }
 
+    /// Record one submission shed by the adaptive admission controller
+    /// (backlog/latency overload, distinct from the hard capacity
+    /// rejection) for `tenant`.
+    pub fn record_shed(&self, tenant: &str) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.shed += 1);
+    }
+
+    /// Record `n` in-flight jobs recovered from a dead worker and
+    /// re-queued by the watchdog.
+    pub fn record_requeued(&self, n: u64) {
+        self.requeued_jobs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one dispatch worker respawned by the watchdog.
+    pub fn record_watchdog_respawn(&self) {
+        self.watchdog_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one hung-worker detection (heartbeat stale past the hang
+    /// timeout while jobs were in flight).
+    pub fn record_watchdog_hang(&self) {
+        self.watchdog_hangs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one circuit-breaker transition into `Open`.
+    pub fn record_breaker_open(&self) {
+        self.breaker_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one circuit-breaker transition into `HalfOpen`.
+    pub fn record_breaker_half_open(&self) {
+        self.breaker_half_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one circuit-breaker transition back into `Closed`.
+    pub fn record_breaker_close(&self) {
+        self.breaker_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one half-open probe job's outcome.
+    pub fn record_probe(&self, ok: bool) {
+        if ok {
+            self.probes_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.probes_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Record one fused batch dispatched carrying `jobs` jobs out of
     /// `slots` possible (the scheduler's `max_jobs` cap); feeds batch
     /// occupancy.
@@ -452,6 +511,15 @@ impl ServiceCounters {
             &self.batches,
             &self.batch_jobs,
             &self.batch_job_slots,
+            &self.shed,
+            &self.requeued_jobs,
+            &self.watchdog_respawns,
+            &self.watchdog_hangs,
+            &self.breaker_opened,
+            &self.breaker_half_opened,
+            &self.breaker_closed,
+            &self.probes_ok,
+            &self.probes_failed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -472,6 +540,7 @@ impl ServiceCounters {
                 tenant: name.clone(),
                 submitted: c.submitted,
                 rejected: c.rejected,
+                shed: c.shed,
                 completed: c.completed,
                 failed: c.failed,
                 cancelled: c.cancelled,
@@ -494,6 +563,15 @@ impl ServiceCounters {
             batches: self.batches.load(Ordering::Relaxed),
             batch_jobs: self.batch_jobs.load(Ordering::Relaxed),
             batch_job_slots: self.batch_job_slots.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            requeued_jobs: self.requeued_jobs.load(Ordering::Relaxed),
+            watchdog_respawns: self.watchdog_respawns.load(Ordering::Relaxed),
+            watchdog_hangs: self.watchdog_hangs.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            breaker_half_opened: self.breaker_half_opened.load(Ordering::Relaxed),
+            breaker_closed: self.breaker_closed.load(Ordering::Relaxed),
+            probes_ok: self.probes_ok.load(Ordering::Relaxed),
+            probes_failed: self.probes_failed.load(Ordering::Relaxed),
             tenants,
         }
     }
@@ -508,6 +586,8 @@ pub struct TenantSnapshot {
     pub submitted: u64,
     /// Admission-control rejections.
     pub rejected: u64,
+    /// Submissions shed by the adaptive admission controller.
+    pub shed: u64,
     /// Jobs completed with a log-likelihood.
     pub completed: u64,
     /// Jobs that failed evaluation.
@@ -552,6 +632,25 @@ pub struct ServiceSnapshot {
     pub batch_jobs: u64,
     /// Job slots offered by those batches (`batches × max_jobs`).
     pub batch_job_slots: u64,
+    /// Submissions shed by the adaptive admission controller
+    /// (overload, distinct from hard-capacity `rejected`).
+    pub shed: u64,
+    /// In-flight jobs recovered from dead workers and re-queued.
+    pub requeued_jobs: u64,
+    /// Dispatch workers respawned by the watchdog.
+    pub watchdog_respawns: u64,
+    /// Hung-worker detections (stale heartbeat with jobs in flight).
+    pub watchdog_hangs: u64,
+    /// Circuit-breaker transitions into `Open`.
+    pub breaker_opened: u64,
+    /// Circuit-breaker transitions into `HalfOpen`.
+    pub breaker_half_opened: u64,
+    /// Circuit-breaker transitions back into `Closed`.
+    pub breaker_closed: u64,
+    /// Half-open probe jobs that succeeded.
+    pub probes_ok: u64,
+    /// Half-open probe jobs that failed.
+    pub probes_failed: u64,
     /// Per-tenant breakdown, sorted by tenant name.
     pub tenants: Vec<TenantSnapshot>,
 }
@@ -735,6 +834,36 @@ mod tests {
         assert_eq!(s.tenants[0].failed, 1);
         assert_eq!(s.tenants[0].cancelled, 1);
         assert_eq!(s.tenants[0].deadline_missed, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), ServiceSnapshot::default());
+    }
+
+    #[test]
+    fn service_counters_track_self_healing_events() {
+        let c = ServiceCounters::new();
+        c.record_shed("t");
+        c.record_shed("u");
+        c.record_requeued(3);
+        c.record_watchdog_respawn();
+        c.record_watchdog_hang();
+        c.record_breaker_open();
+        c.record_breaker_half_open();
+        c.record_breaker_close();
+        c.record_probe(true);
+        c.record_probe(true);
+        c.record_probe(false);
+        let s = c.snapshot();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.requeued_jobs, 3);
+        assert_eq!(s.watchdog_respawns, 1);
+        assert_eq!(s.watchdog_hangs, 1);
+        assert_eq!(s.breaker_opened, 1);
+        assert_eq!(s.breaker_half_opened, 1);
+        assert_eq!(s.breaker_closed, 1);
+        assert_eq!(s.probes_ok, 2);
+        assert_eq!(s.probes_failed, 1);
+        assert_eq!(s.tenants[0].shed, 1);
+        assert_eq!(s.tenants[1].shed, 1);
         c.reset();
         assert_eq!(c.snapshot(), ServiceSnapshot::default());
     }

@@ -14,9 +14,16 @@
 //!   in *which* roll numbers fire even when threads race.
 //!
 //! The environment knobs `PLF_FAULT_SEED`, `PLF_FAULT_CORRUPT_RATE`,
-//! `PLF_FAULT_DMA_RATE`, `PLF_FAULT_PCIE_RATE`, `PLF_FAULT_LAUNCH_RATE`
-//! and `PLF_FAULT_PANIC_RATE` build an injector without code changes
+//! `PLF_FAULT_DMA_RATE`, `PLF_FAULT_PCIE_RATE`, `PLF_FAULT_LAUNCH_RATE`,
+//! `PLF_FAULT_PANIC_RATE`, `PLF_FAULT_WORKER_KILL_RATE` and
+//! `PLF_FAULT_BLACKOUT_RATE` build an injector without code changes
 //! (see [`FaultInjector::from_env`]).
+//!
+//! The last two sites are *service-level*: they are consulted by the
+//! `plfd` dispatch layer rather than by a backend. A worker-kill roll
+//! makes a dispatch worker thread die before its next job (exercising
+//! the watchdog respawn path); a blackout roll makes a worker's backend
+//! refuse a run of consecutive jobs (exercising the circuit breaker).
 
 use std::sync::Mutex;
 
@@ -33,6 +40,12 @@ pub enum FaultSite {
     KernelLaunch,
     /// A thread-pool worker body (injected panic).
     Worker,
+    /// A `plfd` dispatch worker thread dying outright (service-level;
+    /// exercises the watchdog respawn path).
+    WorkerKill,
+    /// A `plfd` worker's backend going dark for a run of jobs
+    /// (service-level; exercises the circuit breaker).
+    BackendBlackout,
 }
 
 impl FaultSite {
@@ -43,11 +56,13 @@ impl FaultSite {
             FaultSite::PcieTransfer => 2,
             FaultSite::KernelLaunch => 3,
             FaultSite::Worker => 4,
+            FaultSite::WorkerKill => 5,
+            FaultSite::BackendBlackout => 6,
         }
     }
 }
 
-const N_SITES: usize = 5;
+const N_SITES: usize = 7;
 
 /// A `PLF_FAULT_*` environment variable held a value that cannot
 /// configure fault injection (unparsable, or a probability outside
@@ -224,6 +239,8 @@ impl FaultInjector {
             (FaultSite::PcieTransfer, rate("PLF_FAULT_PCIE_RATE")?),
             (FaultSite::KernelLaunch, rate("PLF_FAULT_LAUNCH_RATE")?),
             (FaultSite::Worker, rate("PLF_FAULT_PANIC_RATE")?),
+            (FaultSite::WorkerKill, rate("PLF_FAULT_WORKER_KILL_RATE")?),
+            (FaultSite::BackendBlackout, rate("PLF_FAULT_BLACKOUT_RATE")?),
         ];
         if seed.is_none() && knobs.iter().all(|(_, p)| p.is_none()) {
             return Ok(None);
@@ -406,6 +423,31 @@ mod tests {
         .unwrap()
         .expect("seed set");
         assert!(!inj.fire(FaultSite::Worker));
+    }
+
+    #[test]
+    fn from_env_builds_service_level_sites() {
+        let inj = FaultInjector::from_env_with(|name| match name {
+            "PLF_FAULT_WORKER_KILL_RATE" => Some("1.0".into()),
+            "PLF_FAULT_BLACKOUT_RATE" => Some("1.0".into()),
+            _ => None,
+        })
+        .unwrap()
+        .expect("knobs set");
+        assert!(inj.fire(FaultSite::WorkerKill));
+        assert!(inj.fire(FaultSite::BackendBlackout));
+        // Backend-level sites stay quiet.
+        assert!(!inj.fire(FaultSite::DmaTransfer));
+    }
+
+    #[test]
+    fn service_sites_count_independently_of_backend_sites() {
+        let inj = FaultInjector::new(13).schedule(FaultSite::WorkerKill, 0);
+        assert!(!inj.fire(FaultSite::Worker));
+        assert!(inj.fire(FaultSite::WorkerKill));
+        assert_eq!(inj.rolls(FaultSite::Worker), 1);
+        assert_eq!(inj.rolls(FaultSite::WorkerKill), 1);
+        assert_eq!(inj.rolls(FaultSite::BackendBlackout), 0);
     }
 
     #[test]

@@ -1,0 +1,586 @@
+//! The end-to-end chaos soak harness behind `plfr chaos`.
+//!
+//! One seeded run drives a deterministic job stream through the whole
+//! queue → scheduler → dispatch → backend pipeline while injecting
+//! faults at every `PLF_FAULT_*` site — kernel-output corruption, DMA
+//! and PCIe transfer failures, launch failures, worker-body panics —
+//! plus the two service-level fault classes this layer owns: **worker
+//! kills** (a dispatch worker thread dies outright; the watchdog must
+//! respawn it and re-queue its in-flight jobs) and **backend
+//! blackouts** (a worker's backend refuses a run of jobs; its circuit
+//! breaker must open, shift traffic to healthy workers, and re-close
+//! via half-open probes once the blackout lifts).
+//!
+//! The harness then asserts the self-healing invariants:
+//!
+//! * **zero lost jobs** — every admitted job reaches a terminal
+//!   outcome;
+//! * **zero bit-divergent results** — every completed log-likelihood
+//!   matches a serial scalar re-evaluation bit-for-bit;
+//! * **bounded recovery** — by soak exit the worker pool is back at
+//!   full capacity and every breaker has re-closed, within the
+//!   configured recovery bound.
+//!
+//! Failures are collected (not panicked) into [`ChaosReport`], which
+//! serializes to JSON for the CI `chaos-smoke` artifact.
+//!
+//! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
+
+use crate::health::{BackendFactory, BreakerPolicy, BreakerState};
+use crate::job::{JobOutcome, JobSpec, JobTicket, Priority};
+use crate::queue::SubmitError;
+use crate::service::{PlfService, ServiceConfig};
+use plf_phylo::kernels::{PlfBackend, ScalarBackend};
+use plf_phylo::likelihood::TreeLikelihood;
+use plf_phylo::metrics::ServiceSnapshot;
+use plf_phylo::resilience::{FaultInjector, FaultSite};
+use plf_phylo::tree::Tree;
+use plf_seqgen::{random_tree_for_taxa, DatasetSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builds one worker backend for the chaos service. The injector (the
+/// soak's single seeded fault source, `None` when every backend-level
+/// rate is zero) is passed so the factory can arm the backend's
+/// kernel-level fault sites; factories that ignore it are fine — the
+/// service-level kill/blackout sites are driven by the harness itself.
+pub type ChaosBackendFactory =
+    Arc<dyn Fn(Option<Arc<FaultInjector>>) -> Box<dyn PlfBackend> + Send + Sync>;
+
+/// A factory producing plain scalar workers (ignores the injector);
+/// the default when no accelerator backend is selected.
+pub fn scalar_chaos_factory() -> ChaosBackendFactory {
+    Arc::new(|_inj| Box::new(ScalarBackend))
+}
+
+/// A deliberate fault event at a fixed point in the submission stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledKill {
+    /// Worker slot to kill.
+    pub worker: usize,
+    /// Fire just before the `after_jobs`-th submission (0-based).
+    pub after_jobs: usize,
+}
+
+/// A deliberate blackout at a fixed point in the submission stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledBlackout {
+    /// Worker slot whose backend goes dark.
+    pub worker: usize,
+    /// Fire just before the `after_jobs`-th submission (0-based).
+    pub after_jobs: usize,
+    /// Consecutive jobs (and probes) the backend refuses.
+    pub failures: u64,
+}
+
+/// Chaos soak configuration; all randomness flows from `seed`.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Jobs to submit (the acceptance soak uses ≥ 200).
+    pub jobs: usize,
+    /// Seed for the job stream and the fault injector.
+    pub seed: u64,
+    /// Dataset shape.
+    pub taxa: usize,
+    /// Dataset shape.
+    pub patterns: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Outstanding-job window while submitting.
+    pub concurrency: usize,
+    /// `PLF_FAULT_CORRUPT_RATE`: kernel-output corruption probability.
+    pub corrupt_rate: f64,
+    /// `PLF_FAULT_DMA_RATE`: Cell/BE DMA failure probability.
+    pub dma_rate: f64,
+    /// `PLF_FAULT_PCIE_RATE`: GPU PCIe transfer failure probability.
+    pub pcie_rate: f64,
+    /// `PLF_FAULT_LAUNCH_RATE`: kernel launch failure probability.
+    pub launch_rate: f64,
+    /// `PLF_FAULT_PANIC_RATE`: worker-body panic probability.
+    pub panic_rate: f64,
+    /// `PLF_FAULT_WORKER_KILL_RATE`: per-job probability a dispatch
+    /// worker dies before the job.
+    pub kill_rate: f64,
+    /// `PLF_FAULT_BLACKOUT_RATE`: per-job probability a worker's
+    /// backend goes dark for a burst of jobs.
+    pub blackout_rate: f64,
+    /// Deterministic worker kills at fixed submission indices.
+    pub scheduled_kills: Vec<ScheduledKill>,
+    /// Deterministic blackouts at fixed submission indices.
+    pub scheduled_blackouts: Vec<ScheduledBlackout>,
+    /// Fraction of jobs on the high-priority lane.
+    pub high_fraction: f64,
+    /// Fraction of jobs cancelled right after submission.
+    pub cancel_fraction: f64,
+    /// Fraction of jobs submitted with `deadline`.
+    pub deadline_fraction: f64,
+    /// Relative deadline for the deadline-bearing fraction.
+    pub deadline: Duration,
+    /// Hard wall-clock cap on the whole soak.
+    pub max_wall: Duration,
+    /// After the last job resolves, the pool must be back at full
+    /// capacity with every breaker closed within this bound.
+    pub recovery_bound: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            jobs: 200,
+            seed: 2009,
+            taxa: 6,
+            patterns: 48,
+            workers: 3,
+            concurrency: 64,
+            corrupt_rate: 0.0,
+            dma_rate: 0.0,
+            pcie_rate: 0.0,
+            launch_rate: 0.0,
+            panic_rate: 0.0,
+            kill_rate: 0.0,
+            blackout_rate: 0.0,
+            scheduled_kills: vec![ScheduledKill {
+                worker: 0,
+                after_jobs: 40,
+            }],
+            scheduled_blackouts: vec![ScheduledBlackout {
+                worker: 1,
+                after_jobs: 80,
+                failures: 6,
+            }],
+            high_fraction: 0.125,
+            cancel_fraction: 0.05,
+            deadline_fraction: 0.0,
+            deadline: Duration::from_millis(50),
+            max_wall: Duration::from_secs(60),
+            recovery_bound: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Does this config inject at least one worker kill?
+    fn kills_requested(&self) -> bool {
+        !self.scheduled_kills.is_empty() || self.kill_rate > 0.0
+    }
+
+    /// Does this config inject at least one blackout?
+    fn blackouts_requested(&self) -> bool {
+        !self.scheduled_blackouts.is_empty() || self.blackout_rate > 0.0
+    }
+
+    /// The single seeded injector covering every configured rate, or
+    /// `None` when all rates are zero (scheduled faults go through the
+    /// service control plane instead).
+    fn build_injector(&self) -> Option<Arc<FaultInjector>> {
+        let rates = [
+            (FaultSite::KernelOutput, self.corrupt_rate),
+            (FaultSite::DmaTransfer, self.dma_rate),
+            (FaultSite::PcieTransfer, self.pcie_rate),
+            (FaultSite::KernelLaunch, self.launch_rate),
+            (FaultSite::Worker, self.panic_rate),
+            (FaultSite::WorkerKill, self.kill_rate),
+            (FaultSite::BackendBlackout, self.blackout_rate),
+        ];
+        if rates.iter().all(|(_, p)| *p <= 0.0) {
+            return None;
+        }
+        let mut inj = FaultInjector::new(self.seed);
+        for (site, p) in rates {
+            if p > 0.0 {
+                inj = inj.with_rate(site, p.min(1.0));
+            }
+        }
+        Some(Arc::new(inj))
+    }
+}
+
+/// What one chaos soak observed, and whether the self-healing
+/// invariants held. Serializes to JSON for the CI artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosReport {
+    /// Seed the whole soak derived from.
+    pub seed: u64,
+    /// Worker threads configured.
+    pub workers: usize,
+    /// Jobs admitted.
+    pub submitted: usize,
+    /// Jobs that completed with a log-likelihood.
+    pub completed: usize,
+    /// Jobs that failed evaluation (resolved, not lost).
+    pub failed: usize,
+    /// Jobs cancelled by the harness.
+    pub cancelled: usize,
+    /// Jobs that missed their deadline.
+    pub deadline_missed: usize,
+    /// Jobs with no outcome by the wall-clock cap — must be 0.
+    pub lost: usize,
+    /// Completed results re-checked against the serial scalar
+    /// reference.
+    pub checked: usize,
+    /// Checked results whose bits differed — must be 0.
+    pub bit_mismatches: usize,
+    /// Capacity rejections absorbed by retry.
+    pub rejections_retried: usize,
+    /// Adaptive-shed refusals absorbed by retry.
+    pub sheds_retried: usize,
+    /// Deterministic worker kills the harness requested.
+    pub kills_scheduled: usize,
+    /// Deterministic blackouts the harness requested.
+    pub blackouts_scheduled: usize,
+    /// Faults the seeded injector fired (rate-based sites).
+    pub injector_faults_fired: u64,
+    /// Wall-clock seconds for the whole soak.
+    pub wall_seconds: f64,
+    /// Seconds from last job resolution to a fully healthy pool.
+    pub recovery_seconds: f64,
+    /// Whether the pool recovered within the bound.
+    pub recovered: bool,
+    /// Running worker threads at exit — must equal `workers`.
+    pub alive_workers_at_exit: usize,
+    /// Breaker states at exit, in worker order — must all be "closed".
+    pub breaker_states_at_exit: Vec<String>,
+    /// Service counter snapshot at exit (breaker transitions, watchdog
+    /// respawns, sheds, probe outcomes, ...).
+    pub service: ServiceSnapshot,
+    /// Invariant violations; empty on a passing soak.
+    pub failures: Vec<String>,
+    /// `failures.is_empty()`.
+    pub pass: bool,
+}
+
+/// Run one seeded chaos soak. See the module docs for what is injected
+/// and what is asserted; the returned report carries `pass` plus the
+/// specific invariant violations, and never panics on failure.
+pub fn run_chaos(cfg: &ChaosConfig, make_backend: &ChaosBackendFactory) -> ChaosReport {
+    let started = Instant::now();
+    let wall_deadline = started + cfg.max_wall;
+    let workers = cfg.workers.max(1);
+    let injector = cfg.build_injector();
+    let mut failures: Vec<String> = Vec::new();
+
+    let ds = plf_seqgen::generate(
+        DatasetSpec::new(cfg.taxa.max(4), cfg.patterns.max(8)),
+        cfg.seed,
+    );
+    let model = plf_seqgen::default_model();
+    let taxa_names = ds.data.taxa().to_vec();
+
+    let service_cfg = ServiceConfig {
+        breaker: BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(25),
+            probe_seed: cfg.seed,
+        },
+        fault_injector: injector.clone(),
+        ..ServiceConfig::default()
+    };
+    let backends: Vec<Box<dyn PlfBackend>> =
+        (0..workers).map(|_| make_backend(injector.clone())).collect();
+    let factories: Vec<BackendFactory> = (0..workers)
+        .map(|_| {
+            let mb = Arc::clone(make_backend);
+            let inj = injector.clone();
+            Arc::new(move || mb(inj.clone())) as BackendFactory
+        })
+        .collect();
+    let service = PlfService::new_with_factories(service_cfg, backends, factories);
+    let dataset = service.register_dataset(ds.data.clone());
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut outstanding: VecDeque<(JobTicket, Tree)> = VecDeque::new();
+    let mut outcomes: Vec<(JobOutcome, Tree)> = Vec::new();
+    let mut submitted = 0usize;
+    let mut lost = 0usize;
+    let mut rejections_retried = 0usize;
+    let mut sheds_retried = 0usize;
+
+    let settle =
+        |pending: &mut VecDeque<(JobTicket, Tree)>, out: &mut Vec<(JobOutcome, Tree)>,
+         lost: &mut usize| {
+            if let Some((ticket, tree)) = pending.pop_front() {
+                let remaining = wall_deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(100));
+                match ticket.wait_timeout(remaining) {
+                    Some(outcome) => out.push((outcome, tree)),
+                    None => *lost += 1,
+                }
+            }
+        };
+
+    'submit: for i in 0..cfg.jobs {
+        if Instant::now() >= wall_deadline {
+            failures.push(format!(
+                "wall-clock cap hit after {submitted} of {} submissions",
+                cfg.jobs
+            ));
+            break;
+        }
+        // Scheduled fault events fire just before the i-th submission.
+        for k in cfg.scheduled_kills.iter().filter(|k| k.after_jobs == i) {
+            service.kill_worker(k.worker);
+        }
+        for b in cfg
+            .scheduled_blackouts
+            .iter()
+            .filter(|b| b.after_jobs == i)
+        {
+            service.blackout_worker(b.worker, b.failures);
+        }
+        // Deterministic per-job draws (consumed in a fixed order).
+        let tree = random_tree_for_taxa(&taxa_names, 0.1, &mut rng);
+        let tenant = format!("tenant-{}", i % 4);
+        let high = rng.gen_range(0.0..1.0) < cfg.high_fraction;
+        let cancel = rng.gen_range(0.0..1.0) < cfg.cancel_fraction;
+        let with_deadline = rng.gen_range(0.0..1.0) < cfg.deadline_fraction;
+
+        while outstanding.len() >= cfg.concurrency.max(1) {
+            settle(&mut outstanding, &mut outcomes, &mut lost);
+        }
+
+        let mut spec = JobSpec::new(tenant, dataset, tree.clone(), model.clone());
+        if high {
+            spec = spec.with_priority(Priority::High);
+        }
+        if with_deadline {
+            spec = spec.with_deadline(cfg.deadline);
+        }
+        let ticket = loop {
+            match service.submit(spec.clone()) {
+                Ok(t) => break t,
+                Err(SubmitError::QueueFull { retry_after }) => {
+                    rejections_retried += 1;
+                    std::thread::sleep(retry_after);
+                }
+                Err(SubmitError::Overloaded { retry_after }) => {
+                    sheds_retried += 1;
+                    std::thread::sleep(retry_after);
+                }
+                Err(err) => {
+                    failures.push(format!("submission {i} failed fatally: {err}"));
+                    break 'submit;
+                }
+            }
+            if Instant::now() >= wall_deadline {
+                failures.push(format!("submission {i} stalled past the wall-clock cap"));
+                break 'submit;
+            }
+        };
+        submitted += 1;
+        if cancel {
+            ticket.cancel();
+        }
+        outstanding.push_back((ticket, tree));
+    }
+    while !outstanding.is_empty() {
+        settle(&mut outstanding, &mut outcomes, &mut lost);
+    }
+
+    // Recovery: the pool must return to full capacity with every
+    // breaker closed within the bound (probes run on idle workers).
+    let resolved_at = Instant::now();
+    let mut recovered = false;
+    loop {
+        let healthy = service.alive_workers() == workers
+            && service
+                .breaker_states()
+                .iter()
+                .all(|s| *s == BreakerState::Closed);
+        if healthy {
+            recovered = true;
+            break;
+        }
+        if resolved_at.elapsed() > cfg.recovery_bound {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let recovery_seconds = resolved_at.elapsed().as_secs_f64();
+
+    // Bit-identity: every completed result must match a serial scalar
+    // re-evaluation exactly.
+    let mut checked = 0usize;
+    let mut bit_mismatches = 0usize;
+    let mut reference = ScalarBackend;
+    for (outcome, tree) in &outcomes {
+        let Some(lnl) = outcome.ln_likelihood() else {
+            continue;
+        };
+        let serial = TreeLikelihood::new(tree, &ds.data, model.clone())
+            .and_then(|mut eval| eval.log_likelihood(tree, &mut reference));
+        checked += 1;
+        match serial {
+            Ok(expected) if expected.to_bits() == lnl.to_bits() => {}
+            _ => bit_mismatches += 1,
+        }
+    }
+
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut cancelled = 0usize;
+    let mut deadline_missed = 0usize;
+    for (outcome, _) in &outcomes {
+        match outcome {
+            JobOutcome::Completed { .. } => completed += 1,
+            JobOutcome::Failed { .. } => failed += 1,
+            JobOutcome::Cancelled => cancelled += 1,
+            JobOutcome::DeadlineMissed => deadline_missed += 1,
+        }
+    }
+
+    let alive_workers_at_exit = service.alive_workers();
+    let breaker_states_at_exit: Vec<String> = service
+        .breaker_states()
+        .iter()
+        .map(|s| s.label().to_string())
+        .collect();
+    let snapshot = service.snapshot();
+    service.shutdown();
+
+    // Invariant checks.
+    if lost > 0 {
+        failures.push(format!("{lost} job(s) lost (no terminal outcome)"));
+    }
+    if bit_mismatches > 0 {
+        failures.push(format!(
+            "{bit_mismatches} completed result(s) diverged from the serial scalar reference"
+        ));
+    }
+    if outcomes.len() + lost != submitted {
+        failures.push(format!(
+            "outcome accounting broken: {submitted} submitted vs {} resolved + {lost} lost",
+            outcomes.len()
+        ));
+    }
+    if cfg.kills_requested() {
+        if snapshot.watchdog_respawns == 0 {
+            failures.push("worker kills requested but the watchdog never respawned".into());
+        }
+        if alive_workers_at_exit != workers {
+            failures.push(format!(
+                "worker capacity not restored: {alive_workers_at_exit}/{workers} alive at exit"
+            ));
+        }
+    }
+    if cfg.blackouts_requested() {
+        if snapshot.breaker_opened == 0 {
+            failures.push("blackouts requested but no breaker ever opened".into());
+        }
+        if snapshot.breaker_closed == 0 {
+            failures.push("a breaker opened but never re-closed via half-open probes".into());
+        }
+    }
+    if !recovered {
+        failures.push(format!(
+            "pool not healthy within the {:.1} s recovery bound: {alive_workers_at_exit}/{workers} \
+             alive, breakers [{}]",
+            cfg.recovery_bound.as_secs_f64(),
+            breaker_states_at_exit.join(", ")
+        ));
+    }
+
+    let pass = failures.is_empty();
+    ChaosReport {
+        seed: cfg.seed,
+        workers,
+        submitted,
+        completed,
+        failed,
+        cancelled,
+        deadline_missed,
+        lost,
+        checked,
+        bit_mismatches,
+        rejections_retried,
+        sheds_retried,
+        kills_scheduled: cfg.scheduled_kills.len(),
+        blackouts_scheduled: cfg.scheduled_blackouts.len(),
+        injector_faults_fired: injector.as_ref().map(|i| i.fired()).unwrap_or(0),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        recovery_seconds,
+        recovered,
+        alive_workers_at_exit,
+        breaker_states_at_exit,
+        service: snapshot,
+        failures,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_soak_passes_without_faults() {
+        let cfg = ChaosConfig {
+            jobs: 24,
+            workers: 2,
+            concurrency: 8,
+            scheduled_kills: Vec::new(),
+            scheduled_blackouts: Vec::new(),
+            cancel_fraction: 0.0,
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg, &scalar_chaos_factory());
+        assert!(report.pass, "failures: {:?}", report.failures);
+        assert_eq!(report.submitted, 24);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.bit_mismatches, 0);
+        assert_eq!(report.service.watchdog_respawns, 0);
+    }
+
+    #[test]
+    fn kill_and_blackout_soak_recovers_and_passes() {
+        let cfg = ChaosConfig {
+            jobs: 80,
+            workers: 2,
+            concurrency: 16,
+            scheduled_kills: vec![ScheduledKill {
+                worker: 0,
+                after_jobs: 10,
+            }],
+            scheduled_blackouts: vec![ScheduledBlackout {
+                worker: 1,
+                after_jobs: 30,
+                failures: 5,
+            }],
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg, &scalar_chaos_factory());
+        assert!(report.pass, "failures: {:?}", report.failures);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.bit_mismatches, 0);
+        assert!(report.service.watchdog_respawns >= 1, "kill must respawn");
+        assert!(report.service.breaker_opened >= 1, "blackout must trip");
+        assert!(report.service.breaker_closed >= 1, "probe must re-close");
+        assert_eq!(report.alive_workers_at_exit, 2);
+        assert!(report
+            .breaker_states_at_exit
+            .iter()
+            .all(|s| s == "closed"));
+    }
+
+    #[test]
+    fn chaos_report_serializes() {
+        let cfg = ChaosConfig {
+            jobs: 4,
+            workers: 1,
+            concurrency: 4,
+            scheduled_kills: Vec::new(),
+            scheduled_blackouts: Vec::new(),
+            cancel_fraction: 0.0,
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg, &scalar_chaos_factory());
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"pass\""));
+        assert!(json.contains("\"breaker_states_at_exit\""));
+        assert!(json.contains("\"watchdog_respawns\""));
+    }
+}

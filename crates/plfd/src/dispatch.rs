@@ -1,149 +1,575 @@
-//! The dispatcher: shards fused batches across a pool of backend
-//! worker threads and reassembles per-job outcomes.
+//! The dispatcher: shards fused batches across a pool of supervised
+//! backend worker threads and reassembles per-job outcomes.
 //!
-//! Each worker owns one `PlfBackend` (typically resilient-wrapped, so
-//! retries and tier degradation happen inside the worker) and receives
-//! shards over a rendezvous channel — bounded at one in-flight shard
-//! per worker, which is the pool's own backpressure toward the
-//! scheduler. Reassembly is per-job: every job carries its completion
-//! cell, so results flow straight back to the submitting caller with
-//! no collation step that a slow batchmate could stall.
+//! Each worker slot owns one `PlfBackend` and receives shards over a
+//! rendezvous channel — bounded at one in-flight shard per worker,
+//! which is the pool's own backpressure toward the scheduler. Jobs are
+//! registered in the slot's *ledger* before they are sent and removed
+//! as each resolves, so at any instant the ledger is exactly the
+//! worker's in-flight set.
 //!
-//! **Failure containment.** A job that fails evaluation (after the
-//! resilience layer exhausted retries and fallbacks) resolves as
-//! `Failed` without affecting its batchmates; even a panic escaping a
-//! backend is caught per job and folded into a `Failed` outcome, so a
-//! poisoned job can never sink the shard, the worker, or the service.
+//! **Supervision.** A watchdog thread polls the slots: a worker that
+//! died (injected kill, escaped panic) is respawned from its slot's
+//! [`BackendFactory`] and its ledger is re-dispatched to the fresh
+//! worker; the at-most-once guard on `Job` keeps a duplicate execution
+//! from double-publishing — safe because every backend produces
+//! bit-identical results. A worker whose heartbeat goes stale while
+//! jobs are in flight is surfaced as a hang detection (threads cannot
+//! be preempted, so hung workers are counted, not force-killed).
+//!
+//! **Degradation routing.** Every slot carries a circuit breaker fed
+//! by the `PlfError` taxonomy. Dispatch routes shards only to workers
+//! with closed breakers (falling back to any live worker when every
+//! breaker is open, so the service never stalls outright); a job that
+//! faults on a tripped backend is redirected once to a healthy worker
+//! before it is allowed to fail.
 //!
 //! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
 
-use crate::job::{Job, JobOutcome};
+use crate::health::{
+    is_backend_fault, run_probe, AdmissionController, BackendFactory, BreakerPolicy,
+    BreakerState, CircuitBreaker, WatchdogPolicy,
+};
+use crate::job::{Job, JobId, JobOutcome};
 use crate::scheduler::Batch;
 use plf_phylo::kernels::PlfBackend;
 use plf_phylo::likelihood::TreeLikelihood;
 use plf_phylo::metrics::ServiceCounters;
-use plf_phylo::resilience::panic_message;
+use plf_phylo::resilience::{panic_message, FaultInjector, FaultSite, PlfError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// One worker's slice of a fused batch.
+/// One worker's slice of a fused batch. Jobs are shared with the
+/// slot's ledger so the watchdog can recover them if the worker dies.
 struct Shard {
-    jobs: Vec<Job>,
+    jobs: Vec<Arc<Job>>,
 }
 
-/// A pool of backend-owning worker threads.
+/// How long an idle worker waits for a shard before checking whether
+/// its breaker owes a half-open probe.
+const PROBE_TICK: Duration = Duration::from_millis(20);
+
+/// Consecutive jobs darkened by one rate-triggered blackout roll.
+const BLACKOUT_BURST: u64 = 4;
+
+/// Dispatch retry rounds before a shard is declared unplaceable.
+const MAX_PLACEMENT_ROUNDS: usize = 200;
+
+/// Non-channel pool knobs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PoolConfig {
+    pub breaker: BreakerPolicy,
+    pub watchdog: WatchdogPolicy,
+    /// Service-level fault injector consulted at the `WorkerKill` and
+    /// `BackendBlackout` sites (one roll per job per site).
+    pub injector: Option<Arc<FaultInjector>>,
+}
+
+/// One supervised worker slot.
+struct WorkerSlot {
+    sender: Mutex<Option<SyncSender<Shard>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    /// Worker thread is running. Cleared by the worker's drop guard on
+    /// any exit (clean, killed, or panicked).
+    alive: AtomicBool,
+    /// Worker exited cleanly at shutdown; the watchdog must not
+    /// respawn it.
+    retired: AtomicBool,
+    /// Control-plane kill switch: the worker dies before its next job.
+    kill_pending: AtomicBool,
+    /// Jobs the backend will refuse before recovering (blackout).
+    blackout_remaining: AtomicU64,
+    /// Nanoseconds since the pool epoch at the last heartbeat.
+    heartbeat: AtomicU64,
+    /// In-flight jobs (registered before send, removed as resolved).
+    ledger: Mutex<Vec<Arc<Job>>>,
+    breaker: CircuitBreaker,
+    factory: BackendFactory,
+    /// The initial backend, consumed by the first spawn; respawns use
+    /// the factory.
+    initial: Mutex<Option<Box<dyn PlfBackend>>>,
+}
+
+impl std::fmt::Debug for WorkerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerSlot")
+            .field("alive", &self.alive.load(Ordering::Relaxed))
+            .field("breaker", &self.breaker.state().label())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerSlot {
+    fn lock_ledger(&self) -> MutexGuard<'_, Vec<Arc<Job>>> {
+        self.ledger.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn ledger_remove(&self, id: JobId) {
+        let mut ledger = self.lock_ledger();
+        if let Some(pos) = ledger.iter().position(|j| j.id == id) {
+            ledger.swap_remove(pos);
+        }
+    }
+
+    /// Consume one blackout charge; `true` means this job is darkened.
+    fn consume_blackout(&self) -> bool {
+        self.blackout_remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Pool state shared between the scheduler-owned [`WorkerPool`], the
+/// worker threads, the watchdog, and the service facade.
+#[derive(Debug)]
+pub(crate) struct PoolShared {
+    slots: Vec<WorkerSlot>,
+    counters: Arc<ServiceCounters>,
+    controller: Arc<AdmissionController>,
+    injector: Option<Arc<FaultInjector>>,
+    epoch: Instant,
+    shutting_down: AtomicBool,
+    next_worker: AtomicUsize,
+    unit_patterns: usize,
+    /// Faulted jobs awaiting a one-time redirect to a healthy worker.
+    retry_parked: Mutex<Vec<Arc<Job>>>,
+}
+
+impl PoolShared {
+    /// Worker count.
+    pub(crate) fn n_workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Workers whose threads are currently running.
+    pub(crate) fn alive_workers(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.alive.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Per-slot breaker states, in worker order.
+    pub(crate) fn breaker_states(&self) -> Vec<BreakerState> {
+        self.slots.iter().map(|s| s.breaker.state()).collect()
+    }
+
+    /// Arrange for worker `i` to die before its next job (exercises
+    /// the watchdog respawn path). Out-of-range indices are ignored.
+    pub(crate) fn kill_worker(&self, i: usize) {
+        if let Some(slot) = self.slots.get(i) {
+            slot.kill_pending.store(true, Ordering::Release);
+        }
+    }
+
+    /// Make worker `i`'s backend refuse its next `n` jobs (exercises
+    /// the circuit breaker). Out-of-range indices are ignored.
+    pub(crate) fn blackout_worker(&self, i: usize, n: u64) {
+        if let Some(slot) = self.slots.get(i) {
+            slot.blackout_remaining.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn beat(&self, i: usize) {
+        if let Some(slot) = self.slots.get(i) {
+            slot.heartbeat.store(self.now_nanos(), Ordering::Release);
+        }
+    }
+
+    fn roll(&self, site: FaultSite) -> bool {
+        self.injector.as_ref().is_some_and(|inj| inj.fire(site))
+    }
+
+    /// Pick a target slot: round-robin over live workers with closed
+    /// breakers; if none, any live worker (an all-open pool degrades to
+    /// best-effort rather than stalling); if none at all, the nominal
+    /// round-robin slot (the send will fail and the caller retries).
+    fn pick_worker(&self) -> usize {
+        let n = self.slots.len().max(1);
+        let start = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let i = (start + k) % n;
+            if let Some(s) = self.slots.get(i) {
+                if s.alive.load(Ordering::Acquire) && s.breaker.allows_dispatch() {
+                    return i;
+                }
+            }
+        }
+        for k in 0..n {
+            let i = (start + k) % n;
+            if let Some(s) = self.slots.get(i) {
+                if s.alive.load(Ordering::Acquire) {
+                    return i;
+                }
+            }
+        }
+        start % n
+    }
+
+    /// Register `jobs` in slot `w`'s ledger and send them as one
+    /// shard. On send failure (worker died between pick and send) the
+    /// ledger entries are rolled back and `false` is returned.
+    fn try_send(&self, w: usize, jobs: &[Arc<Job>]) -> bool {
+        let Some(slot) = self.slots.get(w) else {
+            return false;
+        };
+        slot.lock_ledger().extend(jobs.iter().map(Arc::clone));
+        let sender = slot
+            .sender
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        let sent = match sender {
+            Some(tx) => tx
+                .send(Shard {
+                    jobs: jobs.to_vec(),
+                })
+                .is_ok(),
+            None => false,
+        };
+        if !sent {
+            let mut ledger = slot.lock_ledger();
+            for job in jobs {
+                if let Some(pos) = ledger.iter().position(|j| j.id == job.id) {
+                    ledger.swap_remove(pos);
+                }
+            }
+        }
+        sent
+    }
+
+    /// Place one shard on some live worker, waiting out respawns if
+    /// necessary. Jobs that cannot be placed at all resolve as failed.
+    fn place_shard(&self, jobs: Vec<Arc<Job>>) {
+        for round in 0..MAX_PLACEMENT_ROUNDS {
+            let w = self.pick_worker();
+            if self.try_send(w, &jobs) {
+                return;
+            }
+            if self.shutting_down.load(Ordering::Acquire) {
+                break;
+            }
+            // Give the watchdog a beat to respawn someone.
+            if round >= self.slots.len() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        for job in jobs {
+            if job.try_claim() {
+                self.counters.record_failed(&job.tenant);
+                job.publish(JobOutcome::Failed {
+                    error: format!("{}: no live worker available", job.id),
+                });
+            }
+        }
+    }
+
+    /// Park a faulted job for a one-time redirect; the watchdog (or
+    /// shutdown) flushes parked jobs to a healthy worker.
+    fn park_for_redirect(&self, job: Arc<Job>) {
+        self.retry_parked
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(job);
+    }
+
+    /// Re-dispatch every parked job.
+    fn flush_parked(&self) {
+        let parked: Vec<Arc<Job>> = std::mem::take(
+            &mut *self.retry_parked.lock().unwrap_or_else(|p| p.into_inner()),
+        );
+        if !parked.is_empty() {
+            self.place_shard(parked);
+        }
+    }
+
+    /// Is any *other* live worker's breaker closed (a redirect target)?
+    fn redirect_target_exists(&self, not: usize) -> bool {
+        self.slots.iter().enumerate().any(|(i, s)| {
+            i != not && s.alive.load(Ordering::Acquire) && s.breaker.allows_dispatch()
+        })
+    }
+}
+
+/// A pool of supervised backend-owning worker threads.
 #[derive(Debug)]
 pub(crate) struct WorkerPool {
-    senders: Vec<SyncSender<Shard>>,
-    handles: Vec<JoinHandle<()>>,
-    unit_patterns: usize,
-    next_worker: AtomicUsize,
+    shared: Arc<PoolShared>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawn one worker per backend. `unit_patterns` — the fused work
-    /// unit the scheduler sizes batches with — is the *narrowest*
-    /// backend's preferred chunk at the canonical Γ4 rate count, so
-    /// every device in a heterogeneous pool can take any unit.
+    /// Spawn one worker per backend plus the watchdog. `factories[i]`
+    /// rebuilds worker `i`'s backend after a death; `unit_patterns` —
+    /// the fused work unit the scheduler sizes batches with — is the
+    /// *narrowest* backend's preferred chunk at the canonical Γ4 rate
+    /// count, so every device in a heterogeneous pool can take any
+    /// unit.
     pub(crate) fn new(
         backends: Vec<Box<dyn PlfBackend>>,
+        factories: Vec<BackendFactory>,
         counters: Arc<ServiceCounters>,
+        controller: Arc<AdmissionController>,
+        config: PoolConfig,
     ) -> WorkerPool {
         let unit_patterns = backends
             .iter()
             .map(|b| b.preferred_batch_patterns(4).max(1))
             .min()
             .unwrap_or(plf_phylo::kernels::DEFAULT_BATCH_PATTERNS);
-        let mut senders = Vec::with_capacity(backends.len());
-        let mut handles = Vec::with_capacity(backends.len());
-        for backend in backends {
-            let (tx, rx) = sync_channel::<Shard>(1);
-            let worker_counters = Arc::clone(&counters);
-            handles.push(std::thread::spawn(move || {
-                worker_loop(rx, backend, worker_counters);
-            }));
-            senders.push(tx);
-        }
-        WorkerPool {
-            senders,
-            handles,
-            unit_patterns,
+        let scalar_factory: BackendFactory =
+            Arc::new(|| Box::new(plf_phylo::kernels::ScalarBackend));
+        let slots: Vec<WorkerSlot> = backends
+            .into_iter()
+            .enumerate()
+            .map(|(i, backend)| WorkerSlot {
+                sender: Mutex::new(None),
+                handle: Mutex::new(None),
+                alive: AtomicBool::new(false),
+                retired: AtomicBool::new(false),
+                kill_pending: AtomicBool::new(false),
+                blackout_remaining: AtomicU64::new(0),
+                heartbeat: AtomicU64::new(0),
+                ledger: Mutex::new(Vec::new()),
+                breaker: CircuitBreaker::new(config.breaker.clone(), Arc::clone(&counters)),
+                factory: factories.get(i).cloned().unwrap_or_else(|| Arc::clone(&scalar_factory)),
+                initial: Mutex::new(Some(backend)),
+            })
+            .collect();
+        let shared = Arc::new(PoolShared {
+            slots,
+            counters,
+            controller,
+            injector: config.injector,
+            epoch: Instant::now(),
+            shutting_down: AtomicBool::new(false),
             next_worker: AtomicUsize::new(0),
+            unit_patterns,
+            retry_parked: Mutex::new(Vec::new()),
+        });
+        for i in 0..shared.slots.len() {
+            spawn_worker(&shared, i);
         }
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let policy = config.watchdog.clone();
+            std::thread::spawn(move || watchdog_loop(&shared, &policy))
+        };
+        WorkerPool {
+            shared,
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// The shared pool state (for the service facade's control and
+    /// observability surface).
+    pub(crate) fn shared(&self) -> Arc<PoolShared> {
+        Arc::clone(&self.shared)
     }
 
     /// Worker count.
     pub(crate) fn n_workers(&self) -> usize {
-        self.senders.len()
+        self.shared.n_workers()
     }
 
     /// The fused work-unit size the scheduler should batch with.
     pub(crate) fn unit_patterns(&self) -> usize {
-        self.unit_patterns
+        self.shared.unit_patterns
     }
 
-    /// Shard `batch` across the workers round-robin and hand each
-    /// worker its slice. Blocks while every worker already has a shard
-    /// in flight — that rendezvous is the pool's backpressure.
+    /// Shard `batch` across the workers and hand each worker its
+    /// slice. Blocks while every healthy worker already has a shard in
+    /// flight — that rendezvous is the pool's backpressure.
     pub(crate) fn dispatch(&self, batch: Batch) {
-        let n_workers = self.senders.len().max(1);
+        let n_workers = self.shared.slots.len().max(1);
         let n_shards = n_workers.min(batch.jobs.len()).max(1);
         let per_shard = batch.jobs.len().div_ceil(n_shards).max(1);
-        let mut jobs = batch.jobs;
+        let mut jobs: Vec<Arc<Job>> = batch.jobs.into_iter().map(Arc::new).collect();
         while !jobs.is_empty() {
             let rest = jobs.split_off(per_shard.min(jobs.len()));
-            let shard = Shard { jobs };
+            let shard = jobs;
             jobs = rest;
-            let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % n_workers;
-            if let Err(send_err) = self.senders[w].send(shard) {
-                // Worker gone (only possible mid-shutdown): resolve the
-                // shard's jobs as failed rather than dropping them.
-                for job in send_err.0.jobs {
-                    job.finish(JobOutcome::Failed {
-                        error: "worker unavailable during shutdown".into(),
-                    });
-                }
+            self.shared.place_shard(shard);
+        }
+    }
+
+    /// Stop the watchdog, close the shard channels, join every worker,
+    /// and resolve anything left in the ledgers. In-flight shards
+    /// finish first; every job they carry resolves.
+    pub(crate) fn shutdown(mut self) {
+        let shared = Arc::clone(&self.shared);
+        shared.shutting_down.store(true, Ordering::Release);
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+        // One last redirect flush while the workers still run.
+        shared.flush_parked();
+        for slot in &shared.slots {
+            slot.sender.lock().unwrap_or_else(|p| p.into_inner()).take();
+        }
+        for slot in &shared.slots {
+            let handle = slot.handle.lock().unwrap_or_else(|p| p.into_inner()).take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+        // Anything still ledgered belonged to a dead worker that was
+        // never respawned (or died after the watchdog stopped).
+        let mut leftovers: Vec<Arc<Job>> = Vec::new();
+        for slot in &shared.slots {
+            leftovers.append(&mut slot.lock_ledger());
+        }
+        leftovers.append(
+            &mut shared.retry_parked.lock().unwrap_or_else(|p| p.into_inner()),
+        );
+        for job in leftovers {
+            if job.try_claim() {
+                shared.counters.record_failed(&job.tenant);
+                job.publish(JobOutcome::Failed {
+                    error: format!("{}: worker unavailable during shutdown", job.id),
+                });
             }
         }
     }
+}
 
-    /// Close the shard channels and join every worker. In-flight
-    /// shards finish first; every job they carry resolves.
-    pub(crate) fn shutdown(self) {
-        drop(self.senders);
-        for handle in self.handles {
-            let _ = handle.join();
-        }
+/// (Re)spawn the worker thread for slot `i`. The first spawn consumes
+/// the slot's initial backend; respawns build one from the factory.
+fn spawn_worker(shared: &Arc<PoolShared>, i: usize) {
+    let Some(slot) = shared.slots.get(i) else {
+        return;
+    };
+    let backend = slot
+        .initial
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .take()
+        .unwrap_or_else(|| (slot.factory)());
+    let (tx, rx) = sync_channel::<Shard>(1);
+    slot.alive.store(true, Ordering::Release);
+    slot.retired.store(false, Ordering::Release);
+    shared.beat(i);
+    *slot.sender.lock().unwrap_or_else(|p| p.into_inner()) = Some(tx);
+    let thread_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || worker_loop(&thread_shared, i, &rx, backend));
+    *slot.handle.lock().unwrap_or_else(|p| p.into_inner()) = Some(handle);
+}
+
+/// Clears the slot's `alive` flag on any exit from the worker loop —
+/// clean shutdown, injected kill, or an unexpected unwind.
+struct AliveGuard<'a> {
+    slot: &'a WorkerSlot,
+}
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.slot.alive.store(false, Ordering::Release);
     }
 }
 
 fn worker_loop(
-    rx: Receiver<Shard>,
+    shared: &Arc<PoolShared>,
+    idx: usize,
+    rx: &Receiver<Shard>,
     mut backend: Box<dyn PlfBackend>,
-    counters: Arc<ServiceCounters>,
 ) {
-    while let Ok(shard) = rx.recv() {
-        for job in shard.jobs {
-            run_job(backend.as_mut(), job, &counters);
+    let Some(slot) = shared.slots.get(idx) else {
+        return;
+    };
+    let _guard = AliveGuard { slot };
+    loop {
+        match rx.recv_timeout(PROBE_TICK) {
+            Ok(shard) => {
+                for job in shard.jobs {
+                    shared.beat(idx);
+                    if job.is_resolved() {
+                        // Already resolved elsewhere (respawn race).
+                        slot.ledger_remove(job.id);
+                        continue;
+                    }
+                    if slot.kill_pending.swap(false, Ordering::AcqRel)
+                        || shared.roll(FaultSite::WorkerKill)
+                    {
+                        // Die with the job (and the rest of the shard)
+                        // still ledgered; the watchdog recovers them.
+                        return;
+                    }
+                    run_one(shared, idx, slot, backend.as_mut(), &job);
+                    slot.ledger_remove(job.id);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
         }
+        shared.beat(idx);
+        maybe_probe(shared, slot, backend.as_mut());
+    }
+    slot.retired.store(true, Ordering::Release);
+}
+
+/// Run one half-open probe if the slot's breaker owes one. Blackout
+/// charges darken probes too, so a breaker stays open until its
+/// blackout actually lifts.
+fn maybe_probe(shared: &Arc<PoolShared>, slot: &WorkerSlot, backend: &mut dyn PlfBackend) {
+    if shared.shutting_down.load(Ordering::Acquire) {
+        return;
+    }
+    if let Some(seed) = slot.breaker.probe_due(Instant::now()) {
+        let ok = if slot.consume_blackout() {
+            false
+        } else {
+            run_probe(backend, seed)
+        };
+        slot.breaker.record_probe(ok, Instant::now());
     }
 }
 
-/// Evaluate one job on `backend` and publish its terminal outcome.
-fn run_job(backend: &mut dyn PlfBackend, job: Job, counters: &ServiceCounters) {
+/// Evaluate one job on `backend`, publish its terminal outcome (or
+/// park it for a one-time redirect), and feed the slot's breaker.
+fn run_one(
+    shared: &Arc<PoolShared>,
+    idx: usize,
+    slot: &WorkerSlot,
+    backend: &mut dyn PlfBackend,
+    job: &Arc<Job>,
+) {
     let started = Instant::now();
     if job.is_cancelled() {
-        counters.record_cancelled(&job.tenant);
-        job.finish(JobOutcome::Cancelled);
+        if job.try_claim() {
+            shared.counters.record_cancelled(&job.tenant);
+            job.publish(JobOutcome::Cancelled);
+        }
         return;
     }
     if job.past_deadline(started) {
-        counters.record_deadline_missed(&job.tenant);
-        job.finish(JobOutcome::DeadlineMissed);
+        if job.try_claim() {
+            shared.counters.record_deadline_missed(&job.tenant);
+            job.publish(JobOutcome::DeadlineMissed);
+        }
+        return;
+    }
+    // Blackout: the backend refuses the job before evaluation. A rate
+    // roll darkens a burst of consecutive jobs; control-plane blackouts
+    // arrive pre-charged.
+    if shared.roll(FaultSite::BackendBlackout) {
+        slot.blackout_remaining
+            .fetch_add(BLACKOUT_BURST, Ordering::Relaxed);
+    }
+    if slot.consume_blackout() {
+        let err = PlfError::Transfer {
+            backend: backend.name(),
+            channel: "blackout",
+            detail: format!("{}: backend blacked out", job.id),
+        };
+        fault_outcome(shared, idx, slot, job, &err);
         return;
     }
     let wait = started.saturating_duration_since(job.submitted_at);
@@ -152,27 +578,140 @@ fn run_job(backend: &mut dyn PlfBackend, job: Job, counters: &ServiceCounters) {
         eval.log_likelihood(&job.tree, backend)
     }));
     let service = started.elapsed();
-    let outcome = match result {
-        Ok(Ok(ln_likelihood)) => JobOutcome::Completed {
-            ln_likelihood,
-            wait,
-            service,
-            backend: backend.name(),
-        },
-        Ok(Err(err)) => JobOutcome::Failed {
-            error: format!("{}: {err}", job.id),
-        },
-        Err(payload) => JobOutcome::Failed {
-            error: format!(
-                "{}: evaluation panicked: {}",
-                job.id,
-                panic_message(payload.as_ref())
-            ),
-        },
-    };
-    match &outcome {
-        JobOutcome::Completed { .. } => counters.record_completed(&job.tenant, wait, service),
-        _ => counters.record_failed(&job.tenant),
+    match result {
+        Ok(Ok(ln_likelihood)) => {
+            slot.breaker.record_success();
+            if job.try_claim() {
+                shared.counters.record_completed(&job.tenant, wait, service);
+                shared.controller.observe(service);
+                job.publish(JobOutcome::Completed {
+                    ln_likelihood,
+                    wait,
+                    service,
+                    backend: backend.name(),
+                });
+            }
+        }
+        Ok(Err(err)) => {
+            // Only backend faults feed the breaker; taxon/tree problems
+            // (and Config errors) are caller mistakes that would fail
+            // identically on any worker.
+            match err {
+                plf_phylo::likelihood::LikelihoodError::Backend(plf)
+                    if is_backend_fault(&plf) =>
+                {
+                    fault_outcome(shared, idx, slot, job, &plf);
+                }
+                other => {
+                    if job.try_claim() {
+                        shared.counters.record_failed(&job.tenant);
+                        job.publish(JobOutcome::Failed {
+                            error: format!("{}: {other}", job.id),
+                        });
+                    }
+                }
+            }
+        }
+        Err(payload) => {
+            let err = PlfError::WorkerPanic {
+                backend: backend.name(),
+                detail: panic_message(payload.as_ref()),
+            };
+            fault_outcome(shared, idx, slot, job, &err);
+        }
     }
-    job.finish(outcome);
+}
+
+/// A job hit a backend fault on slot `idx`: feed the breaker, then
+/// either redirect the job once to a healthy worker or fail it.
+fn fault_outcome(
+    shared: &Arc<PoolShared>,
+    idx: usize,
+    slot: &WorkerSlot,
+    job: &Arc<Job>,
+    err: &PlfError,
+) {
+    slot.breaker.record_fault(Instant::now());
+    let first_redirect = job
+        .redirected
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok();
+    if first_redirect
+        && !shared.shutting_down.load(Ordering::Acquire)
+        && shared.redirect_target_exists(idx)
+    {
+        shared.park_for_redirect(Arc::clone(job));
+        return;
+    }
+    if job.try_claim() {
+        shared.counters.record_failed(&job.tenant);
+        job.publish(JobOutcome::Failed {
+            error: format!("{}: {err}", job.id),
+        });
+    }
+}
+
+/// The watchdog: respawn dead workers (recovering their ledgers),
+/// surface hung workers, and flush redirect-parked jobs.
+fn watchdog_loop(shared: &Arc<PoolShared>, policy: &WatchdogPolicy) {
+    let hang_nanos = u64::try_from(policy.hang_timeout.as_nanos()).unwrap_or(u64::MAX);
+    let mut hang_reported: Vec<u64> = vec![u64::MAX; shared.slots.len()];
+    while !shared.shutting_down.load(Ordering::Acquire) {
+        std::thread::sleep(policy.interval);
+        for i in 0..shared.slots.len() {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                return;
+            }
+            let Some(slot) = shared.slots.get(i) else {
+                continue;
+            };
+            if !slot.alive.load(Ordering::Acquire) {
+                if !slot.retired.load(Ordering::Acquire) {
+                    respawn(shared, i);
+                }
+                continue;
+            }
+            // Hang surfacing: a busy worker whose heartbeat went stale.
+            let hb = slot.heartbeat.load(Ordering::Acquire);
+            let busy = !slot.lock_ledger().is_empty();
+            if busy
+                && shared.now_nanos().saturating_sub(hb) > hang_nanos
+                && hang_reported.get(i).copied() != Some(hb)
+            {
+                shared.counters.record_watchdog_hang();
+                if let Some(r) = hang_reported.get_mut(i) {
+                    *r = hb;
+                }
+            }
+        }
+        shared.flush_parked();
+    }
+}
+
+/// Respawn dead slot `i` and re-dispatch its orphaned ledger to the
+/// fresh worker.
+fn respawn(shared: &Arc<PoolShared>, i: usize) {
+    let Some(slot) = shared.slots.get(i) else {
+        return;
+    };
+    let old = slot.handle.lock().unwrap_or_else(|p| p.into_inner()).take();
+    if let Some(h) = old {
+        let _ = h.join();
+    }
+    let orphans: Vec<Arc<Job>> = std::mem::take(&mut *slot.lock_ledger())
+        .into_iter()
+        .filter(|j| !j.is_resolved())
+        .collect();
+    shared.counters.record_watchdog_respawn();
+    if !orphans.is_empty() {
+        shared.counters.record_requeued(orphans.len() as u64);
+    }
+    spawn_worker(shared, i);
+    if !orphans.is_empty() && !shared.try_send(i, &orphans) {
+        // The fresh worker died before the hand-off; park the jobs
+        // for the normal placement path instead of dropping them.
+        for job in orphans {
+            shared.park_for_redirect(job);
+        }
+    }
 }

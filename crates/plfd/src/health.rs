@@ -1,0 +1,512 @@
+//! The self-healing layer: circuit breakers, watchdog policy, and the
+//! adaptive admission controller.
+//!
+//! Three mechanisms keep the service degrading gracefully instead of
+//! failing hard, each reacting to a *pattern* of failure the per-job
+//! resilience wrapper cannot see:
+//!
+//! * **Per-backend circuit breakers** ([`CircuitBreaker`]): a worker
+//!   whose backend keeps returning [`PlfError`] faults transitions
+//!   `Closed → Open`; dispatch then routes fused batches to healthy
+//!   workers. After a cooldown the breaker goes `HalfOpen` and the
+//!   worker runs a tiny seeded-deterministic probe evaluation — probe
+//!   success re-closes the breaker, failure re-opens it.
+//! * **Watchdog supervision** ([`WatchdogPolicy`]): a supervisor thread
+//!   (in `dispatch.rs`) polls worker liveness and heartbeats, respawns
+//!   dead workers, and re-queues their in-flight jobs. The at-most-once
+//!   guard on `Job` keeps a duplicate execution from double-publishing.
+//! * **Adaptive load shedding** ([`AdmissionController`]): admission
+//!   tracks an EWMA of observed per-job service time and sheds new work
+//!   (with an honest, lane-aware retry-after hint) when the estimated
+//!   queue delay exceeds the policy target — overload is refused at the
+//!   door instead of being queued into certain deadline misses.
+//!
+//! DESIGN.md §12 has the full state machines.
+//!
+//! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
+
+use plf_phylo::kernels::PlfBackend;
+use plf_phylo::likelihood::TreeLikelihood;
+use plf_phylo::metrics::ServiceCounters;
+use plf_phylo::resilience::PlfError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A factory producing a fresh backend for a respawned worker slot.
+///
+/// `Box<dyn PlfBackend>` is not `Clone`, so the watchdog cannot reuse a
+/// dead worker's backend; it builds a replacement from this factory.
+/// Cross-backend bit-parity (every backend produces bit-identical
+/// log-likelihoods) makes any factory a correct choice — the default is
+/// the scalar reference backend.
+pub type BackendFactory = Arc<dyn Fn() -> Box<dyn PlfBackend> + Send + Sync>;
+
+/// Is this error a *backend* fault (should feed the circuit breaker)?
+///
+/// Configuration errors are caller mistakes — a bad tree or model fails
+/// identically on every backend, so they must not open a breaker.
+pub(crate) fn is_backend_fault(err: &PlfError) -> bool {
+    match err {
+        PlfError::Config(_) => false,
+        PlfError::Exhausted { last, .. } => is_backend_fault(last),
+        PlfError::InvalidOutput { .. }
+        | PlfError::Transfer { .. }
+        | PlfError::Launch { .. }
+        | PlfError::WorkerPanic { .. } => true,
+    }
+}
+
+// ---------------------------------------------------------- breakers
+
+/// Circuit-breaker state (see DESIGN.md §12 for the transition diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: the worker receives regular dispatch traffic.
+    Closed,
+    /// Tripped: no dispatch traffic; waiting out the cooldown.
+    Open,
+    /// Cooldown elapsed: a probe job is deciding between re-close and
+    /// re-open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Circuit-breaker knobs.
+#[derive(Debug, Clone)]
+pub struct BreakerPolicy {
+    /// Consecutive backend faults that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before probing.
+    pub cooldown: Duration,
+    /// Seed for the deterministic probe evaluations; each probe uses
+    /// `probe_seed + probe_index` so retries are reproducible but not
+    /// identical occasions.
+    pub probe_seed: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(50),
+            probe_seed: 2009,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_faults: u32,
+    opened_at: Option<Instant>,
+    probes: u64,
+}
+
+/// One worker slot's circuit breaker. Transitions are recorded in the
+/// shared [`ServiceCounters`] as they happen.
+#[derive(Debug)]
+pub(crate) struct CircuitBreaker {
+    inner: Mutex<BreakerInner>,
+    policy: BreakerPolicy,
+    counters: Arc<ServiceCounters>,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(policy: BreakerPolicy, counters: Arc<ServiceCounters>) -> CircuitBreaker {
+        CircuitBreaker {
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_faults: 0,
+                opened_at: None,
+                probes: 0,
+            }),
+            policy,
+            counters,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Current state.
+    pub(crate) fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// May the dispatcher route regular traffic to this worker?
+    pub(crate) fn allows_dispatch(&self) -> bool {
+        self.lock().state == BreakerState::Closed
+    }
+
+    /// Record one successfully evaluated job (resets the fault streak).
+    pub(crate) fn record_success(&self) {
+        self.lock().consecutive_faults = 0;
+    }
+
+    /// Record one backend fault. Trips `Closed → Open` when the streak
+    /// reaches the policy threshold.
+    pub(crate) fn record_fault(&self, now: Instant) {
+        let mut inner = self.lock();
+        inner.consecutive_faults = inner.consecutive_faults.saturating_add(1);
+        if inner.state == BreakerState::Closed
+            && inner.consecutive_faults >= self.policy.failure_threshold.max(1)
+        {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(now);
+            drop(inner);
+            self.counters.record_breaker_open();
+        }
+    }
+
+    /// If the breaker is `Open` and the cooldown has elapsed, move to
+    /// `HalfOpen` and return the seed for the probe the caller must now
+    /// run (followed by [`CircuitBreaker::record_probe`]).
+    pub(crate) fn probe_due(&self, now: Instant) -> Option<u64> {
+        let mut inner = self.lock();
+        if inner.state != BreakerState::Open {
+            return None;
+        }
+        let due = inner
+            .opened_at
+            .map(|t| now.saturating_duration_since(t) >= self.policy.cooldown)
+            .unwrap_or(true);
+        if !due {
+            return None;
+        }
+        inner.state = BreakerState::HalfOpen;
+        let seed = self.policy.probe_seed.wrapping_add(inner.probes);
+        inner.probes += 1;
+        drop(inner);
+        self.counters.record_breaker_half_open();
+        Some(seed)
+    }
+
+    /// Resolve a half-open probe: success re-closes the breaker,
+    /// failure re-opens it (restarting the cooldown).
+    pub(crate) fn record_probe(&self, ok: bool, now: Instant) {
+        self.counters.record_probe(ok);
+        let mut inner = self.lock();
+        if inner.state != BreakerState::HalfOpen {
+            return;
+        }
+        if ok {
+            inner.state = BreakerState::Closed;
+            inner.consecutive_faults = 0;
+            inner.opened_at = None;
+            drop(inner);
+            self.counters.record_breaker_close();
+        } else {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(now);
+            drop(inner);
+            self.counters.record_breaker_open();
+        }
+    }
+}
+
+/// Run one seeded-deterministic probe evaluation on `backend`: a tiny
+/// 4-taxon dataset generated from `seed`, judged healthy when it
+/// produces a finite log-likelihood. Panics are contained and count as
+/// probe failure.
+pub(crate) fn run_probe(backend: &mut dyn PlfBackend, seed: u64) -> bool {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 8), seed);
+        let mut eval = TreeLikelihood::new(&ds.tree, &ds.data, plf_seqgen::default_model())?;
+        eval.log_likelihood(&ds.tree, backend)
+    }));
+    matches!(result, Ok(Ok(lnl)) if lnl.is_finite())
+}
+
+// ---------------------------------------------------------- watchdog
+
+/// Watchdog supervision knobs.
+#[derive(Debug, Clone)]
+pub struct WatchdogPolicy {
+    /// How often the watchdog polls worker liveness.
+    pub interval: Duration,
+    /// How stale a busy worker's heartbeat may grow before it is
+    /// counted as hung (a detection: threads cannot be preempted, so a
+    /// hang is surfaced in the counters rather than force-killed).
+    pub hang_timeout: Duration,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> WatchdogPolicy {
+        WatchdogPolicy {
+            interval: Duration::from_millis(5),
+            hang_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+// ---------------------------------------------------------- shedding
+
+/// Adaptive load-shedding knobs.
+#[derive(Debug, Clone)]
+pub struct ShedPolicy {
+    /// Shed a submission when its estimated queue delay exceeds this.
+    pub target_delay: Duration,
+    /// EWMA weight of the newest service-time observation, in `(0, 1]`.
+    pub alpha: f64,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> ShedPolicy {
+        ShedPolicy {
+            target_delay: Duration::from_millis(500),
+            alpha: 0.2,
+        }
+    }
+}
+
+/// Floor for retry-after hints.
+const HINT_MIN: Duration = Duration::from_micros(100);
+/// Ceiling for retry-after hints.
+const HINT_MAX: Duration = Duration::from_secs(1);
+
+/// Backlog-and-latency-aware admission estimator shared between the
+/// queue (which asks for shed decisions and retry hints) and the
+/// workers (which feed it completed-job service times).
+///
+/// The estimate for a submission with `jobs_ahead` queued jobs that
+/// will drain before it is `jobs_ahead × ewma(service) / workers` —
+/// lane-aware because the caller counts only the jobs that actually
+/// drain first (the high lane sees only high-lane backlog; the normal
+/// lane sees both).
+#[derive(Debug)]
+pub(crate) struct AdmissionController {
+    /// EWMA of per-job service time, integer nanoseconds.
+    drain_nanos: AtomicU64,
+    workers: AtomicUsize,
+    policy: ShedPolicy,
+}
+
+impl AdmissionController {
+    /// `initial` seeds the EWMA before any completion was observed
+    /// (the configured static drain hint).
+    pub(crate) fn new(initial: Duration, policy: ShedPolicy) -> Arc<AdmissionController> {
+        let nanos = u64::try_from(initial.as_nanos()).unwrap_or(u64::MAX).max(1);
+        Arc::new(AdmissionController {
+            drain_nanos: AtomicU64::new(nanos),
+            workers: AtomicUsize::new(1),
+            policy,
+        })
+    }
+
+    /// Tell the controller how many workers drain the queue.
+    pub(crate) fn set_workers(&self, n: usize) {
+        self.workers.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Fold one observed per-job service time into the EWMA.
+    pub(crate) fn observe(&self, service: Duration) {
+        let obs = u64::try_from(service.as_nanos()).unwrap_or(u64::MAX).max(1) as f64;
+        let alpha = self.policy.alpha.clamp(0.01, 1.0);
+        let _ = self
+            .drain_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                let new = (old as f64) * (1.0 - alpha) + obs * alpha;
+                Some(new.min(u64::MAX as f64).max(1.0) as u64)
+            });
+    }
+
+    /// Current per-job drain estimate.
+    #[cfg(test)]
+    pub(crate) fn per_job_estimate(&self) -> Duration {
+        Duration::from_nanos(self.drain_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Estimated queue delay for a submission with `jobs_ahead` jobs
+    /// draining before it.
+    pub(crate) fn estimated_wait(&self, jobs_ahead: usize) -> Duration {
+        let per = self.drain_nanos.load(Ordering::Relaxed);
+        let workers = self.workers.load(Ordering::Relaxed).max(1) as u64;
+        let ahead = u64::try_from(jobs_ahead).unwrap_or(u64::MAX);
+        Duration::from_nanos(ahead.saturating_mul(per) / workers)
+    }
+
+    /// Honest retry-after hint for a rejected/shed submission, clamped
+    /// to `[100 µs, 1 s]`.
+    pub(crate) fn retry_hint(&self, jobs_ahead: usize) -> Duration {
+        self.estimated_wait(jobs_ahead.max(1)).clamp(HINT_MIN, HINT_MAX)
+    }
+
+    /// `Some(retry_after)` when the submission should be shed because
+    /// its estimated delay exceeds the policy target.
+    pub(crate) fn shed_decision(&self, jobs_ahead: usize) -> Option<Duration> {
+        (self.estimated_wait(jobs_ahead) > self.policy.target_delay)
+            .then(|| self.retry_hint(jobs_ahead))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::kernels::ScalarBackend;
+    use plf_phylo::resilience::PlfOpKind;
+
+    fn breaker(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker::new(
+            BreakerPolicy {
+                failure_threshold: threshold,
+                cooldown,
+                probe_seed: 7,
+            },
+            ServiceCounters::new(),
+        )
+    }
+
+    fn fault() -> PlfError {
+        PlfError::Transfer {
+            backend: "test".into(),
+            channel: "dma",
+            detail: "injected".into(),
+        }
+    }
+
+    #[test]
+    fn config_errors_are_not_backend_faults() {
+        assert!(!is_backend_fault(&PlfError::Config("bad tree".into())));
+        assert!(is_backend_fault(&fault()));
+        assert!(is_backend_fault(&PlfError::InvalidOutput {
+            backend: "b".into(),
+            op: PlfOpKind::Down,
+            detail: "nan".into(),
+        }));
+        assert!(is_backend_fault(&PlfError::Exhausted {
+            attempts: 3,
+            last: Box::new(fault()),
+        }));
+        assert!(!is_backend_fault(&PlfError::Exhausted {
+            attempts: 1,
+            last: Box::new(PlfError::Config("bad".into())),
+        }));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_consecutive_faults() {
+        let b = breaker(3, Duration::from_millis(10));
+        let now = Instant::now();
+        assert!(b.allows_dispatch());
+        b.record_fault(now);
+        b.record_fault(now);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_fault(now);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_dispatch());
+    }
+
+    #[test]
+    fn success_resets_the_fault_streak() {
+        let b = breaker(2, Duration::from_millis(10));
+        let now = Instant::now();
+        b.record_fault(now);
+        b.record_success();
+        b.record_fault(now);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn probe_cycle_recloses_or_reopens() {
+        let counters = ServiceCounters::new();
+        let b = CircuitBreaker::new(
+            BreakerPolicy {
+                failure_threshold: 1,
+                cooldown: Duration::from_millis(1),
+                probe_seed: 7,
+            },
+            Arc::clone(&counters),
+        );
+        let t0 = Instant::now();
+        b.record_fault(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown not yet elapsed: no probe.
+        assert_eq!(b.probe_due(t0), None);
+        let later = t0 + Duration::from_millis(2);
+        let seed = b.probe_due(later).expect("probe due after cooldown");
+        assert_eq!(seed, 7);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Failed probe: back to Open, next probe gets a fresh seed.
+        b.record_probe(false, later);
+        assert_eq!(b.state(), BreakerState::Open);
+        let seed2 = b
+            .probe_due(later + Duration::from_millis(2))
+            .expect("second probe");
+        assert_eq!(seed2, 8);
+        b.record_probe(true, later);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows_dispatch());
+        let s = counters.snapshot();
+        assert_eq!(s.breaker_opened, 2); // initial trip + failed probe
+        assert_eq!(s.breaker_half_opened, 2);
+        assert_eq!(s.breaker_closed, 1);
+        assert_eq!(s.probes_ok, 1);
+        assert_eq!(s.probes_failed, 1);
+    }
+
+    #[test]
+    fn probe_succeeds_on_healthy_backend() {
+        let mut backend = ScalarBackend;
+        assert!(run_probe(&mut backend, 7));
+        assert!(run_probe(&mut backend, 8));
+    }
+
+    #[test]
+    fn controller_estimates_scale_with_backlog_and_workers() {
+        let c = AdmissionController::new(Duration::from_millis(1), ShedPolicy::default());
+        c.set_workers(2);
+        assert_eq!(c.estimated_wait(0), Duration::ZERO);
+        assert_eq!(c.estimated_wait(10), Duration::from_millis(5));
+        c.set_workers(1);
+        assert_eq!(c.estimated_wait(10), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn controller_ewma_tracks_observed_service_times() {
+        let c = AdmissionController::new(
+            Duration::from_millis(1),
+            ShedPolicy {
+                alpha: 1.0, // adopt each observation outright
+                ..ShedPolicy::default()
+            },
+        );
+        c.observe(Duration::from_millis(20));
+        assert_eq!(c.per_job_estimate(), Duration::from_millis(20));
+        assert_eq!(c.estimated_wait(5), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn shed_fires_only_past_the_target_delay() {
+        let c = AdmissionController::new(
+            Duration::from_millis(10),
+            ShedPolicy {
+                target_delay: Duration::from_millis(50),
+                alpha: 0.2,
+            },
+        );
+        assert!(c.shed_decision(5).is_none(), "50 ms estimate is at target");
+        let hint = c.shed_decision(20).expect("200 ms estimate sheds");
+        assert!(hint > Duration::ZERO && hint <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn retry_hint_is_clamped() {
+        let c = AdmissionController::new(Duration::from_nanos(1), ShedPolicy::default());
+        assert_eq!(c.retry_hint(1), Duration::from_micros(100));
+        let slow = AdmissionController::new(Duration::from_secs(10), ShedPolicy::default());
+        assert_eq!(slow.retry_hint(100), Duration::from_secs(1));
+    }
+}

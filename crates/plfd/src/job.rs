@@ -291,6 +291,16 @@ pub(crate) struct Job {
     pub deadline: Option<Instant>,
     pub cancelled: Arc<AtomicBool>,
     pub cell: Arc<JobCell>,
+    /// At-most-once resolution guard: set by the first successful
+    /// [`Job::finish_once`]. The watchdog may re-dispatch a job whose
+    /// worker died mid-shard, so a hung-but-alive worker finishing late
+    /// must neither double-publish nor double-count — the claim on this
+    /// flag decides which execution "owns" the terminal outcome.
+    pub resolved: AtomicBool,
+    /// Degradation-routing guard: a job that hits a backend fault is
+    /// redirected to a healthy worker at most once; a second fault
+    /// (anywhere) fails the job instead of bouncing it forever.
+    pub redirected: AtomicBool,
 }
 
 impl Job {
@@ -309,9 +319,40 @@ impl Job {
         }
     }
 
-    /// Publish the terminal outcome to the ticket.
-    pub(crate) fn finish(&self, outcome: JobOutcome) {
+    /// Whether a terminal outcome was already claimed for this job.
+    pub(crate) fn is_resolved(&self) -> bool {
+        self.resolved.load(Ordering::Acquire)
+    }
+
+    /// Claim the right to resolve this job. Returns `true` for exactly
+    /// one caller — only that caller may record the job in the service
+    /// counters and must then [`Job::publish`] the outcome. Duplicate
+    /// executions (kill/respawn races) are harmless because every
+    /// backend produces bit-identical results, but they must not
+    /// double-count.
+    pub(crate) fn try_claim(&self) -> bool {
+        self.resolved
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Publish the terminal outcome (wakes ticket waiters). Call only
+    /// after winning [`Job::try_claim`], and only after recording the
+    /// job in the counters — waiters may snapshot the counters the
+    /// moment the cell resolves.
+    pub(crate) fn publish(&self, outcome: JobOutcome) {
         self.cell.set(outcome);
+    }
+
+    /// [`Job::try_claim`] + [`Job::publish`] for paths with no counter
+    /// to record.
+    #[cfg(test)]
+    pub(crate) fn finish_once(&self, outcome: JobOutcome) -> bool {
+        if !self.try_claim() {
+            return false;
+        }
+        self.publish(outcome);
+        true
     }
 }
 
@@ -342,6 +383,32 @@ mod tests {
             cell.wait_timeout(Duration::from_millis(5)),
             Some(JobOutcome::Cancelled)
         );
+    }
+
+    #[test]
+    fn finish_once_claims_exactly_once() {
+        let job = Job {
+            id: JobId(0),
+            tenant: "t".into(),
+            priority: Priority::Normal,
+            dataset: DatasetId(0),
+            data: Arc::new(
+                plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 8), 3).data,
+            ),
+            tree: plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 8), 3).tree,
+            model: plf_phylo::model::SiteModel::jc69(),
+            submitted_at: Instant::now(),
+            deadline: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            cell: JobCell::new(),
+            resolved: AtomicBool::new(false),
+            redirected: AtomicBool::new(false),
+        };
+        assert!(!job.is_resolved());
+        assert!(job.finish_once(JobOutcome::Cancelled));
+        assert!(job.is_resolved());
+        assert!(!job.finish_once(JobOutcome::DeadlineMissed));
+        assert_eq!(job.cell.try_get(), Some(JobOutcome::Cancelled));
     }
 
     #[test]

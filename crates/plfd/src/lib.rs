@@ -35,20 +35,33 @@
 //!   [`ServiceCounters`](plf_phylo::metrics::ServiceCounters), with a
 //!   per-tenant breakdown, and surface in the `service` section of
 //!   `BENCH_plf.json` schema v2 ([`loadgen::ServiceBenchmark`]).
+//! * **Self-healing** — a watchdog respawns dead workers and re-queues
+//!   their in-flight jobs (at-most-once, bit-identical results); each
+//!   worker carries a circuit breaker that routes traffic away from a
+//!   faulting backend until seeded half-open probes re-close it; and
+//!   admission sheds load adaptively when the EWMA-estimated queue
+//!   delay exceeds the policy target ([`health`], DESIGN.md §12).
 //!
-//! See [`service`] for the facade and a usage example, and
-//! [`loadgen`] for the deterministic seeded load generator behind
-//! `plfr loadgen`.
+//! See [`service`] for the facade and a usage example, [`loadgen`]
+//! for the deterministic seeded load generator behind `plfr loadgen`,
+//! and [`chaos`] for the seeded chaos soak harness behind `plfr chaos`.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod dispatch;
+pub mod health;
 pub mod job;
 pub mod loadgen;
 pub mod queue;
 pub mod scheduler;
 pub mod service;
 
+pub use chaos::{
+    run_chaos, scalar_chaos_factory, ChaosBackendFactory, ChaosConfig, ChaosReport,
+    ScheduledBlackout, ScheduledKill,
+};
+pub use health::{BackendFactory, BreakerPolicy, BreakerState, ShedPolicy, WatchdogPolicy};
 pub use job::{DatasetId, JobId, JobOutcome, JobSpec, JobTicket, Priority};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport, ServiceBenchmark};
 pub use queue::SubmitError;

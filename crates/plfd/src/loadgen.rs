@@ -9,9 +9,10 @@
 //! tenant, priority, cancellation — derives from one seed through one
 //! `StdRng`, so a (seed, config) pair replays the identical job stream.
 //!
-//! Rejected submissions honor the backpressure contract: the generator
-//! sleeps out the `retry_after` hint and resubmits the same job, so no
-//! job is ever lost to admission control. With `check` enabled, each
+//! Rejected submissions honor the backpressure contract: on either a
+//! capacity rejection or an adaptive shed, the generator sleeps out
+//! the `retry_after` hint and resubmits the same job, so no job is
+//! ever lost to admission control. With `check` enabled, each
 //! completed log-likelihood is recomputed serially on the scalar
 //! reference backend and compared *bit-for-bit*.
 
@@ -104,6 +105,8 @@ pub struct LoadgenReport {
     pub deadline_missed: usize,
     /// Admission rejections absorbed by retry (not lost jobs).
     pub rejections_retried: usize,
+    /// Adaptive-shed refusals absorbed by retry (not lost jobs).
+    pub sheds_retried: usize,
     /// Jobs with no outcome — always 0 unless the service dropped work.
     pub lost: usize,
     /// Completed results re-checked against the serial scalar
@@ -151,6 +154,7 @@ pub fn run(
     let mut outstanding: VecDeque<Pending> = VecDeque::new();
     let mut outcomes: Vec<(JobOutcome, Tree, SiteModel)> = Vec::new();
     let mut rejections_retried = 0usize;
+    let mut sheds_retried = 0usize;
     let mut submitted = 0usize;
     let mut next_open_slot = started;
 
@@ -198,6 +202,10 @@ pub fn run(
                 Ok(t) => break t,
                 Err(SubmitError::QueueFull { retry_after }) => {
                     rejections_retried += 1;
+                    std::thread::sleep(retry_after);
+                }
+                Err(SubmitError::Overloaded { retry_after }) => {
+                    sheds_retried += 1;
                     std::thread::sleep(retry_after);
                 }
                 Err(err) => {
@@ -280,6 +288,7 @@ pub fn run(
         cancelled,
         deadline_missed,
         rejections_retried,
+        sheds_retried,
         lost: submitted.saturating_sub(outcomes.len()),
         checked,
         bit_mismatches,

@@ -1,28 +1,52 @@
-//! Bounded two-lane submission queue with admission control.
+//! Bounded two-lane submission queue with adaptive admission control.
 //!
 //! **Backpressure contract.** `push` never blocks and the queue never
-//! grows past its capacity: at capacity, submissions are rejected with
-//! a `retry_after` hint proportional to the current backlog (depth ×
-//! the configured per-job drain estimate, capped at one second).
-//! Callers are expected to back off for the hinted duration and retry;
-//! the deterministic load generator does exactly that.
+//! grows past its capacity. Two admission gates apply, in order:
+//!
+//! 1. **Hard cap** — at capacity, submissions are rejected with
+//!    [`SubmitError::QueueFull`] and a retry hint from the
+//!    [`AdmissionController`]'s live drain estimate.
+//! 2. **Adaptive shed** — below capacity, a submission whose estimated
+//!    queue delay already exceeds the shed policy's target is refused
+//!    with [`SubmitError::Overloaded`] rather than queued into a
+//!    near-certain deadline miss.
+//!
+//! Both hints are *lane-aware*: a high-priority submission only waits
+//! out the high-lane backlog (the high lane drains first), so its
+//! `jobs_ahead` counts only that lane, while a normal-priority
+//! submission counts the total depth. Callers back off for the hinted
+//! duration and retry; the deterministic load generator does exactly
+//! that.
+//!
+//! **In-queue deadline expiry.** A job whose deadline passes while it
+//! is still queued resolves as `DeadlineMissed` at pop time — it is
+//! never handed to the scheduler, so an expired job cannot consume a
+//! batch slot nor be silently dispatched.
 //!
 //! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
 //! Lock poisoning is absorbed with `unwrap_or_else(|p| p.into_inner())`
 //! — counter/queue state stays consistent because every critical
 //! section leaves the lanes structurally valid before it can panic.
 
-use crate::job::{DatasetId, Job, Priority};
+use crate::health::AdmissionController;
+use crate::job::{DatasetId, Job, JobOutcome, Priority};
 use plf_phylo::metrics::ServiceCounters;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a submission was not admitted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The queue is at capacity; retry after the hinted backoff.
     QueueFull {
+        /// Estimated time for enough backlog to drain.
+        retry_after: Duration,
+    },
+    /// The queue has room, but the admission controller estimates the
+    /// job would wait longer than the shed policy's target delay;
+    /// retry after the hinted backoff.
+    Overloaded {
         /// Estimated time for enough backlog to drain.
         retry_after: Duration,
     },
@@ -33,12 +57,28 @@ pub enum SubmitError {
     UnknownDataset(DatasetId),
 }
 
+impl SubmitError {
+    /// The backoff hint, for rejections that carry one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            SubmitError::QueueFull { retry_after }
+            | SubmitError::Overloaded { retry_after } => Some(*retry_after),
+            SubmitError::Closed | SubmitError::UnknownDataset(_) => None,
+        }
+    }
+}
+
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull { retry_after } => write!(
                 f,
                 "queue full; retry after {:.1} ms",
+                retry_after.as_secs_f64() * 1e3
+            ),
+            SubmitError::Overloaded { retry_after } => write!(
+                f,
+                "service overloaded (shed); retry after {:.1} ms",
                 retry_after.as_secs_f64() * 1e3
             ),
             SubmitError::Closed => write!(f, "service is shut down"),
@@ -87,21 +127,21 @@ pub(crate) struct BoundedQueue {
     state: Mutex<Lanes>,
     ready: Condvar,
     capacity: usize,
-    drain_hint: Duration,
+    controller: Arc<AdmissionController>,
     counters: Arc<ServiceCounters>,
 }
 
 impl BoundedQueue {
     pub(crate) fn new(
         capacity: usize,
-        drain_hint: Duration,
+        controller: Arc<AdmissionController>,
         counters: Arc<ServiceCounters>,
     ) -> BoundedQueue {
         BoundedQueue {
             state: Mutex::new(Lanes::default()),
             ready: Condvar::new(),
             capacity: capacity.max(1),
-            drain_hint,
+            controller,
             counters,
         }
     }
@@ -127,15 +167,19 @@ impl BoundedQueue {
         if lanes.closed {
             return Err((job, SubmitError::Closed));
         }
-        let depth = lanes.depth();
-        if depth >= self.capacity {
-            let backlog = u32::try_from(depth).unwrap_or(u32::MAX);
-            let retry_after = self
-                .drain_hint
-                .saturating_mul(backlog)
-                .min(Duration::from_secs(1))
-                .max(Duration::from_micros(100));
+        // Lane-aware backlog: the high lane drains first, so a High
+        // submission only waits out the high lane; a Normal submission
+        // waits out everything queued ahead of it.
+        let jobs_ahead = match job.priority {
+            Priority::High => lanes.high.len(),
+            Priority::Normal => lanes.depth(),
+        };
+        if lanes.depth() >= self.capacity {
+            let retry_after = self.controller.retry_hint(jobs_ahead);
             return Err((job, SubmitError::QueueFull { retry_after }));
+        }
+        if let Some(retry_after) = self.controller.shed_decision(jobs_ahead) {
+            return Err((job, SubmitError::Overloaded { retry_after }));
         }
         match job.priority {
             Priority::High => lanes.high.push_back(job),
@@ -147,11 +191,40 @@ impl BoundedQueue {
         Ok(())
     }
 
-    /// Block up to `timeout` for the next job (high lane first).
+    /// Pop the next job that is still live, resolving any job whose
+    /// deadline expired while it sat in the queue as `DeadlineMissed`
+    /// along the way. Must be called with the lanes locked; dequeue
+    /// accounting for expired jobs happens here.
+    fn pop_live(&self, lanes: &mut Lanes) -> Option<Box<Job>> {
+        let now = Instant::now();
+        let mut expired = 0u64;
+        let job = loop {
+            match lanes.pop_front() {
+                None => break None,
+                Some(job) => {
+                    if job.past_deadline(now) && !job.is_cancelled() {
+                        if job.try_claim() {
+                            self.counters.record_deadline_missed(&job.tenant);
+                            job.publish(JobOutcome::DeadlineMissed);
+                        }
+                        expired += 1;
+                        continue;
+                    }
+                    break Some(job);
+                }
+            }
+        };
+        if expired > 0 {
+            self.counters.record_dequeued(expired);
+        }
+        job
+    }
+
+    /// Block up to `timeout` for the next live job (high lane first).
     pub(crate) fn pop_wait(&self, timeout: Duration) -> PopResult {
         let mut lanes = self.lock();
         loop {
-            if let Some(job) = lanes.pop_front() {
+            if let Some(job) = self.pop_live(&mut lanes) {
                 drop(lanes);
                 self.counters.record_dequeued(1);
                 return PopResult::Job(job);
@@ -174,14 +247,16 @@ impl BoundedQueue {
         }
     }
 
-    /// Drain up to `max` jobs without blocking, high lane first.
+    /// Drain up to `max` live jobs without blocking, high lane first.
+    /// Jobs that expired in the queue resolve as `DeadlineMissed` and
+    /// do not count against `max`.
     pub(crate) fn drain(&self, max: usize) -> Vec<Job> {
         let mut lanes = self.lock();
-        let take = max.min(lanes.depth());
-        let mut out = Vec::with_capacity(take);
-        for _ in 0..take {
-            if let Some(job) = lanes.pop_front() {
-                out.push(*job);
+        let mut out = Vec::with_capacity(max.min(lanes.depth()));
+        while out.len() < max {
+            match self.pop_live(&mut lanes) {
+                Some(job) => out.push(*job),
+                None => break,
             }
         }
         drop(lanes);
@@ -201,35 +276,47 @@ impl BoundedQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::ShedPolicy;
     use crate::job::{JobCell, JobId, JobSpec};
     use plf_phylo::model::SiteModel;
     use std::sync::atomic::AtomicBool;
-    use std::time::Instant;
+    use std::thread;
 
-    fn test_job(id: u64, priority: Priority) -> Box<Job> {
+    fn job_from_spec(id: u64, spec: JobSpec) -> Box<Job> {
         let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 8), 7);
-        let spec = JobSpec::new("t", DatasetId(0), ds.tree, SiteModel::jc69())
-            .with_priority(priority);
-        let aln = ds.data;
+        let now = Instant::now();
         Box::new(Job {
             id: JobId(id),
             tenant: spec.tenant,
             priority: spec.priority,
             dataset: spec.dataset,
-            data: Arc::new(aln),
+            data: Arc::new(ds.data),
             tree: spec.tree,
             model: spec.model,
-            submitted_at: Instant::now(),
-            deadline: None,
+            submitted_at: now,
+            deadline: spec.deadline.map(|d| now + d),
             cancelled: Arc::new(AtomicBool::new(false)),
             cell: JobCell::new(),
+            resolved: AtomicBool::new(false),
+            redirected: AtomicBool::new(false),
         })
+    }
+
+    fn test_job(id: u64, priority: Priority) -> Box<Job> {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 8), 7);
+        let spec = JobSpec::new("t", DatasetId(0), ds.tree, SiteModel::jc69())
+            .with_priority(priority);
+        job_from_spec(id, spec)
+    }
+
+    fn controller(per_job: Duration) -> Arc<AdmissionController> {
+        AdmissionController::new(per_job, ShedPolicy::default())
     }
 
     fn queue(capacity: usize) -> BoundedQueue {
         BoundedQueue::new(
             capacity,
-            Duration::from_micros(500),
+            controller(Duration::from_micros(500)),
             ServiceCounters::new(),
         )
     }
@@ -287,12 +374,136 @@ mod tests {
     #[test]
     fn counters_track_depth() {
         let counters = ServiceCounters::new();
-        let q = BoundedQueue::new(4, Duration::from_micros(500), Arc::clone(&counters));
+        let q = BoundedQueue::new(
+            4,
+            controller(Duration::from_micros(500)),
+            Arc::clone(&counters),
+        );
         q.push(test_job(0, Priority::Normal)).expect("push");
         q.push(test_job(1, Priority::Normal)).expect("push");
         assert_eq!(counters.queue_depth(), 2);
         let _ = q.drain(1);
         assert_eq!(counters.queue_depth(), 1);
         assert_eq!(counters.snapshot().queue_depth_peak, 2);
+    }
+
+    #[test]
+    fn sheds_below_capacity_when_estimated_delay_exceeds_target() {
+        // 200 ms per job, target 500 ms: the 4th Normal submission sees
+        // 3 jobs ahead → 600 ms estimate → shed, though capacity is 64.
+        let c = AdmissionController::new(
+            Duration::from_millis(200),
+            ShedPolicy {
+                target_delay: Duration::from_millis(500),
+                alpha: 0.2,
+            },
+        );
+        let q = BoundedQueue::new(64, c, ServiceCounters::new());
+        for i in 0..3 {
+            assert!(q.push(test_job(i, Priority::Normal)).is_ok());
+        }
+        let (_job, err) = q.push(test_job(3, Priority::Normal)).expect_err("shed");
+        match err {
+            SubmitError::Overloaded { retry_after } => {
+                assert!(retry_after > Duration::ZERO);
+                assert!(retry_after <= Duration::from_secs(1));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 3, "shed job was not queued");
+    }
+
+    #[test]
+    fn retry_hints_are_lane_aware() {
+        // Deep normal backlog, empty high lane, at capacity. The high
+        // submission's hint must reflect only the (empty) high lane —
+        // i.e. the clamp floor — while the normal submission's hint
+        // reflects the whole backlog.
+        let per_job = Duration::from_millis(10);
+        let c = AdmissionController::new(per_job, ShedPolicy {
+            target_delay: Duration::from_secs(60), // shedding off
+            alpha: 0.2,
+        });
+        let q = BoundedQueue::new(8, c, ServiceCounters::new());
+        for i in 0..8 {
+            assert!(q.push(test_job(i, Priority::Normal)).is_ok());
+        }
+        let (_j, high_err) = q.push(test_job(100, Priority::High)).expect_err("full");
+        let (_j, normal_err) = q.push(test_job(101, Priority::Normal)).expect_err("full");
+        let high_hint = high_err.retry_after().expect("hint");
+        let normal_hint = normal_err.retry_after().expect("hint");
+        assert_eq!(
+            high_hint,
+            Duration::from_millis(10),
+            "high lane empty: one-job floor, not the normal backlog"
+        );
+        assert_eq!(normal_hint, Duration::from_millis(80), "8 jobs ahead");
+        assert!(high_hint < normal_hint);
+    }
+
+    #[test]
+    fn close_wakes_all_blocked_waiters() {
+        let q = Arc::new(queue(4));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop_wait(Duration::from_secs(30)))
+            })
+            .collect();
+        // Give the waiters time to block.
+        thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        q.close();
+        for w in waiters {
+            let result = w.join().expect("waiter thread");
+            assert!(matches!(result, PopResult::Closed));
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "close must wake every blocked waiter promptly"
+        );
+    }
+
+    #[test]
+    fn queued_job_past_deadline_resolves_missed_not_dispatched() {
+        let q = queue(4);
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 8), 7);
+        let spec = JobSpec::new("t", DatasetId(0), ds.tree, SiteModel::jc69())
+            .with_deadline(Duration::from_millis(1));
+        let expired = job_from_spec(0, spec);
+        let cell = Arc::clone(&expired.cell);
+        q.push(expired).expect("push");
+        q.push(test_job(1, Priority::Normal)).expect("push");
+        thread::sleep(Duration::from_millis(5));
+        // The expired job must not come out of the queue; the live one
+        // must.
+        let drained = q.drain(8);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id, JobId(1));
+        assert_eq!(cell.try_get(), Some(JobOutcome::DeadlineMissed));
+        assert_eq!(q.depth(), 0, "expired job left the depth gauge");
+    }
+
+    #[test]
+    fn cancel_after_drain_is_a_no_op() {
+        let q = queue(4);
+        let job = test_job(0, Priority::Normal);
+        let cancelled = Arc::clone(&job.cancelled);
+        q.push(job).expect("push");
+        let drained = q.drain(1);
+        assert_eq!(drained.len(), 1);
+        let job = &drained[0];
+        // The job was already handed to the caller; a late cancel flag
+        // flips the bit but cannot claw the job back out of the drain.
+        cancelled.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(q.depth(), 0);
+        // Resolving the drained job still works and wins the cell.
+        assert!(job.finish_once(JobOutcome::Completed {
+            ln_likelihood: -1.0,
+            wait: Duration::ZERO,
+            service: Duration::ZERO,
+            backend: "test".into(),
+        }));
+        assert!(job.cell.try_get().is_some_and(|o| o.is_completed()));
     }
 }

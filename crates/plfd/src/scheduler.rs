@@ -217,6 +217,8 @@ mod tests {
             deadline: None,
             cancelled: Arc::new(AtomicBool::new(false)),
             cell: JobCell::new(),
+            resolved: AtomicBool::new(false),
+            redirected: AtomicBool::new(false),
         }
     }
 

@@ -17,14 +17,17 @@
 //! service.shutdown();
 //! ```
 
-use crate::dispatch::WorkerPool;
+use crate::dispatch::{PoolConfig, PoolShared, WorkerPool};
+use crate::health::{
+    AdmissionController, BackendFactory, BreakerPolicy, BreakerState, ShedPolicy, WatchdogPolicy,
+};
 use crate::job::{DatasetId, Job, JobCell, JobId, JobSpec, JobTicket};
 use crate::queue::{BoundedQueue, SubmitError};
 use crate::scheduler::{run_scheduler, BatchPolicy, Gate};
 use plf_phylo::alignment::PatternAlignment;
 use plf_phylo::kernels::{PlfBackend, ScalarBackend};
 use plf_phylo::metrics::{ServiceCounters, ServiceSnapshot};
-use plf_phylo::resilience::ResilientBackend;
+use plf_phylo::resilience::{FaultInjector, ResilientBackend};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -39,9 +42,19 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Batch formation policy.
     pub batch: BatchPolicy,
-    /// Estimated per-queued-job drain time used to size retry-after
-    /// hints (hint = backlog × this, capped at 1 s).
+    /// Seed for the admission controller's per-job drain estimate;
+    /// after the first completion the estimate tracks an EWMA of
+    /// observed service times instead.
     pub drain_hint: Duration,
+    /// Adaptive load-shedding policy (see [`ShedPolicy`]).
+    pub shed: ShedPolicy,
+    /// Per-worker circuit-breaker policy (see [`BreakerPolicy`]).
+    pub breaker: BreakerPolicy,
+    /// Watchdog supervision policy (see [`WatchdogPolicy`]).
+    pub watchdog: WatchdogPolicy,
+    /// Service-level fault injector consulted at the `WorkerKill` and
+    /// `BackendBlackout` sites; `None` disables service-level chaos.
+    pub fault_injector: Option<Arc<FaultInjector>>,
     /// Start with the scheduler gated shut: admitted jobs stay queued
     /// until [`PlfService::release`] — used by admission-control tests
     /// to observe a full queue deterministically.
@@ -54,6 +67,10 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             batch: BatchPolicy::default(),
             drain_hint: Duration::from_micros(500),
+            shed: ShedPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            watchdog: WatchdogPolicy::default(),
+            fault_injector: None,
             hold: false,
         }
     }
@@ -68,6 +85,7 @@ pub struct PlfService {
     registry: RwLock<HashMap<u64, Arc<PatternAlignment>>>,
     gate: Arc<Gate>,
     scheduler: Option<JoinHandle<()>>,
+    pool_shared: Arc<PoolShared>,
     n_workers: usize,
     unit_patterns: usize,
     next_job: AtomicU64,
@@ -85,17 +103,46 @@ impl PlfService {
     /// # Panics
     /// Panics if `backends` is empty.
     pub fn new(config: ServiceConfig, backends: Vec<Box<dyn PlfBackend>>) -> PlfService {
+        PlfService::new_with_factories(config, backends, Vec::new())
+    }
+
+    /// As [`PlfService::new`], but `factories[i]` rebuilds worker `i`'s
+    /// backend when the watchdog respawns it after a death. Workers
+    /// without a factory respawn on the scalar reference backend —
+    /// correct for any worker because every backend produces
+    /// bit-identical results.
+    ///
+    /// # Panics
+    /// Panics if `backends` is empty.
+    pub fn new_with_factories(
+        config: ServiceConfig,
+        backends: Vec<Box<dyn PlfBackend>>,
+        factories: Vec<BackendFactory>,
+    ) -> PlfService {
         assert!(
             !backends.is_empty(),
             "PlfService needs at least one backend"
         );
         let counters = ServiceCounters::new();
+        let controller = AdmissionController::new(config.drain_hint, config.shed.clone());
+        controller.set_workers(backends.len());
         let queue = Arc::new(BoundedQueue::new(
             config.queue_capacity,
-            config.drain_hint,
+            Arc::clone(&controller),
             Arc::clone(&counters),
         ));
-        let pool = WorkerPool::new(backends, Arc::clone(&counters));
+        let pool = WorkerPool::new(
+            backends,
+            factories,
+            Arc::clone(&counters),
+            controller,
+            PoolConfig {
+                breaker: config.breaker.clone(),
+                watchdog: config.watchdog.clone(),
+                injector: config.fault_injector.clone(),
+            },
+        );
+        let pool_shared = pool.shared();
         let n_workers = pool.n_workers();
         let unit_patterns = pool.unit_patterns();
         let gate = Gate::new(!config.hold);
@@ -112,6 +159,7 @@ impl PlfService {
             registry: RwLock::new(HashMap::new()),
             gate,
             scheduler: Some(scheduler),
+            pool_shared,
             n_workers,
             unit_patterns,
             next_job: AtomicU64::new(0),
@@ -189,11 +237,19 @@ impl PlfService {
             deadline: spec.deadline.map(|d| submitted_at + d),
             cancelled,
             cell,
+            resolved: AtomicBool::new(false),
+            redirected: AtomicBool::new(false),
         });
         match self.queue.push(job) {
             Ok(()) => Ok(ticket),
             Err((job, err)) => {
-                self.counters.record_rejected(&job.tenant);
+                // Sheds and hard rejections are distinct overload
+                // signals; keep their tenant accounting separate.
+                if matches!(err, SubmitError::Overloaded { .. }) {
+                    self.counters.record_shed(&job.tenant);
+                } else {
+                    self.counters.record_rejected(&job.tenant);
+                }
                 Err(err)
             }
         }
@@ -233,6 +289,31 @@ impl PlfService {
     /// The fused work-unit size (patterns) batches are measured in.
     pub fn unit_patterns(&self) -> usize {
         self.unit_patterns
+    }
+
+    /// Worker threads currently running (the watchdog restores this to
+    /// [`PlfService::n_workers`] after a death).
+    pub fn alive_workers(&self) -> usize {
+        self.pool_shared.alive_workers()
+    }
+
+    /// Per-worker circuit-breaker states, in worker order.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.pool_shared.breaker_states()
+    }
+
+    /// Chaos/test control: arrange for worker `i` to die before its
+    /// next job, exercising the watchdog respawn path. Out-of-range
+    /// indices are ignored.
+    pub fn kill_worker(&self, i: usize) {
+        self.pool_shared.kill_worker(i);
+    }
+
+    /// Chaos/test control: make worker `i`'s backend refuse its next
+    /// `n` jobs (and half-open probes), exercising the circuit breaker.
+    /// Out-of-range indices are ignored.
+    pub fn blackout_worker(&self, i: usize, n: u64) {
+        self.pool_shared.blackout_worker(i, n);
     }
 
     /// Stop admitting, flush the backlog through the workers, and join

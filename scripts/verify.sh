@@ -17,8 +17,12 @@
 #   5. clippy with -D warnings on every first-party crate (the
 #      [workspace.lints] wall turns each listed warn into an error);
 #   6. a smoke run of the perf_report binary, proving the observability
-#      pipeline produces a BENCH_plf report end to end (schema v2, with
-#      the plfd service section, self-validated by the binary).
+#      pipeline produces a BENCH_plf report end to end (schema v3, with
+#      the plfd service section including the self-healing counters,
+#      self-validated by the binary);
+#   7. a quick fixed-seed `plfr chaos` soak — a scheduled worker kill
+#      and backend blackout that the service must heal with zero lost
+#      jobs, bit-identical results, and every breaker re-closed.
 #
 # With --smoke, the perf_report step writes its report to
 # ./BENCH_plf.json (smoke-sized: one small data set, 64 service jobs)
@@ -83,6 +87,11 @@ else
         --smoke --out results/BENCH_plf.smoke.tmp
     rm -f results/BENCH_plf.smoke.tmp
 fi
+
+echo "==> plfr chaos (fixed-seed self-healing soak)"
+# Default schedule: kill worker 0 at submission 40, black out worker 1
+# for 6 jobs at submission 80; exits non-zero unless the service heals.
+cargo run --release -q --bin plfr -- chaos --seed 2009 >/dev/null
 
 if [ "$DEEP" = 1 ]; then
     echo "==> deep: miri soundness pass (AlignedBuf / clv)"

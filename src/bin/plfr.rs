@@ -7,6 +7,7 @@
 //!                 [--incremental] [--trace PREFIX] [--sample-every 100] [--seed 42]
 //! plfr serve      --alignment data.fasta [--backend rayon] [--workers 4] [--queue-capacity 256]
 //! plfr loadgen    --jobs 256 [--taxa 10] [--patterns 1000] [--backend rayon] [--workers 4] [--json]
+//! plfr chaos      [--jobs 200] [--seed 2009] [--kills 0@40] [--blackouts 1@80x6] [--json]
 //! plfr backends
 //! ```
 //!
@@ -17,7 +18,10 @@
 //! `serve` runs the `plfd` batched evaluation service over stdin/stdout
 //! (one request per line, see `plfr serve --help`); `loadgen` drives an
 //! in-process service with a deterministic seeded job stream and checks
-//! every completed result bit-for-bit against the scalar reference.
+//! every completed result bit-for-bit against the scalar reference;
+//! `chaos` runs the self-healing soak — worker kills, backend
+//! blackouts, and seeded kernel faults — and exits non-zero unless the
+//! service recovered with zero lost jobs and bit-identical results.
 
 use plf_repro::mcmc::consensus::consensus_from_newicks;
 use plf_repro::mcmc::{p_file, summarize, t_file, Chain, ChainOptions, Mc3, Mc3Options, Priors};
@@ -29,8 +33,8 @@ use plf_repro::phylo::model::{GtrParams, SiteModel};
 use plf_repro::phylo::resilience::{FaultInjector, ResilientBackend};
 use plf_repro::phylo::tree::Tree;
 use plf_repro::plfd::{
-    JobOutcome, JobSpec, LoadMode, LoadgenConfig, PlfService, Priority, ServiceConfig,
-    SubmitError,
+    run_chaos, ChaosBackendFactory, ChaosConfig, JobOutcome, JobSpec, LoadMode, LoadgenConfig,
+    PlfService, Priority, ScheduledBlackout, ScheduledKill, ServiceConfig, SubmitError,
 };
 use plf_repro::seqgen;
 use rand::rngs::StdRng;
@@ -569,13 +573,19 @@ USAGE:
                [--duration SECONDS]                     (stop submitting after this long)
                [--queue-capacity K] [--batch-jobs N] [--batch-units N] [--linger-ms F]
                [--no-check]                             (skip bit-identity verification)
+               [--strict-deadlines]                     (missed deadlines fail the run)
                [--json] [--out FILE]
 
 Default is a closed loop with every job outstanding at once (maximum
 batching pressure); --serial submits one job at a time; --qps switches
 to an open loop at the target rate. Every completed log-likelihood is
-recomputed on the serial scalar reference and must match bit-for-bit;
-any mismatch or lost job makes the run exit non-zero.";
+recomputed on the serial scalar reference and must match bit-for-bit.
+
+EXIT CODE: 0 on success. Non-zero when any job is lost (resolved
+without an outcome), when any completed result is not bit-identical to
+the serial reference, or — with --strict-deadlines — when any job
+misses its deadline. Rejections and sheds are retried internally and
+never affect the exit code.";
 
 fn cmd_loadgen(args: &Args) -> Result<(), String> {
     if args.flag("help") {
@@ -653,7 +663,10 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
             "resolved:         {} completed / {} failed / {} cancelled / {} deadline-missed",
             report.completed, report.failed, report.cancelled, report.deadline_missed
         );
-        println!("rejections:       {} (all retried)", report.rejections_retried);
+        println!(
+            "admission:        {} rejections retried, {} sheds retried",
+            report.rejections_retried, report.sheds_retried
+        );
         println!(
             "throughput:       {:.1} jobs/s over {:.3} s",
             report.jobs_per_second, report.wall_seconds
@@ -681,6 +694,259 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
             report.bit_mismatches
         ));
     }
+    if args.flag("strict-deadlines") && report.deadline_missed > 0 {
+        return Err(format!(
+            "{} job(s) missed their deadline (--strict-deadlines)",
+            report.deadline_missed
+        ));
+    }
+    Ok(())
+}
+
+const CHAOS_USAGE: &str = "plfr chaos — seeded self-healing soak against an in-process plfd service
+
+USAGE:
+  plfr chaos [--jobs 200] [--seed 2009] [--taxa 6] [--patterns 48]
+             [--backend NAME[,NAME...]] [--workers 3] [--concurrency 64]
+             [--corrupt-rate P] [--dma-rate P] [--pcie-rate P] [--launch-rate P]
+             [--panic-rate P] [--kill-rate P] [--blackout-rate P]
+             [--kills W@N[,W@N...] | --kills none]
+             [--blackouts W@NxF[,W@NxF...] | --blackouts none]
+             [--high-frac 0.125] [--cancel-frac 0.05]
+             [--deadline-frac F] [--deadline-ms D]
+             [--max-wall 60] [--recovery-bound 10]
+             [--json] [--out FILE]
+
+Drives a seeded job stream while killing dispatch workers, blacking
+out worker backends, and rolling the PLF_FAULT_* kernel fault sites,
+then asserts the service healed itself: zero lost jobs, every
+completed log-likelihood bit-identical to the serial scalar reference,
+the blacked-out backend's circuit breaker observed open and re-closed
+via half-open probes, and worker-pool capacity restored before exit.
+
+--kills W@N kills dispatch worker W just before the N-th submission
+(0-based); the watchdog must respawn it and re-queue its in-flight
+jobs. --blackouts W@NxF makes worker W's backend refuse the next F
+jobs and probes starting just before submission N; the breaker must
+open, then re-close once the blackout lifts. Pass `none` to either to
+disable the default schedule (one kill, one blackout). The --*-rate
+knobs mirror the PLF_FAULT_* environment variables and add seeded
+random faults on top of the schedule. A comma list in --backend cycles
+names across worker slots (and respawns), so a mixed pool can exercise
+the Cell DMA and GPU PCIe fault sites in one soak.
+
+EXIT CODE: 0 when every invariant held; 1 otherwise (the JSON
+report's `failures` list names each violated invariant).";
+
+/// Parse `W@N` items: kill worker `W` just before submission `N`.
+fn parse_kills(spec: &str) -> Result<Vec<ScheduledKill>, String> {
+    if spec == "none" {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            let (w, n) = item
+                .split_once('@')
+                .ok_or_else(|| format!("bad --kills item {item:?} (expected W@N)"))?;
+            Ok(ScheduledKill {
+                worker: w.parse().map_err(|_| format!("bad worker in {item:?}"))?,
+                after_jobs: n.parse().map_err(|_| format!("bad job index in {item:?}"))?,
+            })
+        })
+        .collect()
+}
+
+/// Parse `W@N` or `W@NxF` items: black out worker `W`'s backend for
+/// `F` jobs (default 6) starting just before submission `N`.
+fn parse_blackouts(spec: &str) -> Result<Vec<ScheduledBlackout>, String> {
+    if spec == "none" {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            let (w, rest) = item
+                .split_once('@')
+                .ok_or_else(|| format!("bad --blackouts item {item:?} (expected W@N[xF])"))?;
+            let (n, f) = match rest.split_once('x') {
+                Some((n, f)) => (
+                    n,
+                    f.parse()
+                        .map_err(|_| format!("bad failure count in {item:?}"))?,
+                ),
+                None => (rest, 6),
+            };
+            Ok(ScheduledBlackout {
+                worker: w.parse().map_err(|_| format!("bad worker in {item:?}"))?,
+                after_jobs: n.parse().map_err(|_| format!("bad job index in {item:?}"))?,
+                failures: f,
+            })
+        })
+        .collect()
+}
+
+fn parse_rate(args: &Args, key: &str, default: f64) -> Result<f64, String> {
+    let v: f64 = args.parse_num(key, default)?;
+    if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+        return Err(format!("bad value for --{key}: {v} (expected 0..=1)"));
+    }
+    Ok(v)
+}
+
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    if args.flag("help") {
+        println!("{CHAOS_USAGE}");
+        return Ok(());
+    }
+    let mut cfg = ChaosConfig::default();
+    cfg.jobs = args.parse_num("jobs", cfg.jobs)?;
+    cfg.seed = args.parse_num("seed", cfg.seed)?;
+    cfg.taxa = args.parse_num("taxa", cfg.taxa)?;
+    cfg.patterns = args.parse_num("patterns", cfg.patterns)?;
+    cfg.workers = args.parse_num("workers", cfg.workers)?;
+    cfg.concurrency = args.parse_num("concurrency", cfg.concurrency)?;
+    cfg.corrupt_rate = parse_rate(args, "corrupt-rate", cfg.corrupt_rate)?;
+    cfg.dma_rate = parse_rate(args, "dma-rate", cfg.dma_rate)?;
+    cfg.pcie_rate = parse_rate(args, "pcie-rate", cfg.pcie_rate)?;
+    cfg.launch_rate = parse_rate(args, "launch-rate", cfg.launch_rate)?;
+    cfg.panic_rate = parse_rate(args, "panic-rate", cfg.panic_rate)?;
+    cfg.kill_rate = parse_rate(args, "kill-rate", cfg.kill_rate)?;
+    cfg.blackout_rate = parse_rate(args, "blackout-rate", cfg.blackout_rate)?;
+    cfg.high_fraction = parse_rate(args, "high-frac", cfg.high_fraction)?;
+    cfg.cancel_fraction = parse_rate(args, "cancel-frac", cfg.cancel_fraction)?;
+    cfg.deadline_fraction = parse_rate(args, "deadline-frac", cfg.deadline_fraction)?;
+    if cfg.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    if cfg.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if let Some(spec) = args.get("kills") {
+        cfg.scheduled_kills = parse_kills(spec)?;
+    }
+    if let Some(spec) = args.get("blackouts") {
+        cfg.scheduled_blackouts = parse_blackouts(spec)?;
+    }
+    for k in &cfg.scheduled_kills {
+        if k.worker >= cfg.workers {
+            return Err(format!("--kills worker {} out of range (workers {})", k.worker, cfg.workers));
+        }
+    }
+    for b in &cfg.scheduled_blackouts {
+        if b.worker >= cfg.workers {
+            return Err(format!(
+                "--blackouts worker {} out of range (workers {})",
+                b.worker, cfg.workers
+            ));
+        }
+    }
+    if let Some(v) = args.get("deadline-ms") {
+        let ms: f64 = v.parse().map_err(|_| format!("bad value for --deadline-ms: {v}"))?;
+        if !(ms.is_finite() && ms > 0.0) {
+            return Err(format!("bad value for --deadline-ms: {v}"));
+        }
+        cfg.deadline = Duration::from_secs_f64(ms / 1e3);
+    }
+    let max_wall: f64 = args.parse_num("max-wall", cfg.max_wall.as_secs_f64())?;
+    if !(max_wall.is_finite() && max_wall > 0.0) {
+        return Err(format!("bad value for --max-wall: {max_wall}"));
+    }
+    cfg.max_wall = Duration::from_secs_f64(max_wall);
+    let recovery: f64 = args.parse_num("recovery-bound", cfg.recovery_bound.as_secs_f64())?;
+    if !(recovery.is_finite() && recovery > 0.0) {
+        return Err(format!("bad value for --recovery-bound: {recovery}"));
+    }
+    cfg.recovery_bound = Duration::from_secs_f64(recovery);
+
+    // Validate every backend name up front so the factory below cannot
+    // fail; inside the soak a build failure silently degrading to
+    // scalar would mask a misconfiguration. A comma list cycles names
+    // across worker slots (and watchdog respawns) — bit-identity makes
+    // the heterogeneous pool transparent to the result checks.
+    let names: Vec<String> = args
+        .get("backend")
+        .unwrap_or("scalar")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if names.is_empty() {
+        return Err("empty --backend list".into());
+    }
+    for name in &names {
+        backend_by_name(name, None)?;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let factory: ChaosBackendFactory = std::sync::Arc::new(move |inj| {
+        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let name = &names[i % names.len()];
+        let primary = backend_by_name(name, inj.as_ref())
+            .unwrap_or_else(|_| Box::new(ScalarBackend));
+        match inj {
+            // Kernel-level faults (corruption, DMA/PCIe, launch) are
+            // armed: run under the resilient executor so they surface
+            // as retries/fallbacks, not bit-divergent results.
+            Some(_) => Box::new(ResilientBackend::new(primary).with_fallback(Box::new(ScalarBackend))),
+            None => primary,
+        }
+    });
+
+    let report = run_chaos(&cfg, &factory);
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if args.flag("json") {
+        println!("{json}");
+    } else {
+        println!(
+            "soak:             {} jobs, seed {}, {} workers ({backend})",
+            report.submitted,
+            report.seed,
+            report.workers,
+            backend = args.get("backend").unwrap_or("scalar")
+        );
+        println!(
+            "resolved:         {} completed / {} failed / {} cancelled / {} deadline-missed / {} lost",
+            report.completed, report.failed, report.cancelled, report.deadline_missed, report.lost
+        );
+        println!(
+            "faults:           {} kill(s), {} blackout(s) scheduled; {} injector fault(s) fired",
+            report.kills_scheduled, report.blackouts_scheduled, report.injector_faults_fired
+        );
+        println!(
+            "self-healing:     {} respawn(s), {} requeued, breakers {} opened / {} re-closed, probes {} ok / {} failed",
+            report.service.watchdog_respawns,
+            report.service.requeued_jobs,
+            report.service.breaker_opened,
+            report.service.breaker_closed,
+            report.service.probes_ok,
+            report.service.probes_failed
+        );
+        println!(
+            "recovery:         {} in {:.3} s — {} / {} workers alive, breakers [{}]",
+            if report.recovered { "recovered" } else { "NOT RECOVERED" },
+            report.recovery_seconds,
+            report.alive_workers_at_exit,
+            report.workers,
+            report.breaker_states_at_exit.join(", ")
+        );
+        println!(
+            "verification:     {} checked, {} bit mismatches ({:.3} s wall)",
+            report.checked, report.bit_mismatches, report.wall_seconds
+        );
+        for f in &report.failures {
+            println!("FAILED INVARIANT: {f}");
+        }
+        println!("result:           {}", if report.pass { "PASS" } else { "FAIL" });
+    }
+    if !report.pass {
+        return Err(format!(
+            "chaos soak failed: {}",
+            report.failures.join("; ")
+        ));
+    }
     Ok(())
 }
 
@@ -696,6 +962,7 @@ USAGE:
   plfr consensus  --trees FILE.t [--burn-in F] [--threshold F]
   plfr serve      --alignment FILE [--backend NAME[,NAME...]] [--workers N] (see plfr serve --help)
   plfr loadgen    [--jobs 256] [--taxa 10] [--patterns 1000] [--json]      (see plfr loadgen --help)
+  plfr chaos      [--jobs 200] [--seed 2009] [--kills 0@40] [--json]       (see plfr chaos --help)
   plfr backends
 
 Formats: FASTA (.fa/.fasta) or PHYLIP; trees are Newick."
@@ -714,7 +981,7 @@ fn main() -> ExitCode {
             }
             Ok(())
         }
-        "simulate" | "likelihood" | "mcmc" | "consensus" | "serve" | "loadgen" => {
+        "simulate" | "likelihood" | "mcmc" | "consensus" | "serve" | "loadgen" | "chaos" => {
             match Args::parse(rest) {
                 Err(e) => Err(e),
                 Ok(args) => match cmd.as_str() {
@@ -723,6 +990,7 @@ fn main() -> ExitCode {
                     "consensus" => cmd_consensus(&args),
                     "serve" => cmd_serve(&args),
                     "loadgen" => cmd_loadgen(&args),
+                    "chaos" => cmd_chaos(&args),
                     _ => cmd_mcmc(&args),
                 },
             }
@@ -838,6 +1106,28 @@ mod tests {
         assert!(Tree::from_newick(tree_text.trim()).is_ok());
         std::fs::remove_file(out).ok();
         std::fs::remove_file(tree_out).ok();
+    }
+
+    #[test]
+    fn chaos_schedule_parsing() {
+        assert_eq!(parse_kills("none").unwrap(), vec![]);
+        assert_eq!(
+            parse_kills("0@40,2@120").unwrap(),
+            vec![
+                ScheduledKill { worker: 0, after_jobs: 40 },
+                ScheduledKill { worker: 2, after_jobs: 120 },
+            ]
+        );
+        assert!(parse_kills("0-40").is_err());
+        assert_eq!(parse_blackouts("none").unwrap(), vec![]);
+        assert_eq!(
+            parse_blackouts("1@80x6,0@10").unwrap(),
+            vec![
+                ScheduledBlackout { worker: 1, after_jobs: 80, failures: 6 },
+                ScheduledBlackout { worker: 0, after_jobs: 10, failures: 6 },
+            ]
+        );
+        assert!(parse_blackouts("1@80xsix").is_err());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! End-to-end chaos soak through the public crate surface: a rayon
+//! worker pool under kernel-output corruption, a deterministic worker
+//! kill, and a backend blackout. The self-healing contract is the
+//! whole point — the watchdog respawns the killed worker and re-queues
+//! its in-flight jobs, the blacked-out backend's circuit breaker opens
+//! and then re-closes via half-open probes, and every completed result
+//! stays bit-identical to the serial scalar reference.
+
+use plf_repro::multicore::RayonBackend;
+use plf_repro::phylo::kernels::{PlfBackend, ScalarBackend};
+use plf_repro::phylo::resilience::ResilientBackend;
+use plf_repro::plfd::{run_chaos, ChaosBackendFactory, ChaosConfig, ScheduledBlackout, ScheduledKill};
+use std::sync::Arc;
+
+#[test]
+fn chaos_soak_self_heals_with_rayon_workers() {
+    let cfg = ChaosConfig {
+        jobs: 96,
+        seed: 2009,
+        taxa: 6,
+        patterns: 32,
+        workers: 3,
+        concurrency: 32,
+        // Kernel-level corruption on top of the scheduled faults; the
+        // resilient executor must absorb it without bit divergence.
+        corrupt_rate: 0.05,
+        scheduled_kills: vec![ScheduledKill { worker: 0, after_jobs: 12 }],
+        scheduled_blackouts: vec![ScheduledBlackout {
+            worker: 1,
+            after_jobs: 36,
+            failures: 5,
+        }],
+        ..ChaosConfig::default()
+    };
+    let factory: ChaosBackendFactory = Arc::new(|inj| {
+        let pool = RayonBackend::new(2).expect("rayon pool");
+        let primary: Box<dyn PlfBackend> = match inj {
+            Some(i) => Box::new(pool.with_fault_injector(i)),
+            None => Box::new(pool),
+        };
+        Box::new(ResilientBackend::new(primary).with_fallback(Box::new(ScalarBackend)))
+    });
+
+    let report = run_chaos(&cfg, &factory);
+    assert!(
+        report.pass,
+        "soak must self-heal; violated invariants: {:?}",
+        report.failures
+    );
+    assert_eq!(report.lost, 0);
+    assert_eq!(report.bit_mismatches, 0);
+    assert!(report.checked > 0, "bit-identity must actually be exercised");
+    assert!(
+        report.service.watchdog_respawns >= 1,
+        "the scheduled kill must be healed by a respawn: {report:?}"
+    );
+    assert!(
+        report.service.breaker_opened >= 1 && report.service.breaker_closed >= 1,
+        "the blackout must open the breaker and probes must re-close it: {report:?}"
+    );
+    assert_eq!(
+        report.alive_workers_at_exit, cfg.workers,
+        "worker capacity must be restored before exit"
+    );
+    for state in &report.breaker_states_at_exit {
+        assert_eq!(state, "closed", "{report:?}");
+    }
+    // The whole ledger balances: every submitted job reached exactly
+    // one terminal outcome.
+    assert_eq!(
+        report.completed + report.failed + report.cancelled + report.deadline_missed,
+        report.submitted,
+        "{report:?}"
+    );
+}

@@ -21,13 +21,16 @@ const SOAK_JOBS: usize = 80;
 const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
 
 /// Submit with the backpressure contract: sleep out `retry_after` on
-/// `QueueFull` instead of giving up.
+/// `QueueFull` (hard cap) and `Overloaded` (adaptive shedding) instead
+/// of giving up.
 fn submit_with_retry(service: &PlfService, spec: JobSpec) -> JobTicket {
     let mut spec = spec;
     loop {
         match service.submit(spec.clone()) {
             Ok(ticket) => return ticket,
-            Err(SubmitError::QueueFull { retry_after }) => {
+            Err(
+                SubmitError::QueueFull { retry_after } | SubmitError::Overloaded { retry_after },
+            ) => {
                 std::thread::sleep(retry_after.min(Duration::from_millis(5)));
             }
             Err(other) => panic!("unexpected submit error: {other}"),
