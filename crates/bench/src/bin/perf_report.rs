@@ -101,7 +101,11 @@ fn service_section(jobs: usize, patterns: usize) -> plfd::ServiceBenchmark {
         patterns,
         jobs,
         SEED,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("service benchmark failed: {e}");
+        std::process::exit(1);
+    });
     eprintln!(
         "  direct {:>7.1} jobs/s   serial {:>7.1} jobs/s   batched {:>7.1} jobs/s   \
          speedup {:.2}x   occupancy {:.0}%   mismatches {}",

@@ -118,7 +118,13 @@ impl FileScope {
             // dispatcher holds, and the chaos driver resolves real
             // tickets — a panic in either strands admitted jobs.
             || rel == "crates/plfd/src/health.rs"
-            || rel == "crates/plfd/src/chaos.rs";
+            || rel == "crates/plfd/src/chaos.rs"
+            // The durability layer runs inside every terminal publish
+            // (journal append from worker threads) and on the restart
+            // path (recovery scan): a panic there turns a recoverable
+            // crash into lost acknowledged jobs.
+            || rel == "crates/plfd/src/journal.rs"
+            || rel == "crates/plfd/src/recovery.rs";
         let metrics = rel == "crates/phylo/src/metrics.rs";
         let constants_module = rel == "crates/phylo/src/constants.rs";
         // Integration tests, benches, and examples are demo/test
@@ -610,6 +616,8 @@ mod tests {
             "crates/plfd/src/dispatch.rs",
             "crates/plfd/src/health.rs",
             "crates/plfd/src/chaos.rs",
+            "crates/plfd/src/journal.rs",
+            "crates/plfd/src/recovery.rs",
         ] {
             assert!(FileScope::for_path(hot).hot_path, "{hot} must be L2 scope");
         }

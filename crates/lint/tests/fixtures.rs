@@ -69,6 +69,22 @@ fn l2_applies_to_self_healing_layer() {
 }
 
 #[test]
+fn l2_applies_to_durability_layer() {
+    // The write-ahead journal (journal.rs) and crash recovery
+    // (recovery.rs) run inside every terminal publish and on the
+    // restart path — a panic there loses acknowledged jobs, caught by
+    // path gating alone.
+    let (path, src) = fixture("l2_journal_hot_panic.rs");
+    for hot in ["crates/plfd/src/journal.rs", "crates/plfd/src/recovery.rs"] {
+        let diags = lint_source(&path, &src, FileScope::for_path(hot));
+        assert_eq!(rule_ids(&diags), ["L2", "L2", "L2"], "{hot}: {diags:?}");
+    }
+    // The same source outside the durability scope trips nothing.
+    let cold = lint_source(&path, &src, FileScope::for_path("crates/plfd/src/loadgen.rs"));
+    assert!(cold.is_empty(), "{cold:?}");
+}
+
+#[test]
 fn l3_fixture_trips_only_magic_number() {
     let diags = lint_fixture("l3_magic.rs");
     assert_eq!(rule_ids(&diags), ["L3", "L3", "L3", "L3"], "{diags:?}");
@@ -116,6 +132,7 @@ fn binary_exits_nonzero_on_each_bad_fixture() {
         "l1_missing_safety.rs",
         "l2_hot_panic.rs",
         "l2_health_hot_panic.rs",
+        "l2_journal_hot_panic.rs",
         "l3_magic.rs",
         "l4_ordering.rs",
     ] {

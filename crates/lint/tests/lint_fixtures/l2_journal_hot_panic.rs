@@ -1,0 +1,24 @@
+//! Known-bad fixture: panicking calls in the durability layer.
+//! Linted with the scope derived from `crates/plfd/src/journal.rs` and
+//! `crates/plfd/src/recovery.rs`, proving the L2 path gating covers
+//! the write-ahead journal and crash recovery — a panic there turns a
+//! recoverable crash into lost acknowledged jobs. Never compiled.
+
+fn append_record(state: &std::sync::Mutex<Vec<u8>>, frame: &[u8]) {
+    // BAD: a poisoned lock must be absorbed with into_inner; the
+    // journal append runs inside every worker's publish path.
+    let mut guard = state.lock().unwrap();
+    guard.extend_from_slice(frame);
+}
+
+fn decode_frame(buf: &[u8]) -> u32 {
+    // BAD: a torn tail is expected after a crash — truncate and count,
+    // never panic during the recovery scan.
+    let header: [u8; 4] = buf[..4].try_into().expect("frame header");
+    u32::from_le_bytes(header)
+}
+
+fn replay_deadline(nanos: Option<u64>) -> u64 {
+    // BAD: a replayed record without a deadline is a normal case.
+    nanos.expect("journaled deadline")
+}

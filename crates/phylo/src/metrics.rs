@@ -352,6 +352,13 @@ pub struct ServiceCounters {
     breaker_closed: AtomicU64,
     probes_ok: AtomicU64,
     probes_failed: AtomicU64,
+    journal_appends: AtomicU64,
+    journal_fsyncs: AtomicU64,
+    journal_rotations: AtomicU64,
+    journal_compactions: AtomicU64,
+    replayed_jobs: AtomicU64,
+    deduped_jobs: AtomicU64,
+    truncated_records: AtomicU64,
     tenants: Mutex<BTreeMap<String, TenantCell>>,
 }
 
@@ -481,6 +488,48 @@ impl ServiceCounters {
         }
     }
 
+    /// Record one record appended to the write-ahead job journal.
+    pub fn record_journal_append(&self) {
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one `fsync` of the journal's active segment (group
+    /// commit: many appends share one fsync under the batch interval).
+    pub fn record_journal_fsync(&self) {
+        self.journal_fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one journal segment rotation (active segment sealed, a
+    /// fresh one opened).
+    pub fn record_journal_rotation(&self) {
+        self.journal_rotations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one fully-resolved journal segment compacted (deleted).
+    pub fn record_journal_compaction(&self) {
+        self.journal_compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one admitted-but-unresolved job replayed from the
+    /// journal on recovery.
+    pub fn record_replayed(&self) {
+        self.replayed_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one submission deduplicated by idempotency key (the
+    /// caller received the existing ticket or journaled outcome
+    /// instead of a second execution).
+    pub fn record_deduped(&self) {
+        self.deduped_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` corrupt trailing journal records truncated during
+    /// recovery (non-fatal: the tail is cut, everything before it
+    /// replays normally).
+    pub fn record_truncated(&self, n: u64) {
+        self.truncated_records.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record one fused batch dispatched carrying `jobs` jobs out of
     /// `slots` possible (the scheduler's `max_jobs` cap); feeds batch
     /// occupancy.
@@ -520,6 +569,13 @@ impl ServiceCounters {
             &self.breaker_closed,
             &self.probes_ok,
             &self.probes_failed,
+            &self.journal_appends,
+            &self.journal_fsyncs,
+            &self.journal_rotations,
+            &self.journal_compactions,
+            &self.replayed_jobs,
+            &self.deduped_jobs,
+            &self.truncated_records,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -572,6 +628,13 @@ impl ServiceCounters {
             breaker_closed: self.breaker_closed.load(Ordering::Relaxed),
             probes_ok: self.probes_ok.load(Ordering::Relaxed),
             probes_failed: self.probes_failed.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_fsyncs: self.journal_fsyncs.load(Ordering::Relaxed),
+            journal_rotations: self.journal_rotations.load(Ordering::Relaxed),
+            journal_compactions: self.journal_compactions.load(Ordering::Relaxed),
+            replayed_jobs: self.replayed_jobs.load(Ordering::Relaxed),
+            deduped_jobs: self.deduped_jobs.load(Ordering::Relaxed),
+            truncated_records: self.truncated_records.load(Ordering::Relaxed),
             tenants,
         }
     }
@@ -651,6 +714,21 @@ pub struct ServiceSnapshot {
     pub probes_ok: u64,
     /// Half-open probe jobs that failed.
     pub probes_failed: u64,
+    /// Records appended to the write-ahead job journal.
+    pub journal_appends: u64,
+    /// Journal segment fsyncs (group commit batches).
+    pub journal_fsyncs: u64,
+    /// Journal segment rotations.
+    pub journal_rotations: u64,
+    /// Fully-resolved journal segments compacted (deleted).
+    pub journal_compactions: u64,
+    /// Admitted-but-unresolved jobs replayed from the journal on
+    /// recovery.
+    pub replayed_jobs: u64,
+    /// Submissions deduplicated by idempotency key (no re-execution).
+    pub deduped_jobs: u64,
+    /// Corrupt trailing journal records truncated during recovery.
+    pub truncated_records: u64,
     /// Per-tenant breakdown, sorted by tenant name.
     pub tenants: Vec<TenantSnapshot>,
 }

@@ -24,11 +24,25 @@
 //! Failures are collected (not panicked) into [`ChaosReport`], which
 //! serializes to JSON for the CI `chaos-smoke` artifact.
 //!
+//! With [`ChaosConfig::crash_at`] set, the harness instead runs the
+//! **process-level crash drill** behind `plfr chaos --crash N`: it
+//! journals a job stream, hard-aborts the service mid-stream at job N
+//! (the journal is frozen exactly as a `kill -9` would leave it, plus
+//! a deliberately torn tail record), restarts on the same journal
+//! directory, recovers, and resubmits every job under its original
+//! idempotency key. It then asserts the durability invariants: zero
+//! lost acknowledged jobs, no duplicate executions (every resubmission
+//! dedups), the torn tail truncated non-fatally and counted, and every
+//! completed log-likelihood bit-identical to the serial scalar
+//! reference an uncrashed run would produce.
+//!
 //! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
 
 use crate::health::{BackendFactory, BreakerPolicy, BreakerState};
 use crate::job::{JobOutcome, JobSpec, JobTicket, Priority};
+use crate::journal::JournalConfig;
 use crate::queue::SubmitError;
+use crate::recovery::RecoveryReport;
 use crate::service::{PlfService, ServiceConfig};
 use plf_phylo::kernels::{PlfBackend, ScalarBackend};
 use plf_phylo::likelihood::TreeLikelihood;
@@ -40,6 +54,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -125,6 +141,14 @@ pub struct ChaosConfig {
     /// After the last job resolves, the pool must be back at full
     /// capacity with every breaker closed within this bound.
     pub recovery_bound: Duration,
+    /// Crash drill: hard-abort the service after admitting this many
+    /// jobs, restart on the same journal, and assert the durability
+    /// invariants. `None` (the default) runs the fault-injection soak.
+    pub crash_at: Option<usize>,
+    /// Journal directory for the crash drill; a per-seed directory
+    /// under the system temp dir when unset. Ignored without
+    /// [`ChaosConfig::crash_at`].
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ChaosConfig {
@@ -158,6 +182,8 @@ impl Default for ChaosConfig {
             deadline: Duration::from_millis(50),
             max_wall: Duration::from_secs(60),
             recovery_bound: Duration::from_secs(10),
+            crash_at: None,
+            journal_dir: None,
         }
     }
 }
@@ -247,16 +273,42 @@ pub struct ChaosReport {
     /// Service counter snapshot at exit (breaker transitions, watchdog
     /// respawns, sheds, probe outcomes, ...).
     pub service: ServiceSnapshot,
+    /// Crash-drill observations; `None` on a fault-injection soak.
+    pub durability: Option<CrashDurability>,
     /// Invariant violations; empty on a passing soak.
     pub failures: Vec<String>,
     /// `failures.is_empty()`.
     pub pass: bool,
 }
 
+/// What the crash drill (`plfr chaos --crash N`) observed across the
+/// hard abort and restart.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrashDurability {
+    /// Jobs acknowledged (journaled admitted) before the abort.
+    pub crashed_after: usize,
+    /// The recovery scan + replay report from the restarted service.
+    pub recovery: RecoveryReport,
+    /// Resubmissions after restart that deduped onto a journaled
+    /// outcome or replayed job instead of executing again — must equal
+    /// `crashed_after` (no duplicate side effects).
+    pub resubmits_deduped: u64,
+    /// Acknowledged jobs with no terminal outcome after restart —
+    /// must be 0.
+    pub lost_acknowledged: usize,
+    /// Torn-tail records truncated non-fatally during recovery —
+    /// at least 1 (the drill tears the tail deliberately).
+    pub truncated_records: u64,
+}
+
 /// Run one seeded chaos soak. See the module docs for what is injected
 /// and what is asserted; the returned report carries `pass` plus the
-/// specific invariant violations, and never panics on failure.
+/// specific invariant violations, and never panics on failure. With
+/// [`ChaosConfig::crash_at`] set, runs the crash drill instead.
 pub fn run_chaos(cfg: &ChaosConfig, make_backend: &ChaosBackendFactory) -> ChaosReport {
+    if cfg.crash_at.is_some() {
+        return run_crash_drill(cfg, make_backend);
+    }
     let started = Instant::now();
     let wall_deadline = started + cfg.max_wall;
     let workers = cfg.workers.max(1);
@@ -507,6 +559,278 @@ pub fn run_chaos(cfg: &ChaosConfig, make_backend: &ChaosBackendFactory) -> Chaos
         alive_workers_at_exit,
         breaker_states_at_exit,
         service: snapshot,
+        durability: None,
+        failures,
+        pass,
+    }
+}
+
+/// Append a deliberately torn frame (a header promising more body
+/// bytes than follow) to the newest journal segment, simulating a
+/// write cut short by the crash. Best-effort: an I/O error here only
+/// means the drill exercises recovery without a torn tail.
+fn tear_journal_tail(dir: &std::path::Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    let mut newest: Option<PathBuf> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_segment = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"));
+        if is_segment && newest.as_ref().is_none_or(|best| path > *best) {
+            newest = Some(path);
+        }
+    }
+    let Some(path) = newest else {
+        return false;
+    };
+    let Ok(mut file) = std::fs::OpenOptions::new().append(true).open(&path) else {
+        return false;
+    };
+    // Length header claims 64 body bytes; only 4 follow.
+    let mut torn = Vec::new();
+    torn.extend_from_slice(&64u32.to_le_bytes());
+    torn.extend_from_slice(&0u32.to_le_bytes());
+    torn.extend_from_slice(b"torn");
+    file.write_all(&torn).is_ok()
+}
+
+/// The process-level crash drill behind `plfr chaos --crash N`: journal
+/// a deterministic job stream, hard-abort after `crash_at` admissions,
+/// tear the journal tail, restart on the same directory, recover, and
+/// resubmit the full stream under the original idempotency keys.
+fn run_crash_drill(cfg: &ChaosConfig, make_backend: &ChaosBackendFactory) -> ChaosReport {
+    let started = Instant::now();
+    let wall_deadline = started + cfg.max_wall;
+    let workers = cfg.workers.max(1);
+    let crash_at = cfg.crash_at.unwrap_or(1).max(1);
+    let jobs = cfg.jobs.max(crash_at);
+    let retry = crate::queue::RetryPolicy::default();
+    let mut failures: Vec<String> = Vec::new();
+
+    let journal_dir = cfg.journal_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("plfd-crash-drill-{}", cfg.seed))
+    });
+    // The drill owns its directory: start from a clean journal so the
+    // recovery counts below are exact.
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let ds = plf_seqgen::generate(
+        DatasetSpec::new(cfg.taxa.max(4), cfg.patterns.max(8)),
+        cfg.seed,
+    );
+    let model = plf_seqgen::default_model();
+    let taxa_names = ds.data.taxa().to_vec();
+    let key_for = |i: usize| format!("chaos-{}-{i}", cfg.seed);
+
+    let service_cfg = || ServiceConfig {
+        journal: Some(JournalConfig::in_dir(&journal_dir)),
+        ..ServiceConfig::default()
+    };
+    let build_backends = || -> Vec<Box<dyn PlfBackend>> {
+        (0..workers).map(|_| make_backend(None)).collect()
+    };
+
+    let mut rejections_retried = 0usize;
+    let mut sheds_retried = 0usize;
+
+    // Phase 1: admit `crash_at` jobs (acknowledged = journaled), then
+    // hard-abort mid-stream. Tickets are deliberately abandoned — the
+    // crash forgets all in-memory state, exactly like `kill -9`.
+    {
+        let service = PlfService::new(service_cfg(), build_backends());
+        let dataset = service.register_dataset(ds.data.clone());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        'admit: for i in 0..crash_at {
+            let tree = random_tree_for_taxa(&taxa_names, 0.1, &mut rng);
+            let spec = JobSpec::new(format!("tenant-{}", i % 4), dataset, tree, model.clone())
+                .with_idempotency_key(key_for(i));
+            let mut attempt = 0u32;
+            loop {
+                match service.submit(spec.clone()) {
+                    Ok(_) => break,
+                    Err(err) if err.is_retryable() && retry.allows(attempt) => {
+                        if matches!(err, SubmitError::QueueFull { .. }) {
+                            rejections_retried += 1;
+                        } else {
+                            sheds_retried += 1;
+                        }
+                        std::thread::sleep(retry.backoff(attempt, err.retry_after()));
+                        attempt += 1;
+                    }
+                    Err(err) => {
+                        failures.push(format!("pre-crash submission {i} failed: {err}"));
+                        break 'admit;
+                    }
+                }
+            }
+        }
+        service.crash();
+    }
+
+    // Simulate the write the crash cut short.
+    let tail_torn = tear_journal_tail(&journal_dir);
+    if !tail_torn {
+        failures.push("could not tear the journal tail for the drill".into());
+    }
+
+    // Phase 2: restart on the same journal, recover, and push the
+    // whole stream — the first `crash_at` jobs under their original
+    // keys (must dedup, never re-execute), the rest as fresh work.
+    let service = PlfService::new(service_cfg(), build_backends());
+    let dataset = service.register_dataset(ds.data.clone());
+    let recovery = service.recover();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tickets: Vec<(usize, JobTicket, Tree)> = Vec::new();
+    'resubmit: for i in 0..jobs {
+        let tree = random_tree_for_taxa(&taxa_names, 0.1, &mut rng);
+        let spec = JobSpec::new(format!("tenant-{}", i % 4), dataset, tree.clone(), model.clone())
+            .with_idempotency_key(key_for(i));
+        let mut attempt = 0u32;
+        let ticket = loop {
+            match service.submit(spec.clone()) {
+                Ok(t) => break t,
+                Err(err) if err.is_retryable() && retry.allows(attempt) => {
+                    if matches!(err, SubmitError::QueueFull { .. }) {
+                        rejections_retried += 1;
+                    } else {
+                        sheds_retried += 1;
+                    }
+                    std::thread::sleep(retry.backoff(attempt, err.retry_after()));
+                    attempt += 1;
+                }
+                Err(err) => {
+                    failures.push(format!("post-crash submission {i} failed: {err}"));
+                    break 'resubmit;
+                }
+            }
+        };
+        tickets.push((i, ticket, tree));
+    }
+
+    let mut outcomes: Vec<(usize, JobOutcome, Tree)> = Vec::new();
+    let mut lost = 0usize;
+    let mut lost_acknowledged = 0usize;
+    for (i, ticket, tree) in tickets {
+        let remaining = wall_deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(100));
+        match ticket.wait_timeout(remaining) {
+            Some(outcome) => outcomes.push((i, outcome, tree)),
+            None => {
+                lost += 1;
+                if i < crash_at {
+                    lost_acknowledged += 1;
+                }
+            }
+        }
+    }
+
+    // Bit-identity: the serial scalar reference is the uncrashed
+    // same-seed ground truth every surviving result must match.
+    let mut checked = 0usize;
+    let mut bit_mismatches = 0usize;
+    let mut reference = ScalarBackend;
+    for (_, outcome, tree) in &outcomes {
+        let Some(lnl) = outcome.ln_likelihood() else {
+            continue;
+        };
+        let serial = TreeLikelihood::new(tree, &ds.data, model.clone())
+            .and_then(|mut eval| eval.log_likelihood(tree, &mut reference));
+        checked += 1;
+        match serial {
+            Ok(expected) if expected.to_bits() == lnl.to_bits() => {}
+            _ => bit_mismatches += 1,
+        }
+    }
+
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut cancelled = 0usize;
+    let mut deadline_missed = 0usize;
+    for (_, outcome, _) in &outcomes {
+        match outcome {
+            JobOutcome::Completed { .. } => completed += 1,
+            JobOutcome::Failed { .. } => failed += 1,
+            JobOutcome::Cancelled => cancelled += 1,
+            JobOutcome::DeadlineMissed => deadline_missed += 1,
+        }
+    }
+
+    let alive_workers_at_exit = service.alive_workers();
+    let breaker_states_at_exit: Vec<String> = service
+        .breaker_states()
+        .iter()
+        .map(|s| s.label().to_string())
+        .collect();
+    let snapshot = service.snapshot();
+    service.shutdown();
+
+    // Durability invariants.
+    if lost_acknowledged > 0 {
+        failures.push(format!(
+            "{lost_acknowledged} acknowledged job(s) lost across the crash"
+        ));
+    }
+    if lost > 0 {
+        failures.push(format!("{lost} job(s) lost (no terminal outcome)"));
+    }
+    if snapshot.deduped_jobs != crash_at as u64 {
+        failures.push(format!(
+            "expected every pre-crash resubmission to dedup ({crash_at}), saw {}",
+            snapshot.deduped_jobs
+        ));
+    }
+    if tail_torn && recovery.truncated_records == 0 {
+        failures.push("the torn journal tail was not truncated and counted".into());
+    }
+    if recovery.unrecoverable > 0 {
+        failures.push(format!(
+            "{} replayed job(s) were unrecoverable",
+            recovery.unrecoverable
+        ));
+    }
+    if bit_mismatches > 0 {
+        failures.push(format!(
+            "{bit_mismatches} result(s) diverged from the uncrashed reference across the crash"
+        ));
+    }
+
+    let durability = CrashDurability {
+        crashed_after: crash_at,
+        recovery,
+        resubmits_deduped: snapshot.deduped_jobs,
+        lost_acknowledged,
+        truncated_records: snapshot.truncated_records,
+    };
+    let pass = failures.is_empty();
+    ChaosReport {
+        seed: cfg.seed,
+        workers,
+        submitted: jobs,
+        completed,
+        failed,
+        cancelled,
+        deadline_missed,
+        lost,
+        checked,
+        bit_mismatches,
+        rejections_retried,
+        sheds_retried,
+        kills_scheduled: 0,
+        blackouts_scheduled: 0,
+        injector_faults_fired: 0,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        recovery_seconds: 0.0,
+        recovered: true,
+        alive_workers_at_exit,
+        breaker_states_at_exit,
+        service: snapshot,
+        durability: Some(durability),
         failures,
         pass,
     }
@@ -564,6 +888,33 @@ mod tests {
             .breaker_states_at_exit
             .iter()
             .all(|s| s == "closed"));
+    }
+
+    #[test]
+    fn crash_drill_loses_nothing_and_dedups_every_resubmission() {
+        let dir = std::env::temp_dir().join(format!(
+            "plfd-chaos-crash-test-{}",
+            std::process::id()
+        ));
+        let cfg = ChaosConfig {
+            jobs: 24,
+            workers: 2,
+            seed: 31,
+            crash_at: Some(12),
+            journal_dir: Some(dir.clone()),
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg, &scalar_chaos_factory());
+        assert!(report.pass, "failures: {:?}", report.failures);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.bit_mismatches, 0);
+        let durability = report.durability.expect("crash drill reports durability");
+        assert_eq!(durability.crashed_after, 12);
+        assert_eq!(durability.lost_acknowledged, 0);
+        assert_eq!(durability.resubmits_deduped, 12);
+        assert!(durability.truncated_records >= 1, "torn tail counted");
+        assert_eq!(durability.recovery.unrecoverable, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

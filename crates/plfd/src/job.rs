@@ -71,6 +71,12 @@ pub struct JobSpec {
     /// [`JobOutcome::DeadlineMissed`]; a started job always runs to its
     /// natural outcome.
     pub deadline: Option<Duration>,
+    /// Caller-chosen idempotency key. On a journaled service, a second
+    /// submission under the same key returns the first submission's
+    /// ticket (or its journaled outcome after a restart) instead of
+    /// executing again; keyed resubmission after a crash or a
+    /// [`crate::SubmitError`] backoff is therefore always safe.
+    pub idempotency_key: Option<String>,
 }
 
 impl JobSpec {
@@ -88,6 +94,7 @@ impl JobSpec {
             tree,
             model,
             deadline: None,
+            idempotency_key: None,
         }
     }
 
@@ -100,6 +107,12 @@ impl JobSpec {
     /// Set a relative deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the idempotency key for dedup across retries and restarts.
+    pub fn with_idempotency_key(mut self, key: impl Into<String>) -> JobSpec {
+        self.idempotency_key = Some(key.into());
         self
     }
 }
@@ -301,6 +314,11 @@ pub(crate) struct Job {
     /// redirected to a healthy worker at most once; a second fault
     /// (anywhere) fails the job instead of bouncing it forever.
     pub redirected: AtomicBool,
+    /// Durability sink: when the service journals, every terminal
+    /// outcome appends a `Resolved` record under this idempotency key
+    /// *before* the ticket's cell is woken, so an acknowledged-resolved
+    /// job is durable by the time its waiter observes the outcome.
+    pub journal: Option<(Arc<crate::journal::Journal>, String)>,
 }
 
 impl Job {
@@ -340,7 +358,15 @@ impl Job {
     /// after winning [`Job::try_claim`], and only after recording the
     /// job in the counters — waiters may snapshot the counters the
     /// moment the cell resolves.
+    ///
+    /// Every terminal path in the service funnels through here (queue
+    /// expiry, dispatch completion/failure, fault containment, pool
+    /// shutdown), so journaling the `Resolved` record in this one spot
+    /// covers them all.
     pub(crate) fn publish(&self, outcome: JobOutcome) {
+        if let Some((journal, key)) = &self.journal {
+            journal.append_resolved(key, self.id.0, &outcome);
+        }
         self.cell.set(outcome);
     }
 
@@ -403,6 +429,7 @@ mod tests {
             cell: JobCell::new(),
             resolved: AtomicBool::new(false),
             redirected: AtomicBool::new(false),
+            journal: None,
         };
         assert!(!job.is_resolved());
         assert!(job.finish_once(JobOutcome::Cancelled));

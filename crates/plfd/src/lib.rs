@@ -41,6 +41,13 @@
 //!   faulting backend until seeded half-open probes re-close it; and
 //!   admission sheds load adaptively when the EWMA-estimated queue
 //!   delay exceeds the policy target ([`health`], DESIGN.md §12).
+//! * **Crash durability** — with a [`JournalConfig`], every
+//!   acknowledged admission is written to an append-only checksummed
+//!   write-ahead journal before the ticket is returned; after a hard
+//!   kill, [`PlfService::recover`] replays admitted-but-unresolved
+//!   jobs, dedups re-submissions by idempotency key, and truncates any
+//!   torn tail record non-fatally ([`journal`], [`recovery`],
+//!   DESIGN.md §13).
 //!
 //! See [`service`] for the facade and a usage example, [`loadgen`]
 //! for the deterministic seeded load generator behind `plfr loadgen`,
@@ -52,18 +59,22 @@ pub mod chaos;
 pub mod dispatch;
 pub mod health;
 pub mod job;
+pub mod journal;
 pub mod loadgen;
 pub mod queue;
+pub mod recovery;
 pub mod scheduler;
 pub mod service;
 
 pub use chaos::{
     run_chaos, scalar_chaos_factory, ChaosBackendFactory, ChaosConfig, ChaosReport,
-    ScheduledBlackout, ScheduledKill,
+    CrashDurability, ScheduledBlackout, ScheduledKill,
 };
 pub use health::{BackendFactory, BreakerPolicy, BreakerState, ShedPolicy, WatchdogPolicy};
 pub use job::{DatasetId, JobId, JobOutcome, JobSpec, JobTicket, Priority};
+pub use journal::{JournalConfig, JournalError};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport, ServiceBenchmark};
-pub use queue::SubmitError;
+pub use queue::{RetryPolicy, SubmitError};
+pub use recovery::RecoveryReport;
 pub use scheduler::BatchPolicy;
-pub use service::{PlfService, ServiceConfig};
+pub use service::{DrainReport, PlfService, ServiceConfig};

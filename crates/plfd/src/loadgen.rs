@@ -10,14 +10,17 @@
 //! `StdRng`, so a (seed, config) pair replays the identical job stream.
 //!
 //! Rejected submissions honor the backpressure contract: on either a
-//! capacity rejection or an adaptive shed, the generator sleeps out
-//! the `retry_after` hint and resubmits the same job, so no job is
-//! ever lost to admission control. With `check` enabled, each
-//! completed log-likelihood is recomputed serially on the scalar
-//! reference backend and compared *bit-for-bit*.
+//! capacity rejection or an adaptive shed, the generator backs off
+//! per its [`RetryPolicy`] (exponential with deterministic jitter,
+//! floored at the service's `retry_after` hint) and resubmits the
+//! same job under the same idempotency key (`lg-{seed}-{i}`), so no
+//! job is ever lost to admission control and a retried submission can
+//! never execute twice. With `check` enabled, each completed
+//! log-likelihood is recomputed serially on the scalar reference
+//! backend and compared *bit-for-bit*.
 
 use crate::job::{JobOutcome, JobSpec, JobTicket, Priority};
-use crate::queue::SubmitError;
+use crate::queue::{RetryPolicy, SubmitError};
 use crate::service::{PlfService, ServiceConfig};
 use plf_phylo::kernels::{PlfBackend, ScalarBackend};
 use plf_phylo::likelihood::TreeLikelihood;
@@ -71,6 +74,8 @@ pub struct LoadgenConfig {
     /// Stop submitting once this much wall time has elapsed (the CI
     /// smoke caps a run at ~10 s); already-submitted jobs still drain.
     pub max_duration: Option<Duration>,
+    /// Backoff discipline for retryable admission refusals.
+    pub retry: RetryPolicy,
 }
 
 impl Default for LoadgenConfig {
@@ -86,6 +91,7 @@ impl Default for LoadgenConfig {
             branch_mean: 0.1,
             check: true,
             max_duration: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -141,13 +147,17 @@ struct Pending {
 /// Drive `service` with a deterministic job stream against `dataset`
 /// (which must be registered with the service; `taxa` are its taxon
 /// names, used to grow random per-job trees).
+///
+/// Errors when a submission fails non-retryably (closed queue,
+/// unknown dataset, journal failure) or the retry budget runs out —
+/// the generator never panics on a service refusal.
 pub fn run(
     service: &PlfService,
     dataset: crate::job::DatasetId,
     taxa: &[String],
     model: &SiteModel,
     cfg: &LoadgenConfig,
-) -> LoadgenReport {
+) -> Result<LoadgenReport, SubmitError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let data = service.dataset(dataset);
     let started = Instant::now();
@@ -189,29 +199,33 @@ pub fn run(
             }
         }
 
-        let mut spec = JobSpec::new(tenant, dataset, tree.clone(), model.clone());
+        let mut spec = JobSpec::new(tenant, dataset, tree.clone(), model.clone())
+            .with_idempotency_key(format!("lg-{}-{i}", cfg.seed));
         if high {
             spec = spec.with_priority(Priority::High);
         }
         if let Some(d) = cfg.deadline {
             spec = spec.with_deadline(d);
         }
-        // Backpressure loop: sleep out retry-after hints, never drop.
+        // Backpressure loop: exponential backoff with deterministic
+        // jitter, floored at the service's retry-after hint. The
+        // idempotency key makes every resubmission safe: even if an
+        // admission raced a refusal, the retry dedups instead of
+        // executing twice.
+        let mut attempt = 0u32;
         let ticket = loop {
             match service.submit(spec.clone()) {
                 Ok(t) => break t,
-                Err(SubmitError::QueueFull { retry_after }) => {
-                    rejections_retried += 1;
-                    std::thread::sleep(retry_after);
+                Err(err) if err.is_retryable() && cfg.retry.allows(attempt) => {
+                    if matches!(err, SubmitError::QueueFull { .. }) {
+                        rejections_retried += 1;
+                    } else {
+                        sheds_retried += 1;
+                    }
+                    std::thread::sleep(cfg.retry.backoff(attempt, err.retry_after()));
+                    attempt += 1;
                 }
-                Err(SubmitError::Overloaded { retry_after }) => {
-                    sheds_retried += 1;
-                    std::thread::sleep(retry_after);
-                }
-                Err(err) => {
-                    // Closed / unknown dataset: nothing further to do.
-                    panic!("loadgen submission failed fatally: {err}");
-                }
+                Err(err) => return Err(err),
             }
         };
         submitted += 1;
@@ -281,7 +295,7 @@ pub fn run(
         latencies_ms[idx.min(latencies_ms.len() - 1)]
     };
 
-    LoadgenReport {
+    Ok(LoadgenReport {
         submitted,
         completed,
         failed,
@@ -311,7 +325,7 @@ pub fn run(
         p50_latency_ms: percentile(0.50),
         p95_latency_ms: percentile(0.95),
         service: service.snapshot(),
-    }
+    })
 }
 
 /// The `service` section of `BENCH_plf.json` schema v2: the same job
@@ -368,7 +382,7 @@ pub fn benchmark_batching(
     patterns: usize,
     jobs: usize,
     seed: u64,
-) -> ServiceBenchmark {
+) -> Result<ServiceBenchmark, String> {
     let ds = plf_seqgen::generate(DatasetSpec::new(taxa, patterns), seed);
     let model = plf_seqgen::default_model();
     let taxa_names = ds.data.taxa().to_vec();
@@ -382,13 +396,13 @@ pub fn benchmark_batching(
     let direct_started = Instant::now();
     for tree in &trees {
         let mut eval = TreeLikelihood::new(tree, &ds.data, model.clone())
-            .unwrap_or_else(|e| panic!("benchmark workspace: {e}"));
+            .map_err(|e| format!("benchmark workspace: {e}"))?;
         eval.log_likelihood(tree, direct_backend.as_mut())
-            .unwrap_or_else(|e| panic!("benchmark eval: {e}"));
+            .map_err(|e| format!("benchmark eval: {e}"))?;
     }
     let direct_seconds = direct_started.elapsed().as_secs_f64();
 
-    let service_run = |concurrency: usize| -> (f64, LoadgenReport) {
+    let service_run = |concurrency: usize| -> Result<(f64, LoadgenReport), String> {
         let service = PlfService::new(
             ServiceConfig::default(),
             (0..workers.max(1)).map(|_| make_backend()).collect(),
@@ -401,20 +415,21 @@ pub fn benchmark_batching(
             check: true,
             ..LoadgenConfig::default()
         };
-        let report = run(&service, dataset, &taxa_names, &model, &cfg);
+        let report = run(&service, dataset, &taxa_names, &model, &cfg)
+            .map_err(|e| format!("benchmark loadgen: {e}"))?;
         service.shutdown();
-        (report.wall_seconds, report)
+        Ok((report.wall_seconds, report))
     };
 
     // (b) Serial one-job-at-a-time submission.
-    let (serial_seconds, serial_report) = service_run(1);
+    let (serial_seconds, serial_report) = service_run(1)?;
     // (c) Batched: everything outstanding at once.
-    let (batched_seconds, batched_report) = service_run(jobs);
+    let (batched_seconds, batched_report) = service_run(jobs)?;
 
     let rate = |n: usize, secs: f64| if secs > 0.0 { n as f64 / secs } else { 0.0 };
     let serial_jobs_per_sec = rate(serial_report.completed, serial_seconds);
     let batched_jobs_per_sec = rate(batched_report.completed, batched_seconds);
-    ServiceBenchmark {
+    Ok(ServiceBenchmark {
         jobs,
         taxa,
         patterns,
@@ -434,7 +449,7 @@ pub fn benchmark_batching(
         batch_occupancy: batched_report.service.batch_occupancy(),
         bit_mismatches: serial_report.bit_mismatches + batched_report.bit_mismatches,
         batched_service: batched_report.service,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -467,7 +482,7 @@ mod tests {
             seed: 7,
             ..LoadgenConfig::default()
         };
-        let report = run(&service, dataset, &taxa, &model, &cfg);
+        let report = run(&service, dataset, &taxa, &model, &cfg).expect("loadgen run");
         assert_eq!(report.submitted, 24);
         assert_eq!(report.completed, 24);
         assert_eq!(report.lost, 0);
@@ -487,7 +502,7 @@ mod tests {
             seed: 21,
             ..LoadgenConfig::default()
         };
-        let report = run(&service, dataset, &taxa, &model, &cfg);
+        let report = run(&service, dataset, &taxa, &model, &cfg).expect("loadgen run");
         assert_eq!(report.submitted, 12);
         assert_eq!(report.lost, 0);
         assert_eq!(
@@ -511,7 +526,7 @@ mod tests {
                 seed: 99,
                 ..LoadgenConfig::default()
             };
-            let report = run(&service, dataset, &taxa, &model, &cfg);
+            let report = run(&service, dataset, &taxa, &model, &cfg).expect("loadgen run");
             assert_eq!(report.completed, 4);
             lnls.push((
                 report.service.wait_seconds > 0.0,
@@ -532,7 +547,7 @@ mod tests {
             mode: LoadMode::Closed { concurrency: 2 },
             ..LoadgenConfig::default()
         };
-        let report = run(&service, dataset, &taxa, &model, &cfg);
+        let report = run(&service, dataset, &taxa, &model, &cfg).expect("loadgen run");
         let json = serde_json::to_string(&report).expect("serialize");
         assert!(json.contains("\"bit_mismatches\""));
         assert!(json.contains("\"p95_latency_ms\""));

@@ -55,6 +55,13 @@ pub enum SubmitError {
     /// The spec referenced a dataset handle never registered with this
     /// service instance.
     UnknownDataset(DatasetId),
+    /// The write-ahead journal could not make the admission durable;
+    /// the job was cancelled rather than acknowledged without its
+    /// durability guarantee.
+    Journal {
+        /// Description of the underlying I/O failure.
+        detail: String,
+    },
 }
 
 impl SubmitError {
@@ -63,8 +70,19 @@ impl SubmitError {
         match self {
             SubmitError::QueueFull { retry_after }
             | SubmitError::Overloaded { retry_after } => Some(*retry_after),
-            SubmitError::Closed | SubmitError::UnknownDataset(_) => None,
+            SubmitError::Closed
+            | SubmitError::UnknownDataset(_)
+            | SubmitError::Journal { .. } => None,
         }
+    }
+
+    /// Whether retrying the submission later can succeed (backpressure
+    /// rejections are transient; the rest are terminal).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SubmitError::QueueFull { .. } | SubmitError::Overloaded { .. }
+        )
     }
 }
 
@@ -85,11 +103,84 @@ impl std::fmt::Display for SubmitError {
             SubmitError::UnknownDataset(id) => {
                 write!(f, "dataset handle {} was never registered", id.0)
             }
+            SubmitError::Journal { detail } => {
+                write!(f, "journal append failed: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Client-side resubmission policy: exponential backoff with
+/// deterministic jitter, floored by the service's `retry_after` hint.
+/// Pair it with [`crate::JobSpec::with_idempotency_key`] — a keyed
+/// resubmission dedups against the first admission, so retrying after
+/// an ambiguous failure never executes a job twice.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Submission attempts (first try included) before giving up.
+    pub max_attempts: u32,
+    /// Fraction of each backoff randomized away, in `[0, 1]`: the
+    /// sleep lands in `[backoff × (1 − jitter), backoff]`, decorrelating
+    /// retry storms across clients.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_micros(500),
+            cap: Duration::from_millis(100),
+            max_attempts: 16,
+            jitter: 0.5,
+            seed: 2009,
+        }
+    }
+}
+
+/// SplitMix64 step: the jitter stream's stateless PRNG.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based: the sleep
+    /// after the first rejection), never below the service's
+    /// `retry_after` hint. Deterministic in `(seed, attempt)`.
+    pub fn backoff(&self, attempt: u32, hint: Option<Duration>) -> Duration {
+        // Integer nanos throughout: float → Duration conversions can
+        // panic on NaN/negative and this is called on the submit path.
+        let base = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap = self.cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let doubled = base.saturating_mul(1u64 << attempt.min(32));
+        let mut nanos = doubled.min(cap);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter > 0.0 && nanos > 0 {
+            // 53-bit uniform fraction in [0, 1).
+            let frac = (splitmix64(self.seed.wrapping_add(u64::from(attempt))) >> 11) as f64
+                / (1u64 << 53) as f64;
+            let cut = ((nanos as f64) * jitter * frac) as u64;
+            nanos = nanos.saturating_sub(cut);
+        }
+        let floor = hint.map_or(0, |h| h.as_nanos().min(u128::from(u64::MAX)) as u64);
+        Duration::from_nanos(nanos.max(floor))
+    }
+
+    /// Whether retry number `attempt` (0-based) is still within budget.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt + 1 < self.max_attempts
+    }
+}
 
 /// Result of a blocking pop. Jobs are boxed while queued — a `Job`
 /// carries a whole tree plus model, and boxing keeps the queue's move
@@ -299,6 +390,7 @@ mod tests {
             cell: JobCell::new(),
             resolved: AtomicBool::new(false),
             redirected: AtomicBool::new(false),
+            journal: None,
         })
     }
 
@@ -482,6 +574,53 @@ mod tests {
         assert_eq!(drained[0].id, JobId(1));
         assert_eq!(cell.try_get(), Some(JobOutcome::DeadlineMissed));
         assert_eq!(q.depth(), 0, "expired job left the depth gauge");
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_caps_and_honors_hints() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+            max_attempts: 4,
+            jitter: 0.0,
+            seed: 1,
+        };
+        assert_eq!(p.backoff(0, None), Duration::from_millis(1));
+        assert_eq!(p.backoff(1, None), Duration::from_millis(2));
+        assert_eq!(p.backoff(2, None), Duration::from_millis(4));
+        assert_eq!(p.backoff(3, None), Duration::from_millis(8));
+        assert_eq!(p.backoff(10, None), Duration::from_millis(8), "capped");
+        // The service hint is a floor, never shortened.
+        assert_eq!(
+            p.backoff(0, Some(Duration::from_millis(50))),
+            Duration::from_millis(50)
+        );
+        assert!(p.allows(0) && p.allows(2) && !p.allows(3));
+    }
+
+    #[test]
+    fn retry_policy_jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(4),
+            cap: Duration::from_secs(1),
+            max_attempts: 8,
+            jitter: 0.5,
+            seed: 42,
+        };
+        for attempt in 0..6 {
+            let a = p.backoff(attempt, None);
+            let b = p.backoff(attempt, None);
+            assert_eq!(a, b, "same (seed, attempt) → same backoff");
+            let full = Duration::from_millis(4 << attempt.min(8)).min(Duration::from_secs(1));
+            assert!(a <= full, "jitter only shortens");
+            assert!(a >= full / 2, "jitter bounded by the jitter fraction");
+        }
+        let other = RetryPolicy { seed: 43, ..p.clone() };
+        assert_ne!(
+            (0..6).map(|i| p.backoff(i, None)).collect::<Vec<_>>(),
+            (0..6).map(|i| other.backoff(i, None)).collect::<Vec<_>>(),
+            "different seeds decorrelate"
+        );
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Journal recovery: scan segments on startup, truncate a torn tail,
+//! and rebuild the admitted-but-unresolved backlog.
+//!
+//! Recovery is a pure fold over the record stream — order between
+//! `Admitted` and `Resolved` records for the same key does not matter
+//! (resolution may race admission onto disk), and a `Resolved` record
+//! whose `Admitted` counterpart was compacted away is simply a dedup
+//! entry. The state machine per key:
+//!
+//! ```text
+//!            Admitted              Resolved
+//!   absent ───────────► pending ───────────► resolved
+//!      │                                        ▲
+//!      └────────────── Resolved ────────────────┘
+//! ```
+//!
+//! After the scan, `pending` keys are replayed through the admission
+//! queue (resolving `DeadlineMissed` honestly when their journaled
+//! deadline already passed) and `resolved` keys prime the idempotency
+//! index so re-submissions return the journaled outcome instead of
+//! re-executing.
+//!
+//! **Corrupt tails.** A crash can tear the final record (short frame,
+//! bad CRC, or garbage length). The scanner truncates the segment at
+//! the first malformed frame, counts it, and keeps everything before
+//! it — corruption is never fatal.
+//!
+//! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
+
+use crate::journal::{
+    decode_record, list_segments, AdmittedRecord, JournalError, Record, ResolvedRecord,
+    FRAME_HEADER_BYTES, MAX_RECORD_BYTES,
+};
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::path::Path;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// What startup recovery did, surfaced through
+/// [`crate::PlfService::recovery_report`] and mirrored into the
+/// durability counters of `ServiceCounters`.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct RecoveryReport {
+    /// Admitted-but-unresolved jobs re-queued from the journal.
+    pub replayed: u64,
+    /// Replayed jobs whose journaled deadline had already passed; they
+    /// resolved `DeadlineMissed` without re-executing.
+    pub expired: u64,
+    /// Replayed jobs that could not be reconstructed (dataset handle
+    /// unregistered, shape fingerprint mismatch, or unparseable tree);
+    /// they resolved `Failed` rather than being dropped.
+    pub unrecoverable: u64,
+    /// Journaled terminal outcomes loaded into the idempotency index —
+    /// re-submissions under these keys dedup instead of re-executing.
+    pub deduped_outcomes: u64,
+    /// Corrupt trailing records truncated (one per torn tail).
+    pub truncated_records: u64,
+    /// Journal segment files scanned.
+    pub segments_scanned: u64,
+}
+
+/// The raw result of scanning a journal directory.
+#[derive(Debug, Default)]
+pub(crate) struct ScanState {
+    /// Admitted records with no matching `Resolved` record, in journal
+    /// order — the replay backlog.
+    pub pending: Vec<AdmittedRecord>,
+    /// Terminal outcomes by idempotency key.
+    pub resolved: BTreeMap<String, ResolvedRecord>,
+    /// Segment index the reopened journal should append after.
+    pub next_segment: u64,
+    /// Per-segment count of still-unresolved admitted keys.
+    pub seg_unresolved: BTreeMap<u64, u64>,
+    /// Which segment each unresolved key's `Admitted` record lives in.
+    pub key_seg: BTreeMap<String, u64>,
+    /// Corrupt trailing records truncated across all segments.
+    pub truncated: u64,
+    /// Segment files scanned.
+    pub segments_scanned: u64,
+    /// Highest journaled job id (id allocation resumes above it).
+    pub max_job_id: Option<u64>,
+}
+
+/// One parsed frame, or the reason scanning must stop at this offset.
+#[allow(clippy::large_enum_variant)] // transient: one frame in flight per scan step
+enum FrameOutcome {
+    Record(Record, u64),
+    /// Clean end of file.
+    End,
+    /// Torn/corrupt frame starting at this offset.
+    Corrupt(u64),
+}
+
+fn next_frame(buf: &[u8], offset: u64) -> FrameOutcome {
+    let at = offset as usize;
+    if at == buf.len() {
+        return FrameOutcome::End;
+    }
+    if buf.len() - at < FRAME_HEADER_BYTES as usize {
+        return FrameOutcome::Corrupt(offset);
+    }
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&buf[at..at + 4]);
+    let len = u32::from_le_bytes(len_bytes);
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&buf[at + 4..at + 8]);
+    let crc = u32::from_le_bytes(crc_bytes);
+    if len > MAX_RECORD_BYTES {
+        return FrameOutcome::Corrupt(offset);
+    }
+    let body_start = at + FRAME_HEADER_BYTES as usize;
+    let body_end = body_start + len as usize;
+    if body_end > buf.len() {
+        return FrameOutcome::Corrupt(offset);
+    }
+    let payload = &buf[body_start..body_end];
+    if crate::journal::crc32(payload) != crc {
+        return FrameOutcome::Corrupt(offset);
+    }
+    match decode_record(payload) {
+        Some(record) => FrameOutcome::Record(record, body_end as u64),
+        None => FrameOutcome::Corrupt(offset),
+    }
+}
+
+/// Truncate `path` to `len` bytes (cutting a torn tail). Best-effort:
+/// an error leaves the tail in place, and the next recovery simply
+/// truncates it again.
+fn truncate_segment(path: &Path, len: u64) {
+    if let Ok(file) = std::fs::OpenOptions::new().write(true).open(path) {
+        let _ = file.set_len(len);
+    }
+}
+
+/// Scan every segment under `dir`, truncating torn tails, and fold the
+/// record stream into the recovery state.
+pub(crate) fn scan(dir: &Path) -> Result<ScanState, JournalError> {
+    let mut state = ScanState::default();
+    let segments = list_segments(dir)?;
+    let mut admitted_order: Vec<AdmittedRecord> = Vec::new();
+    let mut admitted_seg: BTreeMap<String, u64> = BTreeMap::new();
+    for (index, path) in &segments {
+        state.segments_scanned += 1;
+        state.next_segment = state.next_segment.max(index + 1);
+        let mut buf = Vec::new();
+        {
+            let mut file = std::fs::File::open(path).map_err(|e| JournalError {
+                context: format!("open segment {}", path.display()),
+                source: e,
+            })?;
+            file.read_to_end(&mut buf).map_err(|e| JournalError {
+                context: format!("read segment {}", path.display()),
+                source: e,
+            })?;
+        }
+        let mut offset = 0u64;
+        loop {
+            match next_frame(&buf, offset) {
+                FrameOutcome::End => break,
+                FrameOutcome::Corrupt(at) => {
+                    truncate_segment(path, at);
+                    state.truncated += 1;
+                    break;
+                }
+                FrameOutcome::Record(record, next) => {
+                    offset = next;
+                    match record {
+                        Record::Admitted(a) => {
+                            if state.max_job_id.is_none_or(|m| a.id > m) {
+                                state.max_job_id = Some(a.id);
+                            }
+                            // First admit under a key wins; a duplicate
+                            // admit record (should not happen) is inert.
+                            if !admitted_seg.contains_key(&a.key) {
+                                admitted_seg.insert(a.key.clone(), *index);
+                                admitted_order.push(a);
+                            }
+                        }
+                        Record::Resolved(r) => {
+                            if state.max_job_id.is_none_or(|m| r.id > m) {
+                                state.max_job_id = Some(r.id);
+                            }
+                            state.resolved.entry(r.key.clone()).or_insert(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for record in admitted_order {
+        if state.resolved.contains_key(&record.key) {
+            continue;
+        }
+        if let Some(seg) = admitted_seg.get(&record.key) {
+            *state.seg_unresolved.entry(*seg).or_insert(0) += 1;
+            state.key_seg.insert(record.key.clone(), *seg);
+        }
+        state.pending.push(record);
+    }
+    Ok(state)
+}
+
+/// Nanoseconds since `UNIX_EPOCH` now; the clock replayed deadlines
+/// are honored against.
+pub(crate) fn unix_nanos_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// How much of a journaled relative deadline remains at `now_nanos`,
+/// or `None` if it already passed. A record without a deadline always
+/// has time remaining (`Some(None)` shape flattened by the caller).
+pub(crate) fn remaining_deadline(
+    record: &AdmittedRecord,
+    now_nanos: u64,
+) -> Option<Option<Duration>> {
+    match record.deadline_nanos {
+        None => Some(None),
+        Some(rel) => {
+            let absolute = record.admitted_unix_nanos.saturating_add(rel);
+            if now_nanos >= absolute {
+                None
+            } else {
+                Some(Some(Duration::from_nanos(absolute - now_nanos)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobOutcome, Priority};
+    use crate::journal::{encode_record, frame, segment_path, outcome_digest};
+    use std::io::Write;
+
+    fn admitted(key: &str, id: u64) -> AdmittedRecord {
+        AdmittedRecord {
+            key: key.to_string(),
+            id,
+            tenant: "t".to_string(),
+            priority: Priority::Normal,
+            dataset: 0,
+            n_taxa: 4,
+            n_patterns: 8,
+            newick: "((a:0.1,b:0.2):0.05,c:0.3,d:0.4);".to_string(),
+            model: plf_seqgen::default_model(),
+            admitted_unix_nanos: 1_000,
+            deadline_nanos: None,
+        }
+    }
+
+    fn resolved(key: &str) -> ResolvedRecord {
+        let outcome = JobOutcome::Cancelled;
+        ResolvedRecord {
+            key: key.to_string(),
+            id: 0,
+            digest: outcome_digest(&outcome),
+            outcome,
+        }
+    }
+
+    fn write_segment(dir: &Path, index: u64, records: &[Record], garbage_tail: &[u8]) {
+        std::fs::create_dir_all(dir).expect("mkdir");
+        let mut file = std::fs::File::create(segment_path(dir, index)).expect("create");
+        for record in records {
+            let payload = encode_record(record).expect("encode");
+            file.write_all(&frame(payload.as_bytes())).expect("write");
+        }
+        file.write_all(garbage_tail).expect("tail");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "plfd-recovery-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn scan_separates_pending_from_resolved() {
+        let dir = temp_dir("split");
+        write_segment(
+            &dir,
+            0,
+            &[
+                Record::Admitted(admitted("a", 0)),
+                Record::Admitted(admitted("b", 1)),
+                Record::Resolved(resolved("a")),
+            ],
+            &[],
+        );
+        let state = scan(&dir).expect("scan");
+        assert_eq!(state.pending.len(), 1);
+        assert_eq!(state.pending[0].key, "b");
+        assert_eq!(state.resolved.len(), 1);
+        assert!(state.resolved.contains_key("a"));
+        assert_eq!(state.next_segment, 1);
+        assert_eq!(state.max_job_id, Some(1));
+        assert_eq!(state.truncated, 0);
+        assert_eq!(state.seg_unresolved.get(&0), Some(&1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolved_before_admitted_still_counts_as_resolved() {
+        let dir = temp_dir("order");
+        write_segment(
+            &dir,
+            0,
+            &[
+                Record::Resolved(resolved("a")),
+                Record::Admitted(admitted("a", 0)),
+            ],
+            &[],
+        );
+        let state = scan(&dir).expect("scan");
+        assert!(state.pending.is_empty(), "out-of-order resolve must win");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_and_counted() {
+        let dir = temp_dir("tail");
+        write_segment(
+            &dir,
+            0,
+            &[
+                Record::Admitted(admitted("a", 0)),
+                Record::Resolved(resolved("a")),
+            ],
+            b"\x40\x00\x00\x00garbage-partial-record",
+        );
+        let before = std::fs::metadata(segment_path(&dir, 0)).expect("meta").len();
+        let state = scan(&dir).expect("scan");
+        assert_eq!(state.truncated, 1);
+        assert!(state.pending.is_empty());
+        assert_eq!(state.resolved.len(), 1);
+        let after = std::fs::metadata(segment_path(&dir, 0)).expect("meta").len();
+        assert!(after < before, "torn tail was cut from the file");
+        // A second scan over the truncated file is clean.
+        let again = scan(&dir).expect("rescan");
+        assert_eq!(again.truncated, 0);
+        assert_eq!(again.resolved.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_crc_mid_file_cuts_from_that_record() {
+        let dir = temp_dir("crc");
+        write_segment(
+            &dir,
+            0,
+            &[
+                Record::Admitted(admitted("a", 0)),
+                Record::Admitted(admitted("b", 1)),
+            ],
+            &[],
+        );
+        // Flip a byte in the last record's payload.
+        let path = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let state = scan(&dir).expect("scan");
+        assert_eq!(state.truncated, 1);
+        assert_eq!(state.pending.len(), 1, "record before the flip survives");
+        assert_eq!(state.pending[0].key, "a");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_remaining_honors_the_wall_clock() {
+        let mut record = admitted("a", 0);
+        record.admitted_unix_nanos = 1_000_000;
+        record.deadline_nanos = Some(500);
+        assert_eq!(remaining_deadline(&record, 1_000_100), Some(Some(Duration::from_nanos(400))));
+        assert_eq!(remaining_deadline(&record, 1_000_500), None);
+        assert_eq!(remaining_deadline(&record, 2_000_000), None);
+        record.deadline_nanos = None;
+        assert_eq!(remaining_deadline(&record, u64::MAX), Some(None));
+    }
+
+    #[test]
+    fn empty_or_missing_dir_scans_clean() {
+        let dir = temp_dir("empty");
+        let state = scan(&dir).expect("scan missing dir");
+        assert_eq!(state.pending.len(), 0);
+        assert_eq!(state.segments_scanned, 0);
+        assert_eq!(state.next_segment, 0);
+    }
+}

@@ -219,6 +219,7 @@ mod tests {
             cell: JobCell::new(),
             resolved: AtomicBool::new(false),
             redirected: AtomicBool::new(false),
+            journal: None,
         }
     }
 

@@ -21,18 +21,37 @@ use crate::dispatch::{PoolConfig, PoolShared, WorkerPool};
 use crate::health::{
     AdmissionController, BackendFactory, BreakerPolicy, BreakerState, ShedPolicy, WatchdogPolicy,
 };
-use crate::job::{DatasetId, Job, JobCell, JobId, JobSpec, JobTicket};
+use crate::job::{DatasetId, Job, JobCell, JobId, JobOutcome, JobSpec, JobTicket};
+use crate::journal::{AdmittedRecord, Journal, JournalConfig, JournalError};
 use crate::queue::{BoundedQueue, SubmitError};
+use crate::recovery::{remaining_deadline, scan, unix_nanos_now, RecoveryReport};
 use crate::scheduler::{run_scheduler, BatchPolicy, Gate};
 use plf_phylo::alignment::PatternAlignment;
 use plf_phylo::kernels::{PlfBackend, ScalarBackend};
 use plf_phylo::metrics::{ServiceCounters, ServiceSnapshot};
 use plf_phylo::resilience::{FaultInjector, ResilientBackend};
+use plf_phylo::tree::Tree;
 use std::collections::HashMap;
+use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Reserved prefix for auto-generated journal keys of jobs submitted
+/// without an idempotency key; caller keys must not start with it.
+const AUTO_KEY_PREFIX: &str = "~job-";
+
+/// Poll cadence while [`PlfService::drain`] waits for in-flight work.
+const DRAIN_POLL: Duration = Duration::from_millis(2);
+
+/// Wall-clock budget for re-admitting one replayed job through the
+/// bounded queue before recovery resolves it `Failed` instead.
+const REPLAY_ADMIT_WALL: Duration = Duration::from_secs(10);
+
+/// Backoff between replay re-admission attempts when the queue pushes
+/// back during recovery.
+const REPLAY_RETRY_NAP: Duration = Duration::from_millis(2);
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +78,13 @@ pub struct ServiceConfig {
     /// until [`PlfService::release`] — used by admission-control tests
     /// to observe a full queue deterministically.
     pub hold: bool,
+    /// Write-ahead journal configuration. `Some` makes every
+    /// acknowledged admission durable: a process crash replays
+    /// admitted-but-unresolved jobs on the next start (after
+    /// [`PlfService::recover`]) and dedups re-submissions by
+    /// idempotency key. `None` (the default) keeps the service purely
+    /// in-memory.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -72,8 +98,27 @@ impl Default for ServiceConfig {
             watchdog: WatchdogPolicy::default(),
             fault_injector: None,
             hold: false,
+            journal: None,
         }
     }
+}
+
+/// What a graceful [`PlfService::drain`] accomplished before the
+/// journal was flushed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs that reached a terminal state by the end of the drain.
+    pub resolved: u64,
+    /// Jobs still unresolved when the drain deadline hit (they stay
+    /// journaled as admitted; a restart replays them).
+    pub pending_at_deadline: u64,
+    /// Whether every admitted job resolved within the deadline.
+    pub within_deadline: bool,
+    /// Whether the journal's final fsync succeeded (vacuously true
+    /// without a journal).
+    pub journal_flushed: bool,
+    /// Wall time the drain took.
+    pub elapsed: Duration,
 }
 
 /// A running PLF evaluation service; see the crate docs for the
@@ -90,6 +135,15 @@ pub struct PlfService {
     unit_patterns: usize,
     next_job: AtomicU64,
     next_dataset: AtomicU64,
+    journal: Option<Arc<Journal>>,
+    /// Idempotency index: key → the live (or pre-resolved) ticket a
+    /// duplicate submission receives instead of a second execution.
+    dedup: Mutex<HashMap<String, JobTicket>>,
+    /// Admitted-but-unresolved records from the startup scan, waiting
+    /// for [`PlfService::recover`] (datasets must be registered first).
+    pending_replay: Mutex<Vec<AdmittedRecord>>,
+    /// The startup scan's partial report, completed by `recover`.
+    recovery: Mutex<Option<RecoveryReport>>,
 }
 
 impl PlfService {
@@ -101,7 +155,9 @@ impl PlfService {
     /// [`PlfService::resilient`].
     ///
     /// # Panics
-    /// Panics if `backends` is empty.
+    /// Panics if `backends` is empty, or if a configured journal
+    /// cannot be opened (use [`PlfService::try_new_with_factories`]
+    /// to handle journal errors as values).
     pub fn new(config: ServiceConfig, backends: Vec<Box<dyn PlfBackend>>) -> PlfService {
         PlfService::new_with_factories(config, backends, Vec::new())
     }
@@ -113,17 +169,83 @@ impl PlfService {
     /// bit-identical results.
     ///
     /// # Panics
-    /// Panics if `backends` is empty.
+    /// Panics if `backends` is empty, or if a configured journal
+    /// cannot be opened.
     pub fn new_with_factories(
         config: ServiceConfig,
         backends: Vec<Box<dyn PlfBackend>>,
         factories: Vec<BackendFactory>,
     ) -> PlfService {
+        match PlfService::try_new_with_factories(config, backends, factories) {
+            Ok(service) => service,
+            Err(err) => panic!("plfd journal could not be opened: {err}"),
+        }
+    }
+
+    /// As [`PlfService::new_with_factories`], but journal scan/open
+    /// failures are returned instead of panicking — the constructor
+    /// embedders (and `plfr serve`) should use when a journal is
+    /// configured.
+    ///
+    /// # Panics
+    /// Panics if `backends` is empty.
+    pub fn try_new_with_factories(
+        config: ServiceConfig,
+        backends: Vec<Box<dyn PlfBackend>>,
+        factories: Vec<BackendFactory>,
+    ) -> Result<PlfService, JournalError> {
         assert!(
             !backends.is_empty(),
             "PlfService needs at least one backend"
         );
         let counters = ServiceCounters::new();
+        // Journal recovery scan happens before the pipeline spins up,
+        // so replayed state is in place by the time workers could race
+        // it.
+        let mut journal = None;
+        let mut dedup_map: HashMap<String, JobTicket> = HashMap::new();
+        let mut pending_replay = Vec::new();
+        let mut initial_report = None;
+        let mut next_job_start = 0u64;
+        if let Some(journal_cfg) = &config.journal {
+            let scanned = scan(&journal_cfg.dir)?;
+            counters.record_truncated(scanned.truncated);
+            let handle = Arc::new(Journal::open(
+                journal_cfg.clone(),
+                Arc::clone(&counters),
+                scanned.next_segment,
+                scanned.seg_unresolved,
+                scanned.key_seg,
+            )?);
+            let mut deduped_outcomes = 0u64;
+            for (key, record) in &scanned.resolved {
+                if key.starts_with(AUTO_KEY_PREFIX) {
+                    // Unkeyed jobs cannot be resubmitted; no dedup row.
+                    continue;
+                }
+                let cell = JobCell::new();
+                cell.set(record.outcome.clone());
+                dedup_map.insert(
+                    key.clone(),
+                    JobTicket::new(
+                        JobId(record.id),
+                        String::new(),
+                        Arc::new(AtomicBool::new(false)),
+                        cell,
+                    ),
+                );
+                deduped_outcomes += 1;
+            }
+            next_job_start = scanned.max_job_id.map_or(0, |m| m + 1);
+            pending_replay = scanned.pending;
+            initial_report = Some(RecoveryReport {
+                deduped_outcomes,
+                truncated_records: scanned.truncated,
+                segments_scanned: scanned.segments_scanned,
+                ..RecoveryReport::default()
+            });
+            journal = Some(handle);
+        }
         let controller = AdmissionController::new(config.drain_hint, config.shed.clone());
         controller.set_workers(backends.len());
         let queue = Arc::new(BoundedQueue::new(
@@ -153,7 +275,7 @@ impl PlfService {
             let policy = config.batch.clone();
             std::thread::spawn(move || run_scheduler(queue, pool, policy, gate, counters))
         };
-        PlfService {
+        Ok(PlfService {
             queue,
             counters,
             registry: RwLock::new(HashMap::new()),
@@ -162,9 +284,13 @@ impl PlfService {
             pool_shared,
             n_workers,
             unit_patterns,
-            next_job: AtomicU64::new(0),
+            next_job: AtomicU64::new(next_job_start),
             next_dataset: AtomicU64::new(0),
-        }
+            journal,
+            dedup: Mutex::new(dedup_map),
+            pending_replay: Mutex::new(pending_replay),
+            recovery: Mutex::new(initial_report),
+        })
     }
 
     /// As [`PlfService::new`], but every backend is wrapped in the
@@ -210,7 +336,30 @@ impl PlfService {
     /// [`SubmitError`] — `QueueFull` carries the retry-after hint of
     /// the backpressure contract. Every submission attempt (either
     /// way) is counted in the service metrics under the spec's tenant.
+    ///
+    /// With an idempotency key, a duplicate submission (racing or
+    /// later, including after a crash-restart on a journaled service)
+    /// returns the first admission's ticket — or its journaled outcome
+    /// — instead of executing again; such dedup hits are counted but
+    /// not re-admitted. On a journaled service the `Admitted` record is
+    /// written before the ticket is returned, so an acknowledged job
+    /// survives `kill -9`.
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, SubmitError> {
+        // Hold the dedup index lock across admission when keyed, so a
+        // racing duplicate waits and then finds this ticket instead of
+        // admitting a second execution. The lock is ordered strictly
+        // before the queue lock and is never taken by workers.
+        let mut dedup_guard = match &spec.idempotency_key {
+            Some(key) => {
+                let guard = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
+                if let Some(ticket) = guard.get(key) {
+                    self.counters.record_deduped();
+                    return Ok(ticket.clone());
+                }
+                Some(guard)
+            }
+            None => None,
+        };
         let Some(data) = self.dataset(spec.dataset) else {
             return Err(SubmitError::UnknownDataset(spec.dataset));
         };
@@ -225,6 +374,25 @@ impl PlfService {
             Arc::clone(&cancelled),
             Arc::clone(&cell),
         );
+        let journal_key = spec
+            .idempotency_key
+            .clone()
+            .unwrap_or_else(|| format!("{AUTO_KEY_PREFIX}{}", id.0));
+        // The admitted record is assembled before the tree moves into
+        // the job; Newick text round-trips branch lengths bit-exactly.
+        let admitted = self.journal.as_ref().map(|_| AdmittedRecord {
+            key: journal_key.clone(),
+            id: id.0,
+            tenant: spec.tenant.clone(),
+            priority: spec.priority,
+            dataset: spec.dataset.0,
+            n_taxa: data.n_taxa() as u64,
+            n_patterns: data.n_patterns() as u64,
+            newick: spec.tree.to_newick(),
+            model: spec.model.clone(),
+            admitted_unix_nanos: unix_nanos_now(),
+            deadline_nanos: spec.deadline.map(|d| d.as_nanos() as u64),
+        });
         let job = Box::new(Job {
             id,
             tenant: spec.tenant,
@@ -239,9 +407,34 @@ impl PlfService {
             cell,
             resolved: AtomicBool::new(false),
             redirected: AtomicBool::new(false),
+            journal: self
+                .journal
+                .as_ref()
+                .map(|j| (Arc::clone(j), journal_key)),
         });
         match self.queue.push(job) {
-            Ok(()) => Ok(ticket),
+            Ok(()) => {
+                if let (Some(journal), Some(record)) = (&self.journal, &admitted) {
+                    if let Err(err) = journal.append_admitted(record) {
+                        // The job may already be executing, but the
+                        // caller is told the truth: this admission was
+                        // never made durable. Cancellation is
+                        // best-effort; a completion that still lands
+                        // journals as resolved-under-this-key, which
+                        // recovery treats consistently.
+                        ticket.cancel();
+                        return Err(SubmitError::Journal {
+                            detail: err.to_string(),
+                        });
+                    }
+                }
+                if let (Some(guard), Some(key)) =
+                    (dedup_guard.as_mut(), spec.idempotency_key)
+                {
+                    guard.insert(key, ticket.clone());
+                }
+                Ok(ticket)
+            }
             Err((job, err)) => {
                 // Sheds and hard rejections are distinct overload
                 // signals; keep their tenant accounting separate.
@@ -314,6 +507,246 @@ impl PlfService {
     /// Out-of-range indices are ignored.
     pub fn blackout_worker(&self, i: usize, n: u64) {
         self.pool_shared.blackout_worker(i, n);
+    }
+
+    /// Whether this service writes a crash-durable journal.
+    pub fn journaled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The recovery report from the last [`PlfService::recover`] call
+    /// (or the partial startup report if recovery has not run yet).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Re-admit every journaled admitted-but-unresolved job found at
+    /// startup. Call after registering the datasets those jobs
+    /// referenced (dataset ids are assigned in registration order, so a
+    /// deterministic restart sequence reproduces them).
+    ///
+    /// Replayed jobs whose wall-clock deadline already passed resolve
+    /// `DeadlineMissed` honestly rather than executing stale work.
+    /// Jobs whose dataset is missing or whose recorded shape no longer
+    /// matches resolve `Failed` — recovery never guesses. Either way
+    /// the outcome is journaled and, for caller-supplied keys, indexed
+    /// for dedup so a client resubmission observes it.
+    pub fn recover(&self) -> RecoveryReport {
+        let pending = mem::take(
+            &mut *self
+                .pending_replay
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
+        let mut report = self
+            .recovery
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .unwrap_or_default();
+        let now = unix_nanos_now();
+        for record in pending {
+            report.replayed += 1;
+            self.counters.record_replayed();
+            self.counters.record_submitted(&record.tenant);
+            match remaining_deadline(&record, now) {
+                None => {
+                    report.expired += 1;
+                    self.resolve_replay(&record, JobOutcome::DeadlineMissed);
+                }
+                Some(remaining) => {
+                    if let Err(error) = self.replay_job(&record, remaining) {
+                        report.unrecoverable += 1;
+                        self.resolve_replay(&record, JobOutcome::Failed { error });
+                    }
+                }
+            }
+        }
+        *self.recovery.lock().unwrap_or_else(|p| p.into_inner()) = Some(report.clone());
+        report
+    }
+
+    /// Journal a terminal outcome for a replayed job that will not
+    /// execute, mirror it in the tenant counters, and index it for
+    /// dedup under caller-supplied keys.
+    fn resolve_replay(&self, record: &AdmittedRecord, outcome: JobOutcome) {
+        if let Some(journal) = &self.journal {
+            journal.append_resolved(&record.key, record.id, &outcome);
+        }
+        match &outcome {
+            JobOutcome::DeadlineMissed => {
+                self.counters.record_deadline_missed(&record.tenant);
+            }
+            JobOutcome::Failed { .. } => self.counters.record_failed(&record.tenant),
+            _ => {}
+        }
+        if !record.key.starts_with(AUTO_KEY_PREFIX) {
+            let cell = JobCell::new();
+            cell.set(outcome);
+            let ticket = JobTicket::new(
+                JobId(record.id),
+                record.tenant.clone(),
+                Arc::new(AtomicBool::new(false)),
+                cell,
+            );
+            self.dedup
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(record.key.clone(), ticket);
+        }
+    }
+
+    /// Rebuild and re-admit one journaled job. Err(reason) means the
+    /// job cannot be reconstructed and must resolve `Failed`.
+    fn replay_job(
+        &self,
+        record: &AdmittedRecord,
+        remaining: Option<Duration>,
+    ) -> Result<(), String> {
+        let dataset = DatasetId(record.dataset);
+        let Some(data) = self.dataset(dataset) else {
+            return Err(format!(
+                "replay: dataset {} is not registered on this service",
+                record.dataset
+            ));
+        };
+        if data.n_taxa() as u64 != record.n_taxa
+            || data.n_patterns() as u64 != record.n_patterns
+        {
+            return Err(format!(
+                "replay: dataset {} shape {}x{} does not match journaled {}x{}",
+                record.dataset,
+                data.n_taxa(),
+                data.n_patterns(),
+                record.n_taxa,
+                record.n_patterns
+            ));
+        }
+        let tree = Tree::from_newick(&record.newick)
+            .map_err(|err| format!("replay: journaled tree failed to parse: {err}"))?;
+        let id = JobId(record.id);
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let cell = JobCell::new();
+        let submitted_at = Instant::now();
+        let ticket = JobTicket::new(
+            id,
+            record.tenant.clone(),
+            Arc::clone(&cancelled),
+            Arc::clone(&cell),
+        );
+        let mut job = Box::new(Job {
+            id,
+            tenant: record.tenant.clone(),
+            priority: record.priority,
+            dataset,
+            data,
+            tree,
+            model: record.model.clone(),
+            submitted_at,
+            deadline: remaining.map(|d| submitted_at + d),
+            cancelled,
+            cell,
+            resolved: AtomicBool::new(false),
+            redirected: AtomicBool::new(false),
+            journal: self
+                .journal
+                .as_ref()
+                .map(|j| (Arc::clone(j), record.key.clone())),
+        });
+        // Replay must not be silently shed by a momentarily-full queue:
+        // retry admission briefly, honouring backpressure hints, before
+        // giving up. A closed queue is terminal.
+        let wall = Instant::now() + REPLAY_ADMIT_WALL;
+        loop {
+            match self.queue.push(job) {
+                Ok(()) => break,
+                Err((_, SubmitError::Closed)) => {
+                    return Err("replay: admission queue is closed".to_string());
+                }
+                Err((rejected, err)) => {
+                    if Instant::now() >= wall {
+                        return Err(format!("replay: admission kept failing: {err}"));
+                    }
+                    thread::sleep(err.retry_after().unwrap_or(REPLAY_RETRY_NAP));
+                    job = rejected;
+                }
+            }
+        }
+        if !record.key.starts_with(AUTO_KEY_PREFIX) {
+            self.dedup
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(record.key.clone(), ticket);
+        }
+        Ok(())
+    }
+
+    /// Graceful drain: stop admitting, open the gate, and wait (up to
+    /// `deadline`) for every admitted job to resolve, then join the
+    /// pipeline and flush the journal. This is the SIGTERM path — after
+    /// it returns, the journal on disk records a terminal outcome for
+    /// every acknowledged job that resolved, and a restart replays only
+    /// the remainder.
+    pub fn drain(&mut self, deadline: Duration) -> DrainReport {
+        let started = Instant::now();
+        self.queue.close();
+        self.gate.open();
+        let wall = started + deadline;
+        let pending_at_deadline;
+        loop {
+            let snap = self.counters.snapshot();
+            // Shed and rejected submissions were never admitted, so
+            // they are not owed a resolution.
+            let owed = snap
+                .submitted
+                .saturating_sub(snap.rejected)
+                .saturating_sub(snap.shed);
+            let outstanding = owed.saturating_sub(snap.resolved());
+            if outstanding == 0 {
+                pending_at_deadline = 0;
+                break;
+            }
+            if Instant::now() >= wall {
+                pending_at_deadline = outstanding;
+                break;
+            }
+            thread::sleep(DRAIN_POLL);
+        }
+        let within_deadline = pending_at_deadline == 0;
+        // Joining the scheduler flushes any stragglers (the closed
+        // queue's drain path resolves them) even past the deadline.
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        let mut journal_flushed = true;
+        if let Some(journal) = &self.journal {
+            journal_flushed = journal.flush().is_ok();
+        }
+        let snap = self.counters.snapshot();
+        DrainReport {
+            resolved: snap.resolved(),
+            pending_at_deadline,
+            within_deadline,
+            journal_flushed,
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Chaos/test control: simulate `kill -9` at this instant. The
+    /// journal is frozen — no further appends, no flush — so only
+    /// records already written through to the OS survive, exactly as
+    /// they would under a real hard kill. The in-memory pipeline is
+    /// then torn down without graceful resolution bookkeeping reaching
+    /// the journal.
+    pub fn crash(self) {
+        if let Some(journal) = &self.journal {
+            journal.freeze();
+        }
+        // Drop runs shutdown_in_place; with the journal frozen none of
+        // those resolutions are made durable.
     }
 
     /// Stop admitting, flush the backlog through the workers, and join
@@ -527,5 +960,182 @@ mod tests {
         for t in tickets {
             assert!(t.try_wait().is_some(), "job left unresolved by shutdown");
         }
+    }
+
+    fn temp_journal_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "plfd-service-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn journaled_config(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            journal: Some(JournalConfig::in_dir(dir)),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn duplicate_idempotency_key_returns_one_outcome() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(6, 48), 11);
+        let model = plf_seqgen::default_model();
+        let dir = temp_journal_dir("dedup");
+        let service = PlfService::new(journaled_config(&dir), scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let first = service
+            .submit(
+                JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                    .with_idempotency_key("job-a"),
+            )
+            .expect("admitted");
+        let dup = service
+            .submit(
+                JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                    .with_idempotency_key("job-a"),
+            )
+            .expect("deduped, not rejected");
+        let a = first.wait().ln_likelihood().expect("completed");
+        let b = dup.wait().ln_likelihood().expect("completed");
+        assert_eq!(a.to_bits(), b.to_bits(), "one execution, one result");
+        let snap = service.snapshot();
+        assert_eq!(snap.submitted, 1, "duplicate was not re-admitted");
+        assert_eq!(snap.deduped_jobs, 1);
+        assert!(snap.journal_appends >= 2, "admit + resolve journaled");
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_then_recover_replays_unresolved_and_dedups_resubmission() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(6, 48), 13);
+        let model = plf_seqgen::default_model();
+        let dir = temp_journal_dir("crash");
+
+        // Uncrashed reference for bit-identity.
+        let mut serial =
+            TreeLikelihood::new(&ds.tree, &ds.data, model.clone()).expect("workspace");
+        let expected = serial
+            .log_likelihood(&ds.tree, &mut ScalarBackend)
+            .expect("serial eval");
+
+        // Run 1: admit some jobs while the scheduler is held shut, so
+        // they are journaled admitted but never resolve, then crash.
+        {
+            let config = ServiceConfig {
+                hold: true,
+                ..journaled_config(&dir)
+            };
+            let service = PlfService::new(config, scalar_backends(1));
+            let dataset = service.register_dataset(ds.data.clone());
+            for i in 0..3 {
+                service
+                    .submit(
+                        JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                            .with_idempotency_key(format!("crash-{i}")),
+                    )
+                    .expect("admitted");
+            }
+            service.crash();
+        }
+
+        // Run 2: same journal dir. Recovery replays all three; a client
+        // resubmission under the same key dedups onto the replay.
+        let service = PlfService::new(journaled_config(&dir), scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let report = service.recover();
+        assert_eq!(report.replayed, 3, "all admitted-unresolved jobs replayed");
+        assert_eq!(report.expired, 0);
+        assert_eq!(report.unrecoverable, 0);
+        let resubmitted = service
+            .submit(
+                JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                    .with_idempotency_key("crash-1"),
+            )
+            .expect("deduped onto the replayed job");
+        let lnl = resubmitted.wait().ln_likelihood().expect("completed");
+        assert_eq!(lnl.to_bits(), expected.to_bits(), "bit-identical across crash");
+        let snap = service.snapshot();
+        assert_eq!(snap.replayed_jobs, 3);
+        assert_eq!(snap.deduped_jobs, 1);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_resolves_expired_deadlines_as_missed() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 16), 17);
+        let model = plf_seqgen::default_model();
+        let dir = temp_journal_dir("expired");
+        {
+            let config = ServiceConfig {
+                hold: true,
+                ..journaled_config(&dir)
+            };
+            let service = PlfService::new(config, scalar_backends(1));
+            let dataset = service.register_dataset(ds.data.clone());
+            service
+                .submit(
+                    JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                        .with_deadline(Duration::from_nanos(1))
+                        .with_idempotency_key("stale"),
+                )
+                .expect("admitted");
+            service.crash();
+        }
+        let service = PlfService::new(journaled_config(&dir), scalar_backends(1));
+        let _dataset = service.register_dataset(ds.data.clone());
+        let report = service.recover();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.expired, 1, "past-deadline replay resolves honestly");
+        // The journaled outcome is visible to a resubmission.
+        let ticket = service
+            .submit(
+                JobSpec::new("t", DatasetId(0), ds.tree.clone(), model)
+                    .with_idempotency_key("stale"),
+            )
+            .expect("deduped");
+        assert!(matches!(ticket.wait(), JobOutcome::DeadlineMissed));
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_resolves_backlog_and_flushes_journal() {
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(6, 48), 19);
+        let model = plf_seqgen::default_model();
+        let dir = temp_journal_dir("drain");
+        let config = ServiceConfig {
+            hold: true,
+            ..journaled_config(&dir)
+        };
+        let mut service = PlfService::new(config, scalar_backends(2));
+        let dataset = service.register_dataset(ds.data.clone());
+        let tickets: Vec<JobTicket> = (0..6)
+            .map(|_| {
+                service
+                    .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        let report = service.drain(Duration::from_secs(30));
+        assert!(report.within_deadline, "backlog drained in time");
+        assert_eq!(report.pending_at_deadline, 0);
+        assert!(report.journal_flushed);
+        assert_eq!(report.resolved, 6);
+        for t in tickets {
+            assert!(t.try_wait().is_some(), "drain left a job unresolved");
+        }
+        // A drained journal has no admitted-but-unresolved jobs left:
+        // a restart replays nothing.
+        drop(service);
+        let restarted = PlfService::new(journaled_config(&dir), scalar_backends(1));
+        let _dataset = restarted.register_dataset(ds.data.clone());
+        let report = restarted.recover();
+        assert_eq!(report.replayed, 0, "nothing to replay after clean drain");
+        restarted.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

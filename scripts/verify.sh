@@ -17,12 +17,19 @@
 #   5. clippy with -D warnings on every first-party crate (the
 #      [workspace.lints] wall turns each listed warn into an error);
 #   6. a smoke run of the perf_report binary, proving the observability
-#      pipeline produces a BENCH_plf report end to end (schema v3, with
-#      the plfd service section including the self-healing counters,
-#      self-validated by the binary);
+#      pipeline produces a BENCH_plf report end to end (schema v4, with
+#      the plfd service section including the self-healing and
+#      crash-durability counters, self-validated by the binary);
 #   7. a quick fixed-seed `plfr chaos` soak — a scheduled worker kill
 #      and backend blackout that the service must heal with zero lost
-#      jobs, bit-identical results, and every breaker re-closed.
+#      jobs, bit-identical results, and every breaker re-closed;
+#   8. a fixed-seed `plfr chaos --crash` drill — the service is crashed
+#      (kill -9 semantics: journal frozen mid-flight, a torn record
+#      appended to the tail) after N acknowledged jobs and restarted on
+#      the same journal; exits non-zero unless recovery replays every
+#      acknowledged job, dedups every resubmission, truncates the torn
+#      tail non-fatally, and every result is bit-identical to the
+#      serial scalar reference.
 #
 # With --smoke, the perf_report step writes its report to
 # ./BENCH_plf.json (smoke-sized: one small data set, 64 service jobs)
@@ -92,6 +99,16 @@ echo "==> plfr chaos (fixed-seed self-healing soak)"
 # Default schedule: kill worker 0 at submission 40, black out worker 1
 # for 6 jobs at submission 80; exits non-zero unless the service heals.
 cargo run --release -q --bin plfr -- chaos --seed 2009 >/dev/null
+
+echo "==> plfr chaos --crash (crash-durability drill)"
+# Crash after 20 acknowledged jobs, tear the journal tail, restart,
+# recover, and resubmit all 60; exits non-zero on any lost acknowledged
+# job, un-deduped resubmission, or bit mismatch across the crash.
+CRASH_DIR="$(mktemp -d)"
+trap 'rm -rf "$CRASH_DIR"' EXIT
+cargo run --release -q --bin plfr -- chaos \
+    --crash 20 --jobs 60 --seed 2009 --workers 2 \
+    --journal-dir "$CRASH_DIR/journal" >/dev/null
 
 if [ "$DEEP" = 1 ]; then
     echo "==> deep: miri soundness pass (AlignedBuf / clv)"

@@ -33,8 +33,9 @@ use plf_repro::phylo::model::{GtrParams, SiteModel};
 use plf_repro::phylo::resilience::{FaultInjector, ResilientBackend};
 use plf_repro::phylo::tree::Tree;
 use plf_repro::plfd::{
-    run_chaos, ChaosBackendFactory, ChaosConfig, JobOutcome, JobSpec, LoadMode, LoadgenConfig,
-    PlfService, Priority, ScheduledBlackout, ScheduledKill, ServiceConfig, SubmitError,
+    run_chaos, ChaosBackendFactory, ChaosConfig, JobOutcome, JobSpec, JournalConfig, LoadMode,
+    LoadgenConfig, PlfService, Priority, ScheduledBlackout, ScheduledKill, ServiceConfig,
+    SubmitError,
 };
 use plf_repro::seqgen;
 use rand::rngs::StdRng;
@@ -402,7 +403,47 @@ fn service_config(args: &Args) -> Result<ServiceConfig, String> {
         return Err(format!("bad value for --linger-ms: {linger_ms}"));
     }
     cfg.batch.linger = Duration::from_secs_f64(linger_ms / 1e3);
+    if let Some(dir) = args.get("journal-dir") {
+        let mut journal = JournalConfig::in_dir(dir);
+        let fsync_ms: f64 =
+            args.parse_num("fsync-ms", journal.fsync_interval.as_secs_f64() * 1e3)?;
+        if !(fsync_ms.is_finite() && fsync_ms >= 0.0) {
+            return Err(format!("bad value for --fsync-ms: {fsync_ms}"));
+        }
+        journal.fsync_interval = Duration::from_secs_f64(fsync_ms / 1e3);
+        cfg.journal = Some(journal);
+    } else if args.get("fsync-ms").is_some() {
+        return Err("--fsync-ms requires --journal-dir".into());
+    }
     Ok(cfg)
+}
+
+/// `true` once SIGTERM or SIGINT arrives; `serve` polls this to start
+/// a graceful drain instead of dying mid-stream.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn request_shutdown(_signum: i32) {
+    // Only the async-signal-safe atomic store happens here; the serve
+    // loop notices the flag at its next poll tick.
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Route SIGTERM/SIGINT into [`SHUTDOWN_REQUESTED`].
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: `signal` is the POSIX libc entry point; the handler only
+    // performs an atomic store, which is async-signal-safe, and the
+    // replaced disposition (the default) is not needed again.
+    unsafe {
+        signal(SIGINT, request_shutdown);
+        signal(SIGTERM, request_shutdown);
+    }
 }
 
 /// One worker backend per `--workers`, cycling through the comma list
@@ -427,6 +468,7 @@ const SERVE_USAGE: &str = "plfr serve — run the plfd batched evaluation servic
 USAGE:
   plfr serve --alignment FILE [--backend NAME[,NAME...]] [--workers N]
              [--queue-capacity K] [--batch-jobs N] [--batch-units N] [--linger-ms F]
+             [--journal-dir DIR] [--fsync-ms F] [--drain-ms F]
              [--shape A] [--pinvar P] [--rates K]
 
 PROTOCOL (one request per input line):
@@ -437,7 +479,14 @@ responses on stdout, in submission order:
   fail id=N error=...                (evaluation failed)
   cancelled id=N | deadline id=N
   error id=N msg=...                 (malformed request line)
-A service-metrics JSON snapshot is printed to stderr at EOF.";
+A service-metrics JSON snapshot is printed to stderr at EOF.
+
+With --journal-dir, every acknowledged admission is written to a
+crash-durable write-ahead journal before the response; on restart the
+service replays admitted-but-unresolved jobs. --fsync-ms sets the
+group-commit window (0 = fsync every append). SIGTERM/SIGINT trigger a
+graceful drain (bounded by --drain-ms, default 10000) that resolves
+the backlog, flushes the journal, and exits 0.";
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
     if args.flag("help") {
@@ -448,16 +497,48 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let data = aln.compress();
     let model = build_model(args)?;
     let config = service_config(args)?;
-    let service = PlfService::new(config, service_backends(args)?);
+    let drain_ms: f64 = args.parse_num("drain-ms", 10_000.0)?;
+    if !(drain_ms.is_finite() && drain_ms >= 0.0) {
+        return Err(format!("bad value for --drain-ms: {drain_ms}"));
+    }
+    let drain_deadline = Duration::from_secs_f64(drain_ms / 1e3);
+    let journaled = config.journal.is_some();
+    let mut service = PlfService::new(config, service_backends(args)?);
     let dataset = service.register_dataset(data);
+    if journaled {
+        let report = service.recover();
+        eprintln!(
+            "plfd: journal recovery — {} replayed ({} past deadline, {} unrecoverable), \
+             {} journaled outcome(s) indexed, {} torn record(s) truncated",
+            report.replayed,
+            report.expired,
+            report.unrecoverable,
+            report.deduped_outcomes,
+            report.truncated_records
+        );
+    }
+    install_shutdown_handler();
     eprintln!(
-        "plfd: serving on stdio — {} worker(s), queue capacity {}, unit {} patterns",
+        "plfd: serving on stdio — {} worker(s), queue capacity {}, unit {} patterns{}",
         service.n_workers(),
         service.queue_capacity(),
-        service.unit_patterns()
+        service.unit_patterns(),
+        if journaled { ", journaled" } else { "" }
     );
 
-    let stdin = std::io::stdin();
+    // Stdin is read on a side thread so the serve loop can poll the
+    // shutdown flag: a blocking `lines()` read would sit out a SIGTERM
+    // until the next request arrived.
+    let (line_tx, line_rx) = std::sync::mpsc::channel::<std::io::Result<String>>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in std::io::BufRead::lines(stdin.lock()) {
+            if line_tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
     let mut pending: std::collections::VecDeque<(u64, plf_repro::plfd::JobTicket)> =
         std::collections::VecDeque::new();
     let print_outcome = |id: u64, outcome: JobOutcome| match outcome {
@@ -476,8 +557,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         JobOutcome::DeadlineMissed => println!("deadline id={id}"),
     };
     let mut next_id: u64 = 0;
-    for line in std::io::BufRead::lines(stdin.lock()) {
-        let line = line.map_err(|e| format!("stdin: {e}"))?;
+    let mut signalled = false;
+    loop {
+        if SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+            signalled = true;
+            break;
+        }
+        let line = match line_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => line.map_err(|e| format!("stdin: {e}"))?,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Idle tick: flush anything that resolved meanwhile.
+                while let Some((fid, ticket)) = pending.front() {
+                    match ticket.try_wait() {
+                        Some(outcome) => {
+                            print_outcome(*fid, outcome);
+                            pending.pop_front();
+                        }
+                        None => break,
+                    }
+                }
+                continue;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -506,11 +608,32 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             }
         }
     }
-    for (id, ticket) in pending {
-        print_outcome(id, ticket.wait());
+    // Graceful drain: resolve the admitted backlog (bounded on a
+    // signal), flush the journal, answer every outstanding request,
+    // and exit 0 — an acknowledged job is never abandoned.
+    if signalled {
+        eprintln!(
+            "plfd: shutdown signal received — draining {} outstanding job(s) (bound {:.1} s)",
+            pending.len(),
+            drain_deadline.as_secs_f64()
+        );
     }
+    let drain = service.drain(drain_deadline);
+    for (id, ticket) in pending {
+        match ticket.try_wait() {
+            Some(outcome) => print_outcome(id, outcome),
+            None => println!("error id={id} msg=unresolved at drain deadline"),
+        }
+    }
+    eprintln!(
+        "plfd: drained — {} resolved, {} pending at deadline, journal {} ({:.3} s)",
+        drain.resolved,
+        drain.pending_at_deadline,
+        if drain.journal_flushed { "flushed" } else { "not flushed" },
+        drain.elapsed.as_secs_f64()
+    );
     let snapshot = service.snapshot();
-    service.shutdown();
+    drop(service);
     eprintln!(
         "{}",
         serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?
@@ -645,7 +768,8 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let taxa_names = ds.data.taxa().to_vec();
     let service = PlfService::new(service_config(args)?, service_backends(args)?);
     let dataset = service.register_dataset(ds.data);
-    let report = plf_repro::plfd::loadgen::run(&service, dataset, &taxa_names, &model, &cfg);
+    let report = plf_repro::plfd::loadgen::run(&service, dataset, &taxa_names, &model, &cfg)
+        .map_err(|e| format!("loadgen: {e}"))?;
     service.shutdown();
 
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -715,6 +839,7 @@ USAGE:
              [--high-frac 0.125] [--cancel-frac 0.05]
              [--deadline-frac F] [--deadline-ms D]
              [--max-wall 60] [--recovery-bound 10]
+             [--crash N] [--journal-dir DIR]
              [--json] [--out FILE]
 
 Drives a seeded job stream while killing dispatch workers, blacking
@@ -734,6 +859,16 @@ knobs mirror the PLF_FAULT_* environment variables and add seeded
 random faults on top of the schedule. A comma list in --backend cycles
 names across worker slots (and respawns), so a mixed pool can exercise
 the Cell DMA and GPU PCIe fault sites in one soak.
+
+--crash N switches to the crash-durability drill instead of the soak:
+the harness journals the job stream, hard-aborts the service after N
+acknowledged admissions (journal frozen exactly as `kill -9` would
+leave it, plus a deliberately torn tail record), restarts on the same
+journal directory (--journal-dir, default a per-seed temp dir),
+recovers, and resubmits every job under its original idempotency key.
+It asserts zero lost acknowledged jobs, every resubmission deduped
+(no duplicate execution), the torn tail truncated and counted, and
+bit-identical results vs. the uncrashed same-seed reference.
 
 EXIT CODE: 0 when every invariant held; 1 otherwise (the JSON
 report's `failures` list names each violated invariant).";
@@ -858,6 +993,22 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         return Err(format!("bad value for --recovery-bound: {recovery}"));
     }
     cfg.recovery_bound = Duration::from_secs_f64(recovery);
+    if let Some(v) = args.get("crash") {
+        let n: usize = v.parse().map_err(|_| format!("bad value for --crash: {v}"))?;
+        if n == 0 {
+            return Err("--crash must be at least 1".into());
+        }
+        if n > cfg.jobs {
+            return Err(format!("--crash {n} exceeds --jobs {}", cfg.jobs));
+        }
+        cfg.crash_at = Some(n);
+    }
+    if let Some(dir) = args.get("journal-dir") {
+        if cfg.crash_at.is_none() {
+            return Err("--journal-dir requires --crash (the durability drill)".into());
+        }
+        cfg.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
 
     // Validate every backend name up front so the factory below cannot
     // fail; inside the soak a build failure silently degrading to
@@ -936,6 +1087,22 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             "verification:     {} checked, {} bit mismatches ({:.3} s wall)",
             report.checked, report.bit_mismatches, report.wall_seconds
         );
+        if let Some(d) = &report.durability {
+            println!(
+                "crash drill:      aborted after {} acknowledged job(s); {} replayed \
+                 ({} past deadline, {} unrecoverable), {} torn record(s) truncated",
+                d.crashed_after,
+                d.recovery.replayed,
+                d.recovery.expired,
+                d.recovery.unrecoverable,
+                d.recovery.truncated_records
+            );
+            println!(
+                "durability:       {} resubmission(s) deduped (no duplicate execution), \
+                 {} acknowledged job(s) lost",
+                d.resubmits_deduped, d.lost_acknowledged
+            );
+        }
         for f in &report.failures {
             println!("FAILED INVARIANT: {f}");
         }

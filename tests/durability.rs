@@ -1,0 +1,218 @@
+//! Crash-durability and idempotency contract of the plfd service:
+//! a duplicate submission under one idempotency key yields exactly one
+//! execution and one outcome (even when the duplicates race from many
+//! threads), and a `kill -9`-equivalent crash loses no acknowledged
+//! job — the restarted service replays admitted-but-unresolved work
+//! from the write-ahead journal, dedups client resubmissions onto it,
+//! and produces bit-identical log-likelihoods across the crash.
+
+use plf_repro::phylo::kernels::{PlfBackend, ScalarBackend};
+use plf_repro::phylo::likelihood::TreeLikelihood;
+use plf_repro::plfd::{JobOutcome, JobSpec, JournalConfig, PlfService, ServiceConfig};
+use plf_repro::seqgen::{self, DatasetSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn scalar_backends(n: usize) -> Vec<Box<dyn PlfBackend>> {
+    (0..n)
+        .map(|_| Box::new(ScalarBackend) as Box<dyn PlfBackend>)
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plfd-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn journaled(dir: &std::path::Path) -> ServiceConfig {
+    ServiceConfig {
+        journal: Some(JournalConfig::in_dir(dir)),
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn duplicate_submission_executes_once_and_shares_the_outcome() {
+    let ds = seqgen::generate(DatasetSpec::new(6, 48), 101);
+    let model = seqgen::default_model();
+    let dir = temp_dir("dup");
+    let service = PlfService::new(journaled(&dir), scalar_backends(2));
+    let dataset = service.register_dataset(ds.data.clone());
+
+    let spec = || {
+        JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+            .with_idempotency_key("the-one-job")
+    };
+    let first = service.submit(spec()).expect("admitted");
+    let second = service.submit(spec()).expect("deduped");
+    let a = first.wait().ln_likelihood().expect("completed");
+    let b = second.wait().ln_likelihood().expect("completed");
+    assert_eq!(a.to_bits(), b.to_bits());
+
+    let snap = service.snapshot();
+    assert_eq!(snap.submitted, 1, "one execution for two submissions");
+    assert_eq!(snap.deduped_jobs, 1);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_duplicates_from_many_threads_admit_exactly_once() {
+    let ds = seqgen::generate(DatasetSpec::new(6, 48), 103);
+    let model = seqgen::default_model();
+    let dir = temp_dir("race");
+    let service = Arc::new(PlfService::new(journaled(&dir), scalar_backends(2)));
+    let dataset = service.register_dataset(ds.data.clone());
+
+    const RACERS: usize = 8;
+    let handles: Vec<_> = (0..RACERS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let tree = ds.tree.clone();
+            let model = model.clone();
+            thread::spawn(move || {
+                let spec = JobSpec::new("t", dataset, tree, model)
+                    .with_idempotency_key("contended-key");
+                service
+                    .submit(spec)
+                    .expect("admitted or deduped")
+                    .wait()
+                    .ln_likelihood()
+                    .expect("completed")
+            })
+        })
+        .collect();
+    let mut bits: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("racer thread").to_bits())
+        .collect();
+    bits.dedup();
+    assert_eq!(bits.len(), 1, "every racer saw the same result");
+
+    let snap = service.snapshot();
+    assert_eq!(snap.submitted, 1, "racing duplicates admit exactly once");
+    assert_eq!(snap.deduped_jobs, (RACERS - 1) as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_loses_no_acknowledged_job_and_results_survive_bit_identically() {
+    let ds = seqgen::generate(DatasetSpec::new(8, 64), 107);
+    let model = seqgen::default_model();
+    let dir = temp_dir("crash");
+    const JOBS: usize = 10;
+    let key = |i: usize| format!("durable-{i}");
+
+    // Uncrashed same-input reference.
+    let mut serial =
+        TreeLikelihood::new(&ds.tree, &ds.data, model.clone()).expect("workspace");
+    let expected = serial
+        .log_likelihood(&ds.tree, &mut ScalarBackend)
+        .expect("serial eval");
+
+    // Run 1: acknowledge JOBS submissions, crash before any resolve
+    // (the scheduler gate is held shut, so nothing reaches a worker).
+    {
+        let config = ServiceConfig {
+            hold: true,
+            ..journaled(&dir)
+        };
+        let service = PlfService::new(config, scalar_backends(2));
+        let dataset = service.register_dataset(ds.data.clone());
+        for i in 0..JOBS {
+            service
+                .submit(
+                    JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                        .with_idempotency_key(key(i)),
+                )
+                .expect("acknowledged");
+        }
+        service.crash();
+    }
+
+    // Run 2: restart on the same journal, recover, resubmit every key.
+    let service = PlfService::new(journaled(&dir), scalar_backends(2));
+    let dataset = service.register_dataset(ds.data.clone());
+    let report = service.recover();
+    assert_eq!(report.replayed, JOBS as u64, "every acknowledged job replayed");
+    assert_eq!(report.unrecoverable, 0);
+
+    for i in 0..JOBS {
+        let ticket = service
+            .submit(
+                JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                    .with_idempotency_key(key(i)),
+            )
+            .expect("resubmission dedups onto the replay");
+        let outcome = ticket
+            .wait_timeout(Duration::from_secs(30))
+            .expect("acknowledged job resolves after the crash");
+        let lnl = outcome.ln_likelihood().expect("completed");
+        assert_eq!(
+            lnl.to_bits(),
+            expected.to_bits(),
+            "job {i} bit-identical across the crash"
+        );
+    }
+    let snap = service.snapshot();
+    assert_eq!(snap.deduped_jobs, JOBS as u64, "no resubmission re-executed");
+    assert_eq!(snap.replayed_jobs, JOBS as u64);
+    service.shutdown();
+
+    // Run 3: everything resolved — a further restart replays nothing.
+    let service = PlfService::new(journaled(&dir), scalar_backends(1));
+    let _ = service.register_dataset(ds.data.clone());
+    let report = service.recover();
+    assert_eq!(report.replayed, 0, "clean journal after full resolution");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journaled_outcome_answers_resubmission_after_restart() {
+    let ds = seqgen::generate(DatasetSpec::new(6, 48), 109);
+    let model = seqgen::default_model();
+    let dir = temp_dir("outcome");
+
+    // Run 1: complete a keyed job, flush via graceful shutdown so the
+    // Resolved record is on disk, then stop.
+    let expected_bits;
+    {
+        let service = PlfService::new(journaled(&dir), scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let ticket = service
+            .submit(
+                JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                    .with_idempotency_key("done-before-restart"),
+            )
+            .expect("admitted");
+        expected_bits = ticket.wait().ln_likelihood().expect("completed").to_bits();
+        service.shutdown();
+    }
+
+    // Run 2: the journaled outcome (not a re-execution) answers the
+    // resubmission — before recover() even runs.
+    let service = PlfService::new(journaled(&dir), scalar_backends(1));
+    let dataset = service.register_dataset(ds.data.clone());
+    let ticket = service
+        .submit(
+            JobSpec::new("t", dataset, ds.tree.clone(), model.clone())
+                .with_idempotency_key("done-before-restart"),
+        )
+        .expect("deduped onto the journaled outcome");
+    let outcome = ticket.try_wait().expect("pre-resolved from the journal");
+    assert!(matches!(outcome, JobOutcome::Completed { .. }));
+    assert_eq!(
+        outcome.ln_likelihood().expect("completed").to_bits(),
+        expected_bits,
+        "journaled outcome is bit-identical"
+    );
+    let snap = service.snapshot();
+    assert_eq!(snap.submitted, 0, "nothing re-executed");
+    assert_eq!(snap.deduped_jobs, 1);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
