@@ -13,14 +13,17 @@
 //! serial scalar reference.
 //!
 //! ```text
-//! perf_report [--smoke | --full] [--out PATH]
+//! perf_report [--smoke | --full] [--out PATH] [--require-batched-win]
 //! ```
 //!
 //! * default: the 10_1K and 20_1K grid cells, 10 evaluations each;
 //! * `--smoke`: one tiny 10-taxa × 200-pattern set, 2 evaluations —
 //!   fast enough for `scripts/verify.sh`;
 //! * `--full`: the paper's whole 16-cell grid (slow);
-//! * `--out`: output path (default `BENCH_plf.json`).
+//! * `--out`: output path (default `BENCH_plf.json`);
+//! * `--require-batched-win`: exit nonzero unless the batched service
+//!   out-throughputs direct per-job dispatch (the fused-execution
+//!   perf gate in CI).
 
 use plf_bench::report::{
     plf_backend_report, validate_bench_json, write_json, PlfBenchReport, PlfDatasetReport,
@@ -126,6 +129,7 @@ fn main() -> ExitCode {
     let mut evals: u64 = 10;
     let mut service_jobs: usize = 256;
     let mut service_patterns: usize = 1_000;
+    let mut require_batched_win = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -136,6 +140,7 @@ fn main() -> ExitCode {
                 service_patterns = 200;
             }
             "--full" => specs = paper_grid(),
+            "--require-batched-win" => require_batched_win = true,
             "--out" => {
                 i += 1;
                 match args.get(i) {
@@ -147,7 +152,10 @@ fn main() -> ExitCode {
                 }
             }
             other => {
-                eprintln!("error: unknown argument {other:?} (expected --smoke, --full, --out PATH)");
+                eprintln!(
+                    "error: unknown argument {other:?} (expected --smoke, --full, --out PATH, \
+                     --require-batched-win)"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -164,6 +172,16 @@ fn main() -> ExitCode {
         eprintln!(
             "error: {} service result(s) were not bit-identical to the serial reference",
             report.service.bit_mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    if require_batched_win
+        && report.service.batched_jobs_per_sec <= report.service.direct_jobs_per_sec
+    {
+        eprintln!(
+            "error: batched throughput ({:.1} jobs/s) does not beat direct dispatch \
+             ({:.1} jobs/s) — fused execution regressed",
+            report.service.batched_jobs_per_sec, report.service.direct_jobs_per_sec
         );
         return ExitCode::FAILURE;
     }

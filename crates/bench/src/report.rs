@@ -45,9 +45,11 @@ pub fn print_series_table(title: &str, series: &[Series]) {
 /// (breaker transitions, watchdog respawns, sheds, probe outcomes) to
 /// the service section's `batched_service` snapshot; v4 added the
 /// crash-durability counters (journal appends, replayed / deduped
-/// jobs, truncated records) to the same snapshot. Older documents are
-/// rejected by [`validate_bench_json`].
-pub const PLF_BENCH_SCHEMA_VERSION: u32 = 4;
+/// jobs, truncated records) to the same snapshot; v5 added the CLV
+/// reuse cache counters (`clv_cache_hits`/`clv_cache_misses`) that
+/// the fused dispatch path maintains. Older documents are rejected by
+/// [`validate_bench_json`].
+pub const PLF_BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Top level of `BENCH_plf.json`: measured PLF observability numbers
 /// (from [`plf_phylo::metrics::PlfCounters`]) for every backend over a
@@ -78,11 +80,11 @@ const SERVICE_REQUIRED_KEYS: [&str; 6] = [
     "batched_service",
 ];
 
-/// Self-healing (v3) and crash-durability (v4) counters the
-/// `service.batched_service` snapshot must carry (from
+/// Self-healing (v3), crash-durability (v4), and CLV-cache (v5)
+/// counters the `service.batched_service` snapshot must carry (from
 /// [`plf_phylo::metrics::ServiceSnapshot`]); kept in sync by the same
 /// round-trip test.
-const BATCHED_SERVICE_REQUIRED_KEYS: [&str; 13] = [
+const BATCHED_SERVICE_REQUIRED_KEYS: [&str; 15] = [
     "shed",
     "requeued_jobs",
     "watchdog_respawns",
@@ -96,6 +98,8 @@ const BATCHED_SERVICE_REQUIRED_KEYS: [&str; 13] = [
     "replayed_jobs",
     "deduped_jobs",
     "truncated_records",
+    "clv_cache_hits",
+    "clv_cache_misses",
 ];
 
 /// Validate a `BENCH_plf.json` document against the current schema,
@@ -121,7 +125,8 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         return Err(format!(
             "BENCH_plf.json schema mismatch: file is v{version}, this tree expects \
              v{PLF_BENCH_SCHEMA_VERSION} (v2 added the mandatory `service` section, v3 its \
-             self-healing counters, v4 its crash-durability counters; regenerate with \
+             self-healing counters, v4 its crash-durability counters, v5 its CLV-cache \
+             counters; regenerate with \
              `cargo run --release -p plf-bench --bin perf_report`)"
         ));
     }
@@ -343,21 +348,21 @@ mod tests {
         // A v1 file: schema_version 1, no `service` section.
         let v1 = r#"{"schema_version": 1, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
         let err = validate_bench_json(v1).expect_err("v1 must be rejected");
-        assert!(err.contains("v1") && err.contains("v4"), "names both versions: {err}");
+        assert!(err.contains("v1") && err.contains("v5"), "names both versions: {err}");
 
-        // A v3 file is rejected by version before shape.
-        let v3 = r#"{"schema_version": 3, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
-        let err = validate_bench_json(v3).expect_err("v3 must be rejected");
-        assert!(err.contains("v3") && err.contains("v4"), "names both versions: {err}");
+        // A v4 file is rejected by version before shape.
+        let v4 = r#"{"schema_version": 4, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
+        let err = validate_bench_json(v4).expect_err("v4 must be rejected");
+        assert!(err.contains("v4") && err.contains("v5"), "names both versions: {err}");
 
         // Right version but still v1-shaped (no service section).
-        let hybrid = r#"{"schema_version": 4, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
+        let hybrid = r#"{"schema_version": 5, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
         let err = validate_bench_json(hybrid).expect_err("missing service must be rejected");
         assert!(err.contains("service"), "{err}");
 
         // Right version, service present, but the batched_service
         // snapshot predates the self-healing counters (v2-shaped).
-        let stale_snapshot = r#"{"schema_version": 4, "evaluations": 10,
+        let stale_snapshot = r#"{"schema_version": 5, "evaluations": 10,
             "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}],
             "service": {"jobs": 4, "serial_jobs_per_sec": 1.0, "batched_jobs_per_sec": 2.0,
                         "speedup_batched_over_serial": 2.0, "bit_mismatches": 0,
@@ -365,21 +370,25 @@ mod tests {
         let err = validate_bench_json(stale_snapshot).expect_err("stale snapshot must be rejected");
         assert!(err.contains("shed"), "{err}");
 
-        // Right version, self-healing counters present, but the
-        // crash-durability counters are missing (v3-shaped snapshot).
-        let v3_snapshot = r#"{"schema_version": 4, "evaluations": 10,
+        // Right version, self-healing and crash-durability counters
+        // present, but the CLV-cache counters are missing (v4-shaped
+        // snapshot).
+        let v4_snapshot = r#"{"schema_version": 5, "evaluations": 10,
             "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}],
             "service": {"jobs": 4, "serial_jobs_per_sec": 1.0, "batched_jobs_per_sec": 2.0,
                         "speedup_batched_over_serial": 2.0, "bit_mismatches": 0,
                         "batched_service": {"submitted": 4, "shed": 0, "requeued_jobs": 0,
                             "watchdog_respawns": 0, "watchdog_hangs": 0, "breaker_opened": 0,
                             "breaker_half_opened": 0, "breaker_closed": 0,
-                            "probes_ok": 0, "probes_failed": 0}}}"#;
-        let err = validate_bench_json(v3_snapshot).expect_err("v3-shaped snapshot must be rejected");
-        assert!(err.contains("journal_appends"), "{err}");
+                            "probes_ok": 0, "probes_failed": 0, "journal_appends": 0,
+                            "journal_fsyncs": 0, "journal_rotations": 0,
+                            "journal_compactions": 0, "replayed_jobs": 0,
+                            "deduped_jobs": 0, "truncated_records": 0}}}"#;
+        let err = validate_bench_json(v4_snapshot).expect_err("v4-shaped snapshot must be rejected");
+        assert!(err.contains("clv_cache_hits"), "{err}");
 
         assert!(validate_bench_json("not json").is_err());
-        assert!(validate_bench_json(r#"{"schema_version": 4, "datasets": [], "service": {}}"#).is_err());
+        assert!(validate_bench_json(r#"{"schema_version": 5, "datasets": [], "service": {}}"#).is_err());
     }
 
     #[test]

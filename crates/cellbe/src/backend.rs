@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::constants::DMA_MAX_BYTES;
 use plf_phylo::dna::N_STATES;
-use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
+use plf_phylo::kernels::{simd4, FusedDown, FusedRoot, FusedScale, PlfBackend, SimdSchedule};
 use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
 use plf_phylo::resilience::{panic_message, FaultInjector, PlfError};
 use std::sync::Arc;
@@ -340,16 +340,9 @@ impl PlfBackend for CellBackend {
     ) -> Result<(), PlfError> {
         let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, out.n_patterns());
         let (m, r) = (out.n_patterns(), out.n_rates());
-        let stride = r * N_STATES;
         self.ensure_configured(m, KernelKind::Down, r)?;
         self.dispatch(PpeMessage::RunDown)?;
-        let schedule = self.schedule;
-        let (l, rt) = (left.as_slice(), right.as_slice());
-        self.run_on_spes(m, stride, KernelKind::Down, r, out.as_mut_slice(), |pats, o| {
-            let s = pats.start * stride;
-            let e = pats.end * stride;
-            simd4::cond_like_down_range(schedule, &l[s..e], p_left, &rt[s..e], p_right, o, r);
-        })?;
+        self.down_pass(left, p_left, right, p_right, out)?;
         self.maybe_corrupt(out.as_mut_slice());
         self.account_call(KernelKind::Down, m, r);
         Ok(())
@@ -366,19 +359,10 @@ impl PlfBackend for CellBackend {
     ) -> Result<(), PlfError> {
         let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, out.n_patterns());
         let (m, r) = (out.n_patterns(), out.n_rates());
-        let stride = r * N_STATES;
         let kind = if c.is_some() { KernelKind::Root3 } else { KernelKind::Root2 };
         self.ensure_configured(m, kind, r)?;
         self.dispatch(PpeMessage::RunRoot)?;
-        let schedule = self.schedule;
-        let (sa, sb) = (a.as_slice(), b.as_slice());
-        let sc = c.map(|(clv, p)| (clv.as_slice(), p));
-        self.run_on_spes(m, stride, kind, r, out.as_mut_slice(), |pats, o| {
-            let s = pats.start * stride;
-            let e = pats.end * stride;
-            let cc = sc.map(|(slice, p)| (&slice[s..e], p));
-            simd4::cond_like_root_range(schedule, &sa[s..e], p_a, &sb[s..e], p_b, cc, o, r);
-        })?;
+        self.root_pass(a, p_a, b, p_b, c, out)?;
         self.maybe_corrupt(out.as_mut_slice());
         self.account_call(kind, m, r);
         Ok(())
@@ -387,9 +371,134 @@ impl PlfBackend for CellBackend {
     fn cond_like_scaler(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
         let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, clv.n_patterns());
         let (m, r) = (clv.n_patterns(), clv.n_rates());
-        let stride = r * N_STATES;
         self.ensure_configured(m, KernelKind::Scale, r)?;
         self.dispatch(PpeMessage::RunScale)?;
+        self.scaler_pass(clv, ln_scalers)?;
+        self.maybe_corrupt(clv.as_mut_slice());
+        self.account_call(KernelKind::Scale, m, r);
+        Ok(())
+    }
+
+    // Fused overrides: one PPE message round and one modeled launch
+    // (`account_call` over the concatenated pattern space) per tree
+    // level for the whole batch — the paper's per-invocation overhead
+    // paid once instead of once per job. Each op still runs through the
+    // same SPE partitioning and chunk walk, so results are bitwise
+    // identical to the per-op path.
+
+    fn cond_like_down_fused(&mut self, ops: &mut [FusedDown<'_>]) -> Result<(), PlfError> {
+        let Some(first) = ops.first() else { return Ok(()) };
+        let (total_m, r) = (
+            ops.iter().map(|op| op.out.n_patterns()).sum::<usize>(),
+            first.out.n_rates(),
+        );
+        let first_m = first.out.n_patterns();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, total_m);
+        self.ensure_configured(first_m, KernelKind::Down, r)?;
+        self.dispatch(PpeMessage::RunDown)?;
+        for op in ops.iter_mut() {
+            self.down_pass(op.left, op.p_left, op.right, op.p_right, op.out)?;
+            self.maybe_corrupt(op.out.as_mut_slice());
+        }
+        self.account_call(KernelKind::Down, total_m, r);
+        Ok(())
+    }
+
+    fn cond_like_root_fused(&mut self, ops: &mut [FusedRoot<'_>]) -> Result<(), PlfError> {
+        let Some(first) = ops.first() else { return Ok(()) };
+        let kind = if first.c.is_some() { KernelKind::Root3 } else { KernelKind::Root2 };
+        let (total_m, r) = (
+            ops.iter().map(|op| op.out.n_patterns()).sum::<usize>(),
+            first.out.n_rates(),
+        );
+        let first_m = first.out.n_patterns();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, total_m);
+        self.ensure_configured(first_m, kind, r)?;
+        self.dispatch(PpeMessage::RunRoot)?;
+        for op in ops.iter_mut() {
+            self.root_pass(op.a, op.p_a, op.b, op.p_b, op.c, op.out)?;
+            self.maybe_corrupt(op.out.as_mut_slice());
+        }
+        self.account_call(kind, total_m, r);
+        Ok(())
+    }
+
+    fn cond_like_scaler_fused(&mut self, ops: &mut [FusedScale<'_>]) -> Result<(), PlfError> {
+        let Some(first) = ops.first() else { return Ok(()) };
+        let (total_m, r) = (
+            ops.iter().map(|op| op.clv.n_patterns()).sum::<usize>(),
+            first.clv.n_rates(),
+        );
+        let first_m = first.clv.n_patterns();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, total_m);
+        self.ensure_configured(first_m, KernelKind::Scale, r)?;
+        self.dispatch(PpeMessage::RunScale)?;
+        for op in ops.iter_mut() {
+            self.scaler_pass(op.clv, op.ln_scalers)?;
+            if let Some(inj) = &self.injector {
+                if let Some(kind) = inj.fire_corruption() {
+                    inj.corrupt(op.clv.as_mut_slice(), kind);
+                }
+            }
+        }
+        self.account_call(KernelKind::Scale, total_m, r);
+        Ok(())
+    }
+}
+
+impl CellBackend {
+    /// One `CondLikeDown` over the SPEs, without dispatch/accounting
+    /// (shared by the single-op and fused entry points).
+    fn down_pass(
+        &mut self,
+        left: &Clv,
+        p_left: &TransitionMatrices,
+        right: &Clv,
+        p_right: &TransitionMatrices,
+        out: &mut Clv,
+    ) -> Result<(), PlfError> {
+        let (m, r) = (out.n_patterns(), out.n_rates());
+        let stride = r * N_STATES;
+        self.ensure_configured(m, KernelKind::Down, r)?;
+        let schedule = self.schedule;
+        let (l, rt) = (left.as_slice(), right.as_slice());
+        self.run_on_spes(m, stride, KernelKind::Down, r, out.as_mut_slice(), |pats, o| {
+            let s = pats.start * stride;
+            let e = pats.end * stride;
+            simd4::cond_like_down_range(schedule, &l[s..e], p_left, &rt[s..e], p_right, o, r);
+        })
+    }
+
+    /// One `CondLikeRoot` over the SPEs, without dispatch/accounting.
+    fn root_pass(
+        &mut self,
+        a: &Clv,
+        p_a: &TransitionMatrices,
+        b: &Clv,
+        p_b: &TransitionMatrices,
+        c: Option<(&Clv, &TransitionMatrices)>,
+        out: &mut Clv,
+    ) -> Result<(), PlfError> {
+        let (m, r) = (out.n_patterns(), out.n_rates());
+        let stride = r * N_STATES;
+        let kind = if c.is_some() { KernelKind::Root3 } else { KernelKind::Root2 };
+        self.ensure_configured(m, kind, r)?;
+        let schedule = self.schedule;
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+        let sc = c.map(|(clv, p)| (clv.as_slice(), p));
+        self.run_on_spes(m, stride, kind, r, out.as_mut_slice(), |pats, o| {
+            let s = pats.start * stride;
+            let e = pats.end * stride;
+            let cc = sc.map(|(slice, p)| (&slice[s..e], p));
+            simd4::cond_like_root_range(schedule, &sa[s..e], p_a, &sb[s..e], p_b, cc, o, r);
+        })
+    }
+
+    /// One `CondLikeScaler` over the SPEs, without dispatch/accounting.
+    fn scaler_pass(&mut self, clv: &mut Clv, ln_scalers: &mut [f32]) -> Result<(), PlfError> {
+        let (m, r) = (clv.n_patterns(), clv.n_rates());
+        let stride = r * N_STATES;
+        self.ensure_configured(m, KernelKind::Scale, r)?;
         // The scaler mutates the CLV in place and writes the scaler
         // vector; split both across SPEs.
         let ranges = self.first_level(m);
@@ -458,8 +567,6 @@ impl PlfBackend for CellBackend {
         if let Some(e) = error.into_inner() {
             return Err(e);
         }
-        self.maybe_corrupt(clv.as_mut_slice());
-        self.account_call(KernelKind::Scale, m, r);
         Ok(())
     }
 }

@@ -11,7 +11,7 @@ use crate::device::LaunchConfig;
 use crate::kernels::{self, WorkDistribution};
 use crate::model::{GpuKernelKind, GpuModel};
 use plf_phylo::clv::{Clv, TransitionMatrices};
-use plf_phylo::kernels::PlfBackend;
+use plf_phylo::kernels::{FusedDown, FusedRoot, FusedScale, PlfBackend};
 use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
 use plf_phylo::resilience::{FaultInjector, FaultSite, PlfError};
 use plf_simcore::model::MachineModel as _;
@@ -264,6 +264,99 @@ impl PlfBackend for GpuBackend {
             counters.record_rescaled(stats.rescaled);
         }
         self.account(GpuKernelKind::Scale, m, r);
+        Ok(())
+    }
+
+    // Fused overrides: one modeled host→device transfer + kernel launch
+    // covers the whole batch's current tree level (§3.4's launch
+    // overhead paid once over the concatenated pattern space instead of
+    // once per job). The virtual grid runs each op's patterns with the
+    // same per-pattern arithmetic, so results are bitwise identical to
+    // the per-op path.
+
+    fn cond_like_down_fused(&mut self, ops: &mut [FusedDown<'_>]) -> Result<(), PlfError> {
+        let Some(first) = ops.first() else { return Ok(()) };
+        let (total_m, r) = (
+            ops.iter().map(|op| op.out.n_patterns()).sum::<usize>(),
+            first.out.n_rates(),
+        );
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, total_m);
+        self.upload(GpuKernelKind::Down, total_m, r)?;
+        self.launch(GpuKernelKind::Down)?;
+        for op in ops.iter_mut() {
+            let r_op = op.out.n_rates();
+            let stats = kernels::down(
+                self.dist,
+                self.cfg(),
+                op.left.as_slice(),
+                op.p_left,
+                op.right.as_slice(),
+                op.p_right,
+                op.out.as_mut_slice(),
+                r_op,
+            );
+            self.maybe_corrupt(op.out.as_mut_slice());
+            self.stats.syncs += stats.syncs;
+        }
+        self.account(GpuKernelKind::Down, total_m, r);
+        Ok(())
+    }
+
+    fn cond_like_root_fused(&mut self, ops: &mut [FusedRoot<'_>]) -> Result<(), PlfError> {
+        let Some(first) = ops.first() else { return Ok(()) };
+        let kind = if first.c.is_some() { GpuKernelKind::Root3 } else { GpuKernelKind::Root2 };
+        let (total_m, r) = (
+            ops.iter().map(|op| op.out.n_patterns()).sum::<usize>(),
+            first.out.n_rates(),
+        );
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, total_m);
+        self.upload(kind, total_m, r)?;
+        self.launch(kind)?;
+        for op in ops.iter_mut() {
+            let r_op = op.out.n_rates();
+            let stats = kernels::root(
+                self.dist,
+                self.cfg(),
+                op.a.as_slice(),
+                op.p_a,
+                op.b.as_slice(),
+                op.p_b,
+                op.c.map(|(clv, p)| (clv.as_slice(), p)),
+                op.out.as_mut_slice(),
+                r_op,
+            );
+            self.maybe_corrupt(op.out.as_mut_slice());
+            self.stats.syncs += stats.syncs;
+        }
+        self.account(kind, total_m, r);
+        Ok(())
+    }
+
+    fn cond_like_scaler_fused(&mut self, ops: &mut [FusedScale<'_>]) -> Result<(), PlfError> {
+        let Some(first) = ops.first() else { return Ok(()) };
+        let (total_m, r) = (
+            ops.iter().map(|op| op.clv.n_patterns()).sum::<usize>(),
+            first.clv.n_rates(),
+        );
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, total_m);
+        self.upload(GpuKernelKind::Scale, total_m, r)?;
+        self.launch(GpuKernelKind::Scale)?;
+        for op in ops.iter_mut() {
+            let r_op = op.clv.n_rates();
+            let stats = kernels::scale(
+                self.dist,
+                self.cfg(),
+                op.clv.as_mut_slice(),
+                op.ln_scalers,
+                r_op,
+            );
+            self.maybe_corrupt(op.clv.as_mut_slice());
+            self.stats.syncs += stats.syncs;
+            if let Some(counters) = &self.metrics {
+                counters.record_rescaled(stats.rescaled);
+            }
+        }
+        self.account(GpuKernelKind::Scale, total_m, r);
         Ok(())
     }
 }

@@ -104,6 +104,11 @@ impl FileScope {
     /// separators).
     pub fn for_path(rel: &str) -> FileScope {
         let hot_path = rel.starts_with("crates/phylo/src/kernels/")
+            // The fused cross-job driver and the CLV reuse cache run
+            // inside every fused batch evaluation — the same blast
+            // radius as the kernels themselves.
+            || rel == "crates/phylo/src/fused.rs"
+            || rel == "crates/phylo/src/clv_cache.rs"
             || rel == "crates/multicore/src/persistent.rs"
             || rel == "crates/cellbe/src/dma.rs"
             || rel == "crates/gpu/src/kernels.rs"
@@ -618,6 +623,10 @@ mod tests {
             "crates/plfd/src/chaos.rs",
             "crates/plfd/src/journal.rs",
             "crates/plfd/src/recovery.rs",
+            // The fused driver and CLV cache run inside every fused
+            // batch evaluation.
+            "crates/phylo/src/fused.rs",
+            "crates/phylo/src/clv_cache.rs",
         ] {
             assert!(FileScope::for_path(hot).hot_path, "{hot} must be L2 scope");
         }

@@ -85,6 +85,21 @@ fn l2_applies_to_durability_layer() {
 }
 
 #[test]
+fn l2_applies_to_fusion_and_cache_layer() {
+    // The fused cross-job driver and the CLV reuse cache run inside
+    // every fused batch evaluation — a panic there strands the whole
+    // batch. Path gating alone must trip L2.
+    let (path, src) = fixture("l2_fused_hot_panic.rs");
+    for hot in ["crates/phylo/src/fused.rs", "crates/phylo/src/clv_cache.rs"] {
+        let diags = lint_source(&path, &src, FileScope::for_path(hot));
+        assert_eq!(rule_ids(&diags), ["L2", "L2", "L2"], "{hot}: {diags:?}");
+    }
+    // The same source outside the fusion scope trips nothing.
+    let cold = lint_source(&path, &src, FileScope::for_path("crates/phylo/src/model.rs"));
+    assert!(cold.is_empty(), "{cold:?}");
+}
+
+#[test]
 fn l3_fixture_trips_only_magic_number() {
     let diags = lint_fixture("l3_magic.rs");
     assert_eq!(rule_ids(&diags), ["L3", "L3", "L3", "L3"], "{diags:?}");
@@ -133,6 +148,7 @@ fn binary_exits_nonzero_on_each_bad_fixture() {
         "l2_hot_panic.rs",
         "l2_health_hot_panic.rs",
         "l2_journal_hot_panic.rs",
+        "l2_fused_hot_panic.rs",
         "l3_magic.rs",
         "l4_ordering.rs",
     ] {

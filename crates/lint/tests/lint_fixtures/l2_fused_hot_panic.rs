@@ -1,0 +1,24 @@
+//! Known-bad fixture: panicking calls in the fusion/CLV-cache layer.
+//! Linted with the scope derived from `crates/phylo/src/fused.rs` and
+//! `crates/phylo/src/clv_cache.rs`, proving the L2 path gating covers
+//! the fused batch driver and the reuse cache — a panic there takes
+//! down every job of the fused batch, not just one. Never compiled.
+
+fn fingerprint_of(fps: &[Option<u64>], node: usize) -> u64 {
+    // BAD: a missing fingerprint is a driver invariant error, not a
+    // panic.
+    fps[node].unwrap()
+}
+
+fn cached_entry(entries: &std::collections::HashMap<u64, Vec<f32>>, key: u64) -> &Vec<f32> {
+    // BAD: a cache miss is the common case, not a programmer error.
+    entries.get(&key).expect("entry present")
+}
+
+fn demux_result(results: &[f64], job: usize) -> f64 {
+    if job >= results.len() {
+        // BAD: a short result vector must surface as a backend error.
+        panic!("fused result vector too short");
+    }
+    results[job]
+}

@@ -8,7 +8,7 @@
 
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::dna::N_STATES;
-use plf_phylo::kernels::{scalar, simd4, PlfBackend, SimdSchedule};
+use plf_phylo::kernels::{scalar, simd4, FusedDown, FusedRoot, FusedScale, PlfBackend, SimdSchedule};
 use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
 use plf_phylo::resilience::{FaultInjector, FaultSite, PlfError};
 use rayon::prelude::*;
@@ -228,6 +228,167 @@ impl PlfBackend for RayonBackend {
         if let Some(inj) = &self.injector {
             if let Some(kind) = inj.fire_corruption() {
                 inj.corrupt(ln_scalers, kind);
+            }
+        }
+        Ok(())
+    }
+
+    // Fused overrides: the per-job loop would fork-join the pool once
+    // per op per job; instead all jobs' current ops are flattened into
+    // one chunk-task list and executed under a single `install`, so the
+    // whole batch pays one fork-join per tree level. Chunks never span
+    // ops and patterns are independent, so results are bitwise
+    // identical to the per-op path.
+
+    fn cond_like_down_fused(&mut self, ops: &mut [FusedDown<'_>]) -> Result<(), PlfError> {
+        let total_m: usize = ops.iter().map(|op| op.out.n_patterns()).sum();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, total_m);
+        let chunk_patterns = total_m.div_ceil(self.n_threads).max(1);
+        let schedule = self.schedule;
+        let panic_armed = self.worker_fault_armed();
+        type DownTask<'t> = (
+            usize,
+            &'t [f32],
+            &'t TransitionMatrices,
+            &'t [f32],
+            &'t TransitionMatrices,
+            &'t mut [f32],
+        );
+        let mut tasks: Vec<DownTask<'_>> = Vec::new();
+        for op in ops.iter_mut() {
+            let n_rates = op.out.n_rates();
+            let chunk = chunk_patterns * n_rates * N_STATES;
+            let (l, r) = (op.left.as_slice(), op.right.as_slice());
+            for (ci, o) in op.out.as_mut_slice().chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                tasks.push((
+                    n_rates,
+                    &l[start..start + o.len()],
+                    op.p_left,
+                    &r[start..start + o.len()],
+                    op.p_right,
+                    o,
+                ));
+            }
+        }
+        self.pool.install(|| {
+            tasks
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(ti, (n_rates, lc, p_l, rc, p_r, o))| {
+                    if panic_armed && ti == 0 {
+                        panic!("injected fault: rayon worker panic");
+                    }
+                    match schedule {
+                        None => scalar::cond_like_down_range(lc, p_l, rc, p_r, o, n_rates),
+                        Some(s) => simd4::cond_like_down_range(s, lc, p_l, rc, p_r, o, n_rates),
+                    }
+                });
+        });
+        for op in ops.iter_mut() {
+            self.maybe_corrupt(op.out.as_mut_slice());
+        }
+        Ok(())
+    }
+
+    fn cond_like_root_fused(&mut self, ops: &mut [FusedRoot<'_>]) -> Result<(), PlfError> {
+        let total_m: usize = ops.iter().map(|op| op.out.n_patterns()).sum();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, total_m);
+        let chunk_patterns = total_m.div_ceil(self.n_threads).max(1);
+        let schedule = self.schedule;
+        let panic_armed = self.worker_fault_armed();
+        type RootTask<'t> = (
+            usize,
+            &'t [f32],
+            &'t TransitionMatrices,
+            &'t [f32],
+            &'t TransitionMatrices,
+            Option<(&'t [f32], &'t TransitionMatrices)>,
+            &'t mut [f32],
+        );
+        let mut tasks: Vec<RootTask<'_>> = Vec::new();
+        for op in ops.iter_mut() {
+            let n_rates = op.out.n_rates();
+            let chunk = chunk_patterns * n_rates * N_STATES;
+            let (sa, sb) = (op.a.as_slice(), op.b.as_slice());
+            let sc = op.c.map(|(clv, p)| (clv.as_slice(), p));
+            for (ci, o) in op.out.as_mut_slice().chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                let range = start..start + o.len();
+                tasks.push((
+                    n_rates,
+                    &sa[range.clone()],
+                    op.p_a,
+                    &sb[range.clone()],
+                    op.p_b,
+                    sc.map(|(s, p)| (&s[range.clone()], p)),
+                    o,
+                ));
+            }
+        }
+        self.pool.install(|| {
+            tasks
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(ti, (n_rates, ca, p_a, cb, p_b, cc, o))| {
+                    if panic_armed && ti == 0 {
+                        panic!("injected fault: rayon worker panic");
+                    }
+                    match schedule {
+                        None => scalar::cond_like_root_range(ca, p_a, cb, p_b, cc, o, n_rates),
+                        Some(s) => simd4::cond_like_root_range(s, ca, p_a, cb, p_b, cc, o, n_rates),
+                    }
+                });
+        });
+        for op in ops.iter_mut() {
+            self.maybe_corrupt(op.out.as_mut_slice());
+        }
+        Ok(())
+    }
+
+    fn cond_like_scaler_fused(&mut self, ops: &mut [FusedScale<'_>]) -> Result<(), PlfError> {
+        let total_m: usize = ops.iter().map(|op| op.clv.n_patterns()).sum();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, total_m);
+        let chunk_patterns = total_m.div_ceil(self.n_threads).max(1);
+        let schedule = self.schedule;
+        let panic_armed = self.worker_fault_armed();
+        let rescaled = AtomicU64::new(0);
+        let mut tasks: Vec<(usize, &mut [f32], &mut [f32])> = Vec::new();
+        for op in ops.iter_mut() {
+            let n_rates = op.clv.n_rates();
+            let chunk = chunk_patterns * n_rates * N_STATES;
+            for (c, s) in op
+                .clv
+                .as_mut_slice()
+                .chunks_mut(chunk)
+                .zip(op.ln_scalers.chunks_mut(chunk_patterns))
+            {
+                tasks.push((n_rates, c, s));
+            }
+        }
+        self.pool.install(|| {
+            tasks
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(ti, (n_rates, c, s))| {
+                    if panic_armed && ti == 0 {
+                        panic!("injected fault: rayon worker panic");
+                    }
+                    let n = match schedule {
+                        None => scalar::cond_like_scaler_range(c, s, n_rates),
+                        Some(_) => simd4::cond_like_scaler_range(c, s, n_rates),
+                    };
+                    rescaled.fetch_add(n, Ordering::Relaxed);
+                });
+        });
+        if let Some(counters) = &self.metrics {
+            counters.record_rescaled(rescaled.into_inner());
+        }
+        for op in ops.iter_mut() {
+            if let Some(inj) = &self.injector {
+                if let Some(kind) = inj.fire_corruption() {
+                    inj.corrupt(op.ln_scalers, kind);
+                }
             }
         }
         Ok(())

@@ -13,7 +13,7 @@
 
 use plf_phylo::clv::{Clv, TransitionMatrices};
 use plf_phylo::dna::N_STATES;
-use plf_phylo::kernels::{simd4, PlfBackend, SimdSchedule};
+use plf_phylo::kernels::{simd4, FusedDown, FusedRoot, FusedScale, PlfBackend, SimdSchedule};
 use plf_phylo::metrics::{Kernel, KernelTimer, PlfCounters};
 use plf_phylo::resilience::PlfError;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -340,6 +340,189 @@ impl PlfBackend for PersistentPoolBackend {
             task_rescaled.fetch_add(n, Ordering::Relaxed);
         });
         self.run_job(Self::n_chunks(m), task);
+        if let Some(counters) = &self.metrics {
+            counters.record_rescaled(rescaled.load(Ordering::Relaxed));
+        }
+        Ok(())
+    }
+
+    // Fused overrides: one `run_job` (one epoch publish + one
+    // completion barrier) per tree level for the whole batch, instead
+    // of one per op per job. A prefix-sum chunk table maps each global
+    // chunk index to (op, local chunk); chunks never span ops, so the
+    // per-pattern arithmetic — and therefore the result bits — are
+    // exactly those of the per-op path.
+
+    fn cond_like_down_fused(&mut self, ops: &mut [FusedDown<'_>]) -> Result<(), PlfError> {
+        let total_m: usize = ops.iter().map(|op| op.out.n_patterns()).sum();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Down, total_m);
+        let schedule = self.schedule;
+        struct OpJob {
+            chunk_base: usize,
+            m: usize,
+            n_rates: usize,
+            left: Vec<f32>,
+            right: Vec<f32>,
+            p_left: TransitionMatrices,
+            p_right: TransitionMatrices,
+            out: SendPtr,
+        }
+        let mut table: Vec<OpJob> = Vec::with_capacity(ops.len());
+        let mut n_chunks = 0usize;
+        for op in ops.iter_mut() {
+            let m = op.out.n_patterns();
+            table.push(OpJob {
+                chunk_base: n_chunks,
+                m,
+                n_rates: op.out.n_rates(),
+                left: op.left.as_slice().to_vec(),
+                right: op.right.as_slice().to_vec(),
+                p_left: op.p_left.clone(),
+                p_right: op.p_right.clone(),
+                out: SendPtr(op.out.as_mut_slice().as_mut_ptr()),
+            });
+            n_chunks += Self::n_chunks(m);
+        }
+        let task: Task = Box::new(move |chunk| {
+            let idx = table.partition_point(|j| j.chunk_base <= chunk).saturating_sub(1);
+            let job = &table[idx];
+            let stride = job.n_rates * N_STATES;
+            let start = (chunk - job.chunk_base) * CHUNK_PATTERNS;
+            let end = (start + CHUNK_PATTERNS).min(job.m);
+            let lo = start * stride;
+            let hi = end * stride;
+            // SAFETY: the table assigns each global chunk index to one
+            // op and one [lo, hi) region of that op's output; regions
+            // of distinct chunks are disjoint and every output buffer
+            // outlives the job because run_job joins all chunks before
+            // returning.
+            let out_chunk =
+                unsafe { std::slice::from_raw_parts_mut(job.out.get().add(lo), hi - lo) };
+            simd4::cond_like_down_range(
+                schedule,
+                &job.left[lo..hi],
+                &job.p_left,
+                &job.right[lo..hi],
+                &job.p_right,
+                out_chunk,
+                job.n_rates,
+            );
+        });
+        self.run_job(n_chunks, task);
+        Ok(())
+    }
+
+    fn cond_like_root_fused(&mut self, ops: &mut [FusedRoot<'_>]) -> Result<(), PlfError> {
+        let total_m: usize = ops.iter().map(|op| op.out.n_patterns()).sum();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Root, total_m);
+        let schedule = self.schedule;
+        struct OpJob {
+            chunk_base: usize,
+            m: usize,
+            n_rates: usize,
+            a: Vec<f32>,
+            b: Vec<f32>,
+            c: Option<(Vec<f32>, TransitionMatrices)>,
+            p_a: TransitionMatrices,
+            p_b: TransitionMatrices,
+            out: SendPtr,
+        }
+        let mut table: Vec<OpJob> = Vec::with_capacity(ops.len());
+        let mut n_chunks = 0usize;
+        for op in ops.iter_mut() {
+            let m = op.out.n_patterns();
+            table.push(OpJob {
+                chunk_base: n_chunks,
+                m,
+                n_rates: op.out.n_rates(),
+                a: op.a.as_slice().to_vec(),
+                b: op.b.as_slice().to_vec(),
+                c: op.c.map(|(clv, p)| (clv.as_slice().to_vec(), p.clone())),
+                p_a: op.p_a.clone(),
+                p_b: op.p_b.clone(),
+                out: SendPtr(op.out.as_mut_slice().as_mut_ptr()),
+            });
+            n_chunks += Self::n_chunks(m);
+        }
+        let task: Task = Box::new(move |chunk| {
+            let idx = table.partition_point(|j| j.chunk_base <= chunk).saturating_sub(1);
+            let job = &table[idx];
+            let stride = job.n_rates * N_STATES;
+            let start = (chunk - job.chunk_base) * CHUNK_PATTERNS;
+            let end = (start + CHUNK_PATTERNS).min(job.m);
+            let lo = start * stride;
+            let hi = end * stride;
+            // SAFETY: as in cond_like_down_fused — one op and one
+            // disjoint region per global chunk index, buffers alive
+            // until run_job's barrier.
+            let out_chunk =
+                unsafe { std::slice::from_raw_parts_mut(job.out.get().add(lo), hi - lo) };
+            let cc = job.c.as_ref().map(|(clv, p)| (&clv[lo..hi], p));
+            simd4::cond_like_root_range(
+                schedule,
+                &job.a[lo..hi],
+                &job.p_a,
+                &job.b[lo..hi],
+                &job.p_b,
+                cc,
+                out_chunk,
+                job.n_rates,
+            );
+        });
+        self.run_job(n_chunks, task);
+        Ok(())
+    }
+
+    fn cond_like_scaler_fused(&mut self, ops: &mut [FusedScale<'_>]) -> Result<(), PlfError> {
+        let total_m: usize = ops.iter().map(|op| op.clv.n_patterns()).sum();
+        let _timer = KernelTimer::start(self.metrics.as_ref(), Kernel::Scale, total_m);
+        struct OpJob {
+            chunk_base: usize,
+            m: usize,
+            n_rates: usize,
+            clv: SendPtr,
+            scalers: SendPtr,
+        }
+        let mut table: Vec<OpJob> = Vec::with_capacity(ops.len());
+        let mut n_chunks = 0usize;
+        for op in ops.iter_mut() {
+            let m = op.clv.n_patterns();
+            table.push(OpJob {
+                chunk_base: n_chunks,
+                m,
+                n_rates: op.clv.n_rates(),
+                clv: SendPtr(op.clv.as_mut_slice().as_mut_ptr()),
+                scalers: SendPtr(op.ln_scalers.as_mut_ptr()),
+            });
+            n_chunks += Self::n_chunks(m);
+        }
+        let rescaled = Arc::new(AtomicU64::new(0));
+        let task_rescaled = Arc::clone(&rescaled);
+        let task: Task = Box::new(move |chunk| {
+            let idx = table.partition_point(|j| j.chunk_base <= chunk).saturating_sub(1);
+            let job = &table[idx];
+            let stride = job.n_rates * N_STATES;
+            let start = (chunk - job.chunk_base) * CHUNK_PATTERNS;
+            let end = (start + CHUNK_PATTERNS).min(job.m);
+            // SAFETY: one op and one disjoint pattern range per global
+            // chunk index, for both the CLV region (scaled by `stride`)
+            // and the per-pattern scaler region; both buffers outlive
+            // the job because run_job joins all chunks first.
+            let clv_chunk = unsafe {
+                std::slice::from_raw_parts_mut(
+                    job.clv.get().add(start * stride),
+                    (end - start) * stride,
+                )
+            };
+            // SAFETY: same argument for the scaler array (one f32 per
+            // pattern; the chunk owns [start, end) exclusively).
+            let sc_chunk = unsafe {
+                std::slice::from_raw_parts_mut(job.scalers.get().add(start), end - start)
+            };
+            let n = simd4::cond_like_scaler_range(clv_chunk, sc_chunk, job.n_rates);
+            task_rescaled.fetch_add(n, Ordering::Relaxed);
+        });
+        self.run_job(n_chunks, task);
         if let Some(counters) = &self.metrics {
             counters.record_rescaled(rescaled.load(Ordering::Relaxed));
         }

@@ -1,0 +1,701 @@
+//! Cross-job fused PLF evaluation: many trees, one kernel invocation
+//! per tree level.
+//!
+//! The plfd batching scheduler groups compatible jobs (same dataset,
+//! same rate count), but dispatching them one at a time re-pays the
+//! per-invocation overhead — thread-pool fork/join, simulated DMA
+//! setup, PCIe transfer, kernel launch — once per job per op, which is
+//! exactly the per-call cost the paper amortizes *within* one
+//! invocation by enlarging the pattern space. This driver applies the
+//! same lesson *across* jobs: each round it gathers the next pending
+//! `Down`/`Root`/`Scale` op of every job in the batch and issues them
+//! as one fused backend call over the concatenated pattern space
+//! ([`PlfBackend::cond_like_down_fused`] and friends).
+//!
+//! Per-job results stay separate throughout (each op reads and writes
+//! only its own job's workspace), so demux is trivial and a per-job
+//! host-side root integration produces the individual log-likelihoods.
+//! A fused call fails as a whole; the caller (the plfd dispatcher)
+//! falls back to per-job evaluation for containment.
+//!
+//! **Bit-identity.** Fused evaluation is bitwise identical to per-job
+//! evaluation on every backend: ops of one fused call belong to
+//! different jobs, so no cross-op data flow exists; within an op the
+//! per-pattern accumulation order is unchanged; and scaler deltas are
+//! accumulated into each job's running vector in plan order through
+//! the same `f32` additions (see the scratch argument below).
+//!
+//! **CLV cache.** With a [`ClvCache`], each internal node's fingerprint
+//! ([`crate::clv_cache::subtree_fingerprints`]) is consulted before
+//! computing: a hit copies the cached (post-scale) CLV into the slot
+//! and replays its stored scaler delta, skipping the node's kernels
+//! entirely. Identical subtrees *within* one call dedup too: the first
+//! job to miss a fingerprint becomes its *leader* and computes it; the
+//! others park for a round and then consume the leader's cache entry —
+//! so a batch of MCMC proposals off one tree computes each shared
+//! subtree once, not once per job. If a round would make no progress
+//! (e.g. a leader's entry was evicted before its followers read it),
+//! parking is disabled for the rest of the call and every job computes
+//! its own ops — slower, never stuck, still bit-identical.
+//! Fresh scale results are staged in a zeroed scratch vector
+//! and then added to the running scalers — `0.0 + x` is bitwise `x`
+//! and the kernels never produce `-0.0` (`ln` of a block max in
+//! `(0, 1]` is `≤ 0` and exactly `+0.0` at 1), so staging preserves
+//! bit-identity while giving the cache the exact delta to replay.
+//!
+//! This file is in `plf-lint`'s L2 hot-path scope: every batched
+//! service evaluation runs through here, so it must be panic-free.
+
+use crate::clv::Clv;
+use crate::clv_cache::{CacheEntry, ClvCache};
+use crate::kernels::plan::{PlfOp, PlfPlan};
+use crate::kernels::{FusedDown, FusedRoot, FusedScale, PlfBackend};
+use crate::likelihood::{LikelihoodError, TreeLikelihood};
+use crate::resilience::PlfError;
+use crate::tree::{NodeId, Tree};
+
+/// One job inside a fused batch: a prepared workspace and the tree to
+/// evaluate. All jobs of a batch may (and in the service do) share the
+/// same dataset shape, but the driver only requires that each job's
+/// workspace matches its own tree.
+pub struct FusedJob<'a> {
+    /// The job's likelihood workspace.
+    pub eval: &'a mut TreeLikelihood,
+    /// The tree to evaluate.
+    pub tree: &'a Tree,
+    /// Caller-supplied identity of the pattern alignment, for cache
+    /// fingerprints (the plfd service passes its registered dataset
+    /// id). Jobs over different alignments must pass different tokens.
+    pub dataset_token: u64,
+}
+
+/// Driver-internal per-job evaluation state.
+struct Prep {
+    plan: PlfPlan,
+    /// Per-branch transition matrices, indexed by `NodeId.0`.
+    tms: Vec<Option<crate::clv::TransitionMatrices>>,
+    /// Subtree fingerprints (empty when no cache is in use).
+    fps: Vec<Option<(u64, bool)>>,
+    /// Nodes that missed the cache and should be inserted once final.
+    insert_fp: Vec<Option<u64>>,
+    /// Next op index in `plan`.
+    cursor: usize,
+}
+
+fn internal_err(what: &str) -> LikelihoodError {
+    LikelihoodError::Backend(PlfError::Config(format!(
+        "fused driver invariant violated: {what}"
+    )))
+}
+
+/// Evaluate every job's log-likelihood with cross-job kernel fusion,
+/// returning one value per job in input order.
+///
+/// With `cache`, internal-node CLVs are reused across jobs and calls
+/// via subtree fingerprints; hit/miss/eviction counts accumulate in the
+/// cache's stats window. Results are bitwise identical to evaluating
+/// each job alone with [`TreeLikelihood::log_likelihood`], cached or
+/// not.
+///
+/// On error the workspaces are structurally intact (every CLV slot
+/// restored) but partially evaluated; callers should re-evaluate jobs
+/// individually for fault containment.
+pub fn evaluate_fused(
+    jobs: &mut [FusedJob<'_>],
+    backend: &mut dyn PlfBackend,
+    mut cache: Option<&mut ClvCache>,
+) -> Result<Vec<f64>, LikelihoodError> {
+    let mut preps = Vec::with_capacity(jobs.len());
+    for job in jobs.iter_mut() {
+        let plan = PlfPlan::for_tree(job.tree, job.eval.scale_every())?;
+        let tms: Vec<Option<crate::clv::TransitionMatrices>> = job
+            .tree
+            .node_ids()
+            .map(|id| {
+                if id == job.tree.root() {
+                    None
+                } else {
+                    Some(job.eval.model().transition_matrices(job.tree.node(id).branch))
+                }
+            })
+            .collect();
+        let fps = match cache {
+            Some(_) => crate::clv_cache::subtree_fingerprints(
+                job.tree,
+                &plan,
+                job.eval.model(),
+                job.dataset_token,
+            ),
+            None => Vec::new(),
+        };
+        let insert_fp = vec![None; job.tree.n_nodes()];
+        job.eval.reset_scalers();
+        preps.push(Prep {
+            plan,
+            tms,
+            fps,
+            insert_fp,
+            cursor: 0,
+        });
+    }
+    backend.begin_evaluation();
+
+    // Per-job scale scratch, staged outside `preps` so fused scale ops
+    // can borrow several at once.
+    let mut scratches: Vec<Vec<f32>> = jobs.iter().map(|j| vec![0.0; j.eval.n_patterns()]).collect();
+
+    // Fingerprints some job is already computing this call: followers
+    // park instead of duplicating the work (intra-call dedup).
+    let mut leading: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut dedup = cache.is_some();
+
+    loop {
+        // Round setup: let each unfinished job consume cache hits, then
+        // classify its next op by kind.
+        let mut downs: Vec<usize> = Vec::new();
+        let mut roots: Vec<usize> = Vec::new();
+        let mut scales: Vec<usize> = Vec::new();
+        let mut parked = 0usize;
+        for (j, prep) in preps.iter_mut().enumerate() {
+            let mut is_parked = false;
+            // Greedy hit consumption: a hit may expose another hit.
+            while prep.cursor < prep.plan.ops().len() {
+                let node = match prep.plan.ops()[prep.cursor] {
+                    PlfOp::Down { node, .. } | PlfOp::Root { node, .. } => node,
+                    PlfOp::Scale { .. } => break,
+                };
+                let Some(cache) = cache.as_deref_mut() else { break };
+                let Some(Some((fp, scaled))) = prep.fps.get(node.0).copied() else {
+                    break;
+                };
+                // A fingerprint some job already leads is re-polled
+                // without counting a miss (the first lookup did).
+                let already_led = dedup && leading.contains(&fp);
+                let entry = if already_led {
+                    cache.lookup_pending(fp)
+                } else {
+                    cache.lookup(fp)
+                };
+                let Some(entry) = entry else {
+                    // Miss: lead the fingerprint if nobody does yet,
+                    // otherwise park and re-check next round once the
+                    // leader's entry has landed.
+                    if already_led {
+                        is_parked = true;
+                    } else {
+                        if dedup {
+                            leading.insert(fp);
+                        }
+                        prep.insert_fp[node.0] = Some(fp);
+                    }
+                    break;
+                };
+                if !jobs[j].eval.overwrite_clv(node, &entry.clv) {
+                    return Err(internal_err("cached CLV shape mismatch"));
+                }
+                if scaled {
+                    let Some(delta) = entry.scale_delta.as_deref() else {
+                        return Err(internal_err("scaled entry without a delta"));
+                    };
+                    let follows = matches!(
+                        prep.plan.ops().get(prep.cursor + 1),
+                        Some(PlfOp::Scale { node: s }) if *s == node
+                    );
+                    if !follows {
+                        return Err(internal_err("scale op does not follow its node"));
+                    }
+                    jobs[j].eval.add_scalers(delta);
+                    prep.cursor += 2;
+                } else {
+                    prep.cursor += 1;
+                }
+            }
+            if is_parked {
+                parked += 1;
+                continue;
+            }
+            match prep.plan.ops().get(prep.cursor) {
+                Some(PlfOp::Down { .. }) => downs.push(j),
+                Some(PlfOp::Root { .. }) => roots.push(j),
+                Some(PlfOp::Scale { .. }) => scales.push(j),
+                None => {}
+            }
+        }
+        if downs.is_empty() && roots.is_empty() && scales.is_empty() {
+            if parked == 0 {
+                break;
+            }
+            // Every runnable job is parked on a fingerprint whose
+            // leader can no longer deliver (entry evicted, or the
+            // leader itself is parked behind this round). Disable
+            // parking and reclassify: each job computes its own ops.
+            leading.clear();
+            dedup = false;
+            continue;
+        }
+        if !downs.is_empty() {
+            run_fused_downs(jobs, &mut preps, &downs, backend, cache.as_deref_mut())?;
+        }
+        if !roots.is_empty() {
+            run_fused_roots(jobs, &mut preps, &roots, backend, cache.as_deref_mut())?;
+        }
+        if !scales.is_empty() {
+            run_fused_scales(
+                jobs,
+                &mut preps,
+                &mut scratches,
+                &scales,
+                backend,
+                cache.as_deref_mut(),
+            )?;
+        }
+    }
+
+    Ok(jobs
+        .iter()
+        .zip(&preps)
+        .map(|(job, prep)| job.eval.integrate_root_at(prep.plan.root()))
+        .collect())
+}
+
+/// The `Down` op a job is parked on, or an invariant error.
+fn down_at(prep: &Prep) -> Result<(NodeId, NodeId, NodeId), LikelihoodError> {
+    match prep.plan.ops().get(prep.cursor) {
+        Some(PlfOp::Down { node, left, right }) => Ok((*node, *left, *right)),
+        _ => Err(internal_err("down group entry not at a Down op")),
+    }
+}
+
+fn root_at(prep: &Prep) -> Result<(NodeId, &[NodeId]), LikelihoodError> {
+    match prep.plan.ops().get(prep.cursor) {
+        Some(PlfOp::Root { node, children }) => Ok((*node, children)),
+        _ => Err(internal_err("root group entry not at a Root op")),
+    }
+}
+
+fn scale_at(prep: &Prep) -> Result<NodeId, LikelihoodError> {
+    match prep.plan.ops().get(prep.cursor) {
+        Some(PlfOp::Scale { node }) => Ok(*node),
+        _ => Err(internal_err("scale group entry not at a Scale op")),
+    }
+}
+
+/// Take the output CLVs of `group`'s pending ops out of their slots so
+/// fused ops can borrow them mutably alongside shared child borrows.
+fn take_outputs(
+    jobs: &mut [FusedJob<'_>],
+    preps: &[Prep],
+    group: &[usize],
+    node_of: impl Fn(&Prep) -> Result<NodeId, LikelihoodError>,
+) -> Result<Vec<(usize, NodeId, Clv)>, LikelihoodError> {
+    let mut taken = Vec::with_capacity(group.len());
+    for &j in group {
+        let node = node_of(&preps[j])?;
+        match jobs[j].eval.take_clv(node) {
+            Some(clv) => taken.push((j, node, clv)),
+            None => {
+                // Restore what was taken before surfacing the breach.
+                for (jj, n, clv) in taken {
+                    jobs[jj].eval.put_clv(n, clv);
+                }
+                return Err(internal_err("output CLV slot empty"));
+            }
+        }
+    }
+    Ok(taken)
+}
+
+/// After a node's value is final, insert it into the cache if its
+/// lookup missed earlier this evaluation.
+fn maybe_insert(
+    jobs: &[FusedJob<'_>],
+    prep: &mut Prep,
+    j: usize,
+    node: NodeId,
+    scale_delta: Option<&[f32]>,
+    cache: &mut Option<&mut ClvCache>,
+) {
+    let (Some(cache), Some(slot)) = (cache.as_deref_mut(), prep.insert_fp.get_mut(node.0)) else {
+        return;
+    };
+    let Some(fp) = slot.take() else { return };
+    // Scaled nodes are inserted at their Scale op (with the delta),
+    // not at the Down that precedes it.
+    let scaled = matches!(prep.fps.get(node.0), Some(Some((_, true))));
+    if scaled != scale_delta.is_some() {
+        *slot = Some(fp); // not final yet; re-arm for the Scale pass
+        return;
+    }
+    if let Some(clv) = jobs[j].eval.clv_opt(node) {
+        cache.insert(
+            fp,
+            CacheEntry {
+                clv: clv.clone(),
+                scale_delta: scale_delta.map(<[f32]>::to_vec),
+            },
+        );
+    }
+}
+
+fn run_fused_downs(
+    jobs: &mut [FusedJob<'_>],
+    preps: &mut [Prep],
+    group: &[usize],
+    backend: &mut dyn PlfBackend,
+    mut cache: Option<&mut ClvCache>,
+) -> Result<(), LikelihoodError> {
+    let mut taken = take_outputs(jobs, preps, group, |p| down_at(p).map(|(n, _, _)| n))?;
+    let result = (|| {
+        let mut ops: Vec<FusedDown<'_>> = Vec::with_capacity(taken.len());
+        for (j, _, out) in taken.iter_mut() {
+            let prep = &preps[*j];
+            let (_, left, right) = down_at(prep)?;
+            let eval: &TreeLikelihood = jobs[*j].eval;
+            let (Some(l), Some(r)) = (eval.clv_opt(left), eval.clv_opt(right)) else {
+                return Err(internal_err("child CLV missing"));
+            };
+            let (Some(Some(p_l)), Some(Some(p_r))) =
+                (prep.tms.get(left.0), prep.tms.get(right.0))
+            else {
+                return Err(internal_err("child transition matrices missing"));
+            };
+            ops.push(FusedDown {
+                left: l,
+                p_left: p_l,
+                right: r,
+                p_right: p_r,
+                out,
+            });
+        }
+        backend
+            .cond_like_down_fused(&mut ops)
+            .map_err(LikelihoodError::Backend)
+    })();
+    for (j, node, clv) in taken {
+        jobs[j].eval.put_clv(node, clv);
+    }
+    result?;
+    for &j in group {
+        let (node, _, _) = down_at(&preps[j])?;
+        maybe_insert(jobs, &mut preps[j], j, node, None, &mut cache);
+        preps[j].cursor += 1;
+    }
+    Ok(())
+}
+
+fn run_fused_roots(
+    jobs: &mut [FusedJob<'_>],
+    preps: &mut [Prep],
+    group: &[usize],
+    backend: &mut dyn PlfBackend,
+    mut cache: Option<&mut ClvCache>,
+) -> Result<(), LikelihoodError> {
+    let mut taken = take_outputs(jobs, preps, group, |p| root_at(p).map(|(n, _)| n))?;
+    let result = (|| {
+        let mut ops: Vec<FusedRoot<'_>> = Vec::with_capacity(taken.len());
+        for (j, _, out) in taken.iter_mut() {
+            let prep = &preps[*j];
+            let (_, children) = root_at(prep)?;
+            if children.len() < 2 {
+                return Err(internal_err("root op with fewer than two children"));
+            }
+            let eval: &TreeLikelihood = jobs[*j].eval;
+            let (Some(a), Some(b)) = (eval.clv_opt(children[0]), eval.clv_opt(children[1]))
+            else {
+                return Err(internal_err("root child CLV missing"));
+            };
+            let (Some(Some(p_a)), Some(Some(p_b))) =
+                (prep.tms.get(children[0].0), prep.tms.get(children[1].0))
+            else {
+                return Err(internal_err("root child transition matrices missing"));
+            };
+            let c = match children.get(2) {
+                Some(&c3) => {
+                    let (Some(clv_c), Some(Some(p_c))) = (eval.clv_opt(c3), prep.tms.get(c3.0))
+                    else {
+                        return Err(internal_err("third root child missing"));
+                    };
+                    Some((clv_c, p_c))
+                }
+                None => None,
+            };
+            ops.push(FusedRoot {
+                a,
+                p_a,
+                b,
+                p_b,
+                c,
+                out,
+            });
+        }
+        backend
+            .cond_like_root_fused(&mut ops)
+            .map_err(LikelihoodError::Backend)
+    })();
+    for (j, node, clv) in taken {
+        jobs[j].eval.put_clv(node, clv);
+    }
+    result?;
+    for &j in group {
+        let (node, _) = root_at(&preps[j])?;
+        maybe_insert(jobs, &mut preps[j], j, node, None, &mut cache);
+        preps[j].cursor += 1;
+    }
+    Ok(())
+}
+
+fn run_fused_scales(
+    jobs: &mut [FusedJob<'_>],
+    preps: &mut [Prep],
+    scratches: &mut [Vec<f32>],
+    group: &[usize],
+    backend: &mut dyn PlfBackend,
+    mut cache: Option<&mut ClvCache>,
+) -> Result<(), LikelihoodError> {
+    let mut taken = take_outputs(jobs, preps, group, scale_at)?;
+    // Stage each job's scratch (zeroed) alongside its taken CLV so the
+    // fused op list can borrow both mutably.
+    let mut staged: Vec<Vec<f32>> = Vec::with_capacity(group.len());
+    for &j in group {
+        let mut s = std::mem::take(&mut scratches[j]);
+        s.iter_mut().for_each(|v| *v = 0.0);
+        staged.push(s);
+    }
+    let result = {
+        let mut ops: Vec<FusedScale<'_>> = Vec::with_capacity(taken.len());
+        for ((_, _, clv), scratch) in taken.iter_mut().zip(staged.iter_mut()) {
+            ops.push(FusedScale {
+                clv,
+                ln_scalers: scratch,
+            });
+        }
+        backend
+            .cond_like_scaler_fused(&mut ops)
+            .map_err(LikelihoodError::Backend)
+    };
+    // Restore, accumulate, and (on success) cache-insert per job.
+    let ok = result.is_ok();
+    for ((j, node, clv), scratch) in taken.into_iter().zip(staged) {
+        if ok {
+            // Plan-order accumulation: the same f32 additions a direct
+            // in-place scale would have performed.
+            jobs[j].eval.add_scalers(&scratch);
+            jobs[j].eval.put_clv(node, clv);
+            maybe_insert(jobs, &mut preps[j], j, node, Some(&scratch), &mut cache);
+            preps[j].cursor += 1;
+        } else {
+            jobs[j].eval.put_clv(node, clv);
+        }
+        scratches[j] = scratch;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Alignment;
+    use crate::kernels::{ScalarBackend, Simd4Backend};
+    use crate::model::{GtrParams, SiteModel};
+
+    fn setup(n: usize) -> (Vec<Tree>, crate::alignment::PatternAlignment, SiteModel) {
+        let aln = Alignment::from_strings(&[
+            ("a", "ACGTACGTAAGGCCTTAGCA"),
+            ("b", "ACGTACGTACGGCCTTAGCA"),
+            ("c", "ACGAACGTTAGGCCTAAGCA"),
+            ("d", "ACTTACGTAAGGCGTTAGCA"),
+            ("e", "ACGTACGTAAGGCCTTAGCC"),
+            ("f", "ACGTTCGTAAGGCCTTAGCA"),
+        ])
+        .unwrap()
+        .compress();
+        let base = Tree::from_newick(
+            "(((a:0.1,b:0.15):0.1,(c:0.2,d:0.1):0.05):0.1,e:0.1,f:0.3);",
+        )
+        .unwrap();
+        let trees: Vec<Tree> = (0..n)
+            .map(|i| {
+                let mut t = base.clone();
+                let victim = t.branches()[i % t.branches().len()];
+                t.node_mut(victim).branch *= 1.0 + 0.1 * (i as f64 + 1.0);
+                t
+            })
+            .collect();
+        let model = SiteModel::gtr_gamma4(GtrParams::hky85(2.0, [0.3, 0.2, 0.2, 0.3]), 0.6).unwrap();
+        (trees, aln, model)
+    }
+
+    fn serial_lnls(trees: &[Tree], aln: &crate::alignment::PatternAlignment, model: &SiteModel) -> Vec<f64> {
+        trees
+            .iter()
+            .map(|t| {
+                let mut eval = TreeLikelihood::new(t, aln, model.clone()).unwrap();
+                eval.log_likelihood(t, &mut ScalarBackend).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_matches_per_job_bitwise_scalar() {
+        let (trees, aln, model) = setup(5);
+        let expect = serial_lnls(&trees, &aln, &model);
+        let mut evals: Vec<TreeLikelihood> = trees
+            .iter()
+            .map(|t| TreeLikelihood::new(t, &aln, model.clone()).unwrap())
+            .collect();
+        let mut fused: Vec<FusedJob<'_>> = evals
+            .iter_mut()
+            .zip(&trees)
+            .map(|(eval, tree)| FusedJob {
+                eval,
+                tree,
+                dataset_token: 1,
+            })
+            .collect();
+        let got = evaluate_fused(&mut fused, &mut ScalarBackend, None).unwrap();
+        assert_eq!(got, expect, "fused must be bitwise identical to per-job");
+    }
+
+    #[test]
+    fn fused_with_cache_matches_bitwise_and_hits_on_shared_subtrees() {
+        let (trees, aln, model) = setup(4);
+        let expect = serial_lnls(&trees, &aln, &model);
+        let mut cache = ClvCache::new(64);
+        let mut evals: Vec<TreeLikelihood> = trees
+            .iter()
+            .map(|t| TreeLikelihood::new(t, &aln, model.clone()).unwrap())
+            .collect();
+        let mut fused: Vec<FusedJob<'_>> = evals
+            .iter_mut()
+            .zip(&trees)
+            .map(|(eval, tree)| FusedJob {
+                eval,
+                tree,
+                dataset_token: 1,
+            })
+            .collect();
+        let got = evaluate_fused(&mut fused, &mut ScalarBackend, Some(&mut cache)).unwrap();
+        assert_eq!(got, expect, "cached fused evaluation must stay bit-identical");
+        let stats = cache.take_stats();
+        assert!(stats.misses > 0, "a cold cache must record misses");
+
+        // A second pass over the same trees is answered from cache
+        // almost entirely — and still bit-identical.
+        let mut fused2: Vec<FusedJob<'_>> = evals
+            .iter_mut()
+            .zip(&trees)
+            .map(|(eval, tree)| FusedJob {
+                eval,
+                tree,
+                dataset_token: 1,
+            })
+            .collect();
+        let again = evaluate_fused(&mut fused2, &mut ScalarBackend, Some(&mut cache)).unwrap();
+        assert_eq!(again, expect);
+        let stats2 = cache.take_stats();
+        assert!(
+            stats2.hits > stats2.misses,
+            "second pass should be hit-dominated: {stats2:?}"
+        );
+    }
+
+    #[test]
+    fn branch_change_invalidates_ancestors_only() {
+        let (trees, aln, model) = setup(1);
+        let tree = &trees[0];
+        let mut cache = ClvCache::new(64);
+        let mut eval = TreeLikelihood::new(tree, &aln, model.clone()).unwrap();
+        let mut fused = [FusedJob {
+            eval: &mut eval,
+            tree,
+            dataset_token: 1,
+        }];
+        evaluate_fused(&mut fused, &mut ScalarBackend, Some(&mut cache)).unwrap();
+        cache.take_stats();
+
+        // Change one leaf branch: its ancestors must miss, disjoint
+        // subtrees must still hit, and the result must equal a fresh
+        // serial evaluation bit-for-bit.
+        let mut changed = tree.clone();
+        let leaf = changed.leaves()[0];
+        changed.node_mut(leaf).branch *= 1.5;
+        let mut eval2 = TreeLikelihood::new(&changed, &aln, model.clone()).unwrap();
+        let mut fused2 = [FusedJob {
+            eval: &mut eval2,
+            tree: &changed,
+            dataset_token: 1,
+        }];
+        let got = evaluate_fused(&mut fused2, &mut ScalarBackend, Some(&mut cache)).unwrap();
+        let mut fresh = TreeLikelihood::new(&changed, &aln, model).unwrap();
+        let expect = fresh.log_likelihood(&changed, &mut ScalarBackend).unwrap();
+        assert_eq!(got[0], expect, "cached partial reuse must stay bit-identical");
+        let stats = cache.take_stats();
+        assert!(stats.misses > 0, "ancestors of the edit must recompute");
+        assert!(stats.hits > 0, "untouched subtrees must be reused: {stats:?}");
+    }
+
+    #[test]
+    fn identical_jobs_in_one_call_dedup_to_one_compute() {
+        // Four jobs over the *same* tree in one fused call: the first
+        // leads each shared fingerprint, the rest park a round and
+        // consume it from cache — intra-call hits, not four-fold work.
+        let (trees, aln, model) = setup(1);
+        let same: Vec<Tree> = vec![trees[0].clone(); 4];
+        let expect = serial_lnls(&same, &aln, &model);
+        let mut cache = ClvCache::new(64);
+        let mut evals: Vec<TreeLikelihood> = same
+            .iter()
+            .map(|t| TreeLikelihood::new(t, &aln, model.clone()).unwrap())
+            .collect();
+        let mut fused: Vec<FusedJob<'_>> = evals
+            .iter_mut()
+            .zip(&same)
+            .map(|(eval, tree)| FusedJob {
+                eval,
+                tree,
+                dataset_token: 1,
+            })
+            .collect();
+        let got = evaluate_fused(&mut fused, &mut ScalarBackend, Some(&mut cache)).unwrap();
+        assert_eq!(got, expect, "deduped fused evaluation must stay bit-identical");
+        let stats = cache.take_stats();
+        assert!(
+            stats.hits >= stats.misses,
+            "followers must reuse the leader's entries within the call: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fused_simd_matches_per_job_simd_bitwise() {
+        let (trees, aln, model) = setup(3);
+        let expect: Vec<f64> = trees
+            .iter()
+            .map(|t| {
+                let mut eval = TreeLikelihood::new(t, &aln, model.clone()).unwrap();
+                eval.log_likelihood(t, &mut Simd4Backend::col_wise()).unwrap()
+            })
+            .collect();
+        let mut evals: Vec<TreeLikelihood> = trees
+            .iter()
+            .map(|t| TreeLikelihood::new(t, &aln, model.clone()).unwrap())
+            .collect();
+        let mut fused: Vec<FusedJob<'_>> = evals
+            .iter_mut()
+            .zip(&trees)
+            .map(|(eval, tree)| FusedJob {
+                eval,
+                tree,
+                dataset_token: 1,
+            })
+            .collect();
+        let got = evaluate_fused(&mut fused, &mut Simd4Backend::col_wise(), None).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut none: [FusedJob<'_>; 0] = [];
+        let got = evaluate_fused(&mut none, &mut ScalarBackend, None).unwrap();
+        assert!(got.is_empty());
+    }
+}

@@ -100,6 +100,87 @@ pub trait PlfBackend: Send {
         let _ = n_rates;
         DEFAULT_BATCH_PATTERNS
     }
+
+    /// Fused CondLikeDown: evaluate every op in `ops` — typically the
+    /// same tree level of several batched jobs — in **one** backend
+    /// invocation, amortizing per-launch overhead (thread-pool
+    /// fork/join, simulated DMA setup, PCIe transfer, kernel launch)
+    /// over the concatenated pattern space.
+    ///
+    /// Contract: results must be **bitwise identical** to issuing the
+    /// ops one at a time through [`PlfBackend::cond_like_down`] —
+    /// patterns are independent and per-pattern accumulation order is
+    /// fixed, so any per-op or cross-op chunking satisfies this. A
+    /// fused call fails as a whole: on `Err` callers must treat every
+    /// op's output as undefined and re-issue per op for containment.
+    fn cond_like_down_fused(&mut self, ops: &mut [FusedDown<'_>]) -> Result<(), PlfError> {
+        for op in ops.iter_mut() {
+            self.cond_like_down(op.left, op.p_left, op.right, op.p_right, op.out)?;
+        }
+        Ok(())
+    }
+
+    /// Fused CondLikeRoot; same contract as
+    /// [`PlfBackend::cond_like_down_fused`].
+    fn cond_like_root_fused(&mut self, ops: &mut [FusedRoot<'_>]) -> Result<(), PlfError> {
+        for op in ops.iter_mut() {
+            self.cond_like_root(op.a, op.p_a, op.b, op.p_b, op.c, op.out)?;
+        }
+        Ok(())
+    }
+
+    /// Fused CondLikeScaler; same contract as
+    /// [`PlfBackend::cond_like_down_fused`]. Like the single-op scaler
+    /// this is **not idempotent** — a failed fused scale leaves every
+    /// op's `clv`/`ln_scalers` undefined and callers must restore
+    /// before retrying.
+    fn cond_like_scaler_fused(&mut self, ops: &mut [FusedScale<'_>]) -> Result<(), PlfError> {
+        for op in ops.iter_mut() {
+            self.cond_like_scaler(op.clv, op.ln_scalers)?;
+        }
+        Ok(())
+    }
+}
+
+/// One CondLikeDown inside a fused cross-job invocation: the operands of
+/// a single (job, node) pair. All ops of one fused call are mutually
+/// independent — they belong to different jobs — so backends may compute
+/// them in any order or interleaving.
+pub struct FusedDown<'a> {
+    /// Left child CLV.
+    pub left: &'a Clv,
+    /// Left branch transition matrices.
+    pub p_left: &'a TransitionMatrices,
+    /// Right child CLV.
+    pub right: &'a Clv,
+    /// Right branch transition matrices.
+    pub p_right: &'a TransitionMatrices,
+    /// Destination CLV.
+    pub out: &'a mut Clv,
+}
+
+/// One CondLikeRoot inside a fused cross-job invocation.
+pub struct FusedRoot<'a> {
+    /// First subtree CLV.
+    pub a: &'a Clv,
+    /// First branch transition matrices.
+    pub p_a: &'a TransitionMatrices,
+    /// Second subtree CLV.
+    pub b: &'a Clv,
+    /// Second branch transition matrices.
+    pub p_b: &'a TransitionMatrices,
+    /// Optional third subtree (unrooted trees).
+    pub c: Option<(&'a Clv, &'a TransitionMatrices)>,
+    /// Destination CLV.
+    pub out: &'a mut Clv,
+}
+
+/// One CondLikeScaler inside a fused cross-job invocation.
+pub struct FusedScale<'a> {
+    /// CLV rescaled in place.
+    pub clv: &'a mut Clv,
+    /// Per-pattern log-scaler accumulator (`+= ln(max)`).
+    pub ln_scalers: &'a mut [f32],
 }
 
 /// Default fused-work-unit size, in patterns, for backends without a

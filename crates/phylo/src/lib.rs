@@ -34,8 +34,10 @@
 
 pub mod alignment;
 pub mod clv;
+pub mod clv_cache;
 pub mod constants;
 pub mod dna;
+pub mod fused;
 pub mod incremental;
 pub mod io;
 pub mod kernels;
@@ -51,10 +53,16 @@ pub mod tree;
 pub mod prelude {
     pub use crate::alignment::{Alignment, PatternAlignment};
     pub use crate::clv::{Clv, TransitionMatrices};
+    pub use crate::clv_cache::{
+        model_fingerprint, subtree_fingerprints, CacheEntry, CacheStats, ClvCache,
+    };
     pub use crate::constants::{CLV_ALIGN, DMA_MAX_BYTES, LS_BYTES, SIMD_WIDTH};
     pub use crate::dna::{Nucleotide, StateMask, N_STATES};
+    pub use crate::fused::{evaluate_fused, FusedJob};
     pub use crate::kernels::plan::{PlfOp, PlfPlan};
-    pub use crate::kernels::{PlfBackend, ScalarBackend, Simd4Backend, SimdSchedule};
+    pub use crate::kernels::{
+        FusedDown, FusedRoot, FusedScale, PlfBackend, ScalarBackend, Simd4Backend, SimdSchedule,
+    };
     pub use crate::incremental::IncrementalLikelihood;
     pub use crate::likelihood::TreeLikelihood;
     pub use crate::metrics::{Kernel, KernelTimer, MetricsSnapshot, PlfCounters};

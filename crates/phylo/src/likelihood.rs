@@ -308,6 +308,67 @@ impl TreeLikelihood {
     pub fn scalers(&self) -> &[f32] {
         &self.scalers
     }
+
+    // ---- pub(crate) surface for the fused cross-job driver ----
+    // (`crate::fused` is panic-free L2 code; these accessors keep its
+    // access to the workspace checkable instead of field pokes.)
+
+    /// The scaling period this workspace plans with.
+    pub(crate) fn scale_every(&self) -> usize {
+        self.scale_every
+    }
+
+    /// Zero the running scaler vector (start of an evaluation).
+    pub(crate) fn reset_scalers(&mut self) {
+        self.scalers.iter_mut().for_each(|s| *s = 0.0);
+    }
+
+    /// Move a node's CLV out of its slot (`None` if absent or out of
+    /// range — an invariant breach the fused driver surfaces as an
+    /// error rather than a panic).
+    pub(crate) fn take_clv(&mut self, node: NodeId) -> Option<Clv> {
+        self.clvs.get_mut(node.0).and_then(Option::take)
+    }
+
+    /// Restore a node's CLV taken with [`TreeLikelihood::take_clv`].
+    pub(crate) fn put_clv(&mut self, node: NodeId, clv: Clv) {
+        if let Some(slot) = self.clvs.get_mut(node.0) {
+            *slot = Some(clv);
+        }
+    }
+
+    /// Shared access to a node's CLV without panicking on absence.
+    pub(crate) fn clv_opt(&self, node: NodeId) -> Option<&Clv> {
+        self.clvs.get(node.0).and_then(Option::as_ref)
+    }
+
+    /// Overwrite a node's CLV with a cached copy; `false` if the slot
+    /// is missing or the shapes disagree (the caller then treats the
+    /// lookup as unusable).
+    pub(crate) fn overwrite_clv(&mut self, node: NodeId, src: &Clv) -> bool {
+        match self.clvs.get_mut(node.0) {
+            Some(Some(dst))
+                if dst.n_patterns() == src.n_patterns() && dst.n_rates() == src.n_rates() =>
+            {
+                dst.as_mut_slice().copy_from_slice(src.as_slice());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Accumulate a cached (or scratch) scaler delta into the running
+    /// vector: the identical `f32` additions a fresh scale would do.
+    pub(crate) fn add_scalers(&mut self, delta: &[f32]) {
+        for (acc, &d) in self.scalers.iter_mut().zip(delta) {
+            *acc += d;
+        }
+    }
+
+    /// Host-side root integration for the fused driver.
+    pub(crate) fn integrate_root_at(&self, root: NodeId) -> f64 {
+        self.integrate_root(root)
+    }
 }
 
 #[cfg(test)]

@@ -359,6 +359,9 @@ pub struct ServiceCounters {
     replayed_jobs: AtomicU64,
     deduped_jobs: AtomicU64,
     truncated_records: AtomicU64,
+    clv_cache_hits: AtomicU64,
+    clv_cache_misses: AtomicU64,
+    clv_cache_evictions: AtomicU64,
     tenants: Mutex<BTreeMap<String, TenantCell>>,
 }
 
@@ -530,6 +533,16 @@ impl ServiceCounters {
         self.truncated_records.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Fold one CLV-cache stats delta (per fused batch) into the
+    /// service totals: `hits` subtree CLVs reused instead of
+    /// recomputed, `misses` looked up but absent, `evictions` entries
+    /// displaced by capacity.
+    pub fn record_clv_cache(&self, hits: u64, misses: u64, evictions: u64) {
+        self.clv_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.clv_cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.clv_cache_evictions.fetch_add(evictions, Ordering::Relaxed);
+    }
+
     /// Record one fused batch dispatched carrying `jobs` jobs out of
     /// `slots` possible (the scheduler's `max_jobs` cap); feeds batch
     /// occupancy.
@@ -576,6 +589,9 @@ impl ServiceCounters {
             &self.replayed_jobs,
             &self.deduped_jobs,
             &self.truncated_records,
+            &self.clv_cache_hits,
+            &self.clv_cache_misses,
+            &self.clv_cache_evictions,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -635,6 +651,9 @@ impl ServiceCounters {
             replayed_jobs: self.replayed_jobs.load(Ordering::Relaxed),
             deduped_jobs: self.deduped_jobs.load(Ordering::Relaxed),
             truncated_records: self.truncated_records.load(Ordering::Relaxed),
+            clv_cache_hits: self.clv_cache_hits.load(Ordering::Relaxed),
+            clv_cache_misses: self.clv_cache_misses.load(Ordering::Relaxed),
+            clv_cache_evictions: self.clv_cache_evictions.load(Ordering::Relaxed),
             tenants,
         }
     }
@@ -729,6 +748,12 @@ pub struct ServiceSnapshot {
     pub deduped_jobs: u64,
     /// Corrupt trailing journal records truncated during recovery.
     pub truncated_records: u64,
+    /// Subtree CLVs served from the reuse cache instead of recomputed.
+    pub clv_cache_hits: u64,
+    /// CLV-cache lookups that found no entry (subtree recomputed).
+    pub clv_cache_misses: u64,
+    /// CLV-cache entries displaced by the capacity bound.
+    pub clv_cache_evictions: u64,
     /// Per-tenant breakdown, sorted by tenant name.
     pub tenants: Vec<TenantSnapshot>,
 }
@@ -930,6 +955,8 @@ mod tests {
         c.record_probe(true);
         c.record_probe(true);
         c.record_probe(false);
+        c.record_clv_cache(5, 2, 1);
+        c.record_clv_cache(1, 0, 0);
         let s = c.snapshot();
         assert_eq!(s.shed, 2);
         assert_eq!(s.requeued_jobs, 3);
@@ -940,6 +967,9 @@ mod tests {
         assert_eq!(s.breaker_closed, 1);
         assert_eq!(s.probes_ok, 2);
         assert_eq!(s.probes_failed, 1);
+        assert_eq!(s.clv_cache_hits, 6);
+        assert_eq!(s.clv_cache_misses, 2);
+        assert_eq!(s.clv_cache_evictions, 1);
         assert_eq!(s.tenants[0].shed, 1);
         assert_eq!(s.tenants[1].shed, 1);
         c.reset();
@@ -959,6 +989,7 @@ mod tests {
         c.record_submitted("tenant-0");
         let json = serde_json::to_string(&c.snapshot()).unwrap();
         assert!(json.contains("\"queue_depth_peak\""));
+        assert!(json.contains("\"clv_cache_hits\""));
         assert!(json.contains("\"tenant-0\""));
     }
 

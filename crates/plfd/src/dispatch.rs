@@ -24,6 +24,18 @@
 //! faults on a tripped backend is redirected once to a healthy worker
 //! before it is allowed to fail.
 //!
+//! **Fused execution.** A shard's jobs share a
+//! [`BatchKey`](crate::job::BatchKey), so the
+//! worker evaluates them through [`evaluate_fused`]: every job's
+//! current tree level becomes *one* backend invocation over the
+//! concatenated pattern space instead of one invocation per job, and a
+//! per-worker [`ClvCache`] reuses subtree CLVs across calls. Per-job
+//! fault containment is preserved two ways: terminal pre-states
+//! (cancelled, expired, blacked-out) are peeled off individually
+//! before fusing, and any fused-level failure falls back to per-job
+//! evaluation so a poisoned job resolves alone while its batchmates
+//! complete.
+//!
 //! This file is in `plf-lint`'s L2 hot-path scope: no panicking calls.
 
 use crate::health::{
@@ -32,6 +44,8 @@ use crate::health::{
 };
 use crate::job::{Job, JobId, JobOutcome};
 use crate::scheduler::Batch;
+use plf_phylo::clv_cache::ClvCache;
+use plf_phylo::fused::{evaluate_fused, FusedJob};
 use plf_phylo::kernels::PlfBackend;
 use plf_phylo::likelihood::TreeLikelihood;
 use plf_phylo::metrics::ServiceCounters;
@@ -59,14 +73,34 @@ const BLACKOUT_BURST: u64 = 4;
 /// Dispatch retry rounds before a shard is declared unplaceable.
 const MAX_PLACEMENT_ROUNDS: usize = 200;
 
+/// Highest rate count with a precomputed fused-unit size; larger rate
+/// counts clamp to this row.
+const MAX_UNIT_RATES: usize = 16;
+
+/// Default per-worker CLV reuse cache capacity, in subtree entries.
+pub(crate) const DEFAULT_CLV_CACHE_ENTRIES: usize = 256;
+
 /// Non-channel pool knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub(crate) struct PoolConfig {
     pub breaker: BreakerPolicy,
     pub watchdog: WatchdogPolicy,
     /// Service-level fault injector consulted at the `WorkerKill` and
     /// `BackendBlackout` sites (one roll per job per site).
     pub injector: Option<Arc<FaultInjector>>,
+    /// Per-worker CLV reuse cache capacity (0 disables caching).
+    pub clv_cache_entries: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            breaker: BreakerPolicy::default(),
+            watchdog: WatchdogPolicy::default(),
+            injector: None,
+            clv_cache_entries: DEFAULT_CLV_CACHE_ENTRIES,
+        }
+    }
 }
 
 /// One supervised worker slot.
@@ -134,7 +168,11 @@ pub(crate) struct PoolShared {
     epoch: Instant,
     shutting_down: AtomicBool,
     next_worker: AtomicUsize,
-    unit_patterns: usize,
+    /// Fused work-unit size per rate count: `unit_patterns_by_rates[r-1]`
+    /// is the narrowest backend's preferred chunk for `r` rates.
+    unit_patterns_by_rates: Vec<usize>,
+    /// Per-worker CLV reuse cache capacity (0 disables caching).
+    clv_cache_entries: usize,
     /// Faulted jobs awaiting a one-time redirect to a healthy worker.
     retry_parked: Mutex<Vec<Arc<Job>>>,
 }
@@ -291,6 +329,18 @@ impl PoolShared {
         }
     }
 
+    /// The fused work-unit size (in patterns) for a job with `n_rates`
+    /// rate categories: the narrowest backend's preferred chunk for
+    /// that geometry. Rate counts past the precomputed table clamp to
+    /// its widest row.
+    pub(crate) fn unit_patterns_for(&self, n_rates: usize) -> usize {
+        let i = n_rates.clamp(1, self.unit_patterns_by_rates.len().max(1)) - 1;
+        self.unit_patterns_by_rates
+            .get(i)
+            .copied()
+            .unwrap_or(plf_phylo::kernels::DEFAULT_BATCH_PATTERNS)
+    }
+
     /// Is any *other* live worker's breaker closed (a redirect target)?
     fn redirect_target_exists(&self, not: usize) -> bool {
         self.slots.iter().enumerate().any(|(i, s)| {
@@ -308,11 +358,13 @@ pub(crate) struct WorkerPool {
 
 impl WorkerPool {
     /// Spawn one worker per backend plus the watchdog. `factories[i]`
-    /// rebuilds worker `i`'s backend after a death; `unit_patterns` —
-    /// the fused work unit the scheduler sizes batches with — is the
-    /// *narrowest* backend's preferred chunk at the canonical Γ4 rate
-    /// count, so every device in a heterogeneous pool can take any
-    /// unit.
+    /// rebuilds worker `i`'s backend after a death. The fused work
+    /// units the scheduler sizes batches with are precomputed per rate
+    /// count: for each geometry, the *narrowest* backend's preferred
+    /// chunk, so every device in a heterogeneous pool can take any
+    /// unit. (A single canonical Γ4 table row used to stand in for
+    /// every rate count, which mis-sized batches for 1- or 8-rate
+    /// models on memory-bound backends.)
     pub(crate) fn new(
         backends: Vec<Box<dyn PlfBackend>>,
         factories: Vec<BackendFactory>,
@@ -320,11 +372,15 @@ impl WorkerPool {
         controller: Arc<AdmissionController>,
         config: PoolConfig,
     ) -> WorkerPool {
-        let unit_patterns = backends
-            .iter()
-            .map(|b| b.preferred_batch_patterns(4).max(1))
-            .min()
-            .unwrap_or(plf_phylo::kernels::DEFAULT_BATCH_PATTERNS);
+        let unit_patterns_by_rates: Vec<usize> = (1..=MAX_UNIT_RATES)
+            .map(|r| {
+                backends
+                    .iter()
+                    .map(|b| b.preferred_batch_patterns(r).max(1))
+                    .min()
+                    .unwrap_or(plf_phylo::kernels::DEFAULT_BATCH_PATTERNS)
+            })
+            .collect();
         let scalar_factory: BackendFactory =
             Arc::new(|| Box::new(plf_phylo::kernels::ScalarBackend));
         let slots: Vec<WorkerSlot> = backends
@@ -352,7 +408,8 @@ impl WorkerPool {
             epoch: Instant::now(),
             shutting_down: AtomicBool::new(false),
             next_worker: AtomicUsize::new(0),
-            unit_patterns,
+            unit_patterns_by_rates,
+            clv_cache_entries: config.clv_cache_entries,
             retry_parked: Mutex::new(Vec::new()),
         });
         for i in 0..shared.slots.len() {
@@ -380,9 +437,15 @@ impl WorkerPool {
         self.shared.n_workers()
     }
 
-    /// The fused work-unit size the scheduler should batch with.
+    /// The fused work-unit size at the canonical Γ4 rate count (the
+    /// observability surface's single representative figure).
     pub(crate) fn unit_patterns(&self) -> usize {
-        self.shared.unit_patterns
+        self.shared.unit_patterns_for(4)
+    }
+
+    /// The fused work-unit size for a job with `n_rates` categories.
+    pub(crate) fn unit_patterns_for(&self, n_rates: usize) -> usize {
+        self.shared.unit_patterns_for(n_rates)
     }
 
     /// Shard `batch` across the workers and hand each worker its
@@ -485,9 +548,18 @@ fn worker_loop(
         return;
     };
     let _guard = AliveGuard { slot };
+    // Per-worker CLV reuse cache, shared across every fused shard this
+    // worker runs (hits materialize when later shards repeat subtrees).
+    let mut cache =
+        (shared.clv_cache_entries > 0).then(|| ClvCache::new(shared.clv_cache_entries));
     loop {
         match rx.recv_timeout(PROBE_TICK) {
             Ok(shard) => {
+                // Pre-pass: peel off jobs that must not reach
+                // evaluation — resolved elsewhere, cancelled, expired,
+                // blacked out — each resolved individually, so one bad
+                // job cannot take its batchmates down.
+                let mut runnable: Vec<Arc<Job>> = Vec::with_capacity(shard.jobs.len());
                 for job in shard.jobs {
                     shared.beat(idx);
                     if job.is_resolved() {
@@ -502,7 +574,24 @@ fn worker_loop(
                         // still ledgered; the watchdog recovers them.
                         return;
                     }
-                    run_one(shared, idx, slot, backend.as_mut(), &job);
+                    if pre_resolve(shared, idx, slot, backend.as_mut(), &job) {
+                        slot.ledger_remove(job.id);
+                        continue;
+                    }
+                    runnable.push(job);
+                }
+                // Survivors run as one fused pass when there are at
+                // least two; any fused-level failure falls back to the
+                // per-job path for fault containment.
+                let fused_done = runnable.len() >= 2
+                    && run_shard_fused(shared, slot, backend.as_mut(), &runnable, &mut cache);
+                if !fused_done {
+                    for job in &runnable {
+                        shared.beat(idx);
+                        evaluate_one(shared, idx, slot, backend.as_mut(), job);
+                    }
+                }
+                for job in &runnable {
                     slot.ledger_remove(job.id);
                 }
             }
@@ -513,6 +602,83 @@ fn worker_loop(
         maybe_probe(shared, slot, backend.as_mut());
     }
     slot.retired.store(true, Ordering::Release);
+}
+
+/// Evaluate a shard's runnable jobs as one fused pass: each round,
+/// every job's current tree-level operation joins a single backend
+/// invocation over the concatenated pattern space, and subtree CLVs
+/// are reused from the worker's cache. Per-job results are demuxed
+/// into individual `Completed` outcomes. Returns `false` when the
+/// fused pass could not complete (mixed batch keys, construction
+/// failure, backend fault, panic) — the caller then falls back to
+/// per-job evaluation, which re-establishes per-job containment and
+/// feeds the breaker for the job that actually faults.
+fn run_shard_fused(
+    shared: &Arc<PoolShared>,
+    slot: &WorkerSlot,
+    backend: &mut dyn PlfBackend,
+    jobs: &[Arc<Job>],
+    cache: &mut Option<ClvCache>,
+) -> bool {
+    let Some(first) = jobs.first() else {
+        return true;
+    };
+    let key = first.batch_key();
+    if jobs.iter().any(|j| j.batch_key() != key) {
+        // The scheduler only forms same-key batches; a mixed shard
+        // (impossible today) would break the fused geometry, so take
+        // the safe path.
+        return false;
+    }
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut evals = Vec::with_capacity(jobs.len());
+        for job in jobs.iter() {
+            evals.push(TreeLikelihood::new(&job.tree, &job.data, job.model.clone())?);
+        }
+        let mut fused: Vec<FusedJob<'_>> = evals
+            .iter_mut()
+            .zip(jobs.iter())
+            .map(|(eval, job)| FusedJob {
+                eval,
+                tree: &job.tree,
+                dataset_token: job.dataset.0,
+            })
+            .collect();
+        evaluate_fused(&mut fused, backend, cache.as_mut())
+    }));
+    if let Some(c) = cache.as_mut() {
+        let stats = c.take_stats();
+        shared
+            .counters
+            .record_clv_cache(stats.hits, stats.misses, stats.evictions);
+    }
+    let elapsed = started.elapsed();
+    match result {
+        Ok(Ok(lnls)) if lnls.len() == jobs.len() => {
+            // The fused pass served every job; attribute the shared
+            // evaluation time evenly across them.
+            let service = elapsed
+                .checked_div(u32::try_from(jobs.len()).unwrap_or(u32::MAX))
+                .unwrap_or(elapsed);
+            for (job, lnl) in jobs.iter().zip(lnls) {
+                slot.breaker.record_success();
+                if job.try_claim() {
+                    let wait = started.saturating_duration_since(job.submitted_at);
+                    shared.counters.record_completed(&job.tenant, wait, service);
+                    shared.controller.observe(service);
+                    job.publish(JobOutcome::Completed {
+                        ln_likelihood: lnl,
+                        wait,
+                        service,
+                        backend: backend.name(),
+                    });
+                }
+            }
+            true
+        }
+        _ => false,
+    }
 }
 
 /// Run one half-open probe if the slot's breaker owes one. Blackout
@@ -532,29 +698,32 @@ fn maybe_probe(shared: &Arc<PoolShared>, slot: &WorkerSlot, backend: &mut dyn Pl
     }
 }
 
-/// Evaluate one job on `backend`, publish its terminal outcome (or
-/// park it for a one-time redirect), and feed the slot's breaker.
-fn run_one(
+/// Resolve a job's pre-evaluation terminal states — cancellation,
+/// missed deadline, backend blackout. Returns `true` when the job was
+/// resolved (or parked for redirect) here and must not be evaluated.
+/// Runs per job *before* batchmates fuse, so these outcomes stay
+/// individually attributed under fused execution.
+fn pre_resolve(
     shared: &Arc<PoolShared>,
     idx: usize,
     slot: &WorkerSlot,
     backend: &mut dyn PlfBackend,
     job: &Arc<Job>,
-) {
-    let started = Instant::now();
+) -> bool {
+    let now = Instant::now();
     if job.is_cancelled() {
         if job.try_claim() {
             shared.counters.record_cancelled(&job.tenant);
             job.publish(JobOutcome::Cancelled);
         }
-        return;
+        return true;
     }
-    if job.past_deadline(started) {
+    if job.past_deadline(now) {
         if job.try_claim() {
             shared.counters.record_deadline_missed(&job.tenant);
             job.publish(JobOutcome::DeadlineMissed);
         }
-        return;
+        return true;
     }
     // Blackout: the backend refuses the job before evaluation. A rate
     // roll darkens a burst of consecutive jobs; control-plane blackouts
@@ -570,8 +739,23 @@ fn run_one(
             detail: format!("{}: backend blacked out", job.id),
         };
         fault_outcome(shared, idx, slot, job, &err);
-        return;
+        return true;
     }
+    false
+}
+
+/// Evaluate one job on `backend`, publish its terminal outcome (or
+/// park it for a one-time redirect), and feed the slot's breaker.
+/// Pre-evaluation states are assumed already handled by
+/// [`pre_resolve`].
+fn evaluate_one(
+    shared: &Arc<PoolShared>,
+    idx: usize,
+    slot: &WorkerSlot,
+    backend: &mut dyn PlfBackend,
+    job: &Arc<Job>,
+) {
+    let started = Instant::now();
     let wait = started.saturating_duration_since(job.submitted_at);
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut eval = TreeLikelihood::new(&job.tree, &job.data, job.model.clone())?;

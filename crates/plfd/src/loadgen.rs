@@ -68,6 +68,15 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Mean branch length of the per-job random trees.
     pub branch_mean: f64,
+    /// Fraction of jobs shaped like MCMC proposals: instead of a fresh
+    /// random tree, the job reuses the previous job's tree with one
+    /// branch rescaled (a multiplier move). Proposal-shaped jobs share
+    /// every subtree outside the edited path, which is what the
+    /// per-worker CLV reuse cache (DESIGN.md §14) accelerates. `0.0`
+    /// (the default) keeps the fully-random stream — and consumes the
+    /// exact same RNG draw sequence as before the knob existed, so
+    /// existing seeded streams replay unchanged.
+    pub proposal_fraction: f64,
     /// Recompute every completed result serially on the scalar
     /// reference backend and compare bit-for-bit.
     pub check: bool,
@@ -89,6 +98,7 @@ impl Default for LoadgenConfig {
             deadline: None,
             seed: 2009,
             branch_mean: 0.1,
+            proposal_fraction: 0.0,
             check: true,
             max_duration: None,
             retry: RetryPolicy::default(),
@@ -144,6 +154,41 @@ struct Pending {
     model: SiteModel,
 }
 
+/// Draw the next tree of a job stream: with probability
+/// `proposal_fraction` (and once a previous tree exists), the previous
+/// tree with one branch rescaled by a multiplier move; otherwise a
+/// fresh random tree. The short-circuit keeps the RNG draw sequence of
+/// a `proposal_fraction == 0.0` stream identical to the pre-knob one.
+fn next_stream_tree(
+    taxa: &[String],
+    branch_mean: f64,
+    proposal_fraction: f64,
+    last: &mut Option<Tree>,
+    rng: &mut StdRng,
+) -> Tree {
+    let proposed = proposal_fraction > 0.0
+        && last.is_some()
+        && rng.gen_range(0.0..1.0) < proposal_fraction;
+    let tree = match last.take() {
+        Some(mut t) if proposed => {
+            let branches = t.branches();
+            if branches.is_empty() {
+                random_tree_for_taxa(taxa, branch_mean, rng)
+            } else {
+                let pick = branches[rng.gen_range(0..branches.len())];
+                // MrBayes-style multiplier move: b' = b·exp(u), u ∈ (−½, ½).
+                let factor = rng.gen_range(-0.5f64..0.5).exp();
+                let node = t.node_mut(pick);
+                node.branch = (node.branch * factor).max(1e-9);
+                t
+            }
+        }
+        _ => random_tree_for_taxa(taxa, branch_mean, rng),
+    };
+    *last = Some(tree.clone());
+    tree
+}
+
 /// Drive `service` with a deterministic job stream against `dataset`
 /// (which must be registered with the service; `taxa` are its taxon
 /// names, used to grow random per-job trees).
@@ -167,6 +212,7 @@ pub fn run(
     let mut sheds_retried = 0usize;
     let mut submitted = 0usize;
     let mut next_open_slot = started;
+    let mut last_tree: Option<Tree> = None;
 
     for i in 0..cfg.jobs {
         if cfg
@@ -176,7 +222,13 @@ pub fn run(
             break;
         }
         // Deterministic per-job draws (consumed in a fixed order).
-        let tree = random_tree_for_taxa(taxa, cfg.branch_mean, &mut rng);
+        let tree = next_stream_tree(
+            taxa,
+            cfg.branch_mean,
+            cfg.proposal_fraction,
+            &mut last_tree,
+            &mut rng,
+        );
         let tenant = format!("tenant-{}", i % cfg.tenants.max(1));
         let high = rng.gen_range(0.0..1.0) < cfg.high_fraction;
         let cancel = rng.gen_range(0.0..1.0) < cfg.cancel_fraction;
@@ -369,8 +421,14 @@ pub struct ServiceBenchmark {
     pub batched_service: ServiceSnapshot,
 }
 
+/// Fraction of MCMC-proposal-shaped jobs in the benchmark stream:
+/// three of four jobs reuse the previous tree with one branch
+/// rescaled, the MrBayes-shaped workload the CLV reuse cache serves.
+const BENCH_PROPOSAL_FRACTION: f64 = 0.75;
+
 /// Run the serial-vs-batched comparison: `jobs` evaluations of
-/// `taxa × patterns` random trees, (a) directly on one backend, (b)
+/// `taxa × patterns` trees (an MCMC-shaped stream — see
+/// [`BENCH_PROPOSAL_FRACTION`]), (a) directly on one backend, (b)
 /// through the service submitting one at a time, (c) through the
 /// service submitting all at once. The same seed drives all three job
 /// streams, and every completed service result is checked bit-for-bit
@@ -387,10 +445,19 @@ pub fn benchmark_batching(
     let model = plf_seqgen::default_model();
     let taxa_names = ds.data.taxa().to_vec();
 
-    // (a) Direct: no service, one backend, same tree stream.
+    // (a) Direct: no service, one backend, same-shaped tree stream.
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut last_tree: Option<Tree> = None;
     let trees: Vec<Tree> = (0..jobs)
-        .map(|_| random_tree_for_taxa(&taxa_names, 0.1, &mut rng))
+        .map(|_| {
+            next_stream_tree(
+                &taxa_names,
+                0.1,
+                BENCH_PROPOSAL_FRACTION,
+                &mut last_tree,
+                &mut rng,
+            )
+        })
         .collect();
     let mut direct_backend = make_backend();
     let direct_started = Instant::now();
@@ -412,6 +479,7 @@ pub fn benchmark_batching(
             jobs,
             mode: LoadMode::Closed { concurrency },
             seed,
+            proposal_fraction: BENCH_PROPOSAL_FRACTION,
             check: true,
             ..LoadgenConfig::default()
         };
@@ -552,5 +620,42 @@ mod tests {
         assert!(json.contains("\"bit_mismatches\""));
         assert!(json.contains("\"p95_latency_ms\""));
         service.shutdown();
+    }
+
+    #[test]
+    fn proposal_stream_rescales_exactly_one_branch() {
+        let taxa: Vec<String> = (0..6).map(|i| format!("t{i}")).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut last = None;
+        let first = next_stream_tree(&taxa, 0.1, 1.0, &mut last, &mut rng);
+        let second = next_stream_tree(&taxa, 0.1, 1.0, &mut last, &mut rng);
+        // Same topology, exactly one branch length changed — every
+        // subtree outside the edited path keeps its fingerprint.
+        let changed = first
+            .branches()
+            .iter()
+            .filter(|&&id| {
+                first.node(id).branch.to_bits() != second.node(id).branch.to_bits()
+            })
+            .count();
+        assert_eq!(changed, 1);
+        assert_eq!(first.n_nodes(), second.n_nodes());
+    }
+
+    #[test]
+    fn zero_proposal_fraction_replays_the_pre_knob_stream() {
+        // proposal_fraction == 0.0 must consume the exact RNG draw
+        // sequence of the original generator (a bare
+        // random_tree_for_taxa per job), so existing seeded streams
+        // replay unchanged.
+        let taxa: Vec<String> = (0..5).map(|i| format!("t{i}")).collect();
+        let mut rng_knob = StdRng::seed_from_u64(5);
+        let mut rng_orig = StdRng::seed_from_u64(5);
+        let mut last = None;
+        for _ in 0..4 {
+            let a = next_stream_tree(&taxa, 0.1, 0.0, &mut last, &mut rng_knob);
+            let b = random_tree_for_taxa(&taxa, 0.1, &mut rng_orig);
+            assert_eq!(a.to_newick(), b.to_newick());
+        }
     }
 }

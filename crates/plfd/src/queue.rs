@@ -362,6 +362,13 @@ impl BoundedQueue {
         self.lock().closed = true;
         self.ready.notify_all();
     }
+
+    /// Whether [`close`](Self::close) has been called. The scheduler
+    /// uses this to skip the batching linger during drain: no new
+    /// batchmate can ever arrive once admission stops.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
 }
 
 #[cfg(test)]

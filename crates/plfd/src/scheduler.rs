@@ -7,8 +7,9 @@
 //! ways: by job count (`max_jobs`, the occupancy denominator) and by
 //! fused work units (`max_units`, where one unit is
 //! `PlfBackend::preferred_batch_patterns` patterns on the pool's
-//! narrowest backend — LS-sized chunks for the Cell, grid-sized slabs
-//! for the GPU, per-thread chunks for the multicore pools).
+//! narrowest backend *for the job's own rate count* — LS-sized chunks
+//! for the Cell, grid-sized slabs for the GPU, per-thread chunks for
+//! the multicore pools).
 //!
 //! **Linger.** After the first job of a batching round arrives, the
 //! scheduler waits up to `linger` for batchmates before dispatching.
@@ -67,10 +68,19 @@ pub(crate) fn job_units(patterns: usize, unit_patterns: usize) -> usize {
 /// Group `jobs` by compatibility key and cut batches at the policy
 /// caps, preserving arrival order within each key. Pure function —
 /// unit-tested without threads.
+///
+/// `unit_patterns_for` maps a job's rate-category count to the pool's
+/// unit size for that geometry (more rates → wider patterns → smaller
+/// chunks on memory-bound backends). A job's units are accounted at
+/// their true value even past `max_units`: an oversized job opens a
+/// solo over-cap batch that the `b.units + units <= max_units` guard
+/// then keeps closed to batchmates. (Clamping to the cap instead used
+/// to leave such batches looking underfull, so later jobs fused into
+/// an already over-budget batch.)
 pub(crate) fn form_batches(
     jobs: Vec<Job>,
     policy: &BatchPolicy,
-    unit_patterns: usize,
+    unit_patterns_for: &dyn Fn(usize) -> usize,
 ) -> Vec<Batch> {
     let max_jobs = policy.max_jobs.max(1);
     let max_units = policy.max_units.max(1);
@@ -78,7 +88,10 @@ pub(crate) fn form_batches(
     let mut open: HashMap<BatchKey, usize> = HashMap::new();
     for job in jobs {
         let key = job.batch_key();
-        let units = job_units(job.data.n_patterns(), unit_patterns).min(max_units);
+        let units = job_units(
+            job.data.n_patterns(),
+            unit_patterns_for(job.model.n_rates()),
+        );
         let target = open.get(&key).copied().filter(|&i| {
             let b = &out[i];
             b.jobs.len() < max_jobs && b.units + units <= max_units
@@ -146,7 +159,6 @@ pub(crate) fn run_scheduler(
     gate: Arc<Gate>,
     counters: Arc<ServiceCounters>,
 ) {
-    let unit_patterns = pool.unit_patterns();
     loop {
         gate.wait_open();
         let first = match queue.pop_wait(POP_TIMEOUT) {
@@ -161,13 +173,19 @@ pub(crate) fn run_scheduler(
             if jobs.len() >= policy.max_jobs {
                 break;
             }
+            // Drain fast-path: once the queue is closed no batchmate
+            // can ever arrive, so napping out the linger would only
+            // add tail latency to the last jobs of a drain.
+            if queue.is_closed() {
+                break;
+            }
             let now = Instant::now();
             if now >= linger_until {
                 break;
             }
             std::thread::sleep(LINGER_NAP.min(linger_until - now));
         }
-        dispatch_all(jobs, &policy, unit_patterns, &pool, &counters);
+        dispatch_all(jobs, &policy, &pool, &counters);
     }
     // Shutdown flush: everything still queued gets dispatched so the
     // pool resolves it (possibly as cancelled/deadline-missed).
@@ -176,7 +194,7 @@ pub(crate) fn run_scheduler(
         if backlog.is_empty() {
             break;
         }
-        dispatch_all(backlog, &policy, unit_patterns, &pool, &counters);
+        dispatch_all(backlog, &policy, &pool, &counters);
     }
     pool.shutdown();
 }
@@ -184,11 +202,10 @@ pub(crate) fn run_scheduler(
 fn dispatch_all(
     jobs: Vec<Job>,
     policy: &BatchPolicy,
-    unit_patterns: usize,
     pool: &WorkerPool,
     counters: &ServiceCounters,
 ) {
-    for batch in form_batches(jobs, policy, unit_patterns) {
+    for batch in form_batches(jobs, policy, &|r| pool.unit_patterns_for(r)) {
         counters.record_batch(batch.jobs.len() as u64, policy.max_jobs.max(1) as u64);
         pool.dispatch(batch);
     }
@@ -241,7 +258,7 @@ mod tests {
             job_with(2, 0, 2, 64), // different rate count
             job_with(3, 0, 4, 64), // fuses with job 0
         ];
-        let batches = form_batches(jobs, &BatchPolicy::default(), 512);
+        let batches = form_batches(jobs, &BatchPolicy::default(), &|_| 512);
         assert_eq!(batches.len(), 3);
         let ids: Vec<Vec<u64>> = batches
             .iter()
@@ -257,7 +274,7 @@ mod tests {
             max_jobs: 2,
             ..BatchPolicy::default()
         };
-        let batches = form_batches(jobs, &policy, 512);
+        let batches = form_batches(jobs, &policy, &|_| 512);
         assert_eq!(
             batches.iter().map(|b| b.jobs.len()).collect::<Vec<_>>(),
             vec![2, 2, 1]
@@ -273,7 +290,7 @@ mod tests {
             max_units: 4,
             ..BatchPolicy::default()
         };
-        let batches = form_batches(jobs, &policy, 32);
+        let batches = form_batches(jobs, &policy, &|_| 32);
         assert_eq!(
             batches.iter().map(|b| (b.jobs.len(), b.units)).collect::<Vec<_>>(),
             vec![(2, 4), (1, 2)]
@@ -288,9 +305,47 @@ mod tests {
             max_units: 1,
             ..BatchPolicy::default()
         };
-        let batches = form_batches(jobs, &policy, 16);
+        let batches = form_batches(jobs, &policy, &|_| 16);
         assert_eq!(batches.len(), 1);
-        assert_eq!(batches[0].units, 1); // clamped to the cap
+        // True units, not clamped to the cap: the batch must read as
+        // over budget so nothing else fuses into it.
+        assert_eq!(batches[0].units, 4);
+    }
+
+    #[test]
+    fn oversized_job_does_not_accept_batchmates() {
+        // Regression: clamping an oversized job's units to max_units
+        // made its batch look underfull, so a compatible follow-up job
+        // fused into an over-cap batch. The oversized job must ride
+        // alone and the small job must open its own batch.
+        let jobs = vec![job_with(0, 0, 4, 64), job_with(1, 0, 4, 16)];
+        let policy = BatchPolicy {
+            max_units: 2,
+            ..BatchPolicy::default()
+        };
+        let batches = form_batches(jobs, &policy, &|_| 16);
+        assert_eq!(
+            batches.iter().map(|b| (b.jobs.len(), b.units)).collect::<Vec<_>>(),
+            vec![(1, 4), (1, 1)]
+        );
+    }
+
+    #[test]
+    fn unit_size_tracks_rate_count() {
+        // A pool reports smaller unit chunks for wider (more-rate)
+        // geometries; the same pattern count must then cost more units.
+        let jobs = vec![job_with(0, 0, 4, 64), job_with(1, 0, 8, 64)];
+        let policy = BatchPolicy {
+            max_units: 64,
+            ..BatchPolicy::default()
+        };
+        let per_rate = |r: usize| if r > 4 { 16 } else { 32 };
+        let batches = form_batches(jobs, &policy, &per_rate);
+        // Different rate counts never share a key, so two batches.
+        assert_eq!(
+            batches.iter().map(|b| b.units).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct ServiceConfig {
     /// idempotency key. `None` (the default) keeps the service purely
     /// in-memory.
     pub journal: Option<JournalConfig>,
+    /// Per-worker CLV reuse cache capacity, in cached subtree entries.
+    /// Fused batches consult the cache before recomputing an internal
+    /// node's conditional likelihoods; `0` disables caching. Hits,
+    /// misses, and evictions surface as the `clv_cache_*` service
+    /// counters.
+    pub clv_cache_entries: usize,
 }
 
 impl Default for ServiceConfig {
@@ -99,6 +105,7 @@ impl Default for ServiceConfig {
             fault_injector: None,
             hold: false,
             journal: None,
+            clv_cache_entries: crate::dispatch::DEFAULT_CLV_CACHE_ENTRIES,
         }
     }
 }
@@ -262,6 +269,7 @@ impl PlfService {
                 breaker: config.breaker.clone(),
                 watchdog: config.watchdog.clone(),
                 injector: config.fault_injector.clone(),
+                clv_cache_entries: config.clv_cache_entries,
             },
         );
         let pool_shared = pool.shared();
@@ -960,6 +968,92 @@ mod tests {
         for t in tickets {
             assert!(t.try_wait().is_some(), "job left unresolved by shutdown");
         }
+    }
+
+    #[test]
+    fn drain_under_light_load_skips_linger() {
+        // A closed queue can never produce batchmates, so a scheduler
+        // mid-linger must dispatch immediately instead of napping out
+        // the window — otherwise every drain pays the full linger as
+        // tail latency on its last job.
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(4, 16), 9);
+        let model = plf_seqgen::default_model();
+        let linger = Duration::from_millis(500);
+        let config = ServiceConfig {
+            batch: BatchPolicy {
+                linger,
+                ..BatchPolicy::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let mut service = PlfService::new(config, scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let ticket = service
+            .submit(JobSpec::new("t", dataset, ds.tree.clone(), model))
+            .expect("admitted");
+        // Let the scheduler pop the job and settle into the linger.
+        std::thread::sleep(Duration::from_millis(50));
+        let closed_at = Instant::now();
+        let report = service.drain(Duration::from_secs(5));
+        assert!(ticket.wait().is_completed());
+        assert!(report.within_deadline);
+        assert!(
+            closed_at.elapsed() < linger,
+            "drain waited out the linger: {:?}",
+            closed_at.elapsed()
+        );
+    }
+
+    #[test]
+    fn mid_batch_fault_resolves_alone_and_batchmates_complete() {
+        // One blackout charge poisons exactly one job of a fused
+        // batch; its batchmates must still complete, bit-identical to
+        // the serial reference (per-job demux under a mid-batch
+        // fault).
+        let ds = plf_seqgen::generate(plf_seqgen::DatasetSpec::new(6, 64), 13);
+        let model = plf_seqgen::default_model();
+        let config = ServiceConfig {
+            hold: true,
+            ..ServiceConfig::default()
+        };
+        let service = PlfService::new(config, scalar_backends(1));
+        let dataset = service.register_dataset(ds.data.clone());
+        let tickets: Vec<JobTicket> = (0..4)
+            .map(|_| {
+                service
+                    .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        // Single worker, single charge: the first job of the (only)
+        // shard blacks out; no redirect target exists, so it fails.
+        service.blackout_worker(0, 1);
+        service.release();
+        let outcomes: Vec<JobOutcome> = tickets.iter().map(|t| t.wait()).collect();
+        let failed = outcomes
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Failed { .. }))
+            .count();
+        assert_eq!(failed, 1, "exactly one job absorbs the fault: {outcomes:?}");
+        let mut serial =
+            TreeLikelihood::new(&ds.tree, &ds.data, model).expect("workspace");
+        let expected = serial
+            .log_likelihood(&ds.tree, &mut ScalarBackend)
+            .expect("serial eval");
+        let completed: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.ln_likelihood())
+            .collect();
+        assert_eq!(completed.len(), 3);
+        for lnl in completed {
+            assert_eq!(lnl.to_bits(), expected.to_bits(), "bit-identical demux");
+        }
+        let snap = service.snapshot();
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.failed, 1);
+        // The survivors ran fused with the CLV cache consulted.
+        assert!(snap.clv_cache_misses > 0, "fused path not exercised");
+        service.shutdown();
     }
 
     fn temp_journal_dir(tag: &str) -> std::path::PathBuf {

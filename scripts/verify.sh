@@ -17,9 +17,13 @@
 #   5. clippy with -D warnings on every first-party crate (the
 #      [workspace.lints] wall turns each listed warn into an error);
 #   6. a smoke run of the perf_report binary, proving the observability
-#      pipeline produces a BENCH_plf report end to end (schema v4, with
-#      the plfd service section including the self-healing and
-#      crash-durability counters, self-validated by the binary);
+#      pipeline produces a BENCH_plf report end to end (schema v5, with
+#      the plfd service section including the self-healing,
+#      crash-durability, and CLV-cache counters, self-validated by the
+#      binary). The run doubles as the batch-perf smoke:
+#      --require-batched-win makes the binary exit non-zero unless the
+#      batched service out-throughputs direct per-job dispatch, so a
+#      fused-execution regression fails verification;
 #   7. a quick fixed-seed `plfr chaos` soak — a scheduled worker kill
 #      and backend blackout that the service must heal with zero lost
 #      jobs, bit-identical results, and every breaker re-closed;
@@ -83,15 +87,15 @@ cargo run --release -q -p plf-lint
 echo "==> clippy (all first-party crates), -D warnings"
 cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
 
-echo "==> perf_report --smoke"
+echo "==> perf_report --smoke (batch-perf-smoke: batched must beat direct)"
 if [ "$SMOKE" = 1 ]; then
     # Keep the smoke report: CI's service-smoke job uploads it.
     cargo run --release -q -p plf-bench --bin perf_report -- \
-        --smoke --out BENCH_plf.json
+        --smoke --require-batched-win --out BENCH_plf.json
 else
     mkdir -p results
     cargo run --release -q -p plf-bench --bin perf_report -- \
-        --smoke --out results/BENCH_plf.smoke.tmp
+        --smoke --require-batched-win --out results/BENCH_plf.smoke.tmp
     rm -f results/BENCH_plf.smoke.tmp
 fi
 

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no crates.io access, so the workspace
 //! vendors the slice of rayon it uses: `ThreadPool(Builder)`,
-//! `install`, and the parallel-slice iterators (`par_chunks_mut` with
-//! `enumerate`/`zip`/`for_each`).
+//! `install`, the parallel-slice iterators (`par_chunks_mut` with
+//! `enumerate`/`zip`/`for_each`), and `into_par_iter` on vectors (the
+//! fused multicore backend flattens many ops into one task list).
 //!
 //! Unlike the real rayon there is no global work-stealing pool: each
 //! `for_each` runs its items on freshly spawned **scoped OS threads**,
@@ -158,6 +159,21 @@ pub mod iter {
         }
     }
 
+    /// `into_par_iter` on owned collections.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// Consume the collection into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
     /// `par_chunks_mut` on mutable slices.
     pub trait ParallelSliceMut<T: Send> {
         /// Split into mutable chunks of `size` (last may be shorter).
@@ -191,7 +207,7 @@ pub mod iter {
 
 /// The usual glob-import surface.
 pub mod prelude {
-    pub use crate::iter::{ParIter, ParallelSlice, ParallelSliceMut};
+    pub use crate::iter::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
