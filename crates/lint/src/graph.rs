@@ -1,0 +1,1575 @@
+//! Workspace-level structural analysis shared by the L5–L8 rules.
+//!
+//! Builds, from every parsed file:
+//!
+//! * a **struct table** with per-field type words and the lock fields
+//!   (`Mutex`/`RwLock`/`Condvar`) each struct owns;
+//! * a **function table** indexed by `(self type, name)` and by bare
+//!   name, used to resolve call sites;
+//! * per-function **facts**: lock acquisitions with guard lifetimes,
+//!   blocking operations, and resolved call sites;
+//! * a transitive **fixpoint** (which locks / blocking operations a
+//!   call may reach), and the workspace **lock-order graph** with one
+//!   witness per edge.
+//!
+//! Call resolution is deliberately strict — `self` receivers, fields
+//! with known struct types, typed params/locals, `Type::method` paths,
+//! and (only for otherwise-unresolved names) a workspace-unique bare
+//! name outside a stoplist of std-collection look-alikes. Methods of
+//! the kernel trait (`PlfBackend`) are resolved as dynamic dispatch to
+//! every non-test impl. Unresolved calls are dropped rather than
+//! guessed: the rules prefer missing an edge to inventing one.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::parse::{parse, FnItem, ParsedFile, Tok};
+use crate::rules::FileScope;
+use crate::scan::{scan, Scanned};
+
+/// Kind of lock-bearing field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `std::sync::Mutex`.
+    Mutex,
+    /// `std::sync::RwLock`.
+    RwLock,
+    /// `std::sync::Condvar` (not a lock; tracked for wait detection).
+    Condvar,
+}
+
+/// Blocking-operation kinds recognized by L5.
+pub const BLOCK_KINDS: [&str; 7] = [
+    "fsync",
+    "channel-recv",
+    "channel-send",
+    "thread-join",
+    "sleep",
+    "condvar-wait",
+    "kernel-dispatch",
+];
+
+/// Method names treated as kernel dispatch (the PLF itself: unbounded
+/// compute from the caller's point of view).
+const KERNEL_WORDS: [&str; 9] = [
+    "cond_like_down",
+    "cond_like_root",
+    "cond_like_scaler",
+    "cond_like_down_fused",
+    "cond_like_root_fused",
+    "cond_like_scaler_fused",
+    "evaluate_fused",
+    "log_likelihood",
+    "log_likelihood_planned",
+];
+
+/// Bare names too common to resolve by workspace-wide uniqueness
+/// (std-collection methods and ubiquitous helper names).
+const STOPLIST: [&str; 36] = [
+    "push", "pop", "pop_front", "pop_back", "insert", "remove", "get", "get_mut", "len",
+    "is_empty", "contains", "contains_key", "clone", "new", "default", "fmt", "next", "iter",
+    "iter_mut", "into_iter", "drain", "extend", "write", "read", "lock", "flush", "send", "recv",
+    "wait", "take", "name", "clear", "as_ref", "as_mut", "set", "run",
+];
+
+/// One file in the workspace under analysis.
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The scanner output.
+    pub scanned: Scanned,
+    /// The parser output.
+    pub parsed: ParsedFile,
+    /// Path-derived rule scope.
+    pub scope: FileScope,
+}
+
+/// Global function id: `(file index, fn index)`.
+pub type FnId = (usize, usize);
+
+/// A lock acquisition inside one function.
+#[derive(Debug, Clone)]
+pub struct Acq {
+    /// Lock identity, `Struct.field`.
+    pub lock: String,
+    /// Token index of the acquiring call.
+    pub site: usize,
+    /// Token index at which the guard is released (exclusive).
+    pub until: usize,
+    /// The `let` binding holding the guard, when not a temporary.
+    pub guard_name: Option<String>,
+}
+
+/// A blocking operation inside one function.
+#[derive(Debug, Clone)]
+pub struct BlockSite {
+    /// One of [`BLOCK_KINDS`].
+    pub kind: &'static str,
+    /// Token index of the operation.
+    pub site: usize,
+    /// Guard binding a condvar wait releases for its duration.
+    pub exempt_guard: Option<String>,
+}
+
+/// A resolved (or unresolved) call site inside one function.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// Token index of the callee name.
+    pub site: usize,
+    /// Resolved targets (empty when unresolvable).
+    pub targets: Vec<FnId>,
+}
+
+/// Everything the rules need to know about one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    /// Direct lock acquisitions, in token order.
+    pub acquires: Vec<Acq>,
+    /// Direct blocking operations, in token order.
+    pub blocks: Vec<BlockSite>,
+    /// Call sites, in token order.
+    pub calls: Vec<CallSite>,
+    /// Locks this function or any callee may acquire.
+    pub trans_locks: BTreeSet<String>,
+    /// Blocking kinds this function or any callee may perform.
+    pub trans_blocks: BTreeSet<&'static str>,
+    /// When the fn returns a guard, the lock it acquired.
+    pub returns_guard_of: Option<String>,
+}
+
+/// A lock-graph edge witness: where `held → acquired` was observed.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// File of the acquiring site.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Function the acquisition happens in.
+    pub in_fn: String,
+}
+
+/// The parsed workspace plus its derived index tables.
+pub struct Workspace {
+    /// All files, in input order.
+    pub files: Vec<FileUnit>,
+    /// Struct name → (file, struct index). Last definition wins.
+    pub structs: HashMap<String, (usize, usize)>,
+    /// Struct name → lock field name → kind.
+    pub lock_fields: HashMap<String, HashMap<String, LockKind>>,
+    /// `(self type, fn name)` → function ids (non-test only).
+    pub by_qual: HashMap<(String, String), Vec<FnId>>,
+    /// fn name → function ids (non-test only).
+    pub by_name: HashMap<String, Vec<FnId>>,
+    /// Methods of the kernel trait (`PlfBackend`), when present.
+    pub backend_methods: BTreeSet<String>,
+    /// Per-function facts (keyed by [`FnId`]; analyzed fns only).
+    pub facts: HashMap<FnId, FnFacts>,
+    /// Lock-order edges `(held, acquired)` → first witness.
+    pub edges: BTreeMap<(String, String), Witness>,
+}
+
+impl Workspace {
+    /// Scan, parse, and analyze a set of `(rel path, source)` files.
+    pub fn build(inputs: &[(String, String)]) -> Workspace {
+        let files: Vec<FileUnit> = inputs
+            .iter()
+            .map(|(rel, src)| {
+                let scanned = scan(src);
+                let parsed = parse(&scanned);
+                FileUnit {
+                    rel: rel.clone(),
+                    scope: FileScope::for_path(rel),
+                    scanned,
+                    parsed,
+                }
+            })
+            .collect();
+
+        let mut ws = Workspace {
+            files,
+            structs: HashMap::new(),
+            lock_fields: HashMap::new(),
+            by_qual: HashMap::new(),
+            by_name: HashMap::new(),
+            backend_methods: BTreeSet::new(),
+            facts: HashMap::new(),
+            edges: BTreeMap::new(),
+        };
+        ws.index();
+        ws.extract_facts();
+        ws.fixpoint();
+        ws.build_edges();
+        ws
+    }
+
+    /// Should this function participate in structural analysis?
+    pub fn analyzed(&self, id: FnId) -> bool {
+        let f = &self.files[id.0];
+        !f.scope.relaxed && !f.parsed.fns[id.1].is_test
+    }
+
+    /// The function whose body span covers `line` in `file`, if any.
+    pub fn enclosing_fn(&self, file: usize, line: usize) -> Option<&FnItem> {
+        let parsed = &self.files[file].parsed;
+        parsed
+            .fns
+            .iter()
+            .filter(|f| {
+                let end_line = parsed
+                    .toks
+                    .get(f.body.1.saturating_sub(1))
+                    .map(|t| t.line)
+                    .unwrap_or(f.line);
+                f.line <= line && line <= end_line
+            })
+            // Innermost (latest-starting) covering fn wins.
+            .max_by_key(|f| f.line)
+    }
+
+    fn index(&mut self) {
+        for (fi, file) in self.files.iter().enumerate() {
+            for (si, st) in file.parsed.structs.iter().enumerate() {
+                if st.is_test {
+                    continue;
+                }
+                self.structs.insert(st.name.clone(), (fi, si));
+                let mut locks = HashMap::new();
+                for (fname, ty) in &st.fields {
+                    let kind = if ty.iter().any(|w| w == "Condvar") {
+                        Some(LockKind::Condvar)
+                    } else if ty.iter().any(|w| w == "RwLock") {
+                        Some(LockKind::RwLock)
+                    } else if ty.iter().any(|w| w == "Mutex") {
+                        Some(LockKind::Mutex)
+                    } else {
+                        None
+                    };
+                    if let Some(k) = kind {
+                        locks.insert(fname.clone(), k);
+                    }
+                }
+                if !locks.is_empty() {
+                    self.lock_fields.insert(st.name.clone(), locks);
+                }
+            }
+            for (ki, f) in file.parsed.fns.iter().enumerate() {
+                if f.is_test || file.scope.relaxed {
+                    continue;
+                }
+                if let Some(t) = &f.impl_type {
+                    self.by_qual
+                        .entry((t.clone(), f.name.clone()))
+                        .or_default()
+                        .push((fi, ki));
+                }
+                self.by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push((fi, ki));
+            }
+            for tr in &file.parsed.traits {
+                if tr.name == "PlfBackend" && !tr.is_test {
+                    self.backend_methods = tr.methods.iter().map(|m| m.name.clone()).collect();
+                }
+            }
+        }
+    }
+
+    /// Pick the first word of a type that names a known struct.
+    fn struct_of<'a>(&self, ty_words: &'a [String]) -> Option<&'a str> {
+        ty_words
+            .iter()
+            .find(|w| self.structs.contains_key(w.as_str()))
+            .map(|w| w.as_str())
+    }
+
+    /// Field type lookup: `struct_name.field` → field type words.
+    fn field_ty(&self, struct_name: &str, field: &str) -> Option<&[String]> {
+        let &(fi, si) = self.structs.get(struct_name)?;
+        self.files[fi].parsed.structs[si]
+            .fields
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, ty)| ty.as_slice())
+    }
+
+    // -------------------------------------------------- fact extraction
+
+    fn extract_facts(&mut self) {
+        // Pass 1: everything except helper-call acquisitions.
+        let mut all: Vec<(FnId, FnFacts)> = Vec::new();
+        for fi in 0..self.files.len() {
+            for ki in 0..self.files[fi].parsed.fns.len() {
+                let id = (fi, ki);
+                if !self.analyzed(id) {
+                    continue;
+                }
+                all.push((id, self.extract_fn(id)));
+            }
+        }
+        let mut facts: HashMap<FnId, FnFacts> = all.into_iter().collect();
+
+        // Pass 2: guard-returning helpers (a fn whose return type names
+        // a guard and whose body takes exactly one lock).
+        let guard_words = ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+        let mut helper_locks: HashMap<FnId, String> = HashMap::new();
+        for (&id, f) in &facts {
+            let item = &self.files[id.0].parsed.fns[id.1];
+            if item.ret_words.iter().any(|w| guard_words.contains(&w.as_str())) {
+                let locks: BTreeSet<&String> = f.acquires.iter().map(|a| &a.lock).collect();
+                if locks.len() == 1 {
+                    helper_locks.insert(id, f.acquires[0].lock.clone());
+                }
+            }
+        }
+        for (&id, lock) in &helper_locks {
+            if let Some(f) = facts.get_mut(&id) {
+                f.returns_guard_of = Some(lock.clone());
+            }
+        }
+
+        // Pass 3: calls to guard-returning helpers become acquisitions
+        // at the call site, with the same binding/lifetime treatment as
+        // a direct `.lock()`.
+        let ids: Vec<FnId> = facts.keys().copied().collect();
+        for id in ids {
+            let mut extra: Vec<Acq> = Vec::new();
+            {
+                let f = &facts[&id];
+                for c in &f.calls {
+                    let mut locks: BTreeSet<String> = BTreeSet::new();
+                    for t in &c.targets {
+                        if let Some(l) = facts.get(t).and_then(|tf| tf.returns_guard_of.clone()) {
+                            locks.insert(l);
+                        }
+                    }
+                    if locks.len() == 1 {
+                        let lock = locks.into_iter().next().unwrap_or_default();
+                        let item = &self.files[id.0].parsed.fns[id.1];
+                        let toks = &self.files[id.0].parsed.toks;
+                        let call_end = call_end_index(toks, c.site, item.body.1);
+                        let (until, guard_name) =
+                            guard_span(toks, item.body, c.site, call_end, false);
+                        extra.push(Acq {
+                            lock,
+                            site: c.site,
+                            until,
+                            guard_name,
+                        });
+                    }
+                }
+            }
+            if !extra.is_empty() {
+                if let Some(f) = facts.get_mut(&id) {
+                    f.acquires.extend(extra);
+                    f.acquires.sort_by_key(|a| a.site);
+                }
+            }
+        }
+        self.facts = facts;
+    }
+
+    /// Extract acquisitions, blocking ops, and calls from one fn body.
+    fn extract_fn(&self, id: FnId) -> FnFacts {
+        let file = &self.files[id.0];
+        let item = &file.parsed.fns[id.1];
+        let toks = &file.parsed.toks;
+        let (body_start, body_end) = item.body;
+        let locals = local_types(self, toks, item);
+        let mut facts = FnFacts::default();
+
+        let mut i = body_start;
+        while i < body_end {
+            let Some(w) = toks[i].word() else {
+                i += 1;
+                continue;
+            };
+            let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+            let next_paren = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+
+            // Lock acquisition: `.lock()`, `.read()`, `.write()` with
+            // no arguments, on a receiver resolving to a lock field.
+            if prev_dot
+                && next_paren
+                && matches!(w, "lock" | "read" | "write")
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            {
+                let mut acquired = false;
+                if let Some(chain) = receiver_chain(toks, i) {
+                    if let Some((lock, kind)) = self.resolve_lock(item, &locals, &chain) {
+                        if kind != LockKind::Condvar {
+                            let (until, guard_name) =
+                                guard_span(toks, item.body, i, i + 3, false);
+                            facts.acquires.push(Acq {
+                                lock,
+                                site: i,
+                                until,
+                                guard_name,
+                            });
+                        }
+                        acquired = true;
+                    }
+                }
+                if acquired {
+                    i += 3;
+                    continue;
+                }
+                // Not a lock field: may be a method that *returns* a
+                // guard (`fn lock(&self) -> MutexGuard<…>`); fall
+                // through so the call site is recorded and pass 3 can
+                // turn it into an acquisition.
+            }
+
+            // Blocking operations.
+            if prev_dot && next_paren {
+                let kind = match w {
+                    "sync_all" | "sync_data" => Some(("fsync", None)),
+                    "recv" | "recv_timeout" => Some(("channel-recv", None)),
+                    "send" => Some(("channel-send", None)),
+                    "join" if toks.get(i + 2).is_some_and(|t| t.is_punct(')')) => {
+                        Some(("thread-join", None))
+                    }
+                    "wait" | "wait_timeout" | "wait_while" | "wait_timeout_while" => {
+                        // Condvar wait releases the guard it is passed.
+                        let chain = receiver_chain(toks, i);
+                        let is_condvar = chain
+                            .as_deref()
+                            .and_then(|c| self.resolve_lock(item, &locals, c))
+                            .is_some_and(|(_, k)| k == LockKind::Condvar);
+                        if is_condvar {
+                            let exempt = toks.get(i + 2).and_then(|t| t.word()).map(String::from);
+                            Some(("condvar-wait", exempt))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((kind, exempt_guard)) = kind {
+                    facts.blocks.push(BlockSite {
+                        kind,
+                        site: i,
+                        exempt_guard,
+                    });
+                    // `send`/`recv` are also method calls; fall through
+                    // to call extraction below is unnecessary (they are
+                    // stoplisted anyway).
+                    i += 1;
+                    continue;
+                }
+            }
+            if w == "sleep" && next_paren {
+                facts.blocks.push(BlockSite {
+                    kind: "sleep",
+                    site: i,
+                    exempt_guard: None,
+                });
+                i += 1;
+                continue;
+            }
+            if KERNEL_WORDS.contains(&w) && next_paren {
+                facts.blocks.push(BlockSite {
+                    kind: "kernel-dispatch",
+                    site: i,
+                    exempt_guard: None,
+                });
+                // Kernel methods are also dyn-dispatched calls: record
+                // them so L8 reaches the backend impls.
+            }
+
+            // Call sites.
+            if next_paren && !is_keyword(w) {
+                let is_macro = toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+                if !is_macro {
+                    let targets = self.resolve_call(item, &locals, toks, i);
+                    facts.calls.push(CallSite {
+                        name: w.to_string(),
+                        site: i,
+                        targets,
+                    });
+                }
+            }
+            i += 1;
+        }
+        facts
+    }
+
+    /// Resolve a receiver chain (outermost-first) to a lock field.
+    fn resolve_lock(
+        &self,
+        item: &FnItem,
+        locals: &HashMap<String, Vec<String>>,
+        chain: &[Elem],
+    ) -> Option<(String, LockKind)> {
+        let (last, init) = chain.split_last()?;
+        let Elem::Name(field) = last else { return None };
+        let owner = self.resolve_owner(item, locals, init)?;
+        let kind = *self.lock_fields.get(&owner)?.get(field)?;
+        Some((format!("{owner}.{field}"), kind))
+    }
+
+    /// Resolve the struct type a chain prefix lands on.
+    fn resolve_owner(
+        &self,
+        item: &FnItem,
+        locals: &HashMap<String, Vec<String>>,
+        init: &[Elem],
+    ) -> Option<String> {
+        let mut cur: Option<String> = None;
+        for (n, e) in init.iter().enumerate() {
+            match e {
+                Elem::Name(w) => {
+                    if n == 0 {
+                        cur = self.resolve_base(item, locals, w);
+                    } else {
+                        let owner = cur.as_deref()?;
+                        let ty = self.field_ty(owner, w)?;
+                        cur = self.struct_of(ty).map(String::from);
+                    }
+                }
+                Elem::Call(name) => {
+                    // A method call in the chain: resolve it and take
+                    // its return type.
+                    let mut targets = Vec::new();
+                    if let Some(owner) = cur.as_deref() {
+                        if let Some(v) = self.by_qual.get(&(owner.to_string(), name.clone())) {
+                            targets = v.clone();
+                        }
+                    }
+                    if targets.is_empty() && !STOPLIST.contains(&name.as_str()) {
+                        if let Some(v) = self.by_name.get(name) {
+                            if v.len() == 1 {
+                                targets = v.clone();
+                            }
+                        }
+                    }
+                    let t = targets.first()?;
+                    let ret = &self.files[t.0].parsed.fns[t.1].ret_words;
+                    cur = self.struct_of(ret).map(String::from);
+                }
+            }
+            cur.as_ref()?;
+        }
+        if init.is_empty() {
+            return None;
+        }
+        cur
+    }
+
+    /// Resolve the base word of a receiver chain to a struct name.
+    fn resolve_base(
+        &self,
+        item: &FnItem,
+        locals: &HashMap<String, Vec<String>>,
+        w: &str,
+    ) -> Option<String> {
+        if w == "self" {
+            return item.impl_type.clone();
+        }
+        if let Some(p) = item.params.iter().find(|p| p.name == w) {
+            if let Some(s) = self.struct_of(&p.ty_words) {
+                return Some(s.to_string());
+            }
+        }
+        if let Some(ty) = locals.get(w) {
+            if let Some(s) = self.struct_of(ty) {
+                return Some(s.to_string());
+            }
+        }
+        // A bare struct name used as a path base (`Registry::get(...)`)
+        // or a static — accept known struct names directly.
+        if self.structs.contains_key(w) {
+            return Some(w.to_string());
+        }
+        None
+    }
+
+    /// Resolve a call site to concrete fns.
+    fn resolve_call(
+        &self,
+        item: &FnItem,
+        locals: &HashMap<String, Vec<String>>,
+        toks: &[Tok],
+        site: usize,
+    ) -> Vec<FnId> {
+        let name = toks[site].word().unwrap_or_default().to_string();
+        let prev_dot = site > 0 && toks[site - 1].is_punct('.');
+        let prev_path = site > 1 && toks[site - 1].is_punct(':') && toks[site - 2].is_punct(':');
+
+        // Kernel trait methods: dynamic dispatch to every non-test impl
+        // (plus the trait default body, indexed under the trait name).
+        if self.backend_methods.contains(&name) {
+            let mut out = Vec::new();
+            for (key, ids) in &self.by_qual {
+                if key.1 == name {
+                    let is_backend_impl = self.files[ids[0].0]
+                        .parsed
+                        .fns
+                        .get(ids[0].1)
+                        .and_then(|f| f.trait_name.as_deref())
+                        == Some("PlfBackend")
+                        || key.0 == "PlfBackend";
+                    if is_backend_impl {
+                        out.extend(ids.iter().copied());
+                    }
+                }
+            }
+            out.sort_unstable();
+            return out;
+        }
+
+        if prev_dot {
+            // Method call: resolve the receiver type.
+            if let Some(chain) = receiver_chain_prefix(toks, site) {
+                if let Some(owner) = match chain.split_first() {
+                    Some((Elem::Name(base), [])) => self.resolve_base(item, locals, base),
+                    _ => self.resolve_owner(item, locals, &chain),
+                } {
+                    if let Some(v) = self.by_qual.get(&(owner, name.clone())) {
+                        return v.clone();
+                    }
+                }
+            }
+        } else if prev_path {
+            // `Type::method(...)` — the word before `::`.
+            if let Some(t) = toks.get(site.wrapping_sub(3)).and_then(|t| t.word()) {
+                if let Some(v) = self.by_qual.get(&(t.to_string(), name.clone())) {
+                    return v.clone();
+                }
+            }
+        }
+
+        // Fallback: workspace-unique bare name outside the stoplist.
+        if !STOPLIST.contains(&name.as_str()) {
+            if let Some(v) = self.by_name.get(&name) {
+                if v.len() == 1 {
+                    return v.clone();
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    // ------------------------------------------------------- fixpoint
+
+    /// Propagate `trans_locks` / `trans_blocks` through the call graph.
+    fn fixpoint(&mut self) {
+        for f in self.facts.values_mut() {
+            f.trans_locks = f.acquires.iter().map(|a| a.lock.clone()).collect();
+            f.trans_blocks = f.blocks.iter().map(|b| b.kind).collect();
+        }
+        for _ in 0..64 {
+            let mut changed = false;
+            let ids: Vec<FnId> = self.facts.keys().copied().collect();
+            for id in ids {
+                let mut locks = BTreeSet::new();
+                let mut blocks = BTreeSet::new();
+                for c in &self.facts[&id].calls {
+                    for t in &c.targets {
+                        if let Some(tf) = self.facts.get(t) {
+                            locks.extend(tf.trans_locks.iter().cloned());
+                            blocks.extend(tf.trans_blocks.iter().copied());
+                        }
+                    }
+                }
+                let f = self.facts.get_mut(&id).expect("id from keys");
+                let before = (f.trans_locks.len(), f.trans_blocks.len());
+                f.trans_locks.extend(locks);
+                f.trans_blocks.extend(blocks);
+                if (f.trans_locks.len(), f.trans_blocks.len()) != before {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------ lock graph
+
+    /// Build the workspace lock-order edge set with witnesses.
+    fn build_edges(&mut self) {
+        let mut edges: BTreeMap<(String, String), Witness> = BTreeMap::new();
+        let ids: Vec<FnId> = self.facts.keys().copied().collect();
+        for id in ids {
+            let file = &self.files[id.0];
+            let item = &file.parsed.fns[id.1];
+            let toks = &file.parsed.toks;
+            let f = &self.facts[&id];
+            for ev in event_order(f) {
+                let held = held_at(f, ev.0);
+                match ev.1 {
+                    EvKind::Acquire(a) => {
+                        for h in &held {
+                            if h.lock != f.acquires[a].lock {
+                                let tok = &toks[f.acquires[a].site];
+                                edges
+                                    .entry((h.lock.clone(), f.acquires[a].lock.clone()))
+                                    .or_insert_with(|| Witness {
+                                        path: file.rel.clone(),
+                                        line: tok.line,
+                                        col: tok.col,
+                                        in_fn: item.name.clone(),
+                                    });
+                            }
+                        }
+                    }
+                    EvKind::Call(c) => {
+                        let call = &f.calls[c];
+                        let mut callee_locks: BTreeSet<String> = BTreeSet::new();
+                        for t in &call.targets {
+                            if let Some(tf) = self.facts.get(t) {
+                                callee_locks.extend(tf.trans_locks.iter().cloned());
+                            }
+                        }
+                        for h in &held {
+                            for l in &callee_locks {
+                                if *l != h.lock {
+                                    let tok = &toks[call.site];
+                                    edges
+                                        .entry((h.lock.clone(), l.clone()))
+                                        .or_insert_with(|| Witness {
+                                            path: file.rel.clone(),
+                                            line: tok.line,
+                                            col: tok.col,
+                                            in_fn: item.name.clone(),
+                                        });
+                                }
+                            }
+                        }
+                    }
+                    EvKind::Block(_) => {}
+                }
+            }
+        }
+        self.edges = edges;
+    }
+}
+
+/// An event inside a fn body, ordered by token index.
+pub enum EvKind {
+    /// Acquisition `acquires[i]` starts.
+    Acquire(usize),
+    /// Call `calls[i]`.
+    Call(usize),
+    /// Blocking op `blocks[i]`.
+    Block(usize),
+}
+
+/// All events of a fn in token order.
+pub fn event_order(f: &FnFacts) -> Vec<(usize, EvKind)> {
+    let mut ev: Vec<(usize, EvKind)> = Vec::new();
+    for (i, a) in f.acquires.iter().enumerate() {
+        ev.push((a.site, EvKind::Acquire(i)));
+    }
+    for (i, c) in f.calls.iter().enumerate() {
+        ev.push((c.site, EvKind::Call(i)));
+    }
+    for (i, b) in f.blocks.iter().enumerate() {
+        ev.push((b.site, EvKind::Block(i)));
+    }
+    ev.sort_by_key(|(s, _)| *s);
+    ev
+}
+
+/// The acquisitions whose guard span covers token `at` (excluding an
+/// acquisition that starts exactly at `at`).
+pub fn held_at(f: &FnFacts, at: usize) -> Vec<&Acq> {
+    f.acquires
+        .iter()
+        .filter(|a| a.site < at && at < a.until)
+        .collect()
+}
+
+/// Receiver-chain element: a plain name or a method call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Elem {
+    /// Field or base identifier.
+    Name(String),
+    /// Method call in the chain (resolved via its return type).
+    Call(String),
+}
+
+/// Walk backwards from the method word at `site` (with `.` at
+/// `site-1`), collecting the receiver chain outermost-first. Returns
+/// `None` for receivers too complex to resolve.
+fn receiver_chain(toks: &[Tok], site: usize) -> Option<Vec<Elem>> {
+    receiver_chain_prefix(toks, site)
+}
+
+/// The chain before `.name` at `site`, outermost-first.
+fn receiver_chain_prefix(toks: &[Tok], site: usize) -> Option<Vec<Elem>> {
+    let mut rev: Vec<Elem> = Vec::new();
+    let mut k = site.checked_sub(1)?; // the '.'
+    loop {
+        if !toks.get(k).is_some_and(|t| t.is_punct('.')) {
+            break;
+        }
+        let mut j = k.checked_sub(1)?;
+        match &toks[j].kind {
+            crate::parse::TokKind::Word(w) => {
+                rev.push(Elem::Name(w.clone()));
+            }
+            crate::parse::TokKind::Punct(']') => {
+                // Indexing: skip to the matching '[' and take the word
+                // before it (indexing preserves the element type words).
+                let open = match_back(toks, j, '[', ']')?;
+                j = open.checked_sub(1)?;
+                let w = toks.get(j).and_then(|t| t.word())?;
+                rev.push(Elem::Name(w.to_string()));
+            }
+            crate::parse::TokKind::Punct(')') => {
+                // Method call in the chain.
+                let open = match_back(toks, j, '(', ')')?;
+                j = open.checked_sub(1)?;
+                let w = toks.get(j).and_then(|t| t.word())?;
+                rev.push(Elem::Call(w.to_string()));
+            }
+            _ => return None,
+        }
+        // Continue if another '.' precedes.
+        let Some(prev) = j.checked_sub(1) else { break };
+        if toks[prev].is_punct('.') {
+            k = prev;
+        } else {
+            break;
+        }
+    }
+    if rev.is_empty() {
+        return None;
+    }
+    rev.reverse();
+    Some(rev)
+}
+
+/// Find the opener matching the closer at `close_idx`, scanning back.
+fn match_back(toks: &[Tok], close_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut i = close_idx;
+    loop {
+        if toks[i].is_punct(close) {
+            depth += 1;
+        } else if toks[i].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i = i.checked_sub(1)?;
+    }
+}
+
+/// Index just past the closing paren of the call whose name is at
+/// `site` (the `(` is at `site+1`).
+fn call_end_index(toks: &[Tok], site: usize, body_end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = site + 1;
+    while i < body_end {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    body_end
+}
+
+/// Combinators that preserve the guard as the expression value.
+const GUARD_COMBINATORS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+/// Compute the guard lifetime for an acquisition at token `site` whose
+/// acquiring call ends at `call_end`:
+///
+/// * **let-bound** (statement starts with `let` and, after any
+///   guard-preserving combinator chain, ends the initializer): held to
+///   the end of the enclosing block, or to a `drop(name)` call;
+/// * **temporary** otherwise: held to the end of the current statement
+///   (the next `;` at the same brace depth — which correctly extends a
+///   `match`/`if let` scrutinee temporary over the arms).
+///
+/// Returns `(release token index, guard binding name)`.
+/// Start of the statement containing `from`, at exactly brace depth
+/// `td`: the token after the nearest `;` at that depth, or after the
+/// `{` opening the `td`-depth block.
+fn stmt_start_at(toks: &[Tok], body_start: usize, from: usize, td: i64) -> usize {
+    let mut d = 0i64;
+    for t in toks.iter().take(from).skip(body_start) {
+        match t.punct() {
+            Some('{') => d += 1,
+            Some('}') => d -= 1,
+            _ => {}
+        }
+    }
+    let mut start = from;
+    let mut i = from;
+    while i > body_start {
+        i -= 1;
+        match toks[i].punct() {
+            Some('}') => d += 1,
+            Some('{') => {
+                d -= 1;
+                if d < td {
+                    return i + 1;
+                }
+            }
+            Some(';') if d == td => return i + 1,
+            _ => {}
+        }
+        start = i;
+    }
+    start
+}
+
+/// Does the token run begin with `let`?
+fn starts_with_let(toks: &[Tok]) -> bool {
+    toks.first().is_some_and(|t| t.is_word("let"))
+}
+
+fn guard_span(
+    toks: &[Tok],
+    body: (usize, usize),
+    site: usize,
+    call_end: usize,
+    _is_helper: bool,
+) -> (usize, Option<String>) {
+    let (body_start, body_end) = body;
+    // Brace depth at each token of the body, relative to the body.
+    let depth_at = |idx: usize| -> i64 {
+        let mut d = 0i64;
+        for t in toks.iter().take(idx).skip(body_start) {
+            match t.punct() {
+                Some('{') => d += 1,
+                Some('}') => d -= 1,
+                _ => {}
+            }
+        }
+        d
+    };
+    let site_depth = depth_at(site);
+
+    // Statement start: walk back to the nearest `;`, `{`, or `}` at
+    // the site's depth.
+    let mut stmt_start = site;
+    {
+        let mut d = site_depth;
+        let mut i = site;
+        while i > body_start {
+            i -= 1;
+            match toks[i].punct() {
+                Some('}') => d += 1,
+                Some('{') => {
+                    d -= 1;
+                    if d < site_depth {
+                        stmt_start = i + 1;
+                        break;
+                    }
+                }
+                Some(';') if d == site_depth => {
+                    stmt_start = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+            stmt_start = i;
+        }
+    }
+
+    let is_let = toks[stmt_start..site]
+        .iter()
+        .take(4)
+        .any(|t| t.is_word("let"))
+        // A deref (`let n = *self.state.lock()…`) copies the value out;
+        // the guard itself is a temporary dropped at the `;`.
+        && !toks[stmt_start..site].iter().any(|t| t.is_punct('*'));
+    let let_bound = is_let && {
+        // After the call, only guard-preserving combinators may appear
+        // before the terminating `;`.
+        let mut i = call_end;
+        let mut ok = true;
+        loop {
+            match toks.get(i).map(|t| &t.kind) {
+                Some(crate::parse::TokKind::Punct(';')) => break,
+                Some(crate::parse::TokKind::Punct('.')) => {
+                    let w = toks.get(i + 1).and_then(|t| t.word()).unwrap_or("");
+                    if GUARD_COMBINATORS.contains(&w)
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                    {
+                        i = call_end_index(toks, i + 1, body_end);
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        ok
+    };
+
+    if let_bound {
+        let mut name = toks[stmt_start..site]
+            .iter()
+            .skip_while(|t| !t.is_word("let"))
+            .filter_map(|t| t.word())
+            .find(|w| *w != "let" && *w != "mut")
+            .map(String::from);
+        // End of the enclosing block: first token where depth drops
+        // below the statement's depth.
+        let mut end = body_end;
+        let mut d = site_depth;
+        let mut i = site;
+        while i < body_end {
+            match toks[i].punct() {
+                Some('{') => d += 1,
+                Some('}') => {
+                    d -= 1;
+                    if d < site_depth {
+                        end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // A guard moved out of its block as (part of) the tail
+        // expression — `let outer = match … { Some(k) => { let g =
+        // ….lock()…; Some(g) } … };` — lives on in the outer binding:
+        // extend the span to the outer binding's block and track the
+        // outer name. `match`/`if` bodies add one block level between
+        // the arm and the `let`, so the outer statement may sit one
+        // depth further up.
+        while end < body_end {
+            let Some(n) = name.clone() else { break };
+            let inner_d = depth_at(end);
+            if inner_d == 0 {
+                break;
+            }
+            // Tail expression of the block ending at `end`. A bare (or
+            // wrapped) mention moves the guard out; `*g` copies the
+            // value and `g.method()` consumes it — neither escapes.
+            let tail_start = stmt_start_at(toks, body_start, end, inner_d);
+            let escapes = toks[tail_start..end].iter().enumerate().any(|(k, t)| {
+                t.is_word(&n)
+                    && !toks[tail_start + k + 1..end]
+                        .first()
+                        .is_some_and(|t| t.is_punct('.'))
+                    && !(k > 0 && toks[tail_start + k - 1].is_punct('*'))
+            });
+            if !escapes {
+                break;
+            }
+            let mut target_d = inner_d - 1;
+            let mut os = stmt_start_at(toks, body_start, end, target_d);
+            if !starts_with_let(&toks[os..end]) {
+                // One level further up, across a `match`/`if` body.
+                if target_d == 0 {
+                    break;
+                }
+                let os2 = stmt_start_at(toks, body_start, end, target_d - 1);
+                let head: Vec<&Tok> = toks[os2..end]
+                    .iter()
+                    .take_while(|t| !t.is_punct('{'))
+                    .collect();
+                if starts_with_let(&toks[os2..end])
+                    && head.iter().any(|t| t.is_word("match") || t.is_word("if"))
+                {
+                    os = os2;
+                    target_d -= 1;
+                } else {
+                    break;
+                }
+            }
+            let outer_name = toks[os..end]
+                .iter()
+                .skip_while(|t| !t.is_word("let"))
+                .filter_map(|t| t.word())
+                .find(|w| *w != "let" && *w != "mut")
+                .map(String::from);
+            // Forward to the end of the block enclosing the outer
+            // statement. Depth right after the `}` at `end` is
+            // `inner_d - 1` (one more than `target_d` when a
+            // `match`/`if` body sits between).
+            let mut d = inner_d - 1;
+            let mut i = end + 1;
+            let mut new_end = body_end;
+            while i < body_end {
+                match toks[i].punct() {
+                    Some('{') => d += 1,
+                    Some('}') => {
+                        d -= 1;
+                        if d < target_d {
+                            new_end = i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            name = outer_name;
+            end = new_end;
+        }
+
+        // An explicit `drop(name)` releases earlier.
+        if let Some(n) = &name {
+            let mut i = call_end;
+            while i + 2 < end {
+                if toks[i].is_word("drop")
+                    && toks[i + 1].is_punct('(')
+                    && toks[i + 2].is_word(n)
+                {
+                    end = i;
+                    break;
+                }
+                i += 1;
+            }
+        }
+        (end, name)
+    } else {
+        // Temporary: to the statement's `;` at the site depth, or the
+        // end of the enclosing block if the depth closes first.
+        let mut d = site_depth;
+        let mut i = call_end;
+        while i < body_end {
+            match toks[i].punct() {
+                Some('{') => d += 1,
+                Some('}') => {
+                    d -= 1;
+                    if d < site_depth {
+                        return (i, None);
+                    }
+                }
+                Some(';') if d == site_depth => return (i, None),
+                _ => {}
+            }
+            i += 1;
+        }
+        (body_end, None)
+    }
+}
+
+/// Infer local-binding types inside a fn body: `let x: Ty = …` and
+/// `let x = Ty::…` / `let x = Ty { …`.
+fn local_types(
+    ws: &Workspace,
+    toks: &[Tok],
+    item: &FnItem,
+) -> HashMap<String, Vec<String>> {
+    let mut out = HashMap::new();
+    let (start, end) = item.body;
+    let mut i = start;
+    while i < end {
+        if toks[i].is_word("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_word("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).and_then(|t| t.word()).map(String::from) else {
+                i += 1;
+                continue;
+            };
+            j += 1;
+            if toks.get(j).is_some_and(|t| t.is_punct(':')) {
+                // Ascribed type: words up to `=` or `;`.
+                let mut ty = Vec::new();
+                let mut k = j + 1;
+                while k < end {
+                    if toks[k].is_punct('=') || toks[k].is_punct(';') {
+                        break;
+                    }
+                    if let Some(w) = toks[k].word() {
+                        ty.push(w.to_string());
+                    }
+                    k += 1;
+                }
+                out.insert(name, ty);
+            } else if toks.get(j).is_some_and(|t| t.is_punct('=')) {
+                // `= Ty::…` or `= Ty { …` with a known struct name.
+                if let Some(w) = toks.get(j + 1).and_then(|t| t.word()) {
+                    let next_is_path = toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                        || toks.get(j + 2).is_some_and(|t| t.is_punct('{'));
+                    if next_is_path && ws.structs.contains_key(w) {
+                        out.insert(name, vec![w.to_string()]);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Rust keywords and control-flow words never treated as call names.
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "if" | "else" | "while" | "match" | "for" | "loop" | "return" | "break" | "continue"
+            | "as" | "in" | "move" | "ref" | "mut" | "let" | "fn" | "where" | "impl" | "dyn"
+            | "unsafe" | "pub" | "use" | "mod" | "struct" | "enum" | "trait" | "const" | "static"
+            | "type" | "crate" | "super" | "self" | "Self" | "async" | "await" | "box" | "drop"
+            | "Some" | "None" | "Ok" | "Err" | "Box" | "Arc" | "Rc" | "Vec" | "String"
+            | "Mutex" | "RwLock" | "Condvar" | "Duration" | "Instant" | "Ordering" | "Option"
+            | "Result" | "HashMap" | "HashSet" | "BTreeMap" | "BTreeSet" | "VecDeque" | "Default"
+    )
+}
+
+/// Strongly connected components of the lock graph (Tarjan), returned
+/// as sorted node lists; only components with ≥ 2 nodes (a cycle) are
+/// returned.
+pub fn lock_cycles(edges: &BTreeMap<(String, String), Witness>) -> Vec<Vec<String>> {
+    let mut nodes: BTreeSet<&String> = BTreeSet::new();
+    for (a, b) in edges.keys() {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    let idx: HashMap<&String, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let names: Vec<&String> = nodes.iter().copied().collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (a, b) in edges.keys() {
+        adj[idx[a]].push(idx[b]);
+    }
+
+    // Iterative Tarjan.
+    let n = names.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<String>> = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new(); // (node, child position)
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&(v, ci)) = call.last() {
+            if index[v] == usize::MAX {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ci < adj[v].len() {
+                let w = adj[v][ci];
+                call.last_mut().expect("loop guard").1 += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(names[w].clone());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if comp.len() >= 2 {
+                        comp.sort();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    sccs.sort();
+    sccs
+}
+
+/// Render the lock graph as a deterministic Graphviz DOT document.
+pub fn lock_graph_dot(ws: &Workspace) -> String {
+    let cycles = lock_cycles(&ws.edges);
+    let in_cycle: HashSet<&String> = cycles.iter().flatten().collect();
+    let mut nodes: BTreeSet<&String> = BTreeSet::new();
+    for (a, b) in ws.edges.keys() {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    // Locks that never appear on an edge still exist; include them so
+    // the artifact is a complete inventory.
+    let mut all_locks: BTreeSet<String> = nodes.iter().map(|s| s.to_string()).collect();
+    for (st, fields) in &ws.lock_fields {
+        for (f, k) in fields {
+            if *k != LockKind::Condvar {
+                all_locks.insert(format!("{st}.{f}"));
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str("// plf-lint --lock-graph: workspace lock-order graph.\n");
+    out.push_str("// Edge A -> B: lock B acquired while A is held (first witness).\n");
+    out.push_str("digraph lock_order {\n");
+    out.push_str("  rankdir=LR;\n");
+    out.push_str("  node [shape=box, fontname=\"monospace\", fontsize=10];\n");
+    out.push_str("  edge [fontname=\"monospace\", fontsize=9];\n");
+    for l in &all_locks {
+        let kind = l
+            .split_once('.')
+            .and_then(|(s, f)| ws.lock_fields.get(s).and_then(|m| m.get(f)))
+            .copied();
+        let style = match kind {
+            Some(LockKind::RwLock) => ", style=rounded",
+            _ => "",
+        };
+        let color = if in_cycle.contains(l) {
+            ", color=red"
+        } else {
+            ""
+        };
+        out.push_str(&format!("  \"{l}\" [label=\"{l}\"{style}{color}];\n"));
+    }
+    for ((a, b), w) in &ws.edges {
+        let color = if in_cycle.contains(a) && in_cycle.contains(b) {
+            " color=red,"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  \"{a}\" -> \"{b}\" [{color} label=\"{}:{} ({})\"];\n",
+            w.path, w.line, w.in_fn
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let v: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        Workspace::build(&v)
+    }
+
+    const QUEUE: &str = "\
+pub struct Q { state: Mutex<u32>, ready: Condvar }
+pub struct J { inner: Mutex<u32> }
+impl Q {
+    pub fn both(&self, j: &J) {
+        let g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let h = j.inner.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+impl J {
+    pub fn reverse(&self, q: &Q) {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let h = q.state.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+";
+
+    #[test]
+    fn lock_edges_and_cycle_detection() {
+        let w = ws(&[("crates/x/src/a.rs", QUEUE)]);
+        assert!(w.edges.contains_key(&("Q.state".to_string(), "J.inner".to_string())));
+        assert!(w.edges.contains_key(&("J.inner".to_string(), "Q.state".to_string())));
+        let cycles = lock_cycles(&w.edges);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], ["J.inner", "Q.state"]);
+    }
+
+    #[test]
+    fn temporary_guard_does_not_create_edge() {
+        let src = "\
+pub struct Q { state: Mutex<u32> }
+pub struct J { inner: Mutex<u32> }
+impl Q {
+    pub fn seq(&self, j: &J) {
+        let n = *self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let m = *j.inner.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+";
+        let w = ws(&[("crates/x/src/a.rs", src)]);
+        assert!(w.edges.is_empty(), "edges: {:?}", w.edges.keys().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn helper_named_lock_counts_as_acquisition() {
+        // A guard-returning helper named `lock` must not be swallowed
+        // by the direct `.lock()` scanner when it isn't a lock field.
+        let src = "\
+pub struct Q { state: Mutex<u32>, file: File }
+impl Q {
+    fn lock(&self) -> MutexGuard<'_, Lanes> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+    pub fn push(&self) {
+        let mut lanes = self.lock();
+        self.file.sync_all();
+    }
+}
+";
+        let w = ws(&[("crates/x/src/a.rs", src)]);
+        let id = *w
+            .facts
+            .keys()
+            .find(|id| w.files[id.0].parsed.fns[id.1].name == "push")
+            .expect("push fn");
+        assert!(
+            w.facts[&id].acquires.iter().any(|a| a.lock == "Q.state"),
+            "push acquires: {:?}",
+            w.facts[&id].acquires
+        );
+    }
+
+    #[test]
+    fn guard_moved_out_of_match_arm_stays_held() {
+        let src = "\
+pub struct Q { state: Mutex<u32> }
+pub struct S { dedup: Mutex<u32>, q: Q }
+impl Q {
+    pub fn push(&self) {
+        let g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+impl S {
+    pub fn submit(&self, keyed: bool) {
+        let dedup_guard = match keyed {
+            true => {
+                let guard = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
+                Some(guard)
+            }
+            false => None,
+        };
+        self.q.push();
+    }
+}
+";
+        let w = ws(&[("crates/x/src/a.rs", src)]);
+        assert!(
+            w.edges.contains_key(&("S.dedup".to_string(), "Q.state".to_string())),
+            "edges: {:?}",
+            w.edges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn value_copied_out_of_block_releases_guard() {
+        let src = "\
+pub struct Q { state: Mutex<u32> }
+pub struct S { dedup: Mutex<u32>, q: Q }
+impl Q {
+    pub fn push(&self) {
+        let g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+impl S {
+    pub fn peek(&self) {
+        let n = {
+            let guard = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
+            *guard
+        };
+        self.q.push();
+    }
+}
+";
+        let w = ws(&[("crates/x/src/a.rs", src)]);
+        assert!(
+            w.edges.is_empty(),
+            "edges: {:?}",
+            w.edges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn drop_releases_guard_early() {
+        let src = "\
+pub struct Q { state: Mutex<u32> }
+pub struct J { inner: Mutex<u32> }
+impl Q {
+    pub fn seq(&self, j: &J) {
+        let g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        drop(g);
+        let h = j.inner.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+";
+        let w = ws(&[("crates/x/src/a.rs", src)]);
+        assert!(w.edges.is_empty());
+    }
+
+    #[test]
+    fn call_graph_propagates_lock_acquisition() {
+        let src = "\
+pub struct Q { state: Mutex<u32> }
+pub struct J { inner: Mutex<u32> }
+impl J {
+    pub fn tick(&self) {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+impl Q {
+    pub fn outer(&self, j: &J) {
+        let g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        j.tick();
+    }
+}
+";
+        let w = ws(&[("crates/x/src/a.rs", src)]);
+        assert!(
+            w.edges.contains_key(&("Q.state".to_string(), "J.inner".to_string())),
+            "edges: {:?}",
+            w.edges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn guard_returning_helper_counts_as_acquisition() {
+        let src = "\
+pub struct S { ledger: Mutex<u32> }
+pub struct J { inner: Mutex<u32> }
+impl S {
+    fn lock_ledger(&self) -> MutexGuard<'_, u32> {
+        self.ledger.lock().unwrap_or_else(|p| p.into_inner())
+    }
+    pub fn outer(&self, j: &J) {
+        let g = self.lock_ledger();
+        let h = j.inner.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+";
+        let w = ws(&[("crates/x/src/a.rs", src)]);
+        assert!(
+            w.edges.contains_key(&("S.ledger".to_string(), "J.inner".to_string())),
+            "edges: {:?}",
+            w.edges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dot_output_is_deterministic_and_marks_cycles() {
+        let w = ws(&[("crates/x/src/a.rs", QUEUE)]);
+        let dot = lock_graph_dot(&w);
+        assert!(dot.contains("digraph lock_order"));
+        assert!(dot.contains("\"Q.state\" -> \"J.inner\""));
+        assert!(dot.contains("color=red"));
+        assert_eq!(dot, lock_graph_dot(&ws(&[("crates/x/src/a.rs", QUEUE)])));
+    }
+}

@@ -5,29 +5,139 @@
 //! Store budget, data-race-free partitioning of the per-pattern loop.
 //! This crate makes them machine-checked: a dependency-free static
 //! analysis (the offline build has no `syn`; see [`scan`]) that walks
-//! every workspace crate and enforces the PLF rule set L1–L4 described
-//! in [`rules`] and DESIGN.md §10.
+//! every workspace crate and enforces the PLF rule set described in
+//! [`rules`] and DESIGN.md §10/§15:
+//!
+//! * **L1–L4** — lexical rules over one file at a time (SAFETY
+//!   comments, hot-path panics, magic numbers, atomic orderings);
+//! * **L5–L8** — structural rules over the whole workspace, built on a
+//!   small item-level parser ([`parse`]) and a call/lock graph
+//!   ([`graph`]): lock-order deadlock analysis, unsafe raw-pointer
+//!   dataflow, the kernel-parity matrix, and service-path error
+//!   hygiene by call-graph reachability.
 //!
 //! Run it with `cargo run -p plf-lint` (from anywhere inside the
 //! workspace); it exits non-zero iff any rule fires. `scripts/verify.sh`
-//! runs it on every verify, so a new magic `16384` or a SAFETY-less
-//! `unsafe` block fails the gate.
+//! runs it on every verify, so a new magic `16384`, a SAFETY-less
+//! `unsafe` block, or a lock-order inversion fails the gate.
+//! `--json` emits machine-readable diagnostics, `--lock-graph` the
+//! workspace lock graph as DOT, `--parity` the kernel-parity matrix.
 
 #![warn(missing_docs)]
 
+pub mod graph;
+pub mod lock_order;
+pub mod parity;
+pub mod parse;
+pub mod reach;
 pub mod rules;
 pub mod scan;
+pub mod unsafe_flow;
 
 pub use rules::{lint_scanned, Diagnostic, FileScope, Rule};
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
-/// Lint one source string as workspace-relative path `rel`.
+/// Lint one source string as workspace-relative path `rel` with the
+/// lexical rules (L1–L4) only.
 ///
 /// `scope` is usually [`FileScope::for_path`]`(rel)`; fixture tests use
-/// [`FileScope::all_rules`].
+/// [`FileScope::all_rules`]. The structural rules need the whole file
+/// set — use [`lint_files`] for those.
 pub fn lint_source(rel: &str, src: &str, scope: FileScope) -> Vec<Diagnostic> {
     lint_scanned(rel, &scan::scan(src), scope)
+}
+
+/// Lint a set of `(workspace-relative path, source)` files with every
+/// rule: the lexical pass per file plus the structural pass (L5–L8)
+/// over the set as one workspace.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (rel, src) in files {
+        diags.extend(lint_source(rel, src, FileScope::for_path(rel)));
+    }
+    let ws = graph::Workspace::build(files);
+    let mut structural = Vec::new();
+    structural.extend(lock_order::run(&ws));
+    structural.extend(unsafe_flow::run(&ws));
+    structural.extend(parity::run(&ws));
+    structural.extend(reach::run(&ws));
+
+    // L8 subsumes L2 where both apply: keep the L2 finding (narrower
+    // message, stable baseline) and drop the duplicate L8 one.
+    let l2_lines: HashSet<(&str, usize)> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::HotPathPanic)
+        .map(|d| (d.path.as_str(), d.line))
+        .collect();
+    structural.retain(|d| {
+        !(d.rule == Rule::ServiceReach && l2_lines.contains(&(d.path.as_str(), d.line)))
+    });
+
+    // Suppression for structural findings: line-level allow (as for
+    // L1–L4) plus fn-level allow on the enclosing fn declaration.
+    let file_idx: std::collections::HashMap<&str, usize> = ws
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel.as_str(), i))
+        .collect();
+    structural.retain(|d| {
+        let Some(&fi) = file_idx.get(d.path.as_str()) else {
+            return true;
+        };
+        let scanned = &ws.files[fi].scanned;
+        if d.line >= 1 && d.line <= scanned.comments.len() && rules::suppressed(scanned, d.line - 1, d.rule)
+        {
+            return false;
+        }
+        if let Some(f) = ws.enclosing_fn(fi, d.line) {
+            if f.line >= 1
+                && f.line <= scanned.comments.len()
+                && rules::suppressed(scanned, f.line - 1, d.rule)
+            {
+                return false;
+            }
+        }
+        true
+    });
+
+    diags.extend(structural);
+    diags.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule.id()).cmp(&(&b.path, b.line, b.col, b.rule.id()))
+    });
+    diags.dedup();
+    diags
+}
+
+/// Read every lintable file under `root` into memory.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for (rel, abs) in collect_workspace_files(root)? {
+        out.push((rel, std::fs::read_to_string(&abs)?));
+    }
+    Ok(out)
+}
+
+/// The workspace lock graph as a Graphviz DOT document.
+pub fn lock_graph_for(root: &Path) -> std::io::Result<String> {
+    let files = load_workspace(root)?;
+    let ws = graph::Workspace::build(&files);
+    Ok(graph::lock_graph_dot(&ws))
+}
+
+/// The kernel-parity matrix as aligned text.
+pub fn parity_report_for(root: &Path) -> std::io::Result<String> {
+    let files = load_workspace(root)?;
+    let ws = graph::Workspace::build(&files);
+    Ok(parity::render(&ws))
+}
+
+/// Render diagnostics as a JSON document (`{"diagnostics":[…]}`).
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
+    format!("{{\"diagnostics\":[{}]}}\n", items.join(","))
 }
 
 /// Locate the workspace root by walking up from `start` to the first
@@ -99,14 +209,10 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::R
     Ok(())
 }
 
-/// Lint the whole workspace rooted at `root`.
+/// Lint the whole workspace rooted at `root` with every rule (L1–L8).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
-    for (rel, abs) in collect_workspace_files(root)? {
-        let src = std::fs::read_to_string(&abs)?;
-        diags.extend(lint_source(&rel, &src, FileScope::for_path(&rel)));
-    }
-    Ok(diags)
+    let files = load_workspace(root)?;
+    Ok(lint_files(&files))
 }
 
 #[cfg(test)]

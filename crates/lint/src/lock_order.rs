@@ -1,0 +1,308 @@
+//! L5 — lock-order analysis over the workspace lock graph.
+//!
+//! Three findings:
+//!
+//! 1. **Order cycle**: the lock graph (edge `A → B` = "B acquired
+//!    while A held", direct or via the call graph) contains a strongly
+//!    connected component — two threads taking the locks in opposite
+//!    orders can deadlock.
+//! 2. **Re-entry**: a function calls, while holding lock `A`, a callee
+//!    that may acquire `A` again — self-deadlock on a non-reentrant
+//!    `std::sync::Mutex`.
+//! 3. **Held across blocking**: a lock is held across a blocking
+//!    operation (fsync, channel send/recv, thread join, sleep, condvar
+//!    wait on a *different* lock's guard, kernel dispatch) — direct or
+//!    via a callee that may block. This is a contention/liveness bug,
+//!    not necessarily a deadlock.
+//!
+//! A condvar `wait`/`wait_timeout` releases the guard it is passed, so
+//! only *other* held locks are flagged at a wait site.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{event_order, held_at, lock_cycles, EvKind, Workspace};
+use crate::rules::{Diagnostic, Rule};
+
+/// Run L5 over an analyzed workspace.
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Per-function event walks: re-entry and held-across-blocking.
+    let mut ids: Vec<_> = ws.facts.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let file = &ws.files[id.0];
+        let item = &file.parsed.fns[id.1];
+        let toks = &file.parsed.toks;
+        let f = &ws.facts[&id];
+        let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+        for (site, ev) in event_order(f) {
+            let held = held_at(f, site);
+            if held.is_empty() {
+                continue;
+            }
+            let tok = &toks[site];
+            match ev {
+                EvKind::Acquire(a) => {
+                    let acq = &f.acquires[a];
+                    for h in &held {
+                        if h.lock == acq.lock && seen.insert((tok.line, acq.lock.clone())) {
+                            out.push(diag(
+                                &file.rel,
+                                tok.line,
+                                tok.col,
+                                format!(
+                                    "`{}` re-acquired in `{}` while already held — \
+                                     self-deadlock on a non-reentrant lock",
+                                    acq.lock, item.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+                EvKind::Call(c) => {
+                    let call = &f.calls[c];
+                    let mut callee_locks: BTreeSet<String> = BTreeSet::new();
+                    let mut callee_blocks: BTreeSet<&'static str> = BTreeSet::new();
+                    for t in &call.targets {
+                        if let Some(tf) = ws.facts.get(t) {
+                            callee_locks.extend(tf.trans_locks.iter().cloned());
+                            callee_blocks.extend(tf.trans_blocks.iter().copied());
+                        }
+                    }
+                    for h in &held {
+                        if callee_locks.contains(&h.lock)
+                            && seen.insert((tok.line, h.lock.clone()))
+                        {
+                            out.push(diag(
+                                &file.rel,
+                                tok.line,
+                                tok.col,
+                                format!(
+                                    "`{}` held in `{}` across call to `{}`, which may \
+                                     re-acquire it — self-deadlock",
+                                    h.lock, item.name, call.name
+                                ),
+                            ));
+                        }
+                    }
+                    if !callee_blocks.is_empty() {
+                        let kinds: Vec<&str> = callee_blocks.iter().copied().collect();
+                        for h in &held {
+                            if callee_locks.contains(&h.lock) {
+                                continue; // already reported above
+                            }
+                            if seen.insert((tok.line, format!("{}@call", h.lock))) {
+                                out.push(diag(
+                                    &file.rel,
+                                    tok.line,
+                                    tok.col,
+                                    format!(
+                                        "`{}` held in `{}` across call to `{}`, which may \
+                                         block ({})",
+                                        h.lock,
+                                        item.name,
+                                        call.name,
+                                        kinds.join(", ")
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                EvKind::Block(b) => {
+                    let blk = &f.blocks[b];
+                    for h in &held {
+                        // A condvar wait releases the guard it consumes.
+                        if blk.kind == "condvar-wait"
+                            && blk.exempt_guard.is_some()
+                            && h.guard_name == blk.exempt_guard
+                        {
+                            continue;
+                        }
+                        if seen.insert((tok.line, format!("{}@{}", h.lock, blk.kind))) {
+                            out.push(diag(
+                                &file.rel,
+                                tok.line,
+                                tok.col,
+                                format!(
+                                    "`{}` held in `{}` across blocking {} — release the \
+                                     guard (or collect work and act after unlocking) first",
+                                    h.lock, item.name, blk.kind
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Workspace-level cycles.
+    for cycle in lock_cycles(&ws.edges) {
+        // Pick witnesses along the cycle for the message and anchor at
+        // the first edge's witness.
+        let mut parts = Vec::new();
+        let mut anchor = None;
+        for (i, a) in cycle.iter().enumerate() {
+            let b = &cycle[(i + 1) % cycle.len()];
+            if let Some(w) = ws
+                .edges
+                .get(&(a.clone(), b.clone()))
+                .or_else(|| ws.edges.iter().find(|((x, _), _)| x == a).map(|(_, w)| w))
+            {
+                parts.push(format!("{a} → {b} ({}:{} in {})", w.path, w.line, w.in_fn));
+                if anchor.is_none() {
+                    anchor = Some(w.clone());
+                }
+            } else {
+                parts.push(format!("{a} → {b}"));
+            }
+        }
+        let w = match anchor {
+            Some(w) => w,
+            None => continue,
+        };
+        out.push(diag(
+            &w.path,
+            w.line,
+            w.col,
+            format!(
+                "lock-order cycle (potential deadlock): {}",
+                parts.join("; ")
+            ),
+        ));
+    }
+
+    out
+}
+
+fn diag(path: &str, line: usize, col: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line,
+        col,
+        rule: Rule::LockOrder,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Workspace;
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::build(&[("crates/x/src/a.rs".to_string(), src.to_string())]);
+        run(&ws)
+    }
+
+    #[test]
+    fn flags_deadlock_cycle() {
+        let src = "\
+pub struct Q { state: Mutex<u32> }
+pub struct J { inner: Mutex<u32> }
+impl Q {
+    pub fn ab(&self, j: &J) {
+        let g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let h = j.inner.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+impl J {
+    pub fn ba(&self, q: &Q) {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let h = q.state.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+";
+        let diags = run_on(src);
+        assert!(
+            diags.iter().any(|d| d.message.contains("lock-order cycle")),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn flags_lock_held_across_fsync() {
+        let src = "\
+pub struct J { inner: Mutex<u32>, file: File }
+impl J {
+    pub fn append(&self) {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        self.file.sync_data();
+    }
+}
+";
+        let diags = run_on(src);
+        assert!(
+            diags.iter().any(|d| d.message.contains("blocking fsync")),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn condvar_wait_exempts_own_guard() {
+        let src = "\
+pub struct Q { state: Mutex<u32>, ready: Condvar }
+impl Q {
+    pub fn pop(&self) {
+        let mut lanes = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            let out = self.ready.wait_timeout(lanes, d);
+        }
+    }
+}
+";
+        let diags = run_on(src);
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn condvar_wait_flags_other_held_lock() {
+        let src = "\
+pub struct Q { state: Mutex<u32>, other: Mutex<u32>, ready: Condvar }
+impl Q {
+    pub fn pop(&self) {
+        let o = self.other.lock().unwrap_or_else(|p| p.into_inner());
+        let mut lanes = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let out = self.ready.wait_timeout(lanes, d);
+    }
+}
+";
+        let diags = run_on(src);
+        assert!(
+            diags.iter().any(|d| d.message.contains("Q.other") && d.message.contains("condvar-wait")),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn flags_blocking_via_callee() {
+        let src = "\
+pub struct J { inner: Mutex<u32>, file: File }
+pub struct Q { state: Mutex<u32> }
+impl J {
+    pub fn append(&self) {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        drop(g);
+        self.file.sync_data();
+    }
+}
+impl Q {
+    pub fn publish(&self, j: &J) {
+        let g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        j.append();
+    }
+}
+";
+        let diags = run_on(src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("Q.state")
+                    && d.message.contains("call to `append`")
+                    && d.message.contains("fsync")),
+            "diags: {diags:?}"
+        );
+    }
+}

@@ -1,16 +1,24 @@
 //! CLI for the PLF workspace invariant checker.
 //!
 //! ```text
-//! plf-lint                      # lint the enclosing workspace
+//! plf-lint                      # lint the enclosing workspace (L1–L8)
+//! plf-lint --json               # machine-readable diagnostics
+//! plf-lint --lock-graph        # workspace lock graph as Graphviz DOT
+//! plf-lint --parity            # kernel-parity matrix
 //! plf-lint --list-rules         # print the rule table
 //! plf-lint [--all-rules] FILE…  # lint specific files (fixtures force
-//!                               #   every rule with --all-rules)
+//!                               #   every lexical rule with --all-rules;
+//!                               #   structural rules run over the set)
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when any rule fires, 2 on usage or I/O
-//! errors.
+//! errors. `--lock-graph` and `--parity` always exit 0: they report,
+//! they don't gate.
 
-use plf_lint::{find_workspace_root, lint_source, lint_workspace, Diagnostic, FileScope, Rule};
+use plf_lint::{
+    diagnostics_json, find_workspace_root, graph, lint_files, lint_source, lint_workspace,
+    lock_graph_for, parity, parity_report_for, Diagnostic, FileScope, Rule,
+};
 use std::path::Path;
 
 fn main() {
@@ -19,10 +27,16 @@ fn main() {
 
 fn run(args: Vec<String>) -> i32 {
     let mut all_rules = false;
+    let mut json = false;
+    let mut lock_graph = false;
+    let mut parity_matrix = false;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         match a.as_str() {
             "--all-rules" => all_rules = true,
+            "--json" => json = true,
+            "--lock-graph" => lock_graph = true,
+            "--parity" => parity_matrix = true,
             "--list-rules" => {
                 for r in Rule::ALL {
                     println!("{}  {}", r.id(), r.name());
@@ -30,7 +44,10 @@ fn run(args: Vec<String>) -> i32 {
                 return 0;
             }
             "--help" | "-h" => {
-                eprintln!("usage: plf-lint [--list-rules] [--all-rules] [FILE...]");
+                eprintln!(
+                    "usage: plf-lint [--list-rules] [--all-rules] [--json] \
+                     [--lock-graph] [--parity] [FILE...]"
+                );
                 return 0;
             }
             flag if flag.starts_with('-') => {
@@ -41,16 +58,12 @@ fn run(args: Vec<String>) -> i32 {
         }
     }
 
+    if lock_graph || parity_matrix {
+        return run_report(&files, lock_graph);
+    }
+
     let diags: Vec<Diagnostic> = if files.is_empty() {
-        let cwd = match std::env::current_dir() {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("plf-lint: cannot determine current directory: {e}");
-                return 2;
-            }
-        };
-        let Some(root) = find_workspace_root(&cwd) else {
-            eprintln!("plf-lint: no workspace root found above {}", cwd.display());
+        let Some(root) = workspace_root() else {
             return 2;
         };
         match lint_workspace(&root) {
@@ -61,27 +74,34 @@ fn run(args: Vec<String>) -> i32 {
             }
         }
     } else {
+        let Some(read) = read_files(&files) else {
+            return 2;
+        };
         let mut out = Vec::new();
-        for f in &files {
-            let src = match std::fs::read_to_string(Path::new(f)) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("plf-lint: {f}: {e}");
-                    return 2;
-                }
-            };
-            let scope = if all_rules {
-                FileScope::all_rules()
-            } else {
-                FileScope::for_path(f)
-            };
-            out.extend(lint_source(f, &src, scope));
+        if all_rules {
+            // Fixture mode: force every lexical rule per file, then run
+            // the structural pass over the set as one workspace.
+            for (rel, src) in &read {
+                out.extend(lint_source(rel, src, FileScope::all_rules()));
+            }
+            let ws = graph::Workspace::build(&read);
+            out.extend(plf_lint::lock_order::run(&ws));
+            out.extend(plf_lint::unsafe_flow::run(&ws));
+            out.extend(parity::run(&ws));
+            out.extend(plf_lint::reach::run(&ws));
+            out.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+        } else {
+            out = lint_files(&read);
         }
         out
     };
 
-    for d in &diags {
-        println!("{d}");
+    if json {
+        print!("{}", diagnostics_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
     }
     if diags.is_empty() {
         eprintln!("plf-lint: clean");
@@ -90,4 +110,68 @@ fn run(args: Vec<String>) -> i32 {
         eprintln!("plf-lint: {} violation(s)", diags.len());
         1
     }
+}
+
+/// `--lock-graph` / `--parity` report mode.
+fn run_report(files: &[String], want_lock_graph: bool) -> i32 {
+    if files.is_empty() {
+        let Some(root) = workspace_root() else {
+            return 2;
+        };
+        let text = if want_lock_graph {
+            lock_graph_for(&root)
+        } else {
+            parity_report_for(&root)
+        };
+        match text {
+            Ok(t) => {
+                print!("{t}");
+                0
+            }
+            Err(e) => {
+                eprintln!("plf-lint: {e}");
+                2
+            }
+        }
+    } else {
+        let Some(read) = read_files(files) else {
+            return 2;
+        };
+        let ws = graph::Workspace::build(&read);
+        if want_lock_graph {
+            print!("{}", graph::lock_graph_dot(&ws));
+        } else {
+            print!("{}", parity::render(&ws));
+        }
+        0
+    }
+}
+
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("plf-lint: cannot determine current directory: {e}");
+            return None;
+        }
+    };
+    let root = find_workspace_root(&cwd);
+    if root.is_none() {
+        eprintln!("plf-lint: no workspace root found above {}", cwd.display());
+    }
+    root
+}
+
+fn read_files(files: &[String]) -> Option<Vec<(String, String)>> {
+    let mut read = Vec::new();
+    for f in files {
+        match std::fs::read_to_string(Path::new(f)) {
+            Ok(s) => read.push((f.clone(), s)),
+            Err(e) => {
+                eprintln!("plf-lint: {f}: {e}");
+                return None;
+            }
+        }
+    }
+    Some(read)
 }

@@ -1,0 +1,336 @@
+//! L7 — kernel-parity matrix.
+//!
+//! The kernel trait (`PlfBackend`) defines the PLF surface: the three
+//! per-op kernels (`cond_like_down` / `cond_like_root` /
+//! `cond_like_scaler`) plus their `_fused` batch variants. Every
+//! backend must be verifiable against that surface:
+//!
+//! 1. **Partial fused override**: a backend overriding *some but not
+//!    all* of the fused surface mixes custom and default batch paths —
+//!    exactly the split-brain that bit-parity testing exists to catch.
+//! 2. **Parity-coverage hole**: a backend type that never appears in
+//!    the bit-parity suite (`tests/fused.rs`) or in the backend
+//!    registry it iterates (`all_backends`) ships kernels no test
+//!    compares against the scalar reference.
+//!
+//! `#[cfg(test)]` impls (fault-injection doubles) are exempt. When the
+//! workspace under analysis has no `PlfBackend` trait (e.g. a fixture
+//! set), the rule is silent.
+
+use std::collections::BTreeSet;
+
+use crate::graph::Workspace;
+use crate::rules::{Diagnostic, Rule};
+
+/// The parity test suite path (workspace-relative).
+const PARITY_TEST: &str = "tests/fused.rs";
+/// The backend registry fn whose body enumerates live backends.
+const REGISTRY_FN: &str = "all_backends";
+
+/// One backend's row in the parity matrix.
+#[derive(Debug)]
+pub struct BackendRow {
+    /// Backend type name.
+    pub name: String,
+    /// File and line of the `impl PlfBackend for …`.
+    pub path: String,
+    /// 1-based line of the impl.
+    pub line: usize,
+    /// Kernel methods the impl overrides.
+    pub overridden: BTreeSet<String>,
+    /// Mentioned in the parity suite or the backend registry.
+    pub covered: bool,
+}
+
+/// The full parity matrix: kernel surface × backends.
+#[derive(Debug)]
+pub struct Matrix {
+    /// Kernel surface methods (`cond_like_*`), in trait order.
+    pub surface: Vec<String>,
+    /// The `_fused` subset of the surface.
+    pub fused: Vec<String>,
+    /// One row per non-test backend impl.
+    pub rows: Vec<BackendRow>,
+}
+
+/// Build the parity matrix from an analyzed workspace. `None` when no
+/// `PlfBackend` trait is in scope.
+pub fn matrix(ws: &Workspace) -> Option<Matrix> {
+    // The trait surface, in declaration order.
+    let trait_item = ws
+        .files
+        .iter()
+        .flat_map(|f| &f.parsed.traits)
+        .find(|t| t.name == "PlfBackend" && !t.is_test)?;
+    let surface: Vec<String> = trait_item
+        .methods
+        .iter()
+        .filter(|m| m.name.starts_with("cond_like"))
+        .map(|m| m.name.clone())
+        .collect();
+    let fused: Vec<String> = surface
+        .iter()
+        .filter(|m| m.ends_with("_fused"))
+        .cloned()
+        .collect();
+
+    // Words that count as parity coverage: the parity suite itself plus
+    // the registry fn body it iterates.
+    let mut covered_words: BTreeSet<String> = BTreeSet::new();
+    for file in &ws.files {
+        if file.rel == PARITY_TEST || file.rel.ends_with(&format!("/{PARITY_TEST}")) {
+            for t in &file.parsed.toks {
+                if let Some(w) = t.word() {
+                    covered_words.insert(w.to_string());
+                }
+            }
+        }
+        for f in &file.parsed.fns {
+            if f.name == REGISTRY_FN && !f.is_test {
+                for t in &file.parsed.toks[f.body.0..f.body.1] {
+                    if let Some(w) = t.word() {
+                        covered_words.insert(w.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for file in &ws.files {
+        for imp in &file.parsed.impls {
+            if imp.trait_name.as_deref() != Some("PlfBackend") || imp.is_test {
+                continue;
+            }
+            let overridden: BTreeSet<String> = file
+                .parsed
+                .fns
+                .iter()
+                .filter(|f| {
+                    f.impl_type.as_deref() == Some(imp.type_name.as_str())
+                        && f.trait_name.as_deref() == Some("PlfBackend")
+                        && surface.contains(&f.name)
+                })
+                .map(|f| f.name.clone())
+                .collect();
+            rows.push(BackendRow {
+                name: imp.type_name.clone(),
+                path: file.rel.clone(),
+                line: imp.line,
+                overridden,
+                covered: covered_words.contains(&imp.type_name),
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    Some(Matrix {
+        surface,
+        fused,
+        rows,
+    })
+}
+
+/// Run L7 over an analyzed workspace.
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(m) = matrix(ws) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in &m.rows {
+        let fused_over: Vec<&String> =
+            m.fused.iter().filter(|f| row.overridden.contains(*f)).collect();
+        if !fused_over.is_empty() && fused_over.len() < m.fused.len() {
+            let missing: Vec<&str> = m
+                .fused
+                .iter()
+                .filter(|f| !row.overridden.contains(*f))
+                .map(|s| s.as_str())
+                .collect();
+            out.push(Diagnostic {
+                path: row.path.clone(),
+                line: row.line,
+                col: 1,
+                rule: Rule::KernelParity,
+                message: format!(
+                    "backend `{}` overrides part of the fused surface but falls back to \
+                     the default for {} — cover the whole fused surface or none of it",
+                    row.name,
+                    missing.join(", ")
+                ),
+            });
+        }
+        if !row.covered {
+            out.push(Diagnostic {
+                path: row.path.clone(),
+                line: row.line,
+                col: 1,
+                rule: Rule::KernelParity,
+                message: format!(
+                    "backend `{}` has no bit-parity coverage: it appears neither in \
+                     `{PARITY_TEST}` nor in the `{REGISTRY_FN}` registry the parity \
+                     suite iterates",
+                    row.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Render the parity matrix as aligned text (for `--parity`).
+pub fn render(ws: &Workspace) -> String {
+    let Some(m) = matrix(ws) else {
+        return "no PlfBackend trait in scope\n".to_string();
+    };
+    let mut out = String::new();
+    let name_w = m
+        .rows
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(7)
+        .max("backend".len());
+    out.push_str(&format!("{:name_w$}  ", "backend"));
+    for s in &m.surface {
+        let short = s.trim_start_matches("cond_like_");
+        out.push_str(&format!("{short:>12}"));
+    }
+    out.push_str("  parity\n");
+    for row in &m.rows {
+        out.push_str(&format!("{:name_w$}  ", row.name));
+        for s in &m.surface {
+            let cell = if row.overridden.contains(s) {
+                "override"
+            } else {
+                "default"
+            };
+            out.push_str(&format!("{cell:>12}"));
+        }
+        out.push_str(if row.covered { "  covered\n" } else { "  HOLE\n" });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Workspace;
+
+    const TRAIT_SRC: &str = "\
+pub trait PlfBackend {
+    fn cond_like_down(&mut self) -> Result<(), PlfError>;
+    fn cond_like_root(&mut self) -> Result<(), PlfError>;
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError>;
+    fn cond_like_down_fused(&mut self) -> Result<(), PlfError> { self.cond_like_down() }
+    fn cond_like_root_fused(&mut self) -> Result<(), PlfError> { self.cond_like_root() }
+}
+";
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let v: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        run(&Workspace::build(&v))
+    }
+
+    #[test]
+    fn flags_uncovered_backend_and_partial_fused() {
+        let impls = "\
+pub struct Covered;
+pub struct Orphan;
+impl PlfBackend for Covered {
+    fn cond_like_down(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_root(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError> { Ok(()) }
+}
+impl PlfBackend for Orphan {
+    fn cond_like_down(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_root(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_down_fused(&mut self) -> Result<(), PlfError> { Ok(()) }
+}
+";
+        let parity = "fn parity() { let b = Covered; }\n";
+        let diags = run_on(&[
+            ("crates/x/src/kernels.rs", TRAIT_SRC),
+            ("crates/x/src/impls.rs", impls),
+            ("tests/fused.rs", parity),
+        ]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("`Orphan`") && d.message.contains("no bit-parity")),
+            "diags: {diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("`Orphan`") && d.message.contains("fused surface")),
+            "diags: {diags:?}"
+        );
+        assert!(
+            !diags.iter().any(|d| d.message.contains("`Covered`")),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn registry_mention_counts_as_coverage() {
+        let impls = "\
+pub struct ViaRegistry;
+impl PlfBackend for ViaRegistry {
+    fn cond_like_down(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_root(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError> { Ok(()) }
+}
+pub fn all_backends() -> Vec<Box<dyn PlfBackend>> {
+    vec![Box::new(ViaRegistry)]
+}
+";
+        let diags = run_on(&[
+            ("crates/x/src/kernels.rs", TRAIT_SRC),
+            ("crates/x/src/impls.rs", impls),
+        ]);
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn cfg_test_impls_are_exempt() {
+        let impls = "\
+#[cfg(test)]
+mod tests {
+    struct Flaky;
+    impl PlfBackend for Flaky {
+        fn cond_like_down(&mut self) -> Result<(), PlfError> { Ok(()) }
+        fn cond_like_root(&mut self) -> Result<(), PlfError> { Ok(()) }
+        fn cond_like_scaler(&mut self) -> Result<(), PlfError> { Ok(()) }
+    }
+}
+";
+        let diags = run_on(&[
+            ("crates/x/src/kernels.rs", TRAIT_SRC),
+            ("crates/x/src/impls.rs", impls),
+        ]);
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn renders_matrix() {
+        let impls = "\
+pub struct Covered;
+impl PlfBackend for Covered {
+    fn cond_like_down(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_root(&mut self) -> Result<(), PlfError> { Ok(()) }
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError> { Ok(()) }
+}
+";
+        let v: Vec<(String, String)> = vec![
+            ("crates/x/src/kernels.rs".to_string(), TRAIT_SRC.to_string()),
+            ("crates/x/src/impls.rs".to_string(), impls.to_string()),
+        ];
+        let text = render(&Workspace::build(&v));
+        assert!(text.contains("Covered"), "{text}");
+        assert!(text.contains("HOLE"), "{text}");
+    }
+}

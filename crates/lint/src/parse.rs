@@ -1,0 +1,873 @@
+//! A minimal item-level Rust parser on top of [`crate::scan`].
+//!
+//! The build environment is fully offline (no `syn`), so the
+//! structural rules (L5–L8) carry their own parser. It is **not** a
+//! grammar-complete Rust parser — it recognizes exactly the shapes the
+//! rules need and skips everything else:
+//!
+//! * token stream: identifier/number words and single-char punctuation
+//!   with 1-based `(line, col)` positions, taken from the *cleaned*
+//!   code (comments and literal bodies already blanked by the scanner);
+//! * items: `fn` (name, params with type words, return-type words, body
+//!   token span), `struct` (named + tuple fields with type words),
+//!   `trait` (method names, default-or-required), `impl` blocks
+//!   (self type, optional trait), nested `mod`s;
+//! * context: functions know their enclosing `impl` type / trait, and
+//!   whether they are test code (`#[cfg(test)]` span or `#[test]`).
+//!
+//! Known, documented limits (see DESIGN.md §15): no expression
+//! grammar (rules walk body tokens directly), no generics resolution
+//! (type *words* only), no macro expansion, and paths are reduced to
+//! their final segment.
+
+use crate::scan::Scanned;
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier, keyword, or number run (`[A-Za-z0-9_]+`).
+    Word(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind and text.
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (char offset on the cleaned line).
+    pub col: usize,
+}
+
+impl Tok {
+    /// The word text, if this is a word token.
+    pub fn word(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Word(w) => Some(w.as_str()),
+            TokKind::Punct(_) => None,
+        }
+    }
+
+    /// Is this exactly the word `w`?
+    pub fn is_word(&self, w: &str) -> bool {
+        self.word() == Some(w)
+    }
+
+    /// The punctuation char, if this is a punct token.
+    pub fn punct(&self) -> Option<char> {
+        match self.kind {
+            TokKind::Punct(c) => Some(c),
+            TokKind::Word(_) => None,
+        }
+    }
+
+    /// Is this exactly the punct `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.punct() == Some(c)
+    }
+}
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`self` for receivers; destructuring patterns keep
+    /// the first bound word).
+    pub name: String,
+    /// The words of the declared type, in order.
+    pub ty_words: Vec<String>,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` self type (or trait name for trait-default
+    /// bodies), when any.
+    pub impl_type: Option<String>,
+    /// Trait being implemented, when inside `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// Declared `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// Test code: inside a `#[cfg(test)]` span or carrying `#[test]`.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token-index range of the body `{ … }` (inclusive of both
+    /// braces); `start == end` means no body (trait signature).
+    pub body: (usize, usize),
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// The words of the return type (empty for `()`).
+    pub ret_words: Vec<String>,
+}
+
+/// One parsed `struct` item.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Fields as `(name, type words)`; tuple fields are named `"0"`,
+    /// `"1"`, ….
+    pub fields: Vec<(String, Vec<String>)>,
+    /// Declared inside a `#[cfg(test)]` span.
+    pub is_test: bool,
+}
+
+/// One method signature inside a `trait` block.
+#[derive(Debug, Clone)]
+pub struct TraitMethod {
+    /// Method name.
+    pub name: String,
+    /// Has a default body (`{ … }` instead of `;`).
+    pub has_default: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// One parsed `trait` item.
+#[derive(Debug, Clone)]
+pub struct TraitItem {
+    /// Trait name.
+    pub name: String,
+    /// 1-based line of the `trait` keyword.
+    pub line: usize,
+    /// Method signatures in declaration order.
+    pub methods: Vec<TraitMethod>,
+    /// Declared inside a `#[cfg(test)]` span.
+    pub is_test: bool,
+}
+
+/// One parsed `impl` block.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// The self type (final path segment).
+    pub type_name: String,
+    /// The implemented trait (final path segment), when a trait impl.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// Declared inside a `#[cfg(test)]` span.
+    pub is_test: bool,
+}
+
+/// A fully parsed file: token stream plus item tables.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// The full token stream (body spans index into this).
+    pub toks: Vec<Tok>,
+    /// Every `fn` with a body (incl. trait defaults and nested fns).
+    pub fns: Vec<FnItem>,
+    /// Every `struct`.
+    pub structs: Vec<StructItem>,
+    /// Every `trait`.
+    pub traits: Vec<TraitItem>,
+    /// Every `impl` block.
+    pub impls: Vec<ImplItem>,
+}
+
+/// Tokenize cleaned code lines into words and puncts.
+pub fn tokenize(s: &Scanned) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (li, line) in s.code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Word(chars[start..i].iter().collect()),
+                    line: li + 1,
+                    col: start + 1,
+                });
+            } else {
+                out.push(Tok {
+                    kind: TokKind::Punct(c),
+                    line: li + 1,
+                    col: i + 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Parser state over a token slice.
+struct P<'a> {
+    t: &'a [Tok],
+    s: &'a Scanned,
+    out: ParsedFile,
+}
+
+/// Item-parsing context (what encloses us).
+#[derive(Clone, Default)]
+struct Ctx {
+    impl_type: Option<String>,
+    trait_name: Option<String>,
+    in_trait: Option<usize>, // index into out.traits
+}
+
+/// Parse a scanned file into its item tables.
+pub fn parse(s: &Scanned) -> ParsedFile {
+    let toks = tokenize(s);
+    let mut out = ParsedFile {
+        toks: Vec::new(),
+        fns: Vec::new(),
+        structs: Vec::new(),
+        traits: Vec::new(),
+        impls: Vec::new(),
+    };
+    {
+        let mut p = P { t: &toks, s, out: ParsedFile { toks: Vec::new(), fns: Vec::new(), structs: Vec::new(), traits: Vec::new(), impls: Vec::new() } };
+        p.items(0, toks.len(), &Ctx::default());
+        out.fns = std::mem::take(&mut p.out.fns);
+        out.structs = std::mem::take(&mut p.out.structs);
+        out.traits = std::mem::take(&mut p.out.traits);
+        out.impls = std::mem::take(&mut p.out.impls);
+    }
+    out.toks = toks;
+    out
+}
+
+impl<'a> P<'a> {
+    fn line_is_test(&self, line: usize) -> bool {
+        self.s.is_test.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Skip a `(`/`[`/`{`-balanced group starting at `i` (which must
+    /// point at the opener); returns the index just past the closer.
+    fn skip_group(&self, mut i: usize, end: usize) -> usize {
+        let open = match self.t[i].punct() {
+            Some(c @ ('(' | '[' | '{')) => c,
+            _ => return i + 1,
+        };
+        let close = match open {
+            '(' => ')',
+            '[' => ']',
+            _ => '}',
+        };
+        let mut depth = 0i64;
+        while i < end {
+            if self.t[i].is_punct(open) {
+                depth += 1;
+            } else if self.t[i].is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skip a generic-argument group `<…>` starting at `i` (pointing at
+    /// `<`); `->` arrows inside do not close the group.
+    fn skip_angles(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0i64;
+        while i < end {
+            if self.t[i].is_punct('<') {
+                depth += 1;
+            } else if self.t[i].is_punct('>') {
+                let arrow = i > 0 && self.t[i - 1].is_punct('-');
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skip to just past the next top-level `;`, or past a brace block
+    /// if one opens first (covers `const X: T = …;`, `static`, `use`,
+    /// `type`, and expression-bodied oddities).
+    fn skip_to_semi_or_block(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            if self.t[i].is_punct(';') {
+                return i + 1;
+            }
+            if self.t[i].is_punct('{') {
+                return self.skip_group(i, end);
+            }
+            if matches!(self.t[i].punct(), Some('(' | '[')) {
+                i = self.skip_group(i, end);
+                continue;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Parse the items in `t[i..end]` under `ctx`.
+    fn items(&mut self, mut i: usize, end: usize, ctx: &Ctx) {
+        let mut is_pub = false;
+        let mut has_test_attr = false;
+        while i < end {
+            let tok = &self.t[i];
+            match tok.word() {
+                Some("pub") => {
+                    is_pub = true;
+                    i += 1;
+                    if i < end && self.t[i].is_punct('(') {
+                        i = self.skip_group(i, end);
+                    }
+                    continue; // keep modifier flags
+                }
+                Some("unsafe" | "async" | "default") => {
+                    i += 1;
+                    continue;
+                }
+                Some("extern") => {
+                    i += 1; // an `extern "C"` ABI string is blanked already
+                    continue;
+                }
+                Some("const" | "static") => {
+                    // `const fn` is a modifier; `const NAME: … = …;` is
+                    // an item to skip.
+                    if self.t.get(i + 1).and_then(|t| t.word()).is_some_and(|w| {
+                        matches!(w, "fn" | "unsafe" | "async" | "extern")
+                    }) {
+                        i += 1;
+                        continue;
+                    }
+                    i = self.skip_to_semi_or_block(i + 1, end);
+                }
+                Some("fn") => {
+                    i = self.parse_fn(i, end, ctx, is_pub, has_test_attr);
+                }
+                Some("impl") => {
+                    i = self.parse_impl(i, end);
+                }
+                Some("trait") => {
+                    i = self.parse_trait(i, end);
+                }
+                Some("struct") => {
+                    i = self.parse_struct(i, end);
+                }
+                Some("enum" | "union") => {
+                    i = self.skip_to_semi_or_block(i + 1, end);
+                }
+                Some("mod") => {
+                    // `mod name;` or `mod name { items }` — recurse
+                    // into inline modules with the same context.
+                    i += 1;
+                    if i < end && self.t[i].word().is_some() {
+                        i += 1;
+                    }
+                    if i < end && self.t[i].is_punct('{') {
+                        let body_end = self.skip_group(i, end);
+                        self.items(i + 1, body_end.saturating_sub(1), ctx);
+                        i = body_end;
+                    } else if i < end && self.t[i].is_punct(';') {
+                        i += 1;
+                    }
+                }
+                Some("use" | "type") => {
+                    i = self.skip_to_semi_or_block(i + 1, end);
+                }
+                Some("macro_rules") => {
+                    i = self.skip_to_semi_or_block(i + 1, end);
+                }
+                _ => {
+                    if tok.is_punct('#') {
+                        // Attribute: `#[…]` / `#![…]`.
+                        let mut j = i + 1;
+                        if j < end && self.t[j].is_punct('!') {
+                            j += 1;
+                        }
+                        if j < end && self.t[j].is_punct('[') {
+                            let attr_end = self.skip_group(j, end);
+                            // A bare `#[test]` marks the next fn.
+                            if attr_end == j + 3 && self.t[j + 1].is_word("test") {
+                                has_test_attr = true;
+                            }
+                            i = attr_end;
+                            continue; // keep modifier flags
+                        }
+                        i += 1;
+                    } else if tok.is_punct('{') {
+                        i = self.skip_group(i, end);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            is_pub = false;
+            has_test_attr = false;
+        }
+    }
+
+    /// Parse `fn` at token `i`; returns the index past the item.
+    fn parse_fn(&mut self, i: usize, end: usize, ctx: &Ctx, is_pub: bool, test_attr: bool) -> usize {
+        let line = self.t[i].line;
+        let mut j = i + 1;
+        let name = match self.t.get(j).and_then(|t| t.word()) {
+            Some(w) => w.to_string(),
+            None => return i + 1,
+        };
+        j += 1;
+        if j < end && self.t[j].is_punct('<') {
+            j = self.skip_angles(j, end);
+        }
+        if j >= end || !self.t[j].is_punct('(') {
+            return j;
+        }
+        let params_end = self.skip_group(j, end);
+        let (params, has_self) = self.parse_params(j + 1, params_end.saturating_sub(1));
+        j = params_end;
+        // Return type: `-> words…` up to `{`, `;`, or `where`.
+        let mut ret_words = Vec::new();
+        if j + 1 < end && self.t[j].is_punct('-') && self.t[j + 1].is_punct('>') {
+            j += 2;
+            while j < end {
+                let t = &self.t[j];
+                if t.is_punct('{') || t.is_punct(';') || t.is_word("where") {
+                    break;
+                }
+                if let Some(w) = t.word() {
+                    ret_words.push(w.to_string());
+                }
+                j += 1;
+            }
+        }
+        // Where clause: scan forward to the body `{` or a `;`.
+        while j < end && !self.t[j].is_punct('{') && !self.t[j].is_punct(';') {
+            if matches!(self.t[j].punct(), Some('(' | '[')) {
+                j = self.skip_group(j, end);
+            } else {
+                j += 1;
+            }
+        }
+        let in_trait = ctx.in_trait;
+        if j < end && self.t[j].is_punct(';') {
+            // Required trait method (or extern decl): signature only.
+            if let Some(ti) = in_trait {
+                self.out.traits[ti].methods.push(TraitMethod {
+                    name,
+                    has_default: false,
+                    line,
+                });
+            }
+            return j + 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let body_end = self.skip_group(j, end);
+        if let Some(ti) = in_trait {
+            self.out.traits[ti].methods.push(TraitMethod {
+                name: name.clone(),
+                has_default: true,
+                line,
+            });
+        }
+        self.out.fns.push(FnItem {
+            name,
+            impl_type: ctx.impl_type.clone(),
+            trait_name: ctx.trait_name.clone(),
+            is_pub,
+            is_test: test_attr || self.line_is_test(line),
+            line,
+            body: (j, body_end),
+            params,
+            has_self,
+            ret_words,
+        });
+        body_end
+    }
+
+    /// Parse the parameter list tokens in `t[i..end]` (exclusive of the
+    /// parens).
+    fn parse_params(&self, i: usize, end: usize) -> (Vec<Param>, bool) {
+        let mut params = Vec::new();
+        let mut has_self = false;
+        let mut start = i;
+        let mut j = i;
+        let flush = |lo: usize, hi: usize, params: &mut Vec<Param>, has_self: &mut bool| {
+            if lo >= hi {
+                return;
+            }
+            let toks = &self.t[lo..hi];
+            let colon = toks.iter().position(|t| t.is_punct(':'));
+            let name_toks = &toks[..colon.unwrap_or(toks.len())];
+            if name_toks.iter().any(|t| t.is_word("self")) && colon.is_none() {
+                *has_self = true;
+                params.push(Param {
+                    name: "self".to_string(),
+                    ty_words: Vec::new(),
+                });
+                return;
+            }
+            let name = name_toks
+                .iter()
+                .filter_map(|t| t.word())
+                .find(|w| *w != "mut" && *w != "ref")
+                .unwrap_or("_")
+                .to_string();
+            let ty_words = match colon {
+                Some(c) => toks[c + 1..].iter().filter_map(|t| t.word()).map(String::from).collect(),
+                None => Vec::new(),
+            };
+            params.push(Param { name, ty_words });
+        };
+        let mut depth = 0i64;
+        while j < end {
+            match self.t[j].punct() {
+                Some('(' | '[' | '{' | '<') => depth += 1,
+                Some(')' | ']' | '}') => depth -= 1,
+                Some('>')
+                    if !(j > 0 && self.t[j - 1].is_punct('-')) => {
+                        depth -= 1;
+                    }
+                Some(',') if depth == 0 => {
+                    flush(start, j, &mut params, &mut has_self);
+                    start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        flush(start, end, &mut params, &mut has_self);
+        (params, has_self)
+    }
+
+    /// Parse `impl` at `i`; returns the index past the block.
+    fn parse_impl(&mut self, i: usize, end: usize) -> usize {
+        let line = self.t[i].line;
+        let mut j = i + 1;
+        if j < end && self.t[j].is_punct('<') {
+            j = self.skip_angles(j, end);
+        }
+        // Collect the head: path words up to `for` / `where` / `{`,
+        // skipping generic-argument groups.
+        let mut first_seg: Vec<String> = Vec::new();
+        let mut second_seg: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        while j < end {
+            let t = &self.t[j];
+            if t.is_punct('{') || t.is_word("where") {
+                break;
+            }
+            if t.is_word("for") {
+                saw_for = true;
+                j += 1;
+                continue;
+            }
+            if t.is_punct('<') {
+                j = self.skip_angles(j, end);
+                continue;
+            }
+            if let Some(w) = t.word() {
+                if !matches!(w, "dyn" | "mut" | "crate" | "super" | "self") {
+                    if saw_for {
+                        second_seg.push(w.to_string());
+                    } else {
+                        first_seg.push(w.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        while j < end && !self.t[j].is_punct('{') {
+            if matches!(self.t[j].punct(), Some('(' | '[')) {
+                j = self.skip_group(j, end);
+            } else {
+                j += 1;
+            }
+        }
+        if j >= end {
+            return end;
+        }
+        let (type_name, trait_name) = if saw_for {
+            (
+                second_seg.last().cloned().unwrap_or_default(),
+                first_seg.last().cloned(),
+            )
+        } else {
+            (first_seg.last().cloned().unwrap_or_default(), None)
+        };
+        let body_end = self.skip_group(j, end);
+        self.out.impls.push(ImplItem {
+            type_name: type_name.clone(),
+            trait_name: trait_name.clone(),
+            line,
+            is_test: self.line_is_test(line),
+        });
+        let ctx = Ctx {
+            impl_type: Some(type_name),
+            trait_name,
+            in_trait: None,
+        };
+        self.items(j + 1, body_end.saturating_sub(1), &ctx);
+        body_end
+    }
+
+    /// Parse `trait` at `i`; returns the index past the block.
+    fn parse_trait(&mut self, i: usize, end: usize) -> usize {
+        let line = self.t[i].line;
+        let mut j = i + 1;
+        let name = match self.t.get(j).and_then(|t| t.word()) {
+            Some(w) => w.to_string(),
+            None => return i + 1,
+        };
+        j += 1;
+        while j < end && !self.t[j].is_punct('{') && !self.t[j].is_punct(';') {
+            if self.t[j].is_punct('<') {
+                j = self.skip_angles(j, end);
+            } else if matches!(self.t[j].punct(), Some('(' | '[')) {
+                j = self.skip_group(j, end);
+            } else {
+                j += 1;
+            }
+        }
+        if j >= end || self.t[j].is_punct(';') {
+            return (j + 1).min(end);
+        }
+        let ti = self.out.traits.len();
+        self.out.traits.push(TraitItem {
+            name: name.clone(),
+            line,
+            methods: Vec::new(),
+            is_test: self.line_is_test(line),
+        });
+        let body_end = self.skip_group(j, end);
+        let ctx = Ctx {
+            impl_type: Some(name),
+            trait_name: None,
+            in_trait: Some(ti),
+        };
+        self.items(j + 1, body_end.saturating_sub(1), &ctx);
+        body_end
+    }
+
+    /// Parse `struct` at `i`; returns the index past the item.
+    fn parse_struct(&mut self, i: usize, end: usize) -> usize {
+        let line = self.t[i].line;
+        let mut j = i + 1;
+        let name = match self.t.get(j).and_then(|t| t.word()) {
+            Some(w) => w.to_string(),
+            None => return i + 1,
+        };
+        j += 1;
+        if j < end && self.t[j].is_punct('<') {
+            j = self.skip_angles(j, end);
+        }
+        let mut fields = Vec::new();
+        if j < end && self.t[j].is_punct('(') {
+            // Tuple struct: fields named by position.
+            let body_end = self.skip_group(j, end);
+            let mut idx = 0usize;
+            let mut lo = j + 1;
+            let hi = body_end.saturating_sub(1);
+            let mut depth = 0i64;
+            let mut k = lo;
+            while k <= hi {
+                let at_end = k == hi;
+                let at_comma = k < hi && self.t[k].is_punct(',') && depth == 0;
+                if at_end || at_comma {
+                    let ty_words: Vec<String> = self.t[lo..k]
+                        .iter()
+                        .filter_map(|t| t.word())
+                        .filter(|w| *w != "pub" && *w != "crate")
+                        .map(String::from)
+                        .collect();
+                    if !ty_words.is_empty() {
+                        fields.push((idx.to_string(), ty_words));
+                        idx += 1;
+                    }
+                    lo = k + 1;
+                }
+                if k < hi {
+                    match self.t[k].punct() {
+                        Some('(' | '[' | '<') => depth += 1,
+                        Some(')' | ']' | '>') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            j = self.skip_to_semi_or_block(body_end, end);
+        } else {
+            while j < end && !self.t[j].is_punct('{') && !self.t[j].is_punct(';') {
+                j += 1;
+            }
+            if j < end && self.t[j].is_punct('{') {
+                let body_end = self.skip_group(j, end);
+                fields = self.parse_named_fields(j + 1, body_end.saturating_sub(1));
+                j = body_end;
+            } else {
+                j = (j + 1).min(end);
+            }
+        }
+        self.out.structs.push(StructItem {
+            name,
+            line,
+            fields,
+            is_test: self.line_is_test(line),
+        });
+        j
+    }
+
+    /// Parse `name: Type` entries between the braces of a struct body.
+    fn parse_named_fields(&self, i: usize, end: usize) -> Vec<(String, Vec<String>)> {
+        let mut fields = Vec::new();
+        let mut j = i;
+        let mut lo = i;
+        let mut depth = 0i64;
+        while j <= end {
+            let at_end = j == end;
+            let at_comma = j < end && self.t[j].is_punct(',') && depth == 0;
+            if at_end || at_comma {
+                let toks = &self.t[lo..j];
+                if let Some(colon) = toks.iter().position(|t| t.is_punct(':')) {
+                    let name = toks[..colon]
+                        .iter()
+                        .filter_map(|t| t.word()).rfind(|w| *w != "pub" && *w != "crate" && *w != "r");
+                    if let Some(name) = name {
+                        let ty_words: Vec<String> = toks[colon + 1..]
+                            .iter()
+                            .filter_map(|t| t.word())
+                            .map(String::from)
+                            .collect();
+                        fields.push((name.to_string(), ty_words));
+                    }
+                }
+                lo = j + 1;
+            }
+            if j < end {
+                match self.t[j].punct() {
+                    Some('(' | '[' | '{' | '<') => depth += 1,
+                    Some(')' | ']' | '}') => depth -= 1,
+                    Some('>')
+                        if !(j > 0 && self.t[j - 1].is_punct('-')) => {
+                            depth -= 1;
+                        }
+                    Some('#')
+                        // Field attribute `#[…]`.
+                        if j + 1 < end && self.t[j + 1].is_punct('[') => {
+                            j = self.skip_group(j + 1, end);
+                            continue;
+                        }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&scan(src))
+    }
+
+    #[test]
+    fn parses_fns_impls_and_structs() {
+        let src = "\
+pub struct Q { state: Mutex<Lanes>, ready: Condvar }
+impl Q {
+    pub fn push(&self, j: Job) -> Result<(), Full> { self.state.lock(); Ok(()) }
+    fn helper(x: usize) {}
+}
+fn free() {}
+";
+        let p = parsed(src);
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].name, "Q");
+        assert_eq!(p.structs[0].fields[0].0, "state");
+        assert!(p.structs[0].fields[0].1.contains(&"Mutex".to_string()));
+        assert_eq!(p.structs[0].fields[1].0, "ready");
+        assert_eq!(p.fns.len(), 3);
+        let push = &p.fns[0];
+        assert_eq!(push.name, "push");
+        assert_eq!(push.impl_type.as_deref(), Some("Q"));
+        assert!(push.is_pub && push.has_self);
+        assert_eq!(push.params[1].name, "j");
+        assert_eq!(push.ret_words, ["Result", "Full"]);
+        assert_eq!(p.fns[2].name, "free");
+        assert!(p.fns[2].impl_type.is_none());
+    }
+
+    #[test]
+    fn parses_trait_with_defaults_and_impls() {
+        let src = "\
+pub trait Backend {
+    fn down(&mut self, x: &Clv) -> Result<(), PlfError>;
+    fn down_fused(&mut self, x: &Clv) -> Result<(), PlfError> { self.down(x) }
+}
+impl Backend for Scalar {
+    fn down(&mut self, x: &Clv) -> Result<(), PlfError> { Ok(()) }
+}
+";
+        let p = parsed(src);
+        assert_eq!(p.traits.len(), 1);
+        let t = &p.traits[0];
+        assert_eq!(t.name, "Backend");
+        assert_eq!(t.methods.len(), 2);
+        assert!(!t.methods[0].has_default);
+        assert!(t.methods[1].has_default);
+        assert_eq!(p.impls.len(), 1);
+        assert_eq!(p.impls[0].type_name, "Scalar");
+        assert_eq!(p.impls[0].trait_name.as_deref(), Some("Backend"));
+        // The trait-default body is indexed as a fn of the trait.
+        assert!(p
+            .fns
+            .iter()
+            .any(|f| f.name == "down_fused" && f.impl_type.as_deref() == Some("Backend")));
+    }
+
+    #[test]
+    fn generic_fn_with_arrow_bound_does_not_derail() {
+        let src = "fn f<T: Fn(u32) -> u64>(g: T) -> u64 { g(1) }\nfn after() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[1].name, "after");
+    }
+
+    #[test]
+    fn tuple_struct_fields() {
+        let p = parsed("pub struct SendPtr(*mut f32);\n");
+        assert_eq!(p.structs[0].fields.len(), 1);
+        assert!(p.structs[0].fields[0].1.contains(&"f32".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n";
+        let p = parsed(src);
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+    }
+
+    #[test]
+    fn impl_trait_for_path_type() {
+        let p = parsed("impl std::fmt::Display for plfd::Job {\n    fn fmt(&self) {}\n}\n");
+        assert_eq!(p.impls[0].type_name, "Job");
+        assert_eq!(p.impls[0].trait_name.as_deref(), Some("Display"));
+    }
+}

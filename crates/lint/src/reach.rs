@@ -1,0 +1,250 @@
+//! L8 — service-path error hygiene by call-graph reachability.
+//!
+//! L2 guards a fixed allowlist of hot-path *files*; L8 replaces the
+//! path heuristic with reachability: starting from the client-facing
+//! entry points — the `pub` `&self` methods of `PlfService` and
+//! `JobTicket` — every function reachable through resolved calls
+//! (including dynamic dispatch through the `PlfBackend` trait) must be
+//! panic-free: no `unwrap` / `expect` / `panic!` / `todo!` /
+//! `unimplemented!`, and (within `crates/plfd`, where a stray index is
+//! a request-killer rather than kernel arithmetic) no slice-indexing
+//! `[…]` expressions.
+//!
+//! Constructors (associated fns without `self`) are *not* entry
+//! points: they run at boot, before any client traffic, and failing
+//! fast there is policy. Findings that L2 already reports (same file
+//! and line) are deduplicated by the driver in `lib.rs`.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::graph::{FnId, Workspace};
+use crate::rules::{panic_sites, Diagnostic, Rule};
+
+/// Types whose `pub` `&self` methods are client entry points.
+const ENTRY_TYPES: [&str; 2] = ["PlfService", "JobTicket"];
+
+/// Compute the set of functions reachable from service entry points,
+/// each mapped to the entry it was first reached from.
+pub fn reachable(ws: &Workspace) -> HashMap<FnId, String> {
+    let mut queue: VecDeque<(FnId, String)> = VecDeque::new();
+    let mut seen: HashMap<FnId, String> = HashMap::new();
+    let mut ids: Vec<FnId> = ws.facts.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let file = &ws.files[id.0];
+        let f = &file.parsed.fns[id.1];
+        let is_entry = f.is_pub
+            && f.has_self
+            && f.impl_type.as_deref().is_some_and(|t| ENTRY_TYPES.contains(&t))
+            && file.rel.contains("plfd");
+        if is_entry {
+            let entry = format!("{}::{}", f.impl_type.as_deref().unwrap_or(""), f.name);
+            seen.insert(id, entry.clone());
+            queue.push_back((id, entry));
+        }
+    }
+    while let Some((id, entry)) = queue.pop_front() {
+        let Some(facts) = ws.facts.get(&id) else {
+            continue;
+        };
+        for c in &facts.calls {
+            for t in &c.targets {
+                if !seen.contains_key(t) && ws.facts.contains_key(t) {
+                    seen.insert(*t, entry.clone());
+                    queue.push_back((*t, entry.clone()));
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Run L8 over an analyzed workspace.
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let reach = reachable(ws);
+    let mut out = Vec::new();
+    let mut ids: Vec<(&FnId, &String)> = reach.iter().collect();
+    ids.sort();
+    let mut seen_lines: BTreeSet<(String, usize, usize)> = BTreeSet::new();
+    for (&id, entry) in ids {
+        let file = &ws.files[id.0];
+        let item = &file.parsed.fns[id.1];
+        let toks = &file.parsed.toks;
+        let end_line = toks
+            .get(item.body.1.saturating_sub(1))
+            .map(|t| t.line)
+            .unwrap_or(item.line);
+
+        // Panic-capable constructs on the fn's lines (lexical scan of
+        // the cleaned code, same detector as L2).
+        for l in item.line..=end_line {
+            let Some(code) = file.scanned.code.get(l - 1) else {
+                continue;
+            };
+            if file.scanned.is_test.get(l - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            for (what, col) in panic_sites(code) {
+                if seen_lines.insert((file.rel.clone(), l, col)) {
+                    out.push(Diagnostic {
+                        path: file.rel.clone(),
+                        line: l,
+                        col: col + 1,
+                        rule: Rule::ServiceReach,
+                        message: format!(
+                            "`{what}` in `{}` is reachable from client entry point \
+                             `{entry}`; return an error through the job outcome instead \
+                             of panicking",
+                            item.name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Indexing panics: plfd only.
+        if file.rel.starts_with("crates/plfd/") {
+            let (bs, be) = item.body;
+            for i in bs..be {
+                if !toks[i].is_punct('[') {
+                    continue;
+                }
+                // Expression indexing: `expr[…]` — the previous token
+                // closes an expression. `#[attr]` and slice literals
+                // `[0u8; N]` have punct/no predecessors.
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                let is_index = prev.is_some_and(|t| {
+                    t.word().is_some() || t.is_punct(']') || t.is_punct(')')
+                }) && !prev.is_some_and(|t| {
+                    t.word().is_some_and(is_type_or_keyword)
+                });
+                if is_index {
+                    let tok = &toks[i];
+                    if seen_lines.insert((file.rel.clone(), tok.line, tok.col + 1000)) {
+                        out.push(Diagnostic {
+                            path: file.rel.clone(),
+                            line: tok.line,
+                            col: tok.col,
+                            rule: Rule::ServiceReach,
+                            message: format!(
+                                "slice indexing in `{}` is reachable from client entry \
+                                 point `{entry}`; use `.get(…)` and surface the miss as \
+                                 an error",
+                                item.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Words that precede `[` without forming an indexing expression.
+fn is_type_or_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "return" | "break" | "in" | "else" | "match" | "if" | "while" | "vec"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Workspace;
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let v: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        run(&Workspace::build(&v))
+    }
+
+    #[test]
+    fn flags_unwrap_reachable_from_entry_point() {
+        let service = "\
+pub struct PlfService { q: Q }
+pub struct Q { n: u32 }
+impl PlfService {
+    pub fn submit(&self) {
+        self.q.deep();
+    }
+}
+impl Q {
+    pub fn deep(&self) {
+        let x: Option<u32> = None;
+        x.unwrap();
+    }
+}
+";
+        let diags = run_on(&[("crates/plfd/src/service.rs", service)]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("`unwrap`")
+                    && d.message.contains("PlfService::submit")),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_panic_is_not_flagged() {
+        let service = "\
+pub struct PlfService { n: u32 }
+impl PlfService {
+    pub fn submit(&self) {}
+}
+fn orphan_helper_nobody_calls() {
+    let x: Option<u32> = None;
+    x.unwrap();
+}
+";
+        let diags = run_on(&[("crates/plfd/src/service.rs", service)]);
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn constructors_are_not_entry_points() {
+        let service = "\
+pub struct PlfService { n: u32 }
+impl PlfService {
+    pub fn new() -> PlfService {
+        boot_helper();
+        PlfService { n: 0 }
+    }
+    pub fn submit(&self) {}
+}
+fn boot_helper() {
+    panic!(\"journal could not be opened\");
+}
+";
+        let diags = run_on(&[("crates/plfd/src/service.rs", service)]);
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn indexing_flagged_in_plfd_only() {
+        let service = "\
+pub struct PlfService { v: Vec<u32> }
+impl PlfService {
+    pub fn submit(&self) -> u32 {
+        self.v[0]
+    }
+}
+";
+        let diags = run_on(&[("crates/plfd/src/service.rs", service)]);
+        assert!(
+            diags.iter().any(|d| d.message.contains("slice indexing")),
+            "diags: {diags:?}"
+        );
+        // Same code outside crates/plfd: kernels index by design.
+        let elsewhere = service;
+        let diags = run_on(&[("crates/phylo/src/service.rs", elsewhere)]);
+        assert!(
+            !diags.iter().any(|d| d.message.contains("slice indexing")),
+            "diags: {diags:?}"
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! The PLF rule set (L1–L4) over a [`Scanned`] source file.
+//! The PLF rule set (L1–L8) over a [`Scanned`] source file.
 //!
 //! | ID | name             | scope                         | invariant |
 //! |----|------------------|-------------------------------|-----------|
@@ -6,16 +6,25 @@
 //! | L2 | hot-path-panic   | PLF kernel hot-path modules   | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`; faults flow through `PlfError` |
 //! | L3 | magic-number     | non-test code, all crates     | 128 / 16384 / 256·1024 only in `phylo::constants` |
 //! | L4 | atomic-ordering  | `phylo::metrics`              | one declared `Ordering` (default `Relaxed`), no stray `SeqCst` |
+//! | L5 | lock-order       | whole workspace (structural)  | no lock-acquisition-order cycles; no lock held across a blocking call |
+//! | L6 | unsafe-dataflow  | whole workspace (structural)  | raw pointers do not escape their source region or cross threads without a disjointness argument |
+//! | L7 | kernel-parity    | whole workspace (structural)  | every backend covers the full kernel trait surface and has bit-parity coverage in `tests/fused.rs` |
+//! | L8 | service-reach    | call graph from `PlfService`  | no panic-capable construct reachable from a client request |
+//!
+//! L1–L4 are lexical (this module); L5–L8 are structural and live in
+//! their own modules on top of [`crate::parse`] and [`crate::graph`].
 //!
 //! Suppression: a comment `plf-lint: allow(L3)` (or the rule name,
 //! comma-separated lists accepted) on the offending line or the line
-//! directly above silences that rule for that line. `L4`'s declared
+//! directly above silences that rule for that line. For the structural
+//! rules an `allow` on the `fn` declaration line (or the line above it)
+//! covers every finding anchored inside that function. `L4`'s declared
 //! ordering can be changed with a file-level `plf-lint: ordering(X)`
 //! comment.
 
 use crate::scan::Scanned;
 
-/// The four PLF invariant rules.
+/// The PLF invariant rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// L1 — `unsafe` without an adjacent `// SAFETY:` comment.
@@ -26,16 +35,28 @@ pub enum Rule {
     MagicNumber,
     /// L4 — atomic ordering other than the declared one in metrics.
     AtomicOrdering,
+    /// L5 — lock-order cycle or lock held across a blocking call.
+    LockOrder,
+    /// L6 — raw pointer escaping its source region / unsafe dataflow.
+    UnsafeFlow,
+    /// L7 — kernel trait surface / backend / parity-test coverage hole.
+    KernelParity,
+    /// L8 — panic-capable construct reachable from a service request.
+    ServiceReach,
 }
 
 impl Rule {
-    /// Short stable ID (`L1`…`L4`).
+    /// Short stable ID (`L1`…`L8`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::SafetyComment => "L1",
             Rule::HotPathPanic => "L2",
             Rule::MagicNumber => "L3",
             Rule::AtomicOrdering => "L4",
+            Rule::LockOrder => "L5",
+            Rule::UnsafeFlow => "L6",
+            Rule::KernelParity => "L7",
+            Rule::ServiceReach => "L8",
         }
     }
 
@@ -46,25 +67,35 @@ impl Rule {
             Rule::HotPathPanic => "hot-path-panic",
             Rule::MagicNumber => "magic-number",
             Rule::AtomicOrdering => "atomic-ordering",
+            Rule::LockOrder => "lock-order",
+            Rule::UnsafeFlow => "unsafe-dataflow",
+            Rule::KernelParity => "kernel-parity",
+            Rule::ServiceReach => "service-reach",
         }
     }
 
     /// All rules.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 8] = [
         Rule::SafetyComment,
         Rule::HotPathPanic,
         Rule::MagicNumber,
         Rule::AtomicOrdering,
+        Rule::LockOrder,
+        Rule::UnsafeFlow,
+        Rule::KernelParity,
+        Rule::ServiceReach,
     ];
 }
 
-/// One finding, pointing at a 1-based line.
+/// One finding, pointing at a 1-based line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Workspace-relative path.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column number (1 when the rule has no precise span).
+    pub col: usize,
     /// The violated rule.
     pub rule: Rule,
     /// What went wrong and what to do instead.
@@ -75,14 +106,50 @@ impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}/{}] {}",
+            "{}:{}:{}: [{}/{}] {}",
             self.path,
             self.line,
+            self.col,
             self.rule.id(),
             self.rule.name(),
             self.message
         )
     }
+}
+
+impl Diagnostic {
+    /// Render as a JSON object (hand-rolled; the crate is
+    /// dependency-free by design).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":\"{}\",\"name\":\"{}\",\"message\":{}}}",
+            json_string(&self.path),
+            self.line,
+            self.col,
+            self.rule.id(),
+            self.rule.name(),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Which rules apply to a file, derived from its workspace-relative
@@ -185,8 +252,9 @@ pub fn lint_scanned(path: &str, s: &Scanned, scope: FileScope) -> Vec<Diagnostic
 }
 
 /// Does line `l` (0-based) carry or sit under a `plf-lint: allow(…)`
-/// for `rule`?
-fn suppressed(s: &Scanned, l: usize, rule: Rule) -> bool {
+/// for `rule`? Used by the lexical rules here and by the structural
+/// rules (which additionally honor fn-level allows).
+pub(crate) fn suppressed(s: &Scanned, l: usize, rule: Rule) -> bool {
     let check = |idx: usize| -> bool {
         allow_list(&s.comments[idx])
             .iter()
@@ -273,6 +341,7 @@ fn rule_safety_comment(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
         out.push(Diagnostic {
             path: path.to_string(),
             line: l + 1,
+            col: word_positions(line, "unsafe").first().map_or(1, |p| p + 1),
             rule: Rule::SafetyComment,
             message: "`unsafe` without an adjacent `// SAFETY:` comment justifying \
                       the aliasing/lifetime argument"
@@ -315,30 +384,11 @@ fn rule_hot_path_panic(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
         if s.is_test[l] {
             continue;
         }
-        let mut hits: Vec<&str> = Vec::new();
-        for method in ["unwrap", "expect"] {
-            for p in word_positions(line, method) {
-                // `.unwrap()` / `.expect(` — method calls only; this
-                // deliberately does NOT match `unwrap_or_else` (word
-                // boundary) or bindings named `expect`.
-                let before_dot = line[..p].trim_end().ends_with('.');
-                let after = line[p + method.len()..].trim_start();
-                if before_dot && after.starts_with('(') {
-                    hits.push(method);
-                }
-            }
-        }
-        for mac in ["panic", "todo", "unimplemented"] {
-            for p in word_positions(line, mac) {
-                if line[p + mac.len()..].starts_with('!') {
-                    hits.push(mac);
-                }
-            }
-        }
-        for h in hits {
+        for (h, p) in panic_sites(line) {
             out.push(Diagnostic {
                 path: path.to_string(),
                 line: l + 1,
+                col: p + 1,
                 rule: Rule::HotPathPanic,
                 message: format!(
                     "`{h}` in a PLF hot-path module; surface the fault through the \
@@ -347,6 +397,33 @@ fn rule_hot_path_panic(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
             });
         }
     }
+}
+
+/// Panic-capable constructs on a cleaned code line: `(construct, byte
+/// column)` pairs. Shared by L2 (path scope) and L8 (reachability
+/// scope).
+pub(crate) fn panic_sites(line: &str) -> Vec<(&'static str, usize)> {
+    let mut hits: Vec<(&'static str, usize)> = Vec::new();
+    for method in ["unwrap", "expect"] {
+        for p in word_positions(line, method) {
+            // `.unwrap()` / `.expect(` — method calls only; this
+            // deliberately does NOT match `unwrap_or_else` (word
+            // boundary) or bindings named `expect`.
+            let before_dot = line[..p].trim_end().ends_with('.');
+            let after = line[p + method.len()..].trim_start();
+            if before_dot && after.starts_with('(') {
+                hits.push((method, p));
+            }
+        }
+    }
+    for mac in ["panic", "todo", "unimplemented"] {
+        for p in word_positions(line, mac) {
+            if line[p + mac.len()..].starts_with('!') {
+                hits.push((mac, p));
+            }
+        }
+    }
+    hits
 }
 
 // ---------------------------------------------------------------- L3
@@ -462,10 +539,10 @@ fn rule_magic_number(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
             continue;
         }
         let toks = int_tokens(line);
-        let mut flagged: Vec<(u64, &str)> = Vec::new();
+        let mut flagged: Vec<(u64, &str, usize)> = Vec::new();
         for t in &toks {
             if let Some((_, name)) = BANNED.iter().find(|(v, _)| *v == t.value) {
-                flagged.push((t.value, name));
+                flagged.push((t.value, name, t.start));
             }
         }
         // Products written as `a * b` (e.g. `16 * 1024`, `256 * 1024`).
@@ -474,15 +551,16 @@ fn rule_magic_number(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
             if between.trim() == "*" {
                 if let Some(product) = w[0].value.checked_mul(w[1].value) {
                     if let Some((_, name)) = BANNED.iter().find(|(v, _)| *v == product) {
-                        flagged.push((product, name));
+                        flagged.push((product, name, w[0].start));
                     }
                 }
             }
         }
-        for (v, name) in flagged {
+        for (v, name, start) in flagged {
             out.push(Diagnostic {
                 path: path.to_string(),
                 line: l + 1,
+                col: start + 1,
                 rule: Rule::MagicNumber,
                 message: format!("magic number {v}; use {name} instead of an inline literal"),
             });
@@ -512,6 +590,7 @@ fn rule_atomic_ordering(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
             out.push(Diagnostic {
                 path: path.to_string(),
                 line: l + 1,
+                col: from - ident.len().max(1) - "Ordering::".len() + 1,
                 rule: Rule::AtomicOrdering,
                 message: format!(
                     "stray `Ordering::{ident}`; this module declares `Ordering::{declared}` \

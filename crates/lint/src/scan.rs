@@ -148,6 +148,9 @@ pub fn scan(src: &str) -> Scanned {
                 i += 1;
             }
             State::BlockComment(depth) => {
+                // Every comment char still occupies a column in the
+                // source line; pad `code` so columns after an inline
+                // `/* … */` stay aligned with the original text.
                 let next = chars.get(i + 1).copied();
                 if c == '*' && next == Some('/') {
                     state = if depth == 1 {
@@ -155,23 +158,36 @@ pub fn scan(src: &str) -> Scanned {
                     } else {
                         State::BlockComment(depth - 1)
                     };
+                    code.push(' ');
+                    code.push(' ');
                     i += 2;
                 } else if c == '/' && next == Some('*') {
                     state = State::BlockComment(depth + 1);
                     comment.push(' ');
+                    code.push(' ');
+                    code.push(' ');
                     i += 2;
                 } else {
                     comment.push(c);
+                    code.push(' ');
                     i += 1;
                 }
             }
             State::Str => {
                 if c == '\\' {
                     code.push(' ');
-                    if chars.get(i + 1).is_some() {
-                        code.push(' ');
+                    // A `\` before a newline is a line-continuation
+                    // escape; leave the newline for the top-of-loop
+                    // handler or line numbering drifts for the rest of
+                    // the file.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        if chars.get(i + 1).is_some() {
+                            code.push(' ');
+                        }
+                        i += 2;
                     }
-                    i += 2;
                 } else if c == '"' {
                     state = State::Code;
                     code.push(' ');
@@ -205,10 +221,14 @@ pub fn scan(src: &str) -> Scanned {
             State::Char => {
                 if c == '\\' {
                     code.push(' ');
-                    if chars.get(i + 1).is_some() {
-                        code.push(' ');
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        if chars.get(i + 1).is_some() {
+                            code.push(' ');
+                        }
+                        i += 2;
                     }
-                    i += 2;
                 } else if c == '\'' {
                     state = State::Code;
                     code.push(' ');
@@ -337,6 +357,28 @@ mod tests {
         let s = scan(src);
         assert!(s.is_test[2] && s.is_test[3]);
         assert!(!s.is_test[4]);
+    }
+
+    #[test]
+    fn inline_block_comment_preserves_columns() {
+        let s = scan("let x /* note */ = 128;\n");
+        let col = s.code[0].find("128").expect("128 survives");
+        assert_eq!(col, "let x /* note */ = ".len(), "code: {:?}", s.code[0]);
+        assert_eq!(s.code[0].len(), "let x /* note */ = 128;".len());
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_count() {
+        let s = scan("let a = \"one \\\ntwo\";\nlet y = 128;\n");
+        assert_eq!(s.code.len(), 4, "three lines + trailing flush");
+        assert!(s.code[2].contains("128"), "line numbering intact: {:?}", s.code);
+    }
+
+    #[test]
+    fn escaped_newline_in_char_state_keeps_line_count() {
+        // Malformed on purpose — the scanner must still track lines.
+        let s = scan("let c = '\\\n'; let y = 128;\n");
+        assert_eq!(s.code.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! L6 — unsafe raw-pointer dataflow.
+//!
+//! Within each analyzed function, raw-pointer *sources*
+//! (`.as_ptr()` / `.as_mut_ptr()` / `as *mut` / `as *const` casts) are
+//! tracked by binding name, and three escapes are flagged:
+//!
+//! 1. **Cross-thread without argument**: a `SendPtr(..)` wrapper is
+//!    constructed with no *disjointness argument* — no comment between
+//!    just above the fn and the construction site containing
+//!    "disjoint" / "non-overlapping" / "exclusive". Sending a raw
+//!    pointer is only sound when the receiving threads touch disjoint
+//!    regions, and that argument must be written down.
+//! 2. **Move-closure capture**: a bare raw-pointer binding is captured
+//!    by a `move` closure. Raw pointers are `Send` only via an unsafe
+//!    wrapper; a bare capture is either a compile error waiting to
+//!    happen or an unreviewed `unsafe impl Send` at a distance.
+//! 3. **Block escape**: a binding declared in an outer block is
+//!    assigned a pointer produced in an inner block — the pointee can
+//!    die with the inner block while the pointer lives on.
+//!
+//! The rule is source-region based, not alias-complete (see DESIGN.md
+//! §15 for limits).
+
+use crate::graph::Workspace;
+use crate::parse::Tok;
+use crate::rules::{Diagnostic, Rule};
+
+/// Words that count as a written disjointness argument.
+const DISJOINT_WORDS: [&str; 4] = ["disjoint", "non-overlapping", "nonoverlapping", "exclusive"];
+
+/// Run L6 over an analyzed workspace.
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.scope.relaxed {
+            continue;
+        }
+        for item in &file.parsed.fns {
+            if item.is_test {
+                continue;
+            }
+            check_fn(&file.rel, file, fi, item, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    out
+}
+
+fn check_fn(
+    rel: &str,
+    file: &crate::graph::FileUnit,
+    _fi: usize,
+    item: &crate::parse::FnItem,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.parsed.toks;
+    let (start, end) = item.body;
+
+    // Comment text from a few lines above the fn down to `line`
+    // containing a disjointness word?
+    let has_disjoint_arg = |to_line: usize| -> bool {
+        let from = item.line.saturating_sub(5); // 1-based, incl. leading SAFETY block
+        (from..=to_line).any(|l| {
+            file.scanned
+                .comments
+                .get(l.saturating_sub(1))
+                .is_some_and(|c| {
+                    let lc = c.to_lowercase();
+                    DISJOINT_WORDS.iter().any(|w| lc.contains(w))
+                })
+        })
+    };
+
+    // --- check 1: SendPtr construction without a disjointness argument.
+    let mut i = start;
+    while i < end {
+        if toks[i].is_word("SendPtr")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !has_disjoint_arg(toks[i].line)
+        {
+            out.push(diag(
+                rel,
+                &toks[i],
+                "raw pointer sent across threads (`SendPtr`) without a written \
+                 disjointness argument; add a `// SAFETY:` comment stating why the \
+                 target regions are disjoint"
+                    .to_string(),
+            ));
+        }
+        i += 1;
+    }
+
+    // --- collect raw-pointer bindings: `let [mut] name = …as_ptr()…;`
+    // (not wrapped in SendPtr), plus declared-only names with depths.
+    let mut depth = 0i64;
+    let mut raw_bindings: Vec<(String, usize, i64)> = Vec::new(); // (name, site, depth)
+    let mut decl_depths: Vec<(String, i64)> = Vec::new();
+    let mut i = start;
+    while i < end {
+        match toks[i].punct() {
+            Some('{') => depth += 1,
+            Some('}') => depth -= 1,
+            _ => {}
+        }
+        if toks[i].is_word("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_word("mut")) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).and_then(|t| t.word()) {
+                decl_depths.push((name.to_string(), depth));
+                // Initializer tokens to the statement end.
+                let stmt_end = stmt_end(toks, j, end);
+                let init = &toks[j..stmt_end];
+                let is_raw = init.iter().any(|t| {
+                    t.is_word("as_ptr") || t.is_word("as_mut_ptr")
+                }) || cast_to_raw(init);
+                let wrapped = init.iter().any(|t| t.is_word("SendPtr"));
+                if is_raw && !wrapped {
+                    raw_bindings.push((name.to_string(), i, depth));
+                }
+            }
+        }
+        // --- check 3: `name = …as_ptr()…;` at deeper block than decl.
+        if let Some(name) = toks[i].word() {
+            let is_assign = toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && !toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+                && (i == 0 || !toks[i - 1].is_punct('.'))
+                && (i <= start || toks[i - 1].word().is_none());
+            if is_assign {
+                if let Some((_, decl_depth)) =
+                    decl_depths.iter().rev().find(|(n, _)| n == name)
+                {
+                    let stmt_e = stmt_end(toks, i, end);
+                    let rhs = &toks[i + 2..stmt_e.max(i + 2)];
+                    let is_raw = rhs.iter().any(|t| {
+                        t.is_word("as_ptr") || t.is_word("as_mut_ptr")
+                    }) || cast_to_raw(rhs);
+                    if is_raw && depth > *decl_depth {
+                        out.push(diag(
+                            rel,
+                            &toks[i],
+                            format!(
+                                "raw pointer assigned to `{name}` escapes the block its \
+                                 source lives in — the pointee may be dropped while the \
+                                 pointer is still reachable"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // --- check 2: raw binding captured by a later `move` closure.
+    for (name, site, _) in &raw_bindings {
+        let mut i = *site;
+        while i < end {
+            if toks[i].is_word("move") {
+                let closure_end = stmt_end(toks, i, end);
+                if toks[i + 1..closure_end].iter().any(|t| t.is_word(name)) {
+                    out.push(diag(
+                        rel,
+                        &toks[i],
+                        format!(
+                            "raw pointer `{name}` captured by a `move` closure without a \
+                             Send wrapper carrying a disjointness argument (wrap it in a \
+                             `SendPtr`-style type with a `// SAFETY:` justification)"
+                        ),
+                    ));
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Does the token run contain an `as *mut` / `as *const` cast?
+fn cast_to_raw(toks: &[Tok]) -> bool {
+    toks.windows(3).any(|w| {
+        w[0].is_word("as")
+            && w[1].is_punct('*')
+            && (w[2].is_word("mut") || w[2].is_word("const"))
+    })
+}
+
+/// Index of the statement-terminating `;` (or enclosing block end)
+/// after `from`, at `from`'s brace depth.
+fn stmt_end(toks: &[Tok], from: usize, body_end: usize) -> usize {
+    let mut d = 0i64;
+    let mut i = from;
+    while i < body_end {
+        match toks[i].punct() {
+            Some('{') => d += 1,
+            Some('}') => {
+                d -= 1;
+                if d < 0 {
+                    return i;
+                }
+            }
+            Some(';') if d == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    body_end
+}
+
+fn diag(path: &str, tok: &Tok, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        rule: Rule::UnsafeFlow,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Workspace;
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::build(&[("crates/x/src/a.rs".to_string(), src.to_string())]);
+        run(&ws)
+    }
+
+    #[test]
+    fn flags_sendptr_without_disjointness_argument() {
+        let src = "\
+fn spawn_all(out: &mut [f32]) {
+    let p = SendPtr(out.as_mut_ptr());
+}
+";
+        let diags = run_on(src);
+        assert_eq!(diags.len(), 1, "diags: {diags:?}");
+        assert!(diags[0].message.contains("disjointness"));
+    }
+
+    #[test]
+    fn accepts_sendptr_with_disjointness_argument() {
+        let src = "\
+// SAFETY: every worker writes a disjoint chunk of `out`.
+fn spawn_all(out: &mut [f32]) {
+    let p = SendPtr(out.as_mut_ptr());
+}
+";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn flags_raw_pointer_moved_into_closure() {
+        let src = "\
+fn spawn_all(out: &mut [f32]) {
+    let p = out.as_mut_ptr();
+    std::thread::spawn(move || unsafe { *p = 0.0 });
+}
+";
+        let diags = run_on(src);
+        assert!(
+            diags.iter().any(|d| d.message.contains("move` closure")),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn flags_pointer_escaping_source_block() {
+        let src = "\
+fn leak() -> f32 {
+    let p;
+    {
+        let buf = vec![0.0f32; 4];
+        p = buf.as_ptr();
+    }
+    unsafe { *p }
+}
+";
+        let diags = run_on(src);
+        assert!(
+            diags.iter().any(|d| d.message.contains("escapes the block")),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn same_block_assignment_is_fine() {
+        let src = "\
+fn fine(buf: &[f32]) -> *const f32 {
+    let p = buf.as_ptr();
+    p
+}
+";
+        assert!(run_on(src).is_empty());
+    }
+}

@@ -27,6 +27,15 @@ fn rule_ids(diags: &[Diagnostic]) -> Vec<&'static str> {
     diags.iter().map(|d| d.rule.id()).collect()
 }
 
+/// Lint a fixture as if it lived at the workspace-relative path `rel`,
+/// with every rule — the lexical pass plus the structural (L5–L8) pass
+/// over the single-file workspace. Structural rules skip relaxed
+/// (test/bench) paths, so `rel` must be a first-party `src/` location.
+fn lint_structural(name: &str, rel: &str) -> Vec<Diagnostic> {
+    let (_, src) = fixture(name);
+    plf_lint::lint_files(&[(rel.to_string(), src)])
+}
+
 #[test]
 fn l1_fixture_trips_only_safety_comment() {
     let diags = lint_fixture("l1_missing_safety.rs");
@@ -116,6 +125,146 @@ fn l4_fixture_trips_only_atomic_ordering() {
 fn clean_fixture_passes_every_rule() {
     let diags = lint_fixture("clean.rs");
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --------------------------------------------- structural rules L5–L8
+
+#[test]
+fn l5_fixture_trips_cycle_and_blocking() {
+    let diags = lint_structural("l5_deadlock.rs", "crates/plfd/src/fixture.rs");
+    assert!(
+        diags.iter().all(|d| d.rule == Rule::LockOrder),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("lock-order cycle")),
+        "cycle reported: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("blocking fsync")),
+        "fsync-under-lock reported: {diags:?}"
+    );
+}
+
+#[test]
+fn l5_allow_fixture_is_suppressed() {
+    let diags = lint_structural("l5_allow.rs", "crates/plfd/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l6_fixture_trips_all_three_escapes() {
+    let diags = lint_structural("l6_sendptr.rs", "crates/multicore/src/fixture.rs");
+    assert_eq!(rule_ids(&diags), ["L6", "L6", "L6"], "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("disjointness")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("move` closure")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("escapes the block")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn l6_allow_fixture_is_suppressed() {
+    let diags = lint_structural("l6_allow.rs", "crates/multicore/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l7_fixture_trips_partial_fused_and_coverage_hole() {
+    let diags = lint_structural("l7_parity_hole.rs", "crates/phylo/src/fixture.rs");
+    assert_eq!(rule_ids(&diags), ["L7", "L7"], "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("fused surface")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("no bit-parity coverage")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn l7_allow_fixture_is_suppressed() {
+    let diags = lint_structural("l7_allow.rs", "crates/phylo/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l8_fixture_trips_reachable_unwrap_and_indexing() {
+    let diags = lint_structural("l8_reachable_unwrap.rs", "crates/plfd/src/fixture.rs");
+    assert_eq!(rule_ids(&diags), ["L8", "L8"], "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`unwrap`") && d.message.contains("PlfService::submit")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("slice indexing")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn l8_allow_fixture_is_suppressed() {
+    let diags = lint_structural("l8_allow.rs", "crates/plfd/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn structural_clean_fixture_passes_every_rule() {
+    // Negative cases for L5–L8 in one workspace: consistent lock
+    // order with guards dropped before blocking, a SendPtr with a
+    // written disjointness argument, a registry-covered backend, and a
+    // panic-free service path.
+    let diags = lint_structural("structural_clean.rs", "crates/plfd/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lex_corpus_fixture_is_clean_under_every_rule() {
+    // The corpus hides rule-tripping text (unsafe, panic!, 128, 16384,
+    // 262144) inside nested block comments, escaped-newline strings,
+    // raw/byte strings, and char literals. Any scanner leak from the
+    // comment/literal streams into the code stream trips L1–L4 here.
+    let diags = lint_fixture("lex_corpus.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    let structural = lint_structural("lex_corpus.rs", "crates/phylo/src/fixture.rs");
+    assert!(structural.is_empty(), "{structural:?}");
+}
+
+#[test]
+fn lex_corpus_line_numbering_survives_continuations() {
+    // Escaped newlines and multi-line block comments must not shift
+    // line numbering: the scanner's per-line streams stay 1:1 with the
+    // source.
+    let (_, src) = fixture("lex_corpus.rs");
+    let scanned = plf_lint::scan::scan(&src);
+    assert_eq!(
+        scanned.code.len(),
+        src.lines().count() + 1,
+        "one cleaned line per source line (plus trailing flush)"
+    );
+    // The nested block-comment line is fully blanked in the code
+    // stream but preserved in the comment stream.
+    let (idx, _) = src
+        .lines()
+        .enumerate()
+        .find(|(_, l)| l.contains("nested block comment"))
+        .expect("corpus keeps the nested-comment line");
+    assert!(scanned.code[idx].trim().is_empty(), "{:?}", scanned.code[idx]);
+    assert!(
+        scanned.comments[idx].contains("nested block comment"),
+        "{:?}",
+        scanned.comments[idx]
+    );
 }
 
 #[test]

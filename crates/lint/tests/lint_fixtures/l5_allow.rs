@@ -1,0 +1,37 @@
+//! L5 suppression fixture — the same inversions as `l5_deadlock.rs`,
+//! every one silenced by a fn-level `allow(L5)` on the declaration.
+
+pub struct Queue {
+    state: Mutex<u32>,
+}
+
+pub struct Journal {
+    inner: Mutex<u32>,
+    file: File,
+}
+
+impl Queue {
+    // Deliberate inversion kept for the suppression test.
+    // plf-lint: allow(L5)
+    pub fn publish(&self, journal: &Journal) {
+        let lanes = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let log = journal.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = (lanes, log);
+    }
+}
+
+impl Journal {
+    // plf-lint: allow(L5)
+    pub fn compact(&self, queue: &Queue) {
+        let log = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let lanes = queue.state.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = (log, lanes);
+    }
+
+    // plf-lint: allow(L5)
+    pub fn append(&self) {
+        let log = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = self.file.sync_data();
+        drop(log);
+    }
+}

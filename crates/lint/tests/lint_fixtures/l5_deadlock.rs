@@ -1,0 +1,34 @@
+//! L5 fixture — a lock-order cycle (`Queue.state` ↔ `Journal.inner`)
+//! plus a lock held across an fsync. Linted as a synthetic
+//! first-party path; never compiled.
+
+pub struct Queue {
+    state: Mutex<u32>,
+}
+
+pub struct Journal {
+    inner: Mutex<u32>,
+    file: File,
+}
+
+impl Queue {
+    pub fn publish(&self, journal: &Journal) {
+        let lanes = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let log = journal.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = (lanes, log);
+    }
+}
+
+impl Journal {
+    pub fn compact(&self, queue: &Queue) {
+        let log = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let lanes = queue.state.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = (log, lanes);
+    }
+
+    pub fn append(&self) {
+        let log = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = self.file.sync_data();
+        drop(log);
+    }
+}

@@ -1,0 +1,26 @@
+//! L6 suppression fixture — the same escapes as `l6_sendptr.rs`, each
+//! silenced by a fn-level `allow(L6)` on the declaration.
+
+// plf-lint: allow(L6)
+pub fn fan_out(out: &mut [f32]) {
+    let shared = SendPtr(out.as_mut_ptr());
+    let _ = shared;
+}
+
+// plf-lint: allow(L6)
+pub fn capture(out: &mut [f32]) {
+    let base = out.as_mut_ptr();
+    std::thread::spawn(move || {
+        let _ = base;
+    });
+}
+
+// plf-lint: allow(L6)
+pub fn outlive() -> *const f32 {
+    let p;
+    {
+        let buf = vec![0.0f32; 4];
+        p = buf.as_ptr();
+    }
+    p
+}

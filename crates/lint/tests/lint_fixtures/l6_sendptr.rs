@@ -1,0 +1,27 @@
+//! L6 fixture — the three raw-pointer escapes: a `SendPtr` with no
+//! written safety argument, a bare raw pointer captured by a `move`
+//! closure, and a pointer escaping the block its source lives in.
+//! Linted as a synthetic first-party path; never compiled.
+//! (The required safety wording must not appear in this header — the
+//! rule scans nearby comments for it.)
+
+pub fn fan_out(out: &mut [f32]) {
+    let shared = SendPtr(out.as_mut_ptr());
+    let _ = shared;
+}
+
+pub fn capture(out: &mut [f32]) {
+    let base = out.as_mut_ptr();
+    std::thread::spawn(move || {
+        let _ = base;
+    });
+}
+
+pub fn outlive() -> *const f32 {
+    let p;
+    {
+        let buf = vec![0.0f32; 4];
+        p = buf.as_ptr();
+    }
+    p
+}

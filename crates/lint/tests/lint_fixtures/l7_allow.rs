@@ -1,0 +1,33 @@
+//! L7 suppression fixture — the same parity holes as
+//! `l7_parity_hole.rs`, silenced by a line-level `allow(L7)` above the
+//! impl (L7 diagnostics anchor at the `impl` line).
+
+pub trait PlfBackend {
+    fn cond_like_down(&mut self) -> Result<(), PlfError>;
+    fn cond_like_root(&mut self) -> Result<(), PlfError>;
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError>;
+    fn cond_like_down_fused(&mut self) -> Result<(), PlfError> {
+        self.cond_like_down()
+    }
+    fn cond_like_root_fused(&mut self) -> Result<(), PlfError> {
+        self.cond_like_root()
+    }
+}
+
+pub struct OrphanBackend;
+
+// Staged rollout: parity suite lands in the next change. plf-lint: allow(L7)
+impl PlfBackend for OrphanBackend {
+    fn cond_like_down(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+    fn cond_like_root(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+    fn cond_like_down_fused(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+}

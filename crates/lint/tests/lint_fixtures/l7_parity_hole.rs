@@ -1,0 +1,32 @@
+//! L7 fixture — a backend that overrides part of the fused surface and
+//! appears in no parity suite or registry. Linted as a synthetic
+//! first-party path; never compiled.
+
+pub trait PlfBackend {
+    fn cond_like_down(&mut self) -> Result<(), PlfError>;
+    fn cond_like_root(&mut self) -> Result<(), PlfError>;
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError>;
+    fn cond_like_down_fused(&mut self) -> Result<(), PlfError> {
+        self.cond_like_down()
+    }
+    fn cond_like_root_fused(&mut self) -> Result<(), PlfError> {
+        self.cond_like_root()
+    }
+}
+
+pub struct OrphanBackend;
+
+impl PlfBackend for OrphanBackend {
+    fn cond_like_down(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+    fn cond_like_root(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+    fn cond_like_down_fused(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+}

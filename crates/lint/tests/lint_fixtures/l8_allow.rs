@@ -1,0 +1,25 @@
+//! L8 suppression fixture — the same reachable panics as
+//! `l8_reachable_unwrap.rs`, silenced by a fn-level `allow(L8)` on the
+//! panicking callee's declaration.
+
+pub struct PlfService {
+    queue: Queue,
+}
+
+pub struct Queue {
+    jobs: Vec<u32>,
+}
+
+impl PlfService {
+    pub fn submit(&self) -> u32 {
+        self.queue.head()
+    }
+}
+
+impl Queue {
+    // Invariant: `jobs` is non-empty from construction. plf-lint: allow(L8)
+    pub fn head(&self) -> u32 {
+        let first = self.jobs.first();
+        first.unwrap() + self.jobs[0]
+    }
+}

@@ -1,0 +1,24 @@
+//! L8 fixture — an `unwrap` and a slice index both reachable from the
+//! client entry point `PlfService::submit`. Linted as a synthetic
+//! `crates/plfd/` path; never compiled.
+
+pub struct PlfService {
+    queue: Queue,
+}
+
+pub struct Queue {
+    jobs: Vec<u32>,
+}
+
+impl PlfService {
+    pub fn submit(&self) -> u32 {
+        self.queue.head()
+    }
+}
+
+impl Queue {
+    pub fn head(&self) -> u32 {
+        let first = self.jobs.first();
+        first.unwrap() + self.jobs[0]
+    }
+}

@@ -1,0 +1,33 @@
+//! Lexer-audit corpus — every construct here would trip a rule if the
+//! scanner leaked comment or literal text into the code stream:
+//! nested block comments, escaped newlines inside strings, raw and
+//! byte strings, char literals vs lifetimes. The fixture must lint
+//! clean under every rule.
+
+/* outer /* nested block comment: unsafe { } 16384 */ still comment: panic!("x") 262144 */
+
+pub fn strings() -> String {
+    let a = "line one \
+        continued after an escaped newline: unsafe { 262144 }";
+    let b = "escaped quote \" and backslash \\ and 16384";
+    let c = 'x';
+    let d = '\'';
+    let e = '\\';
+    let r = r#"raw string with quote " and panic!("not real") and 128"#;
+    let bs = b"byte string 128";
+    let bc = b'y';
+    let br = br#"raw byte string 16384"#;
+    let _ = (c, d, e, bs, bc, br);
+    format!("{a}{b}{r}")
+}
+
+pub fn lifetimes<'a>(v: &'a [f32]) -> &'a f32 {
+    // 'a above is a lifetime, not an unterminated char literal; the
+    // rest of this file must still be scanned as code.
+    v.first().unwrap_or(&0.0)
+}
+
+pub fn trailing() -> u32 {
+    let x = 7; // trailing comment with unsafe { } and 262144
+    x
+}

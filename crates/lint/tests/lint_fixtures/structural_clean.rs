@@ -1,0 +1,80 @@
+//! Structural-clean fixture — negative cases for every structural
+//! rule: consistent lock order with guards released before blocking
+//! (L5), a `SendPtr` with a written disjointness argument (L6), a
+//! backend covered by the `all_backends` registry (L7), and a service
+//! path that surfaces misses as values instead of panicking (L8).
+
+pub struct Queue {
+    state: Mutex<u32>,
+}
+
+pub struct Journal {
+    inner: Mutex<u32>,
+    file: File,
+}
+
+pub struct PlfService {
+    queue: Queue,
+}
+
+impl PlfService {
+    pub fn submit(&self, journal: &Journal) -> u32 {
+        self.queue.pop(journal)
+    }
+}
+
+impl Queue {
+    pub fn pop(&self, journal: &Journal) -> u32 {
+        let lanes = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let expired = *lanes;
+        drop(lanes);
+        journal.append(expired);
+        expired
+    }
+}
+
+impl Journal {
+    pub fn append(&self, n: u32) {
+        let log = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = (*log, n);
+        drop(log);
+        let _ = self.file.sync_data();
+    }
+}
+
+// SAFETY: each spawned worker writes a disjoint chunk of `out`, so the
+// shared pointer never aliases across threads.
+pub fn fan_out(out: &mut [f32]) {
+    let shared = SendPtr(out.as_mut_ptr());
+    let _ = shared;
+}
+
+pub trait PlfBackend {
+    fn cond_like_down(&mut self) -> Result<(), PlfError>;
+    fn cond_like_root(&mut self) -> Result<(), PlfError>;
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError>;
+    fn cond_like_down_fused(&mut self) -> Result<(), PlfError> {
+        self.cond_like_down()
+    }
+    fn cond_like_root_fused(&mut self) -> Result<(), PlfError> {
+        self.cond_like_root()
+    }
+}
+
+pub struct ScalarFixture;
+
+impl PlfBackend for ScalarFixture {
+    fn cond_like_down(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+    fn cond_like_root(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+    fn cond_like_scaler(&mut self) -> Result<(), PlfError> {
+        Ok(())
+    }
+}
+
+pub fn all_backends() -> Vec<Box<dyn PlfBackend>> {
+    vec![Box::new(ScalarFixture)]
+}

@@ -239,6 +239,9 @@ impl PlfBackend for PersistentPoolBackend {
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
         let schedule = self.schedule;
+        // SAFETY: each worker writes a disjoint chunk region of `out`
+        // (chunk indices are claimed exactly once) and `run_job` joins
+        // all chunks before `out` can be touched again.
         let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
         let left = left.as_slice().to_vec();
         let right = right.as_slice().to_vec();
@@ -282,6 +285,9 @@ impl PlfBackend for PersistentPoolBackend {
         let n_rates = out.n_rates();
         let stride = n_rates * N_STATES;
         let schedule = self.schedule;
+        // SAFETY: each worker writes a disjoint chunk region of `out`
+        // (chunk indices are claimed exactly once) and `run_job` joins
+        // all chunks before `out` can be touched again.
         let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
         let a = a.as_slice().to_vec();
         let b = b.as_slice().to_vec();
@@ -317,6 +323,9 @@ impl PlfBackend for PersistentPoolBackend {
         let m = clv.n_patterns();
         let n_rates = clv.n_rates();
         let stride = n_rates * N_STATES;
+        // SAFETY: workers scale disjoint pattern ranges of the CLV and
+        // write disjoint entries of `ln_scalers`; run_job joins before
+        // either buffer is read.
         let clv_ptr = SendPtr(clv.as_mut_slice().as_mut_ptr());
         let sc_ptr = SendPtr(ln_scalers.as_mut_ptr());
         let rescaled = Arc::new(AtomicU64::new(0));
@@ -379,6 +388,9 @@ impl PlfBackend for PersistentPoolBackend {
                 right: op.right.as_slice().to_vec(),
                 p_left: op.p_left.clone(),
                 p_right: op.p_right.clone(),
+                // SAFETY: global chunk indices map to disjoint regions
+                // of exactly one op's `out`; run_job joins before ops
+                // are reused.
                 out: SendPtr(op.out.as_mut_slice().as_mut_ptr()),
             });
             n_chunks += Self::n_chunks(m);
@@ -440,6 +452,9 @@ impl PlfBackend for PersistentPoolBackend {
                 c: op.c.map(|(clv, p)| (clv.as_slice().to_vec(), p.clone())),
                 p_a: op.p_a.clone(),
                 p_b: op.p_b.clone(),
+                // SAFETY: global chunk indices map to disjoint regions
+                // of exactly one op's `out`; run_job joins before ops
+                // are reused.
                 out: SendPtr(op.out.as_mut_slice().as_mut_ptr()),
             });
             n_chunks += Self::n_chunks(m);
@@ -491,6 +506,9 @@ impl PlfBackend for PersistentPoolBackend {
                 chunk_base: n_chunks,
                 m,
                 n_rates: op.clv.n_rates(),
+                // SAFETY: global chunk indices map to disjoint pattern
+                // ranges of exactly one op's CLV and scaler buffers;
+                // run_job joins before the ops are reused.
                 clv: SendPtr(op.clv.as_mut_slice().as_mut_ptr()),
                 scalers: SendPtr(op.ln_scalers.as_mut_ptr()),
             });

@@ -148,6 +148,8 @@ static CRC32_TABLE: [u32; 256] = build_crc32_table();
 pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut c = u32::MAX;
     for &b in data {
+        // Index is masked to 0..=255, always in bounds for the
+        // 256-entry table. plf-lint: allow(L8)
         c = (c >> 8) ^ CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize];
     }
     !c
@@ -530,6 +532,8 @@ impl Journal {
         if inner.frozen {
             return Ok(());
         }
+        // Group-commit by design: the record must be durable before the
+        // key is published under this same lock. plf-lint: allow(L5)
         self.write_locked(&mut inner, payload.as_bytes())?;
         if inner.early_resolved.remove(&record.key) {
             // The resolution already landed; this key owes nothing.
@@ -563,6 +567,8 @@ impl Journal {
         if inner.frozen {
             return;
         }
+        // Group-commit by design: resolution must hit disk before the
+        // segment accounting changes. plf-lint: allow(L5)
         if self.write_locked(&mut inner, payload.as_bytes()).is_err() {
             return;
         }
@@ -661,6 +667,8 @@ impl Journal {
     /// Force an fsync of any batched appends (drain / shutdown path).
     pub(crate) fn flush(&self) -> Result<(), JournalError> {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        // Drain/shutdown path: the whole point is to fsync what the
+        // lock protects, and no other lock is held. plf-lint: allow(L5)
         self.fsync_locked(&mut inner)
     }
 

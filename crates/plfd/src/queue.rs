@@ -282,43 +282,67 @@ impl BoundedQueue {
         Ok(())
     }
 
-    /// Pop the next job that is still live, resolving any job whose
-    /// deadline expired while it sat in the queue as `DeadlineMissed`
-    /// along the way. Must be called with the lanes locked; dequeue
-    /// accounting for expired jobs happens here.
-    fn pop_live(&self, lanes: &mut Lanes) -> Option<Box<Job>> {
+    /// Pop the next job that is still live, moving any job whose
+    /// deadline expired while it sat in the queue into `expired`.
+    /// Must be called with the lanes locked; dequeue accounting for
+    /// expired jobs happens here, but the jobs are *not* resolved —
+    /// publishing writes (and fsyncs) the journal, which must never
+    /// happen under the queue lock. Callers resolve via
+    /// [`BoundedQueue::resolve_expired`] after releasing the guard.
+    fn pop_live(&self, lanes: &mut Lanes, expired: &mut Vec<Job>) -> Option<Box<Job>> {
         let now = Instant::now();
-        let mut expired = 0u64;
+        let mut n_expired = 0u64;
         let job = loop {
             match lanes.pop_front() {
                 None => break None,
                 Some(job) => {
                     if job.past_deadline(now) && !job.is_cancelled() {
-                        if job.try_claim() {
-                            self.counters.record_deadline_missed(&job.tenant);
-                            job.publish(JobOutcome::DeadlineMissed);
-                        }
-                        expired += 1;
+                        n_expired += 1;
+                        expired.push(*job);
                         continue;
                     }
                     break Some(job);
                 }
             }
         };
-        if expired > 0 {
-            self.counters.record_dequeued(expired);
+        if n_expired > 0 {
+            self.counters.record_dequeued(n_expired);
         }
         job
+    }
+
+    /// Resolve jobs that expired in the queue as `DeadlineMissed`.
+    /// Called with the lanes guard released: publishing journals the
+    /// resolution, and the fsync must not stall submitters or other
+    /// poppers.
+    fn resolve_expired(&self, expired: Vec<Job>) {
+        for job in expired {
+            if job.try_claim() {
+                self.counters.record_deadline_missed(&job.tenant);
+                job.publish(JobOutcome::DeadlineMissed);
+            }
+        }
     }
 
     /// Block up to `timeout` for the next live job (high lane first).
     pub(crate) fn pop_wait(&self, timeout: Duration) -> PopResult {
         let mut lanes = self.lock();
         loop {
-            if let Some(job) = self.pop_live(&mut lanes) {
+            let mut expired = Vec::new();
+            let popped = self.pop_live(&mut lanes, &mut expired);
+            if let Some(job) = popped {
                 drop(lanes);
+                self.resolve_expired(expired);
                 self.counters.record_dequeued(1);
                 return PopResult::Job(job);
+            }
+            if !expired.is_empty() {
+                // Everything popped had expired: resolve outside the
+                // lock, then re-acquire and re-check for new arrivals.
+                drop(lanes);
+                self.resolve_expired(expired);
+                lanes = self.lock();
+                continue;
             }
             if lanes.closed {
                 return PopResult::Closed;
@@ -343,14 +367,16 @@ impl BoundedQueue {
     /// do not count against `max`.
     pub(crate) fn drain(&self, max: usize) -> Vec<Job> {
         let mut lanes = self.lock();
+        let mut expired = Vec::new();
         let mut out = Vec::with_capacity(max.min(lanes.depth()));
         while out.len() < max {
-            match self.pop_live(&mut lanes) {
+            match self.pop_live(&mut lanes, &mut expired) {
                 Some(job) => out.push(*job),
                 None => break,
             }
         }
         drop(lanes);
+        self.resolve_expired(expired);
         if !out.is_empty() {
             self.counters.record_dequeued(out.len() as u64);
         }

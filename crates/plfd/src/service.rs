@@ -423,6 +423,12 @@ impl PlfService {
         match self.queue.push(job) {
             Ok(()) => {
                 if let (Some(journal), Some(record)) = (&self.journal, &admitted) {
+                    // Deliberate: the dedup lock must cover the journal
+                    // append, or a racing duplicate could admit a second
+                    // execution before this admission is durable. The
+                    // dedup lock is leaf-ordered (never taken by
+                    // workers), so the fsync delays only racing keyed
+                    // submits. plf-lint: allow(L5)
                     if let Err(err) = journal.append_admitted(record) {
                         // The job may already be executing, but the
                         // caller is told the truth: this admission was

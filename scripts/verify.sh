@@ -10,10 +10,16 @@
 #   3. first-party crate unit tests (the root-package `cargo test` does
 #      not reach workspace members, so the per-crate suites — including
 #      plf-lint's fixture tests — run explicitly);
-#   4. plf-lint, the PLF workspace invariant checker (DESIGN.md §10):
-#      SAFETY-comment coverage, hot-path panic freedom, magic-number
-#      bans, atomic-ordering consistency — a new inline `16384` or a
-#      bare `unsafe` block fails here;
+#   4. plf-lint, the PLF workspace invariant checker (DESIGN.md
+#      §10/§15): the lexical rules L1-L4 (SAFETY-comment coverage,
+#      hot-path panic freedom, magic-number bans, atomic-ordering
+#      consistency) plus the structural rules L5-L8 (lock-order
+#      deadlock analysis, unsafe raw-pointer dataflow, the
+#      kernel-parity matrix, service-path error hygiene). The gate
+#      runs twice — human-readable and --json — and then diffs the
+#      --lock-graph DOT output against the checked-in snapshot
+#      results/lock_graph.dot, so any new lock-order edge shows up in
+#      review;
 #   5. clippy with -D warnings on every first-party crate (the
 #      [workspace.lints] wall turns each listed warn into an error);
 #   6. a smoke run of the perf_report binary, proving the observability
@@ -41,7 +47,8 @@
 # service-smoke artifact.
 #
 # With --deep, additionally runs the Miri soundness pass over the raw
-# allocator (`cargo +nightly miri test -p plf-phylo clv`). Miri needs
+# allocator (`cargo +nightly miri test -p plf-phylo clv`) and over the
+# plf-lint scanner/parser/graph unit tests. Miri needs
 # the nightly toolchain with the miri component; when it is not
 # installed the deep pass is reported and skipped so offline
 # environments still verify.
@@ -81,8 +88,26 @@ cargo test -q
 echo "==> workspace crate tests"
 cargo test -q "${FIRST_PARTY[@]}"
 
-echo "==> plf-lint (workspace invariants L1-L4)"
+echo "==> plf-lint (workspace invariants L1-L8)"
 cargo run --release -q -p plf-lint
+
+echo "==> plf-lint --json (machine-readable gate)"
+# The JSON emitter must agree with the text gate: clean workspace,
+# empty diagnostics array, exit 0.
+LINT_JSON="$(cargo run --release -q -p plf-lint -- --json)"
+if [ "$LINT_JSON" != '{"diagnostics":[]}' ]; then
+    echo "error: plf-lint --json reported diagnostics on a clean tree:" >&2
+    echo "$LINT_JSON" >&2
+    exit 1
+fi
+
+echo "==> plf-lint --lock-graph (snapshot diff vs results/lock_graph.dot)"
+# The lock graph is review-bait: a new edge means a new lock-order
+# constraint and must be committed deliberately (regenerate with
+#   cargo run --release -q -p plf-lint -- --lock-graph > results/lock_graph.dot).
+cargo run --release -q -p plf-lint -- --lock-graph \
+    | diff -u results/lock_graph.dot - \
+    || { echo "error: lock graph drifted from results/lock_graph.dot (see diff above)" >&2; exit 1; }
 
 echo "==> clippy (all first-party crates), -D warnings"
 cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
@@ -115,10 +140,13 @@ cargo run --release -q --bin plfr -- chaos \
     --journal-dir "$CRASH_DIR/journal" >/dev/null
 
 if [ "$DEEP" = 1 ]; then
-    echo "==> deep: miri soundness pass (AlignedBuf / clv)"
+    echo "==> deep: miri soundness pass (AlignedBuf / clv, plf-lint)"
     if rustup run nightly cargo miri --version >/dev/null 2>&1; then
         # MIRIFLAGS: vendored deps are path deps, no network access.
         cargo +nightly miri test -p plf-phylo clv
+        # The lint crate's scanner/parser is pure safe code over
+        # untrusted source text; Miri keeps its indexing honest.
+        cargo +nightly miri test -p plf-lint --lib
     else
         echo "warning: nightly miri not installed; skipping deep pass" >&2
         echo "         (install: rustup component add --toolchain nightly miri)" >&2

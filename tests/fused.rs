@@ -116,3 +116,52 @@ fn fused_with_cache_matches_per_job_bitwise_on_every_backend() {
         }
     }
 }
+
+#[test]
+fn fused_matches_per_job_bitwise_through_resilient_wrapper() {
+    // The resilience wrapper must be parity-transparent: with a healthy
+    // primary tier it forwards every kernel (fused and unfused) to that
+    // tier, so fused evaluation through the wrapper must stay bitwise
+    // identical to per-job evaluation on the bare backend.
+    use plf_repro::phylo::kernels::{ScalarBackend, Simd4Backend};
+    use plf_repro::phylo::resilience::ResilientBackend;
+
+    let (ds, model, trees) = job_family(4);
+    let mut bare = Simd4Backend::col_wise();
+    let per_job: Vec<f64> = trees
+        .iter()
+        .map(|tree| {
+            let mut eval = TreeLikelihood::new(tree, &ds.data, model.clone()).unwrap();
+            eval.log_likelihood(tree, &mut bare).unwrap()
+        })
+        .collect();
+
+    let mut wrapped = ResilientBackend::new(Box::new(Simd4Backend::col_wise()))
+        .with_fallback(Box::new(ScalarBackend));
+    let mut evals: Vec<TreeLikelihood> = trees
+        .iter()
+        .map(|tree| TreeLikelihood::new(tree, &ds.data, model.clone()).unwrap())
+        .collect();
+    let mut jobs: Vec<FusedJob<'_>> = evals
+        .iter_mut()
+        .zip(&trees)
+        .map(|(eval, tree)| FusedJob {
+            eval,
+            tree,
+            dataset_token: 1,
+        })
+        .collect();
+    let fused = evaluate_fused(&mut jobs, &mut wrapped, None).unwrap();
+    assert_eq!(fused.len(), per_job.len());
+    for (i, (f, p)) in fused.iter().zip(&per_job).enumerate() {
+        assert_eq!(
+            f.to_bits(),
+            p.to_bits(),
+            "ResilientBackend job {i}: fused {f} != bare per-job {p}"
+        );
+    }
+    assert!(
+        !wrapped.report().any_faults(),
+        "healthy run must not record faults"
+    );
+}
