@@ -10,7 +10,10 @@
 //! machine instead of modeled. Schema v2 adds a `service` section: the
 //! plfd serial-vs-batched submission comparison on a rayon worker
 //! pool, with every completed result checked bit-for-bit against the
-//! serial scalar reference.
+//! serial scalar reference. Schema v6 adds a `net_service` section:
+//! the same service behind a real plf-net loopback socket, flooded by
+//! the event-driven network load generator, with end-to-end latency
+//! percentiles and the server's wire counters.
 //!
 //! ```text
 //! perf_report [--smoke | --full] [--out PATH] [--require-batched-win]
@@ -25,6 +28,7 @@
 //!   out-throughputs direct per-job dispatch (the fused-execution
 //!   perf gate in CI).
 
+use plf_bench::netbench::{net_service_section, NetServiceBench};
 use plf_bench::report::{
     plf_backend_report, validate_bench_json, write_json, PlfBenchReport, PlfDatasetReport,
     PLF_BENCH_SCHEMA_VERSION,
@@ -122,6 +126,37 @@ fn service_section(jobs: usize, patterns: usize) -> plfd::ServiceBenchmark {
     report
 }
 
+/// The schema-v6 `net_service` section: the same rayon-backed service
+/// behind a real loopback socket, flooded by the event-driven network
+/// load generator.
+fn net_section(connections: usize, jobs: u64, patterns: usize) -> NetServiceBench {
+    eprintln!("net benchmark: {jobs} jobs over {connections} connections...");
+    let bench = net_service_section(
+        &|| Box::new(RayonBackend::new(THREADS).expect("rayon pool")),
+        THREADS,
+        connections,
+        jobs,
+        10,
+        patterns,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("net benchmark failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "  {:>7.1} jobs/s over {} connection(s)   p50 {:.2} ms   p99 {:.2} ms   \
+         p999 {:.2} ms   {} retries   {} lost acks",
+        bench.loadgen.throughput_jobs_per_s,
+        bench.loadgen.connections,
+        bench.loadgen.latency_ms.p50,
+        bench.loadgen.latency_ms.p99,
+        bench.loadgen.latency_ms.p999,
+        bench.loadgen.retries,
+        bench.loadgen.lost_acks
+    );
+    bench
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = PathBuf::from("BENCH_plf.json");
@@ -129,6 +164,8 @@ fn main() -> ExitCode {
     let mut evals: u64 = 10;
     let mut service_jobs: usize = 256;
     let mut service_patterns: usize = 1_000;
+    let mut net_connections: usize = 64;
+    let mut net_jobs: u64 = 512;
     let mut require_batched_win = false;
     let mut i = 0;
     while i < args.len() {
@@ -138,6 +175,8 @@ fn main() -> ExitCode {
                 evals = 2;
                 service_jobs = 64;
                 service_patterns = 200;
+                net_connections = 8;
+                net_jobs = 64;
             }
             "--full" => specs = paper_grid(),
             "--require-batched-win" => require_batched_win = true,
@@ -167,6 +206,7 @@ fn main() -> ExitCode {
         evaluations: evals,
         datasets: specs.into_iter().map(|s| run_dataset(s, evals)).collect(),
         service: service_section(service_jobs, service_patterns),
+        net_service: net_section(net_connections, net_jobs, service_patterns),
     };
     if report.service.bit_mismatches > 0 {
         eprintln!(

@@ -19,4 +19,5 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod netbench;
 pub mod report;

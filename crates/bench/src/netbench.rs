@@ -1,0 +1,107 @@
+//! The schema-v6 `net_service` benchmark: a real `plf-net` socket
+//! server over loopback, flooded by the event-driven network load
+//! generator, with end-to-end latency percentiles and the server-side
+//! wire counters folded into `BENCH_plf.json`.
+
+use plf_net::{NetLoadConfig, NetLoadReport, NetServer, NetServerConfig, ShutdownFlag};
+use plf_phylo::kernels::PlfBackend;
+use plf_phylo::metrics::{NetCounters, NetSnapshot};
+use plf_seqgen::DatasetSpec;
+use plfd::{PlfService, ServiceConfig};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seed shared with the other benchmark sections.
+const SEED: u64 = 2009;
+
+/// The `net_service` section of `BENCH_plf.json` (schema v6).
+#[derive(Debug, Clone, Serialize)]
+pub struct NetServiceBench {
+    /// Client-side load-generator report: completions, retries,
+    /// lost-ack accounting, and p50/p99/p999 end-to-end latency.
+    pub loadgen: NetLoadReport,
+    /// Server-side wire counters (frames, bytes, per-tenant admission).
+    pub counters: NetSnapshot,
+}
+
+/// Run the network benchmark: an in-process `PlfService` behind a
+/// `NetServer` on an ephemeral loopback port, driven by
+/// [`plf_net::loadgen`] over `connections` concurrent sockets.
+pub fn net_service_section(
+    factory: &dyn Fn() -> Box<dyn PlfBackend>,
+    workers: usize,
+    connections: usize,
+    jobs: u64,
+    taxa: usize,
+    patterns: usize,
+) -> Result<NetServiceBench, String> {
+    let ds = plf_seqgen::generate(DatasetSpec::new(taxa, patterns), SEED);
+    let model = plf_seqgen::default_model();
+    let service = PlfService::new(
+        ServiceConfig::default(),
+        (0..workers.max(1)).map(|_| factory()).collect(),
+    );
+    let dataset = service.register_dataset(ds.data);
+    let shutdown = ShutdownFlag::local();
+    let counters = NetCounters::new();
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        service,
+        dataset,
+        model,
+        NetServerConfig::default(),
+        shutdown.clone(),
+        Arc::clone(&counters),
+    )
+    .map_err(|e| format!("net benchmark bind: {e}"))?;
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    let cfg = NetLoadConfig {
+        connections,
+        jobs,
+        tenants: 4,
+        pipeline: 2,
+        churn_every: 16,
+        seed: SEED,
+        deadline: Duration::from_secs(120),
+        ..NetLoadConfig::default()
+    };
+    let loadgen = plf_net::loadgen::run(addr, &cfg);
+    shutdown.request();
+    let joined = handle.join().map_err(|_| "net benchmark server panicked")?;
+    let (service, _report) = joined.map_err(|e| format!("net benchmark server: {e}"))?;
+    let snapshot = counters.snapshot();
+    service.shutdown();
+    let loadgen = loadgen.map_err(|e| format!("net benchmark loadgen: {e}"))?;
+    if loadgen.lost_acks > 0 {
+        return Err(format!(
+            "net benchmark lost {} acknowledged job(s)",
+            loadgen.lost_acks
+        ));
+    }
+    if loadgen.completed == 0 {
+        return Err("net benchmark completed no jobs".into());
+    }
+    Ok(NetServiceBench {
+        loadgen,
+        counters: snapshot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plf_phylo::kernels::ScalarBackend;
+
+    #[test]
+    fn tiny_net_benchmark_completes_cleanly() {
+        let bench = net_service_section(&|| Box::new(ScalarBackend), 2, 4, 24, 6, 48)
+            .expect("net benchmark");
+        assert_eq!(bench.loadgen.completed, 24);
+        assert_eq!(bench.loadgen.lost_acks, 0);
+        assert!(bench.counters.frames_in > 0 && bench.counters.frames_out > 0);
+        assert!(bench.loadgen.latency_ms.p999 >= bench.loadgen.latency_ms.p50);
+    }
+}

@@ -47,9 +47,11 @@ pub fn print_series_table(title: &str, series: &[Series]) {
 /// crash-durability counters (journal appends, replayed / deduped
 /// jobs, truncated records) to the same snapshot; v5 added the CLV
 /// reuse cache counters (`clv_cache_hits`/`clv_cache_misses`) that
-/// the fused dispatch path maintains. Older documents are rejected by
-/// [`validate_bench_json`].
-pub const PLF_BENCH_SCHEMA_VERSION: u32 = 5;
+/// the fused dispatch path maintains; v6 added the mandatory
+/// `net_service` section (the plf-net socket benchmark: loadgen
+/// latency percentiles plus server-side wire counters). Older
+/// documents are rejected by [`validate_bench_json`].
+pub const PLF_BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// Top level of `BENCH_plf.json`: measured PLF observability numbers
 /// (from [`plf_phylo::metrics::PlfCounters`]) for every backend over a
@@ -66,6 +68,10 @@ pub struct PlfBenchReport {
     /// stream evaluated directly, through the service one job at a
     /// time, and through the service fully batched.
     pub service: plfd::ServiceBenchmark,
+    /// Schema v6: the plf-net socket benchmark — the same service
+    /// behind a real loopback socket, flooded by the event-driven
+    /// network load generator.
+    pub net_service: crate::netbench::NetServiceBench,
 }
 
 /// Top-level keys the v2 `service` section must carry. Kept in sync
@@ -102,6 +108,31 @@ const BATCHED_SERVICE_REQUIRED_KEYS: [&str; 15] = [
     "clv_cache_misses",
 ];
 
+/// Keys the v6 `net_service.loadgen` report must carry (from
+/// [`plf_net::NetLoadReport`]); kept in sync by the round-trip test.
+const NET_LOADGEN_REQUIRED_KEYS: [&str; 6] = [
+    "connections",
+    "completed",
+    "lost_acks",
+    "retries",
+    "throughput_jobs_per_s",
+    "latency_ms",
+];
+
+/// Percentiles the v6 `net_service.loadgen.latency_ms` object must
+/// carry (from `plf_net::loadgen::LatencyMs`).
+const NET_LATENCY_REQUIRED_KEYS: [&str; 3] = ["p50", "p99", "p999"];
+
+/// Keys the v6 `net_service.counters` snapshot must carry (from
+/// [`plf_phylo::metrics::NetSnapshot`]).
+const NET_COUNTERS_REQUIRED_KEYS: [&str; 5] = [
+    "connections_opened",
+    "frames_in",
+    "frames_out",
+    "protocol_errors",
+    "tenants",
+];
+
 /// Validate a `BENCH_plf.json` document against the current schema,
 /// rejecting version mismatches loudly (a v1 file with no `service`
 /// section names both versions in the error instead of failing on a
@@ -126,7 +157,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             "BENCH_plf.json schema mismatch: file is v{version}, this tree expects \
              v{PLF_BENCH_SCHEMA_VERSION} (v2 added the mandatory `service` section, v3 its \
              self-healing counters, v4 its crash-durability counters, v5 its CLV-cache \
-             counters; regenerate with \
+             counters, v6 the `net_service` socket benchmark; regenerate with \
              `cargo run --release -p plf-bench --bin perf_report`)"
         ));
     }
@@ -161,6 +192,37 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             return Err(format!(
                 "BENCH_plf.json: service.batched_service missing required counter `{key}` \
                  (file predates schema v{PLF_BENCH_SCHEMA_VERSION})"
+            ));
+        }
+    }
+    let net = field(top, "net_service")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("BENCH_plf.json: v6 requires a `net_service` object (file looks v5-shaped)")?;
+    let net_loadgen = field(net, "loadgen")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("BENCH_plf.json: net_service.loadgen must be an object")?;
+    for key in NET_LOADGEN_REQUIRED_KEYS {
+        if field(net_loadgen, key).is_none() {
+            return Err(format!("BENCH_plf.json: net_service.loadgen missing `{key}`"));
+        }
+    }
+    let latency = field(net_loadgen, "latency_ms")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("BENCH_plf.json: net_service.loadgen.latency_ms must be an object")?;
+    for key in NET_LATENCY_REQUIRED_KEYS {
+        if field(latency, key).is_none() {
+            return Err(format!(
+                "BENCH_plf.json: net_service.loadgen.latency_ms missing percentile `{key}`"
+            ));
+        }
+    }
+    let net_counters = field(net, "counters")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("BENCH_plf.json: net_service.counters must be an object")?;
+    for key in NET_COUNTERS_REQUIRED_KEYS {
+        if field(net_counters, key).is_none() {
+            return Err(format!(
+                "BENCH_plf.json: net_service.counters missing `{key}`"
             ));
         }
     }
@@ -348,21 +410,21 @@ mod tests {
         // A v1 file: schema_version 1, no `service` section.
         let v1 = r#"{"schema_version": 1, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
         let err = validate_bench_json(v1).expect_err("v1 must be rejected");
-        assert!(err.contains("v1") && err.contains("v5"), "names both versions: {err}");
+        assert!(err.contains("v1") && err.contains("v6"), "names both versions: {err}");
 
-        // A v4 file is rejected by version before shape.
-        let v4 = r#"{"schema_version": 4, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
-        let err = validate_bench_json(v4).expect_err("v4 must be rejected");
-        assert!(err.contains("v4") && err.contains("v5"), "names both versions: {err}");
+        // A v5 file is rejected by version before shape.
+        let v5 = r#"{"schema_version": 5, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
+        let err = validate_bench_json(v5).expect_err("v5 must be rejected");
+        assert!(err.contains("v5") && err.contains("v6"), "names both versions: {err}");
 
         // Right version but still v1-shaped (no service section).
-        let hybrid = r#"{"schema_version": 5, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
+        let hybrid = r#"{"schema_version": 6, "evaluations": 10, "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}]}"#;
         let err = validate_bench_json(hybrid).expect_err("missing service must be rejected");
         assert!(err.contains("service"), "{err}");
 
         // Right version, service present, but the batched_service
         // snapshot predates the self-healing counters (v2-shaped).
-        let stale_snapshot = r#"{"schema_version": 5, "evaluations": 10,
+        let stale_snapshot = r#"{"schema_version": 6, "evaluations": 10,
             "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}],
             "service": {"jobs": 4, "serial_jobs_per_sec": 1.0, "batched_jobs_per_sec": 2.0,
                         "speedup_batched_over_serial": 2.0, "bit_mismatches": 0,
@@ -370,10 +432,19 @@ mod tests {
         let err = validate_bench_json(stale_snapshot).expect_err("stale snapshot must be rejected");
         assert!(err.contains("shed"), "{err}");
 
+        let full_batched = r#"{"submitted": 4, "shed": 0, "requeued_jobs": 0,
+                            "watchdog_respawns": 0, "watchdog_hangs": 0, "breaker_opened": 0,
+                            "breaker_half_opened": 0, "breaker_closed": 0,
+                            "probes_ok": 0, "probes_failed": 0, "journal_appends": 0,
+                            "journal_fsyncs": 0, "journal_rotations": 0,
+                            "journal_compactions": 0, "replayed_jobs": 0,
+                            "deduped_jobs": 0, "truncated_records": 0,
+                            "clv_cache_hits": 0, "clv_cache_misses": 0}"#;
+
         // Right version, self-healing and crash-durability counters
         // present, but the CLV-cache counters are missing (v4-shaped
         // snapshot).
-        let v4_snapshot = r#"{"schema_version": 5, "evaluations": 10,
+        let v4_snapshot = r#"{"schema_version": 6, "evaluations": 10,
             "datasets": [{"label": "10_1K", "backends": [{"backend": "scalar"}]}],
             "service": {"jobs": 4, "serial_jobs_per_sec": 1.0, "batched_jobs_per_sec": 2.0,
                         "speedup_batched_over_serial": 2.0, "bit_mismatches": 0,
@@ -387,8 +458,38 @@ mod tests {
         let err = validate_bench_json(v4_snapshot).expect_err("v4-shaped snapshot must be rejected");
         assert!(err.contains("clv_cache_hits"), "{err}");
 
+        // Right version, full service section, but no net_service
+        // (v5-shaped file with a bumped version stamp).
+        let no_net = format!(
+            r#"{{"schema_version": 6, "evaluations": 10,
+            "datasets": [{{"label": "10_1K", "backends": [{{"backend": "scalar"}}]}}],
+            "service": {{"jobs": 4, "serial_jobs_per_sec": 1.0, "batched_jobs_per_sec": 2.0,
+                        "speedup_batched_over_serial": 2.0, "bit_mismatches": 0,
+                        "batched_service": {full_batched}}}}}"#
+        );
+        let err = validate_bench_json(&no_net).expect_err("missing net_service must be rejected");
+        assert!(err.contains("net_service"), "{err}");
+
+        // net_service present but its loadgen report lacks the latency
+        // percentiles.
+        let no_latency = format!(
+            r#"{{"schema_version": 6, "evaluations": 10,
+            "datasets": [{{"label": "10_1K", "backends": [{{"backend": "scalar"}}]}}],
+            "service": {{"jobs": 4, "serial_jobs_per_sec": 1.0, "batched_jobs_per_sec": 2.0,
+                        "speedup_batched_over_serial": 2.0, "bit_mismatches": 0,
+                        "batched_service": {full_batched}}},
+            "net_service": {{"loadgen": {{"connections": 4, "completed": 4, "lost_acks": 0,
+                                          "retries": 0, "throughput_jobs_per_s": 1.0}},
+                             "counters": {{"connections_opened": 4, "frames_in": 1,
+                                           "frames_out": 1, "protocol_errors": 0,
+                                           "tenants": []}}}}}}"#
+        );
+        let err =
+            validate_bench_json(&no_latency).expect_err("missing latency_ms must be rejected");
+        assert!(err.contains("latency_ms"), "{err}");
+
         assert!(validate_bench_json("not json").is_err());
-        assert!(validate_bench_json(r#"{"schema_version": 5, "datasets": [], "service": {}}"#).is_err());
+        assert!(validate_bench_json(r#"{"schema_version": 6, "datasets": [], "service": {}}"#).is_err());
     }
 
     #[test]
@@ -404,6 +505,15 @@ mod tests {
             3,
         )
         .expect("service benchmark");
+        let net_service = crate::netbench::net_service_section(
+            &|| Box::new(plf_phylo::kernels::ScalarBackend),
+            1,
+            2,
+            8,
+            4,
+            16,
+        )
+        .expect("net benchmark");
         let report = PlfBenchReport {
             schema_version: PLF_BENCH_SCHEMA_VERSION,
             evaluations: 1,
@@ -414,6 +524,7 @@ mod tests {
                 backends: vec![plf_backend_report("scalar", 0.1, &MetricsSnapshot::default())],
             }],
             service,
+            net_service,
         };
         let text = serde_json::to_string_pretty(&report).unwrap();
         validate_bench_json(&text).expect("emitted report validates");

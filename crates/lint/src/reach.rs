@@ -3,11 +3,12 @@
 //! L2 guards a fixed allowlist of hot-path *files*; L8 replaces the
 //! path heuristic with reachability: starting from the client-facing
 //! entry points — the `pub` `&self` methods of `PlfService` and
-//! `JobTicket` — every function reachable through resolved calls
-//! (including dynamic dispatch through the `PlfBackend` trait) must be
-//! panic-free: no `unwrap` / `expect` / `panic!` / `todo!` /
-//! `unimplemented!`, and (within `crates/plfd`, where a stray index is
-//! a request-killer rather than kernel arithmetic) no slice-indexing
+//! `JobTicket` in plfd, plus `NetServer` and `NetClient` in plf-net —
+//! every function reachable through resolved calls (including dynamic
+//! dispatch through the `PlfBackend` trait) must be panic-free: no
+//! `unwrap` / `expect` / `panic!` / `todo!` / `unimplemented!`, and
+//! (within `crates/plfd` and `crates/net`, where a stray index is a
+//! request-killer rather than kernel arithmetic) no slice-indexing
 //! `[…]` expressions.
 //!
 //! Constructors (associated fns without `self`) are *not* entry
@@ -21,7 +22,19 @@ use crate::graph::{FnId, Workspace};
 use crate::rules::{panic_sites, Diagnostic, Rule};
 
 /// Types whose `pub` `&self` methods are client entry points.
-const ENTRY_TYPES: [&str; 2] = ["PlfService", "JobTicket"];
+const ENTRY_TYPES: [&str; 4] = ["PlfService", "JobTicket", "NetServer", "NetClient"];
+
+/// `true` for files whose entry types count (the service crates; a
+/// `PlfService` fixture elsewhere is somebody's test double).
+fn is_entry_file(rel: &str) -> bool {
+    rel.contains("plfd") || rel.starts_with("crates/net/")
+}
+
+/// `true` where a slice-indexing expression is a request-killer: the
+/// plfd service data path and the plf-net reactor/codec.
+fn indexing_banned(rel: &str) -> bool {
+    rel.starts_with("crates/plfd/") || rel.starts_with("crates/net/")
+}
 
 /// Compute the set of functions reachable from service entry points,
 /// each mapped to the entry it was first reached from.
@@ -36,7 +49,7 @@ pub fn reachable(ws: &Workspace) -> HashMap<FnId, String> {
         let is_entry = f.is_pub
             && f.has_self
             && f.impl_type.as_deref().is_some_and(|t| ENTRY_TYPES.contains(&t))
-            && file.rel.contains("plfd");
+            && is_entry_file(&file.rel);
         if is_entry {
             let entry = format!("{}::{}", f.impl_type.as_deref().unwrap_or(""), f.name);
             seen.insert(id, entry.clone());
@@ -102,8 +115,8 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
             }
         }
 
-        // Indexing panics: plfd only.
-        if file.rel.starts_with("crates/plfd/") {
+        // Indexing panics: the service crates only.
+        if indexing_banned(&file.rel) {
             let (bs, be) = item.body;
             for i in bs..be {
                 if !toks[i].is_punct('[') {
@@ -246,5 +259,36 @@ impl PlfService {
             !diags.iter().any(|d| d.message.contains("slice indexing")),
             "diags: {diags:?}"
         );
+    }
+
+    #[test]
+    fn net_server_methods_are_entry_points() {
+        let server = "\
+pub struct NetServer { v: Vec<u32> }
+impl NetServer {
+    pub fn run(&self) -> u32 {
+        deep_helper();
+        self.v[0]
+    }
+}
+fn deep_helper() {
+    let x: Option<u32> = None;
+    x.unwrap();
+}
+";
+        let diags = run_on(&[("crates/net/src/server.rs", server)]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("`unwrap`") && d.message.contains("NetServer::run")),
+            "diags: {diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("slice indexing")),
+            "diags: {diags:?}"
+        );
+        // A NetServer fixture outside the service crates is inert.
+        let diags = run_on(&[("crates/bench/src/server.rs", server)]);
+        assert!(diags.is_empty(), "diags: {diags:?}");
     }
 }

@@ -1,0 +1,535 @@
+//! Per-tenant admission scheduling for the socket front end:
+//! weighted fair queuing across tenants, priority lanes within a
+//! tenant, and token-bucket rate limiting.
+//!
+//! The in-process `plfd` queue is already bounded and two-laned, but it
+//! is FIFO across tenants — fine when every caller is the same process,
+//! unfair when one remote tenant can open a thousand connections and
+//! firehose submits. [`FairQueue`] sits between frame decode and
+//! `PlfService::submit` and decides *whose* request is forwarded next:
+//!
+//! * **WFQ via virtual time** — each tenant carries a virtual finish
+//!   time `vt`; serving a tenant advances its `vt` by `1/weight`, and
+//!   the scheduler always serves the smallest `vt` (ties broken by
+//!   tenant name for determinism). A tenant that goes idle re-enters at
+//!   `max(its vt, global vt)`, so sleeping never banks credit.
+//! * **Token buckets** — a rate-limited tenant whose bucket is empty is
+//!   *skipped*, not queued ahead of others; its work waits while other
+//!   tenants proceed, so a throttled tenant can never starve the rest.
+//! * **Pending caps** — each tenant also has a bounded staging queue;
+//!   pushing past it is an explicit [`PushReject`] that the server
+//!   turns into a `Reject(RateLimited)` frame with a retry hint, the
+//!   remote mirror of `SubmitError::QueueFull`.
+//!
+//! All time is an explicit `now_ns` parameter — nothing here reads the
+//! clock, which keeps every fairness property unit-testable with a
+//! synthetic timeline.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+use plfd::Priority;
+
+/// Scheduling policy for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// Relative WFQ weight; a weight-10 tenant receives ~10× the
+    /// service of a weight-1 tenant under saturation. Clamped to a
+    /// small positive floor.
+    pub weight: f64,
+    /// Sustained submit rate in jobs/second; `0.0` means unlimited.
+    pub rate_per_sec: f64,
+    /// Bucket depth in jobs (burst allowance). Ignored when unlimited.
+    pub burst: f64,
+    /// Maximum jobs staged for this tenant awaiting forwarding.
+    pub max_pending: usize,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> TenantPolicy {
+        TenantPolicy {
+            weight: 1.0,
+            rate_per_sec: 0.0,
+            burst: 1.0,
+            max_pending: 1024,
+        }
+    }
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushReject {
+    /// The tenant's staging queue is at `max_pending`.
+    RateLimited {
+        /// Suggested client backoff before resubmitting.
+        retry_after: Duration,
+    },
+}
+
+impl PushReject {
+    /// The backoff hint carried by every reject variant.
+    pub fn retry_after(&self) -> Duration {
+        match self {
+            PushReject::RateLimited { retry_after } => *retry_after,
+        }
+    }
+}
+
+/// Classic token bucket with an explicit clock.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    capacity: f64,
+    tokens: f64,
+    last_refill_ns: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec`, holding at most
+    /// `capacity` tokens, starting full. `rate_per_sec <= 0` builds an
+    /// unlimited bucket.
+    pub fn new(rate_per_sec: f64, capacity: f64, now_ns: u64) -> TokenBucket {
+        let capacity = capacity.max(1.0);
+        TokenBucket {
+            rate_per_sec,
+            capacity,
+            tokens: capacity,
+            last_refill_ns: now_ns,
+        }
+    }
+
+    /// Does this bucket limit at all?
+    pub fn is_unlimited(&self) -> bool {
+        self.rate_per_sec <= 0.0
+    }
+
+    fn refill(&mut self, now_ns: u64) {
+        if self.is_unlimited() {
+            return;
+        }
+        let elapsed_ns = now_ns.saturating_sub(self.last_refill_ns);
+        self.last_refill_ns = now_ns;
+        let gained = self.rate_per_sec * (elapsed_ns as f64 / 1e9);
+        self.tokens = (self.tokens + gained).min(self.capacity);
+    }
+
+    /// Is at least one token available at `now_ns` (without taking it)?
+    pub fn ready(&mut self, now_ns: u64) -> bool {
+        if self.is_unlimited() {
+            return true;
+        }
+        self.refill(now_ns);
+        self.tokens >= 1.0
+    }
+
+    /// Take one token if available.
+    pub fn try_take(&mut self, now_ns: u64) -> bool {
+        if self.is_unlimited() {
+            return true;
+        }
+        self.refill(now_ns);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long until one token will be available (zero if ready now).
+    pub fn next_available(&mut self, now_ns: u64) -> Duration {
+        if self.is_unlimited() {
+            return Duration::ZERO;
+        }
+        self.refill(now_ns);
+        if self.tokens >= 1.0 {
+            return Duration::ZERO;
+        }
+        let deficit = 1.0 - self.tokens;
+        let secs = deficit / self.rate_per_sec;
+        Duration::from_nanos((secs * 1e9).ceil() as u64)
+    }
+}
+
+#[derive(Debug)]
+struct TenantState<T> {
+    policy: TenantPolicy,
+    bucket: TokenBucket,
+    /// Virtual finish time; the WFQ ordering key.
+    vt: f64,
+    high: VecDeque<T>,
+    normal: VecDeque<T>,
+}
+
+impl<T> TenantState<T> {
+    fn pending(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    fn pop_lane(&mut self) -> Option<T> {
+        self.high.pop_front().or_else(|| self.normal.pop_front())
+    }
+}
+
+/// Weighted fair queue over tenants, with per-tenant priority lanes
+/// and token-bucket pacing. Generic over the staged item so tests can
+/// exercise fairness with plain integers.
+#[derive(Debug)]
+pub struct FairQueue<T> {
+    tenants: BTreeMap<String, TenantState<T>>,
+    default_policy: TenantPolicy,
+    /// Virtual time of the most recently served tenant; newly active
+    /// tenants join at this point so idleness banks no credit.
+    global_vt: f64,
+    pending_total: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// An empty queue; tenants not configured explicitly get
+    /// `default_policy`.
+    pub fn new(default_policy: TenantPolicy) -> FairQueue<T> {
+        FairQueue {
+            tenants: BTreeMap::new(),
+            default_policy,
+            global_vt: 0.0,
+            pending_total: 0,
+        }
+    }
+
+    /// Install (or replace) a tenant's policy. Existing staged items
+    /// are kept; the bucket restarts full.
+    pub fn configure_tenant(&mut self, tenant: &str, policy: TenantPolicy, now_ns: u64) {
+        let global_vt = self.global_vt;
+        let state = self
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                policy,
+                bucket: TokenBucket::new(policy.rate_per_sec, policy.burst, now_ns),
+                vt: global_vt,
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+            });
+        state.policy = policy;
+        state.bucket = TokenBucket::new(policy.rate_per_sec, policy.burst, now_ns);
+    }
+
+    fn ensure_tenant(&mut self, tenant: &str, now_ns: u64) -> &mut TenantState<T> {
+        let default_policy = self.default_policy;
+        let global_vt = self.global_vt;
+        self.tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                policy: default_policy,
+                bucket: TokenBucket::new(
+                    default_policy.rate_per_sec,
+                    default_policy.burst,
+                    now_ns,
+                ),
+                vt: global_vt,
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+            })
+    }
+
+    /// Stage an item for `tenant`. Rejects when the tenant's pending
+    /// cap is reached, with a retry hint derived from its bucket.
+    pub fn push(
+        &mut self,
+        tenant: &str,
+        priority: Priority,
+        item: T,
+        now_ns: u64,
+    ) -> Result<(), PushReject> {
+        let global_vt = self.global_vt;
+        let state = self.ensure_tenant(tenant, now_ns);
+        if state.pending() >= state.policy.max_pending {
+            let hint = state
+                .bucket
+                .next_available(now_ns)
+                .max(Duration::from_millis(1));
+            return Err(PushReject::RateLimited { retry_after: hint });
+        }
+        if state.pending() == 0 {
+            // Re-activation: join at the current service point, keeping
+            // any debt from past service but forfeiting idle credit.
+            state.vt = state.vt.max(global_vt);
+        }
+        match priority {
+            Priority::High => state.high.push_back(item),
+            Priority::Normal => state.normal.push_back(item),
+        }
+        self.pending_total += 1;
+        Ok(())
+    }
+
+    fn pick_min_vt(&mut self, now_ns: u64, respect_rate: bool) -> Option<String> {
+        let mut best: Option<(&String, f64)> = None;
+        for (name, state) in self.tenants.iter_mut() {
+            if state.pending() == 0 {
+                continue;
+            }
+            if respect_rate && !state.bucket.ready(now_ns) {
+                continue;
+            }
+            // BTreeMap iterates in name order, so strict `<` makes the
+            // lexicographically first name win vt ties deterministically.
+            match best {
+                Some((_, best_vt)) if state.vt >= best_vt => {}
+                _ => best = Some((name, state.vt)),
+            }
+        }
+        best.map(|(name, _)| name.clone())
+    }
+
+    fn serve(&mut self, name: &str, now_ns: u64, take_token: bool) -> Option<(String, T)> {
+        let state = self.tenants.get_mut(name)?;
+        if take_token && !state.bucket.try_take(now_ns) {
+            return None;
+        }
+        let item = state.pop_lane()?;
+        self.pending_total -= 1;
+        self.global_vt = state.vt;
+        let weight = state.policy.weight.max(1e-6);
+        state.vt += 1.0 / weight;
+        Some((name.to_string(), item))
+    }
+
+    /// Serve the next item under full WFQ + rate-limit rules, or
+    /// `None` when nothing is eligible right now (empty, or every
+    /// tenant with work is token-starved).
+    pub fn pop(&mut self, now_ns: u64) -> Option<(String, T)> {
+        let name = self.pick_min_vt(now_ns, true)?;
+        self.serve(&name, now_ns, true)
+    }
+
+    /// Serve the next item in WFQ order but ignoring token buckets.
+    /// Used during drain, when pacing a doomed queue only delays
+    /// shutdown.
+    pub fn pop_unpaced(&mut self, now_ns: u64) -> Option<(String, T)> {
+        let name = self.pick_min_vt(now_ns, false)?;
+        self.serve(&name, now_ns, false)
+    }
+
+    /// When the earliest token-starved tenant becomes eligible, if
+    /// everything pending is currently starved. `None` when `pop`
+    /// could succeed now or the queue is empty — i.e. only returns a
+    /// wait when waiting is the only option.
+    pub fn next_ready_in(&mut self, now_ns: u64) -> Option<Duration> {
+        if self.pending_total == 0 {
+            return None;
+        }
+        let mut earliest: Option<Duration> = None;
+        for state in self.tenants.values_mut() {
+            if state.pending() == 0 {
+                continue;
+            }
+            let wait = state.bucket.next_available(now_ns);
+            if wait.is_zero() {
+                return None;
+            }
+            earliest = Some(match earliest {
+                Some(e) => e.min(wait),
+                None => wait,
+            });
+        }
+        earliest
+    }
+
+    /// Total staged items across all tenants.
+    pub fn len(&self) -> usize {
+        self.pending_total
+    }
+
+    /// No staged items anywhere?
+    pub fn is_empty(&self) -> bool {
+        self.pending_total == 0
+    }
+
+    /// Staged items for one tenant.
+    pub fn pending(&self, tenant: &str) -> usize {
+        self.tenants.get(tenant).map(|t| t.pending()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn unlimited(weight: f64) -> TenantPolicy {
+        TenantPolicy {
+            weight,
+            ..TenantPolicy::default()
+        }
+    }
+
+    #[test]
+    fn bucket_refills_at_rate_and_caps_at_burst() {
+        let mut b = TokenBucket::new(10.0, 2.0, 0);
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0));
+        // 10 tokens/s → one token after 100 ms.
+        assert!(!b.try_take(50 * MS));
+        assert!(b.try_take(100 * MS));
+        // A long sleep refills to burst, not beyond.
+        assert!(b.try_take(10_000 * MS));
+        assert!(b.try_take(10_000 * MS));
+        assert!(!b.try_take(10_000 * MS));
+    }
+
+    #[test]
+    fn bucket_next_available_matches_deficit() {
+        let mut b = TokenBucket::new(2.0, 1.0, 0);
+        assert!(b.try_take(0));
+        let wait = b.next_available(0);
+        // 2 tokens/s → 500 ms per token.
+        assert_eq!(wait, Duration::from_millis(500));
+        assert!(TokenBucket::new(0.0, 1.0, 0).next_available(0).is_zero());
+    }
+
+    #[test]
+    fn wfq_honors_ten_to_one_weights_within_ten_percent() {
+        let mut q: FairQueue<u32> = FairQueue::new(TenantPolicy::default());
+        q.configure_tenant("heavy", unlimited(10.0), 0);
+        q.configure_tenant("light", unlimited(1.0), 0);
+        for i in 0..400 {
+            q.push("heavy", Priority::Normal, i, 0).expect("push");
+            q.push("light", Priority::Normal, i, 0).expect("push");
+        }
+        let mut heavy = 0u32;
+        let mut light = 0u32;
+        for _ in 0..220 {
+            let (who, _) = q.pop(0).expect("saturated");
+            match who.as_str() {
+                "heavy" => heavy += 1,
+                _ => light += 1,
+            }
+        }
+        // Expect 200:20 service under saturation; allow ±10%.
+        let share = heavy as f64 / 220.0;
+        let expected = 10.0 / 11.0;
+        assert!(
+            (share - expected).abs() <= 0.10 * expected,
+            "heavy share {share} vs expected {expected} (heavy={heavy} light={light})"
+        );
+        assert!(light > 0, "light tenant must not starve");
+    }
+
+    #[test]
+    fn rate_limited_tenant_is_skipped_not_blocking() {
+        let mut q: FairQueue<u32> = FairQueue::new(TenantPolicy::default());
+        q.configure_tenant(
+            "throttled",
+            TenantPolicy {
+                weight: 10.0,
+                rate_per_sec: 1.0,
+                burst: 1.0,
+                ..TenantPolicy::default()
+            },
+            0,
+        );
+        q.configure_tenant("steady", unlimited(1.0), 0);
+        for i in 0..10 {
+            q.push("throttled", Priority::Normal, i, 0).expect("push");
+            q.push("steady", Priority::Normal, i, 0).expect("push");
+        }
+        // First pop serves throttled (burst token, higher weight holds
+        // its vt lower); afterwards its bucket is dry, so the steady
+        // tenant gets everything else despite the weight gap.
+        let mut steady = 0;
+        for _ in 0..10 {
+            if let Some((who, _)) = q.pop(0) {
+                if who == "steady" {
+                    steady += 1;
+                }
+            }
+        }
+        assert!(steady >= 9, "steady tenant starved: {steady}/10");
+        // A second later the throttled tenant earned one token back.
+        let (who, _) = q.pop(1_000 * MS).expect("token refilled");
+        assert_eq!(who, "throttled");
+    }
+
+    #[test]
+    fn pending_cap_rejects_with_retry_hint() {
+        let mut q: FairQueue<u32> = FairQueue::new(TenantPolicy::default());
+        q.configure_tenant(
+            "t",
+            TenantPolicy {
+                max_pending: 2,
+                rate_per_sec: 4.0,
+                burst: 1.0,
+                ..TenantPolicy::default()
+            },
+            0,
+        );
+        q.push("t", Priority::Normal, 1, 0).expect("push");
+        q.push("t", Priority::Normal, 2, 0).expect("push");
+        let err = q.push("t", Priority::Normal, 3, 0).expect_err("cap");
+        assert!(err.retry_after() >= Duration::from_millis(1));
+        assert_eq!(q.pending("t"), 2);
+    }
+
+    #[test]
+    fn high_lane_served_before_normal_within_tenant() {
+        let mut q: FairQueue<&'static str> = FairQueue::new(TenantPolicy::default());
+        q.push("t", Priority::Normal, "n1", 0).expect("push");
+        q.push("t", Priority::High, "h1", 0).expect("push");
+        q.push("t", Priority::High, "h2", 0).expect("push");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop(0).map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!["h1", "h2", "n1"]);
+    }
+
+    #[test]
+    fn idle_tenant_rejoins_at_global_vt_without_credit() {
+        let mut q: FairQueue<u32> = FairQueue::new(TenantPolicy::default());
+        q.configure_tenant("busy", unlimited(1.0), 0);
+        q.configure_tenant("idle", unlimited(1.0), 0);
+        for i in 0..100 {
+            q.push("busy", Priority::Normal, i, 0).expect("push");
+        }
+        for _ in 0..50 {
+            q.pop(0);
+        }
+        // "idle" arrives late; if it banked credit it would now drain
+        // 50 items in a row. It must instead roughly alternate.
+        for i in 0..50 {
+            q.push("idle", Priority::Normal, i, 0).expect("push");
+        }
+        let mut first_ten: Vec<String> = Vec::new();
+        for _ in 0..10 {
+            first_ten.push(q.pop(0).expect("pop").0);
+        }
+        let idle_count = first_ten.iter().filter(|t| t.as_str() == "idle").count();
+        assert!(
+            (4..=6).contains(&idle_count),
+            "expected roughly alternating service, got {first_ten:?}"
+        );
+    }
+
+    #[test]
+    fn next_ready_reports_starvation_wait() {
+        let mut q: FairQueue<u32> = FairQueue::new(TenantPolicy::default());
+        q.configure_tenant(
+            "t",
+            TenantPolicy {
+                rate_per_sec: 1.0,
+                burst: 1.0,
+                ..TenantPolicy::default()
+            },
+            0,
+        );
+        assert!(q.next_ready_in(0).is_none(), "empty queue has no wait");
+        q.push("t", Priority::Normal, 1, 0).expect("push");
+        q.push("t", Priority::Normal, 2, 0).expect("push");
+        assert!(q.next_ready_in(0).is_none(), "token ready: pop would work");
+        let (_, _) = q.pop(0).expect("pop");
+        let wait = q.next_ready_in(0).expect("starved now");
+        assert_eq!(wait, Duration::from_secs(1));
+        assert!(q.pop(0).is_none(), "starved tenant must not be served");
+        assert!(q.pop_unpaced(0).is_some(), "drain ignores pacing");
+    }
+}

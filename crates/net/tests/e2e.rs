@@ -1,0 +1,340 @@
+//! End-to-end tests: a real `NetServer` on a loopback socket, a real
+//! `PlfService` with scalar workers behind it, and real clients in
+//! front — the protocol, the reactor, fair admission, retry, drain,
+//! and the network load generator all exercised through the socket.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use plf_net::loadgen::{self, NetLoadConfig};
+use plf_net::{
+    NetClient, NetServer, NetServerConfig, NetServerReport, Response, ShutdownFlag,
+    SubmitParams, TenantPolicy,
+};
+use plf_phylo::kernels::{PlfBackend, ScalarBackend};
+use plf_phylo::metrics::NetCounters;
+use plf_phylo::model::SiteModel;
+use plf_phylo::likelihood::TreeLikelihood;
+use plfd::{PlfService, RetryPolicy, ServiceConfig};
+use plf_seqgen::DatasetSpec;
+
+struct TestServer {
+    addr: SocketAddr,
+    shutdown: ShutdownFlag,
+    counters: Arc<NetCounters>,
+    handle: JoinHandle<std::io::Result<(PlfService, NetServerReport)>>,
+}
+
+impl TestServer {
+    fn stop(self) -> (PlfService, NetServerReport) {
+        self.shutdown.request();
+        let (service, report) = self
+            .handle
+            .join()
+            .expect("server thread")
+            .expect("server run");
+        (service, report)
+    }
+}
+
+fn start_server(net_cfg: NetServerConfig) -> (TestServer, Vec<String>, SiteModel) {
+    let ds = plf_seqgen::generate(DatasetSpec::new(6, 48), 17);
+    let model = plf_seqgen::default_model();
+    let service = PlfService::new(
+        ServiceConfig::default(),
+        vec![
+            Box::new(ScalarBackend) as Box<dyn PlfBackend>,
+            Box::new(ScalarBackend) as Box<dyn PlfBackend>,
+        ],
+    );
+    let taxa = ds.data.taxa().to_vec();
+    let dataset = service.register_dataset(ds.data);
+    let shutdown = ShutdownFlag::local();
+    let counters = NetCounters::new();
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        service,
+        dataset,
+        model.clone(),
+        net_cfg,
+        shutdown.clone(),
+        Arc::clone(&counters),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (
+        TestServer {
+            addr,
+            shutdown,
+            counters,
+            handle,
+        },
+        taxa,
+        model,
+    )
+}
+
+fn submit_params(tenant: &str, taxa: &[String], seed: u64) -> SubmitParams {
+    SubmitParams {
+        tenant: tenant.to_string(),
+        high_priority: false,
+        deadline: None,
+        idempotency_key: None,
+        newick: loadgen::ladder_newick(taxa, seed),
+    }
+}
+
+#[test]
+fn greeting_carries_service_shape_and_taxa() {
+    let (server, taxa, _model) = start_server(NetServerConfig::default());
+    let client = NetClient::connect(server.addr).expect("connect");
+    let greeting = client.greeting();
+    assert_eq!(greeting.taxa, taxa);
+    assert_eq!(greeting.workers, 2);
+    assert!(greeting.queue_capacity > 0);
+    assert!(greeting.unit_patterns > 0);
+    drop(client);
+    let (service, report) = server.stop();
+    assert_eq!(report.accepted, 1);
+    service.shutdown();
+}
+
+#[test]
+fn submit_completes_with_bit_identical_likelihood() {
+    let (server, taxa, model) = start_server(NetServerConfig::default());
+    let mut client = NetClient::connect(server.addr).expect("connect");
+
+    let params = submit_params("tenant-a", &taxa, 42);
+    let response = client
+        .submit_and_wait(&params, &RetryPolicy::default())
+        .expect("submit");
+    let Response::Completed {
+        ln_likelihood,
+        backend,
+        ..
+    } = &response
+    else {
+        panic!("expected Completed, got {response:?}");
+    };
+    assert!(ln_likelihood.is_finite());
+    assert!(!backend.is_empty());
+
+    // The wire result must be bit-identical to a direct in-process
+    // evaluation of the same tree on the same dataset.
+    let ds = plf_seqgen::generate(DatasetSpec::new(6, 48), 17);
+    let tree =
+        plf_phylo::tree::Tree::from_newick(&params.newick).expect("newick");
+    let mut eval = TreeLikelihood::new(&tree, &ds.data, model).expect("workspace");
+    let mut backend_direct = ScalarBackend;
+    let direct = eval
+        .log_likelihood(&tree, &mut backend_direct)
+        .expect("direct eval");
+    assert_eq!(direct.to_bits(), ln_likelihood.to_bits());
+
+    let (service, report) = server.stop();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.unresolved, 0);
+    service.shutdown();
+}
+
+#[test]
+fn multiple_jobs_on_one_connection_interleave() {
+    let (server, taxa, _model) = start_server(NetServerConfig::default());
+    let mut client = NetClient::connect(server.addr).expect("connect");
+    let mut ids = Vec::new();
+    for i in 0..8u64 {
+        let params = submit_params("tenant-a", &taxa, 100 + i);
+        ids.push(client.submit(&params).expect("submit"));
+    }
+    for id in ids {
+        let response = client.wait_for(id).expect("response");
+        assert!(
+            matches!(response, Response::Completed { .. }),
+            "job {id}: {response:?}"
+        );
+    }
+    let (service, report) = server.stop();
+    assert_eq!(report.completed, 8);
+    service.shutdown();
+}
+
+#[test]
+fn cancel_of_unknown_job_is_idempotent() {
+    let (server, _taxa, _model) = start_server(NetServerConfig::default());
+    let mut client = NetClient::connect(server.addr).expect("connect");
+    client.cancel(999).expect("cancel write");
+    let response = client.wait_for(999).expect("response");
+    assert!(matches!(response, Response::Cancelled { client_job: 999 }));
+    let (service, _report) = server.stop();
+    service.shutdown();
+}
+
+#[test]
+fn bad_newick_gets_an_error_frame_not_a_hang() {
+    let (server, _taxa, _model) = start_server(NetServerConfig::default());
+    let mut client = NetClient::connect(server.addr).expect("connect");
+    let params = SubmitParams {
+        tenant: "t".into(),
+        high_priority: false,
+        deadline: None,
+        idempotency_key: None,
+        newick: "((((".into(),
+    };
+    let id = client.submit(&params).expect("submit");
+    let response = client.wait_for(id).expect("response");
+    assert!(
+        matches!(response, Response::Error { .. }),
+        "expected Error, got {response:?}"
+    );
+    let (service, _report) = server.stop();
+    service.shutdown();
+}
+
+#[test]
+fn rate_limited_tenant_sees_reject_and_retry_succeeds() {
+    let mut cfg = NetServerConfig::default();
+    cfg.tenant_policies.push((
+        "throttled".to_string(),
+        TenantPolicy {
+            weight: 1.0,
+            rate_per_sec: 50.0,
+            burst: 1.0,
+            max_pending: 1,
+        },
+    ));
+    let (server, taxa, _model) = start_server(cfg);
+    let mut client = NetClient::connect(server.addr).expect("connect");
+
+    // Flood faster than the staging cap of 1 can drain: at least one
+    // submit must come back RateLimited with a usable hint.
+    let mut ids = Vec::new();
+    for i in 0..16u64 {
+        let params = SubmitParams {
+            tenant: "throttled".into(),
+            ..submit_params("throttled", &taxa, 200 + i)
+        };
+        ids.push(client.submit(&params).expect("submit"));
+    }
+    let mut rejects = 0;
+    let mut completed = 0;
+    for id in ids {
+        match client.wait_for(id).expect("response") {
+            Response::Reject {
+                reason,
+                retry_after_ns,
+                ..
+            } => {
+                assert_eq!(reason, plf_net::RejectReason::RateLimited);
+                assert!(reason.is_retryable());
+                assert!(retry_after_ns > 0, "hint must be actionable");
+                rejects += 1;
+            }
+            Response::Completed { .. } => completed += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(rejects > 0, "expected at least one RateLimited reject");
+    assert!(completed > 0, "paced submits must still complete");
+
+    // submit_and_wait's retry loop must absorb the same pressure.
+    let response = client
+        .submit_and_wait(
+            &SubmitParams {
+                tenant: "throttled".into(),
+                ..submit_params("throttled", &taxa, 999)
+            },
+            &RetryPolicy::default(),
+        )
+        .expect("retry loop");
+    assert!(
+        matches!(response, Response::Completed { .. }),
+        "retries must converge: {response:?}"
+    );
+    let (service, _report) = server.stop();
+    service.shutdown();
+}
+
+#[test]
+fn drain_rejects_new_submits_but_finishes_inflight() {
+    let (server, taxa, _model) = start_server(NetServerConfig::default());
+    let mut client = NetClient::connect(server.addr).expect("connect");
+    let mut ids = Vec::new();
+    for i in 0..4u64 {
+        ids.push(
+            client
+                .submit(&submit_params("tenant-a", &taxa, 300 + i))
+                .expect("submit"),
+        );
+    }
+    server.shutdown.request();
+    // Every submission gets a terminal answer: Completed (staged or in
+    // flight before the drain began), Error (drain budget exhausted;
+    // journal owns it), or a Draining reject (the submit frame lost
+    // the race and reached the server after the drain began). A
+    // silently closed socket is the one forbidden outcome.
+    let mut terminal = 0;
+    for id in ids {
+        match client.wait_for(id) {
+            Ok(Response::Completed { .. }) | Ok(Response::Error { .. }) => terminal += 1,
+            Ok(Response::Reject { reason, .. }) => {
+                assert_eq!(reason, plf_net::RejectReason::Draining);
+                terminal += 1;
+            }
+            Ok(other) => panic!("unexpected {other:?}"),
+            Err(e) => panic!("pre-drain job lost: {e}"),
+        }
+    }
+    assert_eq!(terminal, 4);
+    let (service, report) = server.stop();
+    assert_eq!(
+        report.unresolved, 0,
+        "drain budget must cover the in-flight tail"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn net_loadgen_runs_churn_without_losing_acknowledged_jobs() {
+    let (server, _taxa, _model) = start_server(NetServerConfig::default());
+    let cfg = NetLoadConfig {
+        connections: 8,
+        jobs: 48,
+        tenants: 3,
+        pipeline: 2,
+        churn_every: 3,
+        high_every: 4,
+        seed: 7,
+        deadline: Duration::from_secs(60),
+        ..NetLoadConfig::default()
+    };
+    let report = loadgen::run(server.addr, &cfg).expect("loadgen");
+    assert_eq!(report.lost_acks, 0, "zero lost acknowledged jobs");
+    assert_eq!(report.completed, 48, "{report:?}");
+    assert!(report.reconnects > 0, "churn must actually reconnect");
+    assert!(report.latency_ms.p50 > 0.0);
+    assert!(report.latency_ms.p999 >= report.latency_ms.p99);
+    assert!(report.latency_ms.p99 >= report.latency_ms.p50);
+
+    // The server observes client-side closes asynchronously; give the
+    // reactor a moment to process the final hangups.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let snap = loop {
+        let snap = server.counters.snapshot();
+        if snap.connections_active == 0 || std::time::Instant::now() >= deadline {
+            break snap;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(snap.connections_opened >= 8 + report.reconnects);
+    assert_eq!(snap.connections_active, 0, "everything closed by exit");
+    assert!(snap.frames_in > 0 && snap.frames_out > 0);
+    // Tenant breakdown covers every tenant the loadgen used.
+    assert!(snap.tenants.len() >= 3, "{:?}", snap.tenants);
+
+    let (service, report) = server.stop();
+    assert_eq!(report.unresolved, 0);
+    service.shutdown();
+}

@@ -797,6 +797,264 @@ impl ServiceSnapshot {
     }
 }
 
+/// Per-tenant accumulators kept under the [`NetCounters`] mutex;
+/// plain integers because they are only touched while the map lock is
+/// held (once per request, not per byte).
+#[derive(Debug, Default, Clone)]
+struct NetTenantCell {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    rate_limited: u64,
+}
+
+/// Connection-layer counters for the `plf-net` socket server: accept /
+/// close traffic, frame and byte volume in each direction, protocol
+/// errors, and the admission outcomes relayed to remote clients, with
+/// a per-tenant breakdown feeding the fairness tests and the BENCH
+/// `net_service` section.
+///
+/// Same contract as [`ServiceCounters`]: independent monotone
+/// statistics on relaxed atomics (covered by the module-level
+/// `plf-lint` ordering declaration), except `connections_active` — a
+/// gauge incremented on accept and decremented on close, with
+/// `connections_peak` tracking its high-water mark via `fetch_max`.
+/// The per-tenant map takes a short mutex, acceptable because tenant
+/// attribution happens once per *request frame*, not per byte or per
+/// readiness event.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    connections_active: AtomicU64,
+    connections_peak: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rate_limited: AtomicU64,
+    drained_connections: AtomicU64,
+    tenants: Mutex<BTreeMap<String, NetTenantCell>>,
+}
+
+impl NetCounters {
+    /// A fresh, shareable counter block.
+    pub fn new() -> Arc<NetCounters> {
+        Arc::new(NetCounters::default())
+    }
+
+    fn tenant_cell<R>(&self, tenant: &str, f: impl FnOnce(&mut NetTenantCell) -> R) -> R {
+        let mut map = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        f(map.entry(tenant.to_string()).or_default())
+    }
+
+    /// Record one accepted connection.
+    pub fn record_conn_open(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+        let live = self.connections_active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.connections_peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Record one connection closed (peer hangup, protocol error, or
+    /// server-side drain).
+    pub fn record_conn_close(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+        // Saturating: open/close calls are paired by the reactor, but a
+        // miscount must not wrap the gauge to u64::MAX.
+        let _ = self
+            .connections_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// Record one well-formed frame read off a socket (`bytes` on the
+    /// wire including header and CRC).
+    pub fn record_frame_in(&self, bytes: u64) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one frame written to a socket (`bytes` on the wire).
+    pub fn record_frame_out(&self, bytes: u64) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one protocol violation (bad magic, version skew, CRC
+    /// mismatch, oversized length prefix, or malformed payload); the
+    /// reactor answers with an error frame and closes the connection.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one submit request forwarded from the wire into the
+    /// service admission queue for `tenant`.
+    pub fn record_net_submitted(&self, tenant: &str) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.submitted += 1);
+    }
+
+    /// Record one terminal outcome frame (completed / failed /
+    /// cancelled / deadline-missed) delivered to `tenant`'s client.
+    pub fn record_net_completed(&self, tenant: &str) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.completed += 1);
+    }
+
+    /// Record one queue-full reject frame (with retry-after and
+    /// jobs-ahead hints) sent to `tenant`'s client.
+    pub fn record_net_reject_queue_full(&self, tenant: &str) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.rejected += 1);
+    }
+
+    /// Record one overload-shed reject frame sent to `tenant`'s client.
+    pub fn record_net_reject_overloaded(&self, tenant: &str) {
+        self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.rejected += 1);
+    }
+
+    /// Record one request held back by `tenant`'s token bucket (the
+    /// WFQ scheduler skipped the tenant this round; the request stays
+    /// queued, it is not rejected).
+    pub fn record_net_rate_limited(&self, tenant: &str) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+        self.tenant_cell(tenant, |c| c.rate_limited += 1);
+    }
+
+    /// Record one connection flushed and closed by graceful drain.
+    pub fn record_drained_connection(&self) {
+        self.drained_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Live connection gauge.
+    pub fn connections_active(&self) -> u64 {
+        self.connections_active.load(Ordering::Relaxed)
+    }
+
+    /// Zero every counter and drop all tenant rows.
+    pub fn reset(&self) {
+        for c in [
+            &self.connections_opened,
+            &self.connections_closed,
+            &self.connections_active,
+            &self.connections_peak,
+            &self.frames_in,
+            &self.frames_out,
+            &self.bytes_in,
+            &self.bytes_out,
+            &self.protocol_errors,
+            &self.submitted,
+            &self.completed,
+            &self.rejected_queue_full,
+            &self.rejected_overloaded,
+            &self.rate_limited,
+            &self.drained_connections,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> NetSnapshot {
+        let tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(name, c)| NetTenantSnapshot {
+                tenant: name.clone(),
+                submitted: c.submitted,
+                completed: c.completed,
+                rejected: c.rejected,
+                rate_limited: c.rate_limited,
+            })
+            .collect();
+        NetSnapshot {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_peak: self.connections_peak.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            drained_connections: self.drained_connections.load(Ordering::Relaxed),
+            tenants,
+        }
+    }
+}
+
+/// One tenant's accumulated connection-layer counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct NetTenantSnapshot {
+    /// Tenant name as carried in submit frames.
+    pub tenant: String,
+    /// Submit requests forwarded into the admission queue.
+    pub submitted: u64,
+    /// Terminal outcome frames delivered.
+    pub completed: u64,
+    /// Reject frames sent (queue full + overload shed).
+    pub rejected: u64,
+    /// Requests deferred by the tenant's token bucket.
+    pub rate_limited: u64,
+}
+
+/// A point-in-time copy of a [`NetCounters`] block; the `net_service`
+/// section of `BENCH_plf.json` schema v6 embeds one of these.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct NetSnapshot {
+    /// Connections accepted.
+    pub connections_opened: u64,
+    /// Connections closed (any cause).
+    pub connections_closed: u64,
+    /// Live connections when the snapshot was taken.
+    pub connections_active: u64,
+    /// High-water mark of the live-connection gauge.
+    pub connections_peak: u64,
+    /// Well-formed frames read.
+    pub frames_in: u64,
+    /// Frames written.
+    pub frames_out: u64,
+    /// Bytes read off sockets (headers and CRCs included).
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Protocol violations (bad magic, version skew, CRC mismatch,
+    /// oversized length, malformed payload).
+    pub protocol_errors: u64,
+    /// Submit requests forwarded into the admission queue.
+    pub submitted: u64,
+    /// Terminal outcome frames delivered to clients.
+    pub completed: u64,
+    /// Queue-full reject frames sent.
+    pub rejected_queue_full: u64,
+    /// Overload-shed reject frames sent.
+    pub rejected_overloaded: u64,
+    /// Requests deferred by per-tenant token buckets.
+    pub rate_limited: u64,
+    /// Connections flushed and closed by graceful drain.
+    pub drained_connections: u64,
+    /// Per-tenant breakdown, sorted by tenant name.
+    pub tenants: Vec<NetTenantSnapshot>,
+}
+
 /// RAII span timer: started before a kernel body, records one
 /// invocation (with patterns and elapsed wall time) into the counters
 /// when dropped. With `counters == None` it records nothing.
@@ -1000,5 +1258,71 @@ mod tests {
         let json = serde_json::to_string(&c.snapshot()).unwrap();
         assert!(json.contains("\"scale\""));
         assert!(json.contains("\"rescaled_patterns\""));
+    }
+
+    #[test]
+    fn net_counters_track_connections_and_frames() {
+        let c = NetCounters::new();
+        c.record_conn_open();
+        c.record_conn_open();
+        c.record_conn_close();
+        c.record_frame_in(24);
+        c.record_frame_in(40);
+        c.record_frame_out(16);
+        c.record_protocol_error();
+        let s = c.snapshot();
+        assert_eq!(s.connections_opened, 2);
+        assert_eq!(s.connections_closed, 1);
+        assert_eq!(s.connections_active, 1);
+        assert_eq!(s.connections_peak, 2);
+        assert_eq!(s.frames_in, 2);
+        assert_eq!(s.bytes_in, 64);
+        assert_eq!(s.frames_out, 1);
+        assert_eq!(s.bytes_out, 16);
+        assert_eq!(s.protocol_errors, 1);
+        assert_eq!(c.connections_active(), 1);
+    }
+
+    #[test]
+    fn net_close_saturates_instead_of_wrapping() {
+        let c = NetCounters::new();
+        c.record_conn_close();
+        assert_eq!(c.connections_active(), 0);
+    }
+
+    #[test]
+    fn net_counters_track_tenant_outcomes_and_reset() {
+        let c = NetCounters::new();
+        c.record_net_submitted("a");
+        c.record_net_submitted("b");
+        c.record_net_completed("a");
+        c.record_net_reject_queue_full("b");
+        c.record_net_reject_overloaded("b");
+        c.record_net_rate_limited("b");
+        c.record_drained_connection();
+        let s = c.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected_queue_full, 1);
+        assert_eq!(s.rejected_overloaded, 1);
+        assert_eq!(s.rate_limited, 1);
+        assert_eq!(s.drained_connections, 1);
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.tenants[0].tenant, "a");
+        assert_eq!(s.tenants[0].completed, 1);
+        assert_eq!(s.tenants[1].rejected, 2);
+        assert_eq!(s.tenants[1].rate_limited, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), NetSnapshot::default());
+    }
+
+    #[test]
+    fn net_snapshot_serializes() {
+        let c = NetCounters::new();
+        c.record_net_submitted("tenant-9");
+        let json = serde_json::to_string(&c.snapshot()).unwrap();
+        assert!(json.contains("\"connections_peak\""));
+        assert!(json.contains("\"rate_limited\""));
+        assert!(json.contains("\"tenant-9\""));
     }
 }

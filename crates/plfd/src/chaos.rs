@@ -405,11 +405,11 @@ pub fn run_chaos(cfg: &ChaosConfig, make_backend: &ChaosBackendFactory) -> Chaos
         let ticket = loop {
             match service.submit(spec.clone()) {
                 Ok(t) => break t,
-                Err(SubmitError::QueueFull { retry_after }) => {
+                Err(SubmitError::QueueFull { retry_after, .. }) => {
                     rejections_retried += 1;
                     std::thread::sleep(retry_after);
                 }
-                Err(SubmitError::Overloaded { retry_after }) => {
+                Err(SubmitError::Overloaded { retry_after, .. }) => {
                     sheds_retried += 1;
                     std::thread::sleep(retry_after);
                 }

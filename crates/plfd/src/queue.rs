@@ -42,6 +42,9 @@ pub enum SubmitError {
     QueueFull {
         /// Estimated time for enough backlog to drain.
         retry_after: Duration,
+        /// Lane-aware backlog the submission would have waited behind
+        /// (high-priority submissions count only the high lane).
+        jobs_ahead: usize,
     },
     /// The queue has room, but the admission controller estimates the
     /// job would wait longer than the shed policy's target delay;
@@ -49,6 +52,9 @@ pub enum SubmitError {
     Overloaded {
         /// Estimated time for enough backlog to drain.
         retry_after: Duration,
+        /// Lane-aware backlog the submission would have waited behind
+        /// (high-priority submissions count only the high lane).
+        jobs_ahead: usize,
     },
     /// The service is shutting down and accepts no new work.
     Closed,
@@ -68,8 +74,22 @@ impl SubmitError {
     /// The backoff hint, for rejections that carry one.
     pub fn retry_after(&self) -> Option<Duration> {
         match self {
-            SubmitError::QueueFull { retry_after }
-            | SubmitError::Overloaded { retry_after } => Some(*retry_after),
+            SubmitError::QueueFull { retry_after, .. }
+            | SubmitError::Overloaded { retry_after, .. } => Some(*retry_after),
+            SubmitError::Closed
+            | SubmitError::UnknownDataset(_)
+            | SubmitError::Journal { .. } => None,
+        }
+    }
+
+    /// The lane-aware backlog hint, for rejections that carry one: how
+    /// many jobs the submission would have waited behind. Remote
+    /// protocol frames forward this verbatim so a network client sees
+    /// exactly what an in-process caller sees.
+    pub fn jobs_ahead(&self) -> Option<usize> {
+        match self {
+            SubmitError::QueueFull { jobs_ahead, .. }
+            | SubmitError::Overloaded { jobs_ahead, .. } => Some(*jobs_ahead),
             SubmitError::Closed
             | SubmitError::UnknownDataset(_)
             | SubmitError::Journal { .. } => None,
@@ -89,14 +109,14 @@ impl SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::QueueFull { retry_after } => write!(
+            SubmitError::QueueFull { retry_after, jobs_ahead } => write!(
                 f,
-                "queue full; retry after {:.1} ms",
+                "queue full ({jobs_ahead} ahead); retry after {:.1} ms",
                 retry_after.as_secs_f64() * 1e3
             ),
-            SubmitError::Overloaded { retry_after } => write!(
+            SubmitError::Overloaded { retry_after, jobs_ahead } => write!(
                 f,
-                "service overloaded (shed); retry after {:.1} ms",
+                "service overloaded (shed, {jobs_ahead} ahead); retry after {:.1} ms",
                 retry_after.as_secs_f64() * 1e3
             ),
             SubmitError::Closed => write!(f, "service is shut down"),
@@ -267,10 +287,10 @@ impl BoundedQueue {
         };
         if lanes.depth() >= self.capacity {
             let retry_after = self.controller.retry_hint(jobs_ahead);
-            return Err((job, SubmitError::QueueFull { retry_after }));
+            return Err((job, SubmitError::QueueFull { retry_after, jobs_ahead }));
         }
         if let Some(retry_after) = self.controller.shed_decision(jobs_ahead) {
-            return Err((job, SubmitError::Overloaded { retry_after }));
+            return Err((job, SubmitError::Overloaded { retry_after, jobs_ahead }));
         }
         match job.priority {
             Priority::High => lanes.high.push_back(job),
@@ -454,9 +474,10 @@ mod tests {
         }
         let (_job, err) = q.push(test_job(3, Priority::Normal)).expect_err("full");
         match err {
-            SubmitError::QueueFull { retry_after } => {
+            SubmitError::QueueFull { retry_after, jobs_ahead } => {
                 assert!(retry_after > Duration::ZERO);
                 assert!(retry_after <= Duration::from_secs(1));
+                assert_eq!(jobs_ahead, 3, "three queued jobs ahead of the reject");
             }
             other => panic!("expected QueueFull, got {other:?}"),
         }
@@ -529,9 +550,10 @@ mod tests {
         }
         let (_job, err) = q.push(test_job(3, Priority::Normal)).expect_err("shed");
         match err {
-            SubmitError::Overloaded { retry_after } => {
+            SubmitError::Overloaded { retry_after, jobs_ahead } => {
                 assert!(retry_after > Duration::ZERO);
                 assert!(retry_after <= Duration::from_secs(1));
+                assert_eq!(jobs_ahead, 3, "shed decision saw the whole backlog");
             }
             other => panic!("expected Overloaded, got {other:?}"),
         }

@@ -851,7 +851,9 @@ mod tests {
         let err = service
             .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
             .expect_err("over capacity");
-        assert!(matches!(err, SubmitError::QueueFull { retry_after } if retry_after > Duration::ZERO));
+        assert!(
+            matches!(err, SubmitError::QueueFull { retry_after, .. } if retry_after > Duration::ZERO)
+        );
         service.release();
         for t in tickets {
             assert!(t.wait().is_completed());

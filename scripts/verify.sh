@@ -23,17 +23,22 @@
 #   5. clippy with -D warnings on every first-party crate (the
 #      [workspace.lints] wall turns each listed warn into an error);
 #   6. a smoke run of the perf_report binary, proving the observability
-#      pipeline produces a BENCH_plf report end to end (schema v5, with
+#      pipeline produces a BENCH_plf report end to end (schema v6, with
 #      the plfd service section including the self-healing,
-#      crash-durability, and CLV-cache counters, self-validated by the
-#      binary). The run doubles as the batch-perf smoke:
-#      --require-batched-win makes the binary exit non-zero unless the
-#      batched service out-throughputs direct per-job dispatch, so a
-#      fused-execution regression fails verification;
-#   7. a quick fixed-seed `plfr chaos` soak — a scheduled worker kill
+#      crash-durability, and CLV-cache counters, plus the net_service
+#      section measured over a real plf-net loopback socket,
+#      self-validated by the binary). The run doubles as the batch-perf
+#      smoke: --require-batched-win makes the binary exit non-zero
+#      unless the batched service out-throughputs direct per-job
+#      dispatch, so a fused-execution regression fails verification;
+#   7. the network smoke: `plfr serve --listen` on an ephemeral
+#      loopback port flooded by `plfr loadgen --connect` with tenant
+#      churn — loadgen exits non-zero if any acknowledged job is lost
+#      and the server must drain cleanly on SIGTERM;
+#   8. a quick fixed-seed `plfr chaos` soak — a scheduled worker kill
 #      and backend blackout that the service must heal with zero lost
 #      jobs, bit-identical results, and every breaker re-closed;
-#   8. a fixed-seed `plfr chaos --crash` drill — the service is crashed
+#   9. a fixed-seed `plfr chaos --crash` drill — the service is crashed
 #      (kill -9 semantics: journal frozen mid-flight, a torn record
 #      appended to the tail) after N acknowledged jobs and restarted on
 #      the same journal; exits non-zero unless recovery replays every
@@ -67,8 +72,8 @@ done
 
 FIRST_PARTY=(
     -p plf-phylo -p plf-seqgen -p plf-mcmc -p plf-simcore
-    -p plf-multicore -p plf-cellbe -p plf-gpu -p plfd -p plf-bench
-    -p plf-lint -p plf-repro
+    -p plf-multicore -p plf-cellbe -p plf-gpu -p plfd -p plf-net
+    -p plf-bench -p plf-lint -p plf-repro
 )
 
 echo "==> hygiene: no tracked files under target/"
@@ -123,6 +128,37 @@ else
         --smoke --require-batched-win --out results/BENCH_plf.smoke.tmp
     rm -f results/BENCH_plf.smoke.tmp
 fi
+
+echo "==> net smoke (plfr serve --listen vs plfr loadgen --connect)"
+# A real two-process socket run on an ephemeral loopback port: loadgen
+# exits non-zero if any acknowledged job is lost, and the server must
+# drain cleanly (exit 0) on SIGTERM.
+NET_DIR="$(mktemp -d)"
+cargo run --release -q --bin plfr -- simulate \
+    --taxa 10 --patterns 200 --seed 2009 --out "$NET_DIR/aln.fasta"
+cargo run --release -q --bin plfr -- serve \
+    --alignment "$NET_DIR/aln.fasta" --backend rayon --workers 2 \
+    --listen 127.0.0.1:0 --port-file "$NET_DIR/port.txt" \
+    2>"$NET_DIR/server.log" &
+NET_SERVER=$!
+for _ in $(seq 1 150); do [ -s "$NET_DIR/port.txt" ] && break; sleep 0.2; done
+if [ ! -s "$NET_DIR/port.txt" ]; then
+    echo "error: plfr serve never wrote its port file" >&2
+    cat "$NET_DIR/server.log" >&2
+    kill "$NET_SERVER" 2>/dev/null || true
+    rm -rf "$NET_DIR"
+    exit 1
+fi
+cargo run --release -q --bin plfr -- loadgen \
+    --connect "127.0.0.1:$(cat "$NET_DIR/port.txt")" \
+    --connections 64 --jobs 512 --pipeline 2 --churn 16 \
+    || { echo "error: network loadgen failed (see above)" >&2;
+         kill "$NET_SERVER" 2>/dev/null || true; rm -rf "$NET_DIR"; exit 1; }
+kill -TERM "$NET_SERVER"
+wait "$NET_SERVER" \
+    || { echo "error: plfr serve did not drain cleanly on SIGTERM" >&2;
+         cat "$NET_DIR/server.log" >&2; rm -rf "$NET_DIR"; exit 1; }
+rm -rf "$NET_DIR"
 
 echo "==> plfr chaos (fixed-seed self-healing soak)"
 # Default schedule: kill worker 0 at submission 40, black out worker 1

@@ -5,8 +5,9 @@
 //! plfr likelihood --alignment data.fasta [--tree tree.nwk] [--backend rayon] [--shape 0.5] [--pinvar 0.1]
 //! plfr mcmc       --alignment data.fasta [--tree tree.nwk] --generations 1000 [--backend qs20]
 //!                 [--incremental] [--trace PREFIX] [--sample-every 100] [--seed 42]
-//! plfr serve      --alignment data.fasta [--backend rayon] [--workers 4] [--queue-capacity 256]
+//! plfr serve      --alignment data.fasta (--listen ADDR | --stdio) [--backend rayon] [--workers 4]
 //! plfr loadgen    --jobs 256 [--taxa 10] [--patterns 1000] [--backend rayon] [--workers 4] [--json]
+//! plfr loadgen    --connect ADDR [--connections 10000] [--jobs 20000] [--pipeline 2] [--churn 8]
 //! plfr chaos      [--jobs 200] [--seed 2009] [--kills 0@40] [--blackouts 1@80x6] [--json]
 //! plfr backends
 //! ```
@@ -15,10 +16,14 @@
 //! else); trees are Newick. Without `--tree`, a random starting tree
 //! over the alignment's taxa is generated from the seed.
 //!
-//! `serve` runs the `plfd` batched evaluation service over stdin/stdout
-//! (one request per line, see `plfr serve --help`); `loadgen` drives an
-//! in-process service with a deterministic seeded job stream and checks
-//! every completed result bit-for-bit against the scalar reference;
+//! `serve` runs the `plfd` batched evaluation service — on a socket
+//! with `--listen ADDR` (the plf-net length-prefixed binary protocol,
+//! per-tenant fair queuing, graceful drain) or on stdin/stdout with
+//! `--stdio` (one request per line, see `plfr serve --help`);
+//! `loadgen` drives an in-process service with a deterministic seeded
+//! job stream and checks every completed result bit-for-bit against
+//! the scalar reference, or — with `--connect ADDR` — floods a remote
+//! `serve --listen` over thousands of concurrent connections;
 //! `chaos` runs the self-healing soak — worker kills, backend
 //! blackouts, and seeded kernel faults — and exits non-zero unless the
 //! service recovered with zero lost jobs and bit-identical results.
@@ -418,34 +423,6 @@ fn service_config(args: &Args) -> Result<ServiceConfig, String> {
     Ok(cfg)
 }
 
-/// `true` once SIGTERM or SIGINT arrives; `serve` polls this to start
-/// a graceful drain instead of dying mid-stream.
-static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
-    std::sync::atomic::AtomicBool::new(false);
-
-const SIGINT: i32 = 2;
-const SIGTERM: i32 = 15;
-
-extern "C" fn request_shutdown(_signum: i32) {
-    // Only the async-signal-safe atomic store happens here; the serve
-    // loop notices the flag at its next poll tick.
-    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
-}
-
-/// Route SIGTERM/SIGINT into [`SHUTDOWN_REQUESTED`].
-fn install_shutdown_handler() {
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-    // SAFETY: `signal` is the POSIX libc entry point; the handler only
-    // performs an atomic store, which is async-signal-safe, and the
-    // replaced disposition (the default) is not needed again.
-    unsafe {
-        signal(SIGINT, request_shutdown);
-        signal(SIGTERM, request_shutdown);
-    }
-}
-
 /// One worker backend per `--workers`, cycling through the comma list
 /// in `--backend`; honors `PLF_FAULT_*` via [`make_backend`].
 fn service_backends(args: &Args) -> Result<Vec<Box<dyn PlfBackend>>, String> {
@@ -463,15 +440,32 @@ fn service_backends(args: &Args) -> Result<Vec<Box<dyn PlfBackend>>, String> {
         .collect()
 }
 
-const SERVE_USAGE: &str = "plfr serve — run the plfd batched evaluation service over stdio
+const SERVE_USAGE: &str = "plfr serve — run the plfd batched evaluation service
 
 USAGE:
-  plfr serve --alignment FILE [--backend NAME[,NAME...]] [--workers N]
+  plfr serve --alignment FILE (--listen ADDR | --stdio)
+             [--backend NAME[,NAME...]] [--workers N]
              [--queue-capacity K] [--batch-jobs N] [--batch-units N] [--linger-ms F]
              [--journal-dir DIR] [--fsync-ms F] [--drain-ms F]
              [--shape A] [--pinvar P] [--rates K]
+  socket options (--listen, e.g. 127.0.0.1:7464 or 127.0.0.1:0):
+             [--max-connections N] [--port-file FILE]
+             [--tenant-policy NAME=WEIGHT[:RATE[:BURST[:PENDING]]][,NAME=...]]
+             [--default-weight W] [--default-rate R] [--default-burst B]
+             [--default-pending N]
 
-PROTOCOL (one request per input line):
+SOCKET FRONT END (--listen ADDR, the primary interface):
+  length-prefixed CRC-framed binary records
+  ([magic u16][version u8][kind u8][len u32][payload][crc32 u32]);
+  see the plf-net crate docs for the frame catalogue. Admission is
+  weighted-fair across tenants (--tenant-policy / --default-*) with
+  token-bucket rate limits; Reject frames carry retry_after and
+  jobs_ahead verbatim so a remote RetryPolicy behaves exactly like an
+  in-process one. --port-file writes the bound port (for --listen
+  ADDR:0). At exit a combined JSON summary {service, net, reactor}
+  is printed to stderr.
+
+STDIO FRONT END (--stdio, one request per input line):
   [tenant=NAME] [priority=high|normal] [deadline_ms=N] NEWICK
 responses on stdout, in submission order:
   ok id=N lnl=L wait_ms=W service_ms=S backend=B
@@ -485,8 +479,10 @@ With --journal-dir, every acknowledged admission is written to a
 crash-durable write-ahead journal before the response; on restart the
 service replays admitted-but-unresolved jobs. --fsync-ms sets the
 group-commit window (0 = fsync every append). SIGTERM/SIGINT trigger a
-graceful drain (bounded by --drain-ms, default 10000) that resolves
-the backlog, flushes the journal, and exits 0.";
+graceful drain (bounded by --drain-ms, default 10000) on either front
+end — the socket server stops accepting, notifies clients with
+Draining frames, resolves the backlog, flushes the journal, and
+exits 0.";
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
     if args.flag("help") {
@@ -503,7 +499,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     let drain_deadline = Duration::from_secs_f64(drain_ms / 1e3);
     let journaled = config.journal.is_some();
-    let mut service = PlfService::new(config, service_backends(args)?);
+    let service = PlfService::new(config, service_backends(args)?);
     let dataset = service.register_dataset(data);
     if journaled {
         let report = service.recover();
@@ -517,7 +513,146 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             report.truncated_records
         );
     }
-    install_shutdown_handler();
+    // One shutdown flag shared by both front ends, wired to
+    // SIGINT/SIGTERM; the loops poll it instead of racing a signal
+    // against a blocking read.
+    let shutdown = plf_net::ShutdownFlag::global();
+    match (args.get("listen"), args.flag("stdio")) {
+        (Some(_), true) => Err("--listen and --stdio are mutually exclusive".into()),
+        (Some(addr), false) => {
+            let addr = addr.to_string();
+            serve_listen(args, &addr, service, dataset, model, drain_deadline, shutdown)
+        }
+        (None, true) => {
+            serve_stdio(service, dataset, &model, drain_deadline, shutdown, journaled)
+        }
+        (None, false) => Err(
+            "serve needs a front end: --listen ADDR (binary socket protocol) \
+             or --stdio (line protocol); see plfr serve --help"
+                .into(),
+        ),
+    }
+}
+
+/// Parse `--tenant-policy NAME=WEIGHT[:RATE[:BURST[:PENDING]]],...` plus
+/// the `--default-*` knobs into plf-net admission policies.
+fn parse_tenant_policies(
+    args: &Args,
+) -> Result<(plf_net::TenantPolicy, Vec<(String, plf_net::TenantPolicy)>), String> {
+    let mut default_policy = plf_net::TenantPolicy::default();
+    default_policy.weight = args.parse_num("default-weight", default_policy.weight)?;
+    default_policy.rate_per_sec = args.parse_num("default-rate", default_policy.rate_per_sec)?;
+    default_policy.burst = args.parse_num("default-burst", default_policy.burst)?;
+    default_policy.max_pending = args.parse_num("default-pending", default_policy.max_pending)?;
+    let mut tenant_policies = Vec::new();
+    if let Some(spec) = args.get("tenant-policy") {
+        for entry in spec.split(',').filter(|s| !s.is_empty()) {
+            let (name, rest) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("bad --tenant-policy entry {entry:?} (want NAME=WEIGHT[:RATE[:BURST[:PENDING]]])"))?;
+            let mut policy = default_policy;
+            let mut fields = rest.split(':');
+            let parse_f64 = |field: Option<&str>, what: &str, current: f64| -> Result<f64, String> {
+                match field {
+                    None => Ok(current),
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| format!("bad {what} in --tenant-policy {entry:?}: {v}")),
+                }
+            };
+            policy.weight = parse_f64(fields.next(), "weight", policy.weight)?;
+            policy.rate_per_sec = parse_f64(fields.next(), "rate", policy.rate_per_sec)?;
+            policy.burst = parse_f64(fields.next(), "burst", policy.burst)?;
+            if let Some(v) = fields.next() {
+                policy.max_pending = v
+                    .parse()
+                    .map_err(|_| format!("bad pending in --tenant-policy {entry:?}: {v}"))?;
+            }
+            if fields.next().is_some() {
+                return Err(format!("too many fields in --tenant-policy {entry:?}"));
+            }
+            tenant_policies.push((name.to_string(), policy));
+        }
+    }
+    Ok((default_policy, tenant_policies))
+}
+
+/// Socket front end: one epoll reactor multiplexing every connection
+/// onto the batched service.
+fn serve_listen(
+    args: &Args,
+    addr: &str,
+    service: PlfService,
+    dataset: plf_repro::plfd::DatasetId,
+    model: SiteModel,
+    drain_deadline: Duration,
+    shutdown: plf_net::ShutdownFlag,
+) -> Result<(), String> {
+    let (default_policy, tenant_policies) = parse_tenant_policies(args)?;
+    let mut net_cfg = plf_net::NetServerConfig::default();
+    net_cfg.default_policy = default_policy;
+    net_cfg.tenant_policies = tenant_policies;
+    net_cfg.max_connections = args.parse_num("max-connections", net_cfg.max_connections)?;
+    net_cfg.drain_timeout = drain_deadline;
+    let counters = plf_repro::phylo::metrics::NetCounters::new();
+    let journaled = service.journaled();
+    let server = plf_net::NetServer::bind(
+        addr,
+        service,
+        dataset,
+        model,
+        net_cfg,
+        shutdown,
+        std::sync::Arc::clone(&counters),
+    )
+    .map_err(|e| format!("{addr}: {e}"))?;
+    let local = server.local_addr();
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, format!("{}\n", local.port())).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!(
+        "plfd: listening on {local}{}",
+        if journaled { " (journaled)" } else { "" }
+    );
+    let (mut service, report) = server.run().map_err(|e| format!("serve: {e}"))?;
+    // The reactor already resolved or answered every staged job; this
+    // drain flushes the journal and settles any service-side tail.
+    let drain = service.drain(drain_deadline);
+    eprintln!(
+        "plfd: drained — {} resolved, {} pending at deadline, journal {} ({:.3} s); \
+         {} conn(s) accepted, {} job(s) completed over the wire, {} unresolved at drain",
+        drain.resolved,
+        drain.pending_at_deadline,
+        if drain.journal_flushed { "flushed" } else { "not flushed" },
+        drain.elapsed.as_secs_f64(),
+        report.accepted,
+        report.completed,
+        report.unresolved
+    );
+    let summary = serde_json::json!({
+        "service": (service.snapshot()),
+        "net": (counters.snapshot()),
+        "reactor": (report)
+    });
+    drop(service);
+    eprintln!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+/// Stdio front end: the original line protocol, kept for piping and
+/// scripting. Stdin is switched to non-blocking and multiplexed in the
+/// same loop that polls the shutdown flag — no reader side thread.
+fn serve_stdio(
+    mut service: PlfService,
+    dataset: plf_repro::plfd::DatasetId,
+    model: &SiteModel,
+    drain_deadline: Duration,
+    shutdown: plf_net::ShutdownFlag,
+    journaled: bool,
+) -> Result<(), String> {
     eprintln!(
         "plfd: serving on stdio — {} worker(s), queue capacity {}, unit {} patterns{}",
         service.n_workers(),
@@ -525,22 +660,28 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         service.unit_patterns(),
         if journaled { ", journaled" } else { "" }
     );
+    plf_net::poll::set_nonblocking_fd(0, true).map_err(|e| format!("stdin: {e}"))?;
+    let result = serve_stdio_loop(&mut service, dataset, model, drain_deadline, &shutdown);
+    // Restore stdin's flags even on error: the fd may be a shared
+    // terminal that outlives this process.
+    let _ = plf_net::poll::set_nonblocking_fd(0, false);
+    result?;
+    let snapshot = service.snapshot();
+    drop(service);
+    eprintln!(
+        "{}",
+        serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
 
-    // Stdin is read on a side thread so the serve loop can poll the
-    // shutdown flag: a blocking `lines()` read would sit out a SIGTERM
-    // until the next request arrived.
-    let (line_tx, line_rx) = std::sync::mpsc::channel::<std::io::Result<String>>();
-    std::thread::spawn(move || {
-        let stdin = std::io::stdin();
-        for line in std::io::BufRead::lines(stdin.lock()) {
-            if line_tx.send(line).is_err() {
-                break;
-            }
-        }
-    });
-
-    let mut pending: std::collections::VecDeque<(u64, plf_repro::plfd::JobTicket)> =
-        std::collections::VecDeque::new();
+fn serve_stdio_loop(
+    service: &mut PlfService,
+    dataset: plf_repro::plfd::DatasetId,
+    model: &SiteModel,
+    drain_deadline: Duration,
+    shutdown: &plf_net::ShutdownFlag,
+) -> Result<(), String> {
     let print_outcome = |id: u64, outcome: JobOutcome| match outcome {
         JobOutcome::Completed {
             ln_likelihood,
@@ -556,46 +697,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         JobOutcome::Cancelled => println!("cancelled id={id}"),
         JobOutcome::DeadlineMissed => println!("deadline id={id}"),
     };
+    let mut pending: std::collections::VecDeque<(u64, plf_repro::plfd::JobTicket)> =
+        std::collections::VecDeque::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
     let mut next_id: u64 = 0;
     let mut signalled = false;
+    let stdin = std::io::stdin();
     loop {
-        if SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        if shutdown.is_requested() {
             signalled = true;
             break;
-        }
-        let line = match line_rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(line) => line.map_err(|e| format!("stdin: {e}"))?,
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                // Idle tick: flush anything that resolved meanwhile.
-                while let Some((fid, ticket)) = pending.front() {
-                    match ticket.try_wait() {
-                        Some(outcome) => {
-                            print_outcome(*fid, outcome);
-                            pending.pop_front();
-                        }
-                        None => break,
-                    }
-                }
-                continue;
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
-        };
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        next_id += 1;
-        let id = next_id;
-        match parse_serve_request(line, dataset, &model) {
-            Err(msg) => println!("error id={id} msg={msg}"),
-            Ok(spec) => match service.submit(spec) {
-                Ok(ticket) => pending.push_back((id, ticket)),
-                Err(SubmitError::QueueFull { retry_after }) => println!(
-                    "reject id={id} retry_after_ms={:.3}",
-                    retry_after.as_secs_f64() * 1e3
-                ),
-                Err(err) => println!("error id={id} msg={err}"),
-            },
         }
         // Flush responses that are already resolved, preserving order.
         while let Some((fid, ticket)) = pending.front() {
@@ -606,6 +718,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 }
                 None => break,
             }
+        }
+        match std::io::Read::read(&mut stdin.lock(), &mut chunk) {
+            Ok(0) => {
+                // EOF: a trailing line without a newline still counts.
+                if !buf.is_empty() {
+                    let tail = String::from_utf8_lossy(&buf).into_owned();
+                    stdio_handle_line(service, dataset, model, &tail, &mut next_id, &mut pending);
+                }
+                break;
+            }
+            Ok(n) => {
+                buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line).into_owned();
+                    stdio_handle_line(service, dataset, model, &line, &mut next_id, &mut pending);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Idle tick; the top of the loop flushes outcomes and
+                // polls the shutdown flag.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("stdin: {e}")),
         }
     }
     // Graceful drain: resolve the admitted backlog (bounded on a
@@ -632,13 +769,40 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         if drain.journal_flushed { "flushed" } else { "not flushed" },
         drain.elapsed.as_secs_f64()
     );
-    let snapshot = service.snapshot();
-    drop(service);
-    eprintln!(
-        "{}",
-        serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?
-    );
     Ok(())
+}
+
+/// Handle one stdio request line: parse, submit, and answer admission
+/// errors immediately (accepted jobs answer later, in order).
+fn stdio_handle_line(
+    service: &PlfService,
+    dataset: plf_repro::plfd::DatasetId,
+    model: &SiteModel,
+    line: &str,
+    next_id: &mut u64,
+    pending: &mut std::collections::VecDeque<(u64, plf_repro::plfd::JobTicket)>,
+) {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return;
+    }
+    *next_id += 1;
+    let id = *next_id;
+    match parse_serve_request(line, dataset, model) {
+        Err(msg) => println!("error id={id} msg={msg}"),
+        Ok(spec) => match service.submit(spec) {
+            Ok(ticket) => pending.push_back((id, ticket)),
+            Err(SubmitError::QueueFull { retry_after, jobs_ahead }) => println!(
+                "reject id={id} retry_after_ms={:.3} jobs_ahead={jobs_ahead}",
+                retry_after.as_secs_f64() * 1e3
+            ),
+            Err(SubmitError::Overloaded { retry_after, jobs_ahead }) => println!(
+                "overloaded id={id} retry_after_ms={:.3} jobs_ahead={jobs_ahead}",
+                retry_after.as_secs_f64() * 1e3
+            ),
+            Err(err) => println!("error id={id} msg={err}"),
+        },
+    }
 }
 
 /// Parse one `serve` request line: `key=value` tokens followed by the
@@ -686,9 +850,9 @@ fn parse_serve_request(
     Ok(spec)
 }
 
-const LOADGEN_USAGE: &str = "plfr loadgen — drive an in-process plfd service with a seeded job stream
+const LOADGEN_USAGE: &str = "plfr loadgen — drive a plfd service with a seeded job stream
 
-USAGE:
+USAGE (in-process, bit-checked against the scalar reference):
   plfr loadgen [--jobs 256] [--taxa 10] [--patterns 1000] [--seed 2009]
                [--backend NAME[,NAME...]] [--workers 4]
                [--concurrency N | --serial | --qps Q]   (submission discipline)
@@ -699,21 +863,113 @@ USAGE:
                [--strict-deadlines]                     (missed deadlines fail the run)
                [--json] [--out FILE]
 
-Default is a closed loop with every job outstanding at once (maximum
-batching pressure); --serial submits one job at a time; --qps switches
-to an open loop at the target rate. Every completed log-likelihood is
-recomputed on the serial scalar reference and must match bit-for-bit.
+USAGE (network, against `plfr serve --listen`):
+  plfr loadgen --connect ADDR [--connections 64] [--jobs 512] [--tenants 4]
+               [--pipeline 1]          (outstanding jobs per connection)
+               [--churn N]             (reconnect as the next tenant every N jobs; 0 = off)
+               [--high-every N]        (every Nth job is high priority)
+               [--seed 2009] [--duration SECONDS]
+               [--json] [--out FILE]
+
+In-process mode: default is a closed loop with every job outstanding
+at once (maximum batching pressure); --serial submits one job at a
+time; --qps switches to an open loop at the target rate. Every
+completed log-likelihood is recomputed on the serial scalar reference
+and must match bit-for-bit.
+
+Network mode: one event-driven reactor drives --connections concurrent
+sockets (10k+ scales on one thread), retrying Reject frames with the
+server's retry_after hints under pinned idempotency keys, and reports
+end-to-end p50/p99/p999 latency. An acknowledged (Completed/Failed/
+Cancelled/DeadlineMissed) job that the generator cannot account for is
+a lost ack and fails the run.
 
 EXIT CODE: 0 on success. Non-zero when any job is lost (resolved
-without an outcome), when any completed result is not bit-identical to
-the serial reference, or — with --strict-deadlines — when any job
-misses its deadline. Rejections and sheds are retried internally and
-never affect the exit code.";
+without an outcome / acknowledged but unaccounted), when any completed
+result is not bit-identical to the serial reference (in-process), or —
+with --strict-deadlines — when any job misses its deadline. Rejections
+and sheds are retried internally and never affect the exit code.";
+
+/// Network load generator: `plfr loadgen --connect ADDR`.
+fn cmd_loadgen_net(args: &Args, addr: &str) -> Result<(), String> {
+    let mut cfg = plf_net::NetLoadConfig::default();
+    cfg.connections = args.parse_num("connections", cfg.connections)?;
+    cfg.jobs = args.parse_num("jobs", cfg.jobs)?;
+    cfg.tenants = args.parse_num("tenants", cfg.tenants)?;
+    cfg.pipeline = args.parse_num("pipeline", cfg.pipeline)?;
+    cfg.churn_every = args.parse_num("churn", cfg.churn_every)?;
+    cfg.high_every = args.parse_num("high-every", cfg.high_every)?;
+    cfg.seed = args.parse_num("seed", cfg.seed)?;
+    if cfg.connections == 0 || cfg.jobs == 0 {
+        return Err("--connections and --jobs must be at least 1".into());
+    }
+    if let Some(v) = args.get("duration") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| format!("bad value for --duration: {v}"))?;
+        if !(secs.is_finite() && secs > 0.0) {
+            return Err(format!("bad value for --duration: {v}"));
+        }
+        cfg.deadline = Duration::from_secs_f64(secs);
+    }
+    let report = plf_net::loadgen::run(addr, &cfg).map_err(|e| format!("loadgen: {addr}: {e}"))?;
+
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if args.flag("json") {
+        println!("{json}");
+    } else {
+        println!(
+            "connections:      {} concurrent ({} opened, {} churn reconnects, {} failures)",
+            report.connections, report.connections_opened, report.reconnects,
+            report.connection_failures
+        );
+        println!(
+            "resolved:         {} completed / {} failed / {} cancelled / {} deadline-missed / {} rejected-final / {} errors",
+            report.completed, report.failed, report.cancelled, report.deadline_missed,
+            report.rejected_final, report.errors
+        );
+        println!(
+            "admission:        {} rejects seen, {} retries issued",
+            report.rejects_seen, report.retries
+        );
+        println!(
+            "throughput:       {:.1} jobs/s over {:.3} s",
+            report.throughput_jobs_per_s,
+            report.wall_ms / 1e3
+        );
+        println!(
+            "latency:          p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms (max {:.2}, mean {:.2})",
+            report.latency_ms.p50,
+            report.latency_ms.p99,
+            report.latency_ms.p999,
+            report.latency_ms.max,
+            report.latency_ms.mean
+        );
+        println!("lost acks:        {}", report.lost_acks);
+    }
+    if report.lost_acks > 0 {
+        return Err(format!(
+            "{} acknowledged job(s) lost over the wire",
+            report.lost_acks
+        ));
+    }
+    if report.completed == 0 {
+        return Err("no job completed over the wire".into());
+    }
+    Ok(())
+}
 
 fn cmd_loadgen(args: &Args) -> Result<(), String> {
     if args.flag("help") {
         println!("{LOADGEN_USAGE}");
         return Ok(());
+    }
+    if let Some(addr) = args.get("connect") {
+        let addr = addr.to_string();
+        return cmd_loadgen_net(args, &addr);
     }
     let jobs: usize = args.parse_num("jobs", 256)?;
     let taxa: usize = args.parse_num("taxa", 10)?;

@@ -38,6 +38,7 @@ pub use plf_cellbe as cellbe;
 pub use plf_gpu as gpu;
 pub use plf_mcmc as mcmc;
 pub use plf_multicore as multicore;
+pub use plf_net as net;
 pub use plf_phylo as phylo;
 pub use plf_seqgen as seqgen;
 pub use plf_simcore as simcore;

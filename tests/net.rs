@@ -1,0 +1,288 @@
+//! Network soak and crash drill for the plf-net socket front end.
+//!
+//! Two end-to-end contracts:
+//!
+//! * **Soak** — a library-level `NetServer` whose workers run under
+//!   kernel-output fault injection (absorbed by the resilient
+//!   executor) is flooded by the network load generator with
+//!   connection churn; no acknowledged job may be lost.
+//! * **Crash drill** — the real `plfr serve --listen` binary with a
+//!   write-ahead journal is `kill -9`ed mid-load; a restarted server
+//!   on the same journal answers every idempotency-keyed resubmission
+//!   with a bit-identical result and without re-executing resolved
+//!   work.
+
+use plf_repro::multicore::RayonBackend;
+use plf_repro::net::loadgen::{self, NetLoadConfig};
+use plf_repro::net::{
+    NetClient, NetServer, NetServerConfig, Response, ShutdownFlag, SubmitParams,
+};
+use plf_repro::phylo::io;
+use plf_repro::phylo::kernels::{PlfBackend, ScalarBackend};
+use plf_repro::phylo::likelihood::TreeLikelihood;
+use plf_repro::phylo::metrics::NetCounters;
+use plf_repro::phylo::model::{GtrParams, SiteModel};
+use plf_repro::phylo::resilience::{FaultInjector, FaultSite, ResilientBackend};
+use plf_repro::phylo::tree::Tree;
+use plf_repro::plfd::{PlfService, ServiceConfig};
+use plf_repro::seqgen::{self, DatasetSpec};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plf-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn soak_churn_under_fault_injection_loses_no_acknowledged_job() {
+    let ds = seqgen::generate(DatasetSpec::new(6, 48), 211);
+    let model = seqgen::default_model();
+    // Workers inject kernel-output corruption at a visible rate; the
+    // resilient executor retries / falls back to scalar, so faults
+    // surface as latency, never as lost or wrong acknowledgements.
+    let workers: Vec<Box<dyn PlfBackend>> = (0..2)
+        .map(|w| {
+            let injector = Arc::new(
+                FaultInjector::new(2009 + w).with_rate(FaultSite::KernelOutput, 0.05),
+            );
+            let pool = RayonBackend::new(1).expect("rayon pool");
+            Box::new(
+                ResilientBackend::new(Box::new(pool.with_fault_injector(injector)))
+                    .with_fallback(Box::new(ScalarBackend)),
+            ) as Box<dyn PlfBackend>
+        })
+        .collect();
+    let service = PlfService::new(ServiceConfig::default(), workers);
+    let dataset = service.register_dataset(ds.data);
+    let shutdown = ShutdownFlag::local();
+    let counters = NetCounters::new();
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        service,
+        dataset,
+        model,
+        NetServerConfig::default(),
+        shutdown.clone(),
+        Arc::clone(&counters),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    let cfg = NetLoadConfig {
+        connections: 12,
+        jobs: 96,
+        tenants: 4,
+        pipeline: 2,
+        churn_every: 4,
+        seed: 31,
+        deadline: Duration::from_secs(120),
+        ..NetLoadConfig::default()
+    };
+    let report = loadgen::run(addr, &cfg).expect("loadgen");
+    shutdown.request();
+    let (service, net_report) = handle.join().expect("server thread").expect("server run");
+
+    assert_eq!(report.lost_acks, 0, "{report:?}");
+    assert_eq!(report.completed, 96, "{report:?}");
+    assert_eq!(report.failed, 0, "faults must be absorbed, not surfaced: {report:?}");
+    assert!(report.reconnects > 0, "churn must actually reconnect: {report:?}");
+    assert_eq!(net_report.unresolved, 0);
+    assert_eq!(counters.snapshot().connections_active, 0);
+    service.shutdown();
+}
+
+struct ServerProc {
+    child: Child,
+    stderr_path: PathBuf,
+    addr: String,
+}
+
+fn spawn_server(aln: &Path, journal: &Path, dir: &Path, tag: &str) -> ServerProc {
+    let port_file = dir.join(format!("port-{tag}.txt"));
+    let stderr_path = dir.join(format!("server-{tag}.log"));
+    let stderr = std::fs::File::create(&stderr_path).expect("stderr log");
+    let child = Command::new(env!("CARGO_BIN_EXE_plfr"))
+        .args([
+            "serve",
+            "--alignment",
+            aln.to_str().expect("utf8 path"),
+            "--backend",
+            "scalar",
+            "--workers",
+            "2",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().expect("utf8 path"),
+            "--journal-dir",
+            journal.to_str().expect("utf8 path"),
+            "--fsync-ms",
+            "0",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(stderr)
+        .spawn()
+        .expect("spawn plfr serve");
+    // The port file appears once the listener is bound.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let port = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            let trimmed = text.trim();
+            if !trimmed.is_empty() {
+                break trimmed.to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "server never wrote {port_file:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    ServerProc {
+        child,
+        stderr_path,
+        addr: format!("127.0.0.1:{port}"),
+    }
+}
+
+/// The model `plfr serve` builds by default (`--shape 0.5 --rates 4`).
+fn serve_default_model() -> SiteModel {
+    SiteModel::new(GtrParams::jc69(), 0.5, 4)
+        .and_then(|m| m.with_pinvar(0.0))
+        .expect("default serve model")
+}
+
+#[test]
+fn kill_nine_mid_load_recovers_journal_with_no_duplicate_execution() {
+    let dir = temp_dir("drill");
+    let journal = dir.join("journal");
+    let aln_path = dir.join("aln.fasta");
+    // Big enough that a job takes observable time on the scalar
+    // backend, so the SIGKILL window can contain unresolved work.
+    let ds = seqgen::generate(DatasetSpec::new(10, 2_000), 401);
+    std::fs::write(&aln_path, io::write_fasta(&ds.data.decompress())).expect("write fasta");
+    const JOBS: u64 = 16;
+    let key = |i: u64| format!("drill-{i}");
+
+    // Reference results computed exactly the way the server will: the
+    // alignment re-read from the file it loads.
+    let file_data = io::parse_fasta(&std::fs::read_to_string(&aln_path).expect("read fasta"))
+        .expect("parse fasta")
+        .compress();
+    let model = serve_default_model();
+
+    // Run 1: submit every keyed job, then SIGKILL the server after the
+    // first acknowledgement lands — some jobs are acknowledged and
+    // journaled but unresolved.
+    let run1 = spawn_server(&aln_path, &journal, &dir, "run1");
+    let taxa;
+    {
+        let mut client = NetClient::connect(run1.addr.as_str()).expect("connect run1");
+        taxa = client.greeting().taxa.clone();
+        let mut ids = Vec::new();
+        for i in 0..JOBS {
+            let params = SubmitParams {
+                tenant: "drill".into(),
+                high_priority: false,
+                deadline: None,
+                idempotency_key: Some(key(i)),
+                newick: loadgen::ladder_newick(&taxa, 500 + i),
+            };
+            ids.push(client.submit(&params).expect("submit"));
+        }
+        // Wait for one completion so at least one outcome (and every
+        // admission) is journaled, then pull the plug.
+        let first = ids.first().copied().expect("submitted");
+        let response = client.wait_for(first).expect("first ack");
+        assert!(matches!(response, Response::Completed { .. }), "{response:?}");
+    }
+    let mut child1 = run1.child;
+    child1.kill().expect("SIGKILL");
+    let _ = child1.wait();
+
+    // Run 2: restart on the same journal; resubmit every key and
+    // require a bit-identical Completed for each.
+    let run2 = spawn_server(&aln_path, &journal, &dir, "run2");
+    {
+        let mut client = NetClient::connect(run2.addr.as_str()).expect("connect run2");
+        for i in 0..JOBS {
+            let newick = loadgen::ladder_newick(&taxa, 500 + i);
+            let params = SubmitParams {
+                tenant: "drill".into(),
+                high_priority: false,
+                deadline: None,
+                idempotency_key: Some(key(i)),
+                newick: newick.clone(),
+            };
+            let id = client.submit(&params).expect("resubmit");
+            let response = client.wait_for(id).expect("response");
+            let Response::Completed { ln_likelihood, .. } = response else {
+                panic!("job {i} after recovery: {response:?}");
+            };
+            let tree = Tree::from_newick(&newick).expect("newick");
+            let mut eval =
+                TreeLikelihood::new(&tree, &file_data, model.clone()).expect("workspace");
+            let direct = eval
+                .log_likelihood(&tree, &mut ScalarBackend)
+                .expect("direct eval");
+            assert_eq!(
+                direct.to_bits(),
+                ln_likelihood.to_bits(),
+                "job {i} bit-identical across the crash"
+            );
+        }
+    }
+
+    // Graceful stop; the drain summary JSON lands on stderr.
+    let pid = run2.child.id().to_string();
+    let mut child2 = run2.child;
+    Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    let status = child2.wait().expect("server exit");
+    assert!(status.success(), "graceful drain must exit 0: {status:?}");
+
+    let stderr = std::fs::read_to_string(&run2.stderr_path).expect("run2 stderr");
+    assert!(
+        stderr.contains("journal recovery"),
+        "restart must report recovery: {stderr}"
+    );
+    // No duplicate execution: run 2 executes at most one job per key —
+    // everything else is a replay already in flight or a journaled
+    // outcome served from the index, both counted as dedups.
+    let summary_start = stderr.find("{\n").expect("summary JSON on stderr");
+    let summary: serde_json::Value =
+        serde_json::from_str(stderr.get(summary_start..).expect("summary slice"))
+            .expect("summary parses");
+    let service = summary
+        .as_object()
+        .and_then(|o| o.iter().find(|(k, _)| k == "service"))
+        .map(|(_, v)| v)
+        .expect("service section");
+    let field = |name: &str| -> u64 {
+        service
+            .as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == name))
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or_else(|| panic!("numeric `{name}` in {service:?}"))
+    };
+    let executed = field("submitted");
+    let deduped = field("deduped_jobs");
+    let replayed = field("replayed_jobs");
+    assert!(
+        executed <= JOBS,
+        "run 2 executed {executed} jobs for {JOBS} keys — duplicates"
+    );
+    assert_eq!(
+        executed + deduped,
+        JOBS + replayed,
+        "every resubmission either deduped or became the single execution \
+         (executed {executed}, deduped {deduped}, replayed {replayed})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,7 +29,8 @@ fn submit_with_retry(service: &PlfService, spec: JobSpec) -> JobTicket {
         match service.submit(spec.clone()) {
             Ok(ticket) => return ticket,
             Err(
-                SubmitError::QueueFull { retry_after } | SubmitError::Overloaded { retry_after },
+                SubmitError::QueueFull { retry_after, .. }
+                | SubmitError::Overloaded { retry_after, .. },
             ) => {
                 std::thread::sleep(retry_after.min(Duration::from_millis(5)));
             }
@@ -175,10 +176,11 @@ fn admission_control_rejects_job_k_plus_one_with_retry_after() {
     let err = service
         .submit(JobSpec::new("t", dataset, ds.tree.clone(), model.clone()))
         .expect_err("job K+1 over capacity");
-    let SubmitError::QueueFull { retry_after } = err else {
+    let SubmitError::QueueFull { retry_after, jobs_ahead } = err else {
         panic!("expected QueueFull, got {err}");
     };
     assert!(retry_after > Duration::ZERO);
+    assert_eq!(jobs_ahead, capacity, "hint counts the whole normal-lane backlog");
 
     let snap = service.snapshot();
     assert_eq!(snap.rejected, 1);
