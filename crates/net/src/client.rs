@@ -56,6 +56,30 @@ fn bad_data(msg: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// A nonce that distinguishes this connection's auto-generated
+/// idempotency keys from every other connection's — including past
+/// processes, since the server dedups keys globally and across
+/// restarts via the journal. Mixes wall-clock nanos, the pid, the
+/// ephemeral local port, and a process-wide counter so two clients
+/// connecting in the same instant still diverge.
+fn connection_nonce(stream: &TcpStream) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let port = stream.local_addr().map(|a| a.port() as u64).unwrap_or(0);
+    let mut x = nanos
+        ^ (u64::from(std::process::id()) << 32)
+        ^ (port << 16)
+        ^ SEQ.fetch_add(1, Ordering::Relaxed);
+    // splitmix64 finalizer: spread the structured inputs over all bits.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// A blocking connection to a [`NetServer`](crate::server::NetServer).
 #[derive(Debug)]
 pub struct NetClient {
@@ -65,6 +89,10 @@ pub struct NetClient {
     /// Responses read while waiting for a different job.
     stashed: VecDeque<Response>,
     next_job: u64,
+    /// Per-connection salt for auto-generated idempotency keys (the
+    /// server dedups keys globally, so `client_job` alone would
+    /// collide across connections).
+    nonce: u64,
 }
 
 impl NetClient {
@@ -72,6 +100,7 @@ impl NetClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        let nonce = connection_nonce(&stream);
         let mut client = NetClient {
             stream,
             decoder: FrameDecoder::new(),
@@ -83,6 +112,7 @@ impl NetClient {
             },
             stashed: VecDeque::new(),
             next_job: 1,
+            nonce,
         };
         match client.recv()? {
             Response::ServerInfo {
@@ -222,9 +252,11 @@ impl NetClient {
         let client_job = self.next_job;
         self.next_job += 1;
         // Retries must dedup server-side: pin an idempotency key now.
+        // The connection nonce keeps it from colliding with other
+        // connections' auto-keys in the server's global dedup map.
         let mut params = params.clone();
         if params.idempotency_key.is_none() {
-            params.idempotency_key = Some(format!("net-{client_job}"));
+            params.idempotency_key = Some(format!("net-{:016x}-{client_job}", self.nonce));
         }
         let mut attempt: u32 = 0;
         loop {

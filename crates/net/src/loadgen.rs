@@ -31,6 +31,10 @@ use crate::poll::{Event, Interest, Poller};
 use crate::proto::{Request, Response};
 use crate::wire::FrameDecoder;
 
+/// Compact a connection's output buffer once this many consumed bytes
+/// sit at its front (mirrors the server's rule; see `server.rs`).
+const OUT_COMPACT: usize = 64 * 1024;
+
 /// splitmix64: the repo-wide cheap deterministic mixer.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -150,6 +154,9 @@ pub struct NetLoadReport {
 }
 
 struct PendingJob {
+    /// Global job index, so the job can be re-assigned to another
+    /// connection if this one dies before a terminal frame.
+    idx: u64,
     first_submit_ns: u64,
     attempt: u32,
     high: bool,
@@ -228,6 +235,11 @@ struct Engine {
     next_token: u64,
     /// Next global job index to hand out.
     next_job: u64,
+    /// Jobs orphaned by a dead connection, awaiting re-assignment:
+    /// (job idx, original first-submit timestamp). Served before fresh
+    /// indices so a mid-run connection failure costs latency, not
+    /// completions.
+    requeue: Vec<(u64, u64)>,
     /// Terminal outcomes counted so far.
     done: u64,
     /// Retry timeline: (due_ns, token, client_job).
@@ -274,23 +286,29 @@ impl Engine {
     }
 
     /// Submit the next globally-assigned job on `token`, if any remain.
+    /// Orphans from dead connections are served before fresh indices.
     fn submit_next(&mut self, token: u64) {
         let Some(taxa) = self.taxa.clone() else {
             return;
         };
-        if self.next_job >= self.cfg.jobs {
-            return;
-        }
-        let idx = self.next_job;
-        self.next_job += 1;
-        let now = self.now_ns();
+        let (idx, first_submit_ns) = match self.requeue.pop() {
+            Some(redo) => redo,
+            None => {
+                if self.next_job >= self.cfg.jobs {
+                    return;
+                }
+                let idx = self.next_job;
+                self.next_job += 1;
+                (idx, self.now_ns())
+            }
+        };
         let high = self.cfg.high_every > 0 && idx.is_multiple_of(self.cfg.high_every);
         let newick = ladder_newick(&taxa, splitmix64(self.cfg.seed ^ idx));
         let key = format!("nlg-{}-{idx}", self.cfg.seed);
         let Some(conn) = self.conns.get_mut(&token) else {
             // Connection vanished between selection and submit: put
             // the job back.
-            self.next_job = idx;
+            self.requeue.push((idx, first_submit_ns));
             return;
         };
         let client_job = conn.next_client_job;
@@ -309,7 +327,8 @@ impl Engine {
         conn.outstanding.insert(
             client_job,
             PendingJob {
-                first_submit_ns: now,
+                idx,
+                first_submit_ns,
                 attempt: 0,
                 high,
                 newick,
@@ -457,6 +476,7 @@ pub fn run(addr: impl ToSocketAddrs, cfg: &NetLoadConfig) -> io::Result<NetLoadR
         conns: HashMap::new(),
         next_token: 1,
         next_job: 0,
+        requeue: Vec::new(),
         done: 0,
         retry_queue: Vec::new(),
         latencies_ns: Vec::new(),
@@ -588,7 +608,7 @@ pub fn run(addr: impl ToSocketAddrs, cfg: &NetLoadConfig) -> io::Result<NetLoadR
                 .get(&token)
                 .map(|c| c.outstanding.len() < engine.cfg.pipeline)
                 .unwrap_or(false)
-                && engine.next_job < engine.cfg.jobs
+                && (engine.next_job < engine.cfg.jobs || !engine.requeue.is_empty())
             {
                 engine.submit_next(token);
             }
@@ -624,6 +644,11 @@ pub fn run(addr: impl ToSocketAddrs, cfg: &NetLoadConfig) -> io::Result<NetLoadR
             if conn.pending_out() == 0 {
                 conn.out.clear();
                 conn.out_pos = 0;
+            } else if conn.out_pos >= OUT_COMPACT {
+                // Same compaction rule as the server: a never-fully-
+                // drained buffer must not keep its consumed prefix.
+                conn.out.drain(..conn.out_pos);
+                conn.out_pos = 0;
             }
             let want_write = conn.pending_out() > 0;
             if want_write != conn.want_write {
@@ -645,7 +670,7 @@ pub fn run(addr: impl ToSocketAddrs, cfg: &NetLoadConfig) -> io::Result<NetLoadR
         // could still be sitting un-accepted in the listener backlog
         // when the run ends.
         let churn = engine.cfg.churn_every;
-        let more_work = engine.next_job < engine.cfg.jobs;
+        let more_work = engine.next_job < engine.cfg.jobs || !engine.requeue.is_empty();
         let reap: Vec<(u64, bool)> = engine
             .conns
             .iter()
@@ -673,16 +698,18 @@ pub fn run(addr: impl ToSocketAddrs, cfg: &NetLoadConfig) -> io::Result<NetLoadR
                 use std::os::fd::AsRawFd;
                 let _ = poller.deregister(conn.stream.as_raw_fd());
             }
-            // Unfinished jobs on a dead conn go back to the pool by
-            // re-assigning fresh submissions (the idempotency key is
-            // NOT reused: the original was never acknowledged as a
-            // frame, so a duplicate execution cannot be observed — a
-            // genuinely admitted job would have resolved via the
-            // journal, which the kill drill exercises end-to-end).
+            // Unfinished jobs on a dead conn go back to the shared
+            // pool for re-submission on whichever connection next has
+            // pipeline room. The idempotency key IS reused (it derives
+            // from the job index): if the original submit was admitted
+            // before the connection died, the redo dedups onto the
+            // journaled outcome instead of executing twice; if it
+            // never arrived, the key is unseen and the job runs fresh.
             if !conn.outstanding.is_empty() {
                 engine.report.connection_failures += 1;
-                engine.report.lost_acks += conn.outstanding.len() as u64;
-                engine.done += conn.outstanding.len() as u64;
+                for job in conn.outstanding.values() {
+                    engine.requeue.push((job.idx, job.first_submit_ns));
+                }
             }
             let tenant_idx = conn.tenant_idx + 1;
             drop(conn);
@@ -695,10 +722,12 @@ pub fn run(addr: impl ToSocketAddrs, cfg: &NetLoadConfig) -> io::Result<NetLoadR
         }
     }
 
-    // Anything still outstanding at the deadline is a lost ack.
+    // Anything still outstanding — or orphaned and never re-assigned —
+    // at the deadline is a lost ack.
     for conn in engine.conns.values() {
         engine.report.lost_acks += conn.outstanding.len() as u64;
     }
+    engine.report.lost_acks += engine.requeue.len() as u64;
 
     let wall = started.elapsed();
     engine.latencies_ns.sort_unstable();

@@ -32,9 +32,14 @@ const F_GETFL: i32 = 3;
 const F_SETFL: i32 = 4;
 const O_NONBLOCK: i32 = 0o4000;
 
-/// `struct epoll_event` with the x86-64 Linux ABI layout (the kernel
-/// declares it packed there, so the 64-bit `data` sits at offset 4).
-#[repr(C, packed)]
+/// `struct epoll_event` with the kernel's ABI layout. The kernel
+/// declares it packed on x86-64 only (64-bit `data` at offset 4,
+/// 12-byte stride); every other Linux architecture uses natural
+/// alignment (`data` at offset 8, 16-byte stride). Getting this wrong
+/// would make `epoll_wait` write at the kernel's stride into a buffer
+/// with the other stride, corrupting every event after the first.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
 #[derive(Debug, Clone, Copy)]
 struct EpollEvent {
     events: u32,

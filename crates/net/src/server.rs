@@ -62,6 +62,13 @@ const READ_CHUNK: usize = 16 * 1024; // plf-lint: allow(L3) — socket read chun
 /// memory.
 const MAX_OUTBUF: usize = 8 * 1024 * 1024;
 
+/// Once this many already-written bytes sit at the front of an output
+/// buffer, compact it. Waiting for a fully-drained buffer is not
+/// enough: a steady slow-but-never-stalled consumer would otherwise
+/// grow `out` by its whole response throughput for the connection's
+/// lifetime, with `MAX_OUTBUF` bounding only the unwritten tail.
+const OUT_COMPACT: usize = 64 * 1024;
+
 /// Tuning for [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct NetServerConfig {
@@ -598,9 +605,17 @@ impl NetServer {
             inflight.ticket.cancel();
             return;
         }
-        // Not in flight: either still staged (mark for skip) or
-        // unknown (cancel is idempotent either way).
-        self.cancelled_staged.insert((token, client_job));
+        // Not in flight: mark for skip only if actually staged.
+        // Marking unknown ids would let a client grow the set without
+        // bound and would silently swallow a later submit that reuses
+        // the id; cancel stays idempotent either way because the
+        // response below is unconditional.
+        if self
+            .fair
+            .any_staged(|s| s.token == token && s.client_job == client_job)
+        {
+            self.cancelled_staged.insert((token, client_job));
+        }
         self.send_response(token, &Response::Cancelled { client_job });
     }
 
@@ -831,6 +846,11 @@ impl NetServer {
         if conn.pending_out() == 0 {
             conn.out.clear();
             conn.out_pos = 0;
+        } else if conn.out_pos >= OUT_COMPACT {
+            // Backlog remains: shift it down so consumed bytes don't
+            // accumulate at the front forever.
+            conn.out.drain(..conn.out_pos);
+            conn.out_pos = 0;
         }
         let want_write = conn.pending_out() > 0;
         if want_write != conn.want_write {
@@ -865,8 +885,10 @@ impl NetServer {
         }
         // Any jobs this connection still has in flight keep running
         // (results are journaled); their responses just have nowhere
-        // to go. Drop the bookkeeping.
+        // to go. Drop the bookkeeping, including cancellation marks
+        // whose staged job will now be dropped on pop anyway.
         self.inflight.retain(|f| f.token != token);
+        self.cancelled_staged.retain(|(t, _)| *t != token);
     }
 
     fn reap_closed(&mut self) {

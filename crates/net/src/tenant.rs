@@ -350,6 +350,18 @@ impl<T> FairQueue<T> {
     pub fn pending(&self, tenant: &str) -> usize {
         self.tenants.get(tenant).map(|t| t.pending()).unwrap_or(0)
     }
+
+    /// Whether any staged item, in any tenant's lanes, satisfies
+    /// `pred`. Lets callers keep side tables (e.g. cancellation marks)
+    /// scoped to items that are actually queued.
+    pub fn any_staged<F>(&self, mut pred: F) -> bool
+    where
+        F: FnMut(&T) -> bool,
+    {
+        self.tenants
+            .values()
+            .any(|s| s.high.iter().chain(s.normal.iter()).any(&mut pred))
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +400,20 @@ mod tests {
         // 2 tokens/s → 500 ms per token.
         assert_eq!(wait, Duration::from_millis(500));
         assert!(TokenBucket::new(0.0, 1.0, 0).next_available(0).is_zero());
+    }
+
+    #[test]
+    fn any_staged_scans_every_lane_of_every_tenant() {
+        let mut q: FairQueue<u32> = FairQueue::new(unlimited(1.0));
+        assert!(!q.any_staged(|_| true));
+        q.push("a", Priority::Normal, 1, 0).expect("push");
+        q.push("b", Priority::High, 2, 0).expect("push");
+        assert!(q.any_staged(|&x| x == 1));
+        assert!(q.any_staged(|&x| x == 2));
+        assert!(!q.any_staged(|&x| x == 3));
+        q.pop_unpaced(0).expect("pop");
+        q.pop_unpaced(0).expect("pop");
+        assert!(!q.any_staged(|_| true));
     }
 
     #[test]

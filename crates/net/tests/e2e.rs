@@ -162,6 +162,43 @@ fn multiple_jobs_on_one_connection_interleave() {
 }
 
 #[test]
+fn auto_idempotency_keys_do_not_collide_across_connections() {
+    // Two connections, each letting submit_and_wait auto-generate its
+    // idempotency key, submit *different* trees. The server dedups
+    // keys globally, so connection-local keys (the old `net-1`) would
+    // silently hand the second client the first client's result.
+    let (server, taxa, model) = start_server(NetServerConfig::default());
+    let mut a = NetClient::connect(server.addr).expect("connect a");
+    let mut b = NetClient::connect(server.addr).expect("connect b");
+    let params_a = submit_params("tenant-a", &taxa, 1001);
+    let params_b = submit_params("tenant-b", &taxa, 2002);
+    let ra = a
+        .submit_and_wait(&params_a, &RetryPolicy::default())
+        .expect("submit a");
+    let rb = b
+        .submit_and_wait(&params_b, &RetryPolicy::default())
+        .expect("submit b");
+    let (Response::Completed { ln_likelihood: la, .. }, Response::Completed { ln_likelihood: lb, .. }) =
+        (&ra, &rb)
+    else {
+        panic!("expected two Completed, got {ra:?} / {rb:?}");
+    };
+    // Each client must get the likelihood of *its own* tree.
+    let ds = plf_seqgen::generate(DatasetSpec::new(6, 48), 17);
+    for (params, wire) in [(&params_a, *la), (&params_b, *lb)] {
+        let tree = plf_phylo::tree::Tree::from_newick(&params.newick).expect("newick");
+        let mut eval = TreeLikelihood::new(&tree, &ds.data, model.clone()).expect("workspace");
+        let direct = eval
+            .log_likelihood(&tree, &mut ScalarBackend)
+            .expect("direct eval");
+        assert_eq!(direct.to_bits(), wire.to_bits());
+    }
+    let (service, report) = server.stop();
+    assert_eq!(report.completed, 2, "both jobs must actually execute");
+    service.shutdown();
+}
+
+#[test]
 fn cancel_of_unknown_job_is_idempotent() {
     let (server, _taxa, _model) = start_server(NetServerConfig::default());
     let mut client = NetClient::connect(server.addr).expect("connect");
@@ -169,6 +206,31 @@ fn cancel_of_unknown_job_is_idempotent() {
     let response = client.wait_for(999).expect("response");
     assert!(matches!(response, Response::Cancelled { client_job: 999 }));
     let (service, _report) = server.stop();
+    service.shutdown();
+}
+
+#[test]
+fn cancel_of_unknown_id_does_not_swallow_a_later_submit() {
+    let (server, taxa, _model) = start_server(NetServerConfig::default());
+    let mut client = NetClient::connect(server.addr).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    // Cancel an id that was never submitted; the first submit on this
+    // connection will then reuse client_job = 1. A stale cancellation
+    // mark must not make the server drop that job on the floor.
+    client.cancel(1).expect("cancel write");
+    let response = client.wait_for(1).expect("cancel response");
+    assert!(matches!(response, Response::Cancelled { client_job: 1 }));
+    let id = client
+        .submit(&submit_params("tenant-a", &taxa, 77))
+        .expect("submit");
+    assert_eq!(id, 1, "first submit reuses the cancelled id");
+    let response = client.wait_for(id).expect("job must get a response");
+    assert!(
+        matches!(response, Response::Completed { .. }),
+        "expected Completed, got {response:?}"
+    );
+    let (service, report) = server.stop();
+    assert_eq!(report.completed, 1);
     service.shutdown();
 }
 
